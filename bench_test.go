@@ -1,0 +1,152 @@
+// Package repro's top-level benchmarks regenerate every table and
+// figure of the paper (one benchmark per artifact — run with
+// `go test -bench=. -benchmem`), plus throughput microbenchmarks for
+// the 9C codec and decoder hardware model. Each benchmark reports the
+// artifact's headline number as a custom metric so `-bench` output
+// doubles as a results summary.
+package repro
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/ate"
+	"repro/internal/core"
+	"repro/internal/decoder"
+	"repro/internal/experiments"
+	"repro/internal/synth"
+)
+
+// lastCell parses the numeric prefix of the table's bottom-right cell
+// (usually the sweep average), reported as a benchmark metric.
+func lastCell(tab *experiments.Table) float64 {
+	row := tab.Rows[len(tab.Rows)-1]
+	for i := len(row) - 1; i >= 0; i-- {
+		f := strings.Fields(row[i])
+		if len(f) == 0 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(strings.TrimSuffix(f[0], "x"), 64); err == nil {
+			return v
+		}
+	}
+	return 0
+}
+
+func benchTable(b *testing.B, gen func() (*experiments.Table, error), metric string) {
+	b.Helper()
+	var tab *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = gen()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastCell(tab), metric)
+}
+
+func BenchmarkTable1(b *testing.B) { benchTable(b, experiments.Table1, "bits") }
+func BenchmarkTable2(b *testing.B) { benchTable(b, experiments.Table2, "avgCR%") }
+func BenchmarkTable3(b *testing.B) { benchTable(b, experiments.Table3, "avgLX%") }
+func BenchmarkTable4(b *testing.B) { benchTable(b, experiments.Table4, "avgCR%") }
+func BenchmarkTable5(b *testing.B) { benchTable(b, experiments.Table5, "avgTAT%") }
+func BenchmarkTable6(b *testing.B) { benchTable(b, experiments.Table6, "avgN9") }
+func BenchmarkTable7(b *testing.B) { benchTable(b, experiments.Table7, "CR%") }
+
+func BenchmarkTable8(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.Table8(1) }, "CR%")
+}
+
+func BenchmarkFigure1(b *testing.B) { benchTable(b, experiments.Figure1, "TAT%") }
+func BenchmarkFigure2(b *testing.B) { benchTable(b, experiments.Figure2, "gates") }
+func BenchmarkFigure3(b *testing.B) { benchTable(b, experiments.Figure3, "CR%") }
+func BenchmarkFigure4(b *testing.B) { benchTable(b, experiments.Figure4, "speedup") }
+
+func BenchmarkExtraFill(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.ExtraFill(2) }, "deltaCov%")
+}
+func BenchmarkExtraPower(b *testing.B)    { benchTable(b, experiments.ExtraPower, "WTMred%") }
+func BenchmarkExtraAblation(b *testing.B) { benchTable(b, experiments.ExtraAblation, "states25C") }
+
+func BenchmarkExtraBIST(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.ExtraBIST(2) }, "cov%")
+}
+func BenchmarkExtraReseed(b *testing.B) { benchTable(b, experiments.ExtraReseed, "LX%") }
+
+func BenchmarkExtraReorder(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.ExtraReorder(2) }, "gain")
+}
+
+// Microbenchmarks: raw codec and decoder throughput on the largest
+// ISCAS workload.
+
+func workload(b *testing.B) *core.Result {
+	b.Helper()
+	set, err := synth.MintestLike("s38584")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cdc, err := core.New(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := cdc.EncodeSet(set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+func BenchmarkEncodeK8(b *testing.B) {
+	set, err := synth.MintestLike("s38584")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cdc, err := core.New(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(set.Bits() / 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cdc.EncodeSet(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeK8(b *testing.B) {
+	r := workload(b)
+	cdc, err := core.New(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(r.OrigBits / 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cdc.DecodeSet(r.Stream, r.Width, r.Patterns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHardwareDecoderK8(b *testing.B) {
+	r := workload(b)
+	stream, err := ate.FillStream(r.Stream, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := decoder.NewSingleScan(r.K, r.Assign)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(r.OrigBits / 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Run(stream, r.Blocks*r.K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

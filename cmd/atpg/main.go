@@ -1,0 +1,68 @@
+// Command atpg generates a deterministic test-cube set (with
+// don't-cares left in place) for a .bench netlist using PODEM with
+// fault dropping and optional reverse-order compaction.
+//
+// Usage:
+//
+//	atpg circuit.bench > cubes.txt
+//	atpg -compact -backtracks 5000 circuit.bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/atpg"
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+)
+
+func main() {
+	compact := flag.Bool("compact", false, "reverse-order compaction pass")
+	backtracks := flag.Int("backtracks", 2000, "PODEM backtrack limit per fault")
+	seed := flag.Int64("seed", 1, "fill seed for fault dropping")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: atpg [flags] <circuit.bench>")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *compact, *backtracks, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "atpg:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, compact bool, backtracks int, seed int64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ckt, err := netlist.ParseBench(path, f)
+	if err != nil {
+		return err
+	}
+	sv, err := ckt.FullScan()
+	if err != nil {
+		return err
+	}
+	faults := faultsim.Collapse(ckt)
+	fmt.Fprintf(os.Stderr, "%s: %d gates, %d PIs, %d FFs, scan width %d, %d collapsed faults\n",
+		ckt.Name, ckt.NumLogicGates(), len(ckt.Inputs), len(ckt.DFFs), sv.ScanWidth(), len(faults))
+
+	set, stats, err := atpg.Generate(sv, faults, atpg.Options{
+		BacktrackLimit: backtracks,
+		FillSeed:       seed,
+		Compact:        compact,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"ATPG: %d patterns, coverage %.2f%% (%d detected, %d untestable, %d aborted of %d)\n",
+		stats.Patterns, stats.CoveragePercent, stats.Detected, stats.Untestable, stats.Aborted, stats.Faults)
+	return set.Write(os.Stdout)
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const s27 = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+`
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := f()
+	w.Close()
+	var sb strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	r.Close()
+	return sb.String(), runErr
+}
+
+func TestRunS27(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s27.bench")
+	if err := os.WriteFile(path, []byte(s27), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return run(path, true, 2000, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cube lines are 7 characters of 01X (4 PIs + 3 scan cells).
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(line) != 7 {
+			t.Fatalf("cube line %q has width %d", line, len(line))
+		}
+		found = true
+	}
+	if !found {
+		t.Fatalf("no cubes emitted: %q", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/nonexistent.bench", false, 100, 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.bench")
+	if err := os.WriteFile(bad, []byte("G1 = FROB(G2)"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, false, 100, 1); err == nil {
+		t.Fatal("bad netlist accepted")
+	}
+}

@@ -1,0 +1,73 @@
+// Command benchgen emits the synthetic workloads the experiments use:
+// Mintest-profile test-cube sets and random scan circuits, so that
+// every input of every reported experiment can be materialized and
+// inspected as a file.
+//
+// Usage:
+//
+//	benchgen -cubes s13207 > s13207.cubes           # Mintest-like test set
+//	benchgen -circuit s5378 -scale 20 > s5378.bench # scaled random netlist
+//	benchgen -list                                  # available profiles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/netlist"
+	"repro/internal/stil"
+	"repro/internal/synth"
+)
+
+func main() {
+	cubes := flag.String("cubes", "", "emit the Mintest-like cube set for this benchmark")
+	circuit := flag.String("circuit", "", "emit a scaled synthetic netlist for this benchmark")
+	scale := flag.Int("scale", 1, "structure divisor for -circuit")
+	seed := flag.Int64("seed", 7, "generator seed for -circuit")
+	list := flag.Bool("list", false, "list available benchmark profiles")
+	format := flag.String("format", "text", "cube output format: text | stil")
+	flag.Parse()
+
+	if err := run(*cubes, *circuit, *scale, *seed, *list, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cubes, circuit string, scale int, seed int64, list bool, format string) error {
+	switch {
+	case list:
+		fmt.Println("profile   PIs  POs  FFs   gates  patterns  scan-width  X%")
+		for _, cs := range append(append([]synth.CircuitStats{}, synth.Benchmarks...), synth.IBMCircuits...) {
+			fmt.Printf("%-8s %4d %4d %5d %7d %9d %11d  %.1f\n",
+				cs.Name, cs.PIs, cs.POs, cs.FFs, cs.Gates, cs.Patterns, cs.ScanWidth, cs.XPercent)
+		}
+		return nil
+	case cubes != "":
+		set, err := synth.MintestLike(cubes)
+		if err != nil {
+			return err
+		}
+		switch format {
+		case "text":
+			return set.Write(os.Stdout)
+		case "stil":
+			return stil.Write(os.Stdout, set)
+		default:
+			return fmt.Errorf("unknown cube format %q (text | stil)", format)
+		}
+	case circuit != "":
+		cs, err := synth.BenchmarkByName(circuit)
+		if err != nil {
+			return err
+		}
+		ckt, err := synth.CircuitProfileFor(cs, scale, seed).Generate()
+		if err != nil {
+			return err
+		}
+		return netlist.WriteBench(os.Stdout, ckt)
+	default:
+		return fmt.Errorf("one of -list, -cubes or -circuit is required")
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := f()
+	w.Close()
+	var sb strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	r.Close()
+	return sb.String(), runErr
+}
+
+func TestList(t *testing.T) {
+	out, err := capture(t, func() error { return run("", "", 1, 1, true, "text") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"s5378", "s38584", "CKT1", "CKT2"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("list missing %s: %q", name, out)
+		}
+	}
+}
+
+func TestCubes(t *testing.T) {
+	out, err := capture(t, func() error { return run("s5378", "", 1, 1, false, "text") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(out, "\n")
+	if lines < 111 { // 111 patterns + header
+		t.Fatalf("cube lines = %d", lines)
+	}
+	if !strings.Contains(out, "X") {
+		t.Fatal("no don't-cares emitted")
+	}
+}
+
+func TestCircuit(t *testing.T) {
+	out, err := capture(t, func() error { return run("", "s5378", 20, 7, false, "text") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "INPUT(") || !strings.Contains(out, "DFF(") {
+		t.Fatalf("bench output: %.120q", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", 1, 1, false, "text"); err == nil {
+		t.Fatal("no mode accepted")
+	}
+	if err := run("nope", "", 1, 1, false, "text"); err == nil {
+		t.Fatal("unknown cube profile accepted")
+	}
+	if err := run("", "nope", 1, 1, false, "text"); err == nil {
+		t.Fatal("unknown circuit profile accepted")
+	}
+}
+
+func TestCubesSTIL(t *testing.T) {
+	out, err := capture(t, func() error { return run("s5378", "", 1, 1, false, "stil") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "STIL 1.0;") || !strings.Contains(out, "ScanLength 214;") {
+		t.Fatalf("stil output: %.200q", out)
+	}
+	if err := run("s5378", "", 1, 1, false, "yaml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

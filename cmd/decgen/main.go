@@ -1,0 +1,77 @@
+// Command decgen emits the 9C on-chip decompressor as a gate-level
+// netlist in .bench format — the deliverable behind the paper's
+// "flexible on-chip decompression": the decoder depends only on K (and
+// optionally a frequency-directed codeword assignment derived from a
+// cube file), never on the test data itself.
+//
+// Usage:
+//
+//	decgen -k 8 > dec_k8.bench
+//	decgen -k 16 -fd cubes.txt > dec_k16_fd.bench
+//	decgen -k 8 -chains 16 > dec_k8_m16.bench
+//	decgen -k 8 -verilog > dec_k8.v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/decoder"
+	"repro/internal/netlist"
+	"repro/internal/tcube"
+)
+
+func main() {
+	k := flag.Int("k", 8, "block size K (even, >= 2)")
+	fd := flag.String("fd", "", "derive a frequency-directed assignment from this cube file")
+	chains := flag.Int("chains", 0, "emit the Fig. 3 multi-scan decoder for this many chains (0 = single-scan)")
+	verilog := flag.Bool("verilog", false, "emit structural Verilog instead of .bench")
+	flag.Parse()
+
+	if err := run(os.Stdout, *k, *fd, *chains, *verilog); err != nil {
+		fmt.Fprintln(os.Stderr, "decgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w *os.File, k int, fdPath string, chains int, verilog bool) error {
+	assign := core.DefaultAssignment()
+	if fdPath != "" {
+		f, err := os.Open(fdPath)
+		if err != nil {
+			return err
+		}
+		set, err := tcube.Read(fdPath, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cdc, err := core.New(k)
+		if err != nil {
+			return err
+		}
+		r, err := cdc.EncodeSet(set)
+		if err != nil {
+			return err
+		}
+		assign = core.FrequencyDirected(r.Counts)
+	}
+	var ckt *netlist.Circuit
+	var err error
+	if chains > 0 {
+		ckt, err = decoder.GenerateMultiRTL(k, chains, assign)
+	} else {
+		ckt, err = decoder.GenerateRTL(k, assign)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "decgen: K=%d, %d flip-flops, %d gates, codewords %s\n",
+		k, len(ckt.DFFs), ckt.NumLogicGates(), assign)
+	if verilog {
+		return netlist.WriteVerilog(w, ckt)
+	}
+	return netlist.WriteBench(w, ckt)
+}

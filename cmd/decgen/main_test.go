@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestRunEmitsParseableBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dec.bench")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(f, 8, "", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := netlist.ParseBench("dec", strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatalf("emitted netlist does not re-parse: %v", err)
+	}
+	if len(ckt.Inputs) != 1 || len(ckt.Outputs) != 4 {
+		t.Fatalf("interface: %d inputs, %d outputs", len(ckt.Inputs), len(ckt.Outputs))
+	}
+}
+
+func TestRunFrequencyDirected(t *testing.T) {
+	cubes := filepath.Join(t.TempDir(), "cubes.txt")
+	if err := os.WriteFile(cubes, []byte("0000000011111111\n01X011011XXXXX10\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "dec.bench")
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run(f, 8, cubes, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run(f, 7, "", 0, false); err == nil {
+		t.Fatal("odd K accepted")
+	}
+	if err := run(f, 8, "/nonexistent", 0, false); err == nil {
+		t.Fatal("missing fd file accepted")
+	}
+}
+
+func TestRunVerilogAndMulti(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dec.v")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(f, 8, "", 4, true); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := string(data)
+	for _, frag := range []string{"module ninec_dec_k8_m4", "output load;", "output chain3;", "always @(posedge clk)"} {
+		if !strings.Contains(v, frag) {
+			t.Fatalf("missing %q", frag)
+		}
+	}
+}

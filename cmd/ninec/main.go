@@ -1,0 +1,227 @@
+// Command ninec applies the 9C codec to test-cube files in the 01X
+// text format (one pattern per line, '#' comments).
+//
+// Usage:
+//
+//	ninec -stat cubes.txt                 # volume and X statistics
+//	ninec -k 8 cubes.txt                  # compress: CR, LX, TAT report
+//	ninec -k 8 -fd cubes.txt              # frequency-directed assignment
+//	ninec -sweep cubes.txt                # CR/LX over the Table II K sweep
+//	ninec -k 8 -verify cubes.txt          # compress + decode + cross-check
+//	ninec -k 8 -p 16 cubes.txt            # TAT at f_scan = 16 f_ate
+//	ninec -k 8 -o out.9c cubes.txt        # write the compressed container
+//	ninec -d out.9c                       # decompress a container to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/ate"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/reorder"
+	"repro/internal/stil"
+	"repro/internal/tcube"
+)
+
+func main() {
+	k := flag.Int("k", 8, "block size K (even, >= 2)")
+	p := flag.Int("p", 8, "scan-to-ATE clock ratio for the TAT report")
+	fd := flag.Bool("fd", false, "use the frequency-directed codeword assignment")
+	stat := flag.Bool("stat", false, "print test-set statistics only")
+	sweep := flag.Bool("sweep", false, "sweep K over the Table II values")
+	verify := flag.Bool("verify", false, "decode through the hardware model and cross-check")
+	out := flag.String("o", "", "write the compressed stream to this container file")
+	dec := flag.Bool("d", false, "treat the input as a container and decompress to stdout")
+	chains := flag.Int("chains", 1, "encode for this many parallel scan chains (vertical order, one ATE pin)")
+	reord := flag.Bool("reorder", false, "greedily reorder scan cells for compatibility before encoding")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ninec [flags] <cubes.txt | file.9c>")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var err error
+	if *dec {
+		err = runDecompress(flag.Arg(0))
+	} else {
+		err = run(flag.Arg(0), *k, *p, *fd, *stat, *sweep, *verify, *out, *chains, *reord)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ninec:", err)
+		os.Exit(1)
+	}
+}
+
+// runDecompress reads a container, decodes it, and prints the decoded
+// cube set (leftover X intact) as 01X text.
+func runDecompress(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := container.Read(f)
+	if err != nil {
+		return err
+	}
+	cdc, err := core.NewWithAssignment(r.K, r.Assign)
+	if err != nil {
+		return err
+	}
+	set, cube, err := cdc.Decode(r)
+	if err != nil {
+		return err
+	}
+	if set == nil {
+		set, err = tcube.FromFlat(path, cube, cube.Len())
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%s: K=%d, %d patterns x %d bits, CR %.2f%%, leftover X %.2f%%\n",
+		path, r.K, r.Patterns, r.Width, r.CR(), r.LXPercent())
+	return set.Write(os.Stdout)
+}
+
+func run(path string, k, p int, fd, stat, sweep, verify bool, out string, chains int, reord bool) error {
+	set, err := readCubes(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d patterns x %d bits = %d bits, %.2f%% don't-care\n",
+		set.Name, set.Len(), set.Width(), set.Bits(), set.XPercent())
+	if stat {
+		fmt.Print(tcube.Measure(set).String())
+		return nil
+	}
+	if reord {
+		perm, reordered, err := reorder.Greedy(set)
+		if err != nil {
+			return err
+		}
+		set = reordered
+		fmt.Printf("reordered %d scan cells for compatibility (chain stitching permutation computed)\n", len(perm))
+	}
+	if chains > 1 {
+		// Multi-scan reduced pin-count mode: pad the width to a chain
+		// multiple and encode in the vertical order the Fig. 3 decoder
+		// consumes; the ATE still needs only one data pin.
+		w := set.Width()
+		if rem := w % chains; rem != 0 {
+			w += chains - rem
+		}
+		padded := tcube.NewSet(set.Name, w)
+		for i := 0; i < set.Len(); i++ {
+			padded.MustAppend(set.Cube(i).Slice(0, w))
+		}
+		set, err = tcube.Verticalize(padded, chains)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("multi-scan: %d chains of %d cells, vertical order, 1 ATE pin\n", chains, w/chains)
+	}
+	if sweep {
+		fmt.Printf("%4s %8s %8s %10s\n", "K", "CR%", "LX%", "|T_E|")
+		for _, kk := range []int{4, 8, 12, 16, 20, 24, 28, 32} {
+			r, err := encode(set, kk, fd)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%4d %8.2f %8.2f %10d\n", kk, r.CR(), r.LXPercent(), r.CompressedBits())
+		}
+		return nil
+	}
+
+	r, err := encode(set, k, fd)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("K=%d: |T_E| = %d bits, CR = %.2f%%, leftover X = %.2f%%\n",
+		k, r.CompressedBits(), r.CR(), r.LXPercent())
+	fmt.Printf("codewords: %s\n", r.Assign)
+	for cs := core.CaseAll0; cs <= core.CaseMisMis; cs++ {
+		fmt.Printf("  N%d (%s) = %d\n", int(cs), cs.Symbol(), r.Counts.N(cs))
+	}
+	rep, err := ate.Session{P: p, FillSeed: 1}.RunSingleScan(r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("TAT at p=%d: %.2f%% (analytic %.2f%%)\n", p, rep.TATMeasured, rep.TATAnalytic)
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := container.Write(f, r); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+
+	if verify {
+		cdc, err := codecFor(k, fd, r)
+		if err != nil {
+			return err
+		}
+		dec, err := cdc.DecodeSet(r.Stream, set.Width(), set.Len())
+		if err != nil {
+			return err
+		}
+		if !set.Covers(dec) {
+			return fmt.Errorf("decode contradicts a specified bit")
+		}
+		fmt.Println("verify: decode preserves every specified bit")
+	}
+	return nil
+}
+
+// readCubes loads a cube set, selecting the parser by extension: .stil
+// files go through the STIL-subset reader, everything else through the
+// 01X text reader.
+func readCubes(path string) (*tcube.Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(strings.ToLower(path), ".stil") {
+		return stil.Read(f)
+	}
+	return tcube.Read(path, f)
+}
+
+func encode(set *tcube.Set, k int, fd bool) (*core.Result, error) {
+	cdc, err := core.New(k)
+	if err != nil {
+		return nil, err
+	}
+	if !fd {
+		return cdc.EncodeSet(set)
+	}
+	first, err := cdc.EncodeSet(set)
+	if err != nil {
+		return nil, err
+	}
+	cdc, err = core.NewWithAssignment(k, core.FrequencyDirected(first.Counts))
+	if err != nil {
+		return nil, err
+	}
+	return cdc.EncodeSet(set)
+}
+
+func codecFor(k int, fd bool, r *core.Result) (*core.Codec, error) {
+	if fd {
+		return core.NewWithAssignment(k, r.Assign)
+	}
+	return core.New(k)
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const cubes = `# demo
+0000000011111111
+01X011011XXXXX10
+XXXXXXXXXXXXXXXX
+`
+
+// captureStdout runs f with os.Stdout redirected and returns what was
+// printed.
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := f()
+	w.Close()
+	out := make([]byte, 1<<20)
+	n, _ := r.Read(out)
+	r.Close()
+	return string(out[:n]), runErr
+}
+
+func writeCubes(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cubes.txt")
+	if err := os.WriteFile(path, []byte(cubes), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunStat(t *testing.T) {
+	path := writeCubes(t)
+	out, err := captureStdout(t, func() error {
+		return run(path, 8, 8, false, true, false, false, "", 1, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "3 patterns x 16 bits") {
+		t.Fatalf("stat output: %q", out)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	path := writeCubes(t)
+	out, err := captureStdout(t, func() error {
+		return run(path, 8, 8, false, false, true, false, "", 1, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "CR%") || strings.Count(out, "\n") < 9 {
+		t.Fatalf("sweep output: %q", out)
+	}
+}
+
+func TestRunCompressVerifyAndContainer(t *testing.T) {
+	path := writeCubes(t)
+	cont := filepath.Join(t.TempDir(), "out.9c")
+	out, err := captureStdout(t, func() error {
+		return run(path, 8, 8, false, false, false, true, cont, 1, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "verify: decode preserves every specified bit") {
+		t.Fatalf("verify output: %q", out)
+	}
+	if !strings.Contains(out, "TAT at p=8") {
+		t.Fatalf("TAT output missing: %q", out)
+	}
+	// Decompress the container back.
+	dec, err := captureStdout(t, func() error { return runDecompress(cont) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dec, "0000000011111111") {
+		t.Fatalf("decompressed output: %q", dec)
+	}
+	// Leftover X must still be X in the decompressed text.
+	if !strings.Contains(dec, "X") {
+		t.Fatalf("leftover don't-cares lost: %q", dec)
+	}
+}
+
+func TestRunFrequencyDirected(t *testing.T) {
+	path := writeCubes(t)
+	out, err := captureStdout(t, func() error {
+		return run(path, 8, 8, true, false, false, true, "", 1, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "codewords:") {
+		t.Fatalf("output: %q", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeCubes(t)
+	if err := run(path, 7, 8, false, false, false, false, "", 1, false); err == nil {
+		t.Fatal("odd K accepted")
+	}
+	if err := run("/nonexistent/cubes.txt", 8, 8, false, false, false, false, "", 1, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := runDecompress(path); err == nil {
+		t.Fatal("non-container accepted by -d")
+	}
+}
+
+func TestRunMultiChain(t *testing.T) {
+	path := writeCubes(t)
+	out, err := captureStdout(t, func() error {
+		return run(path, 8, 8, false, false, false, false, "", 4, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "multi-scan: 4 chains") {
+		t.Fatalf("multi-scan output: %q", out)
+	}
+}
+
+func TestRunReadsSTIL(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cubes.stil")
+	src := `STIL 1.0;
+ScanStructures { ScanChain "c" { ScanLength 16; } }
+Pattern "p" { Call "load_unload" { "si" = 0000000011111111; } }
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error {
+		return run(path, 8, 8, false, true, false, false, "", 1, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1 patterns x 16 bits") {
+		t.Fatalf("stil stat: %q", out)
+	}
+}
+
+func TestRunReorder(t *testing.T) {
+	path := writeCubes(t)
+	out, err := captureStdout(t, func() error {
+		return run(path, 8, 8, false, false, false, true, "", 1, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "reordered 16 scan cells") {
+		t.Fatalf("reorder output: %q", out)
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := f()
+	w.Close()
+	var sb strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	r.Close()
+	return sb.String(), runErr
+}
+
+func TestSingleTable(t *testing.T) {
+	out, err := capture(t, func() error { return run(1, 0, "", 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "C9") {
+		t.Fatalf("table 1 output: %q", out)
+	}
+}
+
+func TestSingleFigure(t *testing.T) {
+	out, err := capture(t, func() error { return run(0, 2, "", 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 2") {
+		t.Fatalf("figure 2 output: %q", out)
+	}
+}
+
+func TestExtraByName(t *testing.T) {
+	out, err := capture(t, func() error { return run(0, 0, "ablation", 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "25") {
+		t.Fatalf("ablation output: %q", out)
+	}
+}
+
+func TestSelectionErrors(t *testing.T) {
+	if err := run(9, 0, "", 1); err == nil {
+		t.Fatal("table 9 accepted")
+	}
+	if err := run(0, 5, "", 1); err == nil {
+		t.Fatal("figure 5 accepted")
+	}
+	if err := run(0, 0, "frobnicate", 1); err == nil {
+		t.Fatal("unknown extra accepted")
+	}
+}

@@ -1,0 +1,160 @@
+// Reduced pin-count testing (the paper's §III.B / Fig. 4): one chip,
+// three scan architectures, and the pins-versus-time trade-off the 9C
+// decoder buys. The workload is the s38417-profile synthetic test set.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ate"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/decoder"
+	"repro/internal/synth"
+	"repro/internal/tcube"
+)
+
+func main() {
+	const (
+		k = 8  // block size
+		p = 8  // f_scan / f_ate
+		m = 64 // scan chains in the multi-chain variants
+	)
+	set, err := synth.MintestLike("s38417")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Pad the scan width so it divides into m chains of K-chain groups.
+	width := set.Width()
+	if rem := width % (m * k); rem != 0 {
+		width += m*k - rem
+	}
+	padded := tcube.NewSet(set.Name, width)
+	for i := 0; i < set.Len(); i++ {
+		padded.MustAppend(set.Cube(i).Slice(0, width))
+	}
+	codec, err := core.New(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s, %d patterns x %d bits (padded), p=%d\n\n",
+		set.Name, padded.Len(), width, p)
+	baseline := float64(padded.Bits())
+	fmt.Printf("no compression, 1 pin:            %12.0f ATE cycles\n", baseline)
+
+	// (a) single chain, single pin.
+	ra, err := codec.EncodeSet(padded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repA, err := ate.Session{P: p, FillSeed: 11}.RunSingleScan(ra)
+	if err != nil {
+		log.Fatal(err)
+	}
+	timeA := float64(repA.ATECycles) + float64(repA.ScanCycles)/p
+	fmt.Printf("(a) 9C, single chain, 1 pin:      %12.0f ATE cycles (TAT %.1f%%)\n",
+		timeA, repA.TATMeasured)
+
+	// (b) m chains, still one pin: vertical encoding + stager.
+	vert, err := tcube.Verticalize(padded, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rb, err := codec.EncodeSet(vert)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream, err := ate.FillStream(rb.Stream, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, err := decoder.NewMultiScan(k, m, codec.Assignment())
+	if err != nil {
+		log.Fatal(err)
+	}
+	trB, err := ms.Run(stream, rb.Blocks*rb.K)
+	if err != nil {
+		log.Fatal(err)
+	}
+	timeB := trB.TestTimeATE(p)
+	fmt.Printf("(b) 9C, %d chains, 1 pin:         %12.0f ATE cycles (%d parallel loads)\n",
+		m, timeB, trB.Loads)
+
+	// (c) m chains, m/K pins, m/K parallel decoders.
+	bank, err := decoder.NewParallelBank(k, m, codec.Assignment())
+	if err != nil {
+		log.Fatal(err)
+	}
+	chainsPerGroup := k
+	groupWidth := width / bank.Decoders()
+	fmt.Printf("(c) 9C, %d chains, %d pins:       ", m, bank.Decoders())
+	groups, outBits, err := groupStreams(padded, m, chainsPerGroup, codec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bt, err := bank.Run(groups, outBits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%12.0f ATE cycles (%.1fx faster than (b))\n",
+		bt.TestTimeATE(p), timeB/bt.TestTimeATE(p))
+	_ = groupWidth
+	fmt.Printf("\npins stay at %d of %d chains; decoder hardware per pin: ", bank.Decoders(), m)
+	h, err := decoder.EstimateCost(k, k, codec.Assignment())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", h)
+}
+
+// groupStreams encodes each decoder group's vertical stream.
+func groupStreams(padded *tcube.Set, m, k int, codec *core.Codec) ([]*bitvec.Bits, int, error) {
+	groups := m / k
+	per := padded.Width() / m
+	sets := make([]*tcube.Set, groups)
+	for g := range sets {
+		sets[g] = tcube.NewSet(fmt.Sprintf("g%d", g), k*per)
+	}
+	for i := 0; i < padded.Len(); i++ {
+		chains, err := tcube.ChainSlices(padded.Cube(i), m)
+		if err != nil {
+			return nil, 0, err
+		}
+		for g := 0; g < groups; g++ {
+			cube := concatChains(chains[g*k:(g+1)*k], per)
+			vert, err := tcube.VerticalReshape(cube, k)
+			if err != nil {
+				return nil, 0, err
+			}
+			sets[g].MustAppend(vert)
+		}
+	}
+	var streams []*bitvec.Bits
+	outBits := 0
+	for _, s := range sets {
+		r, err := codec.EncodeSet(s)
+		if err != nil {
+			return nil, 0, err
+		}
+		b, err := ate.FillStream(r.Stream, 13)
+		if err != nil {
+			return nil, 0, err
+		}
+		streams = append(streams, b)
+		outBits = r.Blocks * r.K
+	}
+	return streams, outBits, nil
+}
+
+// concatChains packs k per-chain cubes back into one flat cube of
+// k*per bits, chain after chain.
+func concatChains(chains []*bitvec.Cube, per int) *bitvec.Cube {
+	out := bitvec.NewCube(len(chains) * per)
+	for c, ch := range chains {
+		for t := 0; t < per; t++ {
+			out.Set(c*per+t, ch.Get(t))
+		}
+	}
+	return out
+}

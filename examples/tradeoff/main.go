@@ -1,0 +1,69 @@
+// The user-facing trade-off of the paper (§IV): pick the block size K
+// that balances compression ratio, leftover don't-cares (for
+// non-modeled-fault coverage), decoder hardware cost, and test time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"repro/internal/ate"
+	"repro/internal/core"
+	"repro/internal/decoder"
+	"repro/internal/synth"
+)
+
+func main() {
+	name := "s15850"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	minLX := 10.0 // "user asks for a specific amount of don't-cares"
+	if len(os.Args) > 2 {
+		v, err := strconv.ParseFloat(os.Args[2], 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		minLX = v
+	}
+	set, err := synth.MintestLike(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s (%.1f%% X); requirement: keep >= %.1f%% leftover don't-cares\n\n",
+		name, set.XPercent(), minLX)
+	fmt.Printf("%4s %8s %8s %10s %12s %12s\n", "K", "CR%", "LX%", "TAT%(p=8)", "decoder FFs", "decoder gates")
+
+	bestK := 0
+	bestCR := -1.0
+	for _, k := range []int{4, 8, 12, 16, 20, 24, 28, 32, 48, 64} {
+		cdc, err := core.New(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := cdc.EncodeSet(set)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cost, err := decoder.EstimateCost(k, 0, cdc.Assignment())
+		if err != nil {
+			log.Fatal(err)
+		}
+		tat := ate.TAT(r, 8)
+		mark := " "
+		if r.LXPercent() >= minLX && r.CR() > bestCR {
+			bestCR, bestK = r.CR(), k
+			mark = "*"
+		}
+		fmt.Printf("%4d %8.2f %8.2f %10.2f %12d %12d %s\n",
+			k, r.CR(), r.LXPercent(), tat, cost.TotalFlops(), cost.TotalGates(), mark)
+	}
+	if bestK == 0 {
+		fmt.Printf("\nno K meets the LX >= %.1f%% requirement\n", minLX)
+		return
+	}
+	fmt.Printf("\nchoose K=%d: best CR (%.2f%%) among block sizes keeping >= %.1f%% leftover X\n",
+		bestK, bestCR, minLX)
+}

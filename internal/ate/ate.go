@@ -1,0 +1,121 @@
+// Package ate models the automatic test equipment side of the paper's
+// flow: vector memory holding T_E, a slow tester clock driving the
+// single data pin, and the clock-ratio parameter p = f_scan / f_ate.
+// It provides both the closed-form test-application-time (TAT) model of
+// §III.C and a full simulated session that ships the stream through
+// the cycle-accurate decoder model; the two are asserted equal in
+// tests.
+package ate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/decoder"
+)
+
+// TestTimeUncompressed returns the baseline test time in ATE cycles:
+// every T_D bit crosses the pin at the ATE rate.
+func TestTimeUncompressed(origBits int) float64 { return float64(origBits) }
+
+// TestTimeCompressed returns the analytic compressed test time in ATE
+// cycles for clock ratio p:
+//
+//	t_comp = Σ_i N_i(|C_i| + data_i) + (blocks · K)/p
+//
+// i.e. every shipped bit costs one ATE cycle and every block costs K
+// scan-clock cycles of shifting.
+func TestTimeCompressed(r *core.Result, p int) float64 {
+	if p < 1 {
+		panic(fmt.Sprintf("ate: clock ratio p=%d", p))
+	}
+	return float64(core.CompressedSize(r.K, r.Assign, r.Counts)) +
+		float64(r.Blocks*r.K)/float64(p)
+}
+
+// TAT returns the test-application-time reduction percentage
+// 100·(t_nocomp − t_comp)/t_nocomp for clock ratio p. As p grows, TAT
+// approaches CR from below (the paper's "TAT is bounded by CR").
+func TAT(r *core.Result, p int) float64 {
+	if r.OrigBits == 0 {
+		return 0
+	}
+	base := TestTimeUncompressed(r.OrigBits)
+	return 100 * (base - TestTimeCompressed(r, p)) / base
+}
+
+// Session is one ATE-to-SoC decompression run.
+type Session struct {
+	// P is the scan-to-ATE clock ratio (f_scan = P·f_ate), ≥ 1.
+	P int
+	// FillSeed seeds the random fill of leftover don't-cares before
+	// shipping (the paper's recommended use of the leftover X bits).
+	FillSeed int64
+}
+
+// Report summarizes a simulated session.
+type Report struct {
+	CRPercent    float64
+	LXPercent    float64
+	TATAnalytic  float64
+	TATMeasured  float64
+	ATECycles    int
+	ScanCycles   int
+	ShippedBits  int
+	DeliveredOut *bitvec.Bits // bits entering the scan chain, padded
+}
+
+// RunSingleScan fills the leftover don't-cares of the encoded result,
+// ships the stream through the Fig. 1 decoder, and reports both the
+// analytic and the cycle-measured TAT.
+func (s Session) RunSingleScan(r *core.Result) (*Report, error) {
+	if s.P < 1 {
+		return nil, fmt.Errorf("ate: clock ratio p=%d, want >= 1", s.P)
+	}
+	stream, err := FillStream(r.Stream, s.FillSeed)
+	if err != nil {
+		return nil, err
+	}
+	d, err := decoder.NewSingleScan(r.K, r.Assign)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := d.Run(stream, r.Blocks*r.K)
+	if err != nil {
+		return nil, err
+	}
+	base := TestTimeUncompressed(r.OrigBits)
+	rep := &Report{
+		CRPercent:    r.CR(),
+		LXPercent:    r.LXPercent(),
+		TATAnalytic:  TAT(r, s.P),
+		ATECycles:    tr.ATECycles,
+		ScanCycles:   tr.ScanCycles,
+		ShippedBits:  stream.Len(),
+		DeliveredOut: tr.Out,
+	}
+	if base > 0 {
+		rep.TATMeasured = 100 * (base - tr.TestTimeATE(s.P)) / base
+	}
+	return rep, nil
+}
+
+// FillStream randomly fills a ternary T_E stream into the fully
+// specified bit stream the ATE stores in vector memory.
+func FillStream(stream *bitvec.Cube, seed int64) (*bitvec.Bits, error) {
+	rng := rand.New(rand.NewSource(seed))
+	f := stream.FillRandom(rng)
+	out := bitvec.NewBits(f.Len())
+	for i := 0; i < f.Len(); i++ {
+		switch f.Get(i) {
+		case bitvec.One:
+			out.Set(i, true)
+		case bitvec.Zero:
+		default:
+			return nil, fmt.Errorf("ate: unfilled X at stream bit %d", i)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package ate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/tcube"
+)
+
+func encodeRandom(t testing.TB, seed int64, k, n int) *core.Result {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	flat := bitvec.NewCube(n)
+	for i := 0; i < n; i++ {
+		flat.Set(i, bitvec.Trit(rng.Intn(3)))
+	}
+	cdc, err := core.New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cdc.EncodeCube(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAnalyticTATBoundedByCR(t *testing.T) {
+	r := encodeRandom(t, 1, 8, 800)
+	prev := -math.MaxFloat64
+	for _, p := range []int{1, 2, 4, 8, 16, 64, 1024} {
+		tat := TAT(r, p)
+		if tat < prev {
+			t.Fatalf("TAT not monotone in p: p=%d gives %f < %f", p, tat, prev)
+		}
+		if tat > r.CR() {
+			t.Fatalf("TAT %f exceeds CR %f at p=%d", tat, r.CR(), p)
+		}
+		prev = tat
+	}
+	// Large p approaches CR.
+	if diff := r.CR() - TAT(r, 1<<20); diff > 0.5 {
+		t.Fatalf("TAT at huge p should approach CR, gap %f", diff)
+	}
+}
+
+func TestTestTimeCompressedFormula(t *testing.T) {
+	r := encodeRandom(t, 2, 8, 400)
+	want := float64(r.CompressedBits()) + float64(r.Blocks*r.K)/8.0
+	if got := TestTimeCompressed(r, 8); got != want {
+		t.Fatalf("t_comp = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p=0 should panic")
+		}
+	}()
+	TestTimeCompressed(r, 0)
+}
+
+func TestSessionMeasuredEqualsAnalytic(t *testing.T) {
+	r := encodeRandom(t, 3, 8, 640)
+	rep, err := Session{P: 8, FillSeed: 4}.RunSingleScan(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.TATAnalytic-rep.TATMeasured) > 1e-9 {
+		t.Fatalf("analytic %f != measured %f", rep.TATAnalytic, rep.TATMeasured)
+	}
+	if rep.ShippedBits != r.CompressedBits() {
+		t.Fatalf("shipped %d, want %d", rep.ShippedBits, r.CompressedBits())
+	}
+	if rep.CRPercent != r.CR() || rep.LXPercent != r.LXPercent() {
+		t.Fatal("report metrics disagree with result")
+	}
+	if rep.DeliveredOut.Len() != r.Blocks*r.K {
+		t.Fatalf("delivered %d bits", rep.DeliveredOut.Len())
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	r := encodeRandom(t, 5, 8, 80)
+	if _, err := (Session{P: 0}).RunSingleScan(r); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+func TestFillStreamRejectsNothing(t *testing.T) {
+	c, err := bitvec.ParseCube("01X10X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FillStream(c, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 6 || b.Get(0) || !b.Get(1) {
+		t.Fatalf("filled = %s", b)
+	}
+}
+
+func TestEmptyResultTAT(t *testing.T) {
+	cdc, _ := core.New(8)
+	r, err := cdc.EncodeSet(tcube.NewSet("empty", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TAT(r, 8) != 0 {
+		t.Fatal("empty TAT should be 0")
+	}
+}
+
+// Property: the simulated session always matches the closed form, for
+// any K, data and clock ratio.
+func TestPropertySessionMatchesClosedForm(t *testing.T) {
+	f := func(seed int64, kRaw, nRaw, pRaw uint8) bool {
+		k := (int(kRaw%12) + 1) * 2
+		n := int(nRaw)%300 + 1
+		p := int(pRaw%16) + 1
+		r := encodeRandom(t, seed, k, n)
+		rep, err := Session{P: p, FillSeed: seed}.RunSingleScan(r)
+		if err != nil {
+			return false
+		}
+		return math.Abs(rep.TATAnalytic-rep.TATMeasured) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,387 @@
+package atpg
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+)
+
+// Status is the outcome of test generation for one fault.
+type Status int
+
+// Test-generation outcomes.
+const (
+	Detected   Status = iota // a test cube was produced
+	Untestable               // search space exhausted: fault is redundant
+	Aborted                  // backtrack limit reached
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Detected:
+		return "detected"
+	case Untestable:
+		return "untestable"
+	case Aborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Generator runs PODEM on a scan view.
+type Generator struct {
+	sv *netlist.ScanView
+	// BacktrackLimit bounds the search per fault; beyond it the fault
+	// is reported Aborted. The default used by NewGenerator is 2000.
+	BacktrackLimit int
+
+	val     []V   // per-gate 5-valued plane
+	piIndex []int // gate id -> PPI position, -1 otherwise
+	tm      *Testability
+
+	fault faultsim.Fault
+	nBack int
+}
+
+// NewGenerator returns a PODEM generator for the scan view.
+func NewGenerator(sv *netlist.ScanView) *Generator {
+	g := &Generator{
+		sv:             sv,
+		BacktrackLimit: 2000,
+		val:            make([]V, sv.Circuit.NumGates()),
+		piIndex:        make([]int, sv.Circuit.NumGates()),
+		tm:             ComputeTestability(sv),
+	}
+	for i := range g.piIndex {
+		g.piIndex[i] = -1
+	}
+	for i, id := range sv.PPIs {
+		g.piIndex[id] = i
+	}
+	return g
+}
+
+// GenerateCube attempts to generate a test cube for fault f. On
+// Detected, the returned cube has one trit per PPI in scan-load order
+// (unassigned inputs stay X). Otherwise the cube is nil.
+func (g *Generator) GenerateCube(f faultsim.Fault) (*bitvec.Cube, Status) {
+	g.fault = f
+	g.nBack = 0
+	for i := range g.val {
+		g.val[i] = VX
+	}
+	g.imply()
+	st := g.search()
+	if st != Detected {
+		return nil, st
+	}
+	cube := bitvec.NewCube(len(g.sv.PPIs))
+	for i, id := range g.sv.PPIs {
+		switch g.val[id] {
+		case V0, VDB:
+			cube.Set(i, bitvec.Zero)
+		case V1, VD:
+			cube.Set(i, bitvec.One)
+		}
+	}
+	return cube, Detected
+}
+
+// search is the PODEM decision loop.
+func (g *Generator) search() Status {
+	if g.success() {
+		return Detected
+	}
+	if g.failed() {
+		return Untestable
+	}
+	net, want, ok := g.objective()
+	if !ok {
+		return Untestable
+	}
+	pi, v, ok := g.backtrace(net, want)
+	if !ok {
+		return Untestable
+	}
+	for _, tryV := range []V{v, Not5(v)} {
+		g.assign(pi, tryV)
+		g.imply()
+		st := g.search()
+		if st == Detected || st == Aborted {
+			return st
+		}
+		g.assign(pi, VX)
+		g.imply()
+		g.nBack++
+		if g.nBack > g.BacktrackLimit {
+			return Aborted
+		}
+	}
+	return Untestable
+}
+
+// assign sets a PPI value directly.
+func (g *Generator) assign(piGate int, v V) { g.val[piGate] = v }
+
+// success reports whether a fault effect reaches an observation point.
+func (g *Generator) success() bool {
+	c := g.sv.Circuit
+	// DFF input-pin faults are observed directly at capture: detection
+	// just requires the captured net to carry the non-stuck good value.
+	if c.Gates[g.fault.Gate].Type == netlist.DFF && g.fault.Pin == 0 {
+		src := c.Gates[g.fault.Gate].Fanin[0]
+		if g.fault.StuckAt {
+			return g.val[src] == V0
+		}
+		return g.val[src] == V1
+	}
+	for _, id := range g.sv.PPOs {
+		if g.val[id].IsError() {
+			return true
+		}
+	}
+	return false
+}
+
+// failed reports whether the current assignment can no longer detect
+// the fault: the fault site is definitely at its stuck value, or the
+// effect was activated but every propagation path has died.
+func (g *Generator) failed() bool {
+	siteVal := g.siteValue()
+	stuckV := V0
+	if g.fault.StuckAt {
+		stuckV = V1
+	}
+	if siteVal == stuckV {
+		return true // activation impossible
+	}
+	if siteVal == VX {
+		return false // activation still open
+	}
+	// Site is activated (carries D/D'); fail if the D-frontier is
+	// empty and no PPO sees the effect.
+	if g.success() {
+		return false
+	}
+	return len(g.dFrontier()) == 0
+}
+
+// siteValue returns the 5-valued state of the faulty line.
+func (g *Generator) siteValue() V {
+	c := g.sv.Circuit
+	gg := c.Gates[g.fault.Gate]
+	if gg.Type == netlist.DFF && g.fault.Pin == 0 {
+		// The branch into the scan cell: its good value is the source
+		// net's; represent activation via the source value.
+		return g.val[gg.Fanin[0]]
+	}
+	if g.fault.Pin < 0 {
+		return g.val[g.fault.Gate]
+	}
+	return g.val[gg.Fanin[g.fault.Pin]]
+}
+
+// dFrontier lists gates whose output is X while some input carries a
+// fault effect.
+func (g *Generator) dFrontier() []int {
+	c := g.sv.Circuit
+	var out []int
+	for _, id := range g.sv.Order {
+		gg := &c.Gates[id]
+		if gg.Type == netlist.Input || gg.Type == netlist.DFF {
+			continue
+		}
+		if g.val[id] != VX {
+			continue
+		}
+		for pin, f := range gg.Fanin {
+			v := g.val[f]
+			// An input-pin fault's effect is visible only to its own
+			// gate; apply injection when scanning that gate's inputs.
+			if g.fault.Gate == id && g.fault.Pin == pin {
+				v = injectStuck(v, g.fault.StuckAt)
+			}
+			if v.IsError() {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// objective picks the next (net, value) goal: activate the fault if
+// still possible, else advance the D-frontier.
+func (g *Generator) objective() (net int, want V, ok bool) {
+	c := g.sv.Circuit
+	if g.siteValue() == VX {
+		want = V1
+		if g.fault.StuckAt {
+			want = V0
+		}
+		gg := c.Gates[g.fault.Gate]
+		switch {
+		case gg.Type == netlist.DFF && g.fault.Pin == 0:
+			return gg.Fanin[0], want, true
+		case g.fault.Pin < 0:
+			return g.fault.Gate, want, true
+		default:
+			return gg.Fanin[g.fault.Pin], want, true
+		}
+	}
+	df := g.dFrontier()
+	if len(df) == 0 {
+		return 0, VX, false
+	}
+	// Choose the frontier gate easiest to observe (SCOAP CO), then the
+	// X input cheapest to drive to the non-controlling value.
+	best := df[0]
+	for _, id := range df[1:] {
+		if g.tm.CO[id] < g.tm.CO[best] {
+			best = id
+		}
+	}
+	gg := &c.Gates[best]
+	wantV := nonControlling(gg.Type)
+	sel, selCost := -1, scoapCap+1
+	for _, f := range gg.Fanin {
+		if g.val[f] != VX {
+			continue
+		}
+		cost := g.tm.CC0[f]
+		if wantV == V1 {
+			cost = g.tm.CC1[f]
+		}
+		if cost < selCost {
+			sel, selCost = f, cost
+		}
+	}
+	if sel < 0 {
+		return 0, VX, false
+	}
+	return sel, wantV, true
+}
+
+// nonControlling returns the input value that lets a fault effect pass
+// through a gate of type t (arbitrary for XOR-class gates).
+func nonControlling(t netlist.GateType) V {
+	switch t {
+	case netlist.And, netlist.Nand:
+		return V1
+	case netlist.Or, netlist.Nor:
+		return V0
+	}
+	return V0
+}
+
+// backtrace maps an objective (net, value) to a PPI assignment by
+// walking X-valued nets backwards, complementing through inverting
+// gates.
+func (g *Generator) backtrace(net int, want V) (pi int, v V, ok bool) {
+	c := g.sv.Circuit
+	for {
+		if g.piIndex[net] >= 0 {
+			return net, want, true
+		}
+		gg := &c.Gates[net]
+		if gg.Type == netlist.Input || gg.Type == netlist.DFF {
+			// A source that is not a PPI cannot exist in a scan view.
+			return 0, VX, false
+		}
+		if gg.Type.Inverting() {
+			want = Not5(want)
+		}
+		// Among the X fanins, follow the one SCOAP says is cheapest to
+		// drive to the wanted value.
+		next, cost := -1, scoapCap+1
+		for _, f := range gg.Fanin {
+			if g.val[f] != VX {
+				continue
+			}
+			c := g.tm.CC0[f]
+			if want == V1 {
+				c = g.tm.CC1[f]
+			}
+			if c < cost {
+				next, cost = f, c
+			}
+		}
+		if next < 0 {
+			return 0, VX, false
+		}
+		net = next
+	}
+}
+
+// imply forward-propagates the 5-valued plane with the fault injected.
+func (g *Generator) imply() {
+	c := g.sv.Circuit
+	for _, id := range g.sv.Order {
+		gg := &c.Gates[id]
+		if gg.Type != netlist.Input && gg.Type != netlist.DFF {
+			g.val[id] = g.evalGate(gg)
+		}
+		// Output-fault injection (also applies to stuck PIs/scan cells).
+		if g.fault.Pin < 0 && g.fault.Gate == id {
+			g.val[id] = injectStuck(g.val[id], g.fault.StuckAt)
+		}
+	}
+}
+
+// evalGate computes the 5-valued output of a combinational gate,
+// applying input-pin fault injection when this gate hosts the fault.
+func (g *Generator) evalGate(gg *netlist.Gate) V {
+	in := func(pin int) V {
+		v := g.val[gg.Fanin[pin]]
+		if g.fault.Pin == pin && g.fault.Gate == gg.ID {
+			v = injectStuck(v, g.fault.StuckAt)
+		}
+		return v
+	}
+	var v V
+	switch gg.Type {
+	case netlist.Buf:
+		v = in(0)
+	case netlist.Not:
+		v = Not5(in(0))
+	case netlist.And, netlist.Nand:
+		v = V1
+		for pin := range gg.Fanin {
+			v = And5(v, in(pin))
+		}
+		if gg.Type == netlist.Nand {
+			v = Not5(v)
+		}
+	case netlist.Or, netlist.Nor:
+		v = V0
+		for pin := range gg.Fanin {
+			v = Or5(v, in(pin))
+		}
+		if gg.Type == netlist.Nor {
+			v = Not5(v)
+		}
+	case netlist.Xor, netlist.Xnor:
+		v = V0
+		for pin := range gg.Fanin {
+			v = Xor5(v, in(pin))
+		}
+		if gg.Type == netlist.Xnor {
+			v = Not5(v)
+		}
+	}
+	return v
+}
+
+// injectStuck transforms a line value at the fault site: the faulty
+// component is forced to the stuck value.
+func injectStuck(v V, stuckAt bool) V {
+	good, _ := v.split()
+	f := t0
+	if stuckAt {
+		f = t1
+	}
+	return join(good, f)
+}

@@ -1,0 +1,143 @@
+package atpg
+
+import (
+	"repro/internal/netlist"
+)
+
+// Testability holds SCOAP-style measures for every net of a scan view:
+// CC0/CC1 estimate the effort to set the net to 0/1 (primary inputs
+// and scan cells cost 1), CO the effort to observe it at a PPO. PODEM
+// uses them to steer backtrace toward easy-to-control inputs and the
+// D-frontier toward easy-to-observe gates.
+type Testability struct {
+	CC0, CC1, CO []int
+}
+
+// infinity-ish cap keeps sums from overflowing on deep circuits.
+const scoapCap = 1 << 28
+
+func addCap(a, b int) int {
+	s := a + b
+	if s > scoapCap {
+		return scoapCap
+	}
+	return s
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ComputeTestability runs the SCOAP forward (controllability) and
+// backward (observability) passes over the scan view.
+func ComputeTestability(sv *netlist.ScanView) *Testability {
+	c := sv.Circuit
+	n := c.NumGates()
+	t := &Testability{CC0: make([]int, n), CC1: make([]int, n), CO: make([]int, n)}
+
+	// Controllability, forward in topological order.
+	for _, id := range sv.Order {
+		g := &c.Gates[id]
+		switch g.Type {
+		case netlist.Input, netlist.DFF:
+			t.CC0[id], t.CC1[id] = 1, 1
+		case netlist.Buf:
+			t.CC0[id] = addCap(t.CC0[g.Fanin[0]], 1)
+			t.CC1[id] = addCap(t.CC1[g.Fanin[0]], 1)
+		case netlist.Not:
+			t.CC0[id] = addCap(t.CC1[g.Fanin[0]], 1)
+			t.CC1[id] = addCap(t.CC0[g.Fanin[0]], 1)
+		case netlist.And, netlist.Nand:
+			all1, min0 := 0, scoapCap
+			for _, f := range g.Fanin {
+				all1 = addCap(all1, t.CC1[f])
+				min0 = minInt(min0, t.CC0[f])
+			}
+			c1 := addCap(all1, 1)
+			c0 := addCap(min0, 1)
+			if g.Type == netlist.Nand {
+				c0, c1 = c1, c0
+			}
+			t.CC0[id], t.CC1[id] = c0, c1
+		case netlist.Or, netlist.Nor:
+			all0, min1 := 0, scoapCap
+			for _, f := range g.Fanin {
+				all0 = addCap(all0, t.CC0[f])
+				min1 = minInt(min1, t.CC1[f])
+			}
+			c0 := addCap(all0, 1)
+			c1 := addCap(min1, 1)
+			if g.Type == netlist.Nor {
+				c0, c1 = c1, c0
+			}
+			t.CC0[id], t.CC1[id] = c0, c1
+		case netlist.Xor, netlist.Xnor:
+			// Fold pairwise: parity-0 and parity-1 costs.
+			c0, c1 := 0, scoapCap // empty XOR = 0
+			first := true
+			for _, f := range g.Fanin {
+				f0, f1 := t.CC0[f], t.CC1[f]
+				if first {
+					c0, c1 = f0, f1
+					first = false
+					continue
+				}
+				n0 := minInt(addCap(c0, f0), addCap(c1, f1))
+				n1 := minInt(addCap(c0, f1), addCap(c1, f0))
+				c0, c1 = n0, n1
+			}
+			c0 = addCap(c0, 1)
+			c1 = addCap(c1, 1)
+			if g.Type == netlist.Xnor {
+				c0, c1 = c1, c0
+			}
+			t.CC0[id], t.CC1[id] = c0, c1
+		}
+	}
+
+	// Observability, backward: PPOs observe at cost 0; an input of a
+	// gate is observable at the gate's CO plus the cost of setting the
+	// other inputs to non-controlling values (for XOR: controlling
+	// values don't exist, pay min-controllability of the others).
+	for i := range t.CO {
+		t.CO[i] = scoapCap
+	}
+	for _, id := range sv.PPOs {
+		t.CO[id] = 0
+	}
+	for i := len(sv.Order) - 1; i >= 0; i-- {
+		id := sv.Order[i]
+		g := &c.Gates[id]
+		if g.Type == netlist.Input || g.Type == netlist.DFF {
+			continue
+		}
+		base := t.CO[id]
+		if base >= scoapCap {
+			continue
+		}
+		for pin, f := range g.Fanin {
+			side := 0
+			for pin2, f2 := range g.Fanin {
+				if pin2 == pin {
+					continue
+				}
+				switch g.Type {
+				case netlist.And, netlist.Nand:
+					side = addCap(side, t.CC1[f2])
+				case netlist.Or, netlist.Nor:
+					side = addCap(side, t.CC0[f2])
+				case netlist.Xor, netlist.Xnor:
+					side = addCap(side, minInt(t.CC0[f2], t.CC1[f2]))
+				}
+			}
+			co := addCap(addCap(base, side), 1)
+			if co < t.CO[f] {
+				t.CO[f] = co
+			}
+		}
+	}
+	return t
+}

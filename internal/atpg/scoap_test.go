@@ -1,0 +1,101 @@
+package atpg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestTestabilityKnownValues(t *testing.T) {
+	// y = AND(a, b); z = NOT(y). Classic SCOAP values:
+	// CC(a)=CC(b)=(1,1); CC1(y)=1+1+1=3, CC0(y)=min(1,1)+1=2;
+	// CC0(z)=CC1(y)+1=4, CC1(z)=CC0(y)+1=3.
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+y = AND(a, b)
+z = NOT(y)
+`
+	c, err := netlist.ParseBench("sc", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := c.FullScan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := ComputeTestability(sv)
+	get := func(name string) int {
+		g, ok := c.GateByName(name)
+		if !ok {
+			t.Fatalf("no net %q", name)
+		}
+		return g.ID
+	}
+	y, z, a, b := get("y"), get("z"), get("a"), get("b")
+	if tm.CC1[y] != 3 || tm.CC0[y] != 2 {
+		t.Fatalf("CC(y) = (%d,%d)", tm.CC0[y], tm.CC1[y])
+	}
+	if tm.CC0[z] != 4 || tm.CC1[z] != 3 {
+		t.Fatalf("CC(z) = (%d,%d)", tm.CC0[z], tm.CC1[z])
+	}
+	// Observability: z is the PO, CO(z)=0; CO(y)=0+1=1 (through NOT);
+	// CO(a) = CO(y) + CC1(b) + 1 = 3.
+	if tm.CO[z] != 0 || tm.CO[y] != 1 {
+		t.Fatalf("CO(z)=%d CO(y)=%d", tm.CO[z], tm.CO[y])
+	}
+	if tm.CO[a] != 3 || tm.CO[b] != 3 {
+		t.Fatalf("CO(a)=%d CO(b)=%d", tm.CO[a], tm.CO[b])
+	}
+}
+
+func TestTestabilityXorAndUnobservable(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = XOR(a, b)
+dead = OR(a, b)
+`
+	c, err := netlist.ParseBench("sx", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := c.FullScan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := ComputeTestability(sv)
+	y, _ := c.GateByName("y")
+	// XOR: CC1 = min(1+1, 1+1)+1 = 3; CC0 = min(1+1, 1+1)+1 = 3.
+	if tm.CC0[y.ID] != 3 || tm.CC1[y.ID] != 3 {
+		t.Fatalf("CC(xor) = (%d,%d)", tm.CC0[y.ID], tm.CC1[y.ID])
+	}
+	dead, _ := c.GateByName("dead")
+	if tm.CO[dead.ID] < scoapCap {
+		t.Fatalf("unobservable gate got finite CO %d", tm.CO[dead.ID])
+	}
+}
+
+func TestTestabilityOnScanCells(t *testing.T) {
+	sv := scanView(t, s27, "s27")
+	tm := ComputeTestability(sv)
+	for _, id := range sv.PPIs {
+		if tm.CC0[id] != 1 || tm.CC1[id] != 1 {
+			t.Fatalf("PPI %d controllability (%d,%d)", id, tm.CC0[id], tm.CC1[id])
+		}
+	}
+	for _, id := range sv.PPOs {
+		if tm.CO[id] != 0 {
+			t.Fatalf("PPO %d observability %d", id, tm.CO[id])
+		}
+	}
+	// In a fully scannable circuit every net is observable.
+	for _, g := range sv.Circuit.Gates {
+		if tm.CO[g.ID] >= scoapCap {
+			t.Fatalf("net %s unobservable in s27", g.Name)
+		}
+	}
+}

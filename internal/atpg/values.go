@@ -1,0 +1,146 @@
+// Package atpg generates deterministic test cubes for single stuck-at
+// faults using the PODEM algorithm over the five-valued D-algebra.
+// Unassigned primary inputs stay X in the produced cubes, giving the
+// don't-care-rich precomputed test sets (T_D) that the 9C technique
+// compresses. A reverse-order fault-simulation pass compacts the set.
+package atpg
+
+// V is a five-valued D-algebra value: the pair (good-machine value,
+// faulty-machine value) with X meaning unknown-in-both.
+type V uint8
+
+// D-algebra values.
+const (
+	VX  V = iota // unknown
+	V0           // 0 in both machines
+	V1           // 1 in both machines
+	VD           // 1 in good, 0 in faulty ("D")
+	VDB          // 0 in good, 1 in faulty ("D-bar")
+)
+
+// String renders the conventional symbol.
+func (v V) String() string {
+	switch v {
+	case VX:
+		return "X"
+	case V0:
+		return "0"
+	case V1:
+		return "1"
+	case VD:
+		return "D"
+	case VDB:
+		return "D'"
+	}
+	return "?"
+}
+
+// tern is a three-valued component: 0, 1 or unknown.
+type tern uint8
+
+const (
+	t0 tern = iota
+	t1
+	tX
+)
+
+// split returns the (good, faulty) components.
+func (v V) split() (tern, tern) {
+	switch v {
+	case V0:
+		return t0, t0
+	case V1:
+		return t1, t1
+	case VD:
+		return t1, t0
+	case VDB:
+		return t0, t1
+	}
+	return tX, tX
+}
+
+// join maps a component pair back to a V; a pair with any unknown
+// component collapses to VX (the standard 5-valued approximation).
+func join(g, f tern) V {
+	switch {
+	case g == t0 && f == t0:
+		return V0
+	case g == t1 && f == t1:
+		return V1
+	case g == t1 && f == t0:
+		return VD
+	case g == t0 && f == t1:
+		return VDB
+	}
+	return VX
+}
+
+func and3(a, b tern) tern {
+	if a == t0 || b == t0 {
+		return t0
+	}
+	if a == t1 && b == t1 {
+		return t1
+	}
+	return tX
+}
+
+func or3(a, b tern) tern {
+	if a == t1 || b == t1 {
+		return t1
+	}
+	if a == t0 && b == t0 {
+		return t0
+	}
+	return tX
+}
+
+func xor3(a, b tern) tern {
+	if a == tX || b == tX {
+		return tX
+	}
+	if a == b {
+		return t0
+	}
+	return t1
+}
+
+func not3(a tern) tern {
+	switch a {
+	case t0:
+		return t1
+	case t1:
+		return t0
+	}
+	return tX
+}
+
+// And5 is 5-valued AND.
+func And5(a, b V) V {
+	ag, af := a.split()
+	bg, bf := b.split()
+	return join(and3(ag, bg), and3(af, bf))
+}
+
+// Or5 is 5-valued OR.
+func Or5(a, b V) V {
+	ag, af := a.split()
+	bg, bf := b.split()
+	return join(or3(ag, bg), or3(af, bf))
+}
+
+// Xor5 is 5-valued XOR.
+func Xor5(a, b V) V {
+	ag, af := a.split()
+	bg, bf := b.split()
+	return join(xor3(ag, bg), xor3(af, bf))
+}
+
+// Not5 is 5-valued NOT.
+func Not5(a V) V {
+	ag, af := a.split()
+	return join(not3(ag), not3(af))
+}
+
+// IsError reports whether the value carries a fault effect.
+func (v V) IsError() bool { return v == VD || v == VDB }

@@ -1,0 +1,160 @@
+// Package bitvec provides the bit-level substrate used throughout the
+// repository: packed binary vectors (Bits), ternary 0/1/X test cubes
+// (Cube), and MSB-first bit streams (Writer, Reader) as produced and
+// consumed by the 9C codec and the baseline codecs.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Bits is a fixed-length packed vector of binary digits. Bit i of the
+// vector is stored in word i/64 at position i%64. The zero value is an
+// empty vector of length 0.
+type Bits struct {
+	n     int
+	words []uint64
+}
+
+// NewBits returns an all-zero vector of n bits. It panics if n is negative.
+func NewBits(n int) *Bits {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Bits{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Len returns the number of bits in the vector.
+func (b *Bits) Len() int { return b.n }
+
+// Get returns bit i. It panics if i is out of range.
+func (b *Bits) Get(i int) bool {
+	b.check(i)
+	return b.words[i/wordBits]>>(uint(i)%wordBits)&1 == 1
+}
+
+// Set sets bit i to v. It panics if i is out of range.
+func (b *Bits) Set(i int, v bool) {
+	b.check(i)
+	if v {
+		b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+	} else {
+		b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+	}
+}
+
+func (b *Bits) check(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, b.n))
+	}
+}
+
+// OnesCount returns the number of 1 bits.
+func (b *Bits) OnesCount() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a deep copy of the vector.
+func (b *Bits) Clone() *Bits {
+	c := &Bits{n: b.n, words: make([]uint64, len(b.words))}
+	copy(c.words, b.words)
+	return c
+}
+
+// Equal reports whether two vectors have the same length and contents.
+func (b *Bits) Equal(o *Bits) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i, w := range b.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllZero reports whether every bit is 0.
+func (b *Bits) AllZero() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AllOne reports whether every bit is 1.
+func (b *Bits) AllOne() bool {
+	full := b.n / wordBits
+	for i := 0; i < full; i++ {
+		if b.words[i] != ^uint64(0) {
+			return false
+		}
+	}
+	if rem := uint(b.n % wordBits); rem != 0 {
+		mask := uint64(1)<<rem - 1
+		if b.words[full]&mask != mask {
+			return false
+		}
+	}
+	return true
+}
+
+// SetAll sets every bit to v.
+func (b *Bits) SetAll(v bool) {
+	var w uint64
+	if v {
+		w = ^uint64(0)
+	}
+	for i := range b.words {
+		b.words[i] = w
+	}
+	b.clip()
+}
+
+// clip zeroes the unused high bits of the last word so that word-level
+// operations such as OnesCount and Equal stay exact.
+func (b *Bits) clip() {
+	if rem := uint(b.n % wordBits); rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= uint64(1)<<rem - 1
+	}
+}
+
+// String renders the vector as a left-to-right string of '0'/'1' where
+// index 0 is the leftmost character.
+func (b *Bits) String() string {
+	var sb strings.Builder
+	sb.Grow(b.n)
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// ParseBits parses a string of '0' and '1' characters into a Bits.
+func ParseBits(s string) (*Bits, error) {
+	b := NewBits(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			b.Set(i, true)
+		default:
+			return nil, fmt.Errorf("bitvec: invalid bit character %q at %d", s[i], i)
+		}
+	}
+	return b, nil
+}

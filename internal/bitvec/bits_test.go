@@ -1,0 +1,159 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsBasic(t *testing.T) {
+	b := NewBits(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	if !b.AllZero() {
+		t.Fatal("new Bits not all zero")
+	}
+	b.Set(0, true)
+	b.Set(64, true)
+	b.Set(129, true)
+	if !b.Get(0) || !b.Get(64) || !b.Get(129) {
+		t.Fatal("Set/Get mismatch")
+	}
+	if b.Get(1) || b.Get(63) || b.Get(128) {
+		t.Fatal("unexpected set bit")
+	}
+	if got := b.OnesCount(); got != 3 {
+		t.Fatalf("OnesCount = %d, want 3", got)
+	}
+	b.Set(64, false)
+	if b.Get(64) {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestBitsAllOneBoundaries(t *testing.T) {
+	for _, n := range []int{1, 2, 63, 64, 65, 127, 128, 129} {
+		b := NewBits(n)
+		if b.AllOne() {
+			t.Fatalf("n=%d: zero vector reported AllOne", n)
+		}
+		b.SetAll(true)
+		if !b.AllOne() {
+			t.Fatalf("n=%d: SetAll(true) not AllOne", n)
+		}
+		if got := b.OnesCount(); got != n {
+			t.Fatalf("n=%d: OnesCount=%d after SetAll", n, got)
+		}
+		b.Set(n-1, false)
+		if b.AllOne() {
+			t.Fatalf("n=%d: AllOne after clearing last bit", n)
+		}
+		b.SetAll(false)
+		if !b.AllZero() {
+			t.Fatalf("n=%d: SetAll(false) not AllZero", n)
+		}
+	}
+}
+
+func TestBitsZeroLength(t *testing.T) {
+	b := NewBits(0)
+	if !b.AllZero() || !b.AllOne() {
+		t.Fatal("empty vector should vacuously be all-zero and all-one")
+	}
+	if b.String() != "" {
+		t.Fatalf("String = %q", b.String())
+	}
+}
+
+func TestBitsPanics(t *testing.T) {
+	assertPanics(t, "negative length", func() { NewBits(-1) })
+	b := NewBits(8)
+	assertPanics(t, "Get out of range", func() { b.Get(8) })
+	assertPanics(t, "Get negative", func() { b.Get(-1) })
+	assertPanics(t, "Set out of range", func() { b.Set(8, true) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestBitsParseRoundTrip(t *testing.T) {
+	const s = "0110100111010001010101010101010101010101010101010101010101010101011"
+	b, err := ParseBits(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != s {
+		t.Fatalf("round trip: got %q", b.String())
+	}
+	if _, err := ParseBits("01A"); err == nil {
+		t.Fatal("expected error for invalid character")
+	}
+}
+
+func TestBitsCloneIndependence(t *testing.T) {
+	b := NewBits(70)
+	b.Set(5, true)
+	c := b.Clone()
+	c.Set(6, true)
+	if b.Get(6) {
+		t.Fatal("Clone shares storage")
+	}
+	if !b.Equal(b.Clone()) {
+		t.Fatal("clone not equal to original")
+	}
+	if b.Equal(c) {
+		t.Fatal("Equal ignored differing bit")
+	}
+	if b.Equal(NewBits(71)) {
+		t.Fatal("Equal ignored differing length")
+	}
+}
+
+func TestBitsPropertyOnesCountMatchesNaive(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%512) + 1
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBits(n)
+		want := 0
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				b.Set(i, true)
+				want++
+			}
+		}
+		return b.OnesCount() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsPropertySetAllThenStringUniform(t *testing.T) {
+	f := func(nRaw uint16, v bool) bool {
+		n := int(nRaw%300) + 1
+		b := NewBits(n)
+		b.SetAll(v)
+		want := byte('0')
+		if v {
+			want = '1'
+		}
+		s := b.String()
+		for i := 0; i < len(s); i++ {
+			if s[i] != want {
+				return false
+			}
+		}
+		return len(s) == n && b.AllOne() == v && b.AllZero() == !v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

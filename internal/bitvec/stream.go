@@ -1,0 +1,101 @@
+package bitvec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShortStream is returned by Reader methods when the stream ends in
+// the middle of a requested read.
+var ErrShortStream = errors.New("bitvec: bit stream truncated")
+
+// Writer accumulates an MSB-first bit stream, the serial order in which
+// an ATE ships compressed data to the on-chip decoder.
+type Writer struct {
+	bits []bool
+}
+
+// WriteBit appends one bit.
+func (w *Writer) WriteBit(b bool) { w.bits = append(w.bits, b) }
+
+// WriteUint appends the low n bits of v, most significant first.
+func (w *Writer) WriteUint(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitvec: WriteUint width %d", n))
+	}
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(v>>uint(i)&1 == 1)
+	}
+}
+
+// WriteCode appends a codeword given as a string of '0'/'1'.
+func (w *Writer) WriteCode(code string) {
+	for i := 0; i < len(code); i++ {
+		switch code[i] {
+		case '0':
+			w.WriteBit(false)
+		case '1':
+			w.WriteBit(true)
+		default:
+			panic(fmt.Sprintf("bitvec: invalid codeword character %q", code[i]))
+		}
+	}
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return len(w.bits) }
+
+// Bits returns the accumulated stream as a Bits vector.
+func (w *Writer) Bits() *Bits {
+	b := NewBits(len(w.bits))
+	for i, v := range w.bits {
+		if v {
+			b.Set(i, true)
+		}
+	}
+	return b
+}
+
+// Reader consumes an MSB-first bit stream.
+type Reader struct {
+	src *Bits
+	pos int
+}
+
+// NewReader returns a Reader over b starting at bit 0.
+func NewReader(b *Bits) *Reader { return &Reader{src: b} }
+
+// ReadBit returns the next bit, or ErrShortStream at end of stream.
+func (r *Reader) ReadBit() (bool, error) {
+	if r.pos >= r.src.Len() {
+		return false, ErrShortStream
+	}
+	v := r.src.Get(r.pos)
+	r.pos++
+	return v, nil
+}
+
+// ReadUint reads n bits MSB-first into a uint64.
+func (r *Reader) ReadUint(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitvec: ReadUint width %d", n))
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v <<= 1
+		if b {
+			v |= 1
+		}
+	}
+	return v, nil
+}
+
+// Pos returns the index of the next bit to be read.
+func (r *Reader) Pos() int { return r.pos }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.src.Len() - r.pos }

@@ -1,0 +1,80 @@
+package bitvec
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var w Writer
+	w.WriteCode("1011")
+	w.WriteUint(0b1100101, 7)
+	w.WriteBit(true)
+	if w.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", w.Len())
+	}
+	r := NewReader(w.Bits())
+	if v, err := r.ReadUint(4); err != nil || v != 0b1011 {
+		t.Fatalf("ReadUint(4) = %b, %v", v, err)
+	}
+	if v, err := r.ReadUint(7); err != nil || v != 0b1100101 {
+		t.Fatalf("ReadUint(7) = %b, %v", v, err)
+	}
+	if b, err := r.ReadBit(); err != nil || !b {
+		t.Fatalf("ReadBit = %v, %v", b, err)
+	}
+	if _, err := r.ReadBit(); !errors.Is(err, ErrShortStream) {
+		t.Fatalf("EOF error = %v, want ErrShortStream", err)
+	}
+	if r.Remaining() != 0 || r.Pos() != 12 {
+		t.Fatalf("Remaining=%d Pos=%d", r.Remaining(), r.Pos())
+	}
+}
+
+func TestWriterPanics(t *testing.T) {
+	var w Writer
+	assertPanics(t, "bad code", func() { w.WriteCode("10z") })
+	assertPanics(t, "bad width", func() { w.WriteUint(0, 65) })
+	r := NewReader(NewBits(0))
+	assertPanics(t, "bad read width", func() { r.ReadUint(-1) })
+}
+
+func TestReaderShortUint(t *testing.T) {
+	var w Writer
+	w.WriteUint(0b101, 3)
+	r := NewReader(w.Bits())
+	if _, err := r.ReadUint(4); !errors.Is(err, ErrShortStream) {
+		t.Fatalf("short ReadUint error = %v", err)
+	}
+}
+
+func TestStreamPropertyUintRoundTrip(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count%32) + 1
+		vals := make([]uint64, n)
+		widths := make([]int, n)
+		var w Writer
+		for i := range vals {
+			widths[i] = rng.Intn(64) + 1
+			vals[i] = rng.Uint64()
+			if widths[i] < 64 {
+				vals[i] &= uint64(1)<<uint(widths[i]) - 1
+			}
+			w.WriteUint(vals[i], widths[i])
+		}
+		r := NewReader(w.Bits())
+		for i := range vals {
+			v, err := r.ReadUint(widths[i])
+			if err != nil || v != vals[i] {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package codecs
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+func benchData(b *testing.B) *bitvec.Bits {
+	b.Helper()
+	set := randomSet(9, 64, 512, 0.85)
+	data, err := BitsFromSet(set.FillConst(bitvec.Zero))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data
+}
+
+func BenchmarkCompress(b *testing.B) {
+	data := benchData(b)
+	for _, c := range []Codec{
+		Golomb{M: 8}, FDR{}, EFDR{}, ARL{}, MTC{M: 8},
+		&VIHC{Mh: 16}, &SelectiveHuffman{B: 8, N: 16},
+		&FullHuffman{B: 8}, &Dictionary{B: 8, D: 16}, &LZW{B: 8, MaxDict: 1024},
+	} {
+		b.Run(c.Name(), func(b *testing.B) {
+			b.SetBytes(int64(data.Len() / 8))
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Compress(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,67 @@
+package codecs
+
+import (
+	"fmt"
+
+	"repro/internal/tcube"
+)
+
+// Best runs every candidate on the set and returns the smallest
+// result, mirroring the per-circuit parameter tuning the baseline
+// papers perform (e.g. the Golomb group size or VIHC group size).
+func Best(s *tcube.Set, cands ...Codec) (Result, error) {
+	if len(cands) == 0 {
+		return Result{}, fmt.Errorf("codecs: no candidates")
+	}
+	var best Result
+	found := false
+	for _, c := range cands {
+		r, err := CompressSet(c, s)
+		if err != nil {
+			return Result{}, err
+		}
+		if !found || r.CompressedBits < best.CompressedBits {
+			best = r
+			found = true
+		}
+	}
+	return best, nil
+}
+
+// BestGolomb tunes the Golomb group size over powers of two.
+func BestGolomb(s *tcube.Set) (Result, error) {
+	return Best(s, Golomb{M: 2}, Golomb{M: 4}, Golomb{M: 8}, Golomb{M: 16}, Golomb{M: 32}, Golomb{M: 64})
+}
+
+// BestVIHC tunes the VIHC group size over the range the original paper
+// evaluates (powers of two up to 16).
+func BestVIHC(s *tcube.Set) (Result, error) {
+	return Best(s, &VIHC{Mh: 4}, &VIHC{Mh: 8}, &VIHC{Mh: 16})
+}
+
+// BestMTC tunes the MTC run-code group size.
+func BestMTC(s *tcube.Set) (Result, error) {
+	return Best(s, MTC{M: 2}, MTC{M: 4}, MTC{M: 8}, MTC{M: 16}, MTC{M: 32}, MTC{M: 64})
+}
+
+// BestSelectiveHuffman tunes the coded-pattern count at the published
+// 8-bit block size.
+func BestSelectiveHuffman(s *tcube.Set) (Result, error) {
+	return Best(s,
+		&SelectiveHuffman{B: 8, N: 8},
+		&SelectiveHuffman{B: 8, N: 16},
+		&SelectiveHuffman{B: 8, N: 32},
+		&SelectiveHuffman{B: 12, N: 16},
+		&SelectiveHuffman{B: 12, N: 32},
+	)
+}
+
+// BestDictionary tunes the dictionary shape.
+func BestDictionary(s *tcube.Set) (Result, error) {
+	return Best(s,
+		&Dictionary{B: 8, D: 16},
+		&Dictionary{B: 8, D: 32},
+		&Dictionary{B: 16, D: 64},
+		&Dictionary{B: 16, D: 128},
+	)
+}

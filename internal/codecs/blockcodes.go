@@ -1,0 +1,353 @@
+package codecs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/tcube"
+)
+
+// blockSymbols cuts the stream into fixed b-bit blocks (the final
+// partial block, if any, is zero-padded and its true length returned).
+func blockSymbols(data *bitvec.Bits, b int) (syms []uint64, lastLen int) {
+	lastLen = b
+	for off := 0; off < data.Len(); off += b {
+		var v uint64
+		n := b
+		if off+n > data.Len() {
+			n = data.Len() - off
+			lastLen = n
+		}
+		for i := 0; i < n; i++ {
+			v <<= 1
+			if data.Get(off + i) {
+				v |= 1
+			}
+		}
+		v <<= uint(b - n) // zero pad
+		syms = append(syms, v)
+	}
+	return syms, lastLen
+}
+
+func writeBlock(out *bitvec.Bits, pos int, v uint64, b int) {
+	for i := 0; i < b && pos+i < out.Len(); i++ {
+		out.Set(pos+i, v>>uint(b-1-i)&1 == 1)
+	}
+}
+
+// SelectiveHuffman is the scheme of Jas, Ghosh-Dastidar, Ng & Touba
+// (TCAD 2003, ref [7]): the stream is cut into fixed B-bit blocks and
+// only the N most frequent block patterns receive Huffman codewords;
+// each shipped block is one flag bit ('1' = coded, '0' = raw) followed
+// by either the codeword or the B raw bits. The code table is derived
+// from the test set itself.
+type SelectiveHuffman struct {
+	// B is the block size in bits (≤ 32).
+	B int
+	// N is the number of encoded (dictionary) patterns.
+	N int
+
+	coded map[uint64]string
+	dec   *prefixDecoder
+	pats  []uint64
+}
+
+// Name implements Codec.
+func (s *SelectiveHuffman) Name() string { return fmt.Sprintf("SelHuff(b=%d,n=%d)", s.B, s.N) }
+
+// Fill implements Codec: adjacent fill clusters blocks into few
+// patterns, the published intent of the X-assignment step.
+func (s *SelectiveHuffman) Fill(set *tcube.Set) *tcube.Set { return mtFill(set) }
+
+func (s *SelectiveHuffman) check() error {
+	if s.B < 1 || s.B > 32 {
+		return fmt.Errorf("codecs: SelectiveHuffman block size %d", s.B)
+	}
+	if s.N < 1 {
+		return fmt.Errorf("codecs: SelectiveHuffman pattern count %d", s.N)
+	}
+	return nil
+}
+
+// Compress implements Codec.
+func (s *SelectiveHuffman) Compress(data *bitvec.Bits) (*bitvec.Bits, error) {
+	if err := s.check(); err != nil {
+		return nil, err
+	}
+	syms, _ := blockSymbols(data, s.B)
+	freq := map[uint64]int{}
+	for _, v := range syms {
+		freq[v]++
+	}
+	type pf struct {
+		pat uint64
+		f   int
+	}
+	all := make([]pf, 0, len(freq))
+	for p, f := range freq {
+		all = append(all, pf{p, f})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].f != all[j].f {
+			return all[i].f > all[j].f
+		}
+		return all[i].pat < all[j].pat
+	})
+	n := s.N
+	if n > len(all) {
+		n = len(all)
+	}
+	s.pats = make([]uint64, n)
+	fr := make([]int, n)
+	for i := 0; i < n; i++ {
+		s.pats[i] = all[i].pat
+		fr[i] = all[i].f
+	}
+	codes, err := canonicalFromLengths(huffmanLengths(fr))
+	if err != nil {
+		return nil, err
+	}
+	s.coded = map[uint64]string{}
+	for i, p := range s.pats {
+		s.coded[p] = codes[i]
+	}
+	s.dec, err = newPrefixDecoder(codes)
+	if err != nil {
+		return nil, err
+	}
+	var w bitvec.Writer
+	for _, v := range syms {
+		if code, ok := s.coded[v]; ok {
+			w.WriteBit(true)
+			w.WriteCode(code)
+		} else {
+			w.WriteBit(false)
+			w.WriteUint(v, s.B)
+		}
+	}
+	return w.Bits(), nil
+}
+
+// Decompress implements Codec.
+func (s *SelectiveHuffman) Decompress(stream *bitvec.Bits, origBits int) (*bitvec.Bits, error) {
+	if s.dec == nil {
+		return nil, fmt.Errorf("codecs: SelectiveHuffman decoder not trained (call Compress first)")
+	}
+	r := bitvec.NewReader(stream)
+	out := bitvec.NewBits(origBits)
+	for pos := 0; pos < origBits; pos += s.B {
+		flag, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		var v uint64
+		if flag {
+			idx, err := s.dec.next(r.ReadBit)
+			if err != nil {
+				return nil, err
+			}
+			v = s.pats[idx]
+		} else {
+			v, err = r.ReadUint(s.B)
+			if err != nil {
+				return nil, err
+			}
+		}
+		writeBlock(out, pos, v, s.B)
+	}
+	if r.Remaining() != 0 {
+		return nil, errBadStream
+	}
+	return out, nil
+}
+
+// FullHuffman is classic statistical block coding (Jas, Ghosh-Dastidar
+// & Touba, VTS 1999, ref [6]): every distinct B-bit block pattern
+// receives a Huffman codeword.
+type FullHuffman struct {
+	// B is the block size in bits (≤ 16 to bound the table).
+	B int
+
+	codes map[uint64]string
+	dec   *prefixDecoder
+	pats  []uint64
+}
+
+// Name implements Codec.
+func (h *FullHuffman) Name() string { return fmt.Sprintf("Huffman(b=%d)", h.B) }
+
+// Fill implements Codec.
+func (h *FullHuffman) Fill(set *tcube.Set) *tcube.Set { return mtFill(set) }
+
+// Compress implements Codec.
+func (h *FullHuffman) Compress(data *bitvec.Bits) (*bitvec.Bits, error) {
+	if h.B < 1 || h.B > 16 {
+		return nil, fmt.Errorf("codecs: FullHuffman block size %d", h.B)
+	}
+	syms, _ := blockSymbols(data, h.B)
+	freq := map[uint64]int{}
+	for _, v := range syms {
+		freq[v]++
+	}
+	h.pats = make([]uint64, 0, len(freq))
+	for p := range freq {
+		h.pats = append(h.pats, p)
+	}
+	sort.Slice(h.pats, func(i, j int) bool { return h.pats[i] < h.pats[j] })
+	fr := make([]int, len(h.pats))
+	for i, p := range h.pats {
+		fr[i] = freq[p]
+	}
+	codes, err := canonicalFromLengths(huffmanLengths(fr))
+	if err != nil {
+		return nil, err
+	}
+	h.codes = map[uint64]string{}
+	for i, p := range h.pats {
+		h.codes[p] = codes[i]
+	}
+	h.dec, err = newPrefixDecoder(codes)
+	if err != nil {
+		return nil, err
+	}
+	var w bitvec.Writer
+	for _, v := range syms {
+		w.WriteCode(h.codes[v])
+	}
+	return w.Bits(), nil
+}
+
+// Decompress implements Codec.
+func (h *FullHuffman) Decompress(stream *bitvec.Bits, origBits int) (*bitvec.Bits, error) {
+	if h.dec == nil {
+		return nil, fmt.Errorf("codecs: FullHuffman decoder not trained (call Compress first)")
+	}
+	r := bitvec.NewReader(stream)
+	out := bitvec.NewBits(origBits)
+	for pos := 0; pos < origBits; pos += h.B {
+		idx, err := h.dec.next(r.ReadBit)
+		if err != nil {
+			return nil, err
+		}
+		writeBlock(out, pos, h.pats[idx], h.B)
+	}
+	if r.Remaining() != 0 {
+		return nil, errBadStream
+	}
+	return out, nil
+}
+
+// Dictionary is fixed-length index coding (Li & Chakrabarty, VTS 2003,
+// ref [26]): the D most frequent B-bit blocks live in an on-chip
+// dictionary; each block ships as a flag bit plus either a log2(D)
+// index or B raw bits.
+type Dictionary struct {
+	// B is the block size; D the dictionary entry count (power of two).
+	B, D int
+
+	pats  []uint64
+	index map[uint64]int
+}
+
+// Name implements Codec.
+func (d *Dictionary) Name() string { return fmt.Sprintf("Dict(b=%d,d=%d)", d.B, d.D) }
+
+// Fill implements Codec.
+func (d *Dictionary) Fill(set *tcube.Set) *tcube.Set { return mtFill(set) }
+
+func (d *Dictionary) check() error {
+	if d.B < 1 || d.B > 32 {
+		return fmt.Errorf("codecs: Dictionary block size %d", d.B)
+	}
+	if d.D < 2 || d.D&(d.D-1) != 0 {
+		return fmt.Errorf("codecs: Dictionary size %d not a power of two >= 2", d.D)
+	}
+	return nil
+}
+
+// Compress implements Codec.
+func (d *Dictionary) Compress(data *bitvec.Bits) (*bitvec.Bits, error) {
+	if err := d.check(); err != nil {
+		return nil, err
+	}
+	syms, _ := blockSymbols(data, d.B)
+	freq := map[uint64]int{}
+	for _, v := range syms {
+		freq[v]++
+	}
+	type pf struct {
+		pat uint64
+		f   int
+	}
+	all := make([]pf, 0, len(freq))
+	for p, f := range freq {
+		all = append(all, pf{p, f})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].f != all[j].f {
+			return all[i].f > all[j].f
+		}
+		return all[i].pat < all[j].pat
+	})
+	n := d.D
+	if n > len(all) {
+		n = len(all)
+	}
+	d.pats = make([]uint64, n)
+	d.index = map[uint64]int{}
+	for i := 0; i < n; i++ {
+		d.pats[i] = all[i].pat
+		d.index[all[i].pat] = i
+	}
+	idxBits := log2(d.D)
+	var w bitvec.Writer
+	for _, v := range syms {
+		if i, ok := d.index[v]; ok {
+			w.WriteBit(true)
+			w.WriteUint(uint64(i), idxBits)
+		} else {
+			w.WriteBit(false)
+			w.WriteUint(v, d.B)
+		}
+	}
+	return w.Bits(), nil
+}
+
+// Decompress implements Codec.
+func (d *Dictionary) Decompress(stream *bitvec.Bits, origBits int) (*bitvec.Bits, error) {
+	if d.pats == nil {
+		return nil, fmt.Errorf("codecs: Dictionary decoder not trained (call Compress first)")
+	}
+	idxBits := log2(d.D)
+	r := bitvec.NewReader(stream)
+	out := bitvec.NewBits(origBits)
+	for pos := 0; pos < origBits; pos += d.B {
+		flag, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		var v uint64
+		if flag {
+			idx, err := r.ReadUint(idxBits)
+			if err != nil {
+				return nil, err
+			}
+			if int(idx) >= len(d.pats) {
+				return nil, errBadStream
+			}
+			v = d.pats[idx]
+		} else {
+			v, err = r.ReadUint(d.B)
+			if err != nil {
+				return nil, err
+			}
+		}
+		writeBlock(out, pos, v, d.B)
+	}
+	if r.Remaining() != 0 {
+		return nil, errBadStream
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+// Package codecs implements the published test-data compression
+// baselines the paper compares 9C against in Table IV — FDR, VIHC, MTC
+// and selective Huffman — plus the related schemes referenced in §I
+// (Golomb, extended FDR, alternating run-length FDR, full Huffman and
+// fixed-index dictionary coding) as extensions.
+//
+// Unlike 9C, none of these codes can carry don't-cares through the
+// channel: each scheme first fills X with its published fill rule and
+// ships a fully specified stream. Several of them also derive their
+// code table from the test set, which is precisely the
+// set-dependent-decoder drawback the paper argues 9C avoids; the
+// stateful Compress/Decompress pairing below models that coupling.
+package codecs
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/tcube"
+)
+
+// Codec compresses fully specified bit streams. Implementations whose
+// code tables depend on the data (VIHC, Huffman variants, dictionary)
+// retain the table from the last Compress; Decompress applies to that
+// same stream only, mirroring a decoder synthesized for one test set.
+type Codec interface {
+	// Name identifies the scheme, e.g. "FDR" or "Golomb(m=4)".
+	Name() string
+	// Fill resolves don't-cares with the scheme's published fill rule.
+	Fill(s *tcube.Set) *tcube.Set
+	// Compress encodes the stream.
+	Compress(data *bitvec.Bits) (*bitvec.Bits, error)
+	// Decompress inverts the most recent Compress; origBits bounds the
+	// output length.
+	Decompress(stream *bitvec.Bits, origBits int) (*bitvec.Bits, error)
+}
+
+// Result reports one codec applied to one test set.
+type Result struct {
+	Codec          string
+	Set            string
+	OrigBits       int
+	CompressedBits int
+}
+
+// CR returns the compression ratio in percent.
+func (r Result) CR() float64 {
+	if r.OrigBits == 0 {
+		return 0
+	}
+	return 100 * float64(r.OrigBits-r.CompressedBits) / float64(r.OrigBits)
+}
+
+// CompressSet runs a codec end to end on a test set: fill, flatten,
+// compress, and verify by decompressing and comparing. The returned
+// size is the stream length in bits.
+func CompressSet(c Codec, s *tcube.Set) (Result, error) {
+	filled := c.Fill(s)
+	data, err := BitsFromSet(filled)
+	if err != nil {
+		return Result{}, fmt.Errorf("codecs: %s: %w", c.Name(), err)
+	}
+	stream, err := c.Compress(data)
+	if err != nil {
+		return Result{}, fmt.Errorf("codecs: %s: %w", c.Name(), err)
+	}
+	back, err := c.Decompress(stream, data.Len())
+	if err != nil {
+		return Result{}, fmt.Errorf("codecs: %s: decompress: %w", c.Name(), err)
+	}
+	if !back.Equal(data) {
+		return Result{}, fmt.Errorf("codecs: %s: round trip mismatch", c.Name())
+	}
+	return Result{Codec: c.Name(), Set: s.Name, OrigBits: s.Bits(), CompressedBits: stream.Len()}, nil
+}
+
+// BitsFromSet flattens a fully specified set into one packed stream.
+func BitsFromSet(s *tcube.Set) (*bitvec.Bits, error) {
+	flat := s.Flatten()
+	out := bitvec.NewBits(flat.Len())
+	for i := 0; i < flat.Len(); i++ {
+		switch flat.Get(i) {
+		case bitvec.One:
+			out.Set(i, true)
+		case bitvec.Zero:
+		default:
+			return nil, fmt.Errorf("unfilled X at bit %d", i)
+		}
+	}
+	return out, nil
+}
+
+// zeroFill and mtFill are the two published fill rules the baselines
+// use: map-to-zero (run-length codes over 0-runs) and
+// minimum-transition adjacent fill (power-aware schemes).
+func zeroFill(s *tcube.Set) *tcube.Set { return s.FillConst(bitvec.Zero) }
+func mtFill(s *tcube.Set) *tcube.Set   { return s.FillAdjacent() }

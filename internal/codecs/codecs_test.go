@@ -1,0 +1,454 @@
+package codecs
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/tcube"
+)
+
+func bitsOf(t *testing.T, s string) *bitvec.Bits {
+	t.Helper()
+	b, err := bitvec.ParseBits(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestGolombKnownVectors(t *testing.T) {
+	g := Golomb{M: 4}
+	// Runs: "00001" is run 4 -> q=1 r=0 -> "10"+"00"; "1" is run 0 -> "0"+"00".
+	in := bitsOf(t, "000011")
+	out, err := g.Compress(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "1000"+"000" {
+		t.Fatalf("golomb stream = %s", out.String())
+	}
+	back, err := g.Decompress(out, in.Len())
+	if err != nil || !back.Equal(in) {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestGolombRejectsBadM(t *testing.T) {
+	for _, m := range []int{0, 1, 3, 6} {
+		g := Golomb{M: m}
+		if _, err := g.Compress(bitsOf(t, "01")); err == nil {
+			t.Errorf("m=%d accepted", m)
+		}
+		if _, err := g.Decompress(bitsOf(t, "01"), 2); err == nil {
+			t.Errorf("m=%d accepted on decode", m)
+		}
+	}
+}
+
+func TestFDRKnownVectors(t *testing.T) {
+	// Group table: L=0 -> "00", L=1 -> "01", L=2 -> "1000",
+	// L=5 -> "1011", L=6 -> "110000".
+	cases := []struct {
+		l    int
+		code string
+	}{
+		{0, "00"}, {1, "01"}, {2, "1000"}, {3, "1001"},
+		{4, "1010"}, {5, "1011"}, {6, "110000"}, {13, "110111"}, {14, "11100000"},
+	}
+	for _, tc := range cases {
+		var w bitvec.Writer
+		fdrEncodeRun(&w, tc.l)
+		if got := w.Bits().String(); got != tc.code {
+			t.Errorf("FDR(%d) = %s, want %s", tc.l, got, tc.code)
+		}
+		r := bitvec.NewReader(w.Bits())
+		if back, err := fdrDecodeRun(r); err != nil || back != tc.l {
+			t.Errorf("FDR decode(%s) = %d, %v", tc.code, back, err)
+		}
+	}
+}
+
+func TestRunLengthFamilyRoundTrip(t *testing.T) {
+	codecsUnderTest := []Codec{
+		Golomb{M: 4}, Golomb{M: 16},
+		FDR{}, EFDR{}, ARL{},
+		MTC{M: 4}, MTC{M: 8},
+	}
+	inputs := []string{
+		"",
+		"0",
+		"1",
+		"0000000000",
+		"1111111111",
+		"000010000100001",
+		"1010101010101010",
+		"0000000000000001",
+		"1000000000000000",
+		"0011001110001111000",
+	}
+	for _, c := range codecsUnderTest {
+		for _, s := range inputs {
+			in := bitsOf(t, s)
+			stream, err := c.Compress(in)
+			if err != nil {
+				t.Fatalf("%s(%q): %v", c.Name(), s, err)
+			}
+			back, err := c.Decompress(stream, in.Len())
+			if err != nil {
+				t.Fatalf("%s(%q) decode: %v", c.Name(), s, err)
+			}
+			if !back.Equal(in) {
+				t.Fatalf("%s(%q) round trip: got %q", c.Name(), s, back.String())
+			}
+		}
+	}
+}
+
+func TestBlockFamilyRoundTrip(t *testing.T) {
+	inputs := []string{
+		"",
+		"1",
+		"01011100",
+		"0101110001011100010111000101110001011",
+		strings.Repeat("00000000", 20) + "10110100",
+		strings.Repeat("0110", 33),
+	}
+	for _, s := range inputs {
+		in := bitsOf(t, s)
+		for _, c := range []Codec{
+			&SelectiveHuffman{B: 8, N: 4},
+			&FullHuffman{B: 4},
+			&FullHuffman{B: 8},
+			&Dictionary{B: 8, D: 4},
+		} {
+			stream, err := c.Compress(in)
+			if err != nil {
+				t.Fatalf("%s(%q): %v", c.Name(), s, err)
+			}
+			back, err := c.Decompress(stream, in.Len())
+			if err != nil {
+				t.Fatalf("%s(%q) decode: %v", c.Name(), s, err)
+			}
+			if !back.Equal(in) {
+				t.Fatalf("%s(%q) round trip mismatch", c.Name(), s)
+			}
+		}
+	}
+}
+
+func TestUntrainedDecodersError(t *testing.T) {
+	for _, c := range []Codec{&VIHC{Mh: 8}, &SelectiveHuffman{B: 8, N: 4}, &FullHuffman{B: 8}, &Dictionary{B: 8, D: 4}} {
+		if _, err := c.Decompress(bitsOf(t, "0101"), 4); err == nil {
+			t.Errorf("%s: untrained decode accepted", c.Name())
+		}
+	}
+}
+
+func TestParameterValidation(t *testing.T) {
+	v := &VIHC{Mh: 0}
+	if _, err := v.Compress(bitsOf(t, "01")); err == nil {
+		t.Error("VIHC mh=0 accepted")
+	}
+	sh := &SelectiveHuffman{B: 0, N: 4}
+	if _, err := sh.Compress(bitsOf(t, "01")); err == nil {
+		t.Error("SelHuff b=0 accepted")
+	}
+	sh2 := &SelectiveHuffman{B: 8, N: 0}
+	if _, err := sh2.Compress(bitsOf(t, "01")); err == nil {
+		t.Error("SelHuff n=0 accepted")
+	}
+	fh := &FullHuffman{B: 20}
+	if _, err := fh.Compress(bitsOf(t, "01")); err == nil {
+		t.Error("FullHuffman b=20 accepted")
+	}
+	dc := &Dictionary{B: 8, D: 3}
+	if _, err := dc.Compress(bitsOf(t, "01")); err == nil {
+		t.Error("Dictionary d=3 accepted")
+	}
+}
+
+func randomSet(seed int64, patterns, width int, xd float64) *tcube.Set {
+	rng := rand.New(rand.NewSource(seed))
+	s := tcube.NewSet("rand", width)
+	for i := 0; i < patterns; i++ {
+		c := bitvec.NewCube(width)
+		for j := 0; j < width; j++ {
+			if rng.Float64() < xd {
+				continue
+			}
+			if rng.Intn(4) == 0 {
+				c.Set(j, bitvec.One)
+			} else {
+				c.Set(j, bitvec.Zero)
+			}
+		}
+		s.MustAppend(c)
+	}
+	return s
+}
+
+func TestCompressSetEndToEnd(t *testing.T) {
+	set := randomSet(1, 20, 100, 0.8)
+	for _, c := range []Codec{
+		Golomb{M: 4}, FDR{}, EFDR{}, ARL{}, MTC{M: 4},
+		&VIHC{Mh: 16}, &SelectiveHuffman{B: 8, N: 16}, &FullHuffman{B: 8}, &Dictionary{B: 8, D: 16},
+	} {
+		r, err := CompressSet(c, set)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if r.OrigBits != set.Bits() || r.CompressedBits <= 0 {
+			t.Fatalf("%s: bad result %+v", c.Name(), r)
+		}
+		// A sparse 0-dominated set must actually compress.
+		if r.CR() < 10 {
+			t.Errorf("%s: CR %.1f%% suspiciously low on sparse set", c.Name(), r.CR())
+		}
+	}
+}
+
+func TestBitsFromSetRejectsX(t *testing.T) {
+	s := tcube.NewSet("x", 4)
+	c := bitvec.NewCube(4)
+	s.MustAppend(c)
+	if _, err := BitsFromSet(s); err == nil {
+		t.Fatal("X accepted")
+	}
+}
+
+func TestBestSelectsMinimum(t *testing.T) {
+	set := randomSet(2, 10, 80, 0.85)
+	all := []Codec{Golomb{M: 2}, Golomb{M: 4}, Golomb{M: 8}}
+	best, err := Best(set, all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range all {
+		r, err := CompressSet(c, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.CompressedBits < best.CompressedBits {
+			t.Fatalf("Best missed %s (%d < %d)", c.Name(), r.CompressedBits, best.CompressedBits)
+		}
+	}
+	if _, err := Best(set); err == nil {
+		t.Fatal("empty candidate list accepted")
+	}
+	for _, f := range []func(*tcube.Set) (Result, error){
+		BestGolomb, BestVIHC, BestMTC, BestSelectiveHuffman, BestDictionary,
+	} {
+		if _, err := f(set); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHuffmanLengthsOptimality(t *testing.T) {
+	// Known example: freqs 1,1,2,4 -> lengths 3,3,2,1.
+	l := huffmanLengths([]int{1, 1, 2, 4})
+	if l[0] != 3 || l[1] != 3 || l[2] != 2 || l[3] != 1 {
+		t.Fatalf("lengths = %v", l)
+	}
+	// Degenerate cases.
+	if l := huffmanLengths([]int{0, 0}); l[0] != 0 || l[1] != 0 {
+		t.Fatalf("empty lengths = %v", l)
+	}
+	if l := huffmanLengths([]int{0, 7}); l[1] != 1 {
+		t.Fatalf("single-symbol lengths = %v", l)
+	}
+}
+
+func TestHuffmanKraftProperty(t *testing.T) {
+	f := func(raw [12]uint8) bool {
+		freq := make([]int, len(raw))
+		nz := 0
+		for i, v := range raw {
+			freq[i] = int(v)
+			if v > 0 {
+				nz++
+			}
+		}
+		lengths := huffmanLengths(freq)
+		codes, err := canonicalFromLengths(lengths)
+		if err != nil {
+			return false
+		}
+		// Kraft sum over used symbols must be <= 1, and == 1 when >= 2
+		// symbols are used; codes must be prefix-free.
+		sum := 0.0
+		var used []string
+		for _, c := range codes {
+			if c != "" {
+				sum += 1 / float64(uint64(1)<<uint(len(c)))
+				used = append(used, c)
+			}
+		}
+		if nz >= 2 && sum != 1.0 {
+			return false
+		}
+		if sum > 1.0 {
+			return false
+		}
+		for i, a := range used {
+			for j, b := range used {
+				if i != j && strings.HasPrefix(b, a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every codec round-trips random data of random length.
+func TestPropertyAllCodecsRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint16, oneBias uint8) bool {
+		n := int(nRaw % 600)
+		rng := rand.New(rand.NewSource(seed))
+		p := float64(oneBias%100) / 100
+		in := bitvec.NewBits(n)
+		for i := 0; i < n; i++ {
+			in.Set(i, rng.Float64() < p)
+		}
+		for _, c := range []Codec{
+			Golomb{M: 4}, FDR{}, EFDR{}, ARL{}, MTC{M: 8},
+			&VIHC{Mh: 8}, &SelectiveHuffman{B: 8, N: 8}, &FullHuffman{B: 8}, &Dictionary{B: 8, D: 8},
+		} {
+			stream, err := c.Compress(in)
+			if err != nil {
+				return false
+			}
+			back, err := c.Decompress(stream, n)
+			if err != nil || !back.Equal(in) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultCREmpty(t *testing.T) {
+	if (Result{}).CR() != 0 {
+		t.Fatal("empty Result CR should be 0")
+	}
+}
+
+func TestLZWKnownBehaviour(t *testing.T) {
+	l := &LZW{B: 4, MaxDict: 64}
+	// Highly repetitive data must compress below raw size.
+	in := bitsOf(t, strings.Repeat("10110100", 40))
+	stream, err := l.Compress(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Len() >= in.Len() {
+		t.Fatalf("LZW did not compress repetitive data: %d >= %d", stream.Len(), in.Len())
+	}
+	back, err := l.Decompress(stream, in.Len())
+	if err != nil || !back.Equal(in) {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestLZWValidation(t *testing.T) {
+	for _, l := range []*LZW{
+		{B: 0, MaxDict: 64},
+		{B: 17, MaxDict: 1 << 20},
+		{B: 8, MaxDict: 256}, // too small: needs >= 512
+		{B: 4, MaxDict: 48},  // not a power of two
+	} {
+		if _, err := l.Compress(bitsOf(t, "0101")); err == nil {
+			t.Errorf("%+v accepted", l)
+		}
+		if _, err := l.Decompress(bitsOf(t, "0101"), 4); err == nil {
+			t.Errorf("%+v accepted on decode", l)
+		}
+	}
+}
+
+func TestLZWEdgeCases(t *testing.T) {
+	l := &LZW{B: 4, MaxDict: 64}
+	// Empty input.
+	s, err := l.Compress(bitsOf(t, ""))
+	if err != nil || s.Len() != 0 {
+		t.Fatalf("empty compress: %v", err)
+	}
+	if back, err := l.Decompress(s, 0); err != nil || back.Len() != 0 {
+		t.Fatalf("empty decompress: %v", err)
+	}
+	// Partial final block.
+	in := bitsOf(t, "1011010")
+	st, err := l.Compress(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := l.Decompress(st, in.Len())
+	if err != nil || !back.Equal(in) {
+		t.Fatalf("partial block round trip: %v", err)
+	}
+	// KwKwK pattern: "ababab..." style repetition with B=4 symbols.
+	kwk := bitsOf(t, strings.Repeat("0001", 12))
+	st2, err := l.Compress(kwk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := l.Decompress(st2, kwk.Len())
+	if err != nil || !back2.Equal(kwk) {
+		t.Fatalf("KwKwK round trip: %v", err)
+	}
+	// Corrupt stream: out-of-range code.
+	bad := bitvec.NewBits(st2.Len())
+	for i := 0; i < bad.Len(); i++ {
+		bad.Set(i, true)
+	}
+	if _, err := l.Decompress(bad, kwk.Len()); err == nil {
+		t.Fatal("corrupt stream accepted")
+	}
+}
+
+func TestLZWProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16, bias uint8) bool {
+		n := int(nRaw % 500)
+		rng := rand.New(rand.NewSource(seed))
+		p := float64(bias%100) / 100
+		in := bitvec.NewBits(n)
+		for i := 0; i < n; i++ {
+			in.Set(i, rng.Float64() < p)
+		}
+		for _, l := range []*LZW{{B: 4, MaxDict: 64}, {B: 8, MaxDict: 512}} {
+			st, err := l.Compress(in)
+			if err != nil {
+				return false
+			}
+			back, err := l.Decompress(st, n)
+			if err != nil || !back.Equal(in) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestLZW(t *testing.T) {
+	set := randomSet(3, 10, 120, 0.85)
+	r, err := BestLZW(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OrigBits != set.Bits() {
+		t.Fatalf("result %+v", r)
+	}
+}

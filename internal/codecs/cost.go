@@ -1,0 +1,116 @@
+package codecs
+
+import "fmt"
+
+// DecoderCost summarizes what a scheme's on-chip decompressor needs —
+// the axis on which the paper argues for 9C (§IV: "style, cost and
+// flexibility of on-chip decompressor"). States counts FSM states,
+// MemBits on-chip storage (dictionary RAM, Huffman tables), and
+// SetDependent marks decoders that must be resynthesized or reloaded
+// per test set.
+type DecoderCost struct {
+	States       int
+	CounterBits  int
+	MemBits      int
+	SetDependent bool
+}
+
+// String renders a compact summary.
+func (c DecoderCost) String() string {
+	dep := "fixed"
+	if c.SetDependent {
+		dep = "per-set"
+	}
+	return fmt.Sprintf("%d states, %d counter bits, %d mem bits, %s", c.States, c.CounterBits, c.MemBits, dep)
+}
+
+// Coster is implemented by codecs that can report their decoder cost.
+type Coster interface {
+	DecoderCost() DecoderCost
+}
+
+// DecoderCost implements Coster: a Golomb decoder is a unary-prefix
+// counter plus a log2(M) tail counter (Chandra & Chakrabarty's 4-state
+// machine).
+func (g Golomb) DecoderCost() DecoderCost {
+	return DecoderCost{States: 4, CounterBits: log2(g.M)}
+}
+
+// DecoderCost implements Coster: the FDR decoder tracks the group with
+// one counter and the tail with another; its published FSM has 8
+// states and the counters must span the longest run, bounded here by
+// a 16-bit budget (the paper's critique: variable-length codes need
+// worst-case sizing).
+func (FDR) DecoderCost() DecoderCost {
+	return DecoderCost{States: 8, CounterBits: 2 * 16}
+}
+
+// DecoderCost implements Coster: EFDR adds the polarity bit to FDR.
+func (EFDR) DecoderCost() DecoderCost {
+	return DecoderCost{States: 10, CounterBits: 2 * 16}
+}
+
+// DecoderCost implements Coster: ARL is FDR with an alternating
+// polarity toggle.
+func (ARL) DecoderCost() DecoderCost {
+	return DecoderCost{States: 9, CounterBits: 2 * 16}
+}
+
+// DecoderCost implements Coster: MTC is a Golomb run decoder plus the
+// polarity bit.
+func (m MTC) DecoderCost() DecoderCost {
+	return DecoderCost{States: 5, CounterBits: log2(m.M)}
+}
+
+// DecoderCost implements Coster: the VIHC decoder walks a Huffman tree
+// with Mh+1 leaves (Mh internal states) and replays up to Mh zeros —
+// and the tree is built from the test set, so the decoder is
+// set-dependent.
+func (v *VIHC) DecoderCost() DecoderCost {
+	return DecoderCost{States: v.Mh, CounterBits: log2ceilInt(v.Mh), SetDependent: true}
+}
+
+// DecoderCost implements Coster: selective Huffman stores the N coded
+// patterns (N×B RAM) and walks an N-leaf tree.
+func (s *SelectiveHuffman) DecoderCost() DecoderCost {
+	return DecoderCost{States: maxInt(s.N-1, 1), MemBits: s.N * s.B, SetDependent: true}
+}
+
+// DecoderCost implements Coster: full Huffman needs the complete
+// 2^B-entry pattern table.
+func (h *FullHuffman) DecoderCost() DecoderCost {
+	n := 1 << uint(h.B)
+	return DecoderCost{States: n - 1, MemBits: n * h.B, SetDependent: true}
+}
+
+// DecoderCost implements Coster: the dictionary decoder is a D-entry
+// RAM of B-bit words plus an index register.
+func (d *Dictionary) DecoderCost() DecoderCost {
+	return DecoderCost{States: 2, CounterBits: log2(d.D), MemBits: d.D * d.B, SetDependent: true}
+}
+
+// DecoderCost implements Coster: the LZW decoder's dictionary RAM
+// holds MaxDict entries of (prefix pointer + symbol); it is rebuilt
+// on-line, so the hardware is set-independent but large.
+func (l *LZW) DecoderCost() DecoderCost {
+	entry := log2(l.MaxDict) + l.B
+	return DecoderCost{States: 4, CounterBits: log2(l.MaxDict), MemBits: l.MaxDict * entry}
+}
+
+func log2ceilInt(n int) int {
+	b := 0
+	for 1<<uint(b) < n {
+		b++
+	}
+	if b == 0 {
+		return 1
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

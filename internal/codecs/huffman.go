@@ -1,0 +1,180 @@
+package codecs
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// tnode is a Huffman tree node; sym is -1 for internal nodes. seq is a
+// tiebreaker that keeps tree construction deterministic.
+type tnode struct {
+	w, sym, seq int
+	left, right *tnode
+}
+
+type tnodeHeap []*tnode
+
+func (h tnodeHeap) Len() int { return len(h) }
+func (h tnodeHeap) Less(i, j int) bool {
+	if h[i].w != h[j].w {
+		return h[i].w < h[j].w
+	}
+	return h[i].seq < h[j].seq
+}
+func (h tnodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *tnodeHeap) Push(x interface{}) { *h = append(*h, x.(*tnode)) }
+func (h *tnodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// huffmanLengths computes optimal prefix-code lengths for the given
+// symbol frequencies (zero-frequency symbols get length 0 and no
+// codeword). With a single used symbol its length is 1.
+func huffmanLengths(freq []int) []int {
+	lengths := make([]int, len(freq))
+	var h tnodeHeap
+	seq := 0
+	for s, f := range freq {
+		if f > 0 {
+			heap.Push(&h, &tnode{w: f, sym: s, seq: seq})
+			seq++
+		}
+	}
+	switch h.Len() {
+	case 0:
+		return lengths
+	case 1:
+		lengths[h[0].sym] = 1
+		return lengths
+	}
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*tnode)
+		b := heap.Pop(&h).(*tnode)
+		heap.Push(&h, &tnode{w: a.w + b.w, sym: -1, seq: seq, left: a, right: b})
+		seq++
+	}
+	root := heap.Pop(&h).(*tnode)
+	var walk func(n *tnode, depth int)
+	walk = func(n *tnode, depth int) {
+		if n.sym >= 0 {
+			lengths[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths
+}
+
+// canonicalFromLengths assigns canonical codewords ('0'/'1' strings)
+// for the given length table; symbols with length 0 get "".
+func canonicalFromLengths(lengths []int) ([]string, error) {
+	type sl struct{ sym, l int }
+	var used []sl
+	for s, l := range lengths {
+		if l > 0 {
+			used = append(used, sl{s, l})
+		}
+	}
+	sort.Slice(used, func(a, b int) bool {
+		if used[a].l != used[b].l {
+			return used[a].l < used[b].l
+		}
+		return used[a].sym < used[b].sym
+	})
+	out := make([]string, len(lengths))
+	code := 0
+	prev := 0
+	for i, u := range used {
+		if u.l > 62 {
+			return nil, fmt.Errorf("codecs: codeword length %d too large", u.l)
+		}
+		if i > 0 {
+			code = (code + 1) << uint(u.l-prev)
+		}
+		if code >= 1<<uint(u.l) {
+			return nil, fmt.Errorf("codecs: lengths violate Kraft inequality")
+		}
+		out[u.sym] = fmt.Sprintf("%0*b", u.l, code)
+		prev = u.l
+	}
+	return out, nil
+}
+
+// prefixDecoder walks canonical codewords bit by bit.
+type prefixDecoder struct {
+	zero, one []int32 // child indices, -1 absent
+	term      []int32 // symbol+1, 0 if internal
+}
+
+func newPrefixDecoder(codes []string) (*prefixDecoder, error) {
+	d := &prefixDecoder{}
+	d.addNode()
+	for sym, code := range codes {
+		if code == "" {
+			continue
+		}
+		node := int32(0)
+		for i := 0; i < len(code); i++ {
+			one := code[i] == '1'
+			var child int32
+			if one {
+				child = d.one[node]
+			} else {
+				child = d.zero[node]
+			}
+			if child < 0 {
+				child = int32(d.addNode())
+				if one {
+					d.one[node] = child
+				} else {
+					d.zero[node] = child
+				}
+			}
+			node = child
+		}
+		if d.term[node] != 0 {
+			return nil, fmt.Errorf("codecs: duplicate codeword %q", code)
+		}
+		d.term[node] = int32(sym + 1)
+	}
+	return d, nil
+}
+
+func (d *prefixDecoder) addNode() int {
+	d.zero = append(d.zero, -1)
+	d.one = append(d.one, -1)
+	d.term = append(d.term, 0)
+	return len(d.term) - 1
+}
+
+// errBadStream signals malformed compressed input.
+var errBadStream = fmt.Errorf("codecs: malformed compressed stream")
+
+// next reads one symbol; readBit supplies stream bits.
+func (d *prefixDecoder) next(readBit func() (bool, error)) (int, error) {
+	node := int32(0)
+	for {
+		if d.term[node] != 0 {
+			return int(d.term[node] - 1), nil
+		}
+		b, err := readBit()
+		if err != nil {
+			return 0, err
+		}
+		if b {
+			node = d.one[node]
+		} else {
+			node = d.zero[node]
+		}
+		if node < 0 {
+			return 0, errBadStream
+		}
+	}
+}

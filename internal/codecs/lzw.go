@@ -1,0 +1,156 @@
+package codecs
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/tcube"
+)
+
+// LZW is dictionary compression in the style of Knieser et al. (DATE
+// 2003, ref [25]): the MT-filled stream is cut into B-bit symbols and
+// LZW-coded with fixed-width output codes backed by an on-chip decoder
+// memory of MaxDict entries (frozen once full). Fixed-width codes keep
+// the on-chip decoder a plain RAM lookup, the paper's variant.
+type LZW struct {
+	// B is the input symbol width in bits (1..16).
+	B int
+	// MaxDict is the dictionary capacity, a power of two ≥ 2^B·2.
+	MaxDict int
+}
+
+// Name implements Codec.
+func (l *LZW) Name() string { return fmt.Sprintf("LZW(b=%d,dict=%d)", l.B, l.MaxDict) }
+
+// Fill implements Codec.
+func (l *LZW) Fill(s *tcube.Set) *tcube.Set { return mtFill(s) }
+
+func (l *LZW) check() error {
+	if l.B < 1 || l.B > 16 {
+		return fmt.Errorf("codecs: LZW symbol width %d", l.B)
+	}
+	if l.MaxDict < 1<<uint(l.B+1) || l.MaxDict&(l.MaxDict-1) != 0 {
+		return fmt.Errorf("codecs: LZW dictionary size %d (need power of two >= %d)", l.MaxDict, 1<<uint(l.B+1))
+	}
+	return nil
+}
+
+func (l *LZW) codeWidth() int { return log2(l.MaxDict) }
+
+// Compress implements Codec.
+func (l *LZW) Compress(data *bitvec.Bits) (*bitvec.Bits, error) {
+	if err := l.check(); err != nil {
+		return nil, err
+	}
+	syms, _ := blockSymbols(data, l.B)
+	width := l.codeWidth()
+	var w bitvec.Writer
+	if len(syms) == 0 {
+		return w.Bits(), nil
+	}
+	type key struct {
+		prefix int
+		sym    uint64
+	}
+	dict := map[key]int{}
+	next := 1 << uint(l.B) // codes 0..2^B-1 are the single symbols
+	cur := int(syms[0])
+	for _, s := range syms[1:] {
+		k := key{cur, s}
+		if code, ok := dict[k]; ok {
+			cur = code
+			continue
+		}
+		w.WriteUint(uint64(cur), width)
+		if next < l.MaxDict {
+			dict[k] = next
+			next++
+		}
+		cur = int(s)
+	}
+	w.WriteUint(uint64(cur), width)
+	return w.Bits(), nil
+}
+
+// Decompress implements Codec.
+func (l *LZW) Decompress(stream *bitvec.Bits, origBits int) (*bitvec.Bits, error) {
+	if err := l.check(); err != nil {
+		return nil, err
+	}
+	width := l.codeWidth()
+	out := bitvec.NewBits(origBits)
+	if origBits == 0 {
+		if stream.Len() != 0 {
+			return nil, errBadStream
+		}
+		return out, nil
+	}
+	r := bitvec.NewReader(stream)
+	// Dictionary entries as symbol strings.
+	entries := make([][]uint64, 1<<uint(l.B), l.MaxDict)
+	for s := range entries {
+		entries[s] = []uint64{uint64(s)}
+	}
+	pos := 0
+	emit := func(seq []uint64) error {
+		for _, s := range seq {
+			if pos >= origBits {
+				// Only final-block padding may spill past the end.
+				if pos >= origBits+l.B {
+					return errBadStream
+				}
+			}
+			writeBlock(out, pos, s, l.B)
+			pos += l.B
+		}
+		return nil
+	}
+	first, err := r.ReadUint(width)
+	if err != nil {
+		return nil, err
+	}
+	if int(first) >= len(entries) {
+		return nil, errBadStream
+	}
+	prev := entries[first]
+	if err := emit(prev); err != nil {
+		return nil, err
+	}
+	for pos < origBits {
+		code, err := r.ReadUint(width)
+		if err != nil {
+			return nil, err
+		}
+		var seq []uint64
+		switch {
+		case int(code) < len(entries):
+			seq = entries[int(code)]
+		case int(code) == len(entries) && len(entries) < l.MaxDict:
+			// KwKwK: the entry being defined right now.
+			seq = append(append([]uint64{}, prev...), prev[0])
+		default:
+			return nil, errBadStream
+		}
+		if len(entries) < l.MaxDict {
+			entries = append(entries, append(append([]uint64{}, prev...), seq[0]))
+		}
+		if err := emit(seq); err != nil {
+			return nil, err
+		}
+		prev = seq
+	}
+	if r.Remaining() != 0 {
+		return nil, errBadStream
+	}
+	return out, nil
+}
+
+// BestLZW tunes the LZW shape.
+func BestLZW(s *tcube.Set) (Result, error) {
+	return Best(s,
+		&LZW{B: 4, MaxDict: 256},
+		&LZW{B: 4, MaxDict: 1024},
+		&LZW{B: 8, MaxDict: 1024},
+		&LZW{B: 8, MaxDict: 4096},
+	)
+}

@@ -1,0 +1,415 @@
+package codecs
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/tcube"
+)
+
+// Golomb is the Golomb run-length code of Chandra & Chakrabarty (TCAD
+// 2001, ref [8]): don't-cares are mapped to 0 and each run of 0s
+// terminated by a 1 is encoded as a unary group prefix plus a
+// log2(M)-bit remainder. A final unterminated run is closed by a
+// virtual 1 that the decoder strips (noted in DESIGN.md).
+type Golomb struct {
+	// M is the group size, a power of two ≥ 2.
+	M int
+}
+
+// Name implements Codec.
+func (g Golomb) Name() string { return fmt.Sprintf("Golomb(m=%d)", g.M) }
+
+// Fill implements Codec: map-to-zero maximizes 0-run lengths.
+func (g Golomb) Fill(s *tcube.Set) *tcube.Set { return zeroFill(s) }
+
+func (g Golomb) check() error {
+	if g.M < 2 || g.M&(g.M-1) != 0 {
+		return fmt.Errorf("codecs: Golomb group size %d not a power of two >= 2", g.M)
+	}
+	return nil
+}
+
+func log2(m int) int {
+	n := 0
+	for 1<<uint(n) < m {
+		n++
+	}
+	return n
+}
+
+// Compress implements Codec.
+func (g Golomb) Compress(data *bitvec.Bits) (*bitvec.Bits, error) {
+	if err := g.check(); err != nil {
+		return nil, err
+	}
+	tail := log2(g.M)
+	var w bitvec.Writer
+	run := 0
+	emit := func() {
+		q, r := run/g.M, run%g.M
+		for i := 0; i < q; i++ {
+			w.WriteBit(true)
+		}
+		w.WriteBit(false)
+		w.WriteUint(uint64(r), tail)
+		run = 0
+	}
+	for i := 0; i < data.Len(); i++ {
+		if data.Get(i) {
+			emit()
+		} else {
+			run++
+		}
+	}
+	if run > 0 {
+		emit() // virtual terminating 1
+	}
+	return w.Bits(), nil
+}
+
+// Decompress implements Codec.
+func (g Golomb) Decompress(stream *bitvec.Bits, origBits int) (*bitvec.Bits, error) {
+	if err := g.check(); err != nil {
+		return nil, err
+	}
+	tail := log2(g.M)
+	r := bitvec.NewReader(stream)
+	out := bitvec.NewBits(origBits)
+	pos := 0
+	for pos < origBits {
+		run := 0
+		for {
+			b, err := r.ReadBit()
+			if err != nil {
+				return nil, err
+			}
+			if !b {
+				break
+			}
+			run += g.M
+		}
+		rem, err := r.ReadUint(tail)
+		if err != nil {
+			return nil, err
+		}
+		run += int(rem)
+		if pos+run > origBits {
+			return nil, errBadStream
+		}
+		pos += run // zeros already in place
+		if pos < origBits {
+			out.Set(pos, true)
+			pos++
+		}
+	}
+	if r.Remaining() != 0 {
+		return nil, errBadStream
+	}
+	return out, nil
+}
+
+// fdrEncodeRun appends the FDR codeword for a 0-run of length L ≥ 0.
+// Group k (k ≥ 1) has a k-bit prefix (k−1 ones then a zero) and a
+// k-bit tail, covering 2^k run lengths starting at N_k where N_1 = 0
+// and N_{k+1} = N_k + 2^k.
+func fdrEncodeRun(w *bitvec.Writer, l int) {
+	k := 1
+	base := 0
+	for l >= base+(1<<uint(k)) {
+		base += 1 << uint(k)
+		k++
+	}
+	for i := 0; i < k-1; i++ {
+		w.WriteBit(true)
+	}
+	w.WriteBit(false)
+	w.WriteUint(uint64(l-base), k)
+}
+
+// fdrDecodeRun reads one FDR codeword.
+func fdrDecodeRun(r *bitvec.Reader) (int, error) {
+	k := 1
+	base := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if !b {
+			break
+		}
+		base += 1 << uint(k)
+		k++
+	}
+	tail, err := r.ReadUint(k)
+	if err != nil {
+		return 0, err
+	}
+	return base + int(tail), nil
+}
+
+// FDR is the frequency-directed run-length code of Chandra &
+// Chakrabarty (TCOMP 2003, ref [9]): 0-runs terminated by 1, encoded
+// with the variable-prefix variable-tail FDR codewords. A final
+// unterminated run is closed by a virtual 1.
+type FDR struct{}
+
+// Name implements Codec.
+func (FDR) Name() string { return "FDR" }
+
+// Fill implements Codec.
+func (FDR) Fill(s *tcube.Set) *tcube.Set { return zeroFill(s) }
+
+// Compress implements Codec.
+func (FDR) Compress(data *bitvec.Bits) (*bitvec.Bits, error) {
+	var w bitvec.Writer
+	run := 0
+	for i := 0; i < data.Len(); i++ {
+		if data.Get(i) {
+			fdrEncodeRun(&w, run)
+			run = 0
+		} else {
+			run++
+		}
+	}
+	if run > 0 {
+		fdrEncodeRun(&w, run)
+	}
+	return w.Bits(), nil
+}
+
+// Decompress implements Codec.
+func (FDR) Decompress(stream *bitvec.Bits, origBits int) (*bitvec.Bits, error) {
+	r := bitvec.NewReader(stream)
+	out := bitvec.NewBits(origBits)
+	pos := 0
+	for pos < origBits {
+		run, err := fdrDecodeRun(r)
+		if err != nil {
+			return nil, err
+		}
+		if pos+run > origBits {
+			return nil, errBadStream
+		}
+		pos += run
+		if pos < origBits {
+			out.Set(pos, true)
+			pos++
+		}
+	}
+	if r.Remaining() != 0 {
+		return nil, errBadStream
+	}
+	return out, nil
+}
+
+// EFDR is the extended FDR code of El-Maleh & Al-Abaji (ICECS 2002,
+// ref [11]): each token is a run of identical bits v terminated by a
+// single ¬v, shipped as one type bit followed by the FDR codeword of
+// the run length. Don't-cares take the adjacent fill to lengthen runs
+// of both polarities. A final unterminated run is closed virtually.
+type EFDR struct{}
+
+// Name implements Codec.
+func (EFDR) Name() string { return "EFDR" }
+
+// Fill implements Codec.
+func (EFDR) Fill(s *tcube.Set) *tcube.Set { return mtFill(s) }
+
+// Compress implements Codec.
+func (EFDR) Compress(data *bitvec.Bits) (*bitvec.Bits, error) {
+	var w bitvec.Writer
+	i := 0
+	for i < data.Len() {
+		v := data.Get(i)
+		run := 1
+		for i+run < data.Len() && data.Get(i+run) == v {
+			run++
+		}
+		terminated := i+run < data.Len()
+		w.WriteBit(v)
+		fdrEncodeRun(&w, run-1) // length of the identical stretch minus the leading bit? see decode
+		if terminated {
+			i += run + 1
+		} else {
+			i += run
+		}
+	}
+	return w.Bits(), nil
+}
+
+// Decompress implements Codec.
+func (EFDR) Decompress(stream *bitvec.Bits, origBits int) (*bitvec.Bits, error) {
+	r := bitvec.NewReader(stream)
+	out := bitvec.NewBits(origBits)
+	pos := 0
+	for pos < origBits {
+		v, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		run, err := fdrDecodeRun(r)
+		if err != nil {
+			return nil, err
+		}
+		n := run + 1 // the identical stretch
+		if pos+n > origBits {
+			return nil, errBadStream
+		}
+		for i := 0; i < n; i++ {
+			out.Set(pos, v)
+			pos++
+		}
+		if pos < origBits {
+			out.Set(pos, !v)
+			pos++
+		}
+	}
+	if r.Remaining() != 0 {
+		return nil, errBadStream
+	}
+	return out, nil
+}
+
+// ARL is the alternating run-length code of Chandra & Chakrabarty
+// (TCAD 2003, ref [10]): maximal runs of strictly alternating polarity
+// starting with a (possibly empty) 0-run, each length shipped as an
+// FDR codeword with the polarity implied by position.
+type ARL struct{}
+
+// Name implements Codec.
+func (ARL) Name() string { return "ARL-FDR" }
+
+// Fill implements Codec.
+func (ARL) Fill(s *tcube.Set) *tcube.Set { return mtFill(s) }
+
+// Compress implements Codec.
+func (ARL) Compress(data *bitvec.Bits) (*bitvec.Bits, error) {
+	var w bitvec.Writer
+	expect := false // current run polarity, starting with 0s
+	i := 0
+	for i < data.Len() {
+		run := 0
+		for i+run < data.Len() && data.Get(i+run) == expect {
+			run++
+		}
+		fdrEncodeRun(&w, run)
+		i += run
+		expect = !expect
+	}
+	return w.Bits(), nil
+}
+
+// Decompress implements Codec.
+func (ARL) Decompress(stream *bitvec.Bits, origBits int) (*bitvec.Bits, error) {
+	r := bitvec.NewReader(stream)
+	out := bitvec.NewBits(origBits)
+	pos := 0
+	v := false
+	for pos < origBits {
+		run, err := fdrDecodeRun(r)
+		if err != nil {
+			return nil, err
+		}
+		if pos+run > origBits {
+			return nil, errBadStream
+		}
+		for i := 0; i < run; i++ {
+			out.Set(pos, v)
+			pos++
+		}
+		v = !v
+	}
+	if r.Remaining() != 0 {
+		return nil, errBadStream
+	}
+	return out, nil
+}
+
+// MTC models the simultaneous volume/power reduction scheme of
+// Rosinger et al. (Electronics Letters 2001, ref [12]), read as:
+// minimum-transition fill, then run-length coding of the resulting
+// long identical-value stretches — implemented here as EFDR over the
+// MT-filled stream with Golomb run codes of group size M
+// (interpretation documented in DESIGN.md §4).
+type MTC struct {
+	// M is the Golomb group size for the run lengths.
+	M int
+}
+
+// Name implements Codec.
+func (m MTC) Name() string { return fmt.Sprintf("MTC(m=%d)", m.M) }
+
+// Fill implements Codec.
+func (MTC) Fill(s *tcube.Set) *tcube.Set { return mtFill(s) }
+
+// Compress implements Codec.
+func (m MTC) Compress(data *bitvec.Bits) (*bitvec.Bits, error) {
+	if err := (Golomb{M: m.M}).check(); err != nil {
+		return nil, err
+	}
+	tail := log2(m.M)
+	var w bitvec.Writer
+	i := 0
+	for i < data.Len() {
+		v := data.Get(i)
+		run := 1
+		for i+run < data.Len() && data.Get(i+run) == v {
+			run++
+		}
+		w.WriteBit(v)
+		q, r := (run-1)/m.M, (run-1)%m.M
+		for j := 0; j < q; j++ {
+			w.WriteBit(true)
+		}
+		w.WriteBit(false)
+		w.WriteUint(uint64(r), tail)
+		i += run
+	}
+	return w.Bits(), nil
+}
+
+// Decompress implements Codec.
+func (m MTC) Decompress(stream *bitvec.Bits, origBits int) (*bitvec.Bits, error) {
+	if err := (Golomb{M: m.M}).check(); err != nil {
+		return nil, err
+	}
+	tail := log2(m.M)
+	r := bitvec.NewReader(stream)
+	out := bitvec.NewBits(origBits)
+	pos := 0
+	for pos < origBits {
+		v, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		run := 0
+		for {
+			b, err := r.ReadBit()
+			if err != nil {
+				return nil, err
+			}
+			if !b {
+				break
+			}
+			run += m.M
+		}
+		rem, err := r.ReadUint(tail)
+		if err != nil {
+			return nil, err
+		}
+		run += int(rem) + 1
+		if pos+run > origBits {
+			return nil, errBadStream
+		}
+		for i := 0; i < run; i++ {
+			out.Set(pos, v)
+			pos++
+		}
+	}
+	if r.Remaining() != 0 {
+		return nil, errBadStream
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package codecs
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/tcube"
+)
+
+// VIHC is the variable-length input Huffman code of Gonciari,
+// Al-Hashimi & Nicolici (DATE 2002, ref [13]): the zero-filled stream
+// is cut into variable-length input patterns — a 0-run of length
+// 0..Mh−1 terminated by a 1, or a full unterminated run of Mh zeros —
+// and the Mh+1 resulting symbols are Huffman coded from the test set's
+// own histogram. The code table therefore depends on the test set (the
+// coupling 9C avoids); this implementation retains the table between
+// Compress and Decompress to model that decoder.
+type VIHC struct {
+	// Mh is the maximum group size (longest input pattern), ≥ 1.
+	Mh int
+
+	codes []string
+	dec   *prefixDecoder
+}
+
+// Name implements Codec.
+func (v *VIHC) Name() string { return fmt.Sprintf("VIHC(mh=%d)", v.Mh) }
+
+// Fill implements Codec.
+func (v *VIHC) Fill(s *tcube.Set) *tcube.Set { return zeroFill(s) }
+
+// tokenize cuts the stream into VIHC symbols: symbol k in [0, Mh)
+// means k zeros followed by a 1; symbol Mh means Mh zeros with no
+// terminator.
+func (v *VIHC) tokenize(data *bitvec.Bits) []int {
+	var syms []int
+	run := 0
+	for i := 0; i < data.Len(); i++ {
+		if data.Get(i) {
+			syms = append(syms, run)
+			run = 0
+			continue
+		}
+		run++
+		if run == v.Mh {
+			syms = append(syms, v.Mh)
+			run = 0
+		}
+	}
+	if run > 0 {
+		// Final short run: close with a virtual terminator.
+		syms = append(syms, run)
+	}
+	return syms
+}
+
+// Compress implements Codec.
+func (v *VIHC) Compress(data *bitvec.Bits) (*bitvec.Bits, error) {
+	if v.Mh < 1 {
+		return nil, fmt.Errorf("codecs: VIHC group size %d", v.Mh)
+	}
+	syms := v.tokenize(data)
+	freq := make([]int, v.Mh+1)
+	for _, s := range syms {
+		freq[s]++
+	}
+	codes, err := canonicalFromLengths(huffmanLengths(freq))
+	if err != nil {
+		return nil, err
+	}
+	v.codes = codes
+	v.dec, err = newPrefixDecoder(codes)
+	if err != nil {
+		return nil, err
+	}
+	var w bitvec.Writer
+	for _, s := range syms {
+		w.WriteCode(codes[s])
+	}
+	return w.Bits(), nil
+}
+
+// Decompress implements Codec.
+func (v *VIHC) Decompress(stream *bitvec.Bits, origBits int) (*bitvec.Bits, error) {
+	if v.dec == nil {
+		return nil, fmt.Errorf("codecs: VIHC decoder not trained (call Compress first)")
+	}
+	r := bitvec.NewReader(stream)
+	out := bitvec.NewBits(origBits)
+	pos := 0
+	for pos < origBits {
+		sym, err := v.dec.next(r.ReadBit)
+		if err != nil {
+			return nil, err
+		}
+		if sym < v.Mh {
+			if pos+sym > origBits {
+				return nil, errBadStream
+			}
+			pos += sym
+			if pos < origBits {
+				out.Set(pos, true)
+				pos++
+			}
+		} else {
+			if pos+v.Mh > origBits {
+				return nil, errBadStream
+			}
+			pos += v.Mh
+		}
+	}
+	if r.Remaining() != 0 {
+		return nil, errBadStream
+	}
+	return out, nil
+}

@@ -1,0 +1,202 @@
+// Package container defines the on-disk format for 9C-compressed test
+// data ("N9C1"): a small self-describing header followed by the packed
+// T_E payload. Because T_E is ternary — leftover don't-cares survive
+// compression — the payload stores two planes, the value bits and the
+// X mask, so a stored stream can still be filled at load time.
+//
+// Layout (all integers little-endian uint32 unless noted):
+//
+//	offset  field
+//	0       magic "N9C1"
+//	4       block size K
+//	8       pattern count (0 when a bare cube was encoded)
+//	12      scan width    (0 when a bare cube was encoded)
+//	16      original bit count |T_D|
+//	20      block count
+//	24      stream bit count |T_E|
+//	28      codeword table: 9 × (uint8 length + 8-byte zero-padded
+//	        codeword ASCII)
+//	...     value plane, ceil(|T_E|/8) bytes, bit i at byte i/8 bit i%8
+//	...     X-mask plane, same size (bit set = position is X)
+package container
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+)
+
+// Magic identifies the format.
+const Magic = "N9C1"
+
+// Write serializes an encoding result.
+func Write(w io.Writer, r *core.Result) error {
+	var hdr [28]byte
+	copy(hdr[0:4], Magic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(r.K))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(r.Patterns))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(r.Width))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(r.OrigBits))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(r.Blocks))
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(r.Stream.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for cs := core.CaseAll0; cs <= core.CaseMisMis; cs++ {
+		code := r.Assign.Code(cs)
+		var entry [9]byte
+		entry[0] = byte(len(code))
+		copy(entry[1:], code)
+		if _, err := w.Write(entry[:]); err != nil {
+			return err
+		}
+	}
+	val, mask := planes(r.Stream)
+	if _, err := w.Write(val); err != nil {
+		return err
+	}
+	_, err := w.Write(mask)
+	return err
+}
+
+// Read parses a container back into a Result (Counts are recomputed by
+// re-classifying on decode when needed; the stored stream is
+// authoritative).
+func Read(rd io.Reader) (*core.Result, error) {
+	var hdr [28]byte
+	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+		return nil, fmt.Errorf("container: header: %w", err)
+	}
+	if string(hdr[0:4]) != Magic {
+		return nil, fmt.Errorf("container: bad magic %q", hdr[0:4])
+	}
+	k := int(binary.LittleEndian.Uint32(hdr[4:]))
+	patterns := int(binary.LittleEndian.Uint32(hdr[8:]))
+	width := int(binary.LittleEndian.Uint32(hdr[12:]))
+	origBits := int(binary.LittleEndian.Uint32(hdr[16:]))
+	blocks := int(binary.LittleEndian.Uint32(hdr[20:]))
+	streamBits := int(binary.LittleEndian.Uint32(hdr[24:]))
+	if k > 1<<20 {
+		return nil, fmt.Errorf("container: implausible block size K=%d", k)
+	}
+	if k < 2 || k%2 != 0 || origBits < 0 || blocks < 0 || streamBits < 0 {
+		return nil, fmt.Errorf("container: implausible header (K=%d orig=%d blocks=%d stream=%d)",
+			k, origBits, blocks, streamBits)
+	}
+	// Format limits: 9C never expands a block beyond its longest
+	// codeword plus K data bits, and the stream cannot outgrow what the
+	// blocks can carry — reject forged headers before allocating.
+	const maxStreamBits = 1 << 30
+	if streamBits > maxStreamBits || streamBits > blocks*(8+k) {
+		return nil, fmt.Errorf("container: stream size %d inconsistent with %d blocks of K=%d", streamBits, blocks, k)
+	}
+	if blocks > origBits+k {
+		return nil, fmt.Errorf("container: %d blocks for %d original bits", blocks, origBits)
+	}
+
+	codes := make([]string, core.NumCases)
+	for i := range codes {
+		var entry [9]byte
+		if _, err := io.ReadFull(rd, entry[:]); err != nil {
+			return nil, fmt.Errorf("container: codeword table: %w", err)
+		}
+		n := int(entry[0])
+		if n < 1 || n > 8 {
+			return nil, fmt.Errorf("container: codeword %d has length %d", i+1, n)
+		}
+		code := string(entry[1 : 1+n])
+		if strings.Trim(code, "01") != "" {
+			return nil, fmt.Errorf("container: codeword %d is not binary: %q", i+1, code)
+		}
+		codes[i] = code
+	}
+	assign, err := core.AssignmentFromCodes(codes)
+	if err != nil {
+		return nil, fmt.Errorf("container: %w", err)
+	}
+
+	nbytes := (streamBits + 7) / 8
+	val := make([]byte, nbytes)
+	mask := make([]byte, nbytes)
+	if _, err := io.ReadFull(rd, val); err != nil {
+		return nil, fmt.Errorf("container: value plane: %w", err)
+	}
+	if _, err := io.ReadFull(rd, mask); err != nil {
+		return nil, fmt.Errorf("container: mask plane: %w", err)
+	}
+	if n, _ := rd.Read(make([]byte, 1)); n != 0 {
+		return nil, fmt.Errorf("container: trailing bytes")
+	}
+	stream, err := unplanes(val, mask, streamBits)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &core.Result{
+		K: k, Assign: assign, Stream: stream,
+		OrigBits: origBits, Blocks: blocks, LeftoverX: stream.XCount(),
+		Patterns: patterns, Width: width,
+	}
+	// Recover the codeword statistics (and validate the stream) by
+	// decoding once.
+	cdc, err := core.NewWithAssignment(k, assign)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := cdc.Decode(r); err != nil {
+		return nil, fmt.Errorf("container: stored stream does not decode: %w", err)
+	}
+	counts, err := core.CountsOfStream(cdc, stream, blocks)
+	if err != nil {
+		return nil, err
+	}
+	r.Counts = counts
+	return r, nil
+}
+
+// planes splits a ternary stream into (value bits, X mask) byte planes.
+func planes(c *bitvec.Cube) (val, mask []byte) {
+	n := (c.Len() + 7) / 8
+	val = make([]byte, n)
+	mask = make([]byte, n)
+	for i := 0; i < c.Len(); i++ {
+		switch c.Get(i) {
+		case bitvec.One:
+			val[i/8] |= 1 << uint(i%8)
+		case bitvec.X:
+			mask[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return val, mask
+}
+
+// unplanes rebuilds the ternary stream; a set mask bit with a set value
+// bit is rejected as corruption.
+func unplanes(val, mask []byte, bits int) (*bitvec.Cube, error) {
+	c := bitvec.NewCube(bits)
+	for i := 0; i < bits; i++ {
+		v := val[i/8]>>uint(i%8)&1 == 1
+		x := mask[i/8]>>uint(i%8)&1 == 1
+		switch {
+		case x && v:
+			return nil, fmt.Errorf("container: bit %d is both X and 1", i)
+		case x:
+			// stays X
+		case v:
+			c.Set(i, bitvec.One)
+		default:
+			c.Set(i, bitvec.Zero)
+		}
+	}
+	// Unused pad bits in the final byte must be zero.
+	for i := bits; i < len(val)*8; i++ {
+		if val[i/8]>>uint(i%8)&1 == 1 || mask[i/8]>>uint(i%8)&1 == 1 {
+			return nil, fmt.Errorf("container: nonzero padding bit %d", i)
+		}
+	}
+	return c, nil
+}

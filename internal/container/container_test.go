@@ -1,0 +1,154 @@
+package container
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/tcube"
+)
+
+func encodeSet(t *testing.T, k int, rows ...string) (*core.Codec, *core.Result, *tcube.Set) {
+	t.Helper()
+	set, err := tcube.Read("c", strings.NewReader(strings.Join(rows, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdc, err := core.New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cdc.EncodeSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cdc, r, set
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	cdc, r, set := encodeSet(t, 8,
+		"0000000011111111",
+		"01X011011XXXXX10",
+		"XXXXXXXXXXXXXXXX",
+	)
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K != r.K || back.OrigBits != r.OrigBits || back.Blocks != r.Blocks ||
+		back.Patterns != r.Patterns || back.Width != r.Width || back.LeftoverX != r.LeftoverX {
+		t.Fatalf("header mismatch: %+v vs %+v", back, r)
+	}
+	if !back.Stream.Equal(r.Stream) {
+		t.Fatal("stream mismatch")
+	}
+	if back.Counts != r.Counts {
+		t.Fatalf("counts %v vs %v", back.Counts, r.Counts)
+	}
+	dec, err := cdc.DecodeSet(back.Stream, set.Width(), set.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Covers(dec) {
+		t.Fatal("decoded container contradicts source")
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	_, r, _ := encodeSet(t, 8, "0000000011111111", "01X011011XXXXX10")
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	mutate := func(name string, f func(b []byte) []byte) {
+		t.Helper()
+		b := append([]byte(nil), good...)
+		b = f(b)
+		if _, err := Read(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	mutate("bad magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	mutate("odd K", func(b []byte) []byte { b[4] = 7; return b })
+	mutate("truncated header", func(b []byte) []byte { return b[:20] })
+	mutate("truncated payload", func(b []byte) []byte { return b[:len(b)-2] })
+	mutate("trailing bytes", func(b []byte) []byte { return append(b, 0) })
+	mutate("codeword length 0", func(b []byte) []byte { b[28] = 0; return b })
+	mutate("codeword non-binary", func(b []byte) []byte { b[29] = 'z'; return b })
+	// Corrupting a codeword table entry so two codes collide.
+	mutate("duplicate codewords", func(b []byte) []byte {
+		copy(b[28:37], b[37:46])
+		return b
+	})
+	// Value+mask both set on bit 0 of the payload.
+	mutate("X and 1 simultaneously", func(b []byte) []byte {
+		payload := 28 + 9*9
+		nbytes := (len(b) - payload) / 2
+		b[payload] |= 1
+		b[payload+nbytes] |= 1
+		return b
+	})
+}
+
+func TestReadRejectsUndecodableStream(t *testing.T) {
+	_, r, _ := encodeSet(t, 8, "0000000011111111")
+	// Claim one more block than the stream holds.
+	r2 := *r
+	r2.Blocks++
+	r2.OrigBits += 8
+	var buf bytes.Buffer
+	if err := Write(&buf, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("short stream accepted")
+	}
+}
+
+func TestPropertyContainerRoundTrip(t *testing.T) {
+	f := func(seed int64, kRaw, nRaw, wRaw uint8) bool {
+		k := (int(kRaw%8) + 1) * 2
+		n := int(nRaw % 12)
+		w := int(wRaw%24) + 1
+		rng := rand.New(rand.NewSource(seed))
+		set := tcube.NewSet("p", w)
+		for i := 0; i < n; i++ {
+			c := bitvec.NewCube(w)
+			for j := 0; j < w; j++ {
+				c.Set(j, bitvec.Trit(rng.Intn(3)))
+			}
+			set.MustAppend(c)
+		}
+		cdc, err := core.New(k)
+		if err != nil {
+			return false
+		}
+		r, err := cdc.EncodeSet(set)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, r); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return back.Stream.Equal(r.Stream) && back.Counts == r.Counts &&
+			back.K == r.K && back.OrigBits == r.OrigBits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package container
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tcube"
+)
+
+// FuzzRead checks the container parser never panics on arbitrary
+// bytes and that anything it accepts re-serializes identically.
+func FuzzRead(f *testing.F) {
+	// Seed with a genuine container.
+	set, err := tcube.Read("seed", strings.NewReader("0000000011111111\n01X011011XXXXX10\n"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	cdc, err := core.New(8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	r, err := cdc.EncodeSet(set)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("N9C1"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 200))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, r); err != nil {
+			t.Fatalf("re-serialize of accepted container failed: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if !again.Stream.Equal(r.Stream) || again.Counts != r.Counts {
+			t.Fatal("container round trip drifted")
+		}
+	})
+}

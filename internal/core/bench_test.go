@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+func benchCube(n int) *bitvec.Cube {
+	rng := rand.New(rand.NewSource(1))
+	c := bitvec.NewCube(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.75 {
+			continue
+		}
+		c.Set(i, bitvec.Trit(rng.Intn(2)))
+	}
+	return c
+}
+
+func BenchmarkEncodeCube(b *testing.B) {
+	for _, k := range []int{4, 8, 16, 32} {
+		b.Run(benchName("K", k), func(b *testing.B) {
+			flat := benchCube(1 << 16)
+			cdc, err := New(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(flat.Len() / 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cdc.EncodeCube(flat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecodeCube(b *testing.B) {
+	flat := benchCube(1 << 16)
+	cdc, err := New(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := cdc.EncodeCube(flat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(flat.Len() / 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cdc.DecodeCube(r.Stream, flat.Len()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	flat := benchCube(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for off := 0; off+8 <= flat.Len(); off += 8 {
+			Classify(flat, off, 8)
+		}
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

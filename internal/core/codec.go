@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/tcube"
+)
+
+// Counts records the occurrence frequency N_i of each codeword, indexed
+// by case-1 (Counts[0] == N1), the statistic behind Tables VI and VII.
+type Counts [NumCases]int
+
+// Add increments the count for case c.
+func (n *Counts) Add(c Case) { n[c-1]++ }
+
+// N returns N_c.
+func (n Counts) N(c Case) int { return n[c-1] }
+
+// Total returns the number of encoded blocks.
+func (n Counts) Total() int {
+	t := 0
+	for _, v := range n {
+		t += v
+	}
+	return t
+}
+
+// Codec is a 9C encoder/decoder for a fixed block size K and codeword
+// assignment. The decoder hardware the codec models is independent of
+// both the circuit under test and the precomputed test set; only K is a
+// design-time parameter.
+type Codec struct {
+	k      int
+	assign Assignment
+}
+
+// New returns a Codec for block size k with the default codeword
+// assignment. k must be an even integer ≥ 2 so the block splits into
+// two equal halves.
+func New(k int) (*Codec, error) {
+	return NewWithAssignment(k, DefaultAssignment())
+}
+
+// NewWithAssignment returns a Codec using a caller-supplied codeword
+// assignment (e.g. a frequency-directed one).
+func NewWithAssignment(k int, a Assignment) (*Codec, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("core: block size K=%d must be an even integer >= 2", k)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &Codec{k: k, assign: a}, nil
+}
+
+// K returns the block size.
+func (c *Codec) K() int { return c.k }
+
+// Assignment returns the codeword assignment in use.
+func (c *Codec) Assignment() Assignment { return c.assign }
+
+// Result is the outcome of a 9C encoding: the compressed stream T_E
+// (ternary — leftover don't-cares survive inside shipped mismatch
+// halves), codeword statistics, and enough geometry to decode.
+type Result struct {
+	K         int
+	Assign    Assignment
+	Stream    *bitvec.Cube // T_E in ATE shipping order
+	Counts    Counts
+	OrigBits  int // |T_D| before padding
+	Blocks    int
+	LeftoverX int // X bits surviving in Stream
+	Patterns  int // number of test patterns (0 when a bare cube was encoded)
+	Width     int // per-pattern scan width  (0 when a bare cube was encoded)
+}
+
+// CompressedBits returns |T_E|.
+func (r *Result) CompressedBits() int { return r.Stream.Len() }
+
+// CR returns the compression ratio in percent:
+// 100·(|T_D|−|T_E|)/|T_D|. Negative values mean expansion.
+func (r *Result) CR() float64 {
+	if r.OrigBits == 0 {
+		return 0
+	}
+	return 100 * float64(r.OrigBits-r.CompressedBits()) / float64(r.OrigBits)
+}
+
+// LXPercent returns leftover don't-cares as a percentage of |T_D|, the
+// paper's Table III metric.
+func (r *Result) LXPercent() float64 {
+	if r.OrigBits == 0 {
+		return 0
+	}
+	return 100 * float64(r.LeftoverX) / float64(r.OrigBits)
+}
+
+// encodeBlock appends the encoding of one block to w and returns its case.
+func (c *Codec) encodeBlock(flat *bitvec.Cube, off int, w *cubeWriter) Case {
+	k := c.k
+	cs := Classify(flat, off, k)
+	w.writeCode(c.assign.Code(cs))
+	h := k / 2
+	if cs.LeftMismatch() {
+		w.writeRaw(flat, off, off+h)
+	}
+	if cs.RightMismatch() {
+		w.writeRaw(flat, off+h, off+k)
+	}
+	return cs
+}
+
+// EncodeCube compresses a bare cube (e.g. one already-flattened scan
+// stream). The cube is padded with X to a multiple of K.
+func (c *Codec) EncodeCube(flat *bitvec.Cube) (*Result, error) {
+	w := newCubeWriter()
+	var counts Counts
+	blocks := (flat.Len() + c.k - 1) / c.k
+	for b := 0; b < blocks; b++ {
+		counts.Add(c.encodeBlock(flat, b*c.k, w))
+	}
+	stream := w.cube()
+	return &Result{
+		K: c.k, Assign: c.assign, Stream: stream, Counts: counts,
+		OrigBits: flat.Len(), Blocks: blocks, LeftoverX: stream.XCount(),
+	}, nil
+}
+
+// EncodeSet compresses a test set pattern by pattern: each scan load is
+// padded independently to a multiple of K, preserving per-pattern
+// synchronization between the ATE and the decoder.
+func (c *Codec) EncodeSet(s *tcube.Set) (*Result, error) {
+	w := newCubeWriter()
+	var counts Counts
+	blocksPer := (s.Width() + c.k - 1) / c.k
+	for i := 0; i < s.Len(); i++ {
+		p := s.Cube(i)
+		for b := 0; b < blocksPer; b++ {
+			counts.Add(c.encodeBlock(p, b*c.k, w))
+		}
+	}
+	stream := w.cube()
+	return &Result{
+		K: c.k, Assign: c.assign, Stream: stream, Counts: counts,
+		OrigBits: s.Bits(), Blocks: blocksPer * s.Len(),
+		LeftoverX: stream.XCount(), Patterns: s.Len(), Width: s.Width(),
+	}, nil
+}
+
+// decodeBlocks reads exactly blocks block encodings from r and emits
+// their K-bit expansions into out starting at position 0.
+func (c *Codec) decodeBlocks(r *cubeReader, blocks int) (*bitvec.Cube, error) {
+	k := c.k
+	h := k / 2
+	out := bitvec.NewCube(blocks * k)
+	table := newDecodeTable(c.assign)
+	for b := 0; b < blocks; b++ {
+		cs, err := table.next(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: block %d: %w", b, err)
+		}
+		base := b * k
+		if v, ok := cs.matchedLeft(); ok {
+			for i := 0; i < h; i++ {
+				out.Set(base+i, v)
+			}
+		} else {
+			if err := r.readRaw(out, base, base+h); err != nil {
+				return nil, fmt.Errorf("core: block %d left data: %w", b, err)
+			}
+		}
+		if v, ok := cs.matchedRight(); ok {
+			for i := 0; i < h; i++ {
+				out.Set(base+h+i, v)
+			}
+		} else {
+			if err := r.readRaw(out, base+h, base+k); err != nil {
+				return nil, fmt.Errorf("core: block %d right data: %w", b, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// DecodeCube decompresses a stream produced by EncodeCube back into a
+// cube of origBits trits. Matched halves regenerate as constant runs;
+// mismatch halves keep their shipped trits (including leftover X). It
+// is an error for the stream to be truncated, malformed, or to carry
+// trailing bits beyond the last block.
+func (c *Codec) DecodeCube(stream *bitvec.Cube, origBits int) (*bitvec.Cube, error) {
+	if origBits < 0 {
+		return nil, fmt.Errorf("core: negative output size %d", origBits)
+	}
+	r := &cubeReader{src: stream}
+	blocks := (origBits + c.k - 1) / c.k
+	out, err := c.decodeBlocks(r, blocks)
+	if err != nil {
+		return nil, err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("core: %d trailing bits after final block", r.remaining())
+	}
+	return out.Slice(0, origBits), nil
+}
+
+// DecodeSet decompresses a stream produced by EncodeSet back into a
+// test set of the given geometry.
+func (c *Codec) DecodeSet(stream *bitvec.Cube, width, patterns int) (*tcube.Set, error) {
+	if width < 0 || patterns < 0 {
+		return nil, fmt.Errorf("core: invalid geometry %dx%d", patterns, width)
+	}
+	r := &cubeReader{src: stream}
+	blocksPer := (width + c.k - 1) / c.k
+	out := tcube.NewSet("decoded", width)
+	for i := 0; i < patterns; i++ {
+		p, err := c.decodeBlocks(r, blocksPer)
+		if err != nil {
+			return nil, fmt.Errorf("core: pattern %d: %w", i, err)
+		}
+		out.MustAppend(p.Slice(0, width))
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("core: %d trailing bits after final pattern", r.remaining())
+	}
+	return out, nil
+}
+
+// Decode reconstructs the test set or cube geometry recorded in r.
+// For set-encoded results it returns the decoded set and a nil cube;
+// for bare-cube results it returns a nil set and the decoded cube.
+func (c *Codec) Decode(r *Result) (*tcube.Set, *bitvec.Cube, error) {
+	if r.K != c.k {
+		return nil, nil, fmt.Errorf("core: result K=%d, codec K=%d", r.K, c.k)
+	}
+	if r.Patterns > 0 || r.Width > 0 {
+		s, err := c.DecodeSet(r.Stream, r.Width, r.Patterns)
+		return s, nil, err
+	}
+	cu, err := c.DecodeCube(r.Stream, r.OrigBits)
+	return nil, cu, err
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+// referenceClassify is a direct transcription of Table I's row order,
+// kept deliberately naive and independent of the production code.
+func referenceClassify(block []bitvec.Trit) Case {
+	h := len(block) / 2
+	compat := func(lo, hi int, v bitvec.Trit) bool {
+		for i := lo; i < hi; i++ {
+			if block[i] != v && block[i] != bitvec.X {
+				return false
+			}
+		}
+		return true
+	}
+	l0, l1 := compat(0, h, bitvec.Zero), compat(0, h, bitvec.One)
+	r0, r1 := compat(h, len(block), bitvec.Zero), compat(h, len(block), bitvec.One)
+	rows := []struct {
+		match bool
+		cs    Case
+	}{
+		{l0 && r0, CaseAll0},
+		{l1 && r1, CaseAll1},
+		{l0 && r1, Case0Then1},
+		{l1 && r0, Case1Then0},
+		{l0 && !r0 && !r1, Case0ThenMis},
+		{!l0 && !l1 && r0, CaseMisThen0},
+		{l1 && !r0 && !r1, Case1ThenMis},
+		{!l0 && !l1 && r1, CaseMisThen1},
+	}
+	for _, row := range rows {
+		if row.match {
+			return row.cs
+		}
+	}
+	return CaseMisMis
+}
+
+// TestClassifyExhaustiveK4 checks every one of the 3^4 ternary blocks
+// at K=4 against the independent reference, and that the encoder's
+// per-block output length matches the case's analytic size.
+func TestClassifyExhaustiveK4(t *testing.T) {
+	const k = 4
+	cdc := mustCodec(t, k)
+	a := cdc.Assignment()
+	total := 1
+	for i := 0; i < k; i++ {
+		total *= 3
+	}
+	for code := 0; code < total; code++ {
+		block := make([]bitvec.Trit, k)
+		c := bitvec.NewCube(k)
+		v := code
+		for i := 0; i < k; i++ {
+			block[i] = bitvec.Trit(v % 3)
+			c.Set(i, block[i])
+			v /= 3
+		}
+		want := referenceClassify(block)
+		if got := Classify(c, 0, k); got != want {
+			t.Fatalf("block %s: Classify=%s, reference=%s", c, got, want)
+		}
+		r, err := cdc.EncodeCube(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBits := a.Len(want) + want.DataBits(k)
+		if r.CompressedBits() != wantBits {
+			t.Fatalf("block %s (%s): %d bits, want %d", c, want, r.CompressedBits(), wantBits)
+		}
+		// And the decode must round-trip without contradicting the block.
+		dec, err := cdc.DecodeCube(r.Stream, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Covers(dec) {
+			t.Fatalf("block %s: decode %s contradicts", c, dec)
+		}
+	}
+}
+
+// TestClassifyExhaustiveK8Sampled extends the cross-check to K=8 over
+// a deterministic stride of the 3^8 = 6561 blocks (all of them — it is
+// cheap enough).
+func TestClassifyExhaustiveK8(t *testing.T) {
+	const k = 8
+	total := 6561
+	for code := 0; code < total; code++ {
+		block := make([]bitvec.Trit, k)
+		c := bitvec.NewCube(k)
+		v := code
+		for i := 0; i < k; i++ {
+			block[i] = bitvec.Trit(v % 3)
+			c.Set(i, block[i])
+			v /= 3
+		}
+		if got, want := Classify(c, 0, k), referenceClassify(block); got != want {
+			t.Fatalf("block %s: Classify=%s, reference=%s", c, got, want)
+		}
+	}
+}

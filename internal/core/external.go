@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// AssignmentFromCodes builds an Assignment from nine codeword strings
+// in case order (index 0 = C1), validating prefix-freeness. It is the
+// deserialization entry point for stored streams.
+func AssignmentFromCodes(codes []string) (Assignment, error) {
+	var a Assignment
+	if len(codes) != NumCases {
+		return a, fmt.Errorf("core: %d codewords, want %d", len(codes), NumCases)
+	}
+	copy(a.codes[:], codes)
+	if err := a.Validate(); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+// CountsOfStream re-derives the codeword statistics of a compressed
+// stream by walking exactly blocks block encodings. It validates
+// framing as a side effect.
+func CountsOfStream(c *Codec, stream *bitvec.Cube, blocks int) (Counts, error) {
+	var counts Counts
+	r := &cubeReader{src: stream}
+	table := newDecodeTable(c.assign)
+	h := c.k / 2
+	for b := 0; b < blocks; b++ {
+		cs, err := table.next(r)
+		if err != nil {
+			return counts, fmt.Errorf("core: block %d: %w", b, err)
+		}
+		counts.Add(cs)
+		skip := 0
+		if cs.LeftMismatch() {
+			skip += h
+		}
+		if cs.RightMismatch() {
+			skip += h
+		}
+		if r.remaining() < skip {
+			return counts, fmt.Errorf("core: block %d: %w", b, ErrTruncated)
+		}
+		r.pos += skip
+	}
+	if r.remaining() != 0 {
+		return counts, fmt.Errorf("core: %d trailing bits after final block", r.remaining())
+	}
+	return counts, nil
+}

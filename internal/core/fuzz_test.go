@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+// FuzzDecodeCube feeds arbitrary bit strings to the decoder: it must
+// either error cleanly or produce output whose re-encoding is
+// byte-compatible (decode∘encode∘decode = decode).
+func FuzzDecodeCube(f *testing.F) {
+	f.Add("0", uint8(8))
+	f.Add("1110001X0", uint8(8))
+	f.Add("110001X011100", uint8(4))
+	f.Add("", uint8(2))
+	f.Fuzz(func(t *testing.T, streamTxt string, kRaw uint8) {
+		k := (int(kRaw%16) + 1) * 2
+		stream, err := bitvec.ParseCube(streamTxt)
+		if err != nil {
+			return
+		}
+		cdc, err := New(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Try a plausible output size: as many whole blocks as the
+		// stream could possibly encode.
+		maxBlocks := stream.Len() + 1
+		for blocks := 0; blocks <= maxBlocks; blocks++ {
+			out, err := cdc.DecodeCube(stream, blocks*k)
+			if err != nil {
+				continue
+			}
+			// Re-encoding a decoded stream canonicalizes it: a
+			// non-minimal input may ship a uniform-compatible half as
+			// mismatch data, which the encoder folds back into a
+			// matched case, specializing its X bits. The invariant is
+			// therefore one-directional: no specified bit ever flips.
+			r, err := cdc.EncodeCube(out)
+			if err != nil {
+				t.Fatalf("re-encode failed: %v", err)
+			}
+			dec2, err := cdc.DecodeCube(r.Stream, out.Len())
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if !out.Covers(dec2) {
+				t.Fatalf("re-encode flipped a specified bit:\n%s\n%s", out, dec2)
+			}
+			if r.Stream.Len() > stream.Len() {
+				t.Fatalf("canonical re-encoding grew the stream: %d > %d", r.Stream.Len(), stream.Len())
+			}
+			break
+		}
+	})
+}

@@ -1,0 +1,42 @@
+package core
+
+// CompressedSize returns the analytic |T_E| in bits for block size k,
+// codeword assignment a and case statistics n — the closed form used in
+// the paper's CR equation:
+//
+//	|T_E| = Σ_i N_i·|C_i| + (K/2)·Σ_{i∈5..8} N_i + K·N_9
+//
+// generalized to arbitrary assignments by charging each case its
+// codeword length plus its raw data bits.
+func CompressedSize(k int, a Assignment, n Counts) int {
+	total := 0
+	for cs := CaseAll0; cs <= CaseMisMis; cs++ {
+		total += n.N(cs) * (a.Len(cs) + cs.DataBits(k))
+	}
+	return total
+}
+
+// CRFromCounts returns the analytic compression ratio in percent for a
+// test set of origBits encoded with the given statistics. It matches
+// Result.CR exactly; integration tests assert the equality.
+func CRFromCounts(origBits, k int, a Assignment, n Counts) float64 {
+	if origBits == 0 {
+		return 0
+	}
+	return 100 * float64(origBits-CompressedSize(k, a, n)) / float64(origBits)
+}
+
+// BestK encodes the set-independent sweep result: the K from ks whose
+// encoding of the statistics maximizes CR. It is a convenience for the
+// Table II "peak K" observation. encode is called once per K and must
+// return (origBits, counts).
+func BestK(ks []int, a Assignment, encode func(k int) (int, Counts)) (bestK int, bestCR float64) {
+	bestCR = -1e18
+	for _, k := range ks {
+		orig, n := encode(k)
+		if cr := CRFromCounts(orig, k, a, n); cr > bestCR {
+			bestCR, bestK = cr, k
+		}
+	}
+	return bestK, bestCR
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// ErrTruncated is returned when a compressed stream ends mid-block.
+var ErrTruncated = errors.New("core: compressed stream truncated")
+
+// ErrBadCodeword is returned when the stream contains a bit sequence
+// that is not a valid codeword, or an X where a codeword bit belongs
+// (codewords are always fully specified; only mismatch data carries X).
+var ErrBadCodeword = errors.New("core: invalid codeword in stream")
+
+// cubeWriter accumulates the ternary T_E stream.
+type cubeWriter struct {
+	trits []bitvec.Trit
+}
+
+func newCubeWriter() *cubeWriter { return &cubeWriter{} }
+
+func (w *cubeWriter) writeCode(code string) {
+	for i := 0; i < len(code); i++ {
+		if code[i] == '1' {
+			w.trits = append(w.trits, bitvec.One)
+		} else {
+			w.trits = append(w.trits, bitvec.Zero)
+		}
+	}
+}
+
+// writeRaw ships trits [lo,hi) of flat verbatim; positions beyond the
+// end of flat are block padding and ship as X.
+func (w *cubeWriter) writeRaw(flat *bitvec.Cube, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if i >= flat.Len() {
+			w.trits = append(w.trits, bitvec.X)
+		} else {
+			w.trits = append(w.trits, flat.Get(i))
+		}
+	}
+}
+
+func (w *cubeWriter) cube() *bitvec.Cube {
+	c := bitvec.NewCube(len(w.trits))
+	for i, t := range w.trits {
+		c.Set(i, t)
+	}
+	return c
+}
+
+// cubeReader consumes a ternary stream sequentially.
+type cubeReader struct {
+	src *bitvec.Cube
+	pos int
+}
+
+func (r *cubeReader) remaining() int { return r.src.Len() - r.pos }
+
+// readBit reads one codeword bit; X is rejected.
+func (r *cubeReader) readBit() (bool, error) {
+	if r.pos >= r.src.Len() {
+		return false, ErrTruncated
+	}
+	t := r.src.Get(r.pos)
+	r.pos++
+	switch t {
+	case bitvec.Zero:
+		return false, nil
+	case bitvec.One:
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: X at codeword position %d", ErrBadCodeword, r.pos-1)
+	}
+}
+
+// readRaw copies the next hi-lo trits into out[lo:hi].
+func (r *cubeReader) readRaw(out *bitvec.Cube, lo, hi int) error {
+	if r.remaining() < hi-lo {
+		return ErrTruncated
+	}
+	for i := lo; i < hi; i++ {
+		out.Set(i, r.src.Get(r.pos))
+		r.pos++
+	}
+	return nil
+}
+
+// decodeTable walks codeword bits through a binary trie, mirroring the
+// on-chip FSM that recognizes the nine prefix-free codewords in at most
+// five cycles.
+type decodeTable struct {
+	// node layout: zero/one children, or a terminal case.
+	zero, one []int16 // child node index, -1 if absent
+	term      []Case  // 0 if internal
+}
+
+func newDecodeTable(a Assignment) *decodeTable {
+	t := &decodeTable{}
+	t.addNode()
+	for cs := CaseAll0; cs <= CaseMisMis; cs++ {
+		node := 0
+		code := a.Code(cs)
+		for i := 0; i < len(code); i++ {
+			one := code[i] == '1'
+			var child int16
+			if one {
+				child = t.one[node]
+			} else {
+				child = t.zero[node]
+			}
+			if child < 0 {
+				// addNode may grow the slices, so store the index after
+				// the append rather than writing through a stale pointer.
+				child = int16(t.addNode())
+				if one {
+					t.one[node] = child
+				} else {
+					t.zero[node] = child
+				}
+			}
+			node = int(child)
+		}
+		t.term[node] = cs
+	}
+	return t
+}
+
+func (t *decodeTable) addNode() int {
+	t.zero = append(t.zero, -1)
+	t.one = append(t.one, -1)
+	t.term = append(t.term, 0)
+	return len(t.term) - 1
+}
+
+// next reads one codeword from r and returns its case.
+func (t *decodeTable) next(r *cubeReader) (Case, error) {
+	node := 0
+	for {
+		if t.term[node] != 0 {
+			return t.term[node], nil
+		}
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		var child int16
+		if b {
+			child = t.one[node]
+		} else {
+			child = t.zero[node]
+		}
+		if child < 0 {
+			return 0, fmt.Errorf("%w: no codeword matches at bit %d", ErrBadCodeword, r.pos-1)
+		}
+		node = int(child)
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/tcube"
+)
+
+// The paper (§II) considers and rejects a richer coding that also
+// recognizes uniform sub-patterns such as 0011... and 0101...: it
+// "may slightly improve the compression ratio but results in a more
+// complicated and expensive decoder". This file quantifies that
+// trade-off with a two-level 25-case variant: each K/2-bit half is
+// classified into five states — all 0s, all 1s, quarter pattern 0→1,
+// quarter pattern 1→0, or mismatch — giving 5×5 = 25 block cases.
+// Codewords are Huffman-assigned from the test set's own case
+// histogram (best case for the variant), which also makes the decoder
+// test-set dependent — exactly the flexibility loss the paper argues
+// against.
+
+// HalfState is the five-way classification of one half block.
+type HalfState int
+
+// Half states, in matching priority order.
+const (
+	Half0   HalfState = iota // all 0s (or X)
+	Half1                    // all 1s
+	Half01                   // first quarter 0s, second quarter 1s
+	Half10                   // first quarter 1s, second quarter 0s
+	HalfMis                  // mismatch: shipped verbatim
+)
+
+// NumVariantCases is the case count of the 25-code variant.
+const NumVariantCases = 25
+
+// classifyHalf classifies positions [lo,hi) of flat; the span must
+// have even length so it splits into two quarters.
+func classifyHalf(flat *bitvec.Cube, lo, hi int) HalfState {
+	mid := lo + (hi-lo)/2
+	switch {
+	case flat.CompatibleZero(lo, hi):
+		return Half0
+	case flat.CompatibleOne(lo, hi):
+		return Half1
+	case flat.CompatibleZero(lo, mid) && flat.CompatibleOne(mid, hi):
+		return Half01
+	case flat.CompatibleOne(lo, mid) && flat.CompatibleZero(mid, hi):
+		return Half10
+	default:
+		return HalfMis
+	}
+}
+
+// VariantCase packs the two half states into a case index in [0, 25).
+func VariantCase(left, right HalfState) int { return int(left)*5 + int(right) }
+
+// VariantCounts tallies the 25-case histogram of a test set for block
+// size k (k must be divisible by 4 so halves split into quarters).
+func VariantCounts(s *tcube.Set, k int) ([NumVariantCases]int, error) {
+	var n [NumVariantCases]int
+	if k < 4 || k%4 != 0 {
+		return n, fmt.Errorf("core: variant block size K=%d must be a multiple of 4", k)
+	}
+	h := k / 2
+	blocksPer := (s.Width() + k - 1) / k
+	for i := 0; i < s.Len(); i++ {
+		c := s.Cube(i)
+		for b := 0; b < blocksPer; b++ {
+			off := b * k
+			l := classifyHalf(c, off, off+h)
+			r := classifyHalf(c, off+h, off+k)
+			n[VariantCase(l, r)]++
+		}
+	}
+	return n, nil
+}
+
+// VariantReport is the ablation outcome for one test set and K.
+type VariantReport struct {
+	K int
+	// CompressedBits9C uses the paper's nine codes with the
+	// frequency-directed assignment (the strongest 9C configuration).
+	CompressedBits9C int
+	// CompressedBits25C uses the 25-case variant with per-set Huffman
+	// codewords (the strongest variant configuration).
+	CompressedBits25C int
+	// DecoderStates9C / DecoderStates25C count prefix-recognition
+	// states (trie internal nodes), the FSM-size proxy.
+	DecoderStates9C  int
+	DecoderStates25C int
+	OrigBits         int
+}
+
+// CR9C and CR25C return the two compression ratios.
+func (v VariantReport) CR9C() float64  { return crOf(v.OrigBits, v.CompressedBits9C) }
+func (v VariantReport) CR25C() float64 { return crOf(v.OrigBits, v.CompressedBits25C) }
+
+func crOf(orig, comp int) float64 {
+	if orig == 0 {
+		return 0
+	}
+	return 100 * float64(orig-comp) / float64(orig)
+}
+
+// CompareVariant runs the 9C-vs-25C ablation on a test set.
+func CompareVariant(s *tcube.Set, k int) (VariantReport, error) {
+	rep := VariantReport{K: k, OrigBits: s.Bits()}
+
+	// 9C side, frequency directed.
+	base, err := New(k)
+	if err != nil {
+		return rep, err
+	}
+	r0, err := base.EncodeSet(s)
+	if err != nil {
+		return rep, err
+	}
+	fd := FrequencyDirected(r0.Counts)
+	rep.CompressedBits9C = CompressedSize(k, fd, r0.Counts)
+	rep.DecoderStates9C = prefixStates(fdCodes(fd))
+
+	// 25C side: Huffman lengths over the measured histogram.
+	counts, err := VariantCounts(s, k)
+	if err != nil {
+		return rep, err
+	}
+	freq := make([]int, NumVariantCases)
+	for i, c := range counts {
+		freq[i] = c
+	}
+	lengths := variantHuffmanLengths(freq)
+	codes := make([]string, NumVariantCases)
+	if err := variantCanonical(lengths, codes); err != nil {
+		return rep, err
+	}
+	h := k / 2
+	total := 0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		left := HalfState(i / 5)
+		right := HalfState(i % 5)
+		data := 0
+		if left == HalfMis {
+			data += h
+		}
+		if right == HalfMis {
+			data += h
+		}
+		total += c * (len(codes[i]) + data)
+	}
+	rep.CompressedBits25C = total
+	rep.DecoderStates25C = prefixStates(codes)
+	return rep, nil
+}
+
+// fdCodes lists an Assignment's codewords.
+func fdCodes(a Assignment) []string {
+	out := make([]string, NumCases)
+	for cs := CaseAll0; cs <= CaseMisMis; cs++ {
+		out[cs-1] = a.Code(cs)
+	}
+	return out
+}
+
+// prefixStates counts internal trie nodes of a prefix code — the
+// recognition-state count of the decoding FSM.
+func prefixStates(codes []string) int {
+	type trie struct{ zero, one *trie }
+	root := &trie{}
+	states := 1
+	for _, code := range codes {
+		n := root
+		for i := 0; i < len(code); i++ {
+			next := &n.zero
+			if code[i] == '1' {
+				next = &n.one
+			}
+			if *next == nil {
+				*next = &trie{}
+				if i < len(code)-1 {
+					states++
+				}
+			}
+			n = *next
+		}
+	}
+	return states
+}
+
+// variantHuffmanLengths is a local Huffman (kept independent of the
+// codecs package to avoid a dependency cycle): returns code lengths
+// for the given frequencies.
+func variantHuffmanLengths(freq []int) []int {
+	lengths := make([]int, len(freq))
+	type node struct {
+		w, sym      int
+		left, right *node
+	}
+	var pool []*node
+	for s, f := range freq {
+		if f > 0 {
+			pool = append(pool, &node{w: f, sym: s})
+		}
+	}
+	if len(pool) == 0 {
+		return lengths
+	}
+	if len(pool) == 1 {
+		lengths[pool[0].sym] = 1
+		return lengths
+	}
+	for len(pool) > 1 {
+		// Select the two lightest (stable by insertion order).
+		a, b := 0, 1
+		if pool[b].w < pool[a].w {
+			a, b = b, a
+		}
+		for i := 2; i < len(pool); i++ {
+			switch {
+			case pool[i].w < pool[a].w:
+				b = a
+				a = i
+			case pool[i].w < pool[b].w:
+				b = i
+			}
+		}
+		if a > b {
+			a, b = b, a
+		}
+		merged := &node{w: pool[a].w + pool[b].w, sym: -1, left: pool[a], right: pool[b]}
+		pool[a] = merged
+		pool = append(pool[:b], pool[b+1:]...)
+	}
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		if n.sym >= 0 {
+			lengths[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(pool[0], 0)
+	return lengths
+}
+
+// variantCanonical fills codes with canonical codewords for lengths.
+func variantCanonical(lengths []int, codes []string) error {
+	type sl struct{ sym, l int }
+	var used []sl
+	for s, l := range lengths {
+		if l > 0 {
+			used = append(used, sl{s, l})
+		}
+	}
+	for i := 1; i < len(used); i++ {
+		for j := i; j > 0; j-- {
+			a, b := used[j-1], used[j]
+			if b.l < a.l || (b.l == a.l && b.sym < a.sym) {
+				used[j-1], used[j] = b, a
+			}
+		}
+	}
+	code := 0
+	prev := 0
+	for i, u := range used {
+		if i > 0 {
+			code = (code + 1) << uint(u.l-prev)
+		}
+		if u.l > 62 || code >= 1<<uint(u.l) {
+			return fmt.Errorf("core: variant lengths violate Kraft inequality")
+		}
+		codes[u.sym] = fmt.Sprintf("%0*b", u.l, code)
+		prev = u.l
+	}
+	return nil
+}

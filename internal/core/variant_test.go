@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/tcube"
+)
+
+func TestClassifyHalfStates(t *testing.T) {
+	cases := []struct {
+		in   string
+		want HalfState
+	}{
+		{"0000", Half0},
+		{"00XX", Half0},
+		{"XXXX", Half0}, // priority: all-X matches Half0 first
+		{"1111", Half1},
+		{"11XX", Half1},
+		{"0011", Half01},
+		{"0X1X", Half01},
+		{"1100", Half10},
+		{"0110", HalfMis},
+		{"1001", HalfMis},
+		{"0100", HalfMis},
+	}
+	for _, tc := range cases {
+		c := mustCube(t, tc.in)
+		if got := classifyHalf(c, 0, 4); got != tc.want {
+			t.Errorf("classifyHalf(%s) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestVariantCaseIndexing(t *testing.T) {
+	if VariantCase(Half0, Half0) != 0 {
+		t.Fatal("(0,0) should be case 0")
+	}
+	if VariantCase(HalfMis, HalfMis) != 24 {
+		t.Fatal("(mis,mis) should be case 24")
+	}
+	seen := map[int]bool{}
+	for l := Half0; l <= HalfMis; l++ {
+		for r := Half0; r <= HalfMis; r++ {
+			idx := VariantCase(l, r)
+			if idx < 0 || idx >= NumVariantCases || seen[idx] {
+				t.Fatalf("case index collision or range: (%d,%d)=%d", l, r, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestVariantCountsRejectsBadK(t *testing.T) {
+	s := tcube.NewSet("v", 8)
+	for _, k := range []int{2, 6, 10} {
+		if _, err := VariantCounts(s, k); err == nil {
+			t.Errorf("K=%d accepted", k)
+		}
+	}
+}
+
+func TestVariantCountsTotals(t *testing.T) {
+	src := strings.Join([]string{
+		"0000000011111111",
+		"0011110000000000",
+		"XXXXXXXXXXXXXXXX",
+	}, "\n")
+	s, err := tcube.Read("v", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := VariantCounts(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range n {
+		total += c
+	}
+	if total != 6 { // 3 patterns x 2 blocks
+		t.Fatalf("total blocks = %d", total)
+	}
+	// Pattern 2 block 1 = "00111100": halves "0011"=Half01, "1100"=Half10.
+	if n[VariantCase(Half01, Half10)] != 1 {
+		t.Fatalf("quarter-pattern block not classified: %v", n)
+	}
+	// All-X pattern contributes two (Half0,Half0) blocks.
+	if n[VariantCase(Half0, Half0)] < 2 {
+		t.Fatalf("all-X blocks not case (0,0): %v", n)
+	}
+}
+
+func TestCompareVariantReport(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := tcube.NewSet("cv", 64)
+	for i := 0; i < 40; i++ {
+		c := bitvec.NewCube(64)
+		for j := 0; j < 64; j++ {
+			if rng.Float64() < 0.75 {
+				continue
+			}
+			c.Set(j, bitvec.Trit(rng.Intn(2)))
+		}
+		s.MustAppend(c)
+	}
+	rep, err := CompareVariant(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OrigBits != s.Bits() {
+		t.Fatalf("OrigBits = %d", rep.OrigBits)
+	}
+	if rep.DecoderStates25C <= rep.DecoderStates9C {
+		t.Fatalf("25C decoder (%d) should exceed 9C (%d)", rep.DecoderStates25C, rep.DecoderStates9C)
+	}
+	if rep.CompressedBits25C <= 0 || rep.CompressedBits9C <= 0 {
+		t.Fatalf("degenerate sizes %+v", rep)
+	}
+	// Sanity on the CR helpers.
+	if rep.CR9C() <= -100 || rep.CR25C() <= -100 {
+		t.Fatalf("CR out of range: %+v", rep)
+	}
+	if _, err := CompareVariant(s, 6); err == nil {
+		t.Fatal("K=6 accepted")
+	}
+}
+
+func TestCompareVariantEmptySet(t *testing.T) {
+	rep, err := CompareVariant(tcube.NewSet("e", 0), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CR9C() != 0 || rep.CR25C() != 0 {
+		t.Fatalf("empty CRs: %+v", rep)
+	}
+}
+
+// Property: the 25C analytic size with uniform quarter patterns absent
+// never loses more than the codeword-length delta per block, and the
+// histogram always sums to the block count.
+func TestPropertyVariantHistogram(t *testing.T) {
+	f := func(seed int64, wRaw, nRaw uint8) bool {
+		w := (int(wRaw%16) + 1) * 8
+		n := int(nRaw % 30)
+		rng := rand.New(rand.NewSource(seed))
+		s := tcube.NewSet("p", w)
+		for i := 0; i < n; i++ {
+			c := bitvec.NewCube(w)
+			for j := 0; j < w; j++ {
+				c.Set(j, bitvec.Trit(rng.Intn(3)))
+			}
+			s.MustAppend(c)
+		}
+		counts, err := VariantCounts(s, 8)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total == n*(w/8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixStates(t *testing.T) {
+	// The default 9C code has 8 internal nodes.
+	if got := prefixStates(fdCodes(DefaultAssignment())); got != 8 {
+		t.Fatalf("9C prefix states = %d, want 8", got)
+	}
+	// Two codes "0","1": 1 internal node (the root).
+	if got := prefixStates([]string{"0", "1"}); got != 1 {
+		t.Fatalf("trivial code states = %d, want 1", got)
+	}
+}

@@ -1,0 +1,99 @@
+package decoder
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// HardwareCost estimates the decompressor's silicon budget in
+// flip-flops and two-input-gate equivalents. The paper reports the FSM
+// alone at roughly forty gates after Synopsys Design Compiler
+// synthesis; this model reproduces that figure from first principles
+// (DESIGN.md §4, substitution 4) and extends it to the K-dependent
+// datapath so the cost side of the paper's "nine codes are the sweet
+// spot" trade-off can be quantified.
+type HardwareCost struct {
+	FSMStates    int // codeword-recognition states
+	FSMFlops     int // state register bits
+	FSMGates     int // 2-input gate equivalents for next-state+output logic
+	ShifterFlops int // K/2-bit input shifter
+	CounterFlops int // log2(K/2) counter
+	CounterGates int // increment + terminal-count logic
+	MuxGates     int // 3-way output multiplexer
+	StagerFlops  int // m-bit stager (multi-scan only; 0 otherwise)
+}
+
+// TotalFlops sums all storage elements.
+func (h HardwareCost) TotalFlops() int {
+	return h.FSMFlops + h.ShifterFlops + h.CounterFlops + h.StagerFlops
+}
+
+// TotalGates sums all combinational gate equivalents.
+func (h HardwareCost) TotalGates() int {
+	return h.FSMGates + h.CounterGates + h.MuxGates
+}
+
+// String renders a one-line summary.
+func (h HardwareCost) String() string {
+	return fmt.Sprintf("FSM: %d states / %d FF / %d gates; datapath: %d FF / %d gates",
+		h.FSMStates, h.FSMFlops, h.FSMGates,
+		h.ShifterFlops+h.CounterFlops+h.StagerFlops, h.CounterGates+h.MuxGates)
+}
+
+// log2ceil returns ceil(log2(n)) with log2ceil(1) == 1 (a 1-entry
+// counter still needs one bit).
+func log2ceil(n int) int {
+	if n <= 2 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// EstimateCost models the Fig. 1 single-scan decoder for block size k
+// (chains == 0) or the Fig. 3 multi-scan decoder for the given chain
+// count.
+func EstimateCost(k, chains int, a core.Assignment) (HardwareCost, error) {
+	if k < 2 || k%2 != 0 {
+		return HardwareCost{}, fmt.Errorf("decoder: block size K=%d must be an even integer >= 2", k)
+	}
+	if err := a.Validate(); err != nil {
+		return HardwareCost{}, err
+	}
+	var h HardwareCost
+	// Recognition states plus the per-half emit/receive control states
+	// of Fig. 2 (receive-left, receive-right, emit, ack).
+	h.FSMStates = FSMStates(a) + 4
+	h.FSMFlops = log2ceil(h.FSMStates)
+	// Next-state and output logic: with binary encoding, each state bit
+	// needs a sum of products over (state bits + serial data input).
+	// Literal-count model: transitions × (flops+1) AND-literals folded
+	// into 2-input equivalents, plus one gate per distinct Moore output
+	// (Sel0, Sel1, Cnt_en, Inc, Shift_en, scan_en, Ack, Dec_en ack).
+	transitions := 2 * h.FSMStates // 0/1 successor per state upper bound
+	h.FSMGates = transitions*(h.FSMFlops+1)/3 + 8
+	h.ShifterFlops = k / 2
+	h.CounterFlops = log2ceil(k / 2)
+	// Ripple increment (half-adder per bit) + terminal-count AND tree.
+	h.CounterGates = 2*h.CounterFlops + (h.CounterFlops - 1)
+	if h.CounterFlops == 1 {
+		h.CounterGates = 2
+	}
+	// 3:1 mux built from two 2:1 muxes, ~3 gate equivalents each.
+	h.MuxGates = 6
+	if chains > 0 {
+		h.StagerFlops = chains
+		// One extra log2(m/k) counter for the stager's load strobe.
+		h.CounterFlops += log2ceil(maxInt(chains/k, 2))
+		h.CounterGates += 2 * log2ceil(maxInt(chains/k, 2))
+	}
+	return h, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,374 @@
+package decoder
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/tcube"
+)
+
+// fillStream turns a ternary T_E into the fully specified serial
+// stream the ATE ships (random fill of leftover don't-cares).
+func fillStream(t *testing.T, s *bitvec.Cube, seed int64) *bitvec.Bits {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	f := s.FillRandom(rng)
+	b := bitvec.NewBits(f.Len())
+	for i := 0; i < f.Len(); i++ {
+		b.Set(i, f.Get(i) == bitvec.One)
+	}
+	return b
+}
+
+func encodeSet(t *testing.T, k int, rows ...string) (*core.Codec, *core.Result, *tcube.Set) {
+	t.Helper()
+	set, err := tcube.Read("t", strings.NewReader(strings.Join(rows, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdc, err := core.New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cdc.EncodeSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cdc, res, set
+}
+
+func TestSingleScanMatchesSoftwareDecode(t *testing.T) {
+	cdc, res, _ := encodeSet(t, 8,
+		"00000000001111",
+		"01X011011XXXXX",
+		"XXXXXXXXXXXXXX",
+		"10101010101010",
+	)
+	stream := fillStream(t, res.Stream, 1)
+	d, err := NewSingleScan(8, cdc.Assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded := res.Blocks * res.K
+	tr, err := d.Run(stream, padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Software decode of the same filled stream.
+	streamCube := bitvec.NewCube(stream.Len())
+	for i := 0; i < stream.Len(); i++ {
+		if stream.Get(i) {
+			streamCube.Set(i, bitvec.One)
+		} else {
+			streamCube.Set(i, bitvec.Zero)
+		}
+	}
+	want, err := cdc.DecodeCube(streamCube, padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Out.Len() != padded {
+		t.Fatalf("out bits = %d, want %d", tr.Out.Len(), padded)
+	}
+	for i := 0; i < padded; i++ {
+		wantBit := want.Get(i) == bitvec.One
+		if tr.Out.Get(i) != wantBit {
+			t.Fatalf("bit %d: hw=%v sw=%s", i, tr.Out.Get(i), want.Get(i))
+		}
+	}
+	if tr.Counts != res.Counts {
+		t.Fatalf("hw counts %v != encoder counts %v", tr.Counts, res.Counts)
+	}
+}
+
+func TestSingleScanCycleAccounting(t *testing.T) {
+	cdc, res, _ := encodeSet(t, 8, "0000000011111111", "01X011011XXXXX10")
+	stream := fillStream(t, res.Stream, 2)
+	d, _ := NewSingleScan(8, cdc.Assignment())
+	padded := res.Blocks * res.K
+	tr, err := d.Run(stream, padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ATE cycles = every shipped bit (codewords + mismatch data) = |T_E|.
+	if tr.ATECycles != res.CompressedBits() {
+		t.Fatalf("ATECycles = %d, want %d", tr.ATECycles, res.CompressedBits())
+	}
+	// Scan cycles = K per block.
+	if tr.ScanCycles != res.Blocks*res.K {
+		t.Fatalf("ScanCycles = %d, want %d", tr.ScanCycles, res.Blocks*res.K)
+	}
+	if tr.Acks != res.Blocks {
+		t.Fatalf("Acks = %d, want %d", tr.Acks, res.Blocks)
+	}
+	// Closed-form test time (DESIGN.md §5).
+	for _, p := range []int{1, 4, 8, 16} {
+		want := float64(res.CompressedBits()) + float64(res.Blocks*res.K)/float64(p)
+		if got := tr.TestTimeATE(p); got != want {
+			t.Fatalf("p=%d: TestTimeATE = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestSingleScanErrors(t *testing.T) {
+	cdc, res, _ := encodeSet(t, 8, "0101010101010101")
+	stream := fillStream(t, res.Stream, 3)
+	d, _ := NewSingleScan(8, cdc.Assignment())
+	if _, err := d.Run(stream, 12); err == nil {
+		t.Fatal("non-multiple outBits accepted")
+	}
+	if _, err := d.Run(stream, -8); err == nil {
+		t.Fatal("negative outBits accepted")
+	}
+	// Truncated stream.
+	short := bitvec.NewBits(stream.Len() - 1)
+	for i := 0; i < short.Len(); i++ {
+		short.Set(i, stream.Get(i))
+	}
+	if _, err := d.Run(short, res.Blocks*res.K); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	// Trailing bits.
+	long := bitvec.NewBits(stream.Len() + 1)
+	for i := 0; i < stream.Len(); i++ {
+		long.Set(i, stream.Get(i))
+	}
+	if _, err := d.Run(long, res.Blocks*res.K); err == nil {
+		t.Fatal("trailing bits accepted")
+	}
+	if _, err := NewSingleScan(7, cdc.Assignment()); err == nil {
+		t.Fatal("odd K accepted")
+	}
+}
+
+func TestFSMAtMostFiveCyclesPerCodeword(t *testing.T) {
+	// The recognition depth equals the longest codeword: 5.
+	a := core.DefaultAssignment()
+	maxLen := 0
+	for cs := core.CaseAll0; cs <= core.CaseMisMis; cs++ {
+		if l := a.Len(cs); l > maxLen {
+			maxLen = l
+		}
+	}
+	if maxLen != 5 {
+		t.Fatalf("max codeword length = %d, want 5", maxLen)
+	}
+	if s := FSMStates(a); s != 8 {
+		// A complete binary prefix code over 9 leaves has 8 internal nodes.
+		t.Fatalf("FSM recognition states = %d, want 8", s)
+	}
+}
+
+func TestMultiScanEquivalence(t *testing.T) {
+	// Multi-scan with one pin must cost exactly the same cycles as
+	// single-scan and reassemble the per-chain data correctly.
+	width := 24
+	m := 4
+	set := tcube.NewSet("ms", width)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5; i++ {
+		c := bitvec.NewCube(width)
+		for j := 0; j < width; j++ {
+			c.Set(j, bitvec.Trit(rng.Intn(3)))
+		}
+		set.MustAppend(c)
+	}
+	vert, err := tcube.Verticalize(set, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdc, _ := core.New(8)
+	res, err := cdc.EncodeSet(vert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := fillStream(t, res.Stream, 4)
+
+	single, _ := NewSingleScan(8, cdc.Assignment())
+	multi, err := NewMultiScan(8, m, cdc.Assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded := res.Blocks * res.K
+	st, err := single.Run(stream, padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := multi.Run(stream, padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.ATECycles != st.ATECycles || mt.ScanCycles != st.ScanCycles {
+		t.Fatalf("multi cycles (%d,%d) != single (%d,%d)",
+			mt.ATECycles, mt.ScanCycles, st.ATECycles, st.ScanCycles)
+	}
+	if mt.Pins != 1 {
+		t.Fatalf("pins = %d", mt.Pins)
+	}
+	if mt.Loads != padded/m {
+		t.Fatalf("loads = %d, want %d", mt.Loads, padded/m)
+	}
+	// Chain c, slice t must equal vertical stream bit t*m+c.
+	for c := 0; c < m; c++ {
+		for ti := 0; ti < padded/m; ti++ {
+			if mt.Chains[c].Get(ti) != st.Out.Get(ti*m+c) {
+				t.Fatalf("chain %d bit %d mismatch", c, ti)
+			}
+		}
+	}
+}
+
+func TestMultiScanErrors(t *testing.T) {
+	a := core.DefaultAssignment()
+	if _, err := NewMultiScan(8, 0, a); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	d, _ := NewMultiScan(8, 3, a)
+	if _, err := d.Run(bitvec.NewBits(0), 8); err == nil {
+		t.Fatal("outBits not divisible by m accepted")
+	}
+}
+
+func TestParallelBank(t *testing.T) {
+	a := core.DefaultAssignment()
+	if _, err := NewParallelBank(8, 12, a); err == nil {
+		t.Fatal("m not multiple of K accepted")
+	}
+	b, err := NewParallelBank(8, 16, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Decoders() != 2 {
+		t.Fatalf("decoders = %d", b.Decoders())
+	}
+	// Two groups with different stream sizes: time = slowest.
+	cdc, _ := core.New(8)
+	mk := func(rows ...string) *bitvec.Bits {
+		set, err := tcube.Read("g", strings.NewReader(strings.Join(rows, "\n")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cdc.EncodeSet(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fillStream(t, res.Stream, 5)
+	}
+	s1 := mk("0000000000000000") // compresses well
+	s2 := mk("0110100101101001") // mismatch-heavy
+	bt, err := b.Run([]*bitvec.Bits{s1, s2}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Pins != 2 || len(bt.PerDecoder) != 2 {
+		t.Fatalf("bank shape: %+v", bt)
+	}
+	t1 := bt.PerDecoder[0].TestTimeATE(8)
+	t2 := bt.PerDecoder[1].TestTimeATE(8)
+	want := t1
+	if t2 > want {
+		want = t2
+	}
+	if got := bt.TestTimeATE(8); got != want {
+		t.Fatalf("bank time %v, want max(%v,%v)", got, t1, t2)
+	}
+	if _, err := b.Run([]*bitvec.Bits{s1}, 16); err == nil {
+		t.Fatal("wrong stream count accepted")
+	}
+}
+
+func TestEstimateCost(t *testing.T) {
+	a := core.DefaultAssignment()
+	h8, err := EstimateCost(8, 0, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h8.FSMStates != 12 { // 8 recognition + 4 control
+		t.Fatalf("FSM states = %d", h8.FSMStates)
+	}
+	// The paper synthesized the FSM to roughly forty gates; the model
+	// should land in that neighbourhood.
+	if h8.FSMGates < 20 || h8.FSMGates > 80 {
+		t.Fatalf("FSM gate estimate %d outside sane band", h8.FSMGates)
+	}
+	// Datapath grows with K, FSM does not.
+	h32, _ := EstimateCost(32, 0, a)
+	if h32.FSMGates != h8.FSMGates || h32.FSMStates != h8.FSMStates {
+		t.Fatal("FSM cost should be K-independent")
+	}
+	if h32.ShifterFlops <= h8.ShifterFlops || h32.TotalFlops() <= h8.TotalFlops() {
+		t.Fatal("datapath cost should grow with K")
+	}
+	// Multi-scan adds the stager.
+	hm, _ := EstimateCost(8, 16, a)
+	if hm.StagerFlops != 16 || hm.TotalFlops() <= h8.TotalFlops() {
+		t.Fatalf("stager cost missing: %+v", hm)
+	}
+	if _, err := EstimateCost(5, 0, a); err == nil {
+		t.Fatal("odd K accepted")
+	}
+	if h8.String() == "" || h8.TotalGates() <= 0 {
+		t.Fatal("cost rendering broken")
+	}
+}
+
+// Property: for random data, the hardware model and software decoder
+// agree bit-for-bit and the cycle model matches the closed form.
+func TestPropertyHardwareSoftwareEquivalence(t *testing.T) {
+	f := func(seed int64, kRaw, nRaw uint8) bool {
+		k := (int(kRaw%8) + 1) * 2
+		n := (int(nRaw%10) + 1) * k
+		rng := rand.New(rand.NewSource(seed))
+		flat := bitvec.NewCube(n)
+		for i := 0; i < n; i++ {
+			flat.Set(i, bitvec.Trit(rng.Intn(3)))
+		}
+		cdc, err := core.New(k)
+		if err != nil {
+			return false
+		}
+		res, err := cdc.EncodeCube(flat)
+		if err != nil {
+			return false
+		}
+		filled := res.Stream.FillRandom(rng)
+		stream := bitvec.NewBits(filled.Len())
+		streamCube := bitvec.NewCube(filled.Len())
+		for i := 0; i < filled.Len(); i++ {
+			one := filled.Get(i) == bitvec.One
+			stream.Set(i, one)
+			if one {
+				streamCube.Set(i, bitvec.One)
+			} else {
+				streamCube.Set(i, bitvec.Zero)
+			}
+		}
+		d, err := NewSingleScan(k, cdc.Assignment())
+		if err != nil {
+			return false
+		}
+		tr, err := d.Run(stream, n)
+		if err != nil {
+			return false
+		}
+		sw, err := cdc.DecodeCube(streamCube, n)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if tr.Out.Get(i) != (sw.Get(i) == bitvec.One) {
+				return false
+			}
+		}
+		return tr.ATECycles == res.CompressedBits() &&
+			tr.ScanCycles == res.Blocks*res.K &&
+			tr.Counts == res.Counts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

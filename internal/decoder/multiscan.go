@@ -1,0 +1,138 @@
+package decoder
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+)
+
+// MultiScan is the Fig. 3 architecture: one ATE pin and one decoder
+// feed m parallel scan chains through an m-bit staging shifter. Every
+// decoded bit shifts into the stager (one scan cycle, exactly as it
+// would shift into a single chain); whenever m bits have accumulated
+// the stager broadcasts one bit into each of the m chains in parallel,
+// so the total cycle count is unchanged from the single-scan decoder
+// while the ATE pin count stays at one — the paper's reduced pin-count
+// testing claim.
+type MultiScan struct {
+	single *SingleScan
+	m      int
+}
+
+// NewMultiScan builds the decoder for block size k and m chains.
+func NewMultiScan(k, m int, assign core.Assignment) (*MultiScan, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("decoder: %d scan chains", m)
+	}
+	s, err := NewSingleScan(k, assign)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiScan{single: s, m: m}, nil
+}
+
+// MultiTrace extends Trace with the per-chain view.
+type MultiTrace struct {
+	Trace
+	// Chains[c] is the bit sequence loaded into chain c, in shift order.
+	Chains []*bitvec.Bits
+	// Loads counts parallel load strobes from the stager into the chains.
+	Loads int
+	// Pins is the number of ATE data pins used (1 for Fig. 3).
+	Pins int
+}
+
+// Run decompresses a vertically encoded stream (see
+// tcube.VerticalReshape) for m chains. outBits must be a multiple of
+// both K and m.
+func (d *MultiScan) Run(stream *bitvec.Bits, outBits int) (*MultiTrace, error) {
+	if outBits%d.m != 0 {
+		return nil, fmt.Errorf("decoder: %d bits do not divide over %d chains", outBits, d.m)
+	}
+	tr, err := d.single.Run(stream, outBits)
+	if err != nil {
+		return nil, err
+	}
+	mt := &MultiTrace{Trace: *tr, Pins: 1}
+	per := outBits / d.m
+	mt.Chains = make([]*bitvec.Bits, d.m)
+	for c := range mt.Chains {
+		mt.Chains[c] = bitvec.NewBits(per)
+	}
+	// The serial order is the vertical order: slice t delivers bit t of
+	// every chain.
+	for t := 0; t < per; t++ {
+		for c := 0; c < d.m; c++ {
+			mt.Chains[c].Set(t, tr.Out.Get(t*d.m+c))
+		}
+		mt.Loads++
+	}
+	return mt, nil
+}
+
+// ParallelBank is the Fig. 4(c) architecture: m scan chains split into
+// groups of K chains, one decoder and one ATE pin per group, all
+// groups operating concurrently. Test time drops by the factor m/K
+// (the number of decoders) relative to the single-pin architecture.
+type ParallelBank struct {
+	k, m, decoders int
+	assign         core.Assignment
+}
+
+// NewParallelBank builds the bank. m must be a multiple of k so the
+// chains divide evenly into K-wide groups (the paper's configuration).
+func NewParallelBank(k, m int, assign core.Assignment) (*ParallelBank, error) {
+	if m < 1 || m%k != 0 {
+		return nil, fmt.Errorf("decoder: %d chains not divisible into K=%d groups", m, k)
+	}
+	if _, err := NewSingleScan(k, assign); err != nil {
+		return nil, err
+	}
+	return &ParallelBank{k: k, m: m, decoders: m / k, assign: assign}, nil
+}
+
+// Decoders returns the number of decoder instances (= ATE pins).
+func (b *ParallelBank) Decoders() int { return b.decoders }
+
+// BankTrace records a parallel-bank run.
+type BankTrace struct {
+	// PerDecoder holds each decoder group's trace.
+	PerDecoder []*MultiTrace
+	// Pins is the ATE pin count (= decoder count).
+	Pins int
+}
+
+// TestTimeATE is the bank's wall-clock test time: the slowest group,
+// since groups run concurrently from independent pins.
+func (t *BankTrace) TestTimeATE(p int) float64 {
+	worst := 0.0
+	for _, d := range t.PerDecoder {
+		if v := d.TestTimeATE(p); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Run decompresses per-group streams. streams[g] is the compressed
+// stream for decoder group g; outBits is the per-group scan volume
+// (multiple of K).
+func (b *ParallelBank) Run(streams []*bitvec.Bits, outBits int) (*BankTrace, error) {
+	if len(streams) != b.decoders {
+		return nil, fmt.Errorf("decoder: %d streams for %d decoders", len(streams), b.decoders)
+	}
+	bt := &BankTrace{Pins: b.decoders}
+	for g, s := range streams {
+		ms, err := NewMultiScan(b.k, b.k, b.assign)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := ms.Run(s, outBits)
+		if err != nil {
+			return nil, fmt.Errorf("decoder: group %d: %w", g, err)
+		}
+		bt.PerDecoder = append(bt.PerDecoder, tr)
+	}
+	return bt, nil
+}

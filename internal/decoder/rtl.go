@@ -1,0 +1,394 @@
+package decoder
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// GenerateRTL emits the single-scan 9C decompressor as a gate-level
+// netlist in the repository's own IR — the strongest form of the
+// paper's "flexible on-chip decompression" claim: the decoder is an
+// ordinary circuit, independent of the test set, that the sequential
+// simulator can run cycle by cycle against the behavioural model.
+//
+// Interface (single clock, the p=1 configuration):
+//
+//	input  din      serial data from the ATE
+//	output ate_rd   high when this cycle consumes din
+//	output dout     bit shifted into the scan chain
+//	output scan_en  high when dout is valid
+//	output ack      one-cycle pulse when a K-bit block completes
+//
+// After reset the machine self-starts: the first clock edge activates
+// the codeword-recognition root, so cycle 0 is an idle warm-up.
+// Codeword bits arrive one per cycle while ate_rd is high; mismatch
+// halves are first received into the K/2-bit shifter (ate_rd high) and
+// then emitted (scan_en high), so the cycle budget matches the
+// behavioural Trace exactly: ATE cycles = |T_E|, scan cycles = K per
+// block.
+func GenerateRTL(k int, assign core.Assignment) (*netlist.Circuit, error) {
+	return generateRTL(k, 0, assign)
+}
+
+// GenerateMultiRTL emits the Fig. 3 multiple-scan-chain decoder: the
+// single-scan machine extended with an m-bit staging shifter and a
+// log2(m) load counter. Decoded bits shift into the stager on every
+// scan_en cycle; when m bits have accumulated, the load output pulses
+// and chain0..chain<m-1> present one bit for every chain in parallel —
+// still from a single ATE data pin.
+func GenerateMultiRTL(k, m int, assign core.Assignment) (*netlist.Circuit, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("decoder: %d scan chains", m)
+	}
+	return generateRTL(k, m, assign)
+}
+
+func generateRTL(k, m int, assign core.Assignment) (*netlist.Circuit, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("decoder: block size K=%d must be an even integer >= 2", k)
+	}
+	if err := assign.Validate(); err != nil {
+		return nil, err
+	}
+	h := k / 2
+	name := fmt.Sprintf("ninec_dec_k%d", k)
+	if m > 0 {
+		name = fmt.Sprintf("ninec_dec_k%d_m%d", k, m)
+	}
+	r := newRTL(name)
+	r.b.AddInput("din")
+
+	one := r.gate(netlist.Xnor, "din", "din")
+	zero := r.gate(netlist.Xor, "din", "din")
+	ndin := r.gate(netlist.Not, "din")
+
+	// ---- codeword-recognition trie -------------------------------
+	type edge struct {
+		from string // trie state net
+		cond string // din or ~din
+	}
+	nodes, terms := buildTrie(assign)
+	// Only internal nodes become FSM states; terminal nodes are edges
+	// into the half-action states.
+	trieState := map[int]string{}
+	var trieStates []string
+	for i, n := range nodes {
+		if n.zero >= 0 || n.one >= 0 {
+			name := fmt.Sprintf("T%d", len(trieStates))
+			trieState[i] = name
+			trieStates = append(trieStates, name)
+		}
+	}
+	// Incoming terms per destination state.
+	into := map[string][]string{}
+	addEdge := func(dst string, e edge) {
+		into[dst] = append(into[dst], r.and(e.from, e.cond))
+	}
+	cond := func(bit byte) string {
+		if bit == '1' {
+			return "din"
+		}
+		return ndin
+	}
+	// Case entry bookkeeping: left action state + right action select.
+	type caseEntry struct {
+		left  string // HLC0 | HLC1 | HLRX
+		rsel1 bool   // right is RX
+		rsel0 bool   // right is constant 1
+	}
+	entryOf := func(cs core.Case) caseEntry {
+		e := caseEntry{left: "HLC0"}
+		switch cs {
+		case core.CaseAll1, core.Case1Then0, core.Case1ThenMis:
+			e.left = "HLC1"
+		case core.CaseMisThen0, core.CaseMisThen1, core.CaseMisMis:
+			e.left = "HLRX"
+		}
+		switch cs {
+		case core.CaseAll1, core.Case0Then1, core.CaseMisThen1:
+			e.rsel0 = true
+		case core.Case0ThenMis, core.Case1ThenMis, core.CaseMisMis:
+			e.rsel1 = true
+		}
+		return e
+	}
+	var latchTerms, rsel0Terms, rsel1Terms []string
+	for i, n := range nodes {
+		for _, br := range []struct {
+			bit   byte
+			child int
+		}{{'0', n.zero}, {'1', n.one}} {
+			if br.child < 0 {
+				continue
+			}
+			e := edge{from: trieState[i], cond: cond(br.bit)}
+			if cs := terms[br.child]; cs != 0 {
+				ce := entryOf(cs)
+				t := r.and(e.from, e.cond)
+				into[ce.left] = append(into[ce.left], t)
+				latchTerms = append(latchTerms, t)
+				if ce.rsel0 {
+					rsel0Terms = append(rsel0Terms, t)
+				}
+				if ce.rsel1 {
+					rsel1Terms = append(rsel1Terms, t)
+				}
+			} else {
+				addEdge(trieState[br.child], e)
+			}
+		}
+	}
+
+	// ---- counter: paces K/2 cycles per half ----------------------
+	nbits := 1
+	for 1<<uint(nbits) < h {
+		nbits++
+	}
+	cnt := make([]string, nbits)
+	for i := range cnt {
+		cnt[i] = fmt.Sprintf("CNT%d", i)
+	}
+	var done string
+	if h == 1 {
+		done = one
+	} else {
+		// done when cnt == h-1.
+		var lits []string
+		for i := 0; i < nbits; i++ {
+			if (h-1)>>uint(i)&1 == 1 {
+				lits = append(lits, cnt[i])
+			} else {
+				lits = append(lits, r.gate(netlist.Not, cnt[i]))
+			}
+		}
+		done = r.and(lits...)
+	}
+	ndone := r.gate(netlist.Not, done)
+
+	actionStates := []string{"HLC0", "HLC1", "HLRX", "HLTX", "HRC0", "HRC1", "HRRX", "HRTX"}
+	active := r.or(actionStates...)
+
+	// Counter increment with synchronous clear on done or idle.
+	carry := one
+	for i := 0; i < nbits; i++ {
+		sum := r.gate(netlist.Xor, cnt[i], carry)
+		if i+1 < nbits {
+			carry = r.and(cnt[i], carry)
+		}
+		r.b.AddGate(cnt[i], netlist.DFF, r.and(active, ndone, sum))
+	}
+
+	// ---- state register plumbing ---------------------------------
+	doneL := r.and(r.or("HLC0", "HLC1", "HLTX"), done)
+	doneLRX := r.and("HLRX", done)
+	doneR := r.and(r.or("HRC0", "HRC1", "HRTX"), done)
+	doneRRX := r.and("HRRX", done)
+
+	nrsel0 := r.gate(netlist.Not, "RSEL0")
+	nrsel1 := r.gate(netlist.Not, "RSEL1")
+	into["HRC0"] = append(into["HRC0"], r.and(doneL, nrsel1, nrsel0))
+	into["HRC1"] = append(into["HRC1"], r.and(doneL, nrsel1, "RSEL0"))
+	into["HRRX"] = append(into["HRRX"], r.and(doneL, "RSEL1"))
+	into["HLTX"] = append(into["HLTX"], doneLRX)
+	into["HRTX"] = append(into["HRTX"], doneRRX)
+
+	// Self-loops while the counter runs.
+	for _, s := range actionStates {
+		into[s] = append(into[s], r.and(s, ndone))
+	}
+
+	// Root re-entry: block completion, or cold start (no state set).
+	allStates := append(append([]string{}, trieStates...), actionStates...)
+	idle := r.gate(netlist.Nor, allStates...)
+	into[trieState[0]] = append(into[trieState[0]], doneR, idle)
+
+	// Materialize every state flip-flop.
+	for _, s := range append(append([]string{}, trieStates...), actionStates...) {
+		srcs := into[s]
+		if len(srcs) == 0 {
+			srcs = []string{zero}
+		}
+		r.b.AddGate(s, netlist.DFF, r.or(srcs...))
+	}
+
+	// Right-action select latch: loads on case entry, else holds.
+	latch := r.or(latchTerms...)
+	nlatch := r.gate(netlist.Not, latch)
+	rselIn := func(terms []string, cur string) string {
+		newv := zero
+		if len(terms) > 0 {
+			newv = r.or(terms...)
+		}
+		return r.or(r.and(latch, newv), r.and(nlatch, cur))
+	}
+	r.b.AddGate("RSEL0", netlist.DFF, rselIn(rsel0Terms, "RSEL0"))
+	r.b.AddGate("RSEL1", netlist.DFF, rselIn(rsel1Terms, "RSEL1"))
+
+	// ---- K/2-bit shifter ------------------------------------------
+	shiftEn := r.or("HLRX", "HRRX", "HLTX", "HRTX")
+	nshift := r.gate(netlist.Not, shiftEn)
+	prev := "din"
+	for i := 0; i < h; i++ {
+		name := fmt.Sprintf("SH%d", i)
+		r.b.AddGate(name, netlist.DFF,
+			r.or(r.and(shiftEn, prev), r.and(nshift, name)))
+		prev = name
+	}
+	shTail := fmt.Sprintf("SH%d", h-1)
+
+	// ---- outputs ----------------------------------------------------
+	txing := r.or("HLTX", "HRTX")
+	r.b.AddGate("scan_en", netlist.Buf, r.or("HLC0", "HLC1", "HRC0", "HRC1", txing))
+	r.b.AddGate("dout", netlist.Buf,
+		r.or(r.or("HLC1", "HRC1"), r.and(txing, shTail)))
+	r.b.AddGate("ate_rd", netlist.Buf, r.or(append([]string{"HLRX", "HRRX"}, trieStates...)...))
+	r.b.AddGate("ack", netlist.Buf, doneR)
+	for _, o := range []string{"dout", "scan_en", "ate_rd", "ack"} {
+		r.b.AddOutput(o)
+	}
+
+	if m > 0 {
+		r.appendStager(m, one)
+	}
+	return r.b.Build()
+}
+
+// appendStager adds the Fig. 3 m-bit staging shifter, its load
+// counter, the load strobe, and the per-chain parallel outputs. The
+// first bit of each m-bit slice shifts in first and therefore sits at
+// the far end of the stager when load pulses, so chain c reads stager
+// cell m-1-c.
+func (r *rtl) appendStager(m int, one string) {
+	nscan := r.gate(netlist.Not, "scan_en")
+	prev := "dout"
+	for i := 0; i < m; i++ {
+		name := fmt.Sprintf("ST%d", i)
+		r.b.AddGate(name, netlist.DFF,
+			r.or(r.and("scan_en", prev), r.and(nscan, name)))
+		prev = name
+	}
+
+	// Load counter: counts scan_en pulses modulo m, holds otherwise.
+	nbits := 1
+	for 1<<uint(nbits) < m {
+		nbits++
+	}
+	lcnt := make([]string, nbits)
+	for i := range lcnt {
+		lcnt[i] = fmt.Sprintf("LC%d", i)
+	}
+	var atMax string
+	if m == 1 {
+		atMax = one
+	} else {
+		var lits []string
+		for i := 0; i < nbits; i++ {
+			if (m-1)>>uint(i)&1 == 1 {
+				lits = append(lits, lcnt[i])
+			} else {
+				lits = append(lits, r.gate(netlist.Not, lcnt[i]))
+			}
+		}
+		atMax = r.and(lits...)
+	}
+	load := r.and("scan_en", atMax)
+	nload := r.gate(netlist.Not, load)
+	carry := one
+	for i := 0; i < nbits; i++ {
+		sum := r.gate(netlist.Xor, lcnt[i], carry)
+		if i+1 < nbits {
+			carry = r.and(lcnt[i], carry)
+		}
+		// scan_en & !load: advance; !scan_en: hold; load: clear.
+		next := r.or(
+			r.and("scan_en", nload, sum),
+			r.and(r.gate(netlist.Not, "scan_en"), nload, lcnt[i]),
+		)
+		r.b.AddGate(lcnt[i], netlist.DFF, next)
+	}
+	r.b.AddGate("load", netlist.Buf, load)
+	r.b.AddOutput("load")
+	// Parallel chain view of the stager. The bit just shifted in this
+	// cycle (dout) is chain m-1's value; older bits moved one cell up,
+	// so at load time chain c reads the combinational shift view.
+	for c := 0; c < m; c++ {
+		name := fmt.Sprintf("chain%d", c)
+		if c == m-1 {
+			r.b.AddGate(name, netlist.Buf, "dout")
+		} else {
+			r.b.AddGate(name, netlist.Buf, fmt.Sprintf("ST%d", m-2-c))
+		}
+		r.b.AddOutput(name)
+	}
+}
+
+// rtl is a tiny structural netlist builder with fresh-name management.
+type rtl struct {
+	b *netlist.Builder
+	n int
+}
+
+func newRTL(name string) *rtl { return &rtl{b: netlist.NewBuilder(name)} }
+
+func (r *rtl) gate(t netlist.GateType, ins ...string) string {
+	name := fmt.Sprintf("w%d", r.n)
+	r.n++
+	r.b.AddGate(name, t, ins...)
+	return name
+}
+
+// and builds an AND tree (a single input passes through).
+func (r *rtl) and(ins ...string) string {
+	if len(ins) == 1 {
+		return ins[0]
+	}
+	return r.gate(netlist.And, ins...)
+}
+
+// or builds an OR (a single input passes through).
+func (r *rtl) or(ins ...string) string {
+	if len(ins) == 1 {
+		return ins[0]
+	}
+	return r.gate(netlist.Or, ins...)
+}
+
+// trieNode mirrors the recognition trie for RTL emission.
+type trieNode struct{ zero, one int }
+
+// buildTrie flattens the assignment's prefix trie: nodes[i] holds the
+// child indices (-1 = none) and terms[j] != 0 marks node j as the
+// terminal of that case.
+func buildTrie(a core.Assignment) ([]trieNode, map[int]core.Case) {
+	nodes := []trieNode{{zero: -1, one: -1}}
+	terms := map[int]core.Case{}
+	for cs := core.CaseAll0; cs <= core.CaseMisMis; cs++ {
+		cur := 0
+		code := a.Code(cs)
+		for i := 0; i < len(code); i++ {
+			var next *int
+			if code[i] == '1' {
+				next = &nodes[cur].one
+			} else {
+				next = &nodes[cur].zero
+			}
+			if *next < 0 {
+				idx := len(nodes)
+				nodes = append(nodes, trieNode{zero: -1, one: -1})
+				// Re-take the pointer: append may have moved the slice.
+				if code[i] == '1' {
+					nodes[cur].one = idx
+				} else {
+					nodes[cur].zero = idx
+				}
+				cur = idx
+				continue
+			}
+			cur = *next
+		}
+		terms[cur] = cs
+	}
+	return nodes, terms
+}

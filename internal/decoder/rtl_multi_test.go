@@ -1,0 +1,131 @@
+package decoder
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/logicsim"
+	"repro/internal/tcube"
+)
+
+// TestMultiRTLMatchesModel drives the gate-level Fig. 3 decoder and
+// checks every parallel load against the behavioural MultiScan model.
+func TestMultiRTLMatchesModel(t *testing.T) {
+	const (
+		k = 8
+		m = 4
+	)
+	cdc, err := core.New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertical-encoded workload: 5 patterns of 24 bits over 4 chains.
+	rng := rand.New(rand.NewSource(2))
+	set := tcube.NewSet("m", 24)
+	for i := 0; i < 5; i++ {
+		c := bitvec.NewCube(24)
+		for j := 0; j < 24; j++ {
+			c.Set(j, bitvec.Trit(rng.Intn(3)))
+		}
+		set.MustAppend(c)
+	}
+	vert, err := tcube.Verticalize(set, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cdc.EncodeSet(vert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := fillStream(t, r.Stream, 6)
+	outBits := r.Blocks * r.K
+
+	ms, err := NewMultiScan(k, m, cdc.Assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ms.Run(stream, outBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckt, err := GenerateMultiRTL(k, m, cdc.Assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := logicsim.NewSeq(ckt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains := make([]*bitvec.Bits, m)
+	for c := range chains {
+		chains[c] = bitvec.NewBits(outBits / m)
+	}
+	loads, consumed, collected := 0, 0, 0
+	limit := 4*(stream.Len()+outBits) + 64
+	for cycle := 0; collected < outBits; cycle++ {
+		if cycle > limit {
+			t.Fatalf("stalled at %d/%d bits", collected, outBits)
+		}
+		sim.Eval()
+		if rd, _ := sim.Value("ate_rd"); rd {
+			if consumed >= stream.Len() {
+				t.Fatalf("demanded bit beyond stream")
+			}
+			if err := sim.SetInput("din", stream.Get(consumed)); err != nil {
+				t.Fatal(err)
+			}
+			consumed++
+			sim.Eval()
+		}
+		if se, _ := sim.Value("scan_en"); se {
+			collected++
+		}
+		if ld, _ := sim.Value("load"); ld {
+			for c := 0; c < m; c++ {
+				v, err := sim.Value(fmt.Sprintf("chain%d", c))
+				if err != nil {
+					t.Fatal(err)
+				}
+				chains[c].Set(loads, v)
+			}
+			loads++
+		}
+		sim.Step()
+	}
+	if loads != want.Loads {
+		t.Fatalf("loads = %d, want %d", loads, want.Loads)
+	}
+	for c := 0; c < m; c++ {
+		if !chains[c].Equal(want.Chains[c]) {
+			t.Fatalf("chain %d mismatch:\nhw: %s\nsw: %s", c, chains[c], want.Chains[c])
+		}
+	}
+	if consumed != stream.Len() {
+		t.Fatalf("consumed %d of %d", consumed, stream.Len())
+	}
+}
+
+func TestMultiRTLValidation(t *testing.T) {
+	a := core.DefaultAssignment()
+	if _, err := GenerateMultiRTL(8, 0, a); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := GenerateMultiRTL(7, 4, a); err == nil {
+		t.Fatal("odd K accepted")
+	}
+	// m=1 degenerates to a per-cycle load.
+	ckt, err := GenerateMultiRTL(4, 1, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ckt.GateByName("load"); !ok {
+		t.Fatal("load output missing")
+	}
+	if _, ok := ckt.GateByName("chain0"); !ok {
+		t.Fatal("chain0 output missing")
+	}
+}

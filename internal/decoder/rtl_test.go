@@ -1,0 +1,246 @@
+package decoder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+)
+
+// rtlRun drives the gate-level decoder with a compressed stream until
+// outBits scan bits have been collected, returning the collected bits
+// and the cycle budget.
+type rtlRunResult struct {
+	out        *bitvec.Bits
+	ateCycles  int
+	scanCycles int
+	acks       int
+	consumed   int
+}
+
+func rtlRun(t *testing.T, ckt *netlist.Circuit, stream *bitvec.Bits, outBits int) rtlRunResult {
+	t.Helper()
+	sim, err := logicsim.NewSeq(ckt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rtlRunResult{out: bitvec.NewBits(outBits)}
+	collected := 0
+	limit := 4*(stream.Len()+outBits) + 64
+	for cycle := 0; collected < outBits; cycle++ {
+		if cycle > limit {
+			t.Fatalf("gate-level decoder did not finish within %d cycles (%d/%d bits)", limit, collected, outBits)
+		}
+		sim.Eval()
+		rd, err := sim.Value("ate_rd")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rd {
+			if res.consumed >= stream.Len() {
+				t.Fatalf("decoder demanded bit %d beyond the %d-bit stream", res.consumed, stream.Len())
+			}
+			if err := sim.SetInput("din", stream.Get(res.consumed)); err != nil {
+				t.Fatal(err)
+			}
+			res.consumed++
+			res.ateCycles++
+			sim.Eval()
+		}
+		se, _ := sim.Value("scan_en")
+		if se {
+			v, _ := sim.Value("dout")
+			res.out.Set(collected, v)
+			collected++
+			res.scanCycles++
+		}
+		if ack, _ := sim.Value("ack"); ack {
+			res.acks++
+		}
+		sim.Step()
+	}
+	return res
+}
+
+func TestRTLMatchesBehaviouralModel(t *testing.T) {
+	for _, k := range []int{2, 4, 8, 16} {
+		cdc, err := core.New(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckt, err := GenerateRTL(k, cdc.Assignment())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ckt.Validate(); err != nil {
+			t.Fatal(err)
+		}
+
+		rng := rand.New(rand.NewSource(int64(k)))
+		flat := bitvec.NewCube(6 * k)
+		for i := 0; i < flat.Len(); i++ {
+			flat.Set(i, bitvec.Trit(rng.Intn(3)))
+		}
+		r, err := cdc.EncodeCube(flat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := fillStream(t, r.Stream, int64(k))
+
+		// Behavioural reference.
+		d, err := NewSingleScan(k, cdc.Assignment())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := d.Run(stream, r.Blocks*r.K)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Gate-level run.
+		res := rtlRun(t, ckt, stream, r.Blocks*r.K)
+		if !res.out.Equal(tr.Out) {
+			t.Fatalf("K=%d: gate-level output differs\nhw: %s\nsw: %s", k, res.out, tr.Out)
+		}
+		if res.ateCycles != tr.ATECycles || res.scanCycles != tr.ScanCycles {
+			t.Fatalf("K=%d: cycles (%d,%d), behavioural (%d,%d)",
+				k, res.ateCycles, res.scanCycles, tr.ATECycles, tr.ScanCycles)
+		}
+		if res.acks != r.Blocks {
+			t.Fatalf("K=%d: %d acks for %d blocks", k, res.acks, r.Blocks)
+		}
+		if res.consumed != stream.Len() {
+			t.Fatalf("K=%d: consumed %d of %d stream bits", k, res.consumed, stream.Len())
+		}
+	}
+}
+
+func TestRTLStructuralCost(t *testing.T) {
+	a := core.DefaultAssignment()
+	ckt8, err := GenerateRTL(8, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The control kernel (everything except shifter and counter) is
+	// K-independent; total flops grow with K via the shifter.
+	ckt64, err := GenerateRTL(64, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs8, ffs64 := len(ckt8.DFFs), len(ckt64.DFFs)
+	if ffs64 <= ffs8 {
+		t.Fatalf("shifter growth missing: %d vs %d flops", ffs8, ffs64)
+	}
+	// Shifter (K/2 flops) and counter (log2(K/2) flops) grow with K;
+	// the remaining control kernel must not.
+	kernel8 := ffs8 - 4 - 2 // minus SH (4) and CNT (2)
+	kernel64 := ffs64 - 32 - 5
+	if kernel8 != kernel64 {
+		t.Fatalf("control kernel flops depend on K: %d vs %d", kernel8, kernel64)
+	}
+	// Sanity: small machine, tens of gates, comparable to the paper's
+	// synthesis claim for the FSM.
+	if g := ckt8.NumLogicGates(); g < 40 || g > 400 {
+		t.Fatalf("gate count %d outside the expected envelope", g)
+	}
+	if _, err := GenerateRTL(3, a); err == nil {
+		t.Fatal("odd K accepted")
+	}
+}
+
+func TestRTLFrequencyDirectedAssignment(t *testing.T) {
+	// The generator must work for any valid assignment, not just the
+	// default: use a frequency-directed permutation.
+	var counts core.Counts
+	counts.Add(core.CaseMisMis)
+	counts.Add(core.CaseMisMis)
+	counts.Add(core.CaseAll1)
+	a := core.FrequencyDirected(counts)
+	cdcFD, err := core.NewWithAssignment(8, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := GenerateRTL(8, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := bitvec.ParseCube("01X011011XXXXX100000000011111111")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cdcFD.EncodeCube(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := fillStream(t, r.Stream, 5)
+	d, _ := NewSingleScan(8, a)
+	tr, err := d.Run(stream, r.Blocks*r.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rtlRun(t, ckt, stream, r.Blocks*r.K)
+	if !res.out.Equal(tr.Out) {
+		t.Fatal("frequency-directed RTL output differs from behavioural model")
+	}
+}
+
+// Property: for random data and assignments, the silicon and the
+// software agree bit-for-bit and cycle-for-cycle.
+func TestPropertyRTLEquivalence(t *testing.T) {
+	type built struct {
+		ckt *netlist.Circuit
+		cdc *core.Codec
+		dec *SingleScan
+	}
+	cache := map[int]built{}
+	f := func(seed int64, kRaw, nRaw uint8) bool {
+		k := (int(kRaw%4) + 1) * 2 // 2,4,6,8 — keep netlists small
+		bl, ok := cache[k]
+		if !ok {
+			cdc, err := core.New(k)
+			if err != nil {
+				return false
+			}
+			ckt, err := GenerateRTL(k, cdc.Assignment())
+			if err != nil {
+				return false
+			}
+			dec, err := NewSingleScan(k, cdc.Assignment())
+			if err != nil {
+				return false
+			}
+			bl = built{ckt, cdc, dec}
+			cache[k] = bl
+		}
+		n := (int(nRaw%6) + 1) * k
+		rng := rand.New(rand.NewSource(seed))
+		flat := bitvec.NewCube(n)
+		for i := 0; i < n; i++ {
+			flat.Set(i, bitvec.Trit(rng.Intn(3)))
+		}
+		r, err := bl.cdc.EncodeCube(flat)
+		if err != nil {
+			return false
+		}
+		filled := r.Stream.FillRandom(rng)
+		stream := bitvec.NewBits(filled.Len())
+		for i := 0; i < filled.Len(); i++ {
+			stream.Set(i, filled.Get(i) == bitvec.One)
+		}
+		tr, err := bl.dec.Run(stream, r.Blocks*r.K)
+		if err != nil {
+			return false
+		}
+		res := rtlRun(t, bl.ckt, stream, r.Blocks*r.K)
+		return res.out.Equal(tr.Out) &&
+			res.ateCycles == tr.ATECycles &&
+			res.scanCycles == tr.ScanCycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

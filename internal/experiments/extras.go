@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/atpg"
+	"repro/internal/core"
+	"repro/internal/faultsim"
+	"repro/internal/power"
+	"repro/internal/synth"
+)
+
+// ExtraFill runs the paper's motivating claim end to end (experiment
+// X1 in DESIGN.md): deterministic cubes from our own ATPG are 9C
+// compressed, decompressed, and their leftover don't-cares are filled
+// either randomly (the paper's recommendation) or with constant zero;
+// random fill must not lose the deterministic coverage and should
+// detect more of the full (uncollapsed) fault universe — the surrogate
+// for non-modeled faults. scale shrinks the synthetic circuit for fast
+// runs (≥ 1; larger is smaller).
+func ExtraFill(scale int) (*Table, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	t := &Table{
+		ID:    "Extra: leftover-X fill",
+		Title: "Fault coverage after decompression: random vs zero fill of leftover don't-cares",
+		Header: []string{"Circuit", "K", "Patterns", "LX%", "ATPG cov%", "Collapsed cov% (rand)",
+			"Universe cov% (rand)", "Universe cov% (zero)",
+			"TDF cov% (rand)", "TDF cov% (zero)", "TDF rand - zero"},
+	}
+	for _, name := range []string{"s5378", "s9234"} {
+		cs, err := synth.BenchmarkByName(name)
+		if err != nil {
+			return nil, err
+		}
+		prof := synth.CircuitProfileFor(cs, 20*scale, 77)
+		ckt, err := prof.Generate()
+		if err != nil {
+			return nil, err
+		}
+		sv, err := ckt.FullScan()
+		if err != nil {
+			return nil, err
+		}
+		collapsed := faultsim.Collapse(ckt)
+		cubes, genStats, err := atpg.Generate(sv, collapsed, atpg.Options{FillSeed: 7, Compact: true})
+		if err != nil {
+			return nil, err
+		}
+
+		universe := faultsim.Universe(ckt)
+		tdfs := faultsim.TDFUniverse(ckt)
+		// Sweep K: small K keeps few leftover X (little fill benefit);
+		// larger K trades CR for leftover X, the paper's Table II/III
+		// knob, and the fill benefit grows with it.
+		for _, k := range []int{8, 32} {
+			cdc, err := core.New(k)
+			if err != nil {
+				return nil, err
+			}
+			r, err := cdc.EncodeSet(cubes)
+			if err != nil {
+				return nil, err
+			}
+			decoded, err := cdc.DecodeSet(r.Stream, cubes.Width(), cubes.Len())
+			if err != nil {
+				return nil, err
+			}
+			if !cubes.Covers(decoded) {
+				return nil, fmt.Errorf("experiments: decode disturbed specified bits of %s", name)
+			}
+			randFill := atpg.FillSet(decoded, 7)
+			zeroFill := decoded.FillConst(0)
+
+			covCollapsed, err := faultsim.CampaignParallel(sv, randFill, collapsed, 0)
+			if err != nil {
+				return nil, err
+			}
+			covRand, err := faultsim.CampaignParallel(sv, randFill, universe, 0)
+			if err != nil {
+				return nil, err
+			}
+			covZero, err := faultsim.CampaignParallel(sv, zeroFill, universe, 0)
+			if err != nil {
+				return nil, err
+			}
+			// Transition-delay faults: genuinely non-modeled for this
+			// stuck-at ATPG flow, the paper's target for random fill.
+			tdfRand, err := faultsim.TDFCampaign(sv, randFill, tdfs)
+			if err != nil {
+				return nil, err
+			}
+			tdfZero, err := faultsim.TDFCampaign(sv, zeroFill, tdfs)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				prof.Name, d(k), d(cubes.Len()), f1(r.LXPercent()), f1(genStats.CoveragePercent),
+				f1(covCollapsed.Percent()), f1(covRand.Percent()), f1(covZero.Percent()),
+				f1(tdfRand.Percent()), f1(tdfZero.Percent()),
+				f1(tdfRand.Percent() - tdfZero.Percent()),
+			})
+		}
+	}
+	return t, nil
+}
+
+// ExtraPower quantifies the paper's §IV remark that leftover
+// don't-cares can instead reduce scan-in power (experiment X2):
+// minimum-transition fill of the decoded set versus random fill,
+// measured with the weighted transition metric.
+func ExtraPower() (*Table, error) {
+	t := &Table{
+		ID:     "Extra: scan power",
+		Title:  "WTM scan-in power with leftover don't-cares filled randomly vs minimum-transition (K=8)",
+		Header: []string{"Circuit", "LX%", "WTM total (rand)", "WTM total (MT)", "Reduction%"},
+	}
+	for _, cs := range synth.Benchmarks {
+		set, err := synth.MintestLike(cs.Name)
+		if err != nil {
+			return nil, err
+		}
+		cdc, err := core.New(8)
+		if err != nil {
+			return nil, err
+		}
+		r, err := cdc.EncodeSet(set)
+		if err != nil {
+			return nil, err
+		}
+		decoded, err := cdc.DecodeSet(r.Stream, set.Width(), set.Len())
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(5))
+		randProf, err := power.Measure(decoded.FillRandom(rng))
+		if err != nil {
+			return nil, err
+		}
+		mtProf, err := power.Measure(decoded.FillAdjacent())
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			cs.Name, f1(r.LXPercent()), d(randProf.Total), d(mtProf.Total),
+			f1(power.ReductionPercent(randProf, mtProf)),
+		})
+	}
+	return t, nil
+}
+
+// ExtraAblation quantifies the paper's §II design decision (experiment
+// X3): nine codes versus the richer 25-case variant — compression
+// gained versus decoder states added.
+func ExtraAblation() (*Table, error) {
+	t := &Table{
+		ID:    "Extra: 9C vs 25C ablation",
+		Title: "Nine codes vs two-level 25-case variant (both frequency-directed, K=8)",
+		Header: []string{"Circuit", "CR% 9C", "CR% 25C", "Gain",
+			"FSM states 9C", "FSM states 25C"},
+	}
+	for _, cs := range synth.Benchmarks {
+		set, err := synth.MintestLike(cs.Name)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := core.CompareVariant(set, 8)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			cs.Name, f1(rep.CR9C()), f1(rep.CR25C()),
+			f1(rep.CR25C() - rep.CR9C()),
+			d(rep.DecoderStates9C), d(rep.DecoderStates25C),
+		})
+	}
+	return t, nil
+}
+
+// PipelineReport is the full ATPG→9C→decode→fault-sim closure used by
+// examples and integration tests. CoverageBefore grades the filled
+// cubes as generated; CoverageAfter grades the patterns actually
+// applied after decompression and ATE-side fill. The two may differ
+// slightly — compression consumes the X bits of matched halves with
+// forced constants, reshuffling fortuitous detections — and the tests
+// bound that gap.
+type PipelineReport struct {
+	Circuit        string
+	Patterns       int
+	CRPercent      float64
+	LXPercent      float64
+	CoverageBefore float64
+	CoverageAfter  float64
+}
+
+// RunPipeline executes the closure on a scaled benchmark profile.
+func RunPipeline(name string, scale int, k int) (*PipelineReport, error) {
+	cs, err := synth.BenchmarkByName(name)
+	if err != nil {
+		return nil, err
+	}
+	prof := synth.CircuitProfileFor(cs, scale, 13)
+	ckt, err := prof.Generate()
+	if err != nil {
+		return nil, err
+	}
+	sv, err := ckt.FullScan()
+	if err != nil {
+		return nil, err
+	}
+	faults := faultsim.Collapse(ckt)
+	cubes, _, err := atpg.Generate(sv, faults, atpg.Options{FillSeed: 3, Compact: true})
+	if err != nil {
+		return nil, err
+	}
+	filledBefore := atpg.FillSet(cubes, 3)
+
+	cdc, err := core.New(k)
+	if err != nil {
+		return nil, err
+	}
+	r, err := cdc.EncodeSet(cubes)
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := cdc.DecodeSet(r.Stream, cubes.Width(), cubes.Len())
+	if err != nil {
+		return nil, err
+	}
+	filledAfter := atpg.FillSet(decoded, 3)
+
+	covB, err := faultsim.CampaignParallel(sv, filledBefore, faults, 0)
+	if err != nil {
+		return nil, err
+	}
+	covA, err := faultsim.CampaignParallel(sv, filledAfter, faults, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &PipelineReport{
+		Circuit:        prof.Name,
+		Patterns:       cubes.Len(),
+		CRPercent:      r.CR(),
+		LXPercent:      r.LXPercent(),
+		CoverageBefore: covB.Percent(),
+		CoverageAfter:  covA.Percent(),
+	}, nil
+}

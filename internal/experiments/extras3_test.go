@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExtraReorderScaled(t *testing.T) {
+	tab, err := ExtraReorder(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// ATPG workloads (rows 0-2): reordering must gain substantially.
+	for i := 0; i < 3; i++ {
+		gain, _ := strconv.ParseFloat(tab.Rows[i][4], 64)
+		if gain < 5 {
+			t.Errorf("%s: reordering gained only %.1f points", tab.Rows[i][0], gain)
+		}
+	}
+	// The positional-correlation counter-example loses or stays flat.
+	if !strings.Contains(tab.Rows[3][0], "positional") {
+		t.Fatalf("missing counter-example row: %v", tab.Rows[3])
+	}
+}
+
+func TestExtraCost(t *testing.T) {
+	tab, err := ExtraCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 11 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// 9C's row must be set-independent with zero on-chip memory.
+	if tab.Rows[0][3] != "0" || tab.Rows[0][4] != "no" {
+		t.Fatalf("9C row: %v", tab.Rows[0])
+	}
+	// At least the Huffman/dictionary family must be flagged
+	// set-dependent.
+	dep := 0
+	for _, row := range tab.Rows {
+		if row[4] == "yes" {
+			dep++
+		}
+	}
+	if dep < 4 {
+		t.Fatalf("only %d set-dependent schemes flagged", dep)
+	}
+}
+
+func TestExtraSoC(t *testing.T) {
+	tab, err := ExtraSoC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	prev := 1e18
+	for _, row := range tab.Rows {
+		comp, _ := strconv.ParseFloat(row[2], 64)
+		if comp >= prev+1e-9 {
+			t.Fatalf("makespan not non-increasing in channels: %v", tab.Rows)
+		}
+		prev = comp
+		red, _ := strconv.ParseFloat(row[3], 64)
+		// SoC-level reduction should roughly track per-core TAT (~60%+).
+		if red < 50 {
+			t.Errorf("channels=%s: SoC reduction %.1f%% too low", row[0], red)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/codecs"
+	"repro/internal/core"
+	"repro/internal/decoder"
+)
+
+// ExtraCost reproduces the paper's §IV qualitative argument as a
+// table (experiment X7): the on-chip decoder each scheme requires —
+// FSM states, counters, on-chip memory, and whether the hardware
+// depends on the precomputed test set. 9C's row comes from the
+// generated gate-level netlist, not an estimate.
+func ExtraCost() (*Table, error) {
+	t := &Table{
+		ID:     "Extra: decoder cost",
+		Title:  "On-chip decompressor cost and flexibility by scheme (representative parameters)",
+		Header: []string{"Scheme", "FSM states", "Counter bits", "Mem bits", "Set-dependent", "Notes"},
+	}
+	rtl, err := decoder.GenerateRTL(8, core.DefaultAssignment())
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{
+		"9C (K=8)", d(decoder.FSMStates(core.DefaultAssignment()) + 4), "2", "0", "no",
+		fmt.Sprintf("gate-level: %d FF / %d gates", len(rtl.DFFs), rtl.NumLogicGates()),
+	})
+	rows := []struct {
+		name  string
+		c     codecs.Coster
+		notes string
+	}{
+		{"Golomb (m=16)", codecs.Golomb{M: 16}, "run-length counters"},
+		{"FDR", codecs.FDR{}, "worst-case-sized group counters"},
+		{"EFDR", codecs.EFDR{}, "FDR + polarity"},
+		{"ARL-FDR", codecs.ARL{}, "FDR + alternation"},
+		{"MTC (m=16)", codecs.MTC{M: 16}, "Golomb runs + polarity"},
+		{"VIHC (mh=16)", &codecs.VIHC{Mh: 16}, "Huffman tree from this test set"},
+		{"SelHuffman (b=8,n=16)", &codecs.SelectiveHuffman{B: 8, N: 16}, "pattern RAM from this test set"},
+		{"Huffman (b=8)", &codecs.FullHuffman{B: 8}, "full pattern table"},
+		{"Dictionary (b=16,d=128)", &codecs.Dictionary{B: 16, D: 128}, "index RAM from this test set"},
+		{"LZW (b=8,dict=1024)", &codecs.LZW{B: 8, MaxDict: 1024}, "on-line dictionary RAM"},
+	}
+	for _, row := range rows {
+		c := row.c.DecoderCost()
+		dep := "no"
+		if c.SetDependent {
+			dep = "yes"
+		}
+		t.Rows = append(t.Rows, []string{
+			row.name, d(c.States), d(c.CounterBits), d(c.MemBits), dep, row.notes,
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ate"
+	"repro/internal/soc"
+	"repro/internal/synth"
+)
+
+// ExtraSoC places 9C in the paper's test-resource-partitioning frame
+// (experiment X8): the six ISCAS workloads act as the embedded cores
+// of one SoC, scheduled onto a small number of single-pin ATE channels
+// with LPT. Compression shortens every core's test, and the SoC-level
+// makespan drops almost in proportion.
+func ExtraSoC() (*Table, error) {
+	const p = 8
+	t := &Table{
+		ID:     "Extra: SoC scheduling",
+		Title:  fmt.Sprintf("SoC test time (ATE cycles) with the 6 benchmarks as cores, LPT scheduling, p=%d", p),
+		Header: []string{"Channels", "Uncompressed", "9C (best K)", "Reduction%", "LPT vs lower bound"},
+	}
+	var plain, comp []soc.Core
+	for _, cs := range synth.Benchmarks {
+		set, err := synth.MintestLike(cs.Name)
+		if err != nil {
+			return nil, err
+		}
+		_, r, err := BestKFor(set, DefaultKs)
+		if err != nil {
+			return nil, err
+		}
+		plain = append(plain, soc.Core{Name: cs.Name, TestTime: ate.TestTimeUncompressed(set.Bits())})
+		comp = append(comp, soc.Core{Name: cs.Name, TestTime: ate.TestTimeCompressed(r, p)})
+	}
+	for _, ch := range []int{1, 2, 3, 4} {
+		pu, err := soc.LPT(plain, ch)
+		if err != nil {
+			return nil, err
+		}
+		pc, err := soc.LPT(comp, ch)
+		if err != nil {
+			return nil, err
+		}
+		lb := soc.LowerBound(comp, ch)
+		gap := "1.00"
+		if lb > 0 {
+			gap = fmt.Sprintf("%.2f", pc.Makespan/lb)
+		}
+		t.Rows = append(t.Rows, []string{
+			d(ch), fmt.Sprintf("%.0f", pu.Makespan), fmt.Sprintf("%.0f", pc.Makespan),
+			f1(100 * (pu.Makespan - pc.Makespan) / pu.Makespan), gap,
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ate"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/decoder"
+	"repro/internal/synth"
+	"repro/internal/tcube"
+)
+
+// figureBenchmark is the workload used to exercise the decoder
+// architectures; s9234 sits mid-pack in size and density.
+const figureBenchmark = "s9234"
+
+// Figure1 validates the Fig. 1 single-scan decoder: the hardware model
+// decodes a real workload bit-exactly against the software codec and
+// reports its cycle budget.
+func Figure1() (*Table, error) {
+	set, err := synth.MintestLike(figureBenchmark)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Figure 1",
+		Title:  fmt.Sprintf("Single-scan decoder on %s: hardware model vs software codec", figureBenchmark),
+		Header: []string{"K", "Shipped bits", "ATE cycles", "Scan cycles", "Acks", "Bit-exact", "TAT%(p=8)"},
+	}
+	for _, k := range []int{4, 8, 16} {
+		cdc, err := core.New(k)
+		if err != nil {
+			return nil, err
+		}
+		r, err := cdc.EncodeSet(set)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := ate.Session{P: 8, FillSeed: 21}.RunSingleScan(r)
+		if err != nil {
+			return nil, err
+		}
+		exact := "yes"
+		if rep.ATECycles != r.CompressedBits() || rep.ScanCycles != r.Blocks*r.K {
+			exact = "NO"
+		}
+		t.Rows = append(t.Rows, []string{
+			d(k), d(rep.ShippedBits), d(rep.ATECycles), d(rep.ScanCycles),
+			d(r.Blocks), exact, f1(rep.TATMeasured),
+		})
+	}
+	return t, nil
+}
+
+// Figure2 characterizes the Fig. 2 FSM three ways: the abstract cost
+// model, and the actual gate-level decoder netlist the repository
+// generates (flops and gates counted structurally). The control kernel
+// must be independent of K; only shifter and counter grow.
+func Figure2() (*Table, error) {
+	a := core.DefaultAssignment()
+	t := &Table{
+		ID:    "Figure 2",
+		Title: "Decoder FSM characteristics (model estimate vs generated gate-level netlist)",
+		Header: []string{"K", "FSM states", "Est. flops", "Est. gates",
+			"RTL flops", "RTL gates"},
+	}
+	maxLen := 0
+	for cs := core.CaseAll0; cs <= core.CaseMisMis; cs++ {
+		if l := a.Len(cs); l > maxLen {
+			maxLen = l
+		}
+	}
+	if maxLen != 5 {
+		return nil, fmt.Errorf("experiments: worst-case codeword length %d, want 5", maxLen)
+	}
+	var fsmGates int
+	for i, k := range []int{8, 16, 32, 64} {
+		h, err := decoder.EstimateCost(k, 0, a)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			fsmGates = h.FSMGates
+		} else if h.FSMGates != fsmGates {
+			return nil, fmt.Errorf("experiments: FSM gate estimate varies with K")
+		}
+		rtl, err := decoder.GenerateRTL(k, a)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			d(k), d(h.FSMStates), d(h.TotalFlops()), d(h.TotalGates()),
+			d(len(rtl.DFFs)), d(rtl.NumLogicGates()),
+		})
+	}
+	return t, nil
+}
+
+// Figure3 validates the Fig. 3/4(b) multi-scan single-pin decoder: one
+// ATE pin drives m chains at exactly the single-scan cycle budget.
+func Figure3() (*Table, error) {
+	set, err := synth.MintestLike(figureBenchmark)
+	if err != nil {
+		return nil, err
+	}
+	const k = 8
+	t := &Table{
+		ID:    "Figure 3",
+		Title: fmt.Sprintf("Multi-scan single-pin decoder on %s (K=%d): the m-bit stager adds no cycles", figureBenchmark, k),
+		Header: []string{"Chains m", "Pins", "ATE cycles", "Scan cycles", "Loads",
+			"Stager adds cycles", "CR% (vertical)"},
+	}
+	// Pad the scan width to a multiple of every m under test. Each m
+	// encodes its own vertical arrangement of the same data; within
+	// each arrangement the multi-scan decoder must cost exactly what
+	// the single-scan decoder costs on the same stream (paper §III.B).
+	widths := []int{1, 2, 4, 8, 16}
+	padded := padSetWidth(set, lcmAll(widths))
+	for _, m := range widths {
+		vert, err := tcube.Verticalize(padded, m)
+		if err != nil {
+			return nil, err
+		}
+		cdc, err := core.New(k)
+		if err != nil {
+			return nil, err
+		}
+		r, err := cdc.EncodeSet(vert)
+		if err != nil {
+			return nil, err
+		}
+		stream, err := ate.FillStream(r.Stream, 22)
+		if err != nil {
+			return nil, err
+		}
+		ss, err := decoder.NewSingleScan(k, cdc.Assignment())
+		if err != nil {
+			return nil, err
+		}
+		ms, err := decoder.NewMultiScan(k, m, cdc.Assignment())
+		if err != nil {
+			return nil, err
+		}
+		// Decode the whole session as one stream: per-pattern blocks
+		// concatenate, so total output is Blocks*K bits.
+		str, err := ss.Run(stream, r.Blocks*r.K)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := ms.Run(stream, r.Blocks*r.K)
+		if err != nil {
+			return nil, err
+		}
+		adds := "no"
+		if tr.ATECycles != str.ATECycles || tr.ScanCycles != str.ScanCycles {
+			adds = "YES"
+		}
+		t.Rows = append(t.Rows, []string{
+			d(m), d(tr.Pins), d(tr.ATECycles), d(tr.ScanCycles), d(tr.Loads), adds, f1(r.CR()),
+		})
+	}
+	return t, nil
+}
+
+// Figure4 reproduces the Fig. 4 architecture trade-off: (a) one chain
+// one pin, (b) m chains one pin — same test time, fewer pins — and
+// (c) m chains with m/K pins and m/K parallel decoders — test time
+// divided by the decoder count.
+func Figure4() (*Table, error) {
+	set, err := synth.MintestLike(figureBenchmark)
+	if err != nil {
+		return nil, err
+	}
+	const (
+		k = 8
+		p = 8
+		m = 32 // chains for variants (b) and (c)
+	)
+	padded := padSetWidth(set, m*k)
+	cdc, err := core.New(k)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Figure 4",
+		Title:  fmt.Sprintf("Scan architectures on %s (K=%d, m=%d chains, p=%d)", figureBenchmark, k, m, p),
+		Header: []string{"Architecture", "Pins", "Decoders", "Test time (ATE cycles)", "Speedup"},
+	}
+
+	// (a): one long chain, one pin, horizontal bit order.
+	ra, err := cdc.EncodeSet(padded)
+	if err != nil {
+		return nil, err
+	}
+	repA, err := ate.Session{P: p, FillSeed: 23}.RunSingleScan(ra)
+	if err != nil {
+		return nil, err
+	}
+	timeA := float64(repA.ATECycles) + float64(repA.ScanCycles)/float64(p)
+	t.Rows = append(t.Rows, []string{"(a) single chain, 1 pin", "1", "1", f1(timeA), "1.0x"})
+
+	// (b): m chains, still one pin and one decoder; the data is encoded
+	// in the vertical (across-chain) order the Fig. 3 decoder consumes.
+	vb, err := tcube.Verticalize(padded, m)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := cdc.EncodeSet(vb)
+	if err != nil {
+		return nil, err
+	}
+	repB, err := ate.Session{P: p, FillSeed: 23}.RunSingleScan(rb)
+	if err != nil {
+		return nil, err
+	}
+	timeB := float64(repB.ATECycles) + float64(repB.ScanCycles)/float64(p)
+	t.Rows = append(t.Rows, []string{"(b) 32 chains, 1 pin", "1", "1", f1(timeB),
+		fmt.Sprintf("%.1fx", timeA/timeB)})
+
+	// (c): m/K decoders, each owning K chains and its own ATE pin.
+	bank, err := decoder.NewParallelBank(k, m, cdc.Assignment())
+	if err != nil {
+		return nil, err
+	}
+	groupSets, err := splitForBank(padded, m, k)
+	if err != nil {
+		return nil, err
+	}
+	var streams []*bitvec.Bits
+	outBits := 0
+	for _, g := range groupSets {
+		rg, err := cdc.EncodeSet(g)
+		if err != nil {
+			return nil, err
+		}
+		s, err := ate.FillStream(rg.Stream, 24)
+		if err != nil {
+			return nil, err
+		}
+		streams = append(streams, s)
+		outBits = rg.Blocks * rg.K
+	}
+	bt, err := bank.Run(streams, outBits)
+	if err != nil {
+		return nil, err
+	}
+	timeC := bt.TestTimeATE(p)
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("(c) %d chains, %d pins", m, bank.Decoders()),
+		d(bt.Pins), d(bank.Decoders()), f1(timeC), fmt.Sprintf("%.1fx", timeB/timeC),
+	})
+	return t, nil
+}
+
+// padSetWidth pads every cube with trailing X so the width becomes a
+// multiple of mult.
+func padSetWidth(s *tcube.Set, mult int) *tcube.Set {
+	w := s.Width()
+	if mult > 0 && w%mult != 0 {
+		w += mult - w%mult
+	}
+	out := tcube.NewSet(s.Name, w)
+	for i := 0; i < s.Len(); i++ {
+		out.MustAppend(s.Cube(i).Slice(0, w))
+	}
+	return out
+}
+
+func lcmAll(vs []int) int {
+	l := 1
+	for _, v := range vs {
+		l = lcm(l, v)
+	}
+	return l
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// splitForBank partitions each scan load for the Fig. 4(c) bank: the m
+// chains (each of length width/m) divide into m/K groups of K chains;
+// group g's per-pattern data is its K chains' cells, verticalized over
+// those K chains — the stream its private decoder consumes.
+func splitForBank(s *tcube.Set, m, k int) ([]*tcube.Set, error) {
+	if m%k != 0 || s.Width()%m != 0 {
+		return nil, fmt.Errorf("experiments: cannot split width %d into %d chains of %d-chain groups", s.Width(), m, k)
+	}
+	per := s.Width() / m // chain length
+	groups := m / k
+	out := make([]*tcube.Set, groups)
+	for g := range out {
+		out[g] = tcube.NewSet(fmt.Sprintf("%s.g%d", s.Name, g), k*per)
+	}
+	for i := 0; i < s.Len(); i++ {
+		chains, err := tcube.ChainSlices(s.Cube(i), m)
+		if err != nil {
+			return nil, err
+		}
+		for g := 0; g < groups; g++ {
+			flat := bitvec.NewCube(k * per)
+			for c := 0; c < k; c++ {
+				src := chains[g*k+c]
+				for t := 0; t < per; t++ {
+					flat.Set(c*per+t, src.Get(t))
+				}
+			}
+			vert, err := tcube.VerticalReshape(flat, k)
+			if err != nil {
+				return nil, err
+			}
+			out[g].MustAppend(vert)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation section (DESIGN.md §3) from the repository's own
+// substrates: synthetic Mintest-like workloads, the 9C codec, the
+// cycle-accurate decoder, the ATE model and the baseline codecs. The
+// same entry points back both cmd/tabgen and the repository-level
+// benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment artifact: an identifier matching the
+// paper ("Table II", "Figure 4"), a caption, a header row and data
+// rows.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	total := len(t.Header) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// f1 formats a float with one decimal, the paper's precision.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// d formats an int.
+func d(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,115 @@
+// Package faultsim provides the single stuck-at fault substrate: fault
+// universe construction with structural equivalence collapsing, and an
+// event-driven 64-way parallel-pattern single-fault-propagation (PPSFP)
+// fault simulator over the full-scan view of a netlist. It is used to
+// grade test sets, to drop detected faults during ATPG, and to measure
+// the benefit of randomly filling the 9C leftover don't-cares.
+package faultsim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Fault is a single stuck-at fault site: the output of a gate
+// (Pin == -1) or one of its input pins (branch fault).
+type Fault struct {
+	Gate    int  // gate ID in the circuit
+	Pin     int  // -1 for the gate output, else fanin index
+	StuckAt bool // stuck value: false = s-a-0, true = s-a-1
+}
+
+// String renders e.g. "G11/out s-a-1" or "G9.in0 s-a-0".
+func (f Fault) String() string {
+	v := 0
+	if f.StuckAt {
+		v = 1
+	}
+	if f.Pin < 0 {
+		return fmt.Sprintf("gate%d/out s-a-%d", f.Gate, v)
+	}
+	return fmt.Sprintf("gate%d.in%d s-a-%d", f.Gate, f.Pin, v)
+}
+
+// Name renders the fault with net names from c.
+func (f Fault) Name(c *netlist.Circuit) string {
+	v := 0
+	if f.StuckAt {
+		v = 1
+	}
+	g := c.Gates[f.Gate]
+	if f.Pin < 0 {
+		return fmt.Sprintf("%s s-a-%d", g.Name, v)
+	}
+	return fmt.Sprintf("%s.%s s-a-%d", g.Name, c.Gates[g.Fanin[f.Pin]].Name, v)
+}
+
+// Universe returns the uncollapsed fault list: both stuck values on
+// every gate output and on every gate input pin.
+func Universe(c *netlist.Circuit) []Fault {
+	var out []Fault
+	for _, g := range c.Gates {
+		for _, v := range []bool{false, true} {
+			out = append(out, Fault{Gate: g.ID, Pin: -1, StuckAt: v})
+		}
+		for pin := range g.Fanin {
+			for _, v := range []bool{false, true} {
+				out = append(out, Fault{Gate: g.ID, Pin: pin, StuckAt: v})
+			}
+		}
+	}
+	return out
+}
+
+// Collapse returns an equivalence-collapsed fault list using the
+// standard structural rules:
+//
+//   - single-input gates (BUF/NOT/DFF): input faults are equivalent to
+//     output faults and are dropped;
+//   - AND/NAND: an input s-a-0 is equivalent to the output s-a-0/s-a-1
+//     respectively and is dropped; the input s-a-1 faults remain;
+//   - OR/NOR: dually, input s-a-1 faults are dropped;
+//   - XOR/XNOR: no input fault is equivalent; all remain;
+//   - fanout-free branches: if a gate is the only consumer of its
+//     fanin net, the remaining input faults on that pin are equivalent
+//     to the driver's output faults and are dropped.
+func Collapse(c *netlist.Circuit) []Fault {
+	var out []Fault
+	for _, g := range c.Gates {
+		for _, v := range []bool{false, true} {
+			out = append(out, Fault{Gate: g.ID, Pin: -1, StuckAt: v})
+		}
+		for pin, src := range g.Fanin {
+			fanoutFree := len(c.Fanouts(src)) == 1
+			for _, v := range []bool{false, true} {
+				if equivalentToOutput(g.Type, v) {
+					continue
+				}
+				if fanoutFree {
+					// Branch ≡ stem: already covered by the driver's
+					// output fault of the same polarity (through any
+					// chain of non-controlling equivalences this is
+					// conservative but standard).
+					continue
+				}
+				out = append(out, Fault{Gate: g.ID, Pin: pin, StuckAt: v})
+			}
+		}
+	}
+	return out
+}
+
+// equivalentToOutput reports whether an input fault with the given
+// stuck value collapses onto the gate's output fault.
+func equivalentToOutput(t netlist.GateType, stuckAt bool) bool {
+	switch t {
+	case netlist.Buf, netlist.Not, netlist.DFF:
+		return true
+	case netlist.And, netlist.Nand:
+		return !stuckAt // s-a-0 is controlling
+	case netlist.Or, netlist.Nor:
+		return stuckAt // s-a-1 is controlling
+	}
+	return false
+}

@@ -1,0 +1,288 @@
+package faultsim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/netlist"
+)
+
+const s27 = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+`
+
+func circuit(t *testing.T, src, name string) (*netlist.Circuit, *netlist.ScanView) {
+	t.Helper()
+	c, err := netlist.ParseBench(name, strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := c.FullScan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, sv
+}
+
+func TestUniverseAndCollapseCounts(t *testing.T) {
+	c, _ := circuit(t, s27, "s27")
+	u := Universe(c)
+	col := Collapse(c)
+	// Universe: 2 faults per gate output + 2 per input pin.
+	pins := 0
+	for _, g := range c.Gates {
+		pins += len(g.Fanin)
+	}
+	if want := 2 * (c.NumGates() + pins); len(u) != want {
+		t.Fatalf("universe = %d, want %d", len(u), want)
+	}
+	if len(col) >= len(u) {
+		t.Fatalf("collapse did not shrink: %d >= %d", len(col), len(u))
+	}
+	// All collapsed faults must exist in the universe.
+	seen := map[Fault]bool{}
+	for _, f := range u {
+		seen[f] = true
+	}
+	for _, f := range col {
+		if !seen[f] {
+			t.Fatalf("collapsed fault %v not in universe", f)
+		}
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	c, _ := circuit(t, s27, "s27")
+	f := Fault{Gate: 0, Pin: -1, StuckAt: true}
+	if !strings.Contains(f.String(), "s-a-1") {
+		t.Fatalf("String = %q", f.String())
+	}
+	g, _ := c.GateByName("G8")
+	in := Fault{Gate: g.ID, Pin: 0, StuckAt: false}
+	if n := in.Name(c); !strings.Contains(n, "G8.") || !strings.Contains(n, "s-a-0") {
+		t.Fatalf("Name = %q", n)
+	}
+	if n := f.Name(c); !strings.Contains(n, "s-a-1") {
+		t.Fatalf("Name = %q", n)
+	}
+}
+
+func TestDetectsSimpleAnd(t *testing.T) {
+	// Y = AND(A,B): exhaustively known detection masks.
+	_, sv := circuit(t, "INPUT(A)\nINPUT(B)\nOUTPUT(Y)\nY = AND(A, B)\n", "and2")
+	s := NewSimulator(sv)
+	loads := make([]*bitvec.Bits, 4)
+	for p := 0; p < 4; p++ {
+		l := bitvec.NewBits(2)
+		l.Set(0, p&1 != 0) // A
+		l.Set(1, p&2 != 0) // B
+		loads[p] = l
+	}
+	if err := s.LoadBatch(loads); err != nil {
+		t.Fatal(err)
+	}
+	y, _ := sv.Circuit.GateByName("Y")
+	a, _ := sv.Circuit.GateByName("A")
+	cases := []struct {
+		f    Fault
+		want uint64
+	}{
+		// Y good values per pattern p(A,B): p0=00:0 p1=10:0 p2=01:0 p3=11:1.
+		{Fault{Gate: y.ID, Pin: -1, StuckAt: false}, 0b1000}, // only 11 sees 1->0
+		{Fault{Gate: y.ID, Pin: -1, StuckAt: true}, 0b0111},
+		{Fault{Gate: y.ID, Pin: 0, StuckAt: true}, 0b0100},  // A s-a-1 at pin: detected when A=0,B=1
+		{Fault{Gate: a.ID, Pin: -1, StuckAt: true}, 0b0100}, // stem same here
+		{Fault{Gate: a.ID, Pin: -1, StuckAt: false}, 0b1000},
+	}
+	for _, tc := range cases {
+		if got := s.Detects(tc.f); got != tc.want {
+			t.Errorf("%v: mask %04b, want %04b", tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestDetectsBeforeLoadPanics(t *testing.T) {
+	_, sv := circuit(t, s27, "s27")
+	s := NewSimulator(sv)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Detects(Fault{Gate: 0, Pin: -1})
+}
+
+// naiveDetects re-simulates pattern-by-pattern with full evaluation,
+// serving as the reference model for the event-driven engine.
+func naiveDetects(sv *netlist.ScanView, loads []*bitvec.Bits, f Fault) uint64 {
+	c := sv.Circuit
+	var mask uint64
+	for p, load := range loads {
+		good := naiveEval(sv, load, Fault{Gate: -1})
+		bad := naiveEval(sv, load, f)
+		for i, id := range sv.PPOs {
+			gv, bv := good[id], bad[id]
+			// DFF pin faults corrupt only the observed capture value.
+			if f.Gate >= 0 && c.Gates[f.Gate].Type == netlist.DFF && f.Pin == 0 &&
+				id == c.Gates[f.Gate].Fanin[0] && i >= len(c.Outputs) {
+				bv = f.StuckAt
+			}
+			if gv != bv {
+				mask |= 1 << uint(p)
+				break
+			}
+		}
+	}
+	return mask
+}
+
+func naiveEval(sv *netlist.ScanView, load *bitvec.Bits, f Fault) []bool {
+	c := sv.Circuit
+	val := make([]bool, c.NumGates())
+	for i, id := range sv.PPIs {
+		val[id] = load.Get(i)
+	}
+	for _, id := range sv.Order {
+		g := &c.Gates[id]
+		if g.Type != netlist.Input && g.Type != netlist.DFF {
+			in := func(pin int) bool {
+				if f.Gate == id && f.Pin == pin {
+					return f.StuckAt
+				}
+				return val[g.Fanin[pin]]
+			}
+			var v bool
+			switch g.Type {
+			case netlist.Buf:
+				v = in(0)
+			case netlist.Not:
+				v = !in(0)
+			case netlist.And, netlist.Nand:
+				v = true
+				for pin := range g.Fanin {
+					v = v && in(pin)
+				}
+				if g.Type == netlist.Nand {
+					v = !v
+				}
+			case netlist.Or, netlist.Nor:
+				for pin := range g.Fanin {
+					v = v || in(pin)
+				}
+				if g.Type == netlist.Nor {
+					v = !v
+				}
+			case netlist.Xor, netlist.Xnor:
+				for pin := range g.Fanin {
+					v = v != in(pin)
+				}
+				if g.Type == netlist.Xnor {
+					v = !v
+				}
+			}
+			val[id] = v
+		}
+		if f.Gate == id && f.Pin == -1 {
+			val[id] = f.StuckAt
+		}
+	}
+	return val
+}
+
+// Property: the event-driven engine agrees with the naive reference on
+// s27 for every fault in the universe and random batches.
+func TestPropertyDetectsMatchesNaive(t *testing.T) {
+	c, sv := circuit(t, s27, "s27")
+	s := NewSimulator(sv)
+	faults := Universe(c)
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		loads := make([]*bitvec.Bits, n)
+		for i := range loads {
+			b := bitvec.NewBits(sv.ScanWidth())
+			for j := 0; j < b.Len(); j++ {
+				b.Set(j, rng.Intn(2) == 1)
+			}
+			loads[i] = b
+		}
+		if err := s.LoadBatch(loads); err != nil {
+			return false
+		}
+		for _, flt := range faults {
+			// DFF pin faults on PPO observation: naive handles the DFF
+			// input pin specially only for the capture PPO; skip cases
+			// where the DFF fanin also drives a real PO to keep the
+			// reference simple (none exist in s27, but be safe).
+			if got, want := s.Detects(flt), naiveDetects(sv, loads, flt); got != want {
+				t.Logf("fault %v: got %b want %b", flt, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCampaignOnS27(t *testing.T) {
+	c, sv := circuit(t, s27, "s27")
+	s := NewSimulator(sv)
+	faults := Collapse(c)
+
+	// 200 random fully specified patterns should reach high coverage.
+	rng := rand.New(rand.NewSource(3))
+	set := randomSpecifiedSet(rng, 200, sv.ScanWidth())
+	cov, err := s.Campaign(set, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Total != len(faults) || cov.Detected > cov.Total {
+		t.Fatalf("bad coverage accounting: %+v", cov)
+	}
+	if cov.Percent() < 95 {
+		t.Fatalf("coverage %.1f%% too low for exhaustive-ish random test", cov.Percent())
+	}
+	for i, first := range cov.FirstDetectedBy {
+		if first >= set.Len() {
+			t.Fatalf("fault %d first-detected index %d out of range", i, first)
+		}
+	}
+}
+
+func TestCampaignRejectsXPatterns(t *testing.T) {
+	c, sv := circuit(t, s27, "s27")
+	s := NewSimulator(sv)
+	set := tcubeSetWithX(sv.ScanWidth())
+	if _, err := s.Campaign(set, Collapse(c)); err == nil {
+		t.Fatal("X pattern accepted")
+	}
+}
+
+func TestCoveragePercentEmpty(t *testing.T) {
+	var cov Coverage
+	if cov.Percent() != 0 {
+		t.Fatal("empty coverage should be 0%")
+	}
+}

@@ -1,0 +1,35 @@
+package faultsim
+
+import (
+	"math/rand"
+
+	"repro/internal/bitvec"
+	"repro/internal/tcube"
+)
+
+// randomSpecifiedSet builds n fully specified random patterns of the
+// given width.
+func randomSpecifiedSet(rng *rand.Rand, n, width int) *tcube.Set {
+	set := tcube.NewSet("rand", width)
+	for i := 0; i < n; i++ {
+		c := bitvec.NewCube(width)
+		for j := 0; j < width; j++ {
+			if rng.Intn(2) == 1 {
+				c.Set(j, bitvec.One)
+			} else {
+				c.Set(j, bitvec.Zero)
+			}
+		}
+		set.MustAppend(c)
+	}
+	return set
+}
+
+// tcubeSetWithX builds a single-cube set containing an X.
+func tcubeSetWithX(width int) *tcube.Set {
+	set := tcube.NewSet("x", width)
+	c := bitvec.NewCube(width)
+	c.Set(0, bitvec.One) // rest X
+	set.MustAppend(c)
+	return set
+}

@@ -1,0 +1,63 @@
+package faultsim
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/netlist"
+	"repro/internal/tcube"
+)
+
+// CampaignParallel runs the same campaign as Simulator.Campaign but
+// splits the fault list across workers, each with its own simulator
+// (fault dropping is per-fault, so the partition does not change the
+// result). workers ≤ 0 selects GOMAXPROCS.
+func CampaignParallel(sv *netlist.ScanView, set *tcube.Set, faults []Fault, workers int) (Coverage, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(faults) {
+		workers = len(faults)
+	}
+	if workers <= 1 {
+		return NewSimulator(sv).Campaign(set, faults)
+	}
+
+	cov := Coverage{Total: len(faults), FirstDetectedBy: make([]int, len(faults))}
+	type chunk struct{ lo, hi int }
+	chunks := make([]chunk, 0, workers)
+	per := (len(faults) + workers - 1) / workers
+	for lo := 0; lo < len(faults); lo += per {
+		hi := lo + per
+		if hi > len(faults) {
+			hi = len(faults)
+		}
+		chunks = append(chunks, chunk{lo, hi})
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(chunks))
+	results := make([]Coverage, len(chunks))
+	for i, ch := range chunks {
+		wg.Add(1)
+		go func(i int, ch chunk) {
+			defer wg.Done()
+			sim := NewSimulator(sv)
+			results[i], errs[i] = sim.Campaign(set, faults[ch.lo:ch.hi])
+		}(i, ch)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return Coverage{}, err
+		}
+		ch := chunks[i]
+		for j, first := range results[i].FirstDetectedBy {
+			cov.FirstDetectedBy[ch.lo+j] = first
+			if first >= 0 {
+				cov.Detected++
+			}
+		}
+	}
+	return cov, nil
+}

@@ -1,0 +1,41 @@
+package faultsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCampaignParallelMatchesSerial(t *testing.T) {
+	c, sv := circuit(t, s27, "s27")
+	faults := Collapse(c)
+	rng := rand.New(rand.NewSource(5))
+	set := randomSpecifiedSet(rng, 100, sv.ScanWidth())
+
+	serial, err := NewSimulator(sv).Campaign(set, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 3, 8, 1000} {
+		par, err := CampaignParallel(sv, set, faults, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Detected != serial.Detected || par.Total != serial.Total {
+			t.Fatalf("workers=%d: coverage %d/%d vs serial %d/%d",
+				workers, par.Detected, par.Total, serial.Detected, serial.Total)
+		}
+		for i := range faults {
+			if par.FirstDetectedBy[i] != serial.FirstDetectedBy[i] {
+				t.Fatalf("workers=%d fault %d: first %d vs %d",
+					workers, i, par.FirstDetectedBy[i], serial.FirstDetectedBy[i])
+			}
+		}
+	}
+}
+
+func TestCampaignParallelRejectsX(t *testing.T) {
+	c, sv := circuit(t, s27, "s27")
+	if _, err := CampaignParallel(sv, tcubeSetWithX(sv.ScanWidth()), Collapse(c), 4); err == nil {
+		t.Fatal("X pattern accepted")
+	}
+}

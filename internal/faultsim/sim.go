@@ -1,0 +1,282 @@
+package faultsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+	"repro/internal/tcube"
+)
+
+// Simulator runs event-driven PPSFP fault simulation: one batch of up
+// to 64 fully specified scan loads is simulated fault-free, then each
+// fault is injected and its effects propagated through the fanout cone
+// only, comparing against the good machine at the PPOs.
+type Simulator struct {
+	sv   *netlist.ScanView
+	good *logicsim.Sim
+
+	pos     []int // topological position of each gate
+	goodVal []uint64
+	val     []uint64 // faulty plane, reset to goodVal between faults
+	touched []int
+
+	pq     posHeap
+	inHeap []bool
+
+	nbatch int // patterns in the current batch
+}
+
+// NewSimulator returns a fault simulator for the scan view.
+func NewSimulator(sv *netlist.ScanView) *Simulator {
+	n := sv.Circuit.NumGates()
+	s := &Simulator{
+		sv:     sv,
+		good:   logicsim.New(sv),
+		pos:    make([]int, n),
+		val:    make([]uint64, n),
+		inHeap: make([]bool, n),
+	}
+	for i, id := range sv.Order {
+		s.pos[id] = i
+	}
+	return s
+}
+
+// LoadBatch good-simulates up to 64 fully specified scan loads,
+// establishing the reference machine for subsequent Detects calls.
+func (s *Simulator) LoadBatch(loads []*bitvec.Bits) error {
+	if _, err := s.good.Run2(loads); err != nil {
+		return err
+	}
+	s.goodVal = s.good.Values2()
+	copy(s.val, s.goodVal)
+	s.nbatch = len(loads)
+	return nil
+}
+
+// batchMask returns the mask of valid pattern bits in the batch.
+func (s *Simulator) batchMask() uint64 {
+	if s.nbatch >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(s.nbatch) - 1
+}
+
+// Detects returns the mask of patterns in the current batch that
+// detect f (bit p set = pattern p observes a difference at some PPO).
+func (s *Simulator) Detects(f Fault) uint64 {
+	if s.goodVal == nil {
+		panic("faultsim: Detects before LoadBatch")
+	}
+	c := s.sv.Circuit
+	g := c.Gates[f.Gate]
+	stuck := uint64(0)
+	if f.StuckAt {
+		stuck = ^uint64(0)
+	}
+
+	// DFF input-pin faults only corrupt the captured (observed) value.
+	if g.Type == netlist.DFF && f.Pin == 0 {
+		return (s.goodVal[g.Fanin[0]] ^ stuck) & s.batchMask()
+	}
+
+	// Inject at the fault gate.
+	var nv uint64
+	if f.Pin < 0 {
+		nv = stuck
+	} else {
+		nv = s.evalGate(f.Gate, f.Pin, stuck)
+	}
+	if nv == s.goodVal[f.Gate] {
+		return 0 // never activated in this batch
+	}
+	s.setFaulty(f.Gate, nv)
+
+	// Propagate through the fanout cone in topological order.
+	for s.pq.Len() > 0 {
+		id := keyID(heap.Pop(&s.pq).(int64))
+		s.inHeap[id] = false
+		gg := &c.Gates[id]
+		if gg.Type == netlist.Input || gg.Type == netlist.DFF {
+			continue // sources: fault effects do not pass through scan cells
+		}
+		nv := s.evalGate(id, -1, 0)
+		if nv != s.val[id] {
+			s.setFaulty(id, nv)
+		}
+	}
+
+	// Observe.
+	var mask uint64
+	for _, id := range s.sv.PPOs {
+		mask |= s.goodVal[id] ^ s.val[id]
+	}
+	mask &= s.batchMask()
+
+	// Reset the faulty plane.
+	for _, id := range s.touched {
+		s.val[id] = s.goodVal[id]
+	}
+	s.touched = s.touched[:0]
+	return mask
+}
+
+// setFaulty records a faulty value and schedules the gate's fanouts.
+func (s *Simulator) setFaulty(id int, nv uint64) {
+	if s.val[id] == s.goodVal[id] {
+		s.touched = append(s.touched, id)
+	}
+	s.val[id] = nv
+	for _, fo := range s.sv.Circuit.Fanouts(id) {
+		if !s.inHeap[fo] {
+			s.inHeap[fo] = true
+			heap.Push(&s.pq, packKey(s.pos[fo], fo))
+		}
+	}
+}
+
+// evalGate computes gate id over the faulty plane; if overridePin >= 0
+// that fanin reads overrideVal instead (input-pin fault injection).
+func (s *Simulator) evalGate(id, overridePin int, overrideVal uint64) uint64 {
+	g := &s.sv.Circuit.Gates[id]
+	in := func(pin int) uint64 {
+		if pin == overridePin {
+			return overrideVal
+		}
+		return s.val[g.Fanin[pin]]
+	}
+	switch g.Type {
+	case netlist.Buf:
+		return in(0)
+	case netlist.Not:
+		return ^in(0)
+	case netlist.And, netlist.Nand:
+		v := ^uint64(0)
+		for pin := range g.Fanin {
+			v &= in(pin)
+		}
+		if g.Type == netlist.Nand {
+			v = ^v
+		}
+		return v
+	case netlist.Or, netlist.Nor:
+		v := uint64(0)
+		for pin := range g.Fanin {
+			v |= in(pin)
+		}
+		if g.Type == netlist.Nor {
+			v = ^v
+		}
+		return v
+	case netlist.Xor, netlist.Xnor:
+		v := uint64(0)
+		for pin := range g.Fanin {
+			v ^= in(pin)
+		}
+		if g.Type == netlist.Xnor {
+			v = ^v
+		}
+		return v
+	}
+	// Input/DFF are never re-evaluated.
+	return s.val[id]
+}
+
+// posHeap orders pending gates by topological position so fault
+// effects are evaluated strictly downstream. It stores packed
+// (pos<<32 | id) keys.
+type posHeap []int64
+
+func packKey(pos, id int) int64 { return int64(pos)<<32 | int64(id) }
+func keyID(k int64) int         { return int(k & 0xffffffff) }
+
+func (h posHeap) Len() int           { return len(h) }
+func (h posHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h posHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+
+func (h *posHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+
+func (h *posHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Coverage summarizes a fault-simulation campaign.
+type Coverage struct {
+	Total    int
+	Detected int
+	// FirstDetectedBy[i] is the index of the first pattern detecting
+	// fault i, or -1.
+	FirstDetectedBy []int
+}
+
+// Percent returns the fault coverage percentage.
+func (c Coverage) Percent() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return 100 * float64(c.Detected) / float64(c.Total)
+}
+
+// LoadsFromSet converts a fully specified test set into packed loads.
+func LoadsFromSet(s *tcube.Set) ([]*bitvec.Bits, error) {
+	out := make([]*bitvec.Bits, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		c := s.Cube(i)
+		b := bitvec.NewBits(c.Len())
+		for j := 0; j < c.Len(); j++ {
+			switch c.Get(j) {
+			case bitvec.One:
+				b.Set(j, true)
+			case bitvec.Zero:
+			default:
+				return nil, fmt.Errorf("faultsim: pattern %d bit %d is X; fill before simulation", i, j)
+			}
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// Campaign fault-simulates the whole test set against the fault list
+// with fault dropping, batch by batch.
+func (s *Simulator) Campaign(set *tcube.Set, faults []Fault) (Coverage, error) {
+	loads, err := LoadsFromSet(set)
+	if err != nil {
+		return Coverage{}, err
+	}
+	cov := Coverage{Total: len(faults), FirstDetectedBy: make([]int, len(faults))}
+	for i := range cov.FirstDetectedBy {
+		cov.FirstDetectedBy[i] = -1
+	}
+	for base := 0; base < len(loads); base += 64 {
+		end := base + 64
+		if end > len(loads) {
+			end = len(loads)
+		}
+		if err := s.LoadBatch(loads[base:end]); err != nil {
+			return Coverage{}, err
+		}
+		for fi, f := range faults {
+			if cov.FirstDetectedBy[fi] >= 0 {
+				continue // dropped
+			}
+			if mask := s.Detects(f); mask != 0 {
+				first := 0
+				for mask&1 == 0 {
+					mask >>= 1
+					first++
+				}
+				cov.FirstDetectedBy[fi] = base + first
+				cov.Detected++
+			}
+		}
+	}
+	return cov, nil
+}

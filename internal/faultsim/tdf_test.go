@@ -1,0 +1,109 @@
+package faultsim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/netlist"
+	"repro/internal/tcube"
+)
+
+func TestTDFUniverseSize(t *testing.T) {
+	c, _ := circuit(t, s27, "s27")
+	u := TDFUniverse(c)
+	if len(u) != 2*c.NumGates() {
+		t.Fatalf("universe = %d", len(u))
+	}
+	if !strings.Contains(u[0].String(), "slow-to-rise") || !strings.Contains(u[1].String(), "slow-to-fall") {
+		t.Fatalf("naming: %s / %s", u[0], u[1])
+	}
+}
+
+// Hand-checked TDF detection on a buffer pipeline: q = DFF(a); y is
+// the PO observing q. Pattern a=1 with scan cell q=0 launches a rising
+// transition on a's cone.
+func TestTDFKnownDetection(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(y)
+q = DFF(d)
+d = BUFF(a)
+y = BUFF(q)
+`
+	c, err := netlist.ParseBench("pipe", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := c.FullScan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scan load = [a, q]. v1 = (a=1, q=0): cycle 1 has d=1 (d follows
+	// the held PI, so d itself never transitions) and y=q=0; the launch
+	// captures q=1, so cycle 2 has y=q=1. The rising transition lives
+	// on q and y; slow-to-rise there keeps the old 0 visible at the PO.
+	set := tcube.NewSet("t", 2)
+	v1 := bitvec.NewCube(2)
+	v1.Set(0, bitvec.One)
+	v1.Set(1, bitvec.Zero)
+	set.MustAppend(v1)
+
+	d, _ := c.GateByName("d")
+	y, _ := c.GateByName("y")
+	q, _ := c.GateByName("q")
+	faults := []TDF{
+		{Gate: y.ID, SlowToRise: true},
+		{Gate: q.ID, SlowToRise: true},
+		{Gate: y.ID, SlowToRise: false}, // wrong direction: not launched
+		{Gate: d.ID, SlowToRise: true},  // d holds 1 across cycles: no transition
+	}
+	cov, err := TDFCampaign(sv, set, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.FirstDetectedBy[0] != 0 || cov.FirstDetectedBy[1] != 0 {
+		t.Fatalf("launched slow-to-rise faults not detected: %+v", cov)
+	}
+	if cov.FirstDetectedBy[2] != -1 || cov.FirstDetectedBy[3] != -1 {
+		t.Fatalf("unlaunched faults marked detected: %+v", cov)
+	}
+	if cov.Detected != 2 {
+		t.Fatalf("detected = %d", cov.Detected)
+	}
+}
+
+func TestTDFCampaignRejectsX(t *testing.T) {
+	c, sv := circuit(t, s27, "s27")
+	if _, err := TDFCampaign(sv, tcubeSetWithX(sv.ScanWidth()), TDFUniverse(c)); err == nil {
+		t.Fatal("X pattern accepted")
+	}
+}
+
+func TestTDFCoverageGrowsWithPatterns(t *testing.T) {
+	c, sv := circuit(t, s27, "s27")
+	faults := TDFUniverse(c)
+	rng := rand.New(rand.NewSource(9))
+	small := randomSpecifiedSet(rng, 10, sv.ScanWidth())
+	big := small.Clone()
+	rng2 := rand.New(rand.NewSource(10))
+	more := randomSpecifiedSet(rng2, 190, sv.ScanWidth())
+	for i := 0; i < more.Len(); i++ {
+		big.MustAppend(more.Cube(i))
+	}
+	covS, err := TDFCampaign(sv, small, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covB, err := TDFCampaign(sv, big, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covB.Detected < covS.Detected {
+		t.Fatalf("coverage shrank with more patterns: %d -> %d", covS.Detected, covB.Detected)
+	}
+	if covB.Detected == 0 {
+		t.Fatal("no TDF detected by 200 random pairs")
+	}
+}

@@ -1,0 +1,83 @@
+package lfsr
+
+// Row is a GF(2) linear combination over up to 64·len(Row) variables,
+// packed 64 per word (variable v lives in word v/64, bit v%64).
+type Row []uint64
+
+func (r Row) clone() Row {
+	c := make(Row, len(r))
+	copy(c, r)
+	return c
+}
+
+func (r Row) setBit(v int)   { r[v/64] |= 1 << uint(v%64) }
+func (r Row) bit(v int) bool { return r[v/64]>>uint(v%64)&1 == 1 }
+func (r Row) xor(o Row) {
+	for i := range r {
+		r[i] ^= o[i]
+	}
+}
+func (r Row) isZero() bool {
+	for _, w := range r {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveGF2 solves the linear system rows·x = rhs over GF(2) by
+// Gaussian elimination. nvars bounds the variable count. It returns a
+// solution (free variables set to 0) and ok=false when the system is
+// inconsistent.
+func SolveGF2(rows []Row, rhs []bool, nvars int) ([]bool, bool) {
+	if len(rows) != len(rhs) {
+		panic("lfsr: rows/rhs length mismatch")
+	}
+	// Work on copies.
+	m := make([]Row, len(rows))
+	b := make([]bool, len(rhs))
+	copy(b, rhs)
+	for i, r := range rows {
+		m[i] = r.clone()
+	}
+
+	pivotOf := make([]int, 0, nvars) // row index per pivot column, in order
+	pivotCol := make([]int, 0, nvars)
+	rank := 0
+	for col := 0; col < nvars && rank < len(m); col++ {
+		// Find a row at/below rank with a 1 in col.
+		sel := -1
+		for i := rank; i < len(m); i++ {
+			if m[i].bit(col) {
+				sel = i
+				break
+			}
+		}
+		if sel < 0 {
+			continue
+		}
+		m[rank], m[sel] = m[sel], m[rank]
+		b[rank], b[sel] = b[sel], b[rank]
+		for i := 0; i < len(m); i++ {
+			if i != rank && m[i].bit(col) {
+				m[i].xor(m[rank])
+				b[i] = b[i] != b[rank]
+			}
+		}
+		pivotOf = append(pivotOf, rank)
+		pivotCol = append(pivotCol, col)
+		rank++
+	}
+	// Inconsistency: zero row with nonzero rhs.
+	for i := rank; i < len(m); i++ {
+		if m[i].isZero() && b[i] {
+			return nil, false
+		}
+	}
+	x := make([]bool, nvars)
+	for p, col := range pivotCol {
+		x[col] = b[pivotOf[p]]
+	}
+	return x, true
+}

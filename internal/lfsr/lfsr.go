@@ -1,0 +1,151 @@
+// Package lfsr provides the linear-feedback shift-register substrate
+// behind the paper's §I context: pseudo-random pattern generation for
+// BIST (the technique whose random-pattern-resistant faults motivate
+// deterministic test sets), multi-input signature registers for
+// response compaction, and LFSR reseeding — the classic competing
+// compression scheme (refs [20]–[22]) in which each test cube is
+// represented by a seed solved over GF(2).
+package lfsr
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// LFSR is a Fibonacci (external-XOR) linear feedback shift register:
+// cell 0 is the output end; on each step the register shifts toward
+// the output and the new cell n−1 is the XOR of the tapped cells.
+type LFSR struct {
+	n     int
+	taps  []int
+	state *bitvec.Bits
+}
+
+// New returns an LFSR of the given degree with feedback taps (cell
+// indices in [0, degree), tap 0 mandatory for a full-period feedback
+// polynomial with nonzero constant term).
+func New(degree int, taps []int) (*LFSR, error) {
+	if degree < 1 {
+		return nil, fmt.Errorf("lfsr: degree %d", degree)
+	}
+	if len(taps) == 0 {
+		return nil, fmt.Errorf("lfsr: no feedback taps")
+	}
+	seen := map[int]bool{}
+	for _, t := range taps {
+		if t < 0 || t >= degree {
+			return nil, fmt.Errorf("lfsr: tap %d outside [0,%d)", t, degree)
+		}
+		if seen[t] {
+			return nil, fmt.Errorf("lfsr: duplicate tap %d", t)
+		}
+		seen[t] = true
+	}
+	if !seen[0] {
+		return nil, fmt.Errorf("lfsr: tap 0 required (nonzero constant term)")
+	}
+	l := &LFSR{n: degree, taps: append([]int(nil), taps...), state: bitvec.NewBits(degree)}
+	return l, nil
+}
+
+// primitiveTaps lists maximal-length feedback tap sets (exponents of
+// x^k terms below the leading term) for the degrees the package
+// pre-knows. Source: standard primitive trinomials/pentanomials over
+// GF(2).
+var primitiveTaps = map[int][]int{
+	4:  {0, 1},
+	8:  {0, 2, 3, 4},
+	16: {0, 2, 3, 5},
+	24: {0, 1, 3, 4},
+	32: {0, 1, 22, 2},
+	48: {0, 1, 27, 5},
+	64: {0, 1, 3, 4},
+}
+
+// DefaultTaps returns a good tap set for the degree: a known primitive
+// polynomial when the degree is tabulated, otherwise a deterministic
+// dense fallback. Dense feedback polynomials are almost never
+// degenerate (their minimal polynomial stays near full degree), which
+// is what reseeding solvability needs; maximal period is not required.
+func DefaultTaps(degree int) []int {
+	if t, ok := primitiveTaps[degree]; ok {
+		return append([]int(nil), t...)
+	}
+	taps := []int{0}
+	// Deterministic ~half-density selection via a multiplicative hash.
+	h := uint64(degree)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for i := 1; i < degree; i++ {
+		h = h*6364136223846793005 + 1442695040888963407
+		if h>>33&1 == 1 {
+			taps = append(taps, i)
+		}
+	}
+	if len(taps) == 1 && degree > 1 {
+		taps = append(taps, 1)
+	}
+	return taps
+}
+
+// Degree returns the register length.
+func (l *LFSR) Degree() int { return l.n }
+
+// Seed loads the register; the seed length must equal the degree.
+func (l *LFSR) Seed(seed *bitvec.Bits) error {
+	if seed.Len() != l.n {
+		return fmt.Errorf("lfsr: seed length %d != degree %d", seed.Len(), l.n)
+	}
+	l.state = seed.Clone()
+	return nil
+}
+
+// Step advances one cycle and returns the emitted output bit (cell 0
+// before the shift).
+func (l *LFSR) Step() bool {
+	out := l.state.Get(0)
+	fb := false
+	for _, t := range l.taps {
+		fb = fb != l.state.Get(t)
+	}
+	for i := 0; i+1 < l.n; i++ {
+		l.state.Set(i, l.state.Get(i+1))
+	}
+	l.state.Set(l.n-1, fb)
+	return out
+}
+
+// Pattern emits the next n output bits as a packed vector (bit 0 is
+// the first bit emitted, i.e. the first bit shifted into a scan
+// chain).
+func (l *LFSR) Pattern(n int) *bitvec.Bits {
+	out := bitvec.NewBits(n)
+	for i := 0; i < n; i++ {
+		out.Set(i, l.Step())
+	}
+	return out
+}
+
+// OutputEquations symbolically simulates the register for the given
+// cycle count: row t is the GF(2) linear combination of seed bits that
+// equals output bit t. Rows are packed combos (bit v set = seed bit v
+// participates).
+func (l *LFSR) OutputEquations(cycles int) []Row {
+	// cell[i] = combination producing the current cell i.
+	cells := make([]Row, l.n)
+	words := (l.n + 63) / 64
+	for i := range cells {
+		cells[i] = make(Row, words)
+		cells[i].setBit(i)
+	}
+	rows := make([]Row, cycles)
+	for t := 0; t < cycles; t++ {
+		rows[t] = cells[0].clone()
+		fb := make(Row, words)
+		for _, tap := range l.taps {
+			fb.xor(cells[tap])
+		}
+		copy(cells, cells[1:])
+		cells[l.n-1] = fb
+	}
+	return rows
+}

@@ -1,0 +1,331 @@
+package lfsr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/tcube"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, []int{0}); err == nil {
+		t.Error("degree 0 accepted")
+	}
+	if _, err := New(4, nil); err == nil {
+		t.Error("no taps accepted")
+	}
+	if _, err := New(4, []int{1, 2}); err == nil {
+		t.Error("missing tap 0 accepted")
+	}
+	if _, err := New(4, []int{0, 0}); err == nil {
+		t.Error("duplicate tap accepted")
+	}
+	if _, err := New(4, []int{0, 4}); err == nil {
+		t.Error("out-of-range tap accepted")
+	}
+	if _, err := New(4, []int{0, 1}); err != nil {
+		t.Errorf("valid LFSR rejected: %v", err)
+	}
+}
+
+func TestMaximalPeriodDegree4(t *testing.T) {
+	// x^4 + x + 1 is primitive: period 15.
+	l, err := New(4, DefaultTaps(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := bitvec.NewBits(4)
+	seed.Set(0, true)
+	if err := l.Seed(seed); err != nil {
+		t.Fatal(err)
+	}
+	start := l.state.String()
+	period := 0
+	for {
+		l.Step()
+		period++
+		if l.state.String() == start {
+			break
+		}
+		if period > 16 {
+			t.Fatalf("period exceeded 16")
+		}
+	}
+	if period != 15 {
+		t.Fatalf("period = %d, want 15", period)
+	}
+}
+
+func TestSeedValidation(t *testing.T) {
+	l, _ := New(8, DefaultTaps(8))
+	if err := l.Seed(bitvec.NewBits(7)); err == nil {
+		t.Fatal("wrong seed length accepted")
+	}
+}
+
+func TestZeroSeedStaysZero(t *testing.T) {
+	l, _ := New(8, DefaultTaps(8))
+	p := l.Pattern(64)
+	if p.OnesCount() != 0 {
+		t.Fatal("zero state produced ones")
+	}
+}
+
+func TestOutputEquationsMatchSimulation(t *testing.T) {
+	for _, degree := range []int{4, 8, 16, 24, 32, 48, 64, 70, 100} {
+		taps := DefaultTaps(degree)
+		l, err := New(degree, taps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const cycles = 90
+		eqs := l.OutputEquations(cycles)
+		rng := rand.New(rand.NewSource(int64(degree)))
+		seed := bitvec.NewBits(degree)
+		for i := 0; i < degree; i++ {
+			seed.Set(i, rng.Intn(2) == 1)
+		}
+		sim, _ := New(degree, taps)
+		if err := sim.Seed(seed); err != nil {
+			t.Fatal(err)
+		}
+		out := sim.Pattern(cycles)
+		for tt := 0; tt < cycles; tt++ {
+			// Evaluate the symbolic row against the seed.
+			v := false
+			for b := 0; b < degree; b++ {
+				if eqs[tt].bit(b) && seed.Get(b) {
+					v = !v
+				}
+			}
+			if v != out.Get(tt) {
+				t.Fatalf("degree %d cycle %d: symbolic %v != simulated %v", degree, tt, v, out.Get(tt))
+			}
+		}
+	}
+}
+
+func TestSolveGF2Known(t *testing.T) {
+	// x0 ^ x1 = 1, x1 = 1 -> x0 = 0, x1 = 1.
+	r0 := make(Row, 1)
+	r0.setBit(0)
+	r0.setBit(1)
+	r1 := make(Row, 1)
+	r1.setBit(1)
+	x, ok := SolveGF2([]Row{r0, r1}, []bool{true, true}, 2)
+	if !ok || x[0] || !x[1] {
+		t.Fatalf("solution = %v ok=%v", x, ok)
+	}
+	// Inconsistent: x0 = 0 and x0 = 1.
+	ra := make(Row, 1)
+	ra.setBit(0)
+	rb := make(Row, 1)
+	rb.setBit(0)
+	if _, ok := SolveGF2([]Row{ra, rb}, []bool{false, true}, 2); ok {
+		t.Fatal("inconsistent system solved")
+	}
+	// Redundant consistent rows.
+	if _, ok := SolveGF2([]Row{ra, rb}, []bool{true, true}, 2); !ok {
+		t.Fatal("redundant system rejected")
+	}
+}
+
+func TestSolveGF2Property(t *testing.T) {
+	f := func(seed int64, nVarsRaw, nRowsRaw uint8) bool {
+		nvars := int(nVarsRaw%100) + 1
+		nrows := int(nRowsRaw % 80)
+		rng := rand.New(rand.NewSource(seed))
+		// Build a consistent system from a hidden solution.
+		hidden := make([]bool, nvars)
+		for i := range hidden {
+			hidden[i] = rng.Intn(2) == 1
+		}
+		words := (nvars + 63) / 64
+		rows := make([]Row, nrows)
+		rhs := make([]bool, nrows)
+		for i := range rows {
+			rows[i] = make(Row, words)
+			v := false
+			for b := 0; b < nvars; b++ {
+				if rng.Intn(3) == 0 {
+					rows[i].setBit(b)
+					if hidden[b] {
+						v = !v
+					}
+				}
+			}
+			rhs[i] = v
+		}
+		x, ok := SolveGF2(rows, rhs, nvars)
+		if !ok {
+			return false // consistent by construction
+		}
+		// Any returned solution must satisfy every row.
+		for i := range rows {
+			v := false
+			for b := 0; b < nvars; b++ {
+				if rows[i].bit(b) && x[b] {
+					v = !v
+				}
+			}
+			if v != rhs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomCubeSet(seed int64, patterns, width int, specDensity float64) *tcube.Set {
+	rng := rand.New(rand.NewSource(seed))
+	s := tcube.NewSet("rs", width)
+	for i := 0; i < patterns; i++ {
+		c := bitvec.NewCube(width)
+		for j := 0; j < width; j++ {
+			if rng.Float64() < specDensity {
+				c.Set(j, bitvec.Trit(rng.Intn(2)))
+			}
+		}
+		s.MustAppend(c)
+	}
+	return s
+}
+
+func TestReseederRoundTrip(t *testing.T) {
+	set := randomCubeSet(5, 25, 120, 0.2) // ~24 specified per cube
+	l := SizeFor(set, 20)
+	r := &Reseeder{L: l}
+	res, err := r.EncodeSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsolvable != 0 {
+		t.Fatalf("%d unsolvable cubes at L=%d", res.Unsolvable, l)
+	}
+	if res.CompressedBits() != set.Len()*l {
+		t.Fatalf("compressed = %d", res.CompressedBits())
+	}
+	if res.CR() <= 0 {
+		t.Fatalf("CR = %.1f", res.CR())
+	}
+	loads, err := r.Expand(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loads) != set.Len() {
+		t.Fatalf("expanded %d of %d", len(loads), set.Len())
+	}
+	for i, load := range loads {
+		c := set.Cube(i)
+		for j := 0; j < c.Len(); j++ {
+			want := c.Get(j)
+			if want == bitvec.X {
+				continue
+			}
+			got := bitvec.Zero
+			if load.Get(j) {
+				got = bitvec.One
+			}
+			if got != want {
+				t.Fatalf("pattern %d bit %d: seed expansion %s, cube %s", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestReseederTooSmallLFSR(t *testing.T) {
+	// L far below s_max: most cubes should be unsolvable.
+	set := randomCubeSet(6, 10, 200, 0.5) // ~100 specified per cube
+	r := &Reseeder{L: 16}
+	res, err := r.EncodeSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsolvable == 0 {
+		t.Fatal("expected unsolvable cubes with a 16-bit LFSR vs ~100 specified bits")
+	}
+	if _, err := (&Reseeder{L: 0}).EncodeSet(set); err == nil {
+		t.Fatal("L=0 accepted")
+	}
+}
+
+func TestSizeFor(t *testing.T) {
+	set := randomCubeSet(7, 5, 50, 0.3)
+	if got := SizeFor(set, 20); got != MaxSpecified(set)+20 {
+		t.Fatalf("SizeFor = %d", got)
+	}
+	empty := tcube.NewSet("e", 10)
+	if got := SizeFor(empty, 0); got < 2 {
+		t.Fatalf("SizeFor floor = %d", got)
+	}
+}
+
+func TestMISRDistinguishesResponses(t *testing.T) {
+	m, err := NewMISR(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"1010", "0110", "1111", "0001"}
+	for _, w := range words {
+		b, err := bitvec.ParseBits(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Absorb(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sig1 := m.Signature()
+
+	m.Reset()
+	if m.Signature().OnesCount() != 0 {
+		t.Fatal("reset not clean")
+	}
+	// Flip one bit of one response: the signature must change.
+	words[2] = "1101"
+	for _, w := range words {
+		b, _ := bitvec.ParseBits(w)
+		if err := m.Absorb(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Signature().Equal(sig1) {
+		t.Fatal("MISR missed a single-bit response change")
+	}
+
+	// Same stream reproduces the same signature.
+	m.Reset()
+	words[2] = "1111"
+	for _, w := range words {
+		b, _ := bitvec.ParseBits(w)
+		if err := m.Absorb(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.Signature().Equal(sig1) {
+		t.Fatal("MISR not deterministic")
+	}
+}
+
+func TestMISRValidation(t *testing.T) {
+	if _, err := NewMISR(0, nil); err == nil {
+		t.Fatal("degree 0 accepted")
+	}
+	m, _ := NewMISR(4, nil)
+	if err := m.Absorb(bitvec.NewBits(5)); err == nil {
+		t.Fatal("over-wide word accepted")
+	}
+}
+
+func TestDefaultTapsAlwaysValid(t *testing.T) {
+	for degree := 1; degree <= 128; degree++ {
+		if _, err := New(degree, DefaultTaps(degree)); err != nil {
+			t.Fatalf("degree %d: %v", degree, err)
+		}
+	}
+}

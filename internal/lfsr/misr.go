@@ -1,0 +1,60 @@
+package lfsr
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// MISR is a multi-input signature register: an LFSR whose cells also
+// XOR one response bit each per cycle, compacting a test-response
+// stream into an n-bit signature (the BIST response-compaction piece
+// of the paper's §I background).
+type MISR struct {
+	n     int
+	taps  []int
+	state *bitvec.Bits
+}
+
+// NewMISR returns a MISR of the given degree; nil taps selects
+// DefaultTaps(degree).
+func NewMISR(degree int, taps []int) (*MISR, error) {
+	if taps == nil {
+		taps = DefaultTaps(degree)
+	}
+	if _, err := New(degree, taps); err != nil {
+		return nil, err
+	}
+	return &MISR{n: degree, taps: taps, state: bitvec.NewBits(degree)}, nil
+}
+
+// Reset clears the register.
+func (m *MISR) Reset() { m.state = bitvec.NewBits(m.n) }
+
+// Absorb compacts one response word (at most degree bits wide): the
+// register shifts one position with its linear feedback and XORs word
+// bit i into cell i.
+func (m *MISR) Absorb(word *bitvec.Bits) error {
+	if word.Len() > m.n {
+		return fmt.Errorf("lfsr: response word %d bits exceeds MISR degree %d", word.Len(), m.n)
+	}
+	fb := false
+	for _, t := range m.taps {
+		fb = fb != m.state.Get(t)
+	}
+	next := bitvec.NewBits(m.n)
+	for i := 0; i+1 < m.n; i++ {
+		next.Set(i, m.state.Get(i+1))
+	}
+	next.Set(m.n-1, fb)
+	for i := 0; i < word.Len(); i++ {
+		if word.Get(i) {
+			next.Set(i, !next.Get(i))
+		}
+	}
+	m.state = next
+	return nil
+}
+
+// Signature returns a copy of the current register state.
+func (m *MISR) Signature() *bitvec.Bits { return m.state.Clone() }

@@ -1,0 +1,141 @@
+package lfsr
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/tcube"
+)
+
+// Reseeder implements classic static LFSR reseeding (Könemann-style,
+// the scheme behind refs [20]–[22] of the paper): every test cube is
+// replaced by one L-bit seed such that the free-running LFSR's output
+// stream reproduces all specified bits of the cube; don't-cares come
+// out pseudo-random for free. The usual sizing rule L ≥ s_max + 20
+// makes the per-cube GF(2) system solvable with high probability.
+type Reseeder struct {
+	// L is the LFSR degree (seed length).
+	L int
+	// Taps is the feedback tap set; nil selects DefaultTaps(L).
+	Taps []int
+}
+
+// Result is an encoded reseeding test set.
+type Result struct {
+	L        int
+	Seeds    []*bitvec.Bits
+	Solved   []int // source cube index of each seed, in order
+	Width    int
+	OrigBits int
+	// Unsolvable counts cubes whose system had no solution (shipped
+	// uncompressed in a real flow; counted at full width here).
+	Unsolvable int
+}
+
+// CompressedBits returns the shipped volume: one seed per solvable
+// cube plus full width for unsolvable ones.
+func (r *Result) CompressedBits() int {
+	return len(r.Seeds)*r.L + r.Unsolvable*r.Width
+}
+
+// CR returns the compression ratio in percent.
+func (r *Result) CR() float64 {
+	if r.OrigBits == 0 {
+		return 0
+	}
+	return 100 * float64(r.OrigBits-r.CompressedBits()) / float64(r.OrigBits)
+}
+
+// MaxSpecified returns the largest per-cube specified-bit count of a
+// set, the s_max that sizes the LFSR.
+func MaxSpecified(s *tcube.Set) int {
+	max := 0
+	for i := 0; i < s.Len(); i++ {
+		if n := s.Cube(i).Specified(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// SizeFor returns the conventional LFSR degree for a set:
+// s_max + margin (margin 20 unless overridden upward by width 1).
+func SizeFor(s *tcube.Set, margin int) int {
+	if margin <= 0 {
+		margin = 20
+	}
+	l := MaxSpecified(s) + margin
+	if l < 2 {
+		l = 2
+	}
+	return l
+}
+
+// EncodeSet solves one seed per cube. Cubes whose system is
+// inconsistent are tallied in Unsolvable (with a nil placeholder kept
+// out of Seeds).
+func (r *Reseeder) EncodeSet(s *tcube.Set) (*Result, error) {
+	if r.L < 1 {
+		return nil, fmt.Errorf("lfsr: degree %d", r.L)
+	}
+	taps := r.Taps
+	if taps == nil {
+		taps = DefaultTaps(r.L)
+	}
+	reg, err := New(r.L, taps)
+	if err != nil {
+		return nil, err
+	}
+	eqs := reg.OutputEquations(s.Width())
+	out := &Result{L: r.L, Width: s.Width(), OrigBits: s.Bits()}
+	for i := 0; i < s.Len(); i++ {
+		c := s.Cube(i)
+		var rows []Row
+		var rhs []bool
+		for j := 0; j < c.Len(); j++ {
+			switch c.Get(j) {
+			case bitvec.Zero:
+				rows = append(rows, eqs[j])
+				rhs = append(rhs, false)
+			case bitvec.One:
+				rows = append(rows, eqs[j])
+				rhs = append(rhs, true)
+			}
+		}
+		x, ok := SolveGF2(rows, rhs, r.L)
+		if !ok {
+			out.Unsolvable++
+			continue
+		}
+		seed := bitvec.NewBits(r.L)
+		for v, b := range x {
+			seed.Set(v, b)
+		}
+		out.Seeds = append(out.Seeds, seed)
+		out.Solved = append(out.Solved, i)
+	}
+	return out, nil
+}
+
+// Expand regenerates the fully specified scan loads from the seeds.
+// Every specified bit of the source cubes is reproduced; don't-cares
+// receive the LFSR's pseudo-random filler — the property integration
+// tests assert.
+func (r *Reseeder) Expand(res *Result) ([]*bitvec.Bits, error) {
+	taps := r.Taps
+	if taps == nil {
+		taps = DefaultTaps(r.L)
+	}
+	var out []*bitvec.Bits
+	for _, seed := range res.Seeds {
+		reg, err := New(r.L, taps)
+		if err != nil {
+			return nil, err
+		}
+		if err := reg.Seed(seed); err != nil {
+			return nil, err
+		}
+		out = append(out, reg.Pattern(res.Width))
+	}
+	return out, nil
+}

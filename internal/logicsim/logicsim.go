@@ -1,0 +1,193 @@
+// Package logicsim evaluates the full-scan combinational view of a
+// netlist. It provides 64-way bit-parallel two-valued simulation (the
+// workhorse of fault simulation) and three-valued 0/1/X simulation
+// (used to evaluate test cubes before their don't-cares are filled).
+package logicsim
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/netlist"
+)
+
+// Sim evaluates a ScanView. It owns per-net value planes sized to the
+// circuit and is reused across pattern batches; it is not safe for
+// concurrent use.
+type Sim struct {
+	sv *netlist.ScanView
+	// Two-valued plane: 64 patterns per evaluation, bit p of val[id] is
+	// the value of net id under pattern p.
+	val []uint64
+	// Three-valued planes: isOne/isZero encode 1, 0 or X (neither set).
+	isOne  []uint64
+	isZero []uint64
+}
+
+// New returns a simulator for the scan view.
+func New(sv *netlist.ScanView) *Sim {
+	n := sv.Circuit.NumGates()
+	return &Sim{sv: sv, val: make([]uint64, n), isOne: make([]uint64, n), isZero: make([]uint64, n)}
+}
+
+// ScanView returns the view under simulation.
+func (s *Sim) ScanView() *netlist.ScanView { return s.sv }
+
+// Run2 simulates up to 64 fully specified scan loads at once.
+// loads[p][i] supplies PPI i of pattern p; the returned responses give
+// bit p of word i as PPO i under pattern p.
+func (s *Sim) Run2(loads []*bitvec.Bits) ([]uint64, error) {
+	if len(loads) == 0 || len(loads) > 64 {
+		return nil, fmt.Errorf("logicsim: %d patterns per batch, want 1..64", len(loads))
+	}
+	for p, l := range loads {
+		if l.Len() != len(s.sv.PPIs) {
+			return nil, fmt.Errorf("logicsim: pattern %d has %d bits, want %d", p, l.Len(), len(s.sv.PPIs))
+		}
+	}
+	for i, id := range s.sv.PPIs {
+		var w uint64
+		for p, l := range loads {
+			if l.Get(i) {
+				w |= 1 << uint(p)
+			}
+		}
+		s.val[id] = w
+	}
+	s.eval2()
+	out := make([]uint64, len(s.sv.PPOs))
+	for i, id := range s.sv.PPOs {
+		out[i] = s.val[id]
+	}
+	return out, nil
+}
+
+// eval2 propagates s.val through the levelized order. PPI values must
+// already be in place; DFF and Input nodes are sources.
+func (s *Sim) eval2() {
+	c := s.sv.Circuit
+	for _, id := range s.sv.Order {
+		g := &c.Gates[id]
+		switch g.Type {
+		case netlist.Input, netlist.DFF:
+			continue
+		case netlist.Buf:
+			s.val[id] = s.val[g.Fanin[0]]
+		case netlist.Not:
+			s.val[id] = ^s.val[g.Fanin[0]]
+		case netlist.And, netlist.Nand:
+			v := ^uint64(0)
+			for _, f := range g.Fanin {
+				v &= s.val[f]
+			}
+			if g.Type == netlist.Nand {
+				v = ^v
+			}
+			s.val[id] = v
+		case netlist.Or, netlist.Nor:
+			v := uint64(0)
+			for _, f := range g.Fanin {
+				v |= s.val[f]
+			}
+			if g.Type == netlist.Nor {
+				v = ^v
+			}
+			s.val[id] = v
+		case netlist.Xor, netlist.Xnor:
+			v := uint64(0)
+			for _, f := range g.Fanin {
+				v ^= s.val[f]
+			}
+			if g.Type == netlist.Xnor {
+				v = ^v
+			}
+			s.val[id] = v
+		}
+	}
+}
+
+// Values2 exposes the internal two-valued plane after Run2 (read-only),
+// which fault simulation uses to compare good and faulty machines at
+// internal nets.
+func (s *Sim) Values2() []uint64 { return s.val }
+
+// Run3 simulates one ternary scan load: X inputs may produce X outputs.
+func (s *Sim) Run3(load *bitvec.Cube) (*bitvec.Cube, error) {
+	if load.Len() != len(s.sv.PPIs) {
+		return nil, fmt.Errorf("logicsim: load has %d bits, want %d", load.Len(), len(s.sv.PPIs))
+	}
+	for i, id := range s.sv.PPIs {
+		switch load.Get(i) {
+		case bitvec.One:
+			s.isOne[id], s.isZero[id] = 1, 0
+		case bitvec.Zero:
+			s.isOne[id], s.isZero[id] = 0, 1
+		default:
+			s.isOne[id], s.isZero[id] = 0, 0
+		}
+	}
+	s.eval3()
+	out := bitvec.NewCube(len(s.sv.PPOs))
+	for i, id := range s.sv.PPOs {
+		switch {
+		case s.isOne[id]&1 == 1:
+			out.Set(i, bitvec.One)
+		case s.isZero[id]&1 == 1:
+			out.Set(i, bitvec.Zero)
+		}
+	}
+	return out, nil
+}
+
+// eval3 propagates the ternary planes. The encoding is pessimistic
+// (Kleene logic): an output is known only when forced by its inputs.
+func (s *Sim) eval3() {
+	c := s.sv.Circuit
+	for _, id := range s.sv.Order {
+		g := &c.Gates[id]
+		switch g.Type {
+		case netlist.Input, netlist.DFF:
+			continue
+		case netlist.Buf:
+			s.isOne[id], s.isZero[id] = s.isOne[g.Fanin[0]], s.isZero[g.Fanin[0]]
+		case netlist.Not:
+			s.isOne[id], s.isZero[id] = s.isZero[g.Fanin[0]], s.isOne[g.Fanin[0]]
+		case netlist.And, netlist.Nand:
+			one := ^uint64(0)
+			zero := uint64(0)
+			for _, f := range g.Fanin {
+				one &= s.isOne[f]
+				zero |= s.isZero[f]
+			}
+			if g.Type == netlist.Nand {
+				one, zero = zero, one
+			}
+			s.isOne[id], s.isZero[id] = one, zero
+		case netlist.Or, netlist.Nor:
+			one := uint64(0)
+			zero := ^uint64(0)
+			for _, f := range g.Fanin {
+				one |= s.isOne[f]
+				zero &= s.isZero[f]
+			}
+			if g.Type == netlist.Nor {
+				one, zero = zero, one
+			}
+			s.isOne[id], s.isZero[id] = one, zero
+		case netlist.Xor, netlist.Xnor:
+			// XOR over ternary: known iff all inputs known.
+			known := ^uint64(0)
+			parity := uint64(0)
+			for _, f := range g.Fanin {
+				known &= s.isOne[f] | s.isZero[f]
+				parity ^= s.isOne[f]
+			}
+			one := known & parity
+			zero := known &^ parity
+			if g.Type == netlist.Xnor {
+				one, zero = zero, one
+			}
+			s.isOne[id], s.isZero[id] = one, zero
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package logicsim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/netlist"
+)
+
+// allGates exercises every primitive.
+const allGates = `
+INPUT(A)
+INPUT(B)
+OUTPUT(Yand)
+OUTPUT(Ynand)
+OUTPUT(Yor)
+OUTPUT(Ynor)
+OUTPUT(Yxor)
+OUTPUT(Yxnor)
+OUTPUT(Ynot)
+OUTPUT(Ybuf)
+Yand = AND(A, B)
+Ynand = NAND(A, B)
+Yor = OR(A, B)
+Ynor = NOR(A, B)
+Yxor = XOR(A, B)
+Yxnor = XNOR(A, B)
+Ynot = NOT(A)
+Ybuf = BUFF(B)
+`
+
+func simFor(t *testing.T, src, name string) *Sim {
+	t.Helper()
+	c, err := netlist.ParseBench(name, strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := c.FullScan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(sv)
+}
+
+func TestRun2TruthTables(t *testing.T) {
+	s := simFor(t, allGates, "prim")
+	// Patterns: AB = 00, 01, 10, 11.
+	loads := make([]*bitvec.Bits, 4)
+	for p := 0; p < 4; p++ {
+		l := bitvec.NewBits(2)
+		l.Set(0, p&2 != 0) // A
+		l.Set(1, p&1 != 0) // B
+		loads[p] = l
+	}
+	out, err := s.Run2(loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected per-output pattern bits p0..p3 (LSB = pattern 0).
+	want := map[string]uint64{
+		"Yand":  0b1000,
+		"Ynand": 0b0111,
+		"Yor":   0b1110,
+		"Ynor":  0b0001,
+		"Yxor":  0b0110,
+		"Yxnor": 0b1001,
+		"Ynot":  0b0011, // NOT A: A=0 for p0,p1
+		"Ybuf":  0b1010, // B
+	}
+	const mask = 0b1111
+	for i, id := range s.ScanView().PPOs {
+		name := s.ScanView().Circuit.Gates[id].Name
+		if got := out[i] & mask; got != want[name] {
+			t.Errorf("%s = %04b, want %04b", name, got, want[name])
+		}
+	}
+}
+
+func TestRun2Validation(t *testing.T) {
+	s := simFor(t, allGates, "prim")
+	if _, err := s.Run2(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	too := make([]*bitvec.Bits, 65)
+	for i := range too {
+		too[i] = bitvec.NewBits(2)
+	}
+	if _, err := s.Run2(too); err == nil {
+		t.Fatal("65-pattern batch accepted")
+	}
+	if _, err := s.Run2([]*bitvec.Bits{bitvec.NewBits(3)}); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+func TestRun3KnownAndX(t *testing.T) {
+	s := simFor(t, allGates, "prim")
+	cases := []struct {
+		in   string // A B
+		want map[string]bitvec.Trit
+	}{
+		{"0X", map[string]bitvec.Trit{
+			"Yand": bitvec.Zero, "Ynand": bitvec.One,
+			"Yor": bitvec.X, "Ynor": bitvec.X,
+			"Yxor": bitvec.X, "Yxnor": bitvec.X,
+			"Ynot": bitvec.One, "Ybuf": bitvec.X,
+		}},
+		{"1X", map[string]bitvec.Trit{
+			"Yand": bitvec.X, "Yor": bitvec.One, "Ynor": bitvec.Zero,
+			"Yxor": bitvec.X,
+		}},
+		{"11", map[string]bitvec.Trit{
+			"Yand": bitvec.One, "Yxor": bitvec.Zero, "Yxnor": bitvec.One,
+		}},
+	}
+	for _, tc := range cases {
+		load, err := bitvec.ParseCube(tc.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := s.Run3(load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range s.ScanView().PPOs {
+			name := s.ScanView().Circuit.Gates[id].Name
+			if want, ok := tc.want[name]; ok && out.Get(i) != want {
+				t.Errorf("in=%s %s = %s, want %s", tc.in, name, out.Get(i), want)
+			}
+		}
+	}
+	if _, err := s.Run3(bitvec.NewCube(5)); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+func TestS27SequentialScanSemantics(t *testing.T) {
+	s := simFor(t, netlistS27, "s27")
+	if s.ScanView().ScanWidth() != 7 {
+		t.Fatalf("width %d", s.ScanView().ScanWidth())
+	}
+	// G17 = NOT(G11); G11 = NOR(G5, G9). With scan cells G5=1 => G11=0 => G17=1.
+	load := bitvec.NewBits(7) // G0..G3, G5, G6, G7
+	load.Set(4, true)         // G5 = 1
+	out, err := s.Run2([]*bitvec.Bits{load})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PPO 0 is G17.
+	if out[0]&1 != 1 {
+		t.Fatal("G17 should be 1 when scan cell G5=1")
+	}
+}
+
+// netlistS27 mirrors the copy in package netlist's tests; duplicated to
+// keep test fixtures package-local.
+const netlistS27 = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+`
+
+// Property: Run3 on a fully specified load agrees with Run2.
+func TestProperty3v2vAgreement(t *testing.T) {
+	s := simFor(t, netlistS27, "s27")
+	f := func(bitsRaw uint8) bool {
+		w := s.ScanView().ScanWidth()
+		load2 := bitvec.NewBits(w)
+		load3 := bitvec.NewCube(w)
+		for i := 0; i < w; i++ {
+			v := bitsRaw>>(uint(i)%8)&1 == 1
+			load2.Set(i, v)
+			if v {
+				load3.Set(i, bitvec.One)
+			} else {
+				load3.Set(i, bitvec.Zero)
+			}
+		}
+		o2, err := s.Run2([]*bitvec.Bits{load2})
+		if err != nil {
+			return false
+		}
+		o3, err := s.Run3(load3)
+		if err != nil {
+			return false
+		}
+		for i := range o2 {
+			want := bitvec.Zero
+			if o2[i]&1 == 1 {
+				want = bitvec.One
+			}
+			if o3.Get(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Run3 is monotone — specifying an X input never turns a
+// known output into X or flips it.
+func TestProperty3vMonotone(t *testing.T) {
+	s := simFor(t, netlistS27, "s27")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := s.ScanView().ScanWidth()
+		partial := bitvec.NewCube(w)
+		for i := 0; i < w; i++ {
+			partial.Set(i, bitvec.Trit(rng.Intn(3)))
+		}
+		full := partial.FillRandom(rng)
+		op, err := s.Run3(partial)
+		if err != nil {
+			return false
+		}
+		of, err := s.Run3(full)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < op.Len(); i++ {
+			if v := op.Get(i); v != bitvec.X && v != of.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package logicsim
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/netlist"
+)
+
+// SeqSim is a single-clock sequential simulator: each Step evaluates
+// the combinational logic from the current primary inputs and flip-flop
+// states, then clocks every DFF with its fanin value. It is used to
+// run gate-level models of the on-chip decompressor (see package
+// decoder's RTL generator) rather than scan-view test application.
+type SeqSim struct {
+	sv    *netlist.ScanView
+	val   []bool
+	state []bool // per-DFF stored value, indexed like Circuit.DFFs
+	in    []bool // per-PI value, indexed like Circuit.Inputs
+}
+
+// NewSeq returns a sequential simulator with all flip-flops reset to 0.
+func NewSeq(c *netlist.Circuit) (*SeqSim, error) {
+	sv, err := c.FullScan()
+	if err != nil {
+		return nil, err
+	}
+	return &SeqSim{
+		sv:    sv,
+		val:   make([]bool, c.NumGates()),
+		state: make([]bool, len(c.DFFs)),
+		in:    make([]bool, len(c.Inputs)),
+	}, nil
+}
+
+// Reset clears every flip-flop and input.
+func (s *SeqSim) Reset() {
+	for i := range s.state {
+		s.state[i] = false
+	}
+	for i := range s.in {
+		s.in[i] = false
+	}
+}
+
+// SetInput drives the named primary input for subsequent steps.
+func (s *SeqSim) SetInput(name string, v bool) error {
+	g, ok := s.sv.Circuit.GateByName(name)
+	if !ok || g.Type != netlist.Input {
+		return fmt.Errorf("logicsim: no primary input %q", name)
+	}
+	for i, id := range s.sv.Circuit.Inputs {
+		if id == g.ID {
+			s.in[i] = v
+			return nil
+		}
+	}
+	return fmt.Errorf("logicsim: input %q not registered", name)
+}
+
+// Eval settles the combinational logic for the current inputs and
+// states without advancing the clock.
+func (s *SeqSim) Eval() {
+	c := s.sv.Circuit
+	for i, id := range c.Inputs {
+		s.val[id] = s.in[i]
+	}
+	for i, id := range c.DFFs {
+		s.val[id] = s.state[i]
+	}
+	for _, id := range s.sv.Order {
+		g := &c.Gates[id]
+		switch g.Type {
+		case netlist.Input, netlist.DFF:
+			continue
+		case netlist.Buf:
+			s.val[id] = s.val[g.Fanin[0]]
+		case netlist.Not:
+			s.val[id] = !s.val[g.Fanin[0]]
+		case netlist.And, netlist.Nand:
+			v := true
+			for _, f := range g.Fanin {
+				v = v && s.val[f]
+			}
+			if g.Type == netlist.Nand {
+				v = !v
+			}
+			s.val[id] = v
+		case netlist.Or, netlist.Nor:
+			v := false
+			for _, f := range g.Fanin {
+				v = v || s.val[f]
+			}
+			if g.Type == netlist.Nor {
+				v = !v
+			}
+			s.val[id] = v
+		case netlist.Xor, netlist.Xnor:
+			v := false
+			for _, f := range g.Fanin {
+				v = v != s.val[f]
+			}
+			if g.Type == netlist.Xnor {
+				v = !v
+			}
+			s.val[id] = v
+		}
+	}
+}
+
+// Value returns the settled value of the named net (call Eval or Step
+// first).
+func (s *SeqSim) Value(name string) (bool, error) {
+	g, ok := s.sv.Circuit.GateByName(name)
+	if !ok {
+		return false, fmt.Errorf("logicsim: no net %q", name)
+	}
+	return s.val[g.ID], nil
+}
+
+// Step settles the logic, then clocks every flip-flop.
+func (s *SeqSim) Step() {
+	s.Eval()
+	c := s.sv.Circuit
+	for i, id := range c.DFFs {
+		s.state[i] = s.val[c.Gates[id].Fanin[0]]
+	}
+}
+
+// States returns a copy of the flip-flop contents (debugging aid).
+func (s *SeqSim) States() *bitvec.Bits {
+	b := bitvec.NewBits(len(s.state))
+	for i, v := range s.state {
+		b.Set(i, v)
+	}
+	return b
+}

@@ -1,0 +1,150 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseBench reads a netlist in the ISCAS'89 .bench format:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G10 = DFF(G14)
+//	G11 = NAND(G0, G10)
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	b := NewBuilder(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(txt, '#'); i >= 0 {
+			txt = strings.TrimSpace(txt[:i])
+		}
+		if txt == "" {
+			continue
+		}
+		if err := parseBenchLine(b, txt); err != nil {
+			return nil, fmt.Errorf("netlist: %s line %d: %w", name, line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+func parseBenchLine(b *Builder, txt string) error {
+	upper := strings.ToUpper(txt)
+	switch {
+	case strings.HasPrefix(upper, "INPUT(") || strings.HasPrefix(upper, "INPUT ("):
+		arg, err := parenArg(txt)
+		if err != nil {
+			return err
+		}
+		b.AddInput(arg)
+		return nil
+	case strings.HasPrefix(upper, "OUTPUT(") || strings.HasPrefix(upper, "OUTPUT ("):
+		arg, err := parenArg(txt)
+		if err != nil {
+			return err
+		}
+		b.AddOutput(arg)
+		return nil
+	}
+	eq := strings.IndexByte(txt, '=')
+	if eq < 0 {
+		return fmt.Errorf("unrecognized statement %q", txt)
+	}
+	lhs := strings.TrimSpace(txt[:eq])
+	rhs := strings.TrimSpace(txt[eq+1:])
+	open := strings.IndexByte(rhs, '(')
+	close := strings.LastIndexByte(rhs, ')')
+	if lhs == "" || open <= 0 || close <= open {
+		return fmt.Errorf("malformed gate definition %q", txt)
+	}
+	t, err := parseGateType(strings.TrimSpace(rhs[:open]))
+	if err != nil {
+		return err
+	}
+	var fanin []string
+	for _, f := range strings.Split(rhs[open+1:close], ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			return fmt.Errorf("empty fanin in %q", txt)
+		}
+		fanin = append(fanin, f)
+	}
+	b.AddGate(lhs, t, fanin...)
+	return nil
+}
+
+func parenArg(txt string) (string, error) {
+	open := strings.IndexByte(txt, '(')
+	close := strings.LastIndexByte(txt, ')')
+	if open < 0 || close <= open {
+		return "", fmt.Errorf("malformed declaration %q", txt)
+	}
+	arg := strings.TrimSpace(txt[open+1 : close])
+	if arg == "" {
+		return "", fmt.Errorf("empty name in %q", txt)
+	}
+	return arg, nil
+}
+
+func parseGateType(s string) (GateType, error) {
+	switch strings.ToUpper(s) {
+	case "BUF", "BUFF":
+		return Buf, nil
+	case "NOT", "INV":
+		return Not, nil
+	case "AND":
+		return And, nil
+	case "NAND":
+		return Nand, nil
+	case "OR":
+		return Or, nil
+	case "NOR":
+		return Nor, nil
+	case "XOR":
+		return Xor, nil
+	case "XNOR":
+		return Xnor, nil
+	case "DFF":
+		return DFF, nil
+	}
+	return 0, fmt.Errorf("unknown gate type %q", s)
+}
+
+// WriteBench serializes the circuit in .bench format; ParseBench of the
+// output reproduces an equivalent circuit.
+func WriteBench(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s: %d inputs, %d outputs, %d flip-flops, %d gates\n",
+		c.Name, len(c.Inputs), len(c.Outputs), len(c.DFFs), c.NumLogicGates())
+	for _, id := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gates[id].Name)
+	}
+	for _, id := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Gates[id].Name)
+	}
+	for _, g := range c.Gates {
+		if g.Type == Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = c.Gates[f].Name
+		}
+		kw := g.Type.String()
+		if g.Type == Buf {
+			kw = "BUFF"
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, kw, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,35 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseBench checks the .bench parser never panics and that
+// anything it accepts survives a write/re-parse cycle.
+func FuzzParseBench(f *testing.F) {
+	f.Add(S27)
+	f.Add("INPUT(A)\nOUTPUT(Y)\nY = NOT(A)\n")
+	f.Add("# only a comment")
+	f.Add("G1 = AND(G2, G3)")
+	f.Add("INPUT(A)\nINPUT(A)")
+	f.Add("OUTPUT()")
+	f.Add("x = dff(x)")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseBench("fuzz", strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteBench(&sb, c); err != nil {
+			t.Fatalf("write of accepted netlist failed: %v", err)
+		}
+		again, err := ParseBench("fuzz2", strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-parse of serialized netlist failed: %v\n%s", err, sb.String())
+		}
+		if again.NumGates() != c.NumGates() {
+			t.Fatalf("round trip changed gate count: %d -> %d", c.NumGates(), again.NumGates())
+		}
+	})
+}

@@ -1,0 +1,316 @@
+// Package netlist provides the gate-level circuit substrate: an IR for
+// ISCAS'89-class sequential netlists, a parser for the .bench format,
+// levelization, and the full-scan transformation that turns a
+// sequential circuit into the combinational view that ATPG and fault
+// simulation operate on.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GateType enumerates the ISCAS'89 primitive set.
+type GateType int
+
+// Gate types. Input is a primary input; DFF is a scan flip-flop.
+const (
+	Input GateType = iota
+	Buf
+	Not
+	And
+	Nand
+	Or
+	Nor
+	Xor
+	Xnor
+	DFF
+)
+
+var gateTypeNames = map[GateType]string{
+	Input: "INPUT", Buf: "BUF", Not: "NOT", And: "AND", Nand: "NAND",
+	Or: "OR", Nor: "NOR", Xor: "XOR", Xnor: "XNOR", DFF: "DFF",
+}
+
+// String returns the .bench keyword for the gate type.
+func (t GateType) String() string {
+	if s, ok := gateTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("GateType(%d)", int(t))
+}
+
+// Inverting reports whether the gate complements its defining function
+// (NOT, NAND, NOR, XNOR).
+func (t GateType) Inverting() bool {
+	switch t {
+	case Not, Nand, Nor, Xnor:
+		return true
+	}
+	return false
+}
+
+// Gate is one node of the netlist. Its ID is its index in
+// Circuit.Gates; Fanin lists driver IDs in declaration order.
+type Gate struct {
+	ID    int
+	Name  string
+	Type  GateType
+	Fanin []int
+}
+
+// Circuit is a gate-level netlist. Nets are identified with the gate
+// that drives them (single-driver discipline, as in .bench).
+type Circuit struct {
+	Name    string
+	Gates   []Gate
+	Inputs  []int // IDs of Input gates, in declaration order
+	Outputs []int // IDs of gates that drive primary outputs
+	DFFs    []int // IDs of DFF gates, in declaration order
+
+	byName  map[string]int
+	fanouts [][]int
+}
+
+// NumGates returns the total node count including inputs and DFFs.
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// NumLogicGates returns the count of combinational logic gates
+// (everything except Input and DFF nodes), the figure benchmarks quote.
+func (c *Circuit) NumLogicGates() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Type != Input && g.Type != DFF {
+			n++
+		}
+	}
+	return n
+}
+
+// GateByName returns the gate with the given net name.
+func (c *Circuit) GateByName(name string) (Gate, bool) {
+	id, ok := c.byName[name]
+	if !ok {
+		return Gate{}, false
+	}
+	return c.Gates[id], true
+}
+
+// Fanouts returns the IDs of the gates that consume gate id's output.
+// The slice is shared; callers must not modify it.
+func (c *Circuit) Fanouts(id int) []int {
+	c.buildFanouts()
+	return c.fanouts[id]
+}
+
+func (c *Circuit) buildFanouts() {
+	if c.fanouts != nil {
+		return
+	}
+	c.fanouts = make([][]int, len(c.Gates))
+	for _, g := range c.Gates {
+		for _, f := range g.Fanin {
+			c.fanouts[f] = append(c.fanouts[f], g.ID)
+		}
+	}
+}
+
+// Validate checks structural sanity: fanin references in range, names
+// unique and resolvable, gate arities legal, output list resolvable.
+func (c *Circuit) Validate() error {
+	if len(c.byName) != len(c.Gates) {
+		return fmt.Errorf("netlist: name index has %d entries for %d gates", len(c.byName), len(c.Gates))
+	}
+	for _, g := range c.Gates {
+		if got := c.byName[g.Name]; got != g.ID {
+			return fmt.Errorf("netlist: name %q maps to gate %d, not %d", g.Name, got, g.ID)
+		}
+		if err := checkArity(g); err != nil {
+			return err
+		}
+		for _, f := range g.Fanin {
+			if f < 0 || f >= len(c.Gates) {
+				return fmt.Errorf("netlist: gate %q fanin %d out of range", g.Name, f)
+			}
+		}
+	}
+	for _, o := range c.Outputs {
+		if o < 0 || o >= len(c.Gates) {
+			return fmt.Errorf("netlist: output id %d out of range", o)
+		}
+	}
+	return nil
+}
+
+func checkArity(g Gate) error {
+	n := len(g.Fanin)
+	switch g.Type {
+	case Input:
+		if n != 0 {
+			return fmt.Errorf("netlist: input %q has %d fanins", g.Name, n)
+		}
+	case Buf, Not, DFF:
+		if n != 1 {
+			return fmt.Errorf("netlist: %s %q has %d fanins, want 1", g.Type, g.Name, n)
+		}
+	case And, Nand, Or, Nor, Xor, Xnor:
+		if n < 1 {
+			return fmt.Errorf("netlist: %s %q has no fanins", g.Type, g.Name)
+		}
+	default:
+		return fmt.Errorf("netlist: gate %q has unknown type %d", g.Name, int(g.Type))
+	}
+	return nil
+}
+
+// ScanView is the full-scan combinational abstraction of a sequential
+// circuit: every DFF output becomes a pseudo primary input (a scan
+// cell) and every DFF input a pseudo primary output. A scan load
+// supplies [PIs..., scan cells...] and a response captures
+// [POs..., DFF inputs...].
+type ScanView struct {
+	Circuit *Circuit
+	// PPIs lists the combinational input nodes in scan-load order:
+	// first the real PIs, then the DFF nodes (whose stored value the
+	// scan chain sets directly).
+	PPIs []int
+	// PPOs lists observation points in capture order: first gates
+	// driving real POs, then the DFF fanin gates.
+	PPOs []int
+	// Order is a topological order over gates treating DFF nodes as
+	// sources (their fanin edge is cut).
+	Order []int
+	// Level is the logic depth of each gate in the scan view.
+	Level []int
+}
+
+// FullScan builds the scan view. It fails if the combinational core
+// contains a cycle not broken by a DFF.
+func (c *Circuit) FullScan() (*ScanView, error) {
+	n := len(c.Gates)
+	indeg := make([]int, n)
+	for _, g := range c.Gates {
+		if g.Type == Input || g.Type == DFF {
+			continue // sources in the scan view
+		}
+		indeg[g.ID] = len(g.Fanin)
+	}
+	order := make([]int, 0, n)
+	level := make([]int, n)
+	queue := make([]int, 0, n)
+	for _, g := range c.Gates {
+		if g.Type == Input || g.Type == DFF {
+			queue = append(queue, g.ID)
+		}
+	}
+	c.buildFanouts()
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, fo := range c.fanouts[id] {
+			fg := &c.Gates[fo]
+			if fg.Type == Input || fg.Type == DFF {
+				continue
+			}
+			indeg[fo]--
+			if level[id]+1 > level[fo] {
+				level[fo] = level[id] + 1
+			}
+			if indeg[fo] == 0 {
+				queue = append(queue, fo)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("netlist: %s has a combinational cycle (%d of %d gates ordered)", c.Name, len(order), n)
+	}
+	sv := &ScanView{Circuit: c, Order: order, Level: level}
+	sv.PPIs = append(sv.PPIs, c.Inputs...)
+	sv.PPIs = append(sv.PPIs, c.DFFs...)
+	sv.PPOs = append(sv.PPOs, c.Outputs...)
+	for _, d := range c.DFFs {
+		sv.PPOs = append(sv.PPOs, c.Gates[d].Fanin[0])
+	}
+	return sv, nil
+}
+
+// ScanWidth returns the scan-load width: PIs + scan cells.
+func (sv *ScanView) ScanWidth() int { return len(sv.PPIs) }
+
+// builderState incrementally assembles a circuit.
+type Builder struct {
+	c    Circuit
+	errs []error
+}
+
+// NewBuilder returns a Builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{c: Circuit{Name: name, byName: map[string]int{}}}
+}
+
+// node returns the gate ID for name, creating a placeholder on first
+// reference so netlists may use names before definition.
+func (b *Builder) node(name string) int {
+	if id, ok := b.c.byName[name]; ok {
+		return id
+	}
+	id := len(b.c.Gates)
+	b.c.Gates = append(b.c.Gates, Gate{ID: id, Name: name, Type: -1})
+	b.c.byName[name] = id
+	return id
+}
+
+// AddInput declares a primary input.
+func (b *Builder) AddInput(name string) {
+	id := b.node(name)
+	if b.c.Gates[id].Type != -1 {
+		b.errs = append(b.errs, fmt.Errorf("netlist: %q defined twice", name))
+		return
+	}
+	b.c.Gates[id].Type = Input
+	b.c.Inputs = append(b.c.Inputs, id)
+}
+
+// AddOutput declares a primary output driven by net name.
+func (b *Builder) AddOutput(name string) {
+	b.c.Outputs = append(b.c.Outputs, b.node(name))
+}
+
+// AddGate defines net name as a gate of the given type over fanin nets.
+func (b *Builder) AddGate(name string, t GateType, fanin ...string) {
+	id := b.node(name)
+	if b.c.Gates[id].Type != -1 {
+		b.errs = append(b.errs, fmt.Errorf("netlist: %q defined twice", name))
+		return
+	}
+	b.c.Gates[id].Type = t
+	for _, f := range fanin {
+		b.c.Gates[id].Fanin = append(b.c.Gates[id].Fanin, b.node(f))
+	}
+	if t == DFF {
+		b.c.DFFs = append(b.c.DFFs, id)
+	}
+}
+
+// Build finalizes and validates the circuit.
+func (b *Builder) Build() (*Circuit, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	var undefined []string
+	for _, g := range b.c.Gates {
+		if g.Type == -1 {
+			undefined = append(undefined, g.Name)
+		}
+	}
+	if len(undefined) > 0 {
+		sort.Strings(undefined)
+		return nil, fmt.Errorf("netlist: undefined nets: %v", undefined)
+	}
+	if err := b.c.Validate(); err != nil {
+		return nil, err
+	}
+	out := b.c
+	return &out, nil
+}

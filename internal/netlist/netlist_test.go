@@ -1,0 +1,217 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// S27 is the ISCAS'89 s27 benchmark (public domain), small enough to
+// verify the parser and scan transformation against known structure.
+const S27 = `
+# s27 benchmark
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+`
+
+func parseS27(t *testing.T) *Circuit {
+	t.Helper()
+	c, err := ParseBench("s27", strings.NewReader(S27))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestParseS27Structure(t *testing.T) {
+	c := parseS27(t)
+	if len(c.Inputs) != 4 || len(c.Outputs) != 1 || len(c.DFFs) != 3 {
+		t.Fatalf("PIs=%d POs=%d FFs=%d", len(c.Inputs), len(c.Outputs), len(c.DFFs))
+	}
+	if c.NumLogicGates() != 10 {
+		t.Fatalf("logic gates = %d, want 10", c.NumLogicGates())
+	}
+	g, ok := c.GateByName("G9")
+	if !ok || g.Type != Nand || len(g.Fanin) != 2 {
+		t.Fatalf("G9 = %+v", g)
+	}
+	if _, ok := c.GateByName("missing"); ok {
+		t.Fatal("lookup of missing gate succeeded")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"FOO(G1)",
+		"G1 = MYSTERY(G2)\nINPUT(G2)",
+		"G1 = AND()",
+		"INPUT()",
+		"G1 = AND(G2,)\nINPUT(G2)",
+		"INPUT(G1)\nINPUT(G1)",
+		"INPUT(G1)\nG2 = AND(G1, G3)", // G3 undefined
+		"= AND(G1)",
+	}
+	for _, src := range bad {
+		if _, err := ParseBench("bad", strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestParseCommentsAndCase(t *testing.T) {
+	src := `
+input(A)   # trailing comment
+INPUT (B)
+output(Y)
+Y = nand(A, B)
+`
+	c, err := ParseBench("cc", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Inputs) != 2 || c.NumLogicGates() != 1 {
+		t.Fatalf("unexpected structure: %+v", c)
+	}
+}
+
+func TestWriteBenchRoundTrip(t *testing.T) {
+	c := parseS27(t)
+	var sb strings.Builder
+	if err := WriteBench(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseBench("s27", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, sb.String())
+	}
+	if again.NumLogicGates() != c.NumLogicGates() ||
+		len(again.Inputs) != len(c.Inputs) ||
+		len(again.DFFs) != len(c.DFFs) ||
+		len(again.Outputs) != len(c.Outputs) {
+		t.Fatal("round trip changed structure")
+	}
+	for _, g := range c.Gates {
+		h, ok := again.GateByName(g.Name)
+		if !ok || h.Type != g.Type || len(h.Fanin) != len(g.Fanin) {
+			t.Fatalf("gate %q mismatch after round trip", g.Name)
+		}
+	}
+}
+
+func TestFullScanView(t *testing.T) {
+	c := parseS27(t)
+	sv, err := c.FullScan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.ScanWidth() != 7 { // 4 PIs + 3 scan cells
+		t.Fatalf("ScanWidth = %d, want 7", sv.ScanWidth())
+	}
+	if len(sv.PPOs) != 4 { // 1 PO + 3 DFF inputs
+		t.Fatalf("PPOs = %d, want 4", len(sv.PPOs))
+	}
+	if len(sv.Order) != c.NumGates() {
+		t.Fatalf("Order covers %d of %d gates", len(sv.Order), c.NumGates())
+	}
+	// Topological property: every gate appears after its fanins
+	// (DFF/Input nodes are sources whose fanin edges are cut).
+	pos := make([]int, c.NumGates())
+	for i, id := range sv.Order {
+		pos[id] = i
+	}
+	for _, g := range c.Gates {
+		if g.Type == Input || g.Type == DFF {
+			continue
+		}
+		for _, f := range g.Fanin {
+			if pos[f] >= pos[g.ID] {
+				t.Fatalf("gate %s ordered before fanin %s", g.Name, c.Gates[f].Name)
+			}
+			if sv.Level[g.ID] <= sv.Level[f] {
+				t.Fatalf("level(%s)=%d not above level(%s)=%d",
+					g.Name, sv.Level[g.ID], c.Gates[f].Name, sv.Level[f])
+			}
+		}
+	}
+}
+
+func TestFullScanDetectsCombinationalCycle(t *testing.T) {
+	src := `
+INPUT(A)
+OUTPUT(Y)
+Y = AND(A, Z)
+Z = OR(Y, A)
+`
+	c, err := ParseBench("cyc", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FullScan(); err == nil {
+		t.Fatal("combinational cycle not detected")
+	}
+}
+
+func TestCycleThroughDFFIsFine(t *testing.T) {
+	src := `
+INPUT(A)
+OUTPUT(Q)
+Q = DFF(D)
+D = AND(A, Q)
+`
+	c, err := ParseBench("seq", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FullScan(); err != nil {
+		t.Fatalf("DFF-broken cycle rejected: %v", err)
+	}
+}
+
+func TestFanouts(t *testing.T) {
+	c := parseS27(t)
+	g8, _ := c.GateByName("G8")
+	fo := c.Fanouts(g8.ID)
+	if len(fo) != 2 {
+		t.Fatalf("G8 fanouts = %d, want 2 (G15, G16)", len(fo))
+	}
+}
+
+func TestGateTypeString(t *testing.T) {
+	if Nand.String() != "NAND" || DFF.String() != "DFF" {
+		t.Fatal("GateType.String mismatch")
+	}
+	if !strings.Contains(GateType(99).String(), "99") {
+		t.Fatal("unknown type should render raw value")
+	}
+	if !Nand.Inverting() || And.Inverting() || !Xnor.Inverting() {
+		t.Fatal("Inverting mismatch")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("dup")
+	b.AddInput("A")
+	b.AddGate("A", And, "B") // redefinition
+	b.AddInput("B")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate definition accepted")
+	}
+}

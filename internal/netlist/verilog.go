@@ -1,0 +1,139 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteVerilog emits the circuit as a synthesizable structural Verilog
+// module with an added clk (and, for sequential circuits, an active-
+// high synchronous reset) — the form a physical flow would take the
+// generated 9C decompressor through. Gate bodies use continuous
+// assignments; DFFs become an always block.
+func WriteVerilog(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	name := sanitizeID(c.Name)
+	if name == "" {
+		name = "top"
+	}
+
+	var ports []string
+	ports = append(ports, "clk")
+	if len(c.DFFs) > 0 {
+		ports = append(ports, "rst")
+	}
+	for _, id := range c.Inputs {
+		ports = append(ports, sanitizeID(c.Gates[id].Name))
+	}
+	outNames := map[int]bool{}
+	for _, id := range c.Outputs {
+		if !outNames[id] {
+			outNames[id] = true
+			ports = append(ports, sanitizeID(c.Gates[id].Name))
+		}
+	}
+	fmt.Fprintf(bw, "// generated from netlist %q: %d gates, %d flip-flops\n",
+		c.Name, c.NumLogicGates(), len(c.DFFs))
+	fmt.Fprintf(bw, "module %s(%s);\n", name, strings.Join(ports, ", "))
+	fmt.Fprintf(bw, "  input clk;\n")
+	if len(c.DFFs) > 0 {
+		fmt.Fprintf(bw, "  input rst;\n")
+	}
+	for _, id := range c.Inputs {
+		fmt.Fprintf(bw, "  input %s;\n", sanitizeID(c.Gates[id].Name))
+	}
+	for id := range outNames {
+		fmt.Fprintf(bw, "  output %s;\n", sanitizeID(c.Gates[id].Name))
+	}
+	// Internal nets.
+	for _, g := range c.Gates {
+		if g.Type == Input || outNames[g.ID] {
+			continue
+		}
+		kind := "wire"
+		if g.Type == DFF {
+			kind = "reg"
+		}
+		fmt.Fprintf(bw, "  %s %s;\n", kind, sanitizeID(g.Name))
+	}
+	// An output driven by a DFF needs reg storage: declare a shadow reg
+	// and assign. Keep it simple: reject that corner (the decoder
+	// netlists drive outputs from BUFs).
+	for _, g := range c.Gates {
+		if g.Type == DFF && outNames[g.ID] {
+			return fmt.Errorf("netlist: output %q driven directly by a DFF; buffer it first", g.Name)
+		}
+	}
+
+	for _, g := range c.Gates {
+		if g.Type == Input || g.Type == DFF {
+			continue
+		}
+		fmt.Fprintf(bw, "  assign %s = %s;\n", sanitizeID(g.Name), verilogExpr(c, g))
+	}
+	if len(c.DFFs) > 0 {
+		fmt.Fprintf(bw, "  always @(posedge clk) begin\n")
+		fmt.Fprintf(bw, "    if (rst) begin\n")
+		for _, id := range c.DFFs {
+			fmt.Fprintf(bw, "      %s <= 1'b0;\n", sanitizeID(c.Gates[id].Name))
+		}
+		fmt.Fprintf(bw, "    end else begin\n")
+		for _, id := range c.DFFs {
+			g := c.Gates[id]
+			fmt.Fprintf(bw, "      %s <= %s;\n",
+				sanitizeID(g.Name), sanitizeID(c.Gates[g.Fanin[0]].Name))
+		}
+		fmt.Fprintf(bw, "    end\n  end\n")
+	}
+	fmt.Fprintf(bw, "endmodule\n")
+	return bw.Flush()
+}
+
+// verilogExpr renders a gate as a continuous-assignment expression.
+func verilogExpr(c *Circuit, g Gate) string {
+	in := make([]string, len(g.Fanin))
+	for i, f := range g.Fanin {
+		in[i] = sanitizeID(c.Gates[f].Name)
+	}
+	switch g.Type {
+	case Buf:
+		return in[0]
+	case Not:
+		return "~" + in[0]
+	case And:
+		return strings.Join(in, " & ")
+	case Nand:
+		return "~(" + strings.Join(in, " & ") + ")"
+	case Or:
+		return strings.Join(in, " | ")
+	case Nor:
+		return "~(" + strings.Join(in, " | ") + ")"
+	case Xor:
+		return strings.Join(in, " ^ ")
+	case Xnor:
+		return "~(" + strings.Join(in, " ^ ") + ")"
+	}
+	return "1'bx"
+}
+
+// sanitizeID maps a net name to a legal Verilog identifier.
+func sanitizeID(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		ok := ch == '_' || ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z' ||
+			ch >= '0' && ch <= '9'
+		if ok {
+			sb.WriteByte(ch)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	out := sb.String()
+	if out == "" || out[0] >= '0' && out[0] <= '9' {
+		out = "n" + out
+	}
+	return out
+}

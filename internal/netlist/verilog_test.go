@@ -1,0 +1,81 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteVerilogS27(t *testing.T) {
+	c := parseS27(t)
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	for _, frag := range []string{
+		"module s27(clk, rst,",
+		"input clk;",
+		"input rst;",
+		"input G0;",
+		"output G17;",
+		"assign G14 = ~G0;",
+		"assign G8 = G14 & G6;",
+		"assign G9 = ~(G16 & G15);",
+		"always @(posedge clk)",
+		"G5 <= G10;",
+		"endmodule",
+	} {
+		if !strings.Contains(v, frag) {
+			t.Fatalf("missing %q in:\n%s", frag, v)
+		}
+	}
+	// Balanced structure: one assign per combinational gate.
+	if got := strings.Count(v, "assign "); got != c.NumLogicGates() {
+		t.Fatalf("assign count %d, gates %d", got, c.NumLogicGates())
+	}
+}
+
+func TestWriteVerilogCombinational(t *testing.T) {
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XNOR(a, b)\n"
+	c, err := ParseBench("xn", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	if strings.Contains(v, "rst") {
+		t.Fatal("combinational module should not have rst")
+	}
+	if !strings.Contains(v, "assign y = ~(a ^ b);") {
+		t.Fatalf("xnor rendering:\n%s", v)
+	}
+}
+
+func TestWriteVerilogRejectsDFFOutput(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n"
+	c, err := ParseBench("dq", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, c); err == nil {
+		t.Fatal("DFF-driven output accepted")
+	}
+}
+
+func TestSanitizeID(t *testing.T) {
+	cases := map[string]string{
+		"G17":    "G17",
+		"a.b[3]": "a_b_3_",
+		"3x":     "n3x",
+		"":       "n",
+	}
+	for in, want := range cases {
+		if got := sanitizeID(in); got != want {
+			t.Errorf("sanitizeID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Package power implements the weighted transition metric (WTM) for
+// scan-in power estimation, the standard proxy used across the
+// test-data compression literature. The paper notes (§IV) that the 9C
+// leftover don't-cares can alternatively be filled to minimize scan
+// transitions; this package quantifies that trade-off (random fill for
+// non-modeled-fault coverage vs minimum-transition fill for power).
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/tcube"
+)
+
+// WTM returns the weighted transition metric of one fully specified
+// scan-in vector: Σ_{j=1}^{l-1} (l−j) · (s_j ⊕ s_{j+1}) with s_1 the
+// first bit shifted in, so early transitions (which ripple through the
+// whole chain) weigh most.
+func WTM(v *bitvec.Cube) (int, error) {
+	l := v.Len()
+	sum := 0
+	for j := 0; j+1 < l; j++ {
+		a, b := v.Get(j), v.Get(j+1)
+		if a == bitvec.X || b == bitvec.X {
+			return 0, fmt.Errorf("power: X at scan position %d; fill before WTM", j)
+		}
+		if a != b {
+			sum += l - 1 - j
+		}
+	}
+	return sum, nil
+}
+
+// Profile summarizes scan-in power over a test set.
+type Profile struct {
+	Average float64
+	Peak    int
+	Total   int
+}
+
+// Measure computes the WTM profile of a fully specified test set.
+func Measure(s *tcube.Set) (Profile, error) {
+	var p Profile
+	for i := 0; i < s.Len(); i++ {
+		w, err := WTM(s.Cube(i))
+		if err != nil {
+			return Profile{}, fmt.Errorf("power: pattern %d: %w", i, err)
+		}
+		p.Total += w
+		if w > p.Peak {
+			p.Peak = w
+		}
+	}
+	if s.Len() > 0 {
+		p.Average = float64(p.Total) / float64(s.Len())
+	}
+	return p, nil
+}
+
+// ReductionPercent returns how much lower b's total WTM is than a's.
+func ReductionPercent(a, b Profile) float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return 100 * float64(a.Total-b.Total) / float64(a.Total)
+}

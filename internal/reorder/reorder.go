@@ -1,0 +1,146 @@
+// Package reorder implements scan-cell reordering for compression: a
+// stitching freedom real DFT flows have (scan cells can be chained in
+// any order) that fixed-block codes like 9C benefit from directly —
+// grouping columns of the test set that agree across patterns makes
+// K-bit blocks uniform, converting mismatch cases into the one-bit C1
+// codeword. The paper fixes the given order; this package quantifies
+// the headroom an order-aware flow would add.
+package reorder
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitvec"
+	"repro/internal/tcube"
+)
+
+// column is the transposed view of one scan cell across all patterns.
+type column struct {
+	care *bitvec.Bits
+	val  *bitvec.Bits
+}
+
+// conflicts counts patterns where the two cells demand opposite
+// values; compatible cells can share a uniform block. Runs word-wise:
+// popcount(care_a & care_b & (val_a ^ val_b)).
+func (c column) conflicts(o column) int {
+	n := 0
+	for w := 0; w < c.care.WordCount(); w++ {
+		n += bits.OnesCount64(c.care.Word(w) & o.care.Word(w) & (c.val.Word(w) ^ o.val.Word(w)))
+	}
+	return n
+}
+
+// agreements counts patterns where both cells are specified and equal:
+// popcount(care_a & care_b &^ (val_a ^ val_b)).
+func (c column) agreements(o column) int {
+	n := 0
+	for w := 0; w < c.care.WordCount(); w++ {
+		n += bits.OnesCount64(c.care.Word(w) & o.care.Word(w) &^ (c.val.Word(w) ^ o.val.Word(w)))
+	}
+	return n
+}
+
+// transpose extracts the per-cell columns of a test set.
+func transpose(s *tcube.Set) []column {
+	cols := make([]column, s.Width())
+	for j := range cols {
+		cols[j] = column{care: bitvec.NewBits(s.Len()), val: bitvec.NewBits(s.Len())}
+	}
+	for i := 0; i < s.Len(); i++ {
+		c := s.Cube(i)
+		for j := 0; j < s.Width(); j++ {
+			switch c.Get(j) {
+			case bitvec.One:
+				cols[j].care.Set(i, true)
+				cols[j].val.Set(i, true)
+			case bitvec.Zero:
+				cols[j].care.Set(i, true)
+			}
+		}
+	}
+	return cols
+}
+
+// Greedy computes a scan-cell order by nearest-neighbour chaining:
+// start from the most-specified cell and repeatedly append the unused
+// cell with the fewest conflicts (ties broken by most agreements, then
+// lowest index for determinism). It returns the permutation
+// (perm[newPos] = oldPos) and the reordered set.
+func Greedy(s *tcube.Set) ([]int, *tcube.Set, error) {
+	w := s.Width()
+	if w == 0 {
+		return nil, s.Clone(), nil
+	}
+	cols := transpose(s)
+	used := make([]bool, w)
+
+	// Seed: the cell with the most specified bits.
+	seed := 0
+	for j := 1; j < w; j++ {
+		if cols[j].care.OnesCount() > cols[seed].care.OnesCount() {
+			seed = j
+		}
+	}
+	perm := make([]int, 0, w)
+	perm = append(perm, seed)
+	used[seed] = true
+	cur := seed
+	for len(perm) < w {
+		best, bestConf, bestAgree := -1, 0, 0
+		for j := 0; j < w; j++ {
+			if used[j] {
+				continue
+			}
+			conf := cols[cur].conflicts(cols[j])
+			agree := cols[cur].agreements(cols[j])
+			if best < 0 || conf < bestConf || (conf == bestConf && agree > bestAgree) {
+				best, bestConf, bestAgree = j, conf, agree
+			}
+		}
+		perm = append(perm, best)
+		used[best] = true
+		cur = best
+	}
+	out, err := Apply(s, perm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return perm, out, nil
+}
+
+// Apply permutes every cube of the set: output position p holds input
+// position perm[p].
+func Apply(s *tcube.Set, perm []int) (*tcube.Set, error) {
+	if len(perm) != s.Width() {
+		return nil, fmt.Errorf("reorder: permutation length %d != width %d", len(perm), s.Width())
+	}
+	seen := make([]bool, len(perm))
+	for _, p := range perm {
+		if p < 0 || p >= len(perm) || seen[p] {
+			return nil, fmt.Errorf("reorder: invalid permutation entry %d", p)
+		}
+		seen[p] = true
+	}
+	out := tcube.NewSet(s.Name+".reordered", s.Width())
+	for i := 0; i < s.Len(); i++ {
+		src := s.Cube(i)
+		dst := bitvec.NewCube(s.Width())
+		for p, old := range perm {
+			dst.Set(p, src.Get(old))
+		}
+		out.MustAppend(dst)
+	}
+	return out, nil
+}
+
+// Invert returns the inverse permutation, mapping reordered positions
+// back to the original chain order (what the physical stitching uses).
+func Invert(perm []int) []int {
+	inv := make([]int, len(perm))
+	for p, old := range perm {
+		inv[old] = p
+	}
+	return inv
+}

@@ -1,0 +1,137 @@
+// Package scan models test application itself: loading fully
+// specified scan vectors into the full-scan view, capturing responses,
+// and compacting them into a MISR signature — the BIST-side machinery
+// from the paper's §I background. It closes the loop for the
+// decompression flow: the bits the 9C decoder shifts into the chains
+// are applied here and their responses graded or compacted.
+package scan
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/lfsr"
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+	"repro/internal/tcube"
+)
+
+// Harness applies scan loads to one circuit.
+type Harness struct {
+	sv  *netlist.ScanView
+	sim *logicsim.Sim
+}
+
+// NewHarness returns a test-application harness for the scan view.
+func NewHarness(sv *netlist.ScanView) *Harness {
+	return &Harness{sv: sv, sim: logicsim.New(sv)}
+}
+
+// Width returns the scan-load width.
+func (h *Harness) Width() int { return h.sv.ScanWidth() }
+
+// ResponseWidth returns the captured-response width (POs + scan cells).
+func (h *Harness) ResponseWidth() int { return len(h.sv.PPOs) }
+
+// Apply loads one fully specified vector, pulses capture, and returns
+// the response (POs first, then the captured next-state of every scan
+// cell, i.e. what the chain would shift out).
+func (h *Harness) Apply(load *bitvec.Bits) (*bitvec.Bits, error) {
+	out, err := h.sim.Run2([]*bitvec.Bits{load})
+	if err != nil {
+		return nil, err
+	}
+	resp := bitvec.NewBits(len(out))
+	for i, w := range out {
+		resp.Set(i, w&1 == 1)
+	}
+	return resp, nil
+}
+
+// ApplySet applies a fully specified test set and returns every
+// response in order.
+func (h *Harness) ApplySet(set *tcube.Set) ([]*bitvec.Bits, error) {
+	if set.Width() != h.Width() {
+		return nil, fmt.Errorf("scan: set width %d != scan width %d", set.Width(), h.Width())
+	}
+	loads := make([]*bitvec.Bits, set.Len())
+	for i := 0; i < set.Len(); i++ {
+		b, err := packedLoad(set.Cube(i))
+		if err != nil {
+			return nil, fmt.Errorf("scan: pattern %d: %w", i, err)
+		}
+		loads[i] = b
+	}
+	out := make([]*bitvec.Bits, len(loads))
+	for i, l := range loads {
+		resp, err := h.Apply(l)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = resp
+	}
+	return out, nil
+}
+
+// Signature applies the set and compacts every response into a MISR of
+// the given degree (which must be at least the response width).
+func (h *Harness) Signature(set *tcube.Set, misrDegree int) (*bitvec.Bits, error) {
+	if misrDegree < h.ResponseWidth() {
+		return nil, fmt.Errorf("scan: MISR degree %d below response width %d", misrDegree, h.ResponseWidth())
+	}
+	m, err := lfsr.NewMISR(misrDegree, nil)
+	if err != nil {
+		return nil, err
+	}
+	resps, err := h.ApplySet(set)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range resps {
+		if err := m.Absorb(r); err != nil {
+			return nil, err
+		}
+	}
+	return m.Signature(), nil
+}
+
+// BISTRun drives the circuit with patterns pseudo-random patterns from
+// the PRPG and returns both the compacted signature and the applied
+// loads (for coverage grading). This is the §I baseline whose
+// random-pattern-resistant faults motivate deterministic test sets.
+func (h *Harness) BISTRun(prpg *lfsr.LFSR, patterns, misrDegree int) (*bitvec.Bits, []*bitvec.Bits, error) {
+	if misrDegree < h.ResponseWidth() {
+		return nil, nil, fmt.Errorf("scan: MISR degree %d below response width %d", misrDegree, h.ResponseWidth())
+	}
+	m, err := lfsr.NewMISR(misrDegree, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	loads := make([]*bitvec.Bits, patterns)
+	for i := 0; i < patterns; i++ {
+		loads[i] = prpg.Pattern(h.Width())
+		resp, err := h.Apply(loads[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := m.Absorb(resp); err != nil {
+			return nil, nil, err
+		}
+	}
+	return m.Signature(), loads, nil
+}
+
+// packedLoad converts a fully specified cube to a packed load.
+func packedLoad(c *bitvec.Cube) (*bitvec.Bits, error) {
+	b := bitvec.NewBits(c.Len())
+	for i := 0; i < c.Len(); i++ {
+		switch c.Get(i) {
+		case bitvec.One:
+			b.Set(i, true)
+		case bitvec.Zero:
+		default:
+			return nil, fmt.Errorf("unfilled X at bit %d", i)
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,97 @@
+// Package soc models system-on-chip test scheduling, the
+// test-resource-partitioning setting the paper's introduction places
+// 9C in: an SoC carries many embedded cores, each with its own
+// (compressed) test set, and a tester with a limited number of
+// channels applies them. Cores on different channels test
+// concurrently; the schedule's makespan is the SoC test time that
+// compression ultimately buys down.
+package soc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Core is one embedded core's test job.
+type Core struct {
+	Name string
+	// TestTime is the core's test application time in ATE cycles
+	// (compressed or not — the scheduler doesn't care).
+	TestTime float64
+}
+
+// Plan is a channel assignment.
+type Plan struct {
+	// Assignments[c] lists core indices run (sequentially) on channel c.
+	Assignments [][]int
+	// ChannelLoads[c] is channel c's total busy time.
+	ChannelLoads []float64
+	// Makespan is the SoC test time: the busiest channel.
+	Makespan float64
+}
+
+// LPT schedules cores onto the given number of single-pin ATE channels
+// with the longest-processing-time-first greedy rule (the classic
+// 4/3-approximation for multiprocessor makespan). Ties break by core
+// index for determinism.
+func LPT(cores []Core, channels int) (*Plan, error) {
+	if channels < 1 {
+		return nil, fmt.Errorf("soc: %d channels", channels)
+	}
+	for i, c := range cores {
+		if c.TestTime < 0 {
+			return nil, fmt.Errorf("soc: core %d (%s) has negative test time", i, c.Name)
+		}
+	}
+	order := make([]int, len(cores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb := cores[order[a]].TestTime, cores[order[b]].TestTime
+		if ta != tb {
+			return ta > tb
+		}
+		return order[a] < order[b]
+	})
+	p := &Plan{
+		Assignments:  make([][]int, channels),
+		ChannelLoads: make([]float64, channels),
+	}
+	for _, idx := range order {
+		best := 0
+		for c := 1; c < channels; c++ {
+			if p.ChannelLoads[c] < p.ChannelLoads[best] {
+				best = c
+			}
+		}
+		p.Assignments[best] = append(p.Assignments[best], idx)
+		p.ChannelLoads[best] += cores[idx].TestTime
+	}
+	for _, l := range p.ChannelLoads {
+		if l > p.Makespan {
+			p.Makespan = l
+		}
+	}
+	return p, nil
+}
+
+// LowerBound returns the trivial makespan lower bound:
+// max(total/channels, longest core).
+func LowerBound(cores []Core, channels int) float64 {
+	if channels < 1 {
+		return 0
+	}
+	total, longest := 0.0, 0.0
+	for _, c := range cores {
+		total += c.TestTime
+		if c.TestTime > longest {
+			longest = c.TestTime
+		}
+	}
+	lb := total / float64(channels)
+	if longest > lb {
+		lb = longest
+	}
+	return lb
+}

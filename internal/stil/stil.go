@@ -1,0 +1,317 @@
+// Package stil reads and writes scan test cubes in a conservative
+// subset of IEEE 1450 STIL, the interchange format ATE flows expect.
+// The subset covers exactly what a single-scan-chain pattern set
+// needs — and nothing more:
+//
+//	STIL 1.0;
+//	Signals { "si" In; "so" Out; }
+//	ScanStructures { ScanChain "chain0" { ScanLength <w>; ScanIn "si"; ScanOut "so"; } }
+//	Pattern "compressed_by_9c" {
+//	    Call "load_unload" { "si" = 01X0...; }   // one per test cube
+//	}
+//
+// The parser accepts the writer's output plus free whitespace, //
+// line comments and Ann {* ... *} annotation blocks, and rejects
+// anything outside the subset loudly rather than guessing. Scan data
+// uses STIL's 0/1/X characters; N (no-op) is read as X.
+package stil
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/bitvec"
+	"repro/internal/tcube"
+)
+
+// Write serializes the set as a single-chain STIL pattern block.
+func Write(w io.Writer, s *tcube.Set) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "STIL 1.0;\n")
+	fmt.Fprintf(bw, "// %d patterns x %d scan cells\n", s.Len(), s.Width())
+	fmt.Fprintf(bw, "Signals { \"si\" In; \"so\" Out; }\n")
+	fmt.Fprintf(bw, "ScanStructures { ScanChain \"chain0\" { ScanLength %d; ScanIn \"si\"; ScanOut \"so\"; } }\n", s.Width())
+	fmt.Fprintf(bw, "Pattern %q {\n", patName(s.Name))
+	for i := 0; i < s.Len(); i++ {
+		fmt.Fprintf(bw, "    Call \"load_unload\" { \"si\" = %s; }\n", s.Cube(i).String())
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+func patName(name string) string {
+	if name == "" {
+		return "patterns"
+	}
+	return name
+}
+
+// Read parses the subset back into a test set. The declared ScanLength
+// must match every vector.
+func Read(r io.Reader) (*tcube.Set, error) {
+	toks, err := tokenize(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if err := p.expect("STIL"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("1.0"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+
+	scanLength := -1
+	var set *tcube.Set
+	name := "stil"
+	for !p.done() {
+		switch tok := p.next(); tok {
+		case "Signals", "SignalGroups", "Timing", "PatternBurst", "PatternExec":
+			if err := p.skipBlockOrStatement(); err != nil {
+				return nil, err
+			}
+		case "ScanStructures":
+			l, err := p.parseScanStructures()
+			if err != nil {
+				return nil, err
+			}
+			scanLength = l
+		case "Pattern":
+			name = strings.Trim(p.next(), "\"")
+			if scanLength < 0 {
+				return nil, fmt.Errorf("stil: Pattern before ScanStructures")
+			}
+			set = tcube.NewSet(name, scanLength)
+			if err := p.parsePattern(set); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("stil: unexpected token %q", tok)
+		}
+	}
+	if set == nil {
+		return nil, fmt.Errorf("stil: no Pattern block")
+	}
+	return set, nil
+}
+
+// parser walks the token stream.
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) next() string {
+	if p.done() {
+		return ""
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+
+func (p *parser) peek() string {
+	if p.done() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) expect(want string) error {
+	if got := p.next(); got != want {
+		return fmt.Errorf("stil: expected %q, got %q", want, got)
+	}
+	return nil
+}
+
+// skipBlockOrStatement consumes either a balanced { ... } block or a
+// simple statement up to ';'.
+func (p *parser) skipBlockOrStatement() error {
+	depth := 0
+	for !p.done() {
+		switch t := p.next(); t {
+		case "{":
+			depth++
+		case "}":
+			depth--
+			if depth == 0 {
+				return nil
+			}
+			if depth < 0 {
+				return fmt.Errorf("stil: unbalanced }")
+			}
+		case ";":
+			if depth == 0 {
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("stil: unterminated block")
+}
+
+// parseScanStructures extracts the single chain's ScanLength.
+func (p *parser) parseScanStructures() (int, error) {
+	if err := p.expect("{"); err != nil {
+		return 0, err
+	}
+	length := -1
+	for {
+		switch t := p.next(); t {
+		case "}":
+			if length < 0 {
+				return 0, fmt.Errorf("stil: ScanStructures without ScanLength")
+			}
+			return length, nil
+		case "ScanChain":
+			p.next() // chain name
+			if err := p.expect("{"); err != nil {
+				return 0, err
+			}
+			for {
+				tok := p.next()
+				if tok == "}" {
+					break
+				}
+				switch tok {
+				case "ScanLength":
+					if _, err := fmt.Sscanf(p.next(), "%d", &length); err != nil {
+						return 0, fmt.Errorf("stil: bad ScanLength: %w", err)
+					}
+					if err := p.expect(";"); err != nil {
+						return 0, err
+					}
+				case "ScanIn", "ScanOut":
+					p.next() // signal name
+					if err := p.expect(";"); err != nil {
+						return 0, err
+					}
+				case "":
+					return 0, fmt.Errorf("stil: unterminated ScanChain")
+				default:
+					return 0, fmt.Errorf("stil: unexpected %q in ScanChain", tok)
+				}
+			}
+		case "":
+			return 0, fmt.Errorf("stil: unterminated ScanStructures")
+		default:
+			return 0, fmt.Errorf("stil: unexpected %q in ScanStructures", t)
+		}
+	}
+}
+
+// parsePattern reads Call statements into the set.
+func (p *parser) parsePattern(set *tcube.Set) error {
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for {
+		switch t := p.next(); t {
+		case "}":
+			return nil
+		case "Call":
+			p.next() // procedure name
+			if err := p.expect("{"); err != nil {
+				return err
+			}
+			p.next() // signal name
+			if err := p.expect("="); err != nil {
+				return err
+			}
+			data := p.next()
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+			if err := p.expect("}"); err != nil {
+				return err
+			}
+			cube, err := parseScanData(data, set.Width())
+			if err != nil {
+				return err
+			}
+			if err := set.Append(cube); err != nil {
+				return fmt.Errorf("stil: %w", err)
+			}
+		case "":
+			return fmt.Errorf("stil: unterminated Pattern")
+		default:
+			return fmt.Errorf("stil: unexpected %q in Pattern", t)
+		}
+	}
+}
+
+// parseScanData converts a STIL scan vector (0/1/X/N) to a cube.
+func parseScanData(s string, width int) (*bitvec.Cube, error) {
+	if len(s) != width {
+		return nil, fmt.Errorf("stil: vector length %d != ScanLength %d", len(s), width)
+	}
+	c := bitvec.NewCube(width)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+			c.Set(i, bitvec.Zero)
+		case '1':
+			c.Set(i, bitvec.One)
+		case 'X', 'x', 'N', 'n':
+			// unspecified
+		default:
+			return nil, fmt.Errorf("stil: scan character %q", s[i])
+		}
+	}
+	return c, nil
+}
+
+// tokenize splits the input into STIL tokens: quoted strings stay one
+// token, braces/semicolons/equals are their own tokens, // comments
+// and Ann {* ... *} blocks vanish.
+func tokenize(r io.Reader) ([]string, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	src := string(data)
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case strings.HasPrefix(src[i:], "Ann"):
+			// Ann {* ... *} annotation: skip through the closing *}.
+			end := strings.Index(src[i:], "*}")
+			if end < 0 {
+				return nil, fmt.Errorf("stil: unterminated Ann block")
+			}
+			i += end + 2
+		case c == '"':
+			j := strings.IndexByte(src[i+1:], '"')
+			if j < 0 {
+				return nil, fmt.Errorf("stil: unterminated string")
+			}
+			toks = append(toks, src[i:i+j+2])
+			i += j + 2
+		case c == '{' || c == '}' || c == ';' || c == '=':
+			toks = append(toks, string(c))
+			i++
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune(" \t\n\r{};=\"", rune(src[j])) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}

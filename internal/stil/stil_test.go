@@ -1,0 +1,165 @@
+package stil
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/tcube"
+)
+
+func mustSet(t *testing.T, rows ...string) *tcube.Set {
+	t.Helper()
+	s, err := tcube.Read("demo", strings.NewReader(strings.Join(rows, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := mustSet(t, "01X01X", "111000", "XXXXXX")
+	var sb strings.Builder
+	if err := Write(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"STIL 1.0;", "ScanLength 6;", `Call "load_unload"`, "01X01X"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("missing %q in:\n%s", frag, out)
+		}
+	}
+	back, err := Read(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() || back.Width() != s.Width() {
+		t.Fatalf("shape %dx%d", back.Len(), back.Width())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if !back.Cube(i).Equal(s.Cube(i)) {
+			t.Fatalf("pattern %d: %s != %s", i, back.Cube(i), s.Cube(i))
+		}
+	}
+	if back.Name != "demo" {
+		t.Fatalf("name %q", back.Name)
+	}
+}
+
+func TestReadTolerantInput(t *testing.T) {
+	src := `
+STIL 1.0;
+// a comment line
+Ann {* tool: ninec *}
+Signals { "si" In; "so" Out; }
+SignalGroups { "grp" = ; }
+ScanStructures {
+    ScanChain "c0" {
+        ScanLength 4;
+        ScanIn "si";
+        ScanOut "so";
+    }
+}
+Pattern "p" {
+    Call "load_unload" { "si" = 01XN; }
+}
+`
+	s, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 || s.Cube(0).String() != "01XX" {
+		t.Fatalf("parsed: %v", s.Cube(0))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"STIL 2.0;",
+		"STIL 1.0; Pattern \"p\" { }",  // pattern before scan structures
+		"STIL 1.0; ScanStructures { }", // no ScanLength
+		"STIL 1.0; ScanStructures { ScanChain \"c\" { ScanLength 4; } }", // no Pattern
+		"STIL 1.0; Frobnicate;",
+		"STIL 1.0; ScanStructures { ScanChain \"c\" { ScanLength 4; } } Pattern \"p\" { Call \"l\" { \"si\" = 01; } }",   // wrong width
+		"STIL 1.0; ScanStructures { ScanChain \"c\" { ScanLength 4; } } Pattern \"p\" { Call \"l\" { \"si\" = 01Q0; } }", // bad char
+		"STIL 1.0; Ann {* unterminated",
+		"STIL 1.0; \"unterminated",
+		"STIL 1.0; Signals {",
+	}
+	for _, src := range bad {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64, wRaw, nRaw uint8) bool {
+		w := int(wRaw%40) + 1
+		n := int(nRaw % 20)
+		rng := rand.New(rand.NewSource(seed))
+		s := tcube.NewSet("prop", w)
+		for i := 0; i < n; i++ {
+			c := bitvec.NewCube(w)
+			for j := 0; j < w; j++ {
+				c.Set(j, bitvec.Trit(rng.Intn(3)))
+			}
+			s.MustAppend(c)
+		}
+		var sb strings.Builder
+		if err := Write(&sb, s); err != nil {
+			return false
+		}
+		back, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		if back.Len() != n || back.Width() != w {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if !back.Cube(i).Equal(s.Cube(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func FuzzRead(f *testing.F) {
+	s := mustSetForFuzz()
+	var sb strings.Builder
+	_ = Write(&sb, s)
+	f.Add(sb.String())
+	f.Add("STIL 1.0;")
+	f.Add("STIL 1.0; Pattern \"p\" {}")
+	f.Fuzz(func(t *testing.T, src string) {
+		set, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Accepted input must survive a write/read cycle.
+		var out strings.Builder
+		if err := Write(&out, set); err != nil {
+			t.Fatalf("write of accepted set failed: %v", err)
+		}
+		if _, err := Read(strings.NewReader(out.String())); err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+	})
+}
+
+func mustSetForFuzz() *tcube.Set {
+	s := tcube.NewSet("fz", 5)
+	c := bitvec.NewCube(5)
+	c.Set(0, bitvec.One)
+	c.Set(3, bitvec.Zero)
+	s.MustAppend(c)
+	return s
+}

@@ -1,0 +1,177 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// CircuitProfile describes a synthetic full-scan circuit, the stand-in
+// for an ISCAS'89 netlist when running the end-to-end ATPG → compress
+// → decompress → fault-grade pipeline (DESIGN.md §4, substitution 2).
+type CircuitProfile struct {
+	Name  string
+	PIs   int // primary inputs
+	POs   int // primary outputs
+	FFs   int // scan flip-flops
+	Gates int // combinational gates
+	Seed  int64
+}
+
+// CircuitProfileFor scales a published benchmark's structure down by
+// factor (≥1) so end-to-end tests stay fast while keeping proportions.
+func CircuitProfileFor(cs CircuitStats, factor int, seed int64) CircuitProfile {
+	if factor < 1 {
+		factor = 1
+	}
+	atLeast := func(v, min int) int {
+		if v < min {
+			return min
+		}
+		return v
+	}
+	// Inputs get generous floors: random reconvergent logic turns
+	// redundancy-heavy (mostly untestable) when too many gates share
+	// too few independent inputs, unlike the structured ISCAS
+	// originals. Scan cells are also topped up so the scaled circuit
+	// keeps at most ~5 gates per independent input.
+	p := CircuitProfile{
+		Name:  cs.Name,
+		PIs:   atLeast(cs.PIs/factor, 8),
+		POs:   atLeast(cs.POs/factor, 4),
+		FFs:   atLeast(cs.FFs/factor, 8),
+		Gates: atLeast(cs.Gates/factor, 16),
+		Seed:  seed,
+	}
+	if minInputs := p.Gates / 5; p.PIs+p.FFs < minInputs {
+		p.FFs = minInputs - p.PIs
+	}
+	return p
+}
+
+// Generate builds a random levelizable netlist with the requested
+// structure. Every generated circuit is valid, full-scannable, and has
+// a bias toward 2-input NAND/NOR logic with occasional wide gates and
+// rare XORs, echoing the ISCAS'89 mix.
+func (p CircuitProfile) Generate() (*netlist.Circuit, error) {
+	if p.PIs < 1 || p.Gates < 1 || p.POs < 1 || p.FFs < 0 {
+		return nil, fmt.Errorf("synth: degenerate circuit profile %+v", p)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	b := netlist.NewBuilder(p.Name)
+
+	var sources []string // nets usable as fanins: PIs, DFF outputs, gates
+	unused := map[string]bool{}
+	var unusedList []string
+	addSource := func(name string) {
+		sources = append(sources, name)
+		unused[name] = true
+		unusedList = append(unusedList, name)
+	}
+	consume := func(name string) {
+		delete(unused, name)
+	}
+	for i := 0; i < p.PIs; i++ {
+		name := fmt.Sprintf("I%d", i)
+		b.AddInput(name)
+		addSource(name)
+	}
+	for i := 0; i < p.FFs; i++ {
+		addSource(fmt.Sprintf("D%d", i)) // defined below
+	}
+
+	pickUnused := func() (string, bool) {
+		// Draw until an actually-unused net surfaces; compact lazily.
+		for len(unusedList) > 0 {
+			i := rng.Intn(len(unusedList))
+			name := unusedList[i]
+			if unused[name] {
+				return name, true
+			}
+			unusedList[i] = unusedList[len(unusedList)-1]
+			unusedList = unusedList[:len(unusedList)-1]
+		}
+		return "", false
+	}
+	pick := func() string {
+		// Prefer nets nothing consumes yet (keeps the whole circuit
+		// observable), otherwise bias toward recent nets for depth.
+		if rng.Intn(3) != 0 {
+			if name, ok := pickUnused(); ok {
+				return name
+			}
+		}
+		n := len(sources)
+		if n > 3 && rng.Intn(3) != 0 {
+			return sources[n-1-rng.Intn(n/3+1)]
+		}
+		return sources[rng.Intn(n)]
+	}
+
+	gateNames := make([]string, 0, p.Gates)
+	for i := 0; i < p.Gates; i++ {
+		name := fmt.Sprintf("N%d", i)
+		t, arity := randomGate(rng)
+		fanin := make([]string, 0, arity)
+		seen := map[string]bool{}
+		for len(fanin) < arity {
+			f := pick()
+			if seen[f] {
+				// Permit duplicates only if the pool is tiny.
+				if len(sources) > arity {
+					continue
+				}
+			}
+			seen[f] = true
+			consume(f)
+			fanin = append(fanin, f)
+		}
+		b.AddGate(name, t, fanin...)
+		addSource(name)
+		gateNames = append(gateNames, name)
+	}
+
+	// Observe the remaining sinks first: DFF inputs and POs tap nets
+	// nothing consumes, so no logic cone is left unobservable.
+	pickSink := func() string {
+		if name, ok := pickUnused(); ok {
+			consume(name)
+			return name
+		}
+		return gateNames[rng.Intn(len(gateNames))]
+	}
+	for i := 0; i < p.FFs; i++ {
+		b.AddGate(fmt.Sprintf("D%d", i), netlist.DFF, pickSink())
+	}
+	for i := 0; i < p.POs; i++ {
+		b.AddOutput(pickSink())
+	}
+	return b.Build()
+}
+
+// randomGate draws a gate type and arity. The mix leans on 2-input
+// gates and a healthy XOR share: deep random AND/OR logic drifts
+// toward constant signal probabilities (making most faults genuinely
+// untestable), while XORs keep signal entropy alive the way structured
+// datapath logic does.
+func randomGate(rng *rand.Rand) (netlist.GateType, int) {
+	switch r := rng.Intn(100); {
+	case r < 20:
+		return netlist.Nand, 2
+	case r < 40:
+		return netlist.Nor, 2
+	case r < 48:
+		return netlist.And, 2 + rng.Intn(2)
+	case r < 56:
+		return netlist.Or, 2 + rng.Intn(2)
+	case r < 68:
+		return netlist.Not, 1
+	case r < 72:
+		return netlist.Buf, 1
+	case r < 88:
+		return netlist.Xor, 2
+	default:
+		return netlist.Xnor, 2
+	}
+}

@@ -1,0 +1,124 @@
+// Package synth provides the synthetic workload substrate that stands
+// in for the proprietary data the paper evaluates on: Mintest-style
+// ISCAS'89 test-cube sets and the two large IBM test sets (DESIGN.md
+// §4). Generation is fully deterministic from a seed.
+//
+// The generator models what matters to fixed-block compression codes:
+// the fraction of don't-cares, the burstiness of specified bits (test
+// cubes specify small clustered groups of scan cells and leave long X
+// gaps), and the 0-bias of specified values. Given matched statistics,
+// the 9C case distribution — and therefore CR, LX and TAT — tracks the
+// published shape.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitvec"
+	"repro/internal/tcube"
+)
+
+// CubeProfile describes a synthetic test set.
+type CubeProfile struct {
+	Name     string
+	Patterns int     // number of test cubes
+	Width    int     // scan-load bits per cube
+	XDensity float64 // target fraction of don't-care bits, in [0,1)
+	// MeanSpecRun is the mean length of a burst of specified bits.
+	// The mean X-gap length is derived so the overall X density meets
+	// XDensity. Longer runs make large K profitable.
+	MeanSpecRun float64
+	// ZeroBias is the probability that a specified burst starts at 0.
+	ZeroBias float64
+	// Corr is the probability that each subsequent bit of a specified
+	// burst repeats the previous value; 1.0 gives uniform bursts.
+	Corr float64
+	Seed int64
+}
+
+// Validate checks profile parameters.
+func (p CubeProfile) Validate() error {
+	switch {
+	case p.Patterns < 0 || p.Width < 0:
+		return fmt.Errorf("synth: negative geometry %dx%d", p.Patterns, p.Width)
+	case p.XDensity < 0 || p.XDensity >= 1:
+		return fmt.Errorf("synth: XDensity %v outside [0,1)", p.XDensity)
+	case p.MeanSpecRun < 1:
+		return fmt.Errorf("synth: MeanSpecRun %v < 1", p.MeanSpecRun)
+	case p.ZeroBias < 0 || p.ZeroBias > 1:
+		return fmt.Errorf("synth: ZeroBias %v outside [0,1]", p.ZeroBias)
+	case p.Corr < 0 || p.Corr > 1:
+		return fmt.Errorf("synth: Corr %v outside [0,1]", p.Corr)
+	}
+	return nil
+}
+
+// Generate builds the synthetic test set.
+func (p CubeProfile) Generate() (*tcube.Set, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	// Mean X gap so that xGap/(xGap+specRun) == XDensity.
+	meanXGap := 0.0
+	if p.XDensity > 0 {
+		meanXGap = p.MeanSpecRun * p.XDensity / (1 - p.XDensity)
+	}
+	set := tcube.NewSet(p.Name, p.Width)
+	for i := 0; i < p.Patterns; i++ {
+		set.MustAppend(p.cube(rng, meanXGap))
+	}
+	return set, nil
+}
+
+// geomLen draws a geometric run length with the given mean (≥ 0).
+// A mean of 0 always returns 0.
+func geomLen(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	// Geometric on {1,2,...} with mean m has success prob 1/m.
+	n := 1
+	for rng.Float64() > 1/mean {
+		n++
+		if n > 1<<20 {
+			break // statistically unreachable; guards degenerate params
+		}
+	}
+	return n
+}
+
+func (p CubeProfile) cube(rng *rand.Rand, meanXGap float64) *bitvec.Cube {
+	c := bitvec.NewCube(p.Width)
+	pos := 0
+	// Random phase: start inside an X gap half the time so cube edges
+	// are not biased toward specified bursts.
+	if meanXGap > 0 && rng.Intn(2) == 0 {
+		pos += geomLen(rng, meanXGap/2)
+	}
+	for pos < p.Width {
+		// Specified burst.
+		v := bitvec.One
+		if rng.Float64() < p.ZeroBias {
+			v = bitvec.Zero
+		}
+		for n := geomLen(rng, p.MeanSpecRun); n > 0 && pos < p.Width; n-- {
+			c.Set(pos, v)
+			pos++
+			if rng.Float64() > p.Corr {
+				if v == bitvec.Zero {
+					v = bitvec.One
+				} else {
+					v = bitvec.Zero
+				}
+			}
+		}
+		// X gap.
+		if meanXGap <= 0 {
+			continue
+		}
+		pos += geomLen(rng, meanXGap)
+	}
+	return c
+}

@@ -1,0 +1,160 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tcube"
+)
+
+func TestProfileValidate(t *testing.T) {
+	good := CubeProfile{Name: "ok", Patterns: 3, Width: 10, XDensity: 0.5, MeanSpecRun: 4, ZeroBias: 0.5, Corr: 0.9}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []CubeProfile{
+		{Patterns: -1, MeanSpecRun: 2},
+		{Width: -1, MeanSpecRun: 2},
+		{XDensity: 1.0, MeanSpecRun: 2},
+		{XDensity: -0.1, MeanSpecRun: 2},
+		{MeanSpecRun: 0.5},
+		{MeanSpecRun: 2, ZeroBias: 1.5},
+		{MeanSpecRun: 2, Corr: -0.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+		if _, err := p.Generate(); err == nil {
+			t.Errorf("bad profile %d generated", i)
+		}
+	}
+}
+
+func TestGenerateGeometry(t *testing.T) {
+	p := CubeProfile{Name: "g", Patterns: 20, Width: 300, XDensity: 0.8, MeanSpecRun: 5, ZeroBias: 0.7, Corr: 0.9, Seed: 42}
+	s, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 20 || s.Width() != 300 || s.Name != "g" {
+		t.Fatalf("geometry %dx%d name=%q", s.Len(), s.Width(), s.Name)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := CubeProfile{Name: "d", Patterns: 5, Width: 100, XDensity: 0.6, MeanSpecRun: 4, ZeroBias: 0.6, Corr: 0.8, Seed: 7}
+	a, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := p.Generate()
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different sets")
+	}
+	p.Seed = 8
+	c, _ := p.Generate()
+	if a.Equal(c) {
+		t.Fatal("different seed produced identical sets")
+	}
+}
+
+func TestGenerateHitsXDensity(t *testing.T) {
+	for _, d := range []float64{0, 0.3, 0.7, 0.93, 0.97} {
+		p := CubeProfile{Name: "x", Patterns: 50, Width: 1000, XDensity: d, MeanSpecRun: 6, ZeroBias: 0.7, Corr: 0.9, Seed: 11}
+		s, err := p.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s.XPercent() / 100
+		if math.Abs(got-d) > 0.06 {
+			t.Errorf("XDensity target %v, got %.3f", d, got)
+		}
+	}
+}
+
+func TestBenchmarkProfiles(t *testing.T) {
+	if len(Benchmarks) != 6 || len(IBMCircuits) != 2 {
+		t.Fatalf("profile counts: %d/%d", len(Benchmarks), len(IBMCircuits))
+	}
+	for _, name := range BenchmarkNames() {
+		cs, err := BenchmarkByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.Name != name {
+			t.Fatalf("lookup %q returned %q", name, cs.Name)
+		}
+	}
+	if _, err := BenchmarkByName("s99999"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestMintestLikeMatchesPublishedStats(t *testing.T) {
+	for _, cs := range Benchmarks {
+		s, err := MintestLike(cs.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() != cs.Patterns || s.Width() != cs.ScanWidth {
+			t.Errorf("%s: geometry %dx%d, want %dx%d", cs.Name, s.Len(), s.Width(), cs.Patterns, cs.ScanWidth)
+		}
+		if math.Abs(s.XPercent()-cs.XPercent) > 6 {
+			t.Errorf("%s: X%%=%.1f, want ~%.1f", cs.Name, s.XPercent(), cs.XPercent)
+		}
+		// Regenerating must give identical data (fixed per-name seed).
+		again, _ := MintestLike(cs.Name)
+		if !s.Equal(again) {
+			t.Errorf("%s: MintestLike not deterministic", cs.Name)
+		}
+	}
+}
+
+func TestMintestLikeUnknown(t *testing.T) {
+	if _, err := MintestLike("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestPropertyGenerateRespectsBounds(t *testing.T) {
+	f := func(seed int64, dRaw, wRaw uint8) bool {
+		d := float64(dRaw%95) / 100
+		w := int(wRaw%200) + 1
+		p := CubeProfile{Name: "q", Patterns: 3, Width: w, XDensity: d,
+			MeanSpecRun: 5, ZeroBias: 0.7, Corr: 0.9, Seed: seed}
+		s, err := p.Generate()
+		if err != nil {
+			return false
+		}
+		return s.Len() == 3 && s.Width() == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorStatsMatchProfile(t *testing.T) {
+	// The structural statistics the generator promises (DESIGN.md §4)
+	// must be measurable in its output: X density near target and mean
+	// specified-run length near MeanSpecRun.
+	p := CubeProfile{Name: "st", Patterns: 60, Width: 800, XDensity: 0.8,
+		MeanSpecRun: 6, ZeroBias: 0.7, Corr: 0.9, Seed: 21}
+	s, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tcube.Measure(s)
+	if math.Abs(st.XPercent/100-p.XDensity) > 0.05 {
+		t.Fatalf("X density %.3f, target %.2f", st.XPercent/100, p.XDensity)
+	}
+	// Truncation at cube edges biases runs slightly short; allow 25%.
+	if st.SpecRuns.Mean < p.MeanSpecRun*0.75 || st.SpecRuns.Mean > p.MeanSpecRun*1.25 {
+		t.Fatalf("mean specified run %.2f, target %.1f", st.SpecRuns.Mean, p.MeanSpecRun)
+	}
+	// Specified 0-bias tracks ZeroBias loosely (Corr flips drift it).
+	if st.ZeroBias < 0.55 || st.ZeroBias > 0.85 {
+		t.Fatalf("zero bias %.2f, target %.2f", st.ZeroBias, p.ZeroBias)
+	}
+}

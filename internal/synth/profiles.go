@@ -1,0 +1,128 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tcube"
+)
+
+// CircuitStats are the published structural parameters of an ISCAS'89
+// benchmark (used by the circuit generator) together with the geometry
+// and don't-care density of its Mintest test set (used by the cube
+// generator). Sources: the ISCAS'89 benchmark documentation and the
+// test-set statistics reported across the FDR/VIHC/dictionary
+// compression literature the paper compares against.
+type CircuitStats struct {
+	Name     string
+	PIs      int // primary inputs
+	POs      int // primary outputs
+	FFs      int // flip-flops (scan cells)
+	Gates    int // combinational gates
+	Patterns int // Mintest pattern count
+	// ScanWidth is the per-pattern scan load: FFs + PIs for the
+	// full-scan single-chain configuration used by the paper.
+	ScanWidth int
+	XPercent  float64 // Mintest don't-care density
+}
+
+// Benchmarks lists the six ISCAS'89 circuits of Tables II–VII in the
+// paper's order.
+var Benchmarks = []CircuitStats{
+	{Name: "s5378", PIs: 35, POs: 49, FFs: 179, Gates: 2779, Patterns: 111, ScanWidth: 214, XPercent: 72.6},
+	{Name: "s9234", PIs: 36, POs: 39, FFs: 211, Gates: 5597, Patterns: 159, ScanWidth: 247, XPercent: 73.9},
+	{Name: "s13207", PIs: 62, POs: 152, FFs: 638, Gates: 7951, Patterns: 236, ScanWidth: 700, XPercent: 93.2},
+	{Name: "s15850", PIs: 77, POs: 150, FFs: 534, Gates: 9772, Patterns: 126, ScanWidth: 611, XPercent: 83.6},
+	{Name: "s38417", PIs: 28, POs: 106, FFs: 1636, Gates: 22179, Patterns: 99, ScanWidth: 1664, XPercent: 68.1},
+	{Name: "s38584", PIs: 38, POs: 304, FFs: 1426, Gates: 19253, Patterns: 136, ScanWidth: 1464, XPercent: 82.2},
+}
+
+// IBMCircuits lists the two large industrial circuits of Table VIII.
+// The paper reports only gate/flop counts and total volume; the test
+// data itself is proprietary, so the profile targets the published
+// volume with a very high X density and long uniform bursts (the regime
+// in which the paper's K=32..48 optimum appears).
+var IBMCircuits = []CircuitStats{
+	{Name: "CKT1", Gates: 3_600_000, FFs: 726_000, Patterns: 375, ScanWidth: 16_000, XPercent: 97.0},
+	{Name: "CKT2", Gates: 1_200_000, FFs: 320_000, Patterns: 400, ScanWidth: 10_000, XPercent: 96.0},
+}
+
+// BenchmarkByName returns the profile for an ISCAS'89 or IBM circuit.
+func BenchmarkByName(name string) (CircuitStats, error) {
+	for _, b := range Benchmarks {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	for _, b := range IBMCircuits {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return CircuitStats{}, fmt.Errorf("synth: unknown benchmark %q", name)
+}
+
+// BenchmarkNames returns all profile names, ISCAS'89 first, sorted
+// within each group as published.
+func BenchmarkNames() []string {
+	names := make([]string, 0, len(Benchmarks)+len(IBMCircuits))
+	for _, b := range Benchmarks {
+		names = append(names, b.Name)
+	}
+	ibm := make([]string, 0, len(IBMCircuits))
+	for _, b := range IBMCircuits {
+		ibm = append(ibm, b.Name)
+	}
+	sort.Strings(ibm)
+	return append(names, ibm...)
+}
+
+// CubeProfileFor derives the synthetic cube profile for a circuit. The
+// burst statistics are chosen per X-density band: sparse Mintest sets
+// (s13207-like) have long X gaps and short specified bursts, dense sets
+// (s38417-like) have longer specified stretches; industrial sets have
+// very long uniform bursts dominated by 0 fill.
+func CubeProfileFor(cs CircuitStats, seed int64) CubeProfile {
+	d := cs.XPercent / 100
+	p := CubeProfile{
+		Name:     cs.Name,
+		Patterns: cs.Patterns,
+		Width:    cs.ScanWidth,
+		XDensity: d,
+		Seed:     seed,
+	}
+	switch {
+	case d >= 0.95: // industrial
+		p.MeanSpecRun = 24
+		p.ZeroBias = 0.85
+		p.Corr = 0.97
+	case d >= 0.90: // very sparse (s13207)
+		p.MeanSpecRun = 4
+		p.ZeroBias = 0.8
+		p.Corr = 0.9
+	case d >= 0.80: // sparse (s15850, s38584)
+		p.MeanSpecRun = 5
+		p.ZeroBias = 0.75
+		p.Corr = 0.9
+	default: // dense (s5378, s9234, s38417)
+		p.MeanSpecRun = 6
+		p.ZeroBias = 0.7
+		p.Corr = 0.9
+	}
+	return p
+}
+
+// MintestLike generates the synthetic stand-in test set for a named
+// benchmark with a fixed per-name seed, so every table in the harness
+// sees the same data.
+func MintestLike(name string) (*tcube.Set, error) {
+	cs, err := BenchmarkByName(name)
+	if err != nil {
+		return nil, err
+	}
+	var seed int64 = 9 // shared base seed
+	for _, r := range name {
+		seed = seed*131 + int64(r)
+	}
+	return CubeProfileFor(cs, seed).Generate()
+}

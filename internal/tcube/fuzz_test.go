@@ -1,0 +1,30 @@
+package tcube
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the 01X parser never panics and accepted sets
+// round-trip through Write.
+func FuzzRead(f *testing.F) {
+	f.Add("01X\nX10\n")
+	f.Add("# comment\n\n0X1")
+	f.Add("")
+	f.Add("0\n01")
+	f.Add(strings.Repeat("X", 1000))
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Read("fuzz", strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := s.Write(&sb); err != nil {
+			t.Fatalf("write of accepted set failed: %v", err)
+		}
+		again, err := Read("fuzz2", strings.NewReader(sb.String()))
+		if err != nil || !again.Equal(s) {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

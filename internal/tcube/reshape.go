@@ -1,0 +1,86 @@
+package tcube
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// VerticalReshape reorders a scan-load cube for a design whose single
+// l-bit scan chain has been rearranged into m chains of length l/m
+// (paper §III.B, Fig. 4b). Chain c holds the original cells
+// [c·l/m, (c+1)·l/m); at shift step t the decompressor must deliver the
+// m-bit slice {chain 0 cell t, ..., chain m-1 cell t}. The returned cube
+// is that slice sequence — the "vertical, with respect to chain" order
+// in which the 9C encoder sees the data.
+func VerticalReshape(c *bitvec.Cube, m int) (*bitvec.Cube, error) {
+	l := c.Len()
+	if m <= 0 || l%m != 0 {
+		return nil, fmt.Errorf("tcube: cannot split %d bits into %d chains", l, m)
+	}
+	per := l / m
+	out := bitvec.NewCube(l)
+	for t := 0; t < per; t++ {
+		for chain := 0; chain < m; chain++ {
+			out.Set(t*m+chain, c.Get(chain*per+t))
+		}
+	}
+	return out, nil
+}
+
+// VerticalRestore inverts VerticalReshape.
+func VerticalRestore(c *bitvec.Cube, m int) (*bitvec.Cube, error) {
+	l := c.Len()
+	if m <= 0 || l%m != 0 {
+		return nil, fmt.Errorf("tcube: cannot restore %d bits from %d chains", l, m)
+	}
+	per := l / m
+	out := bitvec.NewCube(l)
+	for t := 0; t < per; t++ {
+		for chain := 0; chain < m; chain++ {
+			out.Set(chain*per+t, c.Get(t*m+chain))
+		}
+	}
+	return out, nil
+}
+
+// Verticalize applies VerticalReshape to every cube of the set.
+func Verticalize(s *Set, m int) (*Set, error) {
+	out := NewSet(s.Name, s.width)
+	for i := 0; i < s.Len(); i++ {
+		v, err := VerticalReshape(s.Cube(i), m)
+		if err != nil {
+			return nil, fmt.Errorf("tcube: pattern %d: %w", i, err)
+		}
+		out.MustAppend(v)
+	}
+	return out, nil
+}
+
+// Deverticalize inverts Verticalize.
+func Deverticalize(s *Set, m int) (*Set, error) {
+	out := NewSet(s.Name, s.width)
+	for i := 0; i < s.Len(); i++ {
+		v, err := VerticalRestore(s.Cube(i), m)
+		if err != nil {
+			return nil, fmt.Errorf("tcube: pattern %d: %w", i, err)
+		}
+		out.MustAppend(v)
+	}
+	return out, nil
+}
+
+// ChainSlices splits a scan-load cube into its m per-chain cubes, chain
+// c receiving original cells [c·l/m, (c+1)·l/m).
+func ChainSlices(c *bitvec.Cube, m int) ([]*bitvec.Cube, error) {
+	l := c.Len()
+	if m <= 0 || l%m != 0 {
+		return nil, fmt.Errorf("tcube: cannot split %d bits into %d chains", l, m)
+	}
+	per := l / m
+	out := make([]*bitvec.Cube, m)
+	for chain := 0; chain < m; chain++ {
+		out[chain] = c.Slice(chain*per, (chain+1)*per)
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package tcube
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bitvec"
+)
+
+// Stats summarizes the structural properties of a test set that
+// fixed-block compression cares about: don't-care density, the burst
+// lengths of specified stretches and X gaps, and the value bias of
+// specified bits. The synthetic-workload substitution in DESIGN.md §4
+// is validated by comparing these numbers against the generator's
+// target profile.
+type Stats struct {
+	Patterns int
+	Width    int
+	Bits     int
+	XPercent float64
+	ZeroBias float64 // fraction of specified bits that are 0
+	SpecRuns RunStats
+	XRuns    RunStats
+	// RunHistogram buckets specified-run lengths: index i holds runs of
+	// length 2^i..2^(i+1)-1.
+	RunHistogram []int
+}
+
+// RunStats describes a run-length population.
+type RunStats struct {
+	Count  int
+	Mean   float64
+	Max    int
+	Median int
+}
+
+// Measure computes the statistics.
+func Measure(s *Set) Stats {
+	st := Stats{Patterns: s.Len(), Width: s.Width(), Bits: s.Bits(), XPercent: s.XPercent()}
+	var specLens, xLens []int
+	zeros, specified := 0, 0
+	for i := 0; i < s.Len(); i++ {
+		c := s.Cube(i)
+		runLen := 0
+		runX := false
+		flush := func() {
+			if runLen == 0 {
+				return
+			}
+			if runX {
+				xLens = append(xLens, runLen)
+			} else {
+				specLens = append(specLens, runLen)
+			}
+			runLen = 0
+		}
+		for j := 0; j < c.Len(); j++ {
+			t := c.Get(j)
+			isX := t == bitvec.X
+			if !isX {
+				specified++
+				if t == bitvec.Zero {
+					zeros++
+				}
+			}
+			if runLen > 0 && isX != runX {
+				flush()
+			}
+			runX = isX
+			runLen++
+		}
+		flush()
+	}
+	if specified > 0 {
+		st.ZeroBias = float64(zeros) / float64(specified)
+	}
+	st.SpecRuns = runStats(specLens)
+	st.XRuns = runStats(xLens)
+	st.RunHistogram = histogram(specLens)
+	return st
+}
+
+func runStats(lens []int) RunStats {
+	rs := RunStats{Count: len(lens)}
+	if len(lens) == 0 {
+		return rs
+	}
+	sum := 0
+	for _, l := range lens {
+		sum += l
+		if l > rs.Max {
+			rs.Max = l
+		}
+	}
+	rs.Mean = float64(sum) / float64(len(lens))
+	sorted := append([]int(nil), lens...)
+	sort.Ints(sorted)
+	rs.Median = sorted[len(sorted)/2]
+	return rs
+}
+
+func histogram(lens []int) []int {
+	var h []int
+	for _, l := range lens {
+		b := 0
+		for 1<<uint(b+1) <= l {
+			b++
+		}
+		for len(h) <= b {
+			h = append(h, 0)
+		}
+		h[b]++
+	}
+	return h
+}
+
+// String renders a multi-line report.
+func (st Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d patterns x %d bits = %d bits\n", st.Patterns, st.Width, st.Bits)
+	fmt.Fprintf(&sb, "don't-care: %.2f%%, specified 0-bias: %.2f\n", st.XPercent, st.ZeroBias)
+	fmt.Fprintf(&sb, "specified runs: n=%d mean=%.1f median=%d max=%d\n",
+		st.SpecRuns.Count, st.SpecRuns.Mean, st.SpecRuns.Median, st.SpecRuns.Max)
+	fmt.Fprintf(&sb, "X gaps:         n=%d mean=%.1f median=%d max=%d\n",
+		st.XRuns.Count, st.XRuns.Mean, st.XRuns.Median, st.XRuns.Max)
+	fmt.Fprintf(&sb, "specified-run length histogram (1,2-3,4-7,...):")
+	for _, v := range st.RunHistogram {
+		fmt.Fprintf(&sb, " %d", v)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

@@ -1,0 +1,62 @@
+package tcube
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMeasureKnown(t *testing.T) {
+	s := mustSet(t, "stats",
+		"00XX11",
+		"XXXXXX",
+		"010101",
+	)
+	st := Measure(s)
+	if st.Patterns != 3 || st.Width != 6 || st.Bits != 18 {
+		t.Fatalf("shape %+v", st)
+	}
+	// Specified bits: pattern 0 has 4 (2 zeros), pattern 2 has 6 (3
+	// zeros). ZeroBias = 5/10.
+	if st.ZeroBias != 0.5 {
+		t.Fatalf("ZeroBias = %f", st.ZeroBias)
+	}
+	// Specified runs: [00],[11] in p0; [010101] in p2 -> lengths 2,2,6.
+	if st.SpecRuns.Count != 3 || st.SpecRuns.Max != 6 {
+		t.Fatalf("spec runs %+v", st.SpecRuns)
+	}
+	if want := (2 + 2 + 6) / 3.0; st.SpecRuns.Mean != want {
+		t.Fatalf("spec mean %f, want %f", st.SpecRuns.Mean, want)
+	}
+	// X runs: [XX] in p0, [XXXXXX] in p1 -> lengths 2,6.
+	if st.XRuns.Count != 2 || st.XRuns.Max != 6 || st.XRuns.Mean != 4 {
+		t.Fatalf("x runs %+v", st.XRuns)
+	}
+	// Histogram: lengths 2,2 -> bucket 1; length 6 -> bucket 2.
+	if len(st.RunHistogram) != 3 || st.RunHistogram[1] != 2 || st.RunHistogram[2] != 1 {
+		t.Fatalf("histogram %v", st.RunHistogram)
+	}
+	if !strings.Contains(st.String(), "specified runs") {
+		t.Fatal("String rendering broken")
+	}
+}
+
+func TestMeasureEmpty(t *testing.T) {
+	st := Measure(NewSet("e", 4))
+	if st.SpecRuns.Count != 0 || st.XRuns.Count != 0 || st.ZeroBias != 0 {
+		t.Fatalf("empty stats %+v", st)
+	}
+	if st.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestMeasureAllSpecified(t *testing.T) {
+	s := mustSet(t, "spec", "0101", "1111")
+	st := Measure(s)
+	if st.XRuns.Count != 0 || st.SpecRuns.Count != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.XPercent != 0 {
+		t.Fatalf("X%% = %f", st.XPercent)
+	}
+}
