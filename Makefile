@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+## check: the full pre-merge gate — formatting, vet, build, race tests.
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: the 9C hot-path benchmarks (encode/decode, reference, parallel scaling).
+bench:
+	$(GO) test -bench 'Encode|Decode|Classify' -run XXX -benchtime 1s ./internal/core/

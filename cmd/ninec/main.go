@@ -9,6 +9,7 @@
 //	ninec -sweep cubes.txt                # CR/LX over the Table II K sweep
 //	ninec -k 8 -verify cubes.txt          # compress + decode + cross-check
 //	ninec -k 8 -p 16 cubes.txt            # TAT at f_scan = 16 f_ate
+//	ninec -k 8 -workers 4 cubes.txt       # encode with 4 parallel workers
 //	ninec -k 8 -o out.9c cubes.txt        # write the compressed container
 //	ninec -d out.9c                       # decompress a container to stdout
 package main
@@ -38,6 +39,7 @@ func main() {
 	dec := flag.Bool("d", false, "treat the input as a container and decompress to stdout")
 	chains := flag.Int("chains", 1, "encode for this many parallel scan chains (vertical order, one ATE pin)")
 	reord := flag.Bool("reorder", false, "greedily reorder scan cells for compatibility before encoding")
+	workers := flag.Int("workers", 0, "parallel encode workers (0 = GOMAXPROCS; output is identical to serial)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -49,7 +51,7 @@ func main() {
 	if *dec {
 		err = runDecompress(flag.Arg(0))
 	} else {
-		err = run(flag.Arg(0), *k, *p, *fd, *stat, *sweep, *verify, *out, *chains, *reord)
+		err = run(flag.Arg(0), *k, *p, *fd, *stat, *sweep, *verify, *out, *chains, *reord, *workers)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ninec:", err)
@@ -88,7 +90,7 @@ func runDecompress(path string) error {
 	return set.Write(os.Stdout)
 }
 
-func run(path string, k, p int, fd, stat, sweep, verify bool, out string, chains int, reord bool) error {
+func run(path string, k, p int, fd, stat, sweep, verify bool, out string, chains int, reord bool, workers int) error {
 	set, err := readCubes(path)
 	if err != nil {
 		return err
@@ -128,7 +130,7 @@ func run(path string, k, p int, fd, stat, sweep, verify bool, out string, chains
 	if sweep {
 		fmt.Printf("%4s %8s %8s %10s\n", "K", "CR%", "LX%", "|T_E|")
 		for _, kk := range []int{4, 8, 12, 16, 20, 24, 28, 32} {
-			r, err := encode(set, kk, fd)
+			r, err := encode(set, kk, fd, workers)
 			if err != nil {
 				return err
 			}
@@ -137,7 +139,7 @@ func run(path string, k, p int, fd, stat, sweep, verify bool, out string, chains
 		return nil
 	}
 
-	r, err := encode(set, k, fd)
+	r, err := encode(set, k, fd, workers)
 	if err != nil {
 		return err
 	}
@@ -200,15 +202,17 @@ func readCubes(path string) (*tcube.Set, error) {
 	return tcube.Read(path, f)
 }
 
-func encode(set *tcube.Set, k int, fd bool) (*core.Result, error) {
+// encode runs the worker-pool encoder; its output is bit-identical to
+// the serial path, so every downstream report is unaffected by workers.
+func encode(set *tcube.Set, k int, fd bool, workers int) (*core.Result, error) {
 	cdc, err := core.New(k)
 	if err != nil {
 		return nil, err
 	}
 	if !fd {
-		return cdc.EncodeSet(set)
+		return cdc.EncodeSetParallel(set, workers)
 	}
-	first, err := cdc.EncodeSet(set)
+	first, err := cdc.EncodeSetParallel(set, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +220,7 @@ func encode(set *tcube.Set, k int, fd bool) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cdc.EncodeSet(set)
+	return cdc.EncodeSetParallel(set, workers)
 }
 
 func codecFor(k int, fd bool, r *core.Result) (*core.Codec, error) {

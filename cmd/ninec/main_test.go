@@ -45,7 +45,7 @@ func writeCubes(t *testing.T) string {
 func TestRunStat(t *testing.T) {
 	path := writeCubes(t)
 	out, err := captureStdout(t, func() error {
-		return run(path, 8, 8, false, true, false, false, "", 1, false)
+		return run(path, 8, 8, false, true, false, false, "", 1, false, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -58,7 +58,7 @@ func TestRunStat(t *testing.T) {
 func TestRunSweep(t *testing.T) {
 	path := writeCubes(t)
 	out, err := captureStdout(t, func() error {
-		return run(path, 8, 8, false, false, true, false, "", 1, false)
+		return run(path, 8, 8, false, false, true, false, "", 1, false, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -72,7 +72,7 @@ func TestRunCompressVerifyAndContainer(t *testing.T) {
 	path := writeCubes(t)
 	cont := filepath.Join(t.TempDir(), "out.9c")
 	out, err := captureStdout(t, func() error {
-		return run(path, 8, 8, false, false, false, true, cont, 1, false)
+		return run(path, 8, 8, false, false, false, true, cont, 1, false, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +100,7 @@ func TestRunCompressVerifyAndContainer(t *testing.T) {
 func TestRunFrequencyDirected(t *testing.T) {
 	path := writeCubes(t)
 	out, err := captureStdout(t, func() error {
-		return run(path, 8, 8, true, false, false, true, "", 1, false)
+		return run(path, 8, 8, true, false, false, true, "", 1, false, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -112,10 +112,10 @@ func TestRunFrequencyDirected(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	path := writeCubes(t)
-	if err := run(path, 7, 8, false, false, false, false, "", 1, false); err == nil {
+	if err := run(path, 7, 8, false, false, false, false, "", 1, false, 0); err == nil {
 		t.Fatal("odd K accepted")
 	}
-	if err := run("/nonexistent/cubes.txt", 8, 8, false, false, false, false, "", 1, false); err == nil {
+	if err := run("/nonexistent/cubes.txt", 8, 8, false, false, false, false, "", 1, false, 0); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	if err := runDecompress(path); err == nil {
@@ -126,13 +126,32 @@ func TestRunErrors(t *testing.T) {
 func TestRunMultiChain(t *testing.T) {
 	path := writeCubes(t)
 	out, err := captureStdout(t, func() error {
-		return run(path, 8, 8, false, false, false, false, "", 4, false)
+		return run(path, 8, 8, false, false, false, false, "", 4, false, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "multi-scan: 4 chains") {
 		t.Fatalf("multi-scan output: %q", out)
+	}
+}
+
+func TestRunParallelWorkersIdentical(t *testing.T) {
+	path := writeCubes(t)
+	serial, err := captureStdout(t, func() error {
+		return run(path, 8, 8, false, false, false, false, "", 1, false, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := captureStdout(t, func() error {
+		return run(path, 8, 8, false, false, false, false, "", 1, false, 3)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Fatalf("worker count changed the report:\nserial: %q\nparallel: %q", serial, parallel)
 	}
 }
 
@@ -147,7 +166,7 @@ Pattern "p" { Call "load_unload" { "si" = 0000000011111111; } }
 		t.Fatal(err)
 	}
 	out, err := captureStdout(t, func() error {
-		return run(path, 8, 8, false, true, false, false, "", 1, false)
+		return run(path, 8, 8, false, true, false, false, "", 1, false, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -160,7 +179,7 @@ Pattern "p" { Call "load_unload" { "si" = 0000000011111111; } }
 func TestRunReorder(t *testing.T) {
 	path := writeCubes(t)
 	out, err := captureStdout(t, func() error {
-		return run(path, 8, 8, false, false, false, true, "", 1, true)
+		return run(path, 8, 8, false, false, false, true, "", 1, true, 0)
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -45,12 +45,13 @@ func main() {
 	fmt.Printf("ATPG: %d collapsed faults -> %d cubes, campaign coverage %.2f%%, %.1f%% X\n",
 		stats.Faults, cubes.Len(), stats.CoveragePercent, cubes.XPercent())
 
-	// 3. 9C compression.
+	// 3. 9C compression, fanned across the machine's cores (the stream
+	// is bit-identical to a serial encode).
 	codec, err := core.New(8)
 	if err != nil {
 		log.Fatal(err)
 	}
-	r, err := codec.EncodeSet(cubes)
+	r, err := codec.EncodeSetParallel(cubes, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

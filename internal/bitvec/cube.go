@@ -109,16 +109,14 @@ func (c *Cube) Covers(o *Cube) bool {
 
 // Slice returns a copy of positions [lo, hi). Out-of-range positions
 // beyond the cube length are padded with X, which matches how codecs
-// pad a trailing partial block.
+// pad a trailing partial block. The copy moves whole words.
 func (c *Cube) Slice(lo, hi int) *Cube {
 	if lo < 0 || hi < lo {
 		panic(fmt.Sprintf("bitvec: invalid slice [%d,%d)", lo, hi))
 	}
-	out := NewCube(hi - lo)
-	for i := lo; i < hi && i < c.Len(); i++ {
-		out.Set(i-lo, c.Get(i))
-	}
-	return out
+	b := NewCubeBuilder(hi - lo)
+	b.AppendCubeRange(c, lo, hi)
+	return b.Build()
 }
 
 // CompatibleZero reports whether every position in [lo,hi) is 0 or X.
@@ -129,10 +127,11 @@ func (c *Cube) CompatibleZero(lo, hi int) bool {
 }
 
 // CompatibleOne reports whether every position in [lo,hi) is 1 or X.
-// A Zero exists exactly where care is 1 and val is 0, i.e. where the
-// care count exceeds the val count over the range.
+// A Zero exists exactly where care is 1 and val is 0, so the test is a
+// masked word scan for any care&^val bit.
 func (c *Cube) CompatibleOne(lo, hi int) bool {
-	return c.care.OnesInRange(lo, hi) == c.val.OnesInRange(lo, hi)
+	_, oneOK := c.Compat(lo, hi)
+	return oneOK
 }
 
 // XIn returns the number of X positions in [lo,hi), counting positions

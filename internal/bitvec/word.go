@@ -1,0 +1,279 @@
+package bitvec
+
+// Word-level primitives shared by the 9C hot path: 64-trit reads and
+// writes at arbitrary bit offsets, constant-run fills, single-pass
+// half-block compatibility tests, and an appending CubeBuilder. These
+// exist so the codec can move whole words of the packed care/val planes
+// instead of touching trits one at a time.
+
+// lowMask returns a mask of the low n bits, 0 <= n <= 64.
+func lowMask(n int) uint64 {
+	if n >= wordBits {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(n) - 1
+}
+
+// word64At returns the 64 bits starting at bit offset off (bit j of the
+// result is vector bit off+j). Positions at or beyond the end of the
+// vector read as 0; off may exceed the length.
+func (b *Bits) word64At(off int) uint64 {
+	if off < 0 {
+		panic("bitvec: negative offset")
+	}
+	if off >= b.n {
+		return 0
+	}
+	wi, sh := off/wordBits, uint(off%wordBits)
+	w := b.words[wi] >> sh
+	if sh != 0 && wi+1 < len(b.words) {
+		w |= b.words[wi+1] << (wordBits - sh)
+	}
+	return w
+}
+
+// writeWord64 replaces the n bits at offset off with the low n bits of
+// w. The range [off, off+n) must lie inside the vector.
+func (b *Bits) writeWord64(off int, w uint64, n int) {
+	if n == 0 {
+		return
+	}
+	if n < 0 || n > wordBits {
+		panic("bitvec: writeWord64 width out of range")
+	}
+	if off < 0 || off+n > b.n {
+		panic("bitvec: writeWord64 out of bounds")
+	}
+	mask := lowMask(n)
+	w &= mask
+	wi, sh := off/wordBits, uint(off%wordBits)
+	b.words[wi] = b.words[wi]&^(mask<<sh) | w<<sh
+	if sh != 0 && sh+uint(n) > wordBits {
+		b.words[wi+1] = b.words[wi+1]&^(mask>>(wordBits-sh)) | w>>(wordBits-sh)
+	}
+}
+
+// SetRange sets every bit in [lo, hi) to v, word at a time, clamped to
+// the vector bounds.
+func (b *Bits) SetRange(lo, hi int, v bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	if lo >= hi {
+		return
+	}
+	loWord, hiWord := lo/wordBits, (hi-1)/wordBits
+	loMask := ^uint64(0) << uint(lo%wordBits)
+	hiMask := ^uint64(0) >> uint(wordBits-1-(hi-1)%wordBits)
+	for w := loWord; w <= hiWord; w++ {
+		m := ^uint64(0)
+		if w == loWord {
+			m &= loMask
+		}
+		if w == hiWord {
+			m &= hiMask
+		}
+		if v {
+			b.words[w] |= m
+		} else {
+			b.words[w] &^= m
+		}
+	}
+}
+
+// ReadWord returns 64 trits starting at position off as packed care/val
+// words (bit j describes trit off+j). Positions beyond the cube end
+// read as X (care bit 0), which is exactly the padding rule for a
+// trailing partial block.
+func (c *Cube) ReadWord(off int) (care, val uint64) {
+	return c.care.word64At(off), c.val.word64At(off)
+}
+
+// WriteWord replaces the n trits at [off, off+n) with the packed
+// care/val words (bit j describes trit off+j). val is masked to care so
+// the val-zero-at-X invariant holds regardless of the input.
+func (c *Cube) WriteWord(off int, care, val uint64, n int) {
+	c.care.writeWord64(off, care, n)
+	c.val.writeWord64(off, val&care, n)
+}
+
+// SetRun assigns the trit t to every position in [lo, hi), word at a
+// time, clamped to the cube bounds.
+func (c *Cube) SetRun(lo, hi int, t Trit) {
+	switch t {
+	case X:
+		c.care.SetRange(lo, hi, false)
+		c.val.SetRange(lo, hi, false)
+	case Zero:
+		c.care.SetRange(lo, hi, true)
+		c.val.SetRange(lo, hi, false)
+	case One:
+		c.care.SetRange(lo, hi, true)
+		c.val.SetRange(lo, hi, true)
+	default:
+		panic("bitvec: SetRun with invalid trit")
+	}
+}
+
+// Compat reports in one masked pass over the packed planes whether
+// every trit in [lo, hi) is compatible with all-0s (no One present:
+// val&care == 0) and with all-1s (no Zero present: care&^val == 0).
+// Positions beyond the cube end count as X and are compatible with
+// both.
+func (c *Cube) Compat(lo, hi int) (zeroOK, oneOK bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > c.Len() {
+		hi = c.Len()
+	}
+	zeroOK, oneOK = true, true
+	if lo >= hi {
+		return
+	}
+	loWord, hiWord := lo/wordBits, (hi-1)/wordBits
+	loMask := ^uint64(0) << uint(lo%wordBits)
+	hiMask := ^uint64(0) >> uint(wordBits-1-(hi-1)%wordBits)
+	for w := loWord; w <= hiWord; w++ {
+		m := ^uint64(0)
+		if w == loWord {
+			m &= loMask
+		}
+		if w == hiWord {
+			m &= hiMask
+		}
+		care, val := c.care.words[w], c.val.words[w]
+		if val&m != 0 {
+			zeroOK = false
+		}
+		if care&^val&m != 0 {
+			oneOK = false
+		}
+		if !zeroOK && !oneOK {
+			return
+		}
+	}
+	return
+}
+
+// CubeBuilder accumulates a cube by appending trits at the tail, whole
+// words at a time. It is the word-parallel replacement for building a
+// cube with repeated Set calls; Build hands the accumulated storage to
+// the resulting Cube without copying.
+type CubeBuilder struct {
+	care, val []uint64
+	n         int
+}
+
+// NewCubeBuilder returns an empty builder with capacity preallocated
+// for capBits trits (a hint; the builder grows as needed).
+func NewCubeBuilder(capBits int) *CubeBuilder {
+	if capBits < 0 {
+		capBits = 0
+	}
+	words := (capBits + wordBits - 1) / wordBits
+	return &CubeBuilder{
+		care: make([]uint64, 0, words),
+		val:  make([]uint64, 0, words),
+	}
+}
+
+// Len returns the number of trits appended so far.
+func (b *CubeBuilder) Len() int { return b.n }
+
+// ensure grows the word slices to back bits trits.
+func (b *CubeBuilder) ensure(bits int) {
+	words := (bits + wordBits - 1) / wordBits
+	for len(b.care) < words {
+		b.care = append(b.care, 0)
+		b.val = append(b.val, 0)
+	}
+}
+
+// AppendWord appends n trits packed as care/val words: bit j of the
+// words becomes trit Len()+j. val is masked to care (val ⊆ care
+// invariant); n must be in [0, 64].
+func (b *CubeBuilder) AppendWord(care, val uint64, n int) {
+	if n == 0 {
+		return
+	}
+	if n < 0 || n > wordBits {
+		panic("bitvec: AppendWord width out of range")
+	}
+	mask := lowMask(n)
+	care &= mask
+	val &= care
+	b.ensure(b.n + n)
+	wi, off := b.n/wordBits, uint(b.n%wordBits)
+	b.care[wi] |= care << off
+	b.val[wi] |= val << off
+	if off != 0 && off+uint(n) > wordBits {
+		b.care[wi+1] |= care >> (wordBits - off)
+		b.val[wi+1] |= val >> (wordBits - off)
+	}
+	b.n += n
+}
+
+// AppendBit appends a single trit.
+func (b *CubeBuilder) AppendBit(t Trit) { b.AppendRun(t, 1) }
+
+// AppendRun appends n copies of the trit t.
+func (b *CubeBuilder) AppendRun(t Trit, n int) {
+	if n < 0 {
+		panic("bitvec: negative run length")
+	}
+	var care, val uint64
+	switch t {
+	case X:
+	case Zero:
+		care = ^uint64(0)
+	case One:
+		care = ^uint64(0)
+		val = ^uint64(0)
+	default:
+		panic("bitvec: AppendRun with invalid trit")
+	}
+	for n > 0 {
+		chunk := n
+		if chunk > wordBits {
+			chunk = wordBits
+		}
+		b.AppendWord(care, val, chunk)
+		n -= chunk
+	}
+}
+
+// AppendCubeRange appends the trits of c in [lo, hi); positions beyond
+// the end of c append as X (block padding).
+func (b *CubeBuilder) AppendCubeRange(c *Cube, lo, hi int) {
+	if lo < 0 || hi < lo {
+		panic("bitvec: invalid append range")
+	}
+	for off := lo; off < hi; {
+		n := hi - off
+		if n > wordBits {
+			n = wordBits
+		}
+		care, val := c.ReadWord(off)
+		b.AppendWord(care, val, n)
+		off += n
+	}
+}
+
+// AppendCube appends every trit of c.
+func (b *CubeBuilder) AppendCube(c *Cube) { b.AppendCubeRange(c, 0, c.Len()) }
+
+// Build returns the accumulated cube, transferring the builder's
+// storage to it (no copy), and resets the builder to empty.
+func (b *CubeBuilder) Build() *Cube {
+	words := (b.n + wordBits - 1) / wordBits
+	c := &Cube{
+		care: &Bits{n: b.n, words: b.care[:words:words]},
+		val:  &Bits{n: b.n, words: b.val[:words:words]},
+	}
+	b.care, b.val, b.n = nil, nil, 0
+	return c
+}

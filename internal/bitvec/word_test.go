@@ -1,0 +1,238 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func wordTestCube(rng *rand.Rand, n int) *Cube {
+	c := NewCube(n)
+	for i := 0; i < n; i++ {
+		c.Set(i, Trit(rng.Intn(3)))
+	}
+	return c
+}
+
+func TestWord64At(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 63, 64, 65, 130, 200} {
+		b := NewBits(n)
+		for i := 0; i < n; i++ {
+			b.Set(i, rng.Intn(2) == 1)
+		}
+		for off := 0; off <= n+70; off += 13 {
+			w := b.word64At(off)
+			for j := 0; j < wordBits; j++ {
+				want := off+j < n && b.Get(off+j)
+				if got := w>>uint(j)&1 == 1; got != want {
+					t.Fatalf("n=%d word64At(%d) bit %d = %v, want %v", n, off, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestWriteWord64(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(200) + 1
+		b := NewBits(n)
+		ref := make([]bool, n)
+		for step := 0; step < 20; step++ {
+			w := rng.Uint64()
+			width := rng.Intn(wordBits + 1)
+			if width > n {
+				width = n
+			}
+			off := rng.Intn(n - width + 1)
+			b.writeWord64(off, w, width)
+			for j := 0; j < width; j++ {
+				ref[off+j] = w>>uint(j)&1 == 1
+			}
+		}
+		for i := 0; i < n; i++ {
+			if b.Get(i) != ref[i] {
+				t.Fatalf("trial %d: bit %d = %v, want %v", trial, i, b.Get(i), ref[i])
+			}
+		}
+	}
+}
+
+func TestSetRange(t *testing.T) {
+	for _, n := range []int{0, 1, 64, 100, 129} {
+		for lo := -3; lo <= n+3; lo += 7 {
+			for hi := lo; hi <= n+5; hi += 11 {
+				b := NewBits(n)
+				b.SetRange(lo, hi, true)
+				for i := 0; i < n; i++ {
+					want := i >= lo && i < hi
+					if b.Get(i) != want {
+						t.Fatalf("n=%d SetRange(%d,%d): bit %d = %v", n, lo, hi, i, b.Get(i))
+					}
+				}
+				b.SetRange(lo, hi, false)
+				if !b.AllZero() {
+					t.Fatalf("n=%d SetRange(%d,%d, false) left bits set", n, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestCubeReadWriteWord(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := wordTestCube(rng, 150)
+	// ReadWord agrees with Get, including X padding beyond the end.
+	for off := 0; off <= 200; off += 17 {
+		care, val := src.ReadWord(off)
+		for j := 0; j < wordBits; j++ {
+			want := X
+			if off+j < src.Len() {
+				want = src.Get(off + j)
+			}
+			var got Trit
+			switch {
+			case care>>uint(j)&1 == 0:
+				got = X
+			case val>>uint(j)&1 == 1:
+				got = One
+			default:
+				got = Zero
+			}
+			if got != want {
+				t.Fatalf("ReadWord(%d) trit %d = %v, want %v", off, j, got, want)
+			}
+		}
+	}
+	// WriteWord round-trips ReadWord.
+	dst := NewCube(150)
+	for off := 0; off < 150; off += wordBits {
+		n := 150 - off
+		if n > wordBits {
+			n = wordBits
+		}
+		care, val := src.ReadWord(off)
+		dst.WriteWord(off, care, val, n)
+	}
+	if !dst.Equal(src) {
+		t.Fatalf("WriteWord round trip mismatch:\n%s\n%s", src, dst)
+	}
+	// val is masked to care: writing val bits at X positions is a no-op.
+	c := NewCube(64)
+	c.WriteWord(0, 0, ^uint64(0), 64)
+	if c.Specified() != 0 {
+		t.Fatal("WriteWord leaked val bits into X positions")
+	}
+}
+
+func TestCubeSetRun(t *testing.T) {
+	for _, tr := range []Trit{Zero, One, X} {
+		c := wordTestCube(rand.New(rand.NewSource(3)), 130)
+		want := c.Clone()
+		for i := 40; i < 100; i++ {
+			want.Set(i, tr)
+		}
+		c.SetRun(40, 100, tr)
+		if !c.Equal(want) {
+			t.Fatalf("SetRun(%v) mismatch", tr)
+		}
+	}
+}
+
+func TestCompatMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(180)
+		c := wordTestCube(rng, n)
+		for step := 0; step < 30; step++ {
+			lo := rng.Intn(n + 10)
+			hi := lo + rng.Intn(n+10)
+			wantZ, wantO := true, true
+			for i := lo; i < hi && i < n; i++ {
+				switch c.Get(i) {
+				case One:
+					wantZ = false
+				case Zero:
+					wantO = false
+				}
+			}
+			z, o := c.Compat(lo, hi)
+			if z != wantZ || o != wantO {
+				t.Fatalf("Compat(%d,%d) = %v,%v want %v,%v on %s", lo, hi, z, o, wantZ, wantO, c)
+			}
+			if c.CompatibleZero(lo, hi) != wantZ || c.CompatibleOne(lo, hi) != wantO {
+				t.Fatalf("Compatible{Zero,One}(%d,%d) disagree with scalar scan", lo, hi)
+			}
+		}
+	}
+}
+
+func TestCubeBuilderMatchesSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		b := NewCubeBuilder(rng.Intn(64))
+		var ref []Trit
+		for step := 0; step < 25; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				t := Trit(rng.Intn(3))
+				n := rng.Intn(100)
+				b.AppendRun(t, n)
+				for i := 0; i < n; i++ {
+					ref = append(ref, t)
+				}
+			case 1:
+				src := wordTestCube(rng, rng.Intn(90))
+				lo := rng.Intn(src.Len() + 5)
+				hi := lo + rng.Intn(src.Len()+5)
+				b.AppendCubeRange(src, lo, hi)
+				for i := lo; i < hi; i++ {
+					if i < src.Len() {
+						ref = append(ref, src.Get(i))
+					} else {
+						ref = append(ref, X)
+					}
+				}
+			case 2:
+				var care, val uint64
+				n := rng.Intn(wordBits + 1)
+				care, val = rng.Uint64(), rng.Uint64()
+				b.AppendWord(care, val, n)
+				for j := 0; j < n; j++ {
+					switch {
+					case care>>uint(j)&1 == 0:
+						ref = append(ref, X)
+					case val>>uint(j)&1 == 1:
+						ref = append(ref, One)
+					default:
+						ref = append(ref, Zero)
+					}
+				}
+			case 3:
+				t := Trit(rng.Intn(3))
+				b.AppendBit(t)
+				ref = append(ref, t)
+			}
+			if b.Len() != len(ref) {
+				t.Fatalf("Len = %d, want %d", b.Len(), len(ref))
+			}
+		}
+		got := b.Build()
+		if got.Len() != len(ref) {
+			t.Fatalf("built %d trits, want %d", got.Len(), len(ref))
+		}
+		for i, want := range ref {
+			if got.Get(i) != want {
+				t.Fatalf("trial %d: trit %d = %v, want %v", trial, i, got.Get(i), want)
+			}
+		}
+		// The builder resets after Build and stays usable.
+		if b.Len() != 0 {
+			t.Fatal("builder not reset by Build")
+		}
+		b.AppendRun(One, 3)
+		if c := b.Build(); c.Len() != 3 || c.Get(2) != One {
+			t.Fatal("builder unusable after Build")
+		}
+	}
+}

@@ -2,9 +2,11 @@ package core
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/bitvec"
+	"repro/internal/tcube"
 )
 
 func benchCube(n int) *bitvec.Cube {
@@ -31,6 +33,70 @@ func BenchmarkEncodeCube(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := cdc.EncodeCube(flat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEncodeCubeReference measures the retained trit-level
+// reference encoder; the ratio to BenchmarkEncodeCube is the
+// word-parallel speedup.
+func BenchmarkEncodeCubeReference(b *testing.B) {
+	for _, k := range []int{4, 8, 16, 32} {
+		b.Run(benchName("K", k), func(b *testing.B) {
+			flat := benchCube(1 << 16)
+			cdc, err := New(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(flat.Len() / 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cdc.EncodeCubeReference(flat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchSet(patterns, width int) *tcube.Set {
+	rng := rand.New(rand.NewSource(2))
+	s := tcube.NewSet("bench", width)
+	for i := 0; i < patterns; i++ {
+		c := bitvec.NewCube(width)
+		for j := 0; j < width; j++ {
+			if rng.Float64() < 0.75 {
+				continue
+			}
+			c.Set(j, bitvec.Trit(rng.Intn(2)))
+		}
+		s.MustAppend(c)
+	}
+	return s
+}
+
+// BenchmarkEncodeSetParallel measures worker-pool scaling of the
+// parallel set encoder against the serial baseline (workers=1 falls
+// through to EncodeSet).
+func BenchmarkEncodeSetParallel(b *testing.B) {
+	set := benchSet(256, 2048)
+	cdc, err := New(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workerCounts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 {
+		workerCounts = append(workerCounts, p)
+	}
+	for _, w := range workerCounts {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			b.SetBytes(int64(set.Bits() / 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cdc.EncodeSetParallel(set, w); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -118,13 +118,13 @@ func (c Case) matchedRight() (bitvec.Trit, bool) {
 // Classify determines the 9C case of the k-bit block of flat starting
 // at offset off. Positions beyond the end of flat are treated as X
 // (trailing-block padding). Matching priority follows the table row
-// order, so an all-X half counts as 0-compatible first.
+// order, so an all-X half counts as 0-compatible first. Each half is
+// classified by one masked pass over the packed care/val planes:
+// 0-compatible ⟺ no val bit in range, 1-compatible ⟺ no care&^val bit.
 func Classify(flat *bitvec.Cube, off, k int) Case {
 	h := k / 2
-	l0 := flat.CompatibleZero(off, off+h)
-	l1 := flat.CompatibleOne(off, off+h)
-	r0 := flat.CompatibleZero(off+h, off+k)
-	r1 := flat.CompatibleOne(off+h, off+k)
+	l0, l1 := flat.Compat(off, off+h)
+	r0, r1 := flat.Compat(off+h, off+k)
 	switch {
 	case l0 && r0:
 		return CaseAll0

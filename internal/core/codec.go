@@ -33,6 +33,8 @@ func (n Counts) Total() int {
 type Codec struct {
 	k      int
 	assign Assignment
+	packed [NumCases]packedCode // codewords packed for word appending
+	table  *decodeTable         // codeword trie, immutable after construction
 }
 
 // New returns a Codec for block size k with the default codeword
@@ -51,7 +53,7 @@ func NewWithAssignment(k int, a Assignment) (*Codec, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
-	return &Codec{k: k, assign: a}, nil
+	return &Codec{k: k, assign: a, packed: packAssignment(a), table: newDecodeTable(a)}, nil
 }
 
 // K returns the block size.
@@ -100,7 +102,7 @@ func (r *Result) LXPercent() float64 {
 func (c *Codec) encodeBlock(flat *bitvec.Cube, off int, w *cubeWriter) Case {
 	k := c.k
 	cs := Classify(flat, off, k)
-	w.writeCode(c.assign.Code(cs))
+	w.writeCode(c.packed[cs-1])
 	h := k / 2
 	if cs.LeftMismatch() {
 		w.writeRaw(flat, off, off+h)
@@ -114,9 +116,9 @@ func (c *Codec) encodeBlock(flat *bitvec.Cube, off int, w *cubeWriter) Case {
 // EncodeCube compresses a bare cube (e.g. one already-flattened scan
 // stream). The cube is padded with X to a multiple of K.
 func (c *Codec) EncodeCube(flat *bitvec.Cube) (*Result, error) {
-	w := newCubeWriter()
-	var counts Counts
 	blocks := (flat.Len() + c.k - 1) / c.k
+	w := newCubeWriter(flat.Len() + blocks*2)
+	var counts Counts
 	for b := 0; b < blocks; b++ {
 		counts.Add(c.encodeBlock(flat, b*c.k, w))
 	}
@@ -127,19 +129,28 @@ func (c *Codec) EncodeCube(flat *bitvec.Cube) (*Result, error) {
 	}, nil
 }
 
-// EncodeSet compresses a test set pattern by pattern: each scan load is
-// padded independently to a multiple of K, preserving per-pattern
-// synchronization between the ATE and the decoder.
-func (c *Codec) EncodeSet(s *tcube.Set) (*Result, error) {
-	w := newCubeWriter()
+// encodePatterns appends the encodings of patterns [lo,hi) of s to w
+// and accumulates their codeword counts. It is the shared inner loop of
+// EncodeSet and the per-worker slices of EncodeSetParallel.
+func (c *Codec) encodePatterns(s *tcube.Set, lo, hi int, w *cubeWriter) Counts {
 	var counts Counts
 	blocksPer := (s.Width() + c.k - 1) / c.k
-	for i := 0; i < s.Len(); i++ {
+	for i := lo; i < hi; i++ {
 		p := s.Cube(i)
 		for b := 0; b < blocksPer; b++ {
 			counts.Add(c.encodeBlock(p, b*c.k, w))
 		}
 	}
+	return counts
+}
+
+// EncodeSet compresses a test set pattern by pattern: each scan load is
+// padded independently to a multiple of K, preserving per-pattern
+// synchronization between the ATE and the decoder.
+func (c *Codec) EncodeSet(s *tcube.Set) (*Result, error) {
+	blocksPer := (s.Width() + c.k - 1) / c.k
+	w := newCubeWriter(s.Bits() + blocksPer*s.Len()*2)
+	counts := c.encodePatterns(s, 0, s.Len(), w)
 	stream := w.cube()
 	return &Result{
 		K: c.k, Assign: c.assign, Stream: stream, Counts: counts,
@@ -154,26 +165,21 @@ func (c *Codec) decodeBlocks(r *cubeReader, blocks int) (*bitvec.Cube, error) {
 	k := c.k
 	h := k / 2
 	out := bitvec.NewCube(blocks * k)
-	table := newDecodeTable(c.assign)
 	for b := 0; b < blocks; b++ {
-		cs, err := table.next(r)
+		cs, err := c.table.next(r)
 		if err != nil {
 			return nil, fmt.Errorf("core: block %d: %w", b, err)
 		}
 		base := b * k
 		if v, ok := cs.matchedLeft(); ok {
-			for i := 0; i < h; i++ {
-				out.Set(base+i, v)
-			}
+			out.SetRun(base, base+h, v)
 		} else {
 			if err := r.readRaw(out, base, base+h); err != nil {
 				return nil, fmt.Errorf("core: block %d left data: %w", b, err)
 			}
 		}
 		if v, ok := cs.matchedRight(); ok {
-			for i := 0; i < h; i++ {
-				out.Set(base+h+i, v)
-			}
+			out.SetRun(base+h, base+k, v)
 		} else {
 			if err := r.readRaw(out, base+h, base+k); err != nil {
 				return nil, fmt.Errorf("core: block %d right data: %w", b, err)

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/tcube"
+)
+
+// EncodeSetParallel is EncodeSet with the patterns fanned out across a
+// worker pool: the set is split into contiguous pattern chunks (the
+// same chunking as faultsim.CampaignParallel), each worker encodes its
+// chunk into a private sub-stream, and the sub-streams concatenate in
+// chunk order with the per-chunk Counts summed. Patterns are encoded
+// independently — each scan load pads to a block multiple on its own —
+// so the result is bit-identical to the serial EncodeSet, whatever the
+// worker count. workers ≤ 0 selects GOMAXPROCS.
+func (c *Codec) EncodeSetParallel(s *tcube.Set, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > s.Len() {
+		workers = s.Len()
+	}
+	if workers <= 1 {
+		return c.EncodeSet(s)
+	}
+
+	type chunk struct{ lo, hi int }
+	chunks := make([]chunk, 0, workers)
+	per := (s.Len() + workers - 1) / workers
+	for lo := 0; lo < s.Len(); lo += per {
+		hi := lo + per
+		if hi > s.Len() {
+			hi = s.Len()
+		}
+		chunks = append(chunks, chunk{lo, hi})
+	}
+
+	blocksPer := (s.Width() + c.k - 1) / c.k
+	streams := make([]*bitvec.Cube, len(chunks))
+	subCounts := make([]Counts, len(chunks))
+	var wg sync.WaitGroup
+	for i, ch := range chunks {
+		wg.Add(1)
+		go func(i int, ch chunk) {
+			defer wg.Done()
+			w := newCubeWriter((ch.hi-ch.lo)*s.Width() + (ch.hi-ch.lo)*blocksPer*2)
+			subCounts[i] = c.encodePatterns(s, ch.lo, ch.hi, w)
+			streams[i] = w.cube()
+		}(i, ch)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, sub := range streams {
+		total += sub.Len()
+	}
+	b := bitvec.NewCubeBuilder(total)
+	var counts Counts
+	for i, sub := range streams {
+		b.AppendCube(sub)
+		for cs, n := range subCounts[i] {
+			counts[cs] += n
+		}
+	}
+	stream := b.Build()
+	return &Result{
+		K: c.k, Assign: c.assign, Stream: stream, Counts: counts,
+		OrigBits: s.Bits(), Blocks: blocksPer * s.Len(),
+		LeftoverX: stream.XCount(), Patterns: s.Len(), Width: s.Width(),
+	}, nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/tcube"
+)
+
+// This file retains the original trit-at-a-time 9C encoder as an
+// executable specification. The production path (EncodeCube/EncodeSet)
+// moves whole 64-bit words of the packed care/val planes; the reference
+// touches one trit at a time with Cube.Get/Set and string codewords.
+// Differential tests assert the two produce bit-identical streams.
+
+// refWriter accumulates the ternary T_E stream one trit at a time.
+type refWriter struct {
+	trits []bitvec.Trit
+}
+
+func (w *refWriter) writeCode(code string) {
+	for i := 0; i < len(code); i++ {
+		if code[i] == '1' {
+			w.trits = append(w.trits, bitvec.One)
+		} else {
+			w.trits = append(w.trits, bitvec.Zero)
+		}
+	}
+}
+
+// writeRaw ships trits [lo,hi) of flat verbatim; positions beyond the
+// end of flat are block padding and ship as X.
+func (w *refWriter) writeRaw(flat *bitvec.Cube, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if i >= flat.Len() {
+			w.trits = append(w.trits, bitvec.X)
+		} else {
+			w.trits = append(w.trits, flat.Get(i))
+		}
+	}
+}
+
+func (w *refWriter) cube() *bitvec.Cube {
+	c := bitvec.NewCube(len(w.trits))
+	for i, t := range w.trits {
+		c.Set(i, t)
+	}
+	return c
+}
+
+// classifyRef is Classify with per-trit scans instead of masked word
+// tests.
+func classifyRef(flat *bitvec.Cube, off, k int) Case {
+	half := func(lo, hi int) (zeroOK, oneOK bool) {
+		zeroOK, oneOK = true, true
+		for i := lo; i < hi && i < flat.Len(); i++ {
+			switch flat.Get(i) {
+			case bitvec.One:
+				zeroOK = false
+			case bitvec.Zero:
+				oneOK = false
+			}
+		}
+		return
+	}
+	h := k / 2
+	l0, l1 := half(off, off+h)
+	r0, r1 := half(off+h, off+k)
+	switch {
+	case l0 && r0:
+		return CaseAll0
+	case l1 && r1:
+		return CaseAll1
+	case l0 && r1:
+		return Case0Then1
+	case l1 && r0:
+		return Case1Then0
+	case l0:
+		return Case0ThenMis
+	case r0:
+		return CaseMisThen0
+	case l1:
+		return Case1ThenMis
+	case r1:
+		return CaseMisThen1
+	default:
+		return CaseMisMis
+	}
+}
+
+// encodeBlockRef appends the trit-level encoding of one block.
+func (c *Codec) encodeBlockRef(flat *bitvec.Cube, off int, w *refWriter) Case {
+	k := c.k
+	cs := classifyRef(flat, off, k)
+	w.writeCode(c.assign.Code(cs))
+	h := k / 2
+	if cs.LeftMismatch() {
+		w.writeRaw(flat, off, off+h)
+	}
+	if cs.RightMismatch() {
+		w.writeRaw(flat, off+h, off+k)
+	}
+	return cs
+}
+
+// EncodeCubeReference is the trit-level reference implementation of
+// EncodeCube. It is slow and exists for differential testing and
+// benchmark comparison against the word-parallel path.
+func (c *Codec) EncodeCubeReference(flat *bitvec.Cube) (*Result, error) {
+	w := &refWriter{}
+	var counts Counts
+	blocks := (flat.Len() + c.k - 1) / c.k
+	for b := 0; b < blocks; b++ {
+		counts.Add(c.encodeBlockRef(flat, b*c.k, w))
+	}
+	stream := w.cube()
+	return &Result{
+		K: c.k, Assign: c.assign, Stream: stream, Counts: counts,
+		OrigBits: flat.Len(), Blocks: blocks, LeftoverX: stream.XCount(),
+	}, nil
+}
+
+// EncodeSetReference is the trit-level reference implementation of
+// EncodeSet.
+func (c *Codec) EncodeSetReference(s *tcube.Set) (*Result, error) {
+	w := &refWriter{}
+	var counts Counts
+	blocksPer := (s.Width() + c.k - 1) / c.k
+	for i := 0; i < s.Len(); i++ {
+		p := s.Cube(i)
+		for b := 0; b < blocksPer; b++ {
+			counts.Add(c.encodeBlockRef(p, b*c.k, w))
+		}
+	}
+	stream := w.cube()
+	return &Result{
+		K: c.k, Assign: c.assign, Stream: stream, Counts: counts,
+		OrigBits: s.Bits(), Blocks: blocksPer * s.Len(),
+		LeftoverX: stream.XCount(), Patterns: s.Len(), Width: s.Width(),
+	}, nil
+}

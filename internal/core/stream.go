@@ -15,42 +15,60 @@ var ErrTruncated = errors.New("core: compressed stream truncated")
 // (codewords are always fully specified; only mismatch data carries X).
 var ErrBadCodeword = errors.New("core: invalid codeword in stream")
 
-// cubeWriter accumulates the ternary T_E stream.
-type cubeWriter struct {
-	trits []bitvec.Trit
+// packedCode is a codeword packed for word appending: bit i of bits is
+// stream position i of the codeword (the first code character is the
+// lowest bit), matching the Bits storage order.
+type packedCode struct {
+	bits uint64
+	n    int
 }
 
-func newCubeWriter() *cubeWriter { return &cubeWriter{} }
-
-func (w *cubeWriter) writeCode(code string) {
+func packCode(code string) packedCode {
+	p := packedCode{n: len(code)}
 	for i := 0; i < len(code); i++ {
 		if code[i] == '1' {
-			w.trits = append(w.trits, bitvec.One)
-		} else {
-			w.trits = append(w.trits, bitvec.Zero)
+			p.bits |= 1 << uint(i)
 		}
 	}
+	return p
+}
+
+// packAssignment packs all nine codewords of an assignment.
+func packAssignment(a Assignment) [NumCases]packedCode {
+	var out [NumCases]packedCode
+	for cs := CaseAll0; cs <= CaseMisMis; cs++ {
+		out[cs-1] = packCode(a.Code(cs))
+	}
+	return out
+}
+
+// cubeWriter accumulates the ternary T_E stream word-parallel: codeword
+// bits append as packed words, mismatch halves blit straight from the
+// source cube's care/val planes with no intermediate trit buffer.
+type cubeWriter struct {
+	b *bitvec.CubeBuilder
+}
+
+// newCubeWriter returns a writer preallocated for roughly capBits of
+// compressed stream (a hint; the builder grows as needed).
+func newCubeWriter(capBits int) *cubeWriter {
+	return &cubeWriter{b: bitvec.NewCubeBuilder(capBits)}
+}
+
+// writeCode appends a packed codeword; codeword bits are always
+// specified, so the care plane gets all ones.
+func (w *cubeWriter) writeCode(p packedCode) {
+	w.b.AppendWord(^uint64(0), p.bits, p.n)
 }
 
 // writeRaw ships trits [lo,hi) of flat verbatim; positions beyond the
-// end of flat are block padding and ship as X.
+// end of flat are block padding and ship as X (ReadWord returns care=0
+// past the end, so the padding falls out of the word blit).
 func (w *cubeWriter) writeRaw(flat *bitvec.Cube, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		if i >= flat.Len() {
-			w.trits = append(w.trits, bitvec.X)
-		} else {
-			w.trits = append(w.trits, flat.Get(i))
-		}
-	}
+	w.b.AppendCubeRange(flat, lo, hi)
 }
 
-func (w *cubeWriter) cube() *bitvec.Cube {
-	c := bitvec.NewCube(len(w.trits))
-	for i, t := range w.trits {
-		c.Set(i, t)
-	}
-	return c
-}
+func (w *cubeWriter) cube() *bitvec.Cube { return w.b.Build() }
 
 // cubeReader consumes a ternary stream sequentially.
 type cubeReader struct {
@@ -77,14 +95,20 @@ func (r *cubeReader) readBit() (bool, error) {
 	}
 }
 
-// readRaw copies the next hi-lo trits into out[lo:hi].
+// readRaw copies the next hi-lo trits into out[lo:hi], word at a time.
 func (r *cubeReader) readRaw(out *bitvec.Cube, lo, hi int) error {
 	if r.remaining() < hi-lo {
 		return ErrTruncated
 	}
-	for i := lo; i < hi; i++ {
-		out.Set(i, r.src.Get(r.pos))
-		r.pos++
+	for i := lo; i < hi; {
+		n := hi - i
+		if n > 64 {
+			n = 64
+		}
+		care, val := r.src.ReadWord(r.pos)
+		out.WriteWord(i, care, val, n)
+		r.pos += n
+		i += n
 	}
 	return nil
 }

@@ -34,7 +34,9 @@ func encode(set *tcube.Set, k int) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cdc.EncodeSet(set)
+	// The worker-pool encoder is bit-identical to the serial path, so
+	// every reproduced table stays deterministic.
+	return cdc.EncodeSetParallel(set, 0)
 }
 
 // Table1 reproduces Table I: the 9C coding for K=8 — case symbols,

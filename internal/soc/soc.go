@@ -76,8 +76,11 @@ func LPT(cores []Core, channels int) (*Plan, error) {
 	return p, nil
 }
 
-// LowerBound returns the trivial makespan lower bound:
-// max(total/channels, longest core).
+// LowerBound returns a makespan lower bound: the maximum of the average
+// load total/channels, the longest core, and the pairing bound — with
+// n > m cores on m channels, two of the m+1 longest cores must share a
+// channel, so no schedule beats t_(m) + t_(m+1) (the m-th and (m+1)-th
+// longest test times, i.e. the two smallest of the m+1 longest).
 func LowerBound(cores []Core, channels int) float64 {
 	if channels < 1 {
 		return 0
@@ -93,5 +96,97 @@ func LowerBound(cores []Core, channels int) float64 {
 	if longest > lb {
 		lb = longest
 	}
+	if len(cores) > channels {
+		times := sortedTimesDesc(cores)
+		if pair := times[channels-1] + times[channels]; pair > lb {
+			lb = pair
+		}
+	}
 	return lb
+}
+
+// sortedTimesDesc returns the core test times in descending order.
+func sortedTimesDesc(cores []Core) []float64 {
+	times := make([]float64, len(cores))
+	for i, c := range cores {
+		times[i] = c.TestTime
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(times)))
+	return times
+}
+
+// Optimal returns the exact minimum makespan over every assignment of
+// cores to channels, by depth-first branch and bound: cores are placed
+// longest-first, channels with equal loads are interchangeable (only
+// the first is tried), and any partial assignment whose busiest channel
+// already meets the incumbent is cut. The LPT makespan seeds the
+// incumbent and LowerBound closes the search early when LPT is already
+// optimal. Worst-case cost is exponential in len(cores); it is intended
+// for validation-scale instances (tens of cores, a handful of
+// channels), not production scheduling.
+func Optimal(cores []Core, channels int) (float64, error) {
+	if channels < 1 {
+		return 0, fmt.Errorf("soc: %d channels", channels)
+	}
+	for i, c := range cores {
+		if c.TestTime < 0 {
+			return 0, fmt.Errorf("soc: core %d (%s) has negative test time", i, c.Name)
+		}
+	}
+	if len(cores) == 0 {
+		return 0, nil
+	}
+	if channels > len(cores) {
+		channels = len(cores) // surplus channels stay idle
+	}
+	plan, err := LPT(cores, channels)
+	if err != nil {
+		return 0, err
+	}
+	best := plan.Makespan
+	lb := LowerBound(cores, channels)
+	if best <= lb+1e-9 {
+		return best, nil
+	}
+	times := sortedTimesDesc(cores)
+	loads := make([]float64, channels)
+	var dfs func(i int, curMax float64)
+	dfs = func(i int, curMax float64) {
+		if curMax >= best-1e-9 {
+			return
+		}
+		if i == len(times) {
+			best = curMax
+			return
+		}
+		t := times[i]
+		for c := 0; c < channels; c++ {
+			dup := false
+			for prev := 0; prev < c; prev++ {
+				if loads[prev] == loads[c] {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			nl := loads[c] + t
+			if nl >= best-1e-9 {
+				continue
+			}
+			loads[c] = nl
+			m := curMax
+			if nl > m {
+				m = nl
+			}
+			dfs(i+1, m)
+			loads[c] = nl - t
+			if best <= lb+1e-9 {
+				return // incumbent hit the lower bound: provably optimal
+			}
+		}
+	}
+	dfs(0, 0)
+	return best, nil
 }

@@ -51,18 +51,29 @@ func TestLPTValidation(t *testing.T) {
 	}
 }
 
+// propertyCores regenerates the random instance a (seed, nRaw, chRaw)
+// triple describes, shared by the property test and the pinned
+// regression case.
+func propertyCores(seed int64, nRaw, chRaw uint8) ([]Core, int) {
+	n := int(nRaw%20) + 1
+	ch := int(chRaw%6) + 1
+	rng := rand.New(rand.NewSource(seed))
+	cores := make([]Core, n)
+	for i := range cores {
+		cores[i] = Core{TestTime: float64(rng.Intn(1000) + 1)}
+	}
+	return cores, ch
+}
+
 // Properties: every core assigned exactly once; loads consistent;
-// makespan within the 4/3+ LPT bound of the lower bound; more channels
-// never hurt.
+// makespan within Graham's (4/3 − 1/(3m)) LPT guarantee of the exact
+// optimum (computed by branch and bound — comparing against a makespan
+// lower bound instead is unsound, since OPT can exceed any such bound);
+// more channels never hurt.
 func TestPropertyLPT(t *testing.T) {
 	f := func(seed int64, nRaw, chRaw uint8) bool {
-		n := int(nRaw%20) + 1
-		ch := int(chRaw%6) + 1
-		rng := rand.New(rand.NewSource(seed))
-		cores := make([]Core, n)
-		for i := range cores {
-			cores[i] = Core{TestTime: float64(rng.Intn(1000) + 1)}
-		}
+		cores, ch := propertyCores(seed, nRaw, chRaw)
+		n := len(cores)
 		p, err := LPT(cores, ch)
 		if err != nil {
 			return false
@@ -86,9 +97,19 @@ func TestPropertyLPT(t *testing.T) {
 				return false
 			}
 		}
+		opt, err := Optimal(cores, ch)
+		if err != nil {
+			return false
+		}
 		lb := LowerBound(cores, ch)
-		if p.Makespan < lb-1e-9 || p.Makespan > lb*4/3+1e-6+lb*1e-9 {
-			// LPT guarantee: <= 4/3 - 1/(3m) of OPT >= LB.
+		if opt < lb-1e-9 {
+			return false // the lower bound must never exceed the optimum
+		}
+		if p.Makespan < opt-1e-9 {
+			return false // nothing schedules below the optimum
+		}
+		guarantee := 4.0/3.0 - 1.0/(3.0*float64(ch))
+		if p.Makespan > opt*guarantee+1e-6 {
 			return false
 		}
 		pMore, err := LPT(cores, ch+1)
@@ -99,5 +120,141 @@ func TestPropertyLPT(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLPTRegressionQuickSeed pins the quick.Check input that exposed
+// the unsound bound of the original property test (quick seed
+// -1951109053579520370, nRaw=0x45, chRaw=0xdc → n=10 cores on m=5
+// channels). The trivial lower bound is 1004, so the old assertion
+// "makespan ≤ 4/3·LB ≈ 1338.7" rejected LPT's 1381 — but the pairing
+// bound t_(5)+t_(6) = 735+646 = 1381 proves 1381 is optimal.
+func TestLPTRegressionQuickSeed(t *testing.T) {
+	cores, ch := propertyCores(-1951109053579520370, 0x45, 0xdc)
+	if len(cores) != 10 || ch != 5 {
+		t.Fatalf("instance drifted: n=%d ch=%d", len(cores), ch)
+	}
+	p, err := LPT(cores, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Makespan != 1381 {
+		t.Fatalf("makespan = %v, want 1381", p.Makespan)
+	}
+	if lb := LowerBound(cores, ch); lb != 1381 {
+		t.Fatalf("lower bound = %v, want 1381 (pairing bound)", lb)
+	}
+	opt, err := Optimal(cores, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 1381 {
+		t.Fatalf("optimal = %v, want 1381", opt)
+	}
+}
+
+func TestLowerBoundPairing(t *testing.T) {
+	// The regression instance: trivial bound 1004 (= 5020/5), pairing
+	// bound 735+646 = 1381 closes the gap to the optimum.
+	times := []float64{735, 56, 41, 953, 771, 842, 801, 114, 646, 61}
+	cores := make([]Core, len(times))
+	for i, tt := range times {
+		cores[i] = Core{TestTime: tt}
+	}
+	if lb := LowerBound(cores, 5); lb != 1381 {
+		t.Fatalf("lower bound = %v, want 1381", lb)
+	}
+	// n <= m: no pairing term, the longest core dominates.
+	if lb := LowerBound(cores, 10); lb != 953 {
+		t.Fatalf("lower bound = %v, want 953", lb)
+	}
+	// Three equal cores on two channels: two must share, lb = 2t.
+	eq := []Core{{TestTime: 5}, {TestTime: 5}, {TestTime: 5}}
+	if lb := LowerBound(eq, 2); lb != 10 {
+		t.Fatalf("lower bound = %v, want 10", lb)
+	}
+}
+
+func TestOptimal(t *testing.T) {
+	// The TestLPTKnown instance: LPT gives 12 but 11 is achievable
+	// (7+4 vs 5+3+3), and the bound 22/2 = 11 certifies it.
+	cores := []Core{
+		{TestTime: 7}, {TestTime: 5}, {TestTime: 4}, {TestTime: 3}, {TestTime: 3},
+	}
+	opt, err := Optimal(cores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 11 {
+		t.Fatalf("optimal = %v, want 11", opt)
+	}
+	// Single channel: the optimum is the total.
+	if opt, _ := Optimal(cores, 1); opt != 22 {
+		t.Fatalf("1-channel optimal = %v, want 22", opt)
+	}
+	// More channels than cores: the optimum is the longest core.
+	if opt, _ := Optimal(cores, 9); opt != 7 {
+		t.Fatalf("9-channel optimal = %v, want 7", opt)
+	}
+	// Empty and invalid inputs.
+	if opt, err := Optimal(nil, 3); err != nil || opt != 0 {
+		t.Fatalf("empty SoC: %v %v", opt, err)
+	}
+	if _, err := Optimal(cores, 0); err == nil {
+		t.Fatal("0 channels accepted")
+	}
+	if _, err := Optimal([]Core{{TestTime: -1}}, 1); err == nil {
+		t.Fatal("negative time accepted")
+	}
+}
+
+// TestOptimalMatchesExhaustive cross-checks the branch and bound
+// against brute-force enumeration on small instances.
+func TestOptimalMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(7) + 1
+		ch := rng.Intn(3) + 1
+		cores := make([]Core, n)
+		for i := range cores {
+			cores[i] = Core{TestTime: float64(rng.Intn(50) + 1)}
+		}
+		opt, err := Optimal(cores, ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Enumerate every assignment.
+		best := 0.0
+		for i := range cores {
+			best += cores[i].TestTime
+		}
+		assign := make([]int, n)
+		var walk func(i int)
+		walk = func(i int) {
+			if i == n {
+				loads := make([]float64, ch)
+				for j, c := range assign {
+					loads[c] += cores[j].TestTime
+				}
+				m := 0.0
+				for _, l := range loads {
+					if l > m {
+						m = l
+					}
+				}
+				if m < best {
+					best = m
+				}
+				return
+			}
+			for c := 0; c < ch; c++ {
+				assign[i] = c
+				walk(i + 1)
+			}
+		}
+		walk(0)
+		if diff := opt - best; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d (n=%d ch=%d): Optimal=%v brute=%v", trial, n, ch, opt, best)
+		}
 	}
 }

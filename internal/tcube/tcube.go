@@ -90,16 +90,14 @@ func (s *Set) XPercent() float64 {
 }
 
 // Flatten concatenates all cubes, in order, into one long cube. This is
-// the serial bit order in which a single scan chain consumes T_D.
+// the serial bit order in which a single scan chain consumes T_D. The
+// concatenation blits whole words of the packed planes.
 func (s *Set) Flatten() *bitvec.Cube {
-	out := bitvec.NewCube(s.Bits())
-	for i, c := range s.cubes {
-		base := i * s.width
-		for j := 0; j < s.width; j++ {
-			out.Set(base+j, c.Get(j))
-		}
+	b := bitvec.NewCubeBuilder(s.Bits())
+	for _, c := range s.cubes {
+		b.AppendCube(c)
 	}
-	return out
+	return b.Build()
 }
 
 // FromFlat rebuilds a Set of the given width from a flattened cube. The
