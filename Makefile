@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-json telemetry-smoke overhead-guard
 
-## check: the full pre-merge gate — formatting, vet, build, race tests.
-check: fmt vet build race
+## check: the full pre-merge gate — formatting, vet, build, race tests,
+## telemetry smoke, and the disabled-telemetry overhead guard.
+check: fmt vet build race telemetry-smoke overhead-guard
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -26,3 +27,20 @@ race:
 ## bench: the 9C hot-path benchmarks (encode/decode, reference, parallel scaling).
 bench:
 	$(GO) test -bench 'Encode|Decode|Classify' -run XXX -benchtime 1s ./internal/core/
+
+## bench-json: run the hot-path benchmarks and persist a schema-valid
+## BENCH_<stamp>.json snapshot in the repo root (the perf trajectory).
+bench-json:
+	$(GO) test -bench 'Encode|Decode|Classify' -run XXX -benchtime 1s ./internal/core/ \
+		| $(GO) run ./cmd/benchjson -dir .
+
+## telemetry-smoke: run ninec with telemetry on against the example
+## cube set and require every emitted byte to be valid JSON.
+telemetry-smoke:
+	$(GO) run ./cmd/ninec -k 8 -json -metrics - examples/cubes.txt \
+		| $(GO) run ./cmd/benchjson -checkjson
+
+## overhead-guard: assert the disabled-telemetry encode path costs the
+## same as the enabled one (the instrumentation must be free by default).
+overhead-guard:
+	$(GO) test ./internal/core -run TestDisabledTelemetryOverhead -count=1

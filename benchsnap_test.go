@@ -1,0 +1,41 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestBenchSnapshotsValid validates every committed BENCH_<stamp>.json
+// perf-trajectory snapshot (written by `make bench-json`) against the
+// ninec-bench schema, so a hand-edited or truncated snapshot fails CI
+// rather than silently poisoning the trajectory.
+func TestBenchSnapshotsValid(t *testing.T) {
+	paths, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Skip("no BENCH_*.json snapshots committed yet")
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := obs.ReadBenchSnapshot(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if len(snap.Results) == 0 {
+			t.Errorf("%s: snapshot has no results", path)
+		}
+		if want := "BENCH_" + snap.Stamp + ".json"; filepath.Base(path) != want {
+			t.Errorf("%s: filename disagrees with stamp %q (want %s)", path, snap.Stamp, want)
+		}
+	}
+}

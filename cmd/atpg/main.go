@@ -6,6 +6,7 @@
 //
 //	atpg circuit.bench > cubes.txt
 //	atpg -compact -backtracks 5000 circuit.bench
+//	atpg -metrics - -trace t.ndjson -pprof localhost:6060 circuit.bench
 package main
 
 import (
@@ -16,12 +17,15 @@ import (
 	"repro/internal/atpg"
 	"repro/internal/faultsim"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 func main() {
 	compact := flag.Bool("compact", false, "reverse-order compaction pass")
 	backtracks := flag.Int("backtracks", 2000, "PODEM backtrack limit per fault")
 	seed := flag.Int64("seed", 1, "fill seed for fault dropping")
+	var telemetry obs.CLIConfig
+	telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -29,7 +33,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *compact, *backtracks, *seed); err != nil {
+	stop, err := telemetry.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atpg:", err)
+		os.Exit(1)
+	}
+	err = run(flag.Arg(0), *compact, *backtracks, *seed)
+	if serr := stop(); serr != nil && err == nil {
+		err = serr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "atpg:", err)
 		os.Exit(1)
 	}

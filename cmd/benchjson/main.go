@@ -1,0 +1,131 @@
+// Command benchjson maintains the repository's perf trajectory: it
+// converts `go test -bench` text output into schema-validated
+// BENCH_<stamp>.json snapshots (see internal/obs.BenchSnapshot) and
+// validates existing snapshot and telemetry JSON.
+//
+// Usage:
+//
+//	go test -bench ... | benchjson -dir .   # write BENCH_<stamp>.json
+//	benchjson -validate BENCH_*.json        # validate snapshot files
+//	ninec -json ... | benchjson -checkjson  # validate a JSON value stream
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory receiving the BENCH_<stamp>.json snapshot")
+	stamp := flag.String("stamp", "", "override the snapshot stamp (default: current UTC time)")
+	validate := flag.Bool("validate", false, "validate the snapshot files given as arguments instead of writing one")
+	checkJSON := flag.Bool("checkjson", false, "require stdin to be a non-empty stream of valid JSON values")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *validate:
+		err = runValidate(flag.Args())
+	case *checkJSON:
+		err = runCheckJSON(os.Stdin)
+	default:
+		err = runSnapshot(os.Stdin, *dir, *stamp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// runSnapshot parses bench output from r and writes one validated
+// snapshot file into dir.
+func runSnapshot(r io.Reader, dir, stamp string) error {
+	snap, err := obs.ParseBenchOutput(r)
+	if err != nil {
+		return err
+	}
+	if len(snap.Results) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench` output in)")
+	}
+	if stamp == "" {
+		stamp = time.Now().UTC().Format(obs.BenchStampLayout)
+	}
+	snap.Schema = obs.BenchSchema
+	snap.Stamp = stamp
+	snap.GoVersion = runtime.Version()
+	snap.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	if snap.GOOS == "" {
+		snap.GOOS = runtime.GOOS
+	}
+	if snap.GOARCH == "" {
+		snap.GOARCH = runtime.GOARCH
+	}
+	if err := snap.Validate(); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+stamp+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d results)\n", path, len(snap.Results))
+	return nil
+}
+
+// runValidate checks each named snapshot file against the schema.
+func runValidate(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-validate needs snapshot files as arguments")
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		snap, err := obs.ReadBenchSnapshot(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s ok (%d results, stamp %s)\n",
+			path, len(snap.Results), snap.Stamp)
+	}
+	return nil
+}
+
+// runCheckJSON requires r to carry one or more valid JSON values and
+// nothing else — the telemetry smoke gate for CLI -json/-metrics
+// output.
+func runCheckJSON(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	n := 0
+	for {
+		var v any
+		if err := dec.Decode(&v); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("invalid JSON value after %d valid values: %w", n, err)
+		}
+		n++
+	}
+	if n == 0 {
+		return fmt.Errorf("no JSON values on stdin")
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d JSON values ok\n", n)
+	return nil
+}

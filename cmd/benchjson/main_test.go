@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+cpu: Example CPU @ 2.00GHz
+BenchmarkEncodeSet-8   	     532	   2147193 ns/op	  30.52 MB/s
+BenchmarkEncodeCube-8  	  120000	      9521 ns/op	  26.88 MB/s	     512 B/op	       3 allocs/op
+PASS
+ok  	repro/internal/core	3.021s
+`
+
+func TestRunSnapshotWritesValidFile(t *testing.T) {
+	dir := t.TempDir()
+	stamp := "20260806T120000Z"
+	if err := runSnapshot(strings.NewReader(benchOutput), dir, stamp); err != nil {
+		t.Fatalf("runSnapshot: %v", err)
+	}
+	path := filepath.Join(dir, "BENCH_"+stamp+".json")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("snapshot file: %v", err)
+	}
+	defer f.Close()
+	snap, err := obs.ReadBenchSnapshot(f)
+	if err != nil {
+		t.Fatalf("ReadBenchSnapshot: %v", err)
+	}
+	if snap.Schema != obs.BenchSchema {
+		t.Errorf("schema = %q, want %q", snap.Schema, obs.BenchSchema)
+	}
+	if snap.Stamp != stamp {
+		t.Errorf("stamp = %q, want %q", snap.Stamp, stamp)
+	}
+	if len(snap.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(snap.Results))
+	}
+	if snap.Results[0].Name != "BenchmarkEncodeSet" {
+		t.Errorf("first result = %q", snap.Results[0].Name)
+	}
+	if snap.Results[0].NsPerOp != 2147193 {
+		t.Errorf("ns/op = %v", snap.Results[0].NsPerOp)
+	}
+	if snap.GoVersion == "" || snap.GOMAXPROCS < 1 {
+		t.Errorf("environment not filled: go=%q procs=%d", snap.GoVersion, snap.GOMAXPROCS)
+	}
+}
+
+func TestRunSnapshotRejectsEmptyInput(t *testing.T) {
+	if err := runSnapshot(strings.NewReader("PASS\n"), t.TempDir(), ""); err == nil {
+		t.Fatal("want error for input without benchmark lines")
+	}
+}
+
+func TestRunValidate(t *testing.T) {
+	dir := t.TempDir()
+	stamp := "20260806T120001Z"
+	if err := runSnapshot(strings.NewReader(benchOutput), dir, stamp); err != nil {
+		t.Fatalf("runSnapshot: %v", err)
+	}
+	good := filepath.Join(dir, "BENCH_"+stamp+".json")
+	if err := runValidate([]string{good}); err != nil {
+		t.Errorf("valid snapshot rejected: %v", err)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"wrong/v0"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runValidate([]string{bad}); err == nil {
+		t.Error("bad snapshot accepted")
+	}
+	if err := runValidate(nil); err == nil {
+		t.Error("empty argument list accepted")
+	}
+}
+
+func TestRunCheckJSON(t *testing.T) {
+	ok := `{"t":1,"type":"encode_report"}` + "\n" + `{"counters":{}}` + "\n"
+	if err := runCheckJSON(strings.NewReader(ok)); err != nil {
+		t.Errorf("valid stream rejected: %v", err)
+	}
+	if err := runCheckJSON(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if err := runCheckJSON(strings.NewReader(`{"a":1} not-json`)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}

@@ -10,36 +10,65 @@
 //	ninec -k 8 -verify cubes.txt          # compress + decode + cross-check
 //	ninec -k 8 -p 16 cubes.txt            # TAT at f_scan = 16 f_ate
 //	ninec -k 8 -workers 4 cubes.txt       # encode with 4 parallel workers
+//	ninec -k 8 -json cubes.txt            # machine-readable encode report
 //	ninec -k 8 -o out.9c cubes.txt        # write the compressed container
 //	ninec -d out.9c                       # decompress a container to stdout
+//
+// Telemetry (all off by default):
+//
+//	ninec -metrics - ...                  # metrics snapshot JSON on exit
+//	ninec -trace trace.ndjson ...         # structured stage-span events
+//	ninec -pprof localhost:6060 ...       # net/http/pprof while running
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/ate"
 	"repro/internal/container"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/reorder"
 	"repro/internal/stil"
 	"repro/internal/tcube"
 )
 
+// runOpts carries every flag of the compress path.
+type runOpts struct {
+	K, P    int
+	FD      bool
+	Stat    bool
+	Sweep   bool
+	Verify  bool
+	Out     string
+	Chains  int
+	Reorder bool
+	Workers int
+	JSON    bool
+}
+
 func main() {
-	k := flag.Int("k", 8, "block size K (even, >= 2)")
-	p := flag.Int("p", 8, "scan-to-ATE clock ratio for the TAT report")
-	fd := flag.Bool("fd", false, "use the frequency-directed codeword assignment")
-	stat := flag.Bool("stat", false, "print test-set statistics only")
-	sweep := flag.Bool("sweep", false, "sweep K over the Table II values")
-	verify := flag.Bool("verify", false, "decode through the hardware model and cross-check")
-	out := flag.String("o", "", "write the compressed stream to this container file")
+	var o runOpts
+	var telemetry obs.CLIConfig
+	flag.IntVar(&o.K, "k", 8, "block size K (even, >= 2)")
+	flag.IntVar(&o.P, "p", 8, "scan-to-ATE clock ratio for the TAT report")
+	flag.BoolVar(&o.FD, "fd", false, "use the frequency-directed codeword assignment")
+	flag.BoolVar(&o.Stat, "stat", false, "print test-set statistics only")
+	flag.BoolVar(&o.Sweep, "sweep", false, "sweep K over the Table II values")
+	flag.BoolVar(&o.Verify, "verify", false, "decode through the hardware model and cross-check")
+	flag.StringVar(&o.Out, "o", "", "write the compressed stream to this container file")
 	dec := flag.Bool("d", false, "treat the input as a container and decompress to stdout")
-	chains := flag.Int("chains", 1, "encode for this many parallel scan chains (vertical order, one ATE pin)")
-	reord := flag.Bool("reorder", false, "greedily reorder scan cells for compatibility before encoding")
-	workers := flag.Int("workers", 0, "parallel encode workers (0 = GOMAXPROCS; output is identical to serial)")
+	flag.IntVar(&o.Chains, "chains", 1, "encode for this many parallel scan chains (vertical order, one ATE pin)")
+	flag.BoolVar(&o.Reorder, "reorder", false, "greedily reorder scan cells for compatibility before encoding")
+	flag.IntVar(&o.Workers, "workers", 0, "parallel encode workers (0 = GOMAXPROCS; output is identical to serial)")
+	flag.BoolVar(&o.JSON, "json", false, "emit the encode report as one JSON object on stdout")
+	telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -47,11 +76,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	var err error
+	stop, err := telemetry.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ninec:", err)
+		os.Exit(1)
+	}
 	if *dec {
 		err = runDecompress(flag.Arg(0))
 	} else {
-		err = run(flag.Arg(0), *k, *p, *fd, *stat, *sweep, *verify, *out, *chains, *reord, *workers)
+		err = run(flag.Arg(0), o)
+	}
+	if serr := stop(); serr != nil && err == nil {
+		err = serr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ninec:", err)
@@ -60,7 +96,9 @@ func main() {
 }
 
 // runDecompress reads a container, decodes it, and prints the decoded
-// cube set (leftover X intact) as 01X text.
+// cube set (leftover X intact) as 01X text. The set keeps the name
+// stored in the container header; legacy nameless containers fall back
+// to the container's own base name.
 func runDecompress(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -79,58 +117,72 @@ func runDecompress(path string) error {
 	if err != nil {
 		return err
 	}
+	name := r.Name
+	if name == "" {
+		name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
 	if set == nil {
-		set, err = tcube.FromFlat(path, cube, cube.Len())
+		set, err = tcube.FromFlat(name, cube, cube.Len())
 		if err != nil {
 			return err
 		}
+	} else {
+		set.Name = name
 	}
 	fmt.Fprintf(os.Stderr, "%s: K=%d, %d patterns x %d bits, CR %.2f%%, leftover X %.2f%%\n",
-		path, r.K, r.Patterns, r.Width, r.CR(), r.LXPercent())
+		set.Name, r.K, r.Patterns, r.Width, r.CR(), r.LXPercent())
 	return set.Write(os.Stdout)
 }
 
-func run(path string, k, p int, fd, stat, sweep, verify bool, out string, chains int, reord bool, workers int) error {
+func run(path string, o runOpts) error {
+	if o.JSON && (o.Stat || o.Sweep) {
+		return fmt.Errorf("-json applies to the compress report; drop -stat/-sweep")
+	}
 	set, err := readCubes(path)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: %d patterns x %d bits = %d bits, %.2f%% don't-care\n",
+	say := func(format string, args ...any) {
+		if !o.JSON {
+			fmt.Printf(format, args...)
+		}
+	}
+	say("%s: %d patterns x %d bits = %d bits, %.2f%% don't-care\n",
 		set.Name, set.Len(), set.Width(), set.Bits(), set.XPercent())
-	if stat {
+	if o.Stat {
 		fmt.Print(tcube.Measure(set).String())
 		return nil
 	}
-	if reord {
+	if o.Reorder {
 		perm, reordered, err := reorder.Greedy(set)
 		if err != nil {
 			return err
 		}
 		set = reordered
-		fmt.Printf("reordered %d scan cells for compatibility (chain stitching permutation computed)\n", len(perm))
+		say("reordered %d scan cells for compatibility (chain stitching permutation computed)\n", len(perm))
 	}
-	if chains > 1 {
+	if o.Chains > 1 {
 		// Multi-scan reduced pin-count mode: pad the width to a chain
 		// multiple and encode in the vertical order the Fig. 3 decoder
 		// consumes; the ATE still needs only one data pin.
 		w := set.Width()
-		if rem := w % chains; rem != 0 {
-			w += chains - rem
+		if rem := w % o.Chains; rem != 0 {
+			w += o.Chains - rem
 		}
 		padded := tcube.NewSet(set.Name, w)
 		for i := 0; i < set.Len(); i++ {
 			padded.MustAppend(set.Cube(i).Slice(0, w))
 		}
-		set, err = tcube.Verticalize(padded, chains)
+		set, err = tcube.Verticalize(padded, o.Chains)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("multi-scan: %d chains of %d cells, vertical order, 1 ATE pin\n", chains, w/chains)
+		say("multi-scan: %d chains of %d cells, vertical order, 1 ATE pin\n", o.Chains, w/o.Chains)
 	}
-	if sweep {
+	if o.Sweep {
 		fmt.Printf("%4s %8s %8s %10s\n", "K", "CR%", "LX%", "|T_E|")
 		for _, kk := range []int{4, 8, 12, 16, 20, 24, 28, 32} {
-			r, err := encode(set, kk, fd, workers)
+			r, err := encode(set, kk, o.FD, o.Workers)
 			if err != nil {
 				return err
 			}
@@ -139,24 +191,24 @@ func run(path string, k, p int, fd, stat, sweep, verify bool, out string, chains
 		return nil
 	}
 
-	r, err := encode(set, k, fd, workers)
+	r, err := encode(set, o.K, o.FD, o.Workers)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("K=%d: |T_E| = %d bits, CR = %.2f%%, leftover X = %.2f%%\n",
-		k, r.CompressedBits(), r.CR(), r.LXPercent())
-	fmt.Printf("codewords: %s\n", r.Assign)
+	say("K=%d: |T_E| = %d bits, CR = %.2f%%, leftover X = %.2f%%\n",
+		o.K, r.CompressedBits(), r.CR(), r.LXPercent())
+	say("codewords: %s\n", r.Assign)
 	for cs := core.CaseAll0; cs <= core.CaseMisMis; cs++ {
-		fmt.Printf("  N%d (%s) = %d\n", int(cs), cs.Symbol(), r.Counts.N(cs))
+		say("  N%d (%s) = %d\n", int(cs), cs.Symbol(), r.Counts.N(cs))
 	}
-	rep, err := ate.Session{P: p, FillSeed: 1}.RunSingleScan(r)
+	rep, err := ate.Session{P: o.P, FillSeed: 1}.RunSingleScan(r)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("TAT at p=%d: %.2f%% (analytic %.2f%%)\n", p, rep.TATMeasured, rep.TATAnalytic)
+	say("TAT at p=%d: %.2f%% (analytic %.2f%%)\n", o.P, rep.TATMeasured, rep.TATAnalytic)
 
-	if out != "" {
-		f, err := os.Create(out)
+	if o.Out != "" {
+		f, err := os.Create(o.Out)
 		if err != nil {
 			return err
 		}
@@ -167,11 +219,12 @@ func run(path string, k, p int, fd, stat, sweep, verify bool, out string, chains
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", out)
+		say("wrote %s\n", o.Out)
 	}
 
-	if verify {
-		cdc, err := codecFor(k, fd, r)
+	verified := false
+	if o.Verify {
+		cdc, err := codecFor(o.K, o.FD, r)
 		if err != nil {
 			return err
 		}
@@ -182,9 +235,58 @@ func run(path string, k, p int, fd, stat, sweep, verify bool, out string, chains
 		if !set.Covers(dec) {
 			return fmt.Errorf("decode contradicts a specified bit")
 		}
-		fmt.Println("verify: decode preserves every specified bit")
+		verified = true
+		say("verify: decode preserves every specified bit\n")
+	}
+
+	if o.JSON {
+		return writeJSONReport(os.Stdout, set, r, rep, o, verified)
 	}
 	return nil
+}
+
+// writeJSONReport emits the encode report as a single obs.Event JSON
+// object, so report consumers and trace consumers share one schema.
+func writeJSONReport(w *os.File, set *tcube.Set, r *core.Result, rep *ate.Report, o runOpts, verified bool) error {
+	counts := make(map[string]int64, core.NumCases)
+	for cs := core.CaseAll0; cs <= core.CaseMisMis; cs++ {
+		counts[fmt.Sprintf("n%d", int(cs))] = int64(r.Counts.N(cs))
+	}
+	fields := map[string]any{
+		"set":             set.Name,
+		"patterns":        r.Patterns,
+		"width":           r.Width,
+		"k":               r.K,
+		"fd":              o.FD,
+		"workers":         o.Workers,
+		"chains":          o.Chains,
+		"orig_bits":       r.OrigBits,
+		"compressed_bits": r.CompressedBits(),
+		"blocks":          r.Blocks,
+		"cr_percent":      r.CR(),
+		"lx_percent":      r.LXPercent(),
+		"counts":          counts,
+		"codewords":       r.Assign.String(),
+		"tat": map[string]any{
+			"p":        o.P,
+			"measured": rep.TATMeasured,
+			"analytic": rep.TATAnalytic,
+		},
+	}
+	if o.Out != "" {
+		fields["container"] = o.Out
+	}
+	if o.Verify {
+		fields["verified"] = verified
+	}
+	ev := obs.Event{
+		TimeUnixNano: time.Now().UnixNano(),
+		Type:         "encode_report",
+		Name:         set.Name,
+		Fields:       fields,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ev)
 }
 
 // readCubes loads a cube set, selecting the parser by extension: .stil

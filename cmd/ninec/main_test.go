@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 const cubes = `# demo
@@ -45,7 +48,7 @@ func writeCubes(t *testing.T) string {
 func TestRunStat(t *testing.T) {
 	path := writeCubes(t)
 	out, err := captureStdout(t, func() error {
-		return run(path, 8, 8, false, true, false, false, "", 1, false, 0)
+		return run(path, runOpts{K: 8, P: 8, Stat: true})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -58,7 +61,7 @@ func TestRunStat(t *testing.T) {
 func TestRunSweep(t *testing.T) {
 	path := writeCubes(t)
 	out, err := captureStdout(t, func() error {
-		return run(path, 8, 8, false, false, true, false, "", 1, false, 0)
+		return run(path, runOpts{K: 8, P: 8, Sweep: true})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -72,7 +75,7 @@ func TestRunCompressVerifyAndContainer(t *testing.T) {
 	path := writeCubes(t)
 	cont := filepath.Join(t.TempDir(), "out.9c")
 	out, err := captureStdout(t, func() error {
-		return run(path, 8, 8, false, false, false, true, cont, 1, false, 0)
+		return run(path, runOpts{K: 8, P: 8, Verify: true, Out: cont})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +103,7 @@ func TestRunCompressVerifyAndContainer(t *testing.T) {
 func TestRunFrequencyDirected(t *testing.T) {
 	path := writeCubes(t)
 	out, err := captureStdout(t, func() error {
-		return run(path, 8, 8, true, false, false, true, "", 1, false, 0)
+		return run(path, runOpts{K: 8, P: 8, FD: true, Verify: true})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -112,10 +115,10 @@ func TestRunFrequencyDirected(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	path := writeCubes(t)
-	if err := run(path, 7, 8, false, false, false, false, "", 1, false, 0); err == nil {
+	if err := run(path, runOpts{K: 7, P: 8}); err == nil {
 		t.Fatal("odd K accepted")
 	}
-	if err := run("/nonexistent/cubes.txt", 8, 8, false, false, false, false, "", 1, false, 0); err == nil {
+	if err := run("/nonexistent/cubes.txt", runOpts{K: 8, P: 8}); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	if err := runDecompress(path); err == nil {
@@ -126,7 +129,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunMultiChain(t *testing.T) {
 	path := writeCubes(t)
 	out, err := captureStdout(t, func() error {
-		return run(path, 8, 8, false, false, false, false, "", 4, false, 0)
+		return run(path, runOpts{K: 8, P: 8, Chains: 4})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -139,13 +142,13 @@ func TestRunMultiChain(t *testing.T) {
 func TestRunParallelWorkersIdentical(t *testing.T) {
 	path := writeCubes(t)
 	serial, err := captureStdout(t, func() error {
-		return run(path, 8, 8, false, false, false, false, "", 1, false, 1)
+		return run(path, runOpts{K: 8, P: 8, Workers: 1})
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	parallel, err := captureStdout(t, func() error {
-		return run(path, 8, 8, false, false, false, false, "", 1, false, 3)
+		return run(path, runOpts{K: 8, P: 8, Workers: 3})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -166,7 +169,7 @@ Pattern "p" { Call "load_unload" { "si" = 0000000011111111; } }
 		t.Fatal(err)
 	}
 	out, err := captureStdout(t, func() error {
-		return run(path, 8, 8, false, true, false, false, "", 1, false, 0)
+		return run(path, runOpts{K: 8, P: 8, Stat: true})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -179,12 +182,155 @@ Pattern "p" { Call "load_unload" { "si" = 0000000011111111; } }
 func TestRunReorder(t *testing.T) {
 	path := writeCubes(t)
 	out, err := captureStdout(t, func() error {
-		return run(path, 8, 8, false, false, false, true, "", 1, true, 0)
+		return run(path, runOpts{K: 8, P: 8, Verify: true, Reorder: true})
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "reordered 16 scan cells") {
 		t.Fatalf("reorder output: %q", out)
+	}
+}
+
+// TestRunJSONReport asserts -json emits exactly one machine-readable
+// encode report reusing the obs event shape.
+func TestRunJSONReport(t *testing.T) {
+	path := writeCubes(t)
+	out, err := captureStdout(t, func() error {
+		return run(path, runOpts{K: 8, P: 8, Verify: true, JSON: true})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev obs.Event
+	if err := json.Unmarshal([]byte(out), &ev); err != nil {
+		t.Fatalf("stdout is not one JSON object: %v\n%q", err, out)
+	}
+	if ev.Type != "encode_report" {
+		t.Fatalf("event type = %q", ev.Type)
+	}
+	f := ev.Fields
+	if f["k"] != float64(8) || f["patterns"] != float64(3) || f["width"] != float64(16) {
+		t.Fatalf("geometry fields: %v", f)
+	}
+	for _, key := range []string{"cr_percent", "lx_percent", "compressed_bits", "orig_bits", "codewords", "tat"} {
+		if _, ok := f[key]; !ok {
+			t.Fatalf("missing field %q in %v", key, f)
+		}
+	}
+	counts, ok := f["counts"].(map[string]any)
+	if !ok || len(counts) != 9 {
+		t.Fatalf("counts = %v", f["counts"])
+	}
+	if f["verified"] != true {
+		t.Fatalf("verified = %v", f["verified"])
+	}
+	tat, ok := f["tat"].(map[string]any)
+	if !ok || tat["p"] != float64(8) {
+		t.Fatalf("tat = %v", f["tat"])
+	}
+}
+
+func TestRunJSONRejectsStatSweep(t *testing.T) {
+	path := writeCubes(t)
+	if err := run(path, runOpts{K: 8, P: 8, JSON: true, Stat: true}); err == nil {
+		t.Fatal("-json -stat accepted")
+	}
+	if err := run(path, runOpts{K: 8, P: 8, JSON: true, Sweep: true}); err == nil {
+		t.Fatal("-json -sweep accepted")
+	}
+}
+
+// TestDecompressKeepsSetName asserts the round-tripped set is labeled
+// with the original set name from the container header, not the .9c
+// container path.
+func TestDecompressKeepsSetName(t *testing.T) {
+	path := writeCubes(t)
+	cont := filepath.Join(t.TempDir(), "out.9c")
+	if _, err := captureStdout(t, func() error {
+		return run(path, runOpts{K: 8, P: 8, Out: cont})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The banner naming the set goes to stderr.
+	oldErr := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	_, runErr := captureStdout(t, func() error { return runDecompress(cont) })
+	w.Close()
+	os.Stderr = oldErr
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	r.Close()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	banner := string(buf[:n])
+	if !strings.Contains(banner, path+":") {
+		t.Fatalf("decompress banner %q does not name the source set %q", banner, path)
+	}
+	if strings.Contains(banner, "out.9c") {
+		t.Fatalf("decompress banner %q still names the container path", banner)
+	}
+}
+
+// TestTelemetrySmoke drives the full CLI telemetry path: metrics to a
+// file, trace to a file, and a compress run — then validates both
+// outputs parse as JSON. This backs the `make telemetry-smoke` gate.
+func TestTelemetrySmoke(t *testing.T) {
+	path := writeCubes(t)
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	trace := filepath.Join(dir, "trace.ndjson")
+	stop, err := obs.CLIConfig{Metrics: metrics, Trace: trace}.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := captureStdout(t, func() error {
+		return run(path, runOpts{K: 8, P: 8, Verify: true, Workers: 2})
+	}); err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics snapshot: %v\n%s", err, raw)
+	}
+	if snap.Counters["core.encode.calls"] == 0 {
+		t.Fatalf("no encode calls recorded: %v", snap.Counters)
+	}
+	if snap.Counters["core.encode.blocks"] == 0 || snap.Counters["core.case.n9"] == 0 {
+		t.Fatalf("per-case/block counters missing: %v", snap.Counters)
+	}
+	traw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(traw)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no trace events")
+	}
+	sawWorker := false
+	for _, line := range lines {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line %q: %v", line, err)
+		}
+		if ev.Name == "core.encode_worker" {
+			sawWorker = true
+		}
+	}
+	if !sawWorker {
+		t.Fatal("no per-worker span in trace")
 	}
 }

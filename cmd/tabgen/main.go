@@ -8,6 +8,7 @@
 //	tabgen -figure 4        # one figure (1..4)
 //	tabgen -extra power     # extension experiment: fill | power | ablation
 //	tabgen -scale 10        # shrink the heavy workloads (Table VIII, fill)
+//	tabgen -metrics -       # per-table wall time and verify spans on exit
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -23,9 +25,20 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate one figure (1..4); 0 = all")
 	extra := flag.String("extra", "", "extension experiment: fill | power | ablation")
 	scale := flag.Int("scale", 1, "volume divisor for the heavy workloads (>= 1)")
+	var telemetry obs.CLIConfig
+	telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*table, *figure, *extra, *scale); err != nil {
+	stop, err := telemetry.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tabgen:", err)
+		os.Exit(1)
+	}
+	err = run(*table, *figure, *extra, *scale)
+	if serr := stop(); serr != nil && err == nil {
+		err = serr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tabgen:", err)
 		os.Exit(1)
 	}
@@ -62,7 +75,7 @@ func run(table, figure int, extra string, scale int) error {
 
 	selected := table != 0 || figure != 0 || extra != ""
 	emit := func(g gen) error {
-		t, err := g()
+		t, err := experiments.Timed(g)
 		if err != nil {
 			return err
 		}

@@ -1,13 +1,14 @@
 // Package container defines the on-disk format for 9C-compressed test
-// data ("N9C1"): a small self-describing header followed by the packed
-// T_E payload. Because T_E is ternary — leftover don't-cares survive
+// data: a small self-describing header followed by the packed T_E
+// payload. Because T_E is ternary — leftover don't-cares survive
 // compression — the payload stores two planes, the value bits and the
 // X mask, so a stored stream can still be filled at load time.
 //
 // Layout (all integers little-endian uint32 unless noted):
 //
 //	offset  field
-//	0       magic "N9C1"
+//	0       magic "N9C2" ("N9C1" containers, which lack the set-name
+//	        field, are still read)
 //	4       block size K
 //	8       pattern count (0 when a bare cube was encoded)
 //	12      scan width    (0 when a bare cube was encoded)
@@ -16,6 +17,9 @@
 //	24      stream bit count |T_E|
 //	28      codeword table: 9 × (uint8 length + 8-byte zero-padded
 //	        codeword ASCII)
+//	...     set name (v2 only): uint16 length + UTF-8 bytes, so a
+//	        decompressed set keeps its original label instead of the
+//	        container path
 //	...     value plane, ceil(|T_E|/8) bytes, bit i at byte i/8 bit i%8
 //	...     X-mask plane, same size (bit set = position is X)
 package container
@@ -28,13 +32,27 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
-// Magic identifies the format.
-const Magic = "N9C1"
+// Magic identifies the current format version.
+const Magic = "N9C2"
 
-// Write serializes an encoding result.
-func Write(w io.Writer, r *core.Result) error {
+// MagicV1 is the legacy nameless format, accepted on read.
+const MagicV1 = "N9C1"
+
+// maxNameLen bounds the stored set name; longer names are truncated on
+// write and rejected on read.
+const maxNameLen = 4096
+
+// Write serializes an encoding result, including the source set name
+// so decompression can restore the original label.
+func Write(w io.Writer, r *core.Result) (err error) {
+	sp := obs.Active().Span("container.write")
+	cw := &countingWriter{w: w}
+	defer func() { observeIO(sp, "container.writes", "container.bytes_written", cw.n, err) }()
+	w = cw
+
 	var hdr [28]byte
 	copy(hdr[0:4], Magic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(r.K))
@@ -55,23 +73,42 @@ func Write(w io.Writer, r *core.Result) error {
 			return err
 		}
 	}
+	name := r.Name
+	if len(name) > maxNameLen {
+		name = name[:maxNameLen]
+	}
+	var nlen [2]byte
+	binary.LittleEndian.PutUint16(nlen[:], uint16(len(name)))
+	if _, err := w.Write(nlen[:]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, name); err != nil {
+		return err
+	}
 	val, mask := planes(r.Stream)
 	if _, err := w.Write(val); err != nil {
 		return err
 	}
-	_, err := w.Write(mask)
+	_, err = w.Write(mask)
 	return err
 }
 
 // Read parses a container back into a Result (Counts are recomputed by
 // re-classifying on decode when needed; the stored stream is
-// authoritative).
-func Read(rd io.Reader) (*core.Result, error) {
+// authoritative). Both the current "N9C2" format and the legacy
+// nameless "N9C1" format are accepted.
+func Read(rd io.Reader) (res *core.Result, err error) {
+	sp := obs.Active().Span("container.read")
+	cr := &countingReader{r: rd}
+	defer func() { observeIO(sp, "container.reads", "container.bytes_read", cr.n, err) }()
+	rd = cr
+
 	var hdr [28]byte
 	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
 		return nil, fmt.Errorf("container: header: %w", err)
 	}
-	if string(hdr[0:4]) != Magic {
+	hasName := string(hdr[0:4]) == Magic
+	if !hasName && string(hdr[0:4]) != MagicV1 {
 		return nil, fmt.Errorf("container: bad magic %q", hdr[0:4])
 	}
 	k := int(binary.LittleEndian.Uint32(hdr[4:]))
@@ -119,6 +156,23 @@ func Read(rd io.Reader) (*core.Result, error) {
 		return nil, fmt.Errorf("container: %w", err)
 	}
 
+	var name string
+	if hasName {
+		var nlen [2]byte
+		if _, err := io.ReadFull(rd, nlen[:]); err != nil {
+			return nil, fmt.Errorf("container: set name length: %w", err)
+		}
+		n := int(binary.LittleEndian.Uint16(nlen[:]))
+		if n > maxNameLen {
+			return nil, fmt.Errorf("container: set name length %d exceeds %d", n, maxNameLen)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(rd, buf); err != nil {
+			return nil, fmt.Errorf("container: set name: %w", err)
+		}
+		name = string(buf)
+	}
+
 	nbytes := (streamBits + 7) / 8
 	val := make([]byte, nbytes)
 	mask := make([]byte, nbytes)
@@ -137,7 +191,7 @@ func Read(rd io.Reader) (*core.Result, error) {
 	}
 
 	r := &core.Result{
-		K: k, Assign: assign, Stream: stream,
+		K: k, Name: name, Assign: assign, Stream: stream,
 		OrigBits: origBits, Blocks: blocks, LeftoverX: stream.XCount(),
 		Patterns: patterns, Width: width,
 	}
@@ -199,4 +253,45 @@ func unplanes(val, mask []byte, bits int) (*bitvec.Cube, error) {
 		}
 	}
 	return c, nil
+}
+
+// countingWriter tracks bytes written for the telemetry counters.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// countingReader tracks bytes read for the telemetry counters.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// observeIO publishes one container I/O operation and ends its span.
+func observeIO(sp *obs.Span, opCounter, byteCounter string, bytes int64, err error) {
+	reg := obs.Active()
+	if reg == nil {
+		sp.End()
+		return
+	}
+	reg.Counter(opCounter).Inc()
+	reg.Counter(byteCounter).Add(bytes)
+	sp.Set("bytes", bytes)
+	if err != nil {
+		reg.Counter("container.errors").Inc()
+		sp.Set("error", err.Error())
+	}
+	sp.End()
 }

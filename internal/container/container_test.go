@@ -2,6 +2,7 @@ package container
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"strings"
 	"testing"
@@ -90,14 +91,70 @@ func TestReadRejectsCorruption(t *testing.T) {
 		copy(b[28:37], b[37:46])
 		return b
 	})
-	// Value+mask both set on bit 0 of the payload.
+	// Value+mask both set on bit 0 of the payload, which starts after
+	// the header, codeword table, and length-prefixed set name.
 	mutate("X and 1 simultaneously", func(b []byte) []byte {
-		payload := 28 + 9*9
+		nameOff := 28 + 9*9
+		payload := nameOff + 2 + int(binary.LittleEndian.Uint16(b[nameOff:]))
 		nbytes := (len(b) - payload) / 2
 		b[payload] |= 1
 		b[payload+nbytes] |= 1
 		return b
 	})
+	mutate("oversized name length", func(b []byte) []byte {
+		nameOff := 28 + 9*9
+		binary.LittleEndian.PutUint16(b[nameOff:], 60000)
+		return b
+	})
+}
+
+// TestSetNameRoundTrip asserts the v2 header preserves the source set
+// name, so a decompressed set no longer inherits its container path.
+func TestSetNameRoundTrip(t *testing.T) {
+	_, r, set := encodeSet(t, 8, "0000000011111111")
+	if r.Name != set.Name {
+		t.Fatalf("encode result name %q, want %q", r.Name, set.Name)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != set.Name {
+		t.Fatalf("container round-trip name %q, want %q", back.Name, set.Name)
+	}
+}
+
+// TestReadLegacyV1 asserts nameless N9C1 containers still load: the
+// v2 reader must treat the name field as absent, not misparse the
+// payload.
+func TestReadLegacyV1(t *testing.T) {
+	_, r, _ := encodeSet(t, 8, "0000000011111111", "01X011011XXXXX10")
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the v2 container as v1: legacy magic, name field spliced
+	// out (it sits between the codeword table and the planes).
+	b := append([]byte(nil), buf.Bytes()...)
+	copy(b[0:4], MagicV1)
+	nameOff := 28 + 9*9
+	nameLen := int(binary.LittleEndian.Uint16(b[nameOff:]))
+	v1 := append(b[:nameOff:nameOff], b[nameOff+2+nameLen:]...)
+
+	back, err := Read(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "" {
+		t.Fatalf("v1 container produced name %q, want empty", back.Name)
+	}
+	if !back.Stream.Equal(r.Stream) || back.Counts != r.Counts {
+		t.Fatal("v1 payload misparsed")
+	}
 }
 
 func TestReadRejectsUndecodableStream(t *testing.T) {

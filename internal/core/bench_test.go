@@ -78,6 +78,25 @@ func benchSet(patterns, width int) *tcube.Set {
 	return s
 }
 
+// BenchmarkEncodeSet is the canonical serial-path benchmark (K=16,
+// 256x2048 set) — the number tracked across releases by the
+// BENCH_<stamp>.json snapshots and guarded against telemetry overhead
+// by TestDisabledTelemetryOverhead.
+func BenchmarkEncodeSet(b *testing.B) {
+	set := benchSet(256, 2048)
+	cdc, err := New(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(set.Bits() / 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cdc.EncodeSet(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEncodeSetParallel measures worker-pool scaling of the
 // parallel set encoder against the serial baseline (workers=1 falls
 // through to EncodeSet).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bitvec"
+	"repro/internal/obs"
 	"repro/internal/tcube"
 )
 
@@ -67,6 +68,7 @@ func (c *Codec) Assignment() Assignment { return c.assign }
 // halves), codeword statistics, and enough geometry to decode.
 type Result struct {
 	K         int
+	Name      string // source set name ("" for bare cubes and v1 containers)
 	Assign    Assignment
 	Stream    *bitvec.Cube // T_E in ATE shipping order
 	Counts    Counts
@@ -116,6 +118,7 @@ func (c *Codec) encodeBlock(flat *bitvec.Cube, off int, w *cubeWriter) Case {
 // EncodeCube compresses a bare cube (e.g. one already-flattened scan
 // stream). The cube is padded with X to a multiple of K.
 func (c *Codec) EncodeCube(flat *bitvec.Cube) (*Result, error) {
+	sp := obs.Active().Span("core.encode_cube")
 	blocks := (flat.Len() + c.k - 1) / c.k
 	w := newCubeWriter(flat.Len() + blocks*2)
 	var counts Counts
@@ -123,10 +126,12 @@ func (c *Codec) EncodeCube(flat *bitvec.Cube) (*Result, error) {
 		counts.Add(c.encodeBlock(flat, b*c.k, w))
 	}
 	stream := w.cube()
-	return &Result{
+	r := &Result{
 		K: c.k, Assign: c.assign, Stream: stream, Counts: counts,
 		OrigBits: flat.Len(), Blocks: blocks, LeftoverX: stream.XCount(),
-	}, nil
+	}
+	observeEncode(sp, r, "cube")
+	return r, nil
 }
 
 // encodePatterns appends the encodings of patterns [lo,hi) of s to w
@@ -148,15 +153,18 @@ func (c *Codec) encodePatterns(s *tcube.Set, lo, hi int, w *cubeWriter) Counts {
 // padded independently to a multiple of K, preserving per-pattern
 // synchronization between the ATE and the decoder.
 func (c *Codec) EncodeSet(s *tcube.Set) (*Result, error) {
+	sp := obs.Active().Span("core.encode_set")
 	blocksPer := (s.Width() + c.k - 1) / c.k
 	w := newCubeWriter(s.Bits() + blocksPer*s.Len()*2)
 	counts := c.encodePatterns(s, 0, s.Len(), w)
 	stream := w.cube()
-	return &Result{
-		K: c.k, Assign: c.assign, Stream: stream, Counts: counts,
+	r := &Result{
+		K: c.k, Name: s.Name, Assign: c.assign, Stream: stream, Counts: counts,
 		OrigBits: s.Bits(), Blocks: blocksPer * s.Len(),
 		LeftoverX: stream.XCount(), Patterns: s.Len(), Width: s.Width(),
-	}, nil
+	}
+	observeEncode(sp, r, "serial")
+	return r, nil
 }
 
 // decodeBlocks reads exactly blocks block encodings from r and emits
@@ -194,7 +202,9 @@ func (c *Codec) decodeBlocks(r *cubeReader, blocks int) (*bitvec.Cube, error) {
 // mismatch halves keep their shipped trits (including leftover X). It
 // is an error for the stream to be truncated, malformed, or to carry
 // trailing bits beyond the last block.
-func (c *Codec) DecodeCube(stream *bitvec.Cube, origBits int) (*bitvec.Cube, error) {
+func (c *Codec) DecodeCube(stream *bitvec.Cube, origBits int) (cube *bitvec.Cube, err error) {
+	sp := obs.Active().Span("core.decode_cube")
+	defer func() { observeDecode(sp, origBits, err) }()
 	if origBits < 0 {
 		return nil, fmt.Errorf("core: negative output size %d", origBits)
 	}
@@ -212,7 +222,9 @@ func (c *Codec) DecodeCube(stream *bitvec.Cube, origBits int) (*bitvec.Cube, err
 
 // DecodeSet decompresses a stream produced by EncodeSet back into a
 // test set of the given geometry.
-func (c *Codec) DecodeSet(stream *bitvec.Cube, width, patterns int) (*tcube.Set, error) {
+func (c *Codec) DecodeSet(stream *bitvec.Cube, width, patterns int) (set *tcube.Set, err error) {
+	sp := obs.Active().Span("core.decode_set")
+	defer func() { observeDecode(sp, width*patterns, err) }()
 	if width < 0 || patterns < 0 {
 		return nil, fmt.Errorf("core: invalid geometry %dx%d", patterns, width)
 	}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestDisabledTelemetryOverhead guards the nil-path cost of the
+// instrumentation: with no registry enabled, EncodeSet must run at the
+// same speed as with a registry draining to io.Discard. The bound is a
+// loose 2x in both directions — the real budget is ~2 atomic loads per
+// EncodeSet call, so any regression that trips this is structural
+// (per-block instrumentation, allocation on the nil path), not noise.
+func TestDisabledTelemetryOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing guard skipped under the race detector")
+	}
+	set := benchSet(64, 2048)
+	cdc, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cdc.EncodeSet(set); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+
+	obs.Disable()
+	disabled := run()
+
+	reg := obs.NewRegistry()
+	reg.SetSink(obs.NewJSONSink(io.Discard))
+	obs.Enable(reg)
+	enabled := run()
+	obs.Disable()
+
+	t.Logf("disabled %.0f ns/op, enabled %.0f ns/op (ratio %.3f)",
+		disabled, enabled, enabled/disabled)
+	if disabled > 2*enabled {
+		t.Errorf("disabled path (%.0f ns/op) more than 2x slower than enabled (%.0f ns/op)", disabled, enabled)
+	}
+	if enabled > 2*disabled {
+		t.Errorf("enabled path (%.0f ns/op) more than 2x slower than disabled (%.0f ns/op)", enabled, disabled)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/bitvec"
+	"repro/internal/obs"
 	"repro/internal/tcube"
 )
 
@@ -26,6 +27,7 @@ func (c *Codec) EncodeSetParallel(s *tcube.Set, workers int) (*Result, error) {
 	if workers <= 1 {
 		return c.EncodeSet(s)
 	}
+	sp := obs.Active().Span("core.encode_set_parallel").Set("workers", workers)
 
 	type chunk struct{ lo, hi int }
 	chunks := make([]chunk, 0, workers)
@@ -46,9 +48,12 @@ func (c *Codec) EncodeSetParallel(s *tcube.Set, workers int) (*Result, error) {
 		wg.Add(1)
 		go func(i int, ch chunk) {
 			defer wg.Done()
+			wsp := sp.Child("core.encode_worker")
 			w := newCubeWriter((ch.hi-ch.lo)*s.Width() + (ch.hi-ch.lo)*blocksPer*2)
 			subCounts[i] = c.encodePatterns(s, ch.lo, ch.hi, w)
 			streams[i] = w.cube()
+			wsp.Set("worker", i).Set("lo", ch.lo).Set("hi", ch.hi).
+				Set("bits_out", streams[i].Len()).End()
 		}(i, ch)
 	}
 	wg.Wait()
@@ -66,9 +71,11 @@ func (c *Codec) EncodeSetParallel(s *tcube.Set, workers int) (*Result, error) {
 		}
 	}
 	stream := b.Build()
-	return &Result{
-		K: c.k, Assign: c.assign, Stream: stream, Counts: counts,
+	r := &Result{
+		K: c.k, Name: s.Name, Assign: c.assign, Stream: stream, Counts: counts,
 		OrigBits: s.Bits(), Blocks: blocksPer * s.Len(),
 		LeftoverX: stream.XCount(), Patterns: s.Len(), Width: s.Width(),
-	}, nil
+	}
+	observeEncode(sp, r, "parallel")
+	return r, nil
 }

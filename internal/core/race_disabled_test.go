@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// guards skip under it because instrumentation skews the comparison.
+const raceEnabled = false

@@ -132,7 +132,7 @@ func (c *Codec) EncodeSetReference(s *tcube.Set) (*Result, error) {
 	}
 	stream := w.cube()
 	return &Result{
-		K: c.k, Assign: c.assign, Stream: stream, Counts: counts,
+		K: c.k, Name: s.Name, Assign: c.assign, Stream: stream, Counts: counts,
 		OrigBits: s.Bits(), Blocks: blocksPer * s.Len(),
 		LeftoverX: stream.XCount(), Patterns: s.Len(), Width: s.Width(),
 	}, nil

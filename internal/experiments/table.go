@@ -9,6 +9,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Table is a rendered experiment artifact: an identifier matching the
@@ -56,6 +58,24 @@ func (t *Table) String() string {
 		line(row)
 	}
 	return sb.String()
+}
+
+// Timed runs one table/figure generator under an "experiments.table"
+// telemetry span so tabgen and any other harness report per-artifact
+// wall time. The span carries the artifact's ID (and row count) once
+// generation succeeds; when telemetry is disabled the wrapper is free.
+func Timed(gen func() (*Table, error)) (*Table, error) {
+	sp := obs.Active().Span("experiments.table")
+	t, err := gen()
+	if err != nil {
+		sp.Set("error", err.Error()).End()
+		return nil, err
+	}
+	sp.Set("id", t.ID).Set("rows", len(t.Rows)).End()
+	if reg := obs.Active(); reg != nil {
+		reg.Counter("experiments.tables_generated").Inc()
+	}
+	return t, nil
 }
 
 // f1 formats a float with one decimal, the paper's precision.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/ate"
 	"repro/internal/codecs"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/synth"
 	"repro/internal/tcube"
 )
@@ -18,14 +19,17 @@ var IBMKs = []int{8, 16, 24, 32, 40, 48, 56, 64}
 
 // benchmarkSets materializes the six ISCAS'89-profile workloads.
 func benchmarkSets() ([]*tcube.Set, error) {
+	sp := obs.Active().Span("experiments.workloads")
 	var out []*tcube.Set
 	for _, cs := range synth.Benchmarks {
 		s, err := synth.MintestLike(cs.Name)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		out = append(out, s)
 	}
+	sp.Set("sets", len(out)).End()
 	return out, nil
 }
 
@@ -416,7 +420,14 @@ func kHeaders(ks []int) []string {
 // verify9CRoundTrip re-decodes an encoding and confirms no specified
 // bit was disturbed; the table harness calls it as a guard on every
 // workload it reports.
-func verify9CRoundTrip(set *tcube.Set, r *core.Result) error {
+func verify9CRoundTrip(set *tcube.Set, r *core.Result) (err error) {
+	sp := obs.Active().Span("experiments.verify").Set("set", set.Name).Set("k", r.K)
+	defer func() {
+		if err != nil {
+			sp.Set("error", err.Error())
+		}
+		sp.End()
+	}()
 	cdc, err := core.NewWithAssignment(r.K, r.Assign)
 	if err != nil {
 		return err

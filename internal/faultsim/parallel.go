@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/tcube"
 )
 
@@ -22,6 +23,9 @@ func CampaignParallel(sv *netlist.ScanView, set *tcube.Set, faults []Fault, work
 	if workers <= 1 {
 		return NewSimulator(sv).Campaign(set, faults)
 	}
+	reg := obs.Active()
+	sp := reg.Span("faultsim.campaign_parallel").
+		Set("workers", workers).Set("patterns", set.Len()).Set("faults", len(faults))
 
 	cov := Coverage{Total: len(faults), FirstDetectedBy: make([]int, len(faults))}
 	type chunk struct{ lo, hi int }
@@ -42,13 +46,20 @@ func CampaignParallel(sv *netlist.ScanView, set *tcube.Set, faults []Fault, work
 		wg.Add(1)
 		go func(i int, ch chunk) {
 			defer wg.Done()
+			wsp := sp.Child("faultsim.worker").Set("worker", i).Set("faults", ch.hi-ch.lo)
 			sim := NewSimulator(sv)
 			results[i], errs[i] = sim.Campaign(set, faults[ch.lo:ch.hi])
+			wsp.Set("detected", results[i].Detected).End()
+			reg.Emit("progress", "faultsim.chunk", map[string]any{
+				"chunk": i, "chunks": len(chunks),
+				"faults": ch.hi - ch.lo, "detected": results[i].Detected,
+			})
 		}(i, ch)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
+			sp.Set("error", err.Error()).End()
 			return Coverage{}, err
 		}
 		ch := chunks[i]
@@ -59,5 +70,6 @@ func CampaignParallel(sv *netlist.ScanView, set *tcube.Set, faults []Fault, work
 			}
 		}
 	}
+	sp.Set("detected", cov.Detected).End()
 	return cov, nil
 }

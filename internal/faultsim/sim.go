@@ -7,6 +7,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/logicsim"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/tcube"
 )
 
@@ -247,8 +248,12 @@ func LoadsFromSet(s *tcube.Set) ([]*bitvec.Bits, error) {
 // Campaign fault-simulates the whole test set against the fault list
 // with fault dropping, batch by batch.
 func (s *Simulator) Campaign(set *tcube.Set, faults []Fault) (Coverage, error) {
+	reg := obs.Active()
+	sp := reg.Span("faultsim.campaign").
+		Set("patterns", set.Len()).Set("faults", len(faults))
 	loads, err := LoadsFromSet(set)
 	if err != nil {
+		sp.Set("error", err.Error()).End()
 		return Coverage{}, err
 	}
 	cov := Coverage{Total: len(faults), FirstDetectedBy: make([]int, len(faults))}
@@ -261,8 +266,10 @@ func (s *Simulator) Campaign(set *tcube.Set, faults []Fault) (Coverage, error) {
 			end = len(loads)
 		}
 		if err := s.LoadBatch(loads[base:end]); err != nil {
+			sp.Set("error", err.Error()).End()
 			return Coverage{}, err
 		}
+		dropped := 0
 		for fi, f := range faults {
 			if cov.FirstDetectedBy[fi] >= 0 {
 				continue // dropped
@@ -275,8 +282,18 @@ func (s *Simulator) Campaign(set *tcube.Set, faults []Fault) (Coverage, error) {
 				}
 				cov.FirstDetectedBy[fi] = base + first
 				cov.Detected++
+				dropped++
 			}
 		}
+		if reg != nil {
+			reg.Counter("faultsim.patterns_simulated").Add(int64(end - base))
+			reg.Counter("faultsim.faults_dropped").Add(int64(dropped))
+			reg.Emit("progress", "faultsim.batch", map[string]any{
+				"patterns": end, "total_patterns": len(loads),
+				"detected": cov.Detected, "faults": len(faults),
+			})
+		}
 	}
+	sp.Set("detected", cov.Detected).End()
 	return cov, nil
 }

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// BenchSchema identifies the BENCH_<stamp>.json snapshot format; bump
+// it on any incompatible change so trajectory tooling can dispatch.
+const BenchSchema = "ninec-bench/v1"
+
+// BenchStampLayout is the time layout of the snapshot stamp (UTC),
+// chosen so lexicographic filename order is chronological order.
+const BenchStampLayout = "20060102T150405Z"
+
+// BenchResult is one parsed `go test -bench` line.
+type BenchResult struct {
+	// Name is the benchmark path without the GOMAXPROCS suffix,
+	// e.g. "BenchmarkEncodeSet/K=16".
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric values keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchSnapshot is one point on the perf trajectory: the environment
+// plus every benchmark result of a run. `make bench-json` persists one
+// as BENCH_<stamp>.json in the repository root.
+type BenchSnapshot struct {
+	Schema     string        `json:"schema"`
+	Stamp      string        `json:"stamp"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	CPU        string        `json:"cpu,omitempty"`
+	GOMAXPROCS int           `json:"gomaxprocs,omitempty"`
+	Results    []BenchResult `json:"results"`
+}
+
+// ParseBenchOutput parses the text output of `go test -bench`. It
+// extracts benchmark lines and the goos/goarch/cpu banner and ignores
+// everything else (PASS/ok trailers, sub-test noise). The returned
+// snapshot still needs Schema/Stamp/GoVersion filled by the caller.
+func ParseBenchOutput(r io.Reader) (*BenchSnapshot, error) {
+	snap := &BenchSnapshot{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			snap.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			snap.Results = append(snap.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// parseBenchLine parses one line of the form
+//
+//	BenchmarkName/sub=1-8  1234  5678 ns/op  9.1 MB/s  42 B/op  7 allocs/op  3.5 custom%
+func parseBenchLine(line string) (BenchResult, error) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return BenchResult{}, fmt.Errorf("obs: short benchmark line %q", line)
+	}
+	res := BenchResult{Name: f[0]}
+	// Split the trailing -<procs> suffix the testing package appends.
+	if i := strings.LastIndexByte(res.Name, '-'); i > 0 {
+		if p, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Name, res.Procs = res.Name[:i], p
+		}
+	}
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return BenchResult{}, fmt.Errorf("obs: bad iteration count in %q: %w", line, err)
+	}
+	res.Iterations = n
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return BenchResult{}, fmt.Errorf("obs: bad value %q in %q", f[i], line)
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "MB/s":
+			res.MBPerSec = v
+		case "B/op":
+			res.BytesPerOp = int64(v)
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	if res.NsPerOp <= 0 {
+		return BenchResult{}, fmt.Errorf("obs: benchmark line %q has no ns/op", line)
+	}
+	return res, nil
+}
+
+// Validate checks the snapshot for schema conformance: the schema tag,
+// a well-formed stamp, environment fields, and at least one result
+// with a name and positive timing.
+func (s *BenchSnapshot) Validate() error {
+	if s.Schema != BenchSchema {
+		return fmt.Errorf("obs: bench snapshot schema %q, want %q", s.Schema, BenchSchema)
+	}
+	if len(s.Stamp) != len(BenchStampLayout) || !strings.HasSuffix(s.Stamp, "Z") {
+		return fmt.Errorf("obs: bench snapshot stamp %q does not match layout %s", s.Stamp, BenchStampLayout)
+	}
+	if s.GoVersion == "" || s.GOOS == "" || s.GOARCH == "" {
+		return fmt.Errorf("obs: bench snapshot missing environment (go=%q goos=%q goarch=%q)",
+			s.GoVersion, s.GOOS, s.GOARCH)
+	}
+	if len(s.Results) == 0 {
+		return fmt.Errorf("obs: bench snapshot has no results")
+	}
+	for i, r := range s.Results {
+		if r.Name == "" {
+			return fmt.Errorf("obs: bench result %d has no name", i)
+		}
+		if r.NsPerOp <= 0 {
+			return fmt.Errorf("obs: bench result %q has non-positive ns/op", r.Name)
+		}
+		if r.Iterations <= 0 {
+			return fmt.Errorf("obs: bench result %q has non-positive iterations", r.Name)
+		}
+	}
+	return nil
+}
+
+// ReadBenchSnapshot decodes and validates one snapshot file.
+func ReadBenchSnapshot(r io.Reader) (*BenchSnapshot, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s BenchSnapshot
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("obs: bench snapshot: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// WriteJSON serializes the snapshot as indented JSON.
+func (s *BenchSnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEncodeCube/K=16-8         	    1176	    980571 ns/op	  66.82 MB/s
+BenchmarkEncodeSetParallel/workers=1-8         	     548	   2144307 ns/op	  30.56 MB/s
+BenchmarkDecodeCube-8   	     633	   1887172 ns/op	  34.72 MB/s	  270443 B/op	       8 allocs/op
+BenchmarkTable2-8	       1	905341234 ns/op	        59.8 avgCR%
+PASS
+ok  	repro/internal/core	8.510s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	snap, err := ParseBenchOutput(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.GOOS != "linux" || snap.GOARCH != "amd64" || !strings.Contains(snap.CPU, "Xeon") {
+		t.Fatalf("environment: %+v", snap)
+	}
+	if len(snap.Results) != 4 {
+		t.Fatalf("results = %d, want 4", len(snap.Results))
+	}
+	r0 := snap.Results[0]
+	if r0.Name != "BenchmarkEncodeCube/K=16" || r0.Procs != 8 {
+		t.Fatalf("result 0 = %+v", r0)
+	}
+	if r0.Iterations != 1176 || r0.NsPerOp != 980571 || r0.MBPerSec != 66.82 {
+		t.Fatalf("result 0 values = %+v", r0)
+	}
+	r2 := snap.Results[2]
+	if r2.BytesPerOp != 270443 || r2.AllocsPerOp != 8 {
+		t.Fatalf("result 2 = %+v", r2)
+	}
+	r3 := snap.Results[3]
+	if r3.Metrics["avgCR%"] != 59.8 {
+		t.Fatalf("custom metric: %+v", r3)
+	}
+}
+
+func TestParseBenchOutputRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX notanumber",
+		"BenchmarkX 10 zz ns/op",
+		"BenchmarkX 10 5 B/op", // no ns/op
+	} {
+		if _, err := ParseBenchOutput(strings.NewReader(line + "\n")); err == nil {
+			t.Fatalf("line %q accepted", line)
+		}
+	}
+}
+
+func validSnapshot() *BenchSnapshot {
+	return &BenchSnapshot{
+		Schema:     BenchSchema,
+		Stamp:      time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC).Format(BenchStampLayout),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Results: []BenchResult{
+			{Name: "BenchmarkEncodeSet/K=16", Iterations: 100, NsPerOp: 2.1e6},
+		},
+	}
+}
+
+func TestBenchSnapshotValidateAndRoundTrip(t *testing.T) {
+	s := validSnapshot()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stamp != s.Stamp || len(back.Results) != 1 || back.Results[0].Name != s.Results[0].Name {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+func TestBenchSnapshotValidateRejects(t *testing.T) {
+	breakers := map[string]func(*BenchSnapshot){
+		"schema":     func(s *BenchSnapshot) { s.Schema = "other/v9" },
+		"stamp":      func(s *BenchSnapshot) { s.Stamp = "2026-08-06" },
+		"env":        func(s *BenchSnapshot) { s.GoVersion = "" },
+		"empty":      func(s *BenchSnapshot) { s.Results = nil },
+		"noname":     func(s *BenchSnapshot) { s.Results[0].Name = "" },
+		"zero-ns":    func(s *BenchSnapshot) { s.Results[0].NsPerOp = 0 },
+		"zero-iters": func(s *BenchSnapshot) { s.Results[0].Iterations = 0 },
+	}
+	for label, mutate := range breakers {
+		s := validSnapshot()
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Fatalf("%s: invalid snapshot accepted", label)
+		}
+	}
+}
+
+func TestReadBenchSnapshotRejectsUnknownFields(t *testing.T) {
+	if _, err := ReadBenchSnapshot(strings.NewReader(`{"schema":"ninec-bench/v1","bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event is one structured telemetry record. Spans, progress updates,
+// and CLI reports (ninec -json) all serialize through this shape, so a
+// trace file and a report are parseable by the same consumer.
+type Event struct {
+	TimeUnixNano int64          `json:"t"`
+	Type         string         `json:"type"`
+	Name         string         `json:"name"`
+	DurNs        int64          `json:"dur_ns,omitempty"`
+	SpanID       int64          `json:"span,omitempty"`
+	ParentID     int64          `json:"parent,omitempty"`
+	Fields       map[string]any `json:"fields,omitempty"`
+}
+
+// Sink consumes structured events. Emit may be called concurrently.
+type Sink interface {
+	Emit(Event)
+}
+
+// JSONSink serializes events as newline-delimited JSON (one object per
+// line) to a writer, serialized by a mutex so concurrent spans never
+// interleave bytes.
+type JSONSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONSink returns a sink writing NDJSON events to w.
+func NewJSONSink(w io.Writer) *JSONSink {
+	return &JSONSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event line; encoding errors are dropped (telemetry
+// must never fail the pipeline it observes).
+func (s *JSONSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(e)
+}
+
+// FuncSink adapts a function to the Sink interface (handy in tests).
+type FuncSink func(Event)
+
+// Emit calls the function.
+func (f FuncSink) Emit(e Event) { f(e) }

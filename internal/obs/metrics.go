@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n. No-op on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n (which may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count: bucket i holds observations v
+// with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i, with bucket 0 for
+// v <= 0. 64-bit values need 65 buckets.
+const histBuckets = 65
+
+// Histogram is a fixed-shape log2 histogram: no configuration, no
+// allocation on observe, mergeable by addition. The log2 shape trades
+// resolution for a total absence of tuning — good enough to separate
+// "microseconds" from "milliseconds" in stage timings.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values clamp to bucket 0.
+// No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil receiver).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// HistBucket is one populated log2 bucket: Pow is the exponent (values
+// in [2^(Pow-1), 2^Pow)), Count the observations that landed in it.
+type HistBucket struct {
+	Pow   int   `json:"pow"`
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time copy of a histogram, carrying only
+// the populated buckets.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry, the
+// shape serialized by the CLI -metrics flag.
+type Snapshot struct {
+	TimeUnixNano int64                   `json:"t"`
+	UptimeNs     int64                   `json:"uptime_ns"`
+	Counters     map[string]int64        `json:"counters,omitempty"`
+	Gauges       map[string]int64        `json:"gauges,omitempty"`
+	Histograms   map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current metric values. Nil-safe: a
+// nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	now := time.Now()
+	s := &Snapshot{TimeUnixNano: now.UnixNano()}
+	if r == nil {
+		return s
+	}
+	s.UptimeNs = now.Sub(r.start).Nanoseconds()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistSnapshot{Count: h.Count(), Sum: h.Sum()}
+			for i := range h.buckets {
+				if n := h.buckets[i].Load(); n != 0 {
+					hs.Buckets = append(hs.Buckets, HistBucket{Pow: i, Count: n})
+				}
+			}
+			sort.Slice(hs.Buckets, func(a, b int) bool { return hs.Buckets[a].Pow < hs.Buckets[b].Pow })
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// WriteJSON serializes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,76 @@
+package obs
+
+import "time"
+
+// Span measures one timed stage. End records the duration into the
+// histogram "span.<name>" (nanoseconds) and, when a sink is attached,
+// emits a "span" event carrying the span's fields. Spans nest through
+// Child and are goroutine-safe across spans (a single span's Set/End
+// must not race with itself, matching the usual start/stop usage).
+type Span struct {
+	r      *Registry
+	name   string
+	id     int64
+	parent int64
+	start  time.Time
+	fields map[string]any
+}
+
+// Span starts a root span. Nil-safe: a nil registry returns a nil
+// span whose every method is a no-op.
+func (r *Registry) Span(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{r: r, name: name, id: r.spanID.Add(1), start: time.Now()}
+}
+
+// Child starts a nested span; its trace event links back through the
+// parent span ID. Nil-safe.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.r.Span(name)
+	c.parent = s.id
+	return c
+}
+
+// Set attaches a key/value field included in the span's trace event.
+// It returns the span for chaining and is nil-safe.
+func (s *Span) Set(key string, v any) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.fields == nil {
+		s.fields = make(map[string]any, 4)
+	}
+	s.fields[key] = v
+	return s
+}
+
+// Elapsed returns the time since the span started (0 on nil).
+func (s *Span) Elapsed() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Since(s.start)
+}
+
+// End closes the span: the duration lands in histogram "span.<name>"
+// and a "span" event goes to the sink. No-op on a nil receiver.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	s.r.Histogram("span." + s.name).Observe(dur.Nanoseconds())
+	s.r.emit(Event{
+		Type:     "span",
+		Name:     s.name,
+		DurNs:    dur.Nanoseconds(),
+		SpanID:   s.id,
+		ParentID: s.parent,
+		Fields:   s.fields,
+	})
+}
