@@ -1,10 +1,12 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race bench bench-json telemetry-smoke overhead-guard
+.PHONY: check fmt vet build test race bench bench-json telemetry-smoke overhead-guard fuzz-smoke
 
 ## check: the full pre-merge gate — formatting, vet, build, race tests,
-## telemetry smoke, and the disabled-telemetry overhead guard.
-check: fmt vet build race telemetry-smoke overhead-guard
+## telemetry smoke, the disabled-telemetry overhead guard, and a short
+## fuzz pass over every hostile-input decoder.
+check: fmt vet build race telemetry-smoke overhead-guard fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -44,3 +46,17 @@ telemetry-smoke:
 ## same as the enabled one (the instrumentation must be free by default).
 overhead-guard:
 	$(GO) test ./internal/core -run TestDisabledTelemetryOverhead -count=1
+
+## fuzz-smoke: run every native fuzz target for FUZZTIME each — the
+## container reader, the 9C stream decoder, each baseline codec family,
+## and the text parsers. Any panic or unclassified error is a failure.
+fuzz-smoke:
+	$(GO) test ./internal/container -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzDecodeCube$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/codecs -run '^$$' -fuzz '^FuzzRunLengthDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/codecs -run '^$$' -fuzz '^FuzzVIHCDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/codecs -run '^$$' -fuzz '^FuzzLZWDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/codecs -run '^$$' -fuzz '^FuzzBlockDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/tcube -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netlist -run '^$$' -fuzz '^FuzzParseBench$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stil -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME)

@@ -14,6 +14,13 @@
 //	ninec -k 8 -o out.9c cubes.txt        # write the compressed container
 //	ninec -d out.9c                       # decompress a container to stdout
 //
+// Robustness controls:
+//
+//	ninec -timeout 30s ...                # cancel the encode at a deadline
+//	ninec -d -max-patterns 4096 out.9c    # cap header-driven allocations
+//	ninec -d -max-bits 1048576 out.9c     # cap the stored |T_E| payload
+//	ninec -d -strict=false out.9c         # salvage the prefix of a corrupt container
+//
 // Telemetry (all off by default):
 //
 //	ninec -metrics - ...                  # metrics snapshot JSON on exit
@@ -22,6 +29,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,10 +39,12 @@ import (
 	"time"
 
 	"repro/internal/ate"
+	"repro/internal/bitvec"
 	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/reorder"
+	"repro/internal/robust"
 	"repro/internal/stil"
 	"repro/internal/tcube"
 )
@@ -51,6 +61,17 @@ type runOpts struct {
 	Reorder bool
 	Workers int
 	JSON    bool
+	Timeout time.Duration
+}
+
+// decOpts carries every flag of the decompress path.
+type decOpts struct {
+	// Strict rejects any corruption; false salvages the decodable
+	// prefix of a damaged container instead.
+	Strict bool
+	// MaxPatterns/MaxBits bound header-driven allocations (0 = the
+	// robust package defaults). MaxBits caps the stored |T_E|.
+	MaxPatterns, MaxBits int
 }
 
 func main() {
@@ -68,6 +89,11 @@ func main() {
 	flag.BoolVar(&o.Reorder, "reorder", false, "greedily reorder scan cells for compatibility before encoding")
 	flag.IntVar(&o.Workers, "workers", 0, "parallel encode workers (0 = GOMAXPROCS; output is identical to serial)")
 	flag.BoolVar(&o.JSON, "json", false, "emit the encode report as one JSON object on stdout")
+	flag.DurationVar(&o.Timeout, "timeout", 0, "abort the encode after this duration (0 = no limit)")
+	var d decOpts
+	flag.BoolVar(&d.Strict, "strict", true, "with -d: reject any corruption; -strict=false salvages the decodable prefix")
+	flag.IntVar(&d.MaxPatterns, "max-patterns", 0, "with -d: reject containers claiming more patterns (0 = default limit)")
+	flag.IntVar(&d.MaxBits, "max-bits", 0, "with -d: reject containers whose stored stream exceeds this many bits (0 = default limit)")
 	telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -82,7 +108,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *dec {
-		err = runDecompress(flag.Arg(0))
+		err = runDecompress(flag.Arg(0), d)
 	} else {
 		err = run(flag.Arg(0), o)
 	}
@@ -95,27 +121,74 @@ func main() {
 	}
 }
 
+// countFault publishes one decode fault to the telemetry registry,
+// keyed by its robust taxonomy class (a no-op when telemetry is off).
+func countFault(err error) {
+	if reg := obs.Active(); reg != nil && err != nil {
+		class := robust.Classify(err)
+		if class == "" {
+			class = "other"
+		}
+		reg.Counter("ninec.decode.fault." + class).Inc()
+	}
+}
+
 // runDecompress reads a container, decodes it, and prints the decoded
 // cube set (leftover X intact) as 01X text. The set keeps the name
 // stored in the container header; legacy nameless containers fall back
-// to the container's own base name.
-func runDecompress(path string) error {
+// to the container's own base name. Header-driven allocations are
+// bounded by -max-patterns / -max-bits, and -strict=false salvages the
+// decodable prefix of a corrupt container instead of rejecting it.
+func runDecompress(path string, o decOpts) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	r, err := container.Read(f)
+	lim := robust.DecodeLimits{MaxPatterns: o.MaxPatterns}
+	if o.MaxBits > 0 {
+		// -max-bits caps the stored |T_E|; the container payload holds
+		// two byte planes of that many bits.
+		lim.MaxPayloadBytes = 2 * ((o.MaxBits + 7) / 8)
+	}
+	r, diag, err := container.ReadWithOptions(f, container.Options{Limits: lim, Lenient: !o.Strict})
 	if err != nil {
+		countFault(err)
 		return err
 	}
 	cdc, err := core.NewWithAssignment(r.K, r.Assign)
 	if err != nil {
 		return err
 	}
-	set, cube, err := cdc.Decode(r)
-	if err != nil {
-		return err
+	var set *tcube.Set
+	var cube *bitvec.Cube
+	if o.Strict {
+		set, cube, err = cdc.Decode(r)
+		if err != nil {
+			countFault(err)
+			return err
+		}
+	} else {
+		// Best-effort: decode what survives, report what was lost.
+		if !diag.PayloadCRCOK {
+			fmt.Fprintln(os.Stderr, "ninec: warning: payload checksum mismatch, decoding best-effort")
+		}
+		if diag.PlaneConflicts > 0 {
+			fmt.Fprintf(os.Stderr, "ninec: warning: %d corrupt payload bits demoted to X\n", diag.PlaneConflicts)
+		}
+		if r.Patterns > 0 || r.Width > 0 {
+			set, err = cdc.DecodeSetPartial(r.Stream, r.Width, r.Patterns)
+			if err != nil {
+				countFault(err)
+				fmt.Fprintf(os.Stderr, "ninec: warning: recovered %d of %d patterns: %v\n", set.Len(), r.Patterns, err)
+			}
+		} else {
+			cube, err = cdc.DecodeCubePartial(r.Stream, r.OrigBits)
+			if err != nil {
+				countFault(err)
+				fmt.Fprintf(os.Stderr, "ninec: warning: recovered %d of %d bits: %v\n", cube.Len(), r.OrigBits, err)
+			}
+		}
 	}
 	name := r.Name
 	if name == "" {
@@ -141,6 +214,12 @@ func run(path string, o runOpts) error {
 	set, err := readCubes(path)
 	if err != nil {
 		return err
+	}
+	ctx := context.Background()
+	if o.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+		defer cancel()
 	}
 	say := func(format string, args ...any) {
 		if !o.JSON {
@@ -182,7 +261,7 @@ func run(path string, o runOpts) error {
 	if o.Sweep {
 		fmt.Printf("%4s %8s %8s %10s\n", "K", "CR%", "LX%", "|T_E|")
 		for _, kk := range []int{4, 8, 12, 16, 20, 24, 28, 32} {
-			r, err := encode(set, kk, o.FD, o.Workers)
+			r, err := encode(ctx, set, kk, o.FD, o.Workers)
 			if err != nil {
 				return err
 			}
@@ -191,7 +270,7 @@ func run(path string, o runOpts) error {
 		return nil
 	}
 
-	r, err := encode(set, o.K, o.FD, o.Workers)
+	r, err := encode(ctx, set, o.K, o.FD, o.Workers)
 	if err != nil {
 		return err
 	}
@@ -304,17 +383,18 @@ func readCubes(path string) (*tcube.Set, error) {
 	return tcube.Read(path, f)
 }
 
-// encode runs the worker-pool encoder; its output is bit-identical to
-// the serial path, so every downstream report is unaffected by workers.
-func encode(set *tcube.Set, k int, fd bool, workers int) (*core.Result, error) {
+// encode runs the worker-pool encoder under the caller's context (the
+// -timeout deadline); its output is bit-identical to the serial path,
+// so every downstream report is unaffected by workers.
+func encode(ctx context.Context, set *tcube.Set, k int, fd bool, workers int) (*core.Result, error) {
 	cdc, err := core.New(k)
 	if err != nil {
 		return nil, err
 	}
 	if !fd {
-		return cdc.EncodeSetParallel(set, workers)
+		return cdc.EncodeSetParallelCtx(ctx, set, workers)
 	}
-	first, err := cdc.EncodeSetParallel(set, workers)
+	first, err := cdc.EncodeSetParallelCtx(ctx, set, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -322,7 +402,7 @@ func encode(set *tcube.Set, k int, fd bool, workers int) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cdc.EncodeSetParallel(set, workers)
+	return cdc.EncodeSetParallelCtx(ctx, set, workers)
 }
 
 func codecFor(k int, fd bool, r *core.Result) (*core.Codec, error) {

@@ -1,13 +1,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/robust"
 )
 
 const cubes = `# demo
@@ -87,7 +91,7 @@ func TestRunCompressVerifyAndContainer(t *testing.T) {
 		t.Fatalf("TAT output missing: %q", out)
 	}
 	// Decompress the container back.
-	dec, err := captureStdout(t, func() error { return runDecompress(cont) })
+	dec, err := captureStdout(t, func() error { return runDecompress(cont, decOpts{Strict: true}) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +125,7 @@ func TestRunErrors(t *testing.T) {
 	if err := run("/nonexistent/cubes.txt", runOpts{K: 8, P: 8}); err == nil {
 		t.Fatal("missing file accepted")
 	}
-	if err := runDecompress(path); err == nil {
+	if err := runDecompress(path, decOpts{Strict: true}); err == nil {
 		t.Fatal("non-container accepted by -d")
 	}
 }
@@ -259,7 +263,7 @@ func TestDecompressKeepsSetName(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stderr = w
-	_, runErr := captureStdout(t, func() error { return runDecompress(cont) })
+	_, runErr := captureStdout(t, func() error { return runDecompress(cont, decOpts{Strict: true}) })
 	w.Close()
 	os.Stderr = oldErr
 	buf := make([]byte, 1<<16)
@@ -274,6 +278,103 @@ func TestDecompressKeepsSetName(t *testing.T) {
 	}
 	if strings.Contains(banner, "out.9c") {
 		t.Fatalf("decompress banner %q still names the container path", banner)
+	}
+}
+
+// TestRunTimeout asserts an already-expired -timeout aborts the encode
+// with a deadline error, and a generous one changes nothing.
+func TestRunTimeout(t *testing.T) {
+	path := writeCubes(t)
+	if _, err := captureStdout(t, func() error {
+		return run(path, runOpts{K: 8, P: 8, Timeout: time.Nanosecond})
+	}); err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v, want context.DeadlineExceeded", err)
+	}
+	if _, err := captureStdout(t, func() error {
+		return run(path, runOpts{K: 8, P: 8, Timeout: time.Minute})
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecompressLimits asserts -max-patterns / -max-bits reject a
+// container exceeding them with a limit error, and admit it otherwise.
+func TestDecompressLimits(t *testing.T) {
+	path := writeCubes(t)
+	cont := filepath.Join(t.TempDir(), "out.9c")
+	if _, err := captureStdout(t, func() error {
+		return run(path, runOpts{K: 8, P: 8, Out: cont})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := captureStdout(t, func() error {
+		return runDecompress(cont, decOpts{Strict: true, MaxPatterns: 2})
+	}); err == nil || !errors.Is(err, robust.ErrLimitExceeded) {
+		t.Fatalf("max-patterns: err %v, want ErrLimitExceeded", err)
+	}
+	if _, err := captureStdout(t, func() error {
+		return runDecompress(cont, decOpts{Strict: true, MaxBits: 4})
+	}); err == nil || !errors.Is(err, robust.ErrLimitExceeded) {
+		t.Fatalf("max-bits: err %v, want ErrLimitExceeded", err)
+	}
+	if _, err := captureStdout(t, func() error {
+		return runDecompress(cont, decOpts{Strict: true, MaxPatterns: 100, MaxBits: 1 << 20})
+	}); err != nil {
+		t.Fatalf("healthy container rejected under generous limits: %v", err)
+	}
+}
+
+// TestDecompressLenientSalvage corrupts a container's payload and
+// asserts -strict rejects it while -strict=false salvages the prefix.
+func TestDecompressLenientSalvage(t *testing.T) {
+	path := writeCubes(t)
+	cont := filepath.Join(t.TempDir(), "out.9c")
+	if _, err := captureStdout(t, func() error {
+		return run(path, runOpts{K: 8, P: 8, Out: cont})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(cont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a care bit in the value plane near the end of the payload
+	// (mask plane bit clear), leaving a well-formed ternary stream whose
+	// tail no longer decodes as valid codewords.
+	nameOff := 28 + 9*9
+	nameLen := int(raw[nameOff]) | int(raw[nameOff+1])<<8
+	headerEnd := nameOff + 2 + nameLen + 4
+	nbytes := (len(raw) - headerEnd - 4) / 2
+	flipped := false
+	for i := nbytes*8 - 1; i >= 0; i-- {
+		if raw[headerEnd+nbytes+i/8]&(1<<(i%8)) == 0 {
+			raw[headerEnd+i/8] ^= 1 << (i % 8)
+			flipped = true
+			break
+		}
+	}
+	if !flipped {
+		t.Fatal("no care bit found in payload")
+	}
+	if err := os.WriteFile(cont, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := captureStdout(t, func() error {
+		return runDecompress(cont, decOpts{Strict: true})
+	}); err == nil || !errors.Is(err, robust.ErrChecksum) {
+		t.Fatalf("strict: err %v, want ErrChecksum", err)
+	}
+	out, err := captureStdout(t, func() error {
+		return runDecompress(cont, decOpts{Strict: false})
+	})
+	if err != nil {
+		t.Fatalf("lenient decode failed outright: %v", err)
+	}
+	// The first pattern encodes ahead of the corrupted tail and must
+	// survive the salvage.
+	if !strings.Contains(out, "0000000011111111") {
+		t.Fatalf("salvaged output lost the leading pattern: %q", out)
 	}
 }
 

@@ -104,7 +104,11 @@ func verifyCube(t *testing.T, sv *netlist.ScanView, f faultsim.Fault, cube *bitv
 		if err := sim.LoadBatch([]*bitvec.Bits{load}); err != nil {
 			t.Fatal(err)
 		}
-		if sim.Detects(f) == 0 {
+		mask, err := sim.Detects(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mask == 0 {
 			t.Fatalf("fault %v not detected by cube %s (fill %s)", f, cube, fill)
 		}
 	}

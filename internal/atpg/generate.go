@@ -98,7 +98,14 @@ func Generate(sv *netlist.ScanView, faults []faultsim.Fault, opts Options) (*tcu
 			return nil, Stats{}, err
 		}
 		for fj := range faults {
-			if !detected[fj] && sim.Detects(faults[fj]) != 0 {
+			if detected[fj] {
+				continue
+			}
+			mask, err := sim.Detects(faults[fj])
+			if err != nil {
+				return nil, Stats{}, err
+			}
+			if mask != 0 {
 				detected[fj] = true
 			}
 		}
@@ -147,7 +154,14 @@ func CompactReverse(sv *netlist.ScanView, set *tcube.Set, faults []faultsim.Faul
 			return nil, err
 		}
 		for fj := range faults {
-			if !detected[fj] && sim.Detects(faults[fj]) != 0 {
+			if detected[fj] {
+				continue
+			}
+			mask, err := sim.Detects(faults[fj])
+			if err != nil {
+				return nil, err
+			}
+			if mask != 0 {
 				detected[fj] = true
 				keep[i] = true
 			}

@@ -1,13 +1,15 @@
 package bitvec
 
 import (
-	"errors"
 	"fmt"
+
+	"repro/internal/robust"
 )
 
 // ErrShortStream is returned by Reader methods when the stream ends in
-// the middle of a requested read.
-var ErrShortStream = errors.New("bitvec: bit stream truncated")
+// the middle of a requested read. It wraps robust.ErrTruncated so
+// every codec propagating a short read lands in the shared taxonomy.
+var ErrShortStream = fmt.Errorf("bitvec: bit stream %w", robust.ErrTruncated)
 
 // Writer accumulates an MSB-first bit stream, the serial order in which
 // an ATE ships compressed data to the on-chip decoder.

@@ -1,0 +1,120 @@
+package codecs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/robust"
+	"repro/internal/tcube"
+)
+
+// corruptTestSet builds the deterministic donor set the corruption
+// tables compress.
+func corruptTestSet() *tcube.Set {
+	rng := rand.New(rand.NewSource(29))
+	s := tcube.NewSet("corrupt", 48)
+	for i := 0; i < 10; i++ {
+		c := bitvec.NewCube(48)
+		for j := 0; j < 48; j++ {
+			c.Set(j, bitvec.Trit(rng.Intn(3)))
+		}
+		s.MustAppend(c)
+	}
+	return s
+}
+
+// allCodecsUnderCorruption is every codec family the repo implements,
+// each in a representative configuration.
+func allCodecsUnderCorruption() []Codec {
+	return []Codec{
+		Golomb{M: 4}, FDR{}, EFDR{}, ARL{}, MTC{M: 4},
+		&VIHC{Mh: 8}, &SelectiveHuffman{B: 8, N: 8},
+		&FullHuffman{B: 8}, &Dictionary{B: 8, D: 8}, &LZW{B: 8, MaxDict: 1024},
+	}
+}
+
+// checkDecode asserts one decode attempt fails closed: either a clean
+// decode of exactly origBits, or an error inside the robust taxonomy.
+// Panics fail the test naturally.
+func checkDecode(t *testing.T, c Codec, what string, stream *bitvec.Bits, origBits int) {
+	t.Helper()
+	out, err := c.Decompress(stream, origBits)
+	if err != nil {
+		if !robust.IsClassified(err) {
+			t.Errorf("%s: error outside taxonomy: %v", what, err)
+		}
+		return
+	}
+	if out.Len() != origBits {
+		t.Errorf("%s: decoded %d bits, want %d", what, out.Len(), origBits)
+	}
+}
+
+// TestCodecsRejectTruncatedStreams cuts each codec's compressed stream
+// at every length and asserts error-not-panic with taxonomy mapping.
+func TestCodecsRejectTruncatedStreams(t *testing.T) {
+	set := corruptTestSet()
+	for _, c := range allCodecsUnderCorruption() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			data, err := BitsFromSet(c.Fill(set))
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream, err := c.Compress(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for cut := 0; cut < stream.Len(); cut++ {
+				short := bitvec.NewBits(cut)
+				for i := 0; i < cut; i++ {
+					short.Set(i, stream.Get(i))
+				}
+				checkDecode(t, c, "cut at "+itoa(cut), short, data.Len())
+			}
+		})
+	}
+}
+
+// TestCodecsSurviveBitFlips flips every bit of each codec's compressed
+// stream; a mutant must decode to exactly origBits or fail with a
+// taxonomy error.
+func TestCodecsSurviveBitFlips(t *testing.T) {
+	set := corruptTestSet()
+	for _, c := range allCodecsUnderCorruption() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			data, err := BitsFromSet(c.Fill(set))
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream, err := c.Compress(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pos := 0; pos < stream.Len(); pos++ {
+				mut := bitvec.NewBits(stream.Len())
+				for i := 0; i < stream.Len(); i++ {
+					mut.Set(i, stream.Get(i))
+				}
+				mut.Set(pos, !stream.Get(pos))
+				checkDecode(t, c, "flip at "+itoa(pos), mut, data.Len())
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

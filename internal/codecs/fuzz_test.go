@@ -1,0 +1,101 @@
+package codecs
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/robust"
+)
+
+// bitsFromBytes unpacks fuzz bytes into an MSB-first bit stream.
+func bitsFromBytes(data []byte) *bitvec.Bits {
+	b := bitvec.NewBits(len(data) * 8)
+	for i := 0; i < len(data)*8; i++ {
+		b.Set(i, data[i/8]>>(7-i%8)&1 == 1)
+	}
+	return b
+}
+
+// fuzzDecode is the shared fuzz body: an arbitrary stream either
+// decodes to exactly origBits or fails with a taxonomy error; any
+// panic or unclassified error is a finding.
+func fuzzDecode(t *testing.T, c Codec, data []byte, origBits int) {
+	out, err := c.Decompress(bitsFromBytes(data), origBits)
+	if err != nil {
+		if !robust.IsClassified(err) {
+			t.Fatalf("%s: error outside taxonomy: %v", c.Name(), err)
+		}
+		return
+	}
+	if out.Len() != origBits {
+		t.Fatalf("%s: decoded %d bits, want %d", c.Name(), out.Len(), origBits)
+	}
+}
+
+// fuzzSeed compresses the deterministic donor set so table-driven
+// codecs have a code table, and returns a seed stream as packed bytes.
+func fuzzSeed(f *testing.F, c Codec) {
+	data, err := BitsFromSet(c.Fill(corruptTestSet()))
+	if err != nil {
+		f.Fatal(err)
+	}
+	stream, err := c.Compress(data)
+	if err != nil {
+		f.Fatal(err)
+	}
+	packed := make([]byte, (stream.Len()+7)/8)
+	for i := 0; i < stream.Len(); i++ {
+		if stream.Get(i) {
+			packed[i/8] |= 1 << (7 - i%8)
+		}
+	}
+	f.Add(packed, uint16(data.Len()))
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{0xFF, 0x00, 0xAA}, uint16(64))
+}
+
+// FuzzRunLengthDecode fuzzes the run-length family (Golomb, FDR, EFDR,
+// ARL, MTC), which share the stateless run-length decoding style.
+func FuzzRunLengthDecode(f *testing.F) {
+	all := []Codec{Golomb{M: 4}, FDR{}, EFDR{}, ARL{}, MTC{M: 4}}
+	fuzzSeed(f, all[0])
+	f.Fuzz(func(t *testing.T, data []byte, origBits uint16) {
+		for _, c := range all {
+			fuzzDecode(t, c, data, int(origBits))
+		}
+	})
+}
+
+// FuzzVIHCDecode fuzzes the VIHC decoder against a fixed code table.
+func FuzzVIHCDecode(f *testing.F) {
+	c := &VIHC{Mh: 8}
+	fuzzSeed(f, c)
+	f.Fuzz(func(t *testing.T, data []byte, origBits uint16) {
+		fuzzDecode(t, c, data, int(origBits))
+	})
+}
+
+// FuzzLZWDecode fuzzes the LZW decoder.
+func FuzzLZWDecode(f *testing.F) {
+	c := &LZW{B: 8, MaxDict: 1024}
+	fuzzSeed(f, c)
+	f.Fuzz(func(t *testing.T, data []byte, origBits uint16) {
+		fuzzDecode(t, c, data, int(origBits))
+	})
+}
+
+// FuzzBlockDecode fuzzes the block-code decoders (selective Huffman,
+// full Huffman, dictionary) against fixed tables.
+func FuzzBlockDecode(f *testing.F) {
+	all := []Codec{
+		&SelectiveHuffman{B: 8, N: 8}, &FullHuffman{B: 8}, &Dictionary{B: 8, D: 8},
+	}
+	for _, c := range all {
+		fuzzSeed(f, c)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, origBits uint16) {
+		for _, c := range all {
+			fuzzDecode(t, c, data, int(origBits))
+		}
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+
+	"repro/internal/robust"
 )
 
 // tnode is a Huffman tree node; sym is -1 for internal nodes. seq is a
@@ -154,8 +156,11 @@ func (d *prefixDecoder) addNode() int {
 	return len(d.term) - 1
 }
 
-// errBadStream signals malformed compressed input.
-var errBadStream = fmt.Errorf("codecs: malformed compressed stream")
+// errBadStream signals malformed compressed input. It wraps
+// robust.ErrCorrupt so every codec's decode failures land in the shared
+// hostile-input taxonomy (truncation already maps through
+// bitvec.ErrShortStream → robust.ErrTruncated).
+var errBadStream = fmt.Errorf("codecs: malformed compressed stream: %w", robust.ErrCorrupt)
 
 // next reads one symbol; readBit supplies stream bits.
 func (d *prefixDecoder) next(readBit func() (bool, error)) (int, error) {

@@ -7,8 +7,9 @@
 // Layout (all integers little-endian uint32 unless noted):
 //
 //	offset  field
-//	0       magic "N9C2" ("N9C1" containers, which lack the set-name
-//	        field, are still read)
+//	0       magic "N9C3" ("N9C2" containers, which lack the CRCs, and
+//	        "N9C1" containers, which also lack the set-name field, are
+//	        still read)
 //	4       block size K
 //	8       pattern count (0 when a bare cube was encoded)
 //	12      scan width    (0 when a bare cube was encoded)
@@ -17,26 +18,41 @@
 //	24      stream bit count |T_E|
 //	28      codeword table: 9 × (uint8 length + 8-byte zero-padded
 //	        codeword ASCII)
-//	...     set name (v2 only): uint16 length + UTF-8 bytes, so a
+//	...     set name (v2+): uint16 length + UTF-8 bytes, so a
 //	        decompressed set keeps its original label instead of the
 //	        container path
+//	...     header CRC32C (v3 only): over every byte above, magic
+//	        included
 //	...     value plane, ceil(|T_E|/8) bytes, bit i at byte i/8 bit i%8
 //	...     X-mask plane, same size (bit set = position is X)
+//	...     payload CRC32C (v3 only): over both planes
+//
+// Reading is hostile-input hardened: header fields are cross-checked
+// against each other and against robust.DecodeLimits before a single
+// payload byte is allocated, the v3 CRCs detect any bit flip, and
+// every failure wraps one of the robust taxonomy sentinels
+// (ErrTruncated / ErrCorrupt / ErrLimitExceeded / ErrChecksum).
 package container
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"strings"
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/robust"
 )
 
-// Magic identifies the current format version.
-const Magic = "N9C2"
+// Magic identifies the current format version (CRC-protected).
+const Magic = "N9C3"
+
+// MagicV2 is the CRC-less named format, accepted on read.
+const MagicV2 = "N9C2"
 
 // MagicV1 is the legacy nameless format, accepted on read.
 const MagicV1 = "N9C1"
@@ -45,149 +61,267 @@ const MagicV1 = "N9C1"
 // write and rejected on read.
 const maxNameLen = 4096
 
-// Write serializes an encoding result, including the source set name
-// so decompression can restore the original label.
-func Write(w io.Writer, r *core.Result) (err error) {
+// castagnoli is the CRC32C polynomial table used for both checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Write serializes an encoding result in the current (v3) format,
+// including the source set name so decompression can restore the
+// original label, and CRC32C checksums over header and payload.
+func Write(w io.Writer, r *core.Result) error {
+	return WriteVersion(w, r, Magic)
+}
+
+// WriteVersion serializes r in the format selected by magic ("N9C1",
+// "N9C2" or "N9C3") — legacy versions exist for fixtures and
+// compatibility tooling; new containers should use Write.
+func WriteVersion(w io.Writer, r *core.Result, magic string) (err error) {
+	if magic != Magic && magic != MagicV2 && magic != MagicV1 {
+		return fmt.Errorf("container: unknown version %q", magic)
+	}
 	sp := obs.Active().Span("container.write")
 	cw := &countingWriter{w: w}
 	defer func() { observeIO(sp, "container.writes", "container.bytes_written", cw.n, err) }()
-	w = cw
 
-	var hdr [28]byte
-	copy(hdr[0:4], Magic)
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(r.K))
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(r.Patterns))
-	binary.LittleEndian.PutUint32(hdr[12:], uint32(r.Width))
-	binary.LittleEndian.PutUint32(hdr[16:], uint32(r.OrigBits))
-	binary.LittleEndian.PutUint32(hdr[20:], uint32(r.Blocks))
-	binary.LittleEndian.PutUint32(hdr[24:], uint32(r.Stream.Len()))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
+	// Header (magic through set name) is built in memory so the v3
+	// checksum can cover it.
+	var hdr bytes.Buffer
+	hdr.WriteString(magic)
+	var fields [24]byte
+	binary.LittleEndian.PutUint32(fields[0:], uint32(r.K))
+	binary.LittleEndian.PutUint32(fields[4:], uint32(r.Patterns))
+	binary.LittleEndian.PutUint32(fields[8:], uint32(r.Width))
+	binary.LittleEndian.PutUint32(fields[12:], uint32(r.OrigBits))
+	binary.LittleEndian.PutUint32(fields[16:], uint32(r.Blocks))
+	binary.LittleEndian.PutUint32(fields[20:], uint32(r.Stream.Len()))
+	hdr.Write(fields[:])
 	for cs := core.CaseAll0; cs <= core.CaseMisMis; cs++ {
 		code := r.Assign.Code(cs)
 		var entry [9]byte
 		entry[0] = byte(len(code))
 		copy(entry[1:], code)
-		if _, err := w.Write(entry[:]); err != nil {
+		hdr.Write(entry[:])
+	}
+	if magic != MagicV1 {
+		name := r.Name
+		if len(name) > maxNameLen {
+			name = name[:maxNameLen]
+		}
+		var nlen [2]byte
+		binary.LittleEndian.PutUint16(nlen[:], uint16(len(name)))
+		hdr.Write(nlen[:])
+		hdr.WriteString(name)
+	}
+	if magic == Magic {
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(hdr.Bytes(), castagnoli))
+		hdr.Write(crc[:])
+	}
+	if _, err := cw.Write(hdr.Bytes()); err != nil {
+		return err
+	}
+
+	val, mask := planes(r.Stream)
+	if _, err := cw.Write(val); err != nil {
+		return err
+	}
+	if _, err := cw.Write(mask); err != nil {
+		return err
+	}
+	if magic == Magic {
+		h := crc32.New(castagnoli)
+		h.Write(val)
+		h.Write(mask)
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], h.Sum32())
+		if _, err := cw.Write(crc[:]); err != nil {
 			return err
 		}
 	}
-	name := r.Name
-	if len(name) > maxNameLen {
-		name = name[:maxNameLen]
-	}
-	var nlen [2]byte
-	binary.LittleEndian.PutUint16(nlen[:], uint16(len(name)))
-	if _, err := w.Write(nlen[:]); err != nil {
-		return err
-	}
-	if _, err := io.WriteString(w, name); err != nil {
-		return err
-	}
-	val, mask := planes(r.Stream)
-	if _, err := w.Write(val); err != nil {
-		return err
-	}
-	_, err = w.Write(mask)
-	return err
+	return nil
 }
 
-// Read parses a container back into a Result (Counts are recomputed by
-// re-classifying on decode when needed; the stored stream is
-// authoritative). Both the current "N9C2" format and the legacy
-// nameless "N9C1" format are accepted.
-func Read(rd io.Reader) (res *core.Result, err error) {
+// Options selects how strictly ReadWithOptions treats the input.
+type Options struct {
+	// Limits bounds header-driven allocations; zero fields take the
+	// robust defaults.
+	Limits robust.DecodeLimits
+	// Lenient makes the reader salvage what it can from a corrupt
+	// payload instead of rejecting the container: CRC mismatches,
+	// value/mask plane conflicts, nonzero padding and an undecodable
+	// stream are recorded in Diag rather than returned as errors, and
+	// Counts are left zero. Header faults and limit violations are
+	// still fatal — without a trustworthy geometry there is nothing to
+	// salvage. The caller is expected to follow up with
+	// core.DecodeSetPartial / DecodeCubePartial.
+	Lenient bool
+}
+
+// Diag reports what the reader observed, mostly for lenient mode.
+type Diag struct {
+	// Version is the magic of the container that was read.
+	Version string
+	// HasCRC is true for v3 containers, which carry checksums.
+	HasCRC bool
+	// HeaderCRCOK / PayloadCRCOK report the v3 checksum outcomes
+	// (vacuously true when HasCRC is false).
+	HeaderCRCOK, PayloadCRCOK bool
+	// PlaneConflicts counts payload bits that were both X and 1; in
+	// lenient mode they demote to X instead of failing the read.
+	PlaneConflicts int
+	// StreamErr is the lenient-mode record of why the stored stream
+	// failed validation (nil when it decoded cleanly).
+	StreamErr error
+}
+
+// Read parses a container back into a Result under the default decode
+// limits (Counts are recomputed by re-classifying on decode when
+// needed; the stored stream is authoritative). All format versions
+// ("N9C3", "N9C2", "N9C1") are accepted.
+func Read(rd io.Reader) (*core.Result, error) {
+	return ReadWithLimits(rd, robust.DecodeLimits{})
+}
+
+// ReadWithLimits is Read with caller-supplied decode limits, enforced
+// against the untrusted header before any payload allocation.
+func ReadWithLimits(rd io.Reader, lim robust.DecodeLimits) (*core.Result, error) {
+	res, _, err := ReadWithOptions(rd, Options{Limits: lim})
+	return res, err
+}
+
+// ReadWithOptions parses a container under the given options and
+// reports diagnostics alongside the result.
+func ReadWithOptions(rd io.Reader, opt Options) (res *core.Result, diag *Diag, err error) {
 	sp := obs.Active().Span("container.read")
 	cr := &countingReader{r: rd}
 	defer func() { observeIO(sp, "container.reads", "container.bytes_read", cr.n, err) }()
-	rd = cr
+	lim := opt.Limits.WithDefaults()
+	diag = &Diag{HeaderCRCOK: true, PayloadCRCOK: true}
 
-	var hdr [28]byte
-	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
-		return nil, fmt.Errorf("container: header: %w", err)
+	hcrc := crc32.New(castagnoli)
+	readFull := func(buf []byte, what string) error {
+		if _, err := io.ReadFull(cr, buf); err != nil {
+			return fmt.Errorf("container: %s: %w: %v", what, robust.ErrTruncated, err)
+		}
+		return nil
 	}
-	hasName := string(hdr[0:4]) == Magic
-	if !hasName && string(hdr[0:4]) != MagicV1 {
-		return nil, fmt.Errorf("container: bad magic %q", hdr[0:4])
+
+	var magic [4]byte
+	if err := readFull(magic[:], "magic"); err != nil {
+		return nil, diag, err
 	}
-	k := int(binary.LittleEndian.Uint32(hdr[4:]))
-	patterns := int(binary.LittleEndian.Uint32(hdr[8:]))
-	width := int(binary.LittleEndian.Uint32(hdr[12:]))
-	origBits := int(binary.LittleEndian.Uint32(hdr[16:]))
-	blocks := int(binary.LittleEndian.Uint32(hdr[20:]))
-	streamBits := int(binary.LittleEndian.Uint32(hdr[24:]))
-	if k > 1<<20 {
-		return nil, fmt.Errorf("container: implausible block size K=%d", k)
+	hcrc.Write(magic[:])
+	diag.Version = string(magic[:])
+	switch diag.Version {
+	case Magic:
+		diag.HasCRC = true
+	case MagicV2, MagicV1:
+	default:
+		return nil, diag, fmt.Errorf("container: bad magic %q: %w", magic[:], robust.ErrCorrupt)
 	}
-	if k < 2 || k%2 != 0 || origBits < 0 || blocks < 0 || streamBits < 0 {
-		return nil, fmt.Errorf("container: implausible header (K=%d orig=%d blocks=%d stream=%d)",
-			k, origBits, blocks, streamBits)
+	hasName := diag.Version != MagicV1
+
+	var hdr [24]byte
+	if err := readFull(hdr[:], "header"); err != nil {
+		return nil, diag, err
 	}
-	// Format limits: 9C never expands a block beyond its longest
-	// codeword plus K data bits, and the stream cannot outgrow what the
-	// blocks can carry — reject forged headers before allocating.
-	const maxStreamBits = 1 << 30
-	if streamBits > maxStreamBits || streamBits > blocks*(8+k) {
-		return nil, fmt.Errorf("container: stream size %d inconsistent with %d blocks of K=%d", streamBits, blocks, k)
-	}
-	if blocks > origBits+k {
-		return nil, fmt.Errorf("container: %d blocks for %d original bits", blocks, origBits)
-	}
+	hcrc.Write(hdr[:])
+	k := int(binary.LittleEndian.Uint32(hdr[0:]))
+	patterns := int(binary.LittleEndian.Uint32(hdr[4:]))
+	width := int(binary.LittleEndian.Uint32(hdr[8:]))
+	origBits := int(binary.LittleEndian.Uint32(hdr[12:]))
+	blocks := int(binary.LittleEndian.Uint32(hdr[16:]))
+	streamBits := int(binary.LittleEndian.Uint32(hdr[20:]))
 
 	codes := make([]string, core.NumCases)
 	for i := range codes {
 		var entry [9]byte
-		if _, err := io.ReadFull(rd, entry[:]); err != nil {
-			return nil, fmt.Errorf("container: codeword table: %w", err)
+		if err := readFull(entry[:], "codeword table"); err != nil {
+			return nil, diag, err
 		}
+		hcrc.Write(entry[:])
 		n := int(entry[0])
 		if n < 1 || n > 8 {
-			return nil, fmt.Errorf("container: codeword %d has length %d", i+1, n)
+			return nil, diag, fmt.Errorf("container: codeword %d has length %d: %w", i+1, n, robust.ErrCorrupt)
 		}
 		code := string(entry[1 : 1+n])
 		if strings.Trim(code, "01") != "" {
-			return nil, fmt.Errorf("container: codeword %d is not binary: %q", i+1, code)
+			return nil, diag, fmt.Errorf("container: codeword %d is not binary: %q: %w", i+1, code, robust.ErrCorrupt)
 		}
 		codes[i] = code
 	}
 	assign, err := core.AssignmentFromCodes(codes)
 	if err != nil {
-		return nil, fmt.Errorf("container: %w", err)
+		return nil, diag, fmt.Errorf("container: %w: %w", robust.ErrCorrupt, err)
 	}
 
 	var name string
 	if hasName {
 		var nlen [2]byte
-		if _, err := io.ReadFull(rd, nlen[:]); err != nil {
-			return nil, fmt.Errorf("container: set name length: %w", err)
+		if err := readFull(nlen[:], "set name length"); err != nil {
+			return nil, diag, err
 		}
+		hcrc.Write(nlen[:])
 		n := int(binary.LittleEndian.Uint16(nlen[:]))
 		if n > maxNameLen {
-			return nil, fmt.Errorf("container: set name length %d exceeds %d", n, maxNameLen)
+			return nil, diag, fmt.Errorf("container: set name length %d exceeds %d: %w", n, maxNameLen, robust.ErrLimitExceeded)
 		}
 		buf := make([]byte, n)
-		if _, err := io.ReadFull(rd, buf); err != nil {
-			return nil, fmt.Errorf("container: set name: %w", err)
+		if err := readFull(buf, "set name"); err != nil {
+			return nil, diag, err
 		}
+		hcrc.Write(buf)
 		name = string(buf)
+	}
+	if diag.HasCRC {
+		var crc [4]byte
+		if err := readFull(crc[:], "header checksum"); err != nil {
+			return nil, diag, err
+		}
+		if got, want := hcrc.Sum32(), binary.LittleEndian.Uint32(crc[:]); got != want {
+			// A bad header CRC is fatal even in lenient mode: the
+			// geometry that partial decode depends on is untrustworthy.
+			diag.HeaderCRCOK = false
+			return nil, diag, fmt.Errorf("container: header CRC32C %08x, stored %08x: %w", got, want, robust.ErrChecksum)
+		}
+	}
+	// Geometry validation runs after the v3 header CRC so field
+	// corruption reports as a checksum fault, but strictly before the
+	// payload planes are sized from the untrusted stream bit count.
+	if err := validateGeometry(k, patterns, width, origBits, blocks, streamBits, lim); err != nil {
+		return nil, diag, err
 	}
 
 	nbytes := (streamBits + 7) / 8
 	val := make([]byte, nbytes)
 	mask := make([]byte, nbytes)
-	if _, err := io.ReadFull(rd, val); err != nil {
-		return nil, fmt.Errorf("container: value plane: %w", err)
+	if err := readFull(val, "value plane"); err != nil {
+		return nil, diag, err
 	}
-	if _, err := io.ReadFull(rd, mask); err != nil {
-		return nil, fmt.Errorf("container: mask plane: %w", err)
+	if err := readFull(mask, "mask plane"); err != nil {
+		return nil, diag, err
 	}
-	if n, _ := rd.Read(make([]byte, 1)); n != 0 {
-		return nil, fmt.Errorf("container: trailing bytes")
+	if diag.HasCRC {
+		var crc [4]byte
+		if err := readFull(crc[:], "payload checksum"); err != nil {
+			return nil, diag, err
+		}
+		pcrc := crc32.New(castagnoli)
+		pcrc.Write(val)
+		pcrc.Write(mask)
+		if got, want := pcrc.Sum32(), binary.LittleEndian.Uint32(crc[:]); got != want {
+			diag.PayloadCRCOK = false
+			if !opt.Lenient {
+				return nil, diag, fmt.Errorf("container: payload CRC32C %08x, stored %08x: %w", got, want, robust.ErrChecksum)
+			}
+		}
 	}
-	stream, err := unplanes(val, mask, streamBits)
+	if n, _ := cr.Read(make([]byte, 1)); n != 0 {
+		return nil, diag, fmt.Errorf("container: trailing bytes: %w", robust.ErrCorrupt)
+	}
+	stream, conflicts, err := unplanes(val, mask, streamBits, opt.Lenient)
+	diag.PlaneConflicts = conflicts
 	if err != nil {
-		return nil, err
+		return nil, diag, err
 	}
 
 	r := &core.Result{
@@ -196,20 +330,80 @@ func Read(rd io.Reader) (res *core.Result, err error) {
 		Patterns: patterns, Width: width,
 	}
 	// Recover the codeword statistics (and validate the stream) by
-	// decoding once.
+	// decoding once. Lenient mode records the failure instead and
+	// leaves Counts zero: the caller salvages via partial decode.
 	cdc, err := core.NewWithAssignment(k, assign)
 	if err != nil {
-		return nil, err
+		return nil, diag, fmt.Errorf("container: %w: %w", robust.ErrCorrupt, err)
 	}
 	if _, _, err := cdc.Decode(r); err != nil {
-		return nil, fmt.Errorf("container: stored stream does not decode: %w", err)
+		if !opt.Lenient {
+			return nil, diag, fmt.Errorf("container: stored stream does not decode: %w", err)
+		}
+		diag.StreamErr = err
+		return r, diag, nil
 	}
 	counts, err := core.CountsOfStream(cdc, stream, blocks)
 	if err != nil {
-		return nil, err
+		if !opt.Lenient {
+			return nil, diag, fmt.Errorf("container: %w: %w", robust.ErrCorrupt, err)
+		}
+		diag.StreamErr = err
+		return r, diag, nil
 	}
 	r.Counts = counts
-	return r, nil
+	return r, diag, nil
+}
+
+// validateGeometry cross-checks the untrusted header fields against
+// each other and against the decode limits. It runs before any
+// header-sized allocation, so a forged header can never oversize a
+// buffer: the fields must be exactly the ones the encoder would have
+// produced for some input, and inside the caller's budget. All
+// arithmetic is in int64 so forged 32-bit extremes cannot overflow.
+func validateGeometry(k, patterns, width, origBits, blocks, streamBits int, lim robust.DecodeLimits) error {
+	if k > 1<<20 {
+		return fmt.Errorf("container: implausible block size K=%d: %w", k, robust.ErrCorrupt)
+	}
+	if k < 2 || k%2 != 0 || origBits < 0 || blocks < 0 || streamBits < 0 {
+		return fmt.Errorf("container: implausible header (K=%d orig=%d blocks=%d stream=%d): %w",
+			k, origBits, blocks, streamBits, robust.ErrCorrupt)
+	}
+	if patterns > 0 && width == 0 {
+		return fmt.Errorf("container: %d patterns of width 0: %w", patterns, robust.ErrCorrupt)
+	}
+	// The block count and |T_D| are fully determined by the geometry:
+	// per-pattern padding for sets (width > 0, possibly zero patterns),
+	// one padded run for bare cubes.
+	var wantBlocks, wantOrig int64
+	if width > 0 {
+		blocksPer := (int64(width) + int64(k) - 1) / int64(k)
+		wantBlocks = blocksPer * int64(patterns)
+		wantOrig = int64(patterns) * int64(width)
+	} else {
+		wantBlocks = (int64(origBits) + int64(k) - 1) / int64(k)
+		wantOrig = int64(origBits)
+	}
+	if int64(blocks) != wantBlocks || int64(origBits) != wantOrig {
+		return fmt.Errorf("container: %d blocks / %d bits disagree with geometry %dx%d at K=%d: %w",
+			blocks, origBits, patterns, width, k, robust.ErrCorrupt)
+	}
+	// 9C never expands a block beyond its longest codeword plus K data
+	// bits, and every block ships at least a one-bit codeword.
+	if int64(streamBits) > int64(blocks)*int64(8+k) || streamBits < blocks {
+		return fmt.Errorf("container: stream size %d inconsistent with %d blocks of K=%d: %w",
+			streamBits, blocks, k, robust.ErrCorrupt)
+	}
+	if patterns > lim.MaxPatterns {
+		return fmt.Errorf("container: %d patterns exceed limit %d: %w", patterns, lim.MaxPatterns, robust.ErrLimitExceeded)
+	}
+	if width > lim.MaxWidth {
+		return fmt.Errorf("container: width %d exceeds limit %d: %w", width, lim.MaxWidth, robust.ErrLimitExceeded)
+	}
+	if payload := 2 * ((int64(streamBits) + 7) / 8); payload > int64(lim.MaxPayloadBytes) {
+		return fmt.Errorf("container: payload %d bytes exceeds limit %d: %w", payload, lim.MaxPayloadBytes, robust.ErrLimitExceeded)
+	}
+	return nil
 }
 
 // planes splits a ternary stream into (value bits, X mask) byte planes.
@@ -228,16 +422,22 @@ func planes(c *bitvec.Cube) (val, mask []byte) {
 	return val, mask
 }
 
-// unplanes rebuilds the ternary stream; a set mask bit with a set value
-// bit is rejected as corruption.
-func unplanes(val, mask []byte, bits int) (*bitvec.Cube, error) {
+// unplanes rebuilds the ternary stream. A set mask bit with a set
+// value bit is rejected as corruption — or, leniently, demoted to X
+// and counted. Nonzero pad bits in the final byte are rejected the
+// same way (counted but ignored when lenient).
+func unplanes(val, mask []byte, bits int, lenient bool) (*bitvec.Cube, int, error) {
+	conflicts := 0
 	c := bitvec.NewCube(bits)
 	for i := 0; i < bits; i++ {
 		v := val[i/8]>>uint(i%8)&1 == 1
 		x := mask[i/8]>>uint(i%8)&1 == 1
 		switch {
 		case x && v:
-			return nil, fmt.Errorf("container: bit %d is both X and 1", i)
+			if !lenient {
+				return nil, conflicts, fmt.Errorf("container: bit %d is both X and 1: %w", i, robust.ErrCorrupt)
+			}
+			conflicts++ // stays X
 		case x:
 			// stays X
 		case v:
@@ -249,10 +449,13 @@ func unplanes(val, mask []byte, bits int) (*bitvec.Cube, error) {
 	// Unused pad bits in the final byte must be zero.
 	for i := bits; i < len(val)*8; i++ {
 		if val[i/8]>>uint(i%8)&1 == 1 || mask[i/8]>>uint(i%8)&1 == 1 {
-			return nil, fmt.Errorf("container: nonzero padding bit %d", i)
+			if !lenient {
+				return nil, conflicts, fmt.Errorf("container: nonzero padding bit %d: %w", i, robust.ErrCorrupt)
+			}
+			conflicts++
 		}
 	}
-	return c, nil
+	return c, conflicts, nil
 }
 
 // countingWriter tracks bytes written for the telemetry counters.

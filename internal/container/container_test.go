@@ -3,6 +3,7 @@ package container
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
+	"repro/internal/robust"
 	"repro/internal/tcube"
 )
 
@@ -63,37 +65,49 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReadRejectsCorruption mutates a CRC-less v2 container so each
+// mutation exercises its specific structural check (in v3 the CRC
+// masks them all), asserting every rejection lands in the robust
+// taxonomy.
 func TestReadRejectsCorruption(t *testing.T) {
 	_, r, _ := encodeSet(t, 8, "0000000011111111", "01X011011XXXXX10")
 	var buf bytes.Buffer
-	if err := Write(&buf, r); err != nil {
+	if err := WriteVersion(&buf, r, MagicV2); err != nil {
 		t.Fatal(err)
 	}
 	good := buf.Bytes()
 
-	mutate := func(name string, f func(b []byte) []byte) {
+	mutate := func(name string, want error, f func(b []byte) []byte) {
 		t.Helper()
 		b := append([]byte(nil), good...)
 		b = f(b)
-		if _, err := Read(bytes.NewReader(b)); err == nil {
+		_, err := Read(bytes.NewReader(b))
+		if err == nil {
 			t.Errorf("%s accepted", name)
+			return
+		}
+		if !robust.IsClassified(err) {
+			t.Errorf("%s: error outside taxonomy: %v", name, err)
+		}
+		if want != nil && !errors.Is(err, want) {
+			t.Errorf("%s: error %v, want %v", name, err, want)
 		}
 	}
-	mutate("bad magic", func(b []byte) []byte { b[0] = 'X'; return b })
-	mutate("odd K", func(b []byte) []byte { b[4] = 7; return b })
-	mutate("truncated header", func(b []byte) []byte { return b[:20] })
-	mutate("truncated payload", func(b []byte) []byte { return b[:len(b)-2] })
-	mutate("trailing bytes", func(b []byte) []byte { return append(b, 0) })
-	mutate("codeword length 0", func(b []byte) []byte { b[28] = 0; return b })
-	mutate("codeword non-binary", func(b []byte) []byte { b[29] = 'z'; return b })
+	mutate("bad magic", robust.ErrCorrupt, func(b []byte) []byte { b[0] = 'X'; return b })
+	mutate("odd K", robust.ErrCorrupt, func(b []byte) []byte { b[4] = 7; return b })
+	mutate("truncated header", robust.ErrTruncated, func(b []byte) []byte { return b[:20] })
+	mutate("truncated payload", robust.ErrTruncated, func(b []byte) []byte { return b[:len(b)-2] })
+	mutate("trailing bytes", robust.ErrCorrupt, func(b []byte) []byte { return append(b, 0) })
+	mutate("codeword length 0", robust.ErrCorrupt, func(b []byte) []byte { b[28] = 0; return b })
+	mutate("codeword non-binary", robust.ErrCorrupt, func(b []byte) []byte { b[29] = 'z'; return b })
 	// Corrupting a codeword table entry so two codes collide.
-	mutate("duplicate codewords", func(b []byte) []byte {
+	mutate("duplicate codewords", robust.ErrCorrupt, func(b []byte) []byte {
 		copy(b[28:37], b[37:46])
 		return b
 	})
 	// Value+mask both set on bit 0 of the payload, which starts after
 	// the header, codeword table, and length-prefixed set name.
-	mutate("X and 1 simultaneously", func(b []byte) []byte {
+	mutate("X and 1 simultaneously", robust.ErrCorrupt, func(b []byte) []byte {
 		nameOff := 28 + 9*9
 		payload := nameOff + 2 + int(binary.LittleEndian.Uint16(b[nameOff:]))
 		nbytes := (len(b) - payload) / 2
@@ -101,9 +115,15 @@ func TestReadRejectsCorruption(t *testing.T) {
 		b[payload+nbytes] |= 1
 		return b
 	})
-	mutate("oversized name length", func(b []byte) []byte {
+	mutate("oversized name length", robust.ErrLimitExceeded, func(b []byte) []byte {
 		nameOff := 28 + 9*9
 		binary.LittleEndian.PutUint16(b[nameOff:], 60000)
+		return b
+	})
+	// Forged pattern count disagreeing with origBits/blocks: must be
+	// rejected by cross-field validation before any allocation.
+	mutate("forged pattern count", robust.ErrCorrupt, func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[8:], 1<<30)
 		return b
 	})
 }
@@ -128,32 +148,172 @@ func TestSetNameRoundTrip(t *testing.T) {
 	}
 }
 
-// TestReadLegacyV1 asserts nameless N9C1 containers still load: the
-// v2 reader must treat the name field as absent, not misparse the
-// payload.
-func TestReadLegacyV1(t *testing.T) {
+// TestReadLegacyVersions asserts CRC-less N9C2 and nameless N9C1
+// containers still load through the v3 reader.
+func TestReadLegacyVersions(t *testing.T) {
+	_, r, _ := encodeSet(t, 8, "0000000011111111", "01X011011XXXXX10")
+	for _, magic := range []string{MagicV1, MagicV2} {
+		var buf bytes.Buffer
+		if err := WriteVersion(&buf, r, magic); err != nil {
+			t.Fatal(err)
+		}
+		back, diag, err := ReadWithOptions(bytes.NewReader(buf.Bytes()), Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", magic, err)
+		}
+		if diag.Version != magic || diag.HasCRC {
+			t.Fatalf("%s: diag %+v", magic, diag)
+		}
+		wantName := r.Name
+		if magic == MagicV1 {
+			wantName = ""
+		}
+		if back.Name != wantName {
+			t.Fatalf("%s container produced name %q, want %q", magic, back.Name, wantName)
+		}
+		if !back.Stream.Equal(r.Stream) || back.Counts != r.Counts {
+			t.Fatalf("%s payload misparsed", magic)
+		}
+	}
+}
+
+// TestHostileHeader16Bytes is the regression test for the header-trust
+// bug: a 16-byte input that carries a valid magic and forged huge size
+// fields used to reach make([]byte, n) before anything noticed the
+// stream was 16 bytes long. All four magic variants must fail with
+// ErrTruncated (the bytes run out before the header completes) and
+// must never allocate payload-sized buffers.
+func TestHostileHeader16Bytes(t *testing.T) {
+	for _, magic := range []string{Magic, MagicV2, MagicV1, "XXXX"} {
+		b := make([]byte, 16)
+		copy(b, magic)
+		b[4] = 8 // plausible K
+		// Forge enormous patterns/width in the bytes that fit.
+		binary.LittleEndian.PutUint32(b[8:], 0xFFFFFFFF)
+		binary.LittleEndian.PutUint32(b[12:], 0xFFFFFFFF)
+		_, err := Read(bytes.NewReader(b))
+		if err == nil {
+			t.Fatalf("%q: 16-byte hostile header accepted", magic)
+		}
+		want := robust.ErrTruncated
+		if magic == "XXXX" {
+			want = robust.ErrCorrupt
+		}
+		if !errors.Is(err, want) {
+			t.Errorf("%q: got %v, want %v", magic, err, want)
+		}
+	}
+}
+
+// TestV3DetectsEveryBitFlip flips every bit of a small v3 container and
+// asserts each mutant is rejected with a classified error — the CRC32C
+// pair guarantees any single-bit corruption is caught.
+func TestV3DetectsEveryBitFlip(t *testing.T) {
 	_, r, _ := encodeSet(t, 8, "0000000011111111", "01X011011XXXXX10")
 	var buf bytes.Buffer
 	if err := Write(&buf, r); err != nil {
 		t.Fatal(err)
 	}
-	// Rewrite the v2 container as v1: legacy magic, name field spliced
-	// out (it sits between the codeword table and the planes).
-	b := append([]byte(nil), buf.Bytes()...)
-	copy(b[0:4], MagicV1)
-	nameOff := 28 + 9*9
-	nameLen := int(binary.LittleEndian.Uint16(b[nameOff:]))
-	v1 := append(b[:nameOff:nameOff], b[nameOff+2+nameLen:]...)
+	good := buf.Bytes()
+	for i := 0; i < len(good)*8; i++ {
+		b := append([]byte(nil), good...)
+		b[i/8] ^= 1 << (i % 8)
+		_, err := Read(bytes.NewReader(b))
+		if err == nil {
+			t.Fatalf("bit flip at %d accepted", i)
+		}
+		if !robust.IsClassified(err) {
+			t.Fatalf("bit flip at %d: error outside taxonomy: %v", i, err)
+		}
+	}
+}
 
-	back, err := Read(bytes.NewReader(v1))
-	if err != nil {
+// TestDecodeLimits asserts forged-but-consistent geometry that exceeds
+// the caller's limits is rejected with ErrLimitExceeded before payload
+// allocation (the container body is absent, so reaching the payload
+// read would surface ErrTruncated instead).
+func TestDecodeLimits(t *testing.T) {
+	_, r, _ := encodeSet(t, 8, "0000000011111111", "01X011011XXXXX10")
+	var buf bytes.Buffer
+	if err := WriteVersion(&buf, r, MagicV2); err != nil {
 		t.Fatal(err)
 	}
-	if back.Name != "" {
-		t.Fatalf("v1 container produced name %q, want empty", back.Name)
+	nameOff := 28 + 9*9
+	payloadOff := nameOff + 2 + int(binary.LittleEndian.Uint16(buf.Bytes()[nameOff:]))
+	headerOnly := buf.Bytes()[:payloadOff]
+
+	cases := []struct {
+		name string
+		lim  robust.DecodeLimits
+	}{
+		{"patterns", robust.DecodeLimits{MaxPatterns: 1}},
+		{"width", robust.DecodeLimits{MaxWidth: 4}},
+		{"payload", robust.DecodeLimits{MaxPayloadBytes: 1}},
 	}
-	if !back.Stream.Equal(r.Stream) || back.Counts != r.Counts {
-		t.Fatal("v1 payload misparsed")
+	for _, tc := range cases {
+		_, err := ReadWithLimits(bytes.NewReader(headerOnly), tc.lim)
+		if !errors.Is(err, robust.ErrLimitExceeded) {
+			t.Errorf("%s: got %v, want ErrLimitExceeded", tc.name, err)
+		}
+	}
+	// Within limits the same truncated input must fail as truncated,
+	// proving the limit rejections above fired before the payload read.
+	if _, err := ReadWithLimits(bytes.NewReader(headerOnly), robust.DecodeLimits{}); !errors.Is(err, robust.ErrTruncated) {
+		t.Errorf("headerOnly under default limits: got %v, want ErrTruncated", err)
+	}
+	// A healthy container under generous limits still loads.
+	if _, err := ReadWithLimits(bytes.NewReader(buf.Bytes()), robust.DecodeLimits{MaxPatterns: 100}); err != nil {
+		t.Errorf("healthy container rejected: %v", err)
+	}
+}
+
+// TestLenientRead corrupts the payload of a v3 container and asserts
+// strict mode rejects it with ErrChecksum while lenient mode loads it,
+// records the CRC failure in Diag, and leaves a salvageable stream.
+func TestLenientRead(t *testing.T) {
+	_, r, _ := encodeSet(t, 8, "0000000011111111", "01X011011XXXXX10")
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	// Flip a val-plane bit whose mask-plane partner is clear (a care
+	// bit), so the mutant stays a well-formed ternary stream and only
+	// the payload CRC notices. Search from the payload start.
+	nameOff := 28 + 9*9
+	headerEnd := nameOff + 2 + int(binary.LittleEndian.Uint16(good[nameOff:])) + 4
+	nbytes := (len(good) - headerEnd - 4) / 2
+	flip := -1
+	for i := 0; i < nbytes*8; i++ {
+		if good[headerEnd+nbytes+i/8]&(1<<(i%8)) == 0 { // mask bit clear
+			flip = i
+			break
+		}
+	}
+	if flip < 0 {
+		t.Fatal("no care bit found in payload")
+	}
+	bad := append([]byte(nil), good...)
+	bad[headerEnd+flip/8] ^= 1 << (flip % 8)
+
+	if _, err := Read(bytes.NewReader(bad)); !errors.Is(err, robust.ErrChecksum) {
+		t.Fatalf("strict read of corrupt payload: got %v, want ErrChecksum", err)
+	}
+	back, diag, err := ReadWithOptions(bytes.NewReader(bad), Options{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient read failed: %v", err)
+	}
+	if !diag.HasCRC || !diag.HeaderCRCOK || diag.PayloadCRCOK {
+		t.Fatalf("diag %+v: want header CRC ok, payload CRC bad", diag)
+	}
+	if back.Stream.Len() != r.Stream.Len() {
+		t.Fatalf("lenient stream length %d, want %d", back.Stream.Len(), r.Stream.Len())
+	}
+	// Header corruption stays fatal even in lenient mode.
+	bad2 := append([]byte(nil), good...)
+	bad2[6] ^= 1
+	if _, _, err := ReadWithOptions(bytes.NewReader(bad2), Options{Lenient: true}); !errors.Is(err, robust.ErrChecksum) {
+		t.Fatalf("lenient read of corrupt header: got %v, want ErrChecksum", err)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/obs"
+	"repro/internal/robust"
 	"repro/internal/tcube"
 )
 
@@ -170,31 +171,44 @@ func (c *Codec) EncodeSet(s *tcube.Set) (*Result, error) {
 // decodeBlocks reads exactly blocks block encodings from r and emits
 // their K-bit expansions into out starting at position 0.
 func (c *Codec) decodeBlocks(r *cubeReader, blocks int) (*bitvec.Cube, error) {
+	out, _, err := c.decodeBlocksPartial(r, blocks)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// decodeBlocksPartial reads up to blocks block encodings from r,
+// stopping at the first malformed or truncated block. It returns the
+// output cube, the number of blocks decoded cleanly, and the error
+// that stopped decoding (nil when all blocks decoded). The output is
+// always blocks*K long; only the first good*K positions are meaningful.
+func (c *Codec) decodeBlocksPartial(r *cubeReader, blocks int) (*bitvec.Cube, int, error) {
 	k := c.k
 	h := k / 2
 	out := bitvec.NewCube(blocks * k)
 	for b := 0; b < blocks; b++ {
 		cs, err := c.table.next(r)
 		if err != nil {
-			return nil, fmt.Errorf("core: block %d: %w", b, err)
+			return out, b, fmt.Errorf("core: block %d: %w", b, err)
 		}
 		base := b * k
 		if v, ok := cs.matchedLeft(); ok {
 			out.SetRun(base, base+h, v)
 		} else {
 			if err := r.readRaw(out, base, base+h); err != nil {
-				return nil, fmt.Errorf("core: block %d left data: %w", b, err)
+				return out, b, fmt.Errorf("core: block %d left data: %w", b, err)
 			}
 		}
 		if v, ok := cs.matchedRight(); ok {
 			out.SetRun(base+h, base+k, v)
 		} else {
 			if err := r.readRaw(out, base+h, base+k); err != nil {
-				return nil, fmt.Errorf("core: block %d right data: %w", b, err)
+				return out, b, fmt.Errorf("core: block %d right data: %w", b, err)
 			}
 		}
 	}
-	return out, nil
+	return out, blocks, nil
 }
 
 // DecodeCube decompresses a stream produced by EncodeCube back into a
@@ -206,7 +220,7 @@ func (c *Codec) DecodeCube(stream *bitvec.Cube, origBits int) (cube *bitvec.Cube
 	sp := obs.Active().Span("core.decode_cube")
 	defer func() { observeDecode(sp, origBits, err) }()
 	if origBits < 0 {
-		return nil, fmt.Errorf("core: negative output size %d", origBits)
+		return nil, fmt.Errorf("core: negative output size %d: %w", origBits, robust.ErrCorrupt)
 	}
 	r := &cubeReader{src: stream}
 	blocks := (origBits + c.k - 1) / c.k
@@ -215,9 +229,32 @@ func (c *Codec) DecodeCube(stream *bitvec.Cube, origBits int) (cube *bitvec.Cube
 		return nil, err
 	}
 	if r.remaining() != 0 {
-		return nil, fmt.Errorf("core: %d trailing bits after final block", r.remaining())
+		return nil, fmt.Errorf("core: %d trailing bits after final block: %w", r.remaining(), robust.ErrCorrupt)
 	}
 	return out.Slice(0, origBits), nil
+}
+
+// DecodeCubePartial is the lenient counterpart of DecodeCube: it
+// decodes whole blocks until the first fault and returns what it
+// recovered (clipped to origBits) together with the error that stopped
+// it, or nil when the whole stream decoded cleanly. Trailing bits
+// beyond the final block are reported as the fault but do not discard
+// the recovered prefix.
+func (c *Codec) DecodeCubePartial(stream *bitvec.Cube, origBits int) (*bitvec.Cube, error) {
+	if origBits < 0 {
+		return nil, fmt.Errorf("core: negative output size %d: %w", origBits, robust.ErrCorrupt)
+	}
+	r := &cubeReader{src: stream}
+	blocks := (origBits + c.k - 1) / c.k
+	out, good, err := c.decodeBlocksPartial(r, blocks)
+	n := good * c.k
+	if n > origBits {
+		n = origBits
+	}
+	if err == nil && r.remaining() != 0 {
+		err = fmt.Errorf("core: %d trailing bits after final block: %w", r.remaining(), robust.ErrCorrupt)
+	}
+	return out.Slice(0, n), err
 }
 
 // DecodeSet decompresses a stream produced by EncodeSet back into a
@@ -226,7 +263,7 @@ func (c *Codec) DecodeSet(stream *bitvec.Cube, width, patterns int) (set *tcube.
 	sp := obs.Active().Span("core.decode_set")
 	defer func() { observeDecode(sp, width*patterns, err) }()
 	if width < 0 || patterns < 0 {
-		return nil, fmt.Errorf("core: invalid geometry %dx%d", patterns, width)
+		return nil, fmt.Errorf("core: invalid geometry %dx%d: %w", patterns, width, robust.ErrCorrupt)
 	}
 	r := &cubeReader{src: stream}
 	blocksPer := (width + c.k - 1) / c.k
@@ -236,10 +273,42 @@ func (c *Codec) DecodeSet(stream *bitvec.Cube, width, patterns int) (set *tcube.
 		if err != nil {
 			return nil, fmt.Errorf("core: pattern %d: %w", i, err)
 		}
-		out.MustAppend(p.Slice(0, width))
+		if err := out.Append(p.Slice(0, width)); err != nil {
+			return nil, err
+		}
 	}
 	if r.remaining() != 0 {
-		return nil, fmt.Errorf("core: %d trailing bits after final pattern", r.remaining())
+		return nil, fmt.Errorf("core: %d trailing bits after final pattern: %w", r.remaining(), robust.ErrCorrupt)
+	}
+	return out, nil
+}
+
+// DecodeSetPartial is the lenient counterpart of DecodeSet: it decodes
+// pattern after pattern until the first fault and returns the patterns
+// recovered before it, together with the error that stopped decoding
+// (nil when the whole stream decoded cleanly). A pattern interrupted
+// mid-block is discarded; trailing bits after the final pattern are
+// reported as the fault but keep every recovered pattern. This is the
+// -strict=false path of cmd/ninec: a service can salvage the prefix of
+// a container whose tail was corrupted in transit.
+func (c *Codec) DecodeSetPartial(stream *bitvec.Cube, width, patterns int) (*tcube.Set, error) {
+	if width < 0 || patterns < 0 {
+		return nil, fmt.Errorf("core: invalid geometry %dx%d: %w", patterns, width, robust.ErrCorrupt)
+	}
+	r := &cubeReader{src: stream}
+	blocksPer := (width + c.k - 1) / c.k
+	out := tcube.NewSet("decoded", width)
+	for i := 0; i < patterns; i++ {
+		p, err := c.decodeBlocks(r, blocksPer)
+		if err != nil {
+			return out, fmt.Errorf("core: pattern %d: %w", i, err)
+		}
+		if err := out.Append(p.Slice(0, width)); err != nil {
+			return out, err
+		}
+	}
+	if r.remaining() != 0 {
+		return out, fmt.Errorf("core: %d trailing bits after final pattern: %w", r.remaining(), robust.ErrCorrupt)
 	}
 	return out, nil
 }

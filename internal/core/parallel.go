@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -18,6 +20,21 @@ import (
 // so the result is bit-identical to the serial EncodeSet, whatever the
 // worker count. workers ≤ 0 selects GOMAXPROCS.
 func (c *Codec) EncodeSetParallel(s *tcube.Set, workers int) (*Result, error) {
+	return c.EncodeSetParallelCtx(context.Background(), s, workers)
+}
+
+// EncodeSetParallelCtx is EncodeSetParallel under a context: the
+// encode observes ctx cancellation/deadline at pattern granularity and
+// returns ctx.Err() promptly, discarding all partial sub-streams
+// atomically (either the caller gets the complete, bit-identical
+// result, or nothing). A panicking worker is recovered into an error
+// instead of killing the process, so one poisoned pattern cannot take
+// down a service encoding many sets. On the uncanceled path the output
+// is bit-identical to the serial EncodeSet.
+func (c *Codec) EncodeSetParallelCtx(ctx context.Context, s *tcube.Set, workers int) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -25,7 +42,10 @@ func (c *Codec) EncodeSetParallel(s *tcube.Set, workers int) (*Result, error) {
 		workers = s.Len()
 	}
 	if workers <= 1 {
-		return c.EncodeSet(s)
+		if ctx.Done() == nil {
+			return c.EncodeSet(s)
+		}
+		return c.encodeSetSerialCtx(ctx, s)
 	}
 	sp := obs.Active().Span("core.encode_set_parallel").Set("workers", workers)
 
@@ -43,20 +63,39 @@ func (c *Codec) EncodeSetParallel(s *tcube.Set, workers int) (*Result, error) {
 	blocksPer := (s.Width() + c.k - 1) / c.k
 	streams := make([]*bitvec.Cube, len(chunks))
 	subCounts := make([]Counts, len(chunks))
+	errs := make([]error, len(chunks))
 	var wg sync.WaitGroup
 	for i, ch := range chunks {
 		wg.Add(1)
 		go func(i int, ch chunk) {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("core: encode worker %d panicked: %v", i, p)
+				}
+			}()
 			wsp := sp.Child("core.encode_worker")
+			if encodeWorkerHook != nil {
+				encodeWorkerHook(i)
+			}
 			w := newCubeWriter((ch.hi-ch.lo)*s.Width() + (ch.hi-ch.lo)*blocksPer*2)
-			subCounts[i] = c.encodePatterns(s, ch.lo, ch.hi, w)
+			subCounts[i], errs[i] = c.encodePatternsCtx(ctx, s, ch.lo, ch.hi, w)
+			if errs[i] != nil {
+				wsp.Set("worker", i).Set("error", errs[i].Error()).End()
+				return
+			}
 			streams[i] = w.cube()
 			wsp.Set("worker", i).Set("lo", ch.lo).Set("hi", ch.hi).
 				Set("bits_out", streams[i].Len()).End()
 		}(i, ch)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			sp.Set("error", err.Error()).End()
+			return nil, err
+		}
+	}
 
 	total := 0
 	for _, sub := range streams {
@@ -77,5 +116,53 @@ func (c *Codec) EncodeSetParallel(s *tcube.Set, workers int) (*Result, error) {
 		LeftoverX: stream.XCount(), Patterns: s.Len(), Width: s.Width(),
 	}
 	observeEncode(sp, r, "parallel")
+	return r, nil
+}
+
+// encodeWorkerHook, when non-nil, runs at the top of each encode
+// worker goroutine. It exists so tests can inject a worker panic and
+// prove the recovery path contains it; production code never sets it.
+var encodeWorkerHook func(worker int)
+
+// encodePatternsCtx is encodePatterns with cancellation checks between
+// patterns. A non-cancellable context (Done() == nil, e.g.
+// context.Background()) takes the unchecked hot path, so the
+// context-free encode costs nothing extra.
+func (c *Codec) encodePatternsCtx(ctx context.Context, s *tcube.Set, lo, hi int, w *cubeWriter) (Counts, error) {
+	if ctx.Done() == nil {
+		return c.encodePatterns(s, lo, hi, w), nil
+	}
+	var counts Counts
+	blocksPer := (s.Width() + c.k - 1) / c.k
+	for i := lo; i < hi; i++ {
+		if err := ctx.Err(); err != nil {
+			return counts, err
+		}
+		p := s.Cube(i)
+		for b := 0; b < blocksPer; b++ {
+			counts.Add(c.encodeBlock(p, b*c.k, w))
+		}
+	}
+	return counts, nil
+}
+
+// encodeSetSerialCtx is the single-worker cancellable encode; its
+// output is bit-identical to EncodeSet.
+func (c *Codec) encodeSetSerialCtx(ctx context.Context, s *tcube.Set) (*Result, error) {
+	sp := obs.Active().Span("core.encode_set")
+	blocksPer := (s.Width() + c.k - 1) / c.k
+	w := newCubeWriter(s.Bits() + blocksPer*s.Len()*2)
+	counts, err := c.encodePatternsCtx(ctx, s, 0, s.Len(), w)
+	if err != nil {
+		sp.Set("error", err.Error()).End()
+		return nil, err
+	}
+	stream := w.cube()
+	r := &Result{
+		K: c.k, Name: s.Name, Assign: c.assign, Stream: stream, Counts: counts,
+		OrigBits: s.Bits(), Blocks: blocksPer * s.Len(),
+		LeftoverX: stream.XCount(), Patterns: s.Len(), Width: s.Width(),
+	}
+	observeEncode(sp, r, "serial")
 	return r, nil
 }

@@ -1,19 +1,21 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/bitvec"
+	"repro/internal/robust"
 )
 
 // ErrTruncated is returned when a compressed stream ends mid-block.
-var ErrTruncated = errors.New("core: compressed stream truncated")
+// It wraps robust.ErrTruncated (the shared hostile-input taxonomy).
+var ErrTruncated = fmt.Errorf("core: compressed stream %w", robust.ErrTruncated)
 
 // ErrBadCodeword is returned when the stream contains a bit sequence
 // that is not a valid codeword, or an X where a codeword bit belongs
 // (codewords are always fully specified; only mismatch data carries X).
-var ErrBadCodeword = errors.New("core: invalid codeword in stream")
+// It wraps robust.ErrCorrupt.
+var ErrBadCodeword = fmt.Errorf("core: invalid codeword in stream: %w", robust.ErrCorrupt)
 
 // packedCode is a codeword packed for word appending: bit i of bits is
 // stream position i of the codeword (the first code character is the

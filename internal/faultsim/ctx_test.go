@@ -1,0 +1,94 @@
+package faultsim
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestCampaignCtxCanceled asserts a canceled context aborts both the
+// serial and parallel campaigns with ctx.Err() and no partial coverage.
+func TestCampaignCtxCanceled(t *testing.T) {
+	c, sv := circuit(t, s27, "s27")
+	faults := Collapse(c)
+	rng := rand.New(rand.NewSource(5))
+	set := randomSpecifiedSet(rng, 130, sv.ScanWidth())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	cov, err := NewSimulator(sv).CampaignCtx(ctx, set, faults)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("serial: err %v, want context.Canceled", err)
+	}
+	if cov.Detected != 0 || cov.FirstDetectedBy != nil {
+		t.Fatalf("serial: partial coverage survived cancellation: %+v", cov)
+	}
+
+	cov, err = CampaignParallelCtx(ctx, sv, set, faults, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel: err %v, want context.Canceled", err)
+	}
+	if cov.Detected != 0 || cov.FirstDetectedBy != nil {
+		t.Fatalf("parallel: partial coverage survived cancellation: %+v", cov)
+	}
+}
+
+// TestCampaignCtxIdentical asserts an uncanceled cancellable context
+// produces the same coverage as the context-free campaign.
+func TestCampaignCtxIdentical(t *testing.T) {
+	c, sv := circuit(t, s27, "s27")
+	faults := Collapse(c)
+	rng := rand.New(rand.NewSource(6))
+	set := randomSpecifiedSet(rng, 150, sv.ScanWidth())
+
+	plain, err := NewSimulator(sv).Campaign(set, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	withCtx, err := NewSimulator(sv).CampaignCtx(ctx, set, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Detected != withCtx.Detected || plain.Total != withCtx.Total {
+		t.Fatalf("coverage differs: %+v vs %+v", plain, withCtx)
+	}
+	for i := range plain.FirstDetectedBy {
+		if plain.FirstDetectedBy[i] != withCtx.FirstDetectedBy[i] {
+			t.Fatalf("fault %d: first pattern %d vs %d", i, plain.FirstDetectedBy[i], withCtx.FirstDetectedBy[i])
+		}
+	}
+	par, err := CampaignParallelCtx(ctx, sv, set, faults, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Detected != plain.Detected {
+		t.Fatalf("parallel ctx coverage %d, want %d", par.Detected, plain.Detected)
+	}
+}
+
+// TestCampaignWorkerPanicContained injects a panic into one campaign
+// worker and asserts it is recovered into an error with the partial
+// coverage discarded.
+func TestCampaignWorkerPanicContained(t *testing.T) {
+	campaignWorkerHook = func(worker int) {
+		if worker == 1 {
+			panic("injected")
+		}
+	}
+	defer func() { campaignWorkerHook = nil }()
+	c, sv := circuit(t, s27, "s27")
+	faults := Collapse(c)
+	rng := rand.New(rand.NewSource(7))
+	set := randomSpecifiedSet(rng, 64, sv.ScanWidth())
+	cov, err := CampaignParallelCtx(context.Background(), sv, set, faults, 4)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err %v, want recovered worker panic", err)
+	}
+	if cov.Detected != 0 {
+		t.Fatalf("partial coverage survived worker panic: %+v", cov)
+	}
+}

@@ -1,6 +1,7 @@
 package faultsim
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -115,21 +116,22 @@ func TestDetectsSimpleAnd(t *testing.T) {
 		{Fault{Gate: a.ID, Pin: -1, StuckAt: false}, 0b1000},
 	}
 	for _, tc := range cases {
-		if got := s.Detects(tc.f); got != tc.want {
+		got, err := s.Detects(tc.f)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.f, err)
+		}
+		if got != tc.want {
 			t.Errorf("%v: mask %04b, want %04b", tc.f, got, tc.want)
 		}
 	}
 }
 
-func TestDetectsBeforeLoadPanics(t *testing.T) {
+func TestDetectsBeforeLoadErrors(t *testing.T) {
 	_, sv := circuit(t, s27, "s27")
 	s := NewSimulator(sv)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	s.Detects(Fault{Gate: 0, Pin: -1})
+	if _, err := s.Detects(Fault{Gate: 0, Pin: -1}); !errors.Is(err, ErrNoBatch) {
+		t.Fatalf("err %v, want ErrNoBatch", err)
+	}
 }
 
 // naiveDetects re-simulates pattern-by-pattern with full evaluation,
@@ -234,7 +236,12 @@ func TestPropertyDetectsMatchesNaive(t *testing.T) {
 			// input pin specially only for the capture PPO; skip cases
 			// where the DFF fanin also drives a real PO to keep the
 			// reference simple (none exist in s27, but be safe).
-			if got, want := s.Detects(flt), naiveDetects(sv, loads, flt); got != want {
+			got, err := s.Detects(flt)
+			if err != nil {
+				t.Logf("fault %v: %v", flt, err)
+				return false
+			}
+			if want := naiveDetects(sv, loads, flt); got != want {
 				t.Logf("fault %v: got %b want %b", flt, got, want)
 				return false
 			}

@@ -1,6 +1,8 @@
 package faultsim
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -9,11 +11,28 @@ import (
 	"repro/internal/tcube"
 )
 
+// campaignWorkerHook, when non-nil, runs at the top of each campaign
+// worker goroutine. It exists so tests can inject a worker panic and
+// prove the recovery path contains it; production code never sets it.
+var campaignWorkerHook func(worker int)
+
 // CampaignParallel runs the same campaign as Simulator.Campaign but
 // splits the fault list across workers, each with its own simulator
 // (fault dropping is per-fault, so the partition does not change the
 // result). workers ≤ 0 selects GOMAXPROCS.
 func CampaignParallel(sv *netlist.ScanView, set *tcube.Set, faults []Fault, workers int) (Coverage, error) {
+	return CampaignParallelCtx(context.Background(), sv, set, faults, workers)
+}
+
+// CampaignParallelCtx is CampaignParallel under a context: every worker
+// observes cancellation at batch granularity, a panicking worker is
+// recovered into an error instead of killing the process, and on any
+// failure the partial coverage is discarded atomically — the caller
+// gets the complete result or nothing.
+func CampaignParallelCtx(ctx context.Context, sv *netlist.ScanView, set *tcube.Set, faults []Fault, workers int) (Coverage, error) {
+	if err := ctx.Err(); err != nil {
+		return Coverage{}, err
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -21,7 +40,7 @@ func CampaignParallel(sv *netlist.ScanView, set *tcube.Set, faults []Fault, work
 		workers = len(faults)
 	}
 	if workers <= 1 {
-		return NewSimulator(sv).Campaign(set, faults)
+		return NewSimulator(sv).CampaignCtx(ctx, set, faults)
 	}
 	reg := obs.Active()
 	sp := reg.Span("faultsim.campaign_parallel").
@@ -46,9 +65,17 @@ func CampaignParallel(sv *netlist.ScanView, set *tcube.Set, faults []Fault, work
 		wg.Add(1)
 		go func(i int, ch chunk) {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("faultsim: campaign worker %d panicked: %v", i, p)
+				}
+			}()
 			wsp := sp.Child("faultsim.worker").Set("worker", i).Set("faults", ch.hi-ch.lo)
+			if campaignWorkerHook != nil {
+				campaignWorkerHook(i)
+			}
 			sim := NewSimulator(sv)
-			results[i], errs[i] = sim.Campaign(set, faults[ch.lo:ch.hi])
+			results[i], errs[i] = sim.CampaignCtx(ctx, set, faults[ch.lo:ch.hi])
 			wsp.Set("detected", results[i].Detected).End()
 			reg.Emit("progress", "faultsim.chunk", map[string]any{
 				"chunk": i, "chunks": len(chunks),

@@ -2,6 +2,8 @@ package faultsim
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/bitvec"
@@ -66,11 +68,16 @@ func (s *Simulator) batchMask() uint64 {
 	return uint64(1)<<uint(s.nbatch) - 1
 }
 
+// ErrNoBatch is returned by Detects when no batch has been loaded:
+// there is no reference machine to compare against.
+var ErrNoBatch = errors.New("faultsim: Detects before LoadBatch")
+
 // Detects returns the mask of patterns in the current batch that
 // detect f (bit p set = pattern p observes a difference at some PPO).
-func (s *Simulator) Detects(f Fault) uint64 {
+// Calling it before LoadBatch returns ErrNoBatch.
+func (s *Simulator) Detects(f Fault) (uint64, error) {
 	if s.goodVal == nil {
-		panic("faultsim: Detects before LoadBatch")
+		return 0, ErrNoBatch
 	}
 	c := s.sv.Circuit
 	g := c.Gates[f.Gate]
@@ -81,7 +88,7 @@ func (s *Simulator) Detects(f Fault) uint64 {
 
 	// DFF input-pin faults only corrupt the captured (observed) value.
 	if g.Type == netlist.DFF && f.Pin == 0 {
-		return (s.goodVal[g.Fanin[0]] ^ stuck) & s.batchMask()
+		return (s.goodVal[g.Fanin[0]] ^ stuck) & s.batchMask(), nil
 	}
 
 	// Inject at the fault gate.
@@ -92,7 +99,7 @@ func (s *Simulator) Detects(f Fault) uint64 {
 		nv = s.evalGate(f.Gate, f.Pin, stuck)
 	}
 	if nv == s.goodVal[f.Gate] {
-		return 0 // never activated in this batch
+		return 0, nil // never activated in this batch
 	}
 	s.setFaulty(f.Gate, nv)
 
@@ -122,7 +129,7 @@ func (s *Simulator) Detects(f Fault) uint64 {
 		s.val[id] = s.goodVal[id]
 	}
 	s.touched = s.touched[:0]
-	return mask
+	return mask, nil
 }
 
 // setFaulty records a faulty value and schedules the gate's fanouts.
@@ -248,6 +255,14 @@ func LoadsFromSet(s *tcube.Set) ([]*bitvec.Bits, error) {
 // Campaign fault-simulates the whole test set against the fault list
 // with fault dropping, batch by batch.
 func (s *Simulator) Campaign(set *tcube.Set, faults []Fault) (Coverage, error) {
+	return s.CampaignCtx(context.Background(), set, faults)
+}
+
+// CampaignCtx is Campaign under a context: cancellation is observed at
+// batch granularity (a 64-pattern batch is the unit of useful work) and
+// surfaces as ctx.Err() with no partial coverage. A non-cancellable
+// context costs nothing on the hot path.
+func (s *Simulator) CampaignCtx(ctx context.Context, set *tcube.Set, faults []Fault) (Coverage, error) {
 	reg := obs.Active()
 	sp := reg.Span("faultsim.campaign").
 		Set("patterns", set.Len()).Set("faults", len(faults))
@@ -256,11 +271,18 @@ func (s *Simulator) Campaign(set *tcube.Set, faults []Fault) (Coverage, error) {
 		sp.Set("error", err.Error()).End()
 		return Coverage{}, err
 	}
+	cancellable := ctx.Done() != nil
 	cov := Coverage{Total: len(faults), FirstDetectedBy: make([]int, len(faults))}
 	for i := range cov.FirstDetectedBy {
 		cov.FirstDetectedBy[i] = -1
 	}
 	for base := 0; base < len(loads); base += 64 {
+		if cancellable {
+			if err := ctx.Err(); err != nil {
+				sp.Set("error", err.Error()).End()
+				return Coverage{}, err
+			}
+		}
 		end := base + 64
 		if end > len(loads) {
 			end = len(loads)
@@ -274,7 +296,12 @@ func (s *Simulator) Campaign(set *tcube.Set, faults []Fault) (Coverage, error) {
 			if cov.FirstDetectedBy[fi] >= 0 {
 				continue // dropped
 			}
-			if mask := s.Detects(f); mask != 0 {
+			mask, err := s.Detects(f)
+			if err != nil {
+				sp.Set("error", err.Error()).End()
+				return Coverage{}, err
+			}
+			if mask != 0 {
 				first := 0
 				for mask&1 == 0 {
 					mask >>= 1

@@ -98,7 +98,11 @@ func TDFCampaign(sv *netlist.ScanView, set *tcube.Set, faults []TDF) (Coverage, 
 			// Observation: the slow net holds its old value during the
 			// capture cycle — a stuck-at fault at the old value under v2.
 			sa := Fault{Gate: f.Gate, Pin: -1, StuckAt: before}
-			if sim.Detects(sa) != 0 {
+			mask, err := sim.Detects(sa)
+			if err != nil {
+				return Coverage{}, err
+			}
+			if mask != 0 {
 				cov.FirstDetectedBy[fi] = pi
 				cov.Detected++
 			}

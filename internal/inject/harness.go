@@ -1,0 +1,104 @@
+package inject
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/robust"
+)
+
+// Failure records one campaign run where the decoder misbehaved: it
+// panicked, or rejected the mutant with an error outside the robust
+// taxonomy. A decoder accepting a mutant is NOT a failure at this
+// layer — some mutations are semantically harmless (e.g. a bit flip
+// that yields another valid stream); format-specific guarantees like
+// "v3 detects every bit flip" belong to the format's own tests.
+type Failure struct {
+	Seed  int64
+	Op    Op
+	Err   error // the unclassified error, nil if the decoder panicked
+	Panic any   // recovered panic value, nil otherwise
+}
+
+// String renders a failure as a reproducible one-liner.
+func (f Failure) String() string {
+	if f.Panic != nil {
+		return fmt.Sprintf("seed %d op %s: panic: %v", f.Seed, f.Op, f.Panic)
+	}
+	return fmt.Sprintf("seed %d op %s: unclassified error: %v", f.Seed, f.Op, f.Err)
+}
+
+// check runs one decode attempt over a mutant and reports whether the
+// decoder failed closed.
+func check(seed int64, op Op, decode func() error) (Failure, bool) {
+	var err error
+	panicked := func() (p any) {
+		defer func() { p = recover() }()
+		err = decode()
+		return nil
+	}()
+	if panicked != nil {
+		return Failure{Seed: seed, Op: op, Panic: panicked}, false
+	}
+	if err != nil && !robust.IsClassified(err) {
+		return Failure{Seed: seed, Op: op, Err: err}, false
+	}
+	return Failure{}, true
+}
+
+// ByteCampaign drives n seeded mutants of input through decode and
+// returns every run where the decoder panicked or produced an
+// unclassified error. Seeds run seed0, seed0+1, ... so a reported seed
+// reproduces its mutant via Bytes(input, seed).
+func ByteCampaign(input []byte, n int, seed0 int64, decode func([]byte) error) []Failure {
+	var fails []Failure
+	for i := 0; i < n; i++ {
+		seed := seed0 + int64(i)
+		mut, op := Bytes(input, seed)
+		if f, ok := check(seed, op, func() error { return decode(mut) }); !ok {
+			fails = append(fails, f)
+		}
+	}
+	return fails
+}
+
+// HeaderCampaign is ByteCampaign with mutations confined to the first
+// window bytes of input.
+func HeaderCampaign(input []byte, window, n int, seed0 int64, decode func([]byte) error) []Failure {
+	var fails []Failure
+	for i := 0; i < n; i++ {
+		seed := seed0 + int64(i)
+		mut, op := HeaderBytes(input, window, seed)
+		if f, ok := check(seed, op, func() error { return decode(mut) }); !ok {
+			fails = append(fails, f)
+		}
+	}
+	return fails
+}
+
+// BitsCampaign drives n seeded mutants of a bit stream through decode.
+func BitsCampaign(input *bitvec.Bits, n int, seed0 int64, decode func(*bitvec.Bits) error) []Failure {
+	var fails []Failure
+	for i := 0; i < n; i++ {
+		seed := seed0 + int64(i)
+		mut, op := Bits(input, seed)
+		if f, ok := check(seed, op, func() error { return decode(mut) }); !ok {
+			fails = append(fails, f)
+		}
+	}
+	return fails
+}
+
+// CubeCampaign drives n seeded mutants of a ternary stream through
+// decode.
+func CubeCampaign(input *bitvec.Cube, n int, seed0 int64, decode func(*bitvec.Cube) error) []Failure {
+	var fails []Failure
+	for i := 0; i < n; i++ {
+		seed := seed0 + int64(i)
+		mut, op := Cube(input, seed)
+		if f, ok := check(seed, op, func() error { return decode(mut) }); !ok {
+			fails = append(fails, f)
+		}
+	}
+	return fails
+}

@@ -1,0 +1,219 @@
+// Package inject is a deterministic fault-injection toolkit for
+// hostile-input hardening: it produces seeded mutations of compressed
+// byte containers and bit/trit streams, and campaign harnesses that
+// drive those mutants through a decoder asserting it fails closed —
+// every fault must surface as a structured error from the shared
+// robust taxonomy, never a panic and never an unclassified error.
+//
+// All mutations are pure functions of (input, seed): the same seed
+// always reproduces the same mutant, so a campaign failure report is a
+// complete reproducer. Inputs are never modified in place.
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitvec"
+)
+
+// Kind enumerates the mutation classes.
+type Kind int
+
+const (
+	// FlipBit inverts one bit of the input.
+	FlipBit Kind = iota
+	// FlipByte XORs one byte with a random nonzero value.
+	FlipByte
+	// Truncate cuts the input short.
+	Truncate
+	// Duplicate re-inserts a copy of a random range.
+	Duplicate
+	// Extend appends random garbage.
+	Extend
+	// ZeroFill zeroes a random range.
+	ZeroFill
+	numKinds
+)
+
+// String names the mutation class.
+func (k Kind) String() string {
+	switch k {
+	case FlipBit:
+		return "flip-bit"
+	case FlipByte:
+		return "flip-byte"
+	case Truncate:
+		return "truncate"
+	case Duplicate:
+		return "duplicate"
+	case Extend:
+		return "extend"
+	case ZeroFill:
+		return "zero-fill"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Op describes one applied mutation, enough to reproduce or report it.
+type Op struct {
+	Kind Kind
+	// Pos is the bit position for FlipBit, otherwise the byte (or trit)
+	// position the mutation starts at.
+	Pos int
+	// N is the range length for Truncate/Duplicate/Extend/ZeroFill.
+	N int
+}
+
+// String renders the op for failure reports.
+func (o Op) String() string { return fmt.Sprintf("%s@%d+%d", o.Kind, o.Pos, o.N) }
+
+// Bytes returns a seeded mutant of b. The input is copied, never
+// modified. An empty input only ever grows (Extend).
+func Bytes(b []byte, seed int64) ([]byte, Op) {
+	return mutateBytes(b, rand.New(rand.NewSource(seed)), len(b))
+}
+
+// HeaderBytes is Bytes with in-place mutations confined to the first
+// window bytes — header fuzzing that leaves the payload untouched, so
+// header validation (not payload checks) must reject the mutant.
+func HeaderBytes(b []byte, window int, seed int64) ([]byte, Op) {
+	if window > len(b) {
+		window = len(b)
+	}
+	return mutateBytes(b, rand.New(rand.NewSource(seed)), window)
+}
+
+// mutateBytes applies one random mutation, keeping position-anchored
+// kinds inside the first window bytes.
+func mutateBytes(b []byte, rng *rand.Rand, window int) ([]byte, Op) {
+	out := append([]byte(nil), b...)
+	if window == 0 {
+		n := 1 + rng.Intn(16)
+		ext := make([]byte, n)
+		rng.Read(ext)
+		return append(out, ext...), Op{Kind: Extend, Pos: len(b), N: n}
+	}
+	kind := Kind(rng.Intn(int(numKinds)))
+	switch kind {
+	case FlipBit:
+		pos := rng.Intn(window * 8)
+		out[pos/8] ^= 1 << (pos % 8)
+		return out, Op{Kind: FlipBit, Pos: pos}
+	case FlipByte:
+		pos := rng.Intn(window)
+		out[pos] ^= byte(1 + rng.Intn(255))
+		return out, Op{Kind: FlipByte, Pos: pos, N: 1}
+	case Truncate:
+		n := rng.Intn(window)
+		return out[:n], Op{Kind: Truncate, Pos: n, N: len(b) - n}
+	case Duplicate:
+		lo := rng.Intn(window)
+		n := 1 + rng.Intn(window-lo)
+		dup := append([]byte(nil), out[lo:lo+n]...)
+		out = append(out[:lo+n], append(dup, out[lo+n:]...)...)
+		return out, Op{Kind: Duplicate, Pos: lo, N: n}
+	case Extend:
+		n := 1 + rng.Intn(16)
+		ext := make([]byte, n)
+		rng.Read(ext)
+		return append(out, ext...), Op{Kind: Extend, Pos: len(b), N: n}
+	default: // ZeroFill
+		lo := rng.Intn(window)
+		n := 1 + rng.Intn(window-lo)
+		for i := lo; i < lo+n; i++ {
+			out[i] = 0
+		}
+		return out, Op{Kind: ZeroFill, Pos: lo, N: n}
+	}
+}
+
+// Bits returns a seeded mutant of an MSB-first bit stream (the codec
+// comparison streams): bit flips, truncation, duplication, extension.
+func Bits(b *bitvec.Bits, seed int64) (*bitvec.Bits, Op) {
+	rng := rand.New(rand.NewSource(seed))
+	n := b.Len()
+	if n == 0 {
+		ext := 1 + rng.Intn(32)
+		out := bitvec.NewBits(ext)
+		for i := 0; i < ext; i++ {
+			out.Set(i, rng.Intn(2) == 1)
+		}
+		return out, Op{Kind: Extend, Pos: 0, N: ext}
+	}
+	switch Kind(rng.Intn(3)) {
+	case FlipBit:
+		pos := rng.Intn(n)
+		out := copyBits(b, n)
+		out.Set(pos, !b.Get(pos))
+		return out, Op{Kind: FlipBit, Pos: pos}
+	case FlipByte: // reinterpreted: truncate for bit streams
+		cut := rng.Intn(n)
+		return copyBits(b, cut), Op{Kind: Truncate, Pos: cut, N: n - cut}
+	default: // extend with random bits
+		ext := 1 + rng.Intn(32)
+		out := copyBits(b, n)
+		grown := bitvec.NewBits(n + ext)
+		for i := 0; i < n; i++ {
+			grown.Set(i, out.Get(i))
+		}
+		for i := n; i < n+ext; i++ {
+			grown.Set(i, rng.Intn(2) == 1)
+		}
+		return grown, Op{Kind: Extend, Pos: n, N: ext}
+	}
+}
+
+// Cube returns a seeded mutant of a ternary stream (the 9C T_E): trit
+// rewrites (0/1/X), truncation, or extension.
+func Cube(c *bitvec.Cube, seed int64) (*bitvec.Cube, Op) {
+	rng := rand.New(rand.NewSource(seed))
+	n := c.Len()
+	if n == 0 {
+		ext := 1 + rng.Intn(32)
+		out := bitvec.NewCube(ext)
+		for i := 0; i < ext; i++ {
+			out.Set(i, bitvec.Trit(rng.Intn(3)))
+		}
+		return out, Op{Kind: Extend, Pos: 0, N: ext}
+	}
+	switch Kind(rng.Intn(3)) {
+	case FlipBit: // rewrite one trit to a different value
+		pos := rng.Intn(n)
+		out := copyCube(c, n)
+		old := c.Get(pos)
+		nv := bitvec.Trit(rng.Intn(3))
+		for nv == old {
+			nv = bitvec.Trit(rng.Intn(3))
+		}
+		out.Set(pos, nv)
+		return out, Op{Kind: FlipBit, Pos: pos}
+	case FlipByte: // reinterpreted: truncate for trit streams
+		cut := rng.Intn(n)
+		return c.Slice(0, cut), Op{Kind: Truncate, Pos: cut, N: n - cut}
+	default: // extend with random trits
+		ext := 1 + rng.Intn(32)
+		out := copyCube(c, n+ext)
+		for i := n; i < n+ext; i++ {
+			out.Set(i, bitvec.Trit(rng.Intn(3)))
+		}
+		return out, Op{Kind: Extend, Pos: n, N: ext}
+	}
+}
+
+func copyBits(b *bitvec.Bits, n int) *bitvec.Bits {
+	out := bitvec.NewBits(n)
+	for i := 0; i < n && i < b.Len(); i++ {
+		out.Set(i, b.Get(i))
+	}
+	return out
+}
+
+func copyCube(c *bitvec.Cube, n int) *bitvec.Cube {
+	out := bitvec.NewCube(n)
+	for i := 0; i < n && i < c.Len(); i++ {
+		out.Set(i, c.Get(i))
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package inject_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/inject"
+)
+
+func sampleBytes(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// TestBytesDeterministic asserts the same (input, seed) pair always
+// reproduces the same mutant — the property that makes a campaign
+// failure report a complete reproducer.
+func TestBytesDeterministic(t *testing.T) {
+	in := sampleBytes(64, 1)
+	for seed := int64(0); seed < 200; seed++ {
+		a, opA := inject.Bytes(in, seed)
+		b, opB := inject.Bytes(in, seed)
+		if !bytes.Equal(a, b) || opA != opB {
+			t.Fatalf("seed %d not deterministic: %v vs %v", seed, opA, opB)
+		}
+	}
+}
+
+// TestBytesDoesNotMutateInput asserts mutation copies the input.
+func TestBytesDoesNotMutateInput(t *testing.T) {
+	in := sampleBytes(64, 2)
+	orig := append([]byte(nil), in...)
+	for seed := int64(0); seed < 100; seed++ {
+		inject.Bytes(in, seed)
+		inject.HeaderBytes(in, 16, seed)
+	}
+	if !bytes.Equal(in, orig) {
+		t.Fatal("input mutated in place")
+	}
+}
+
+// TestBytesKindCoverage asserts a seed sweep exercises every mutation
+// class and that each mutant actually differs from the input.
+func TestBytesKindCoverage(t *testing.T) {
+	in := sampleBytes(64, 3)
+	seen := map[inject.Kind]int{}
+	for seed := int64(0); seed < 300; seed++ {
+		mut, op := inject.Bytes(in, seed)
+		seen[op.Kind]++
+		if bytes.Equal(mut, in) && op.Kind != inject.ZeroFill {
+			// ZeroFill can no-op on an already-zero range of random
+			// input only with negligible probability; everything else
+			// must change the bytes.
+			t.Errorf("seed %d op %v produced identical bytes", seed, op)
+		}
+	}
+	for _, k := range []inject.Kind{inject.FlipBit, inject.FlipByte, inject.Truncate,
+		inject.Duplicate, inject.Extend, inject.ZeroFill} {
+		if seen[k] == 0 {
+			t.Errorf("kind %v never produced in 300 seeds", k)
+		}
+	}
+}
+
+// TestHeaderBytesConfined asserts header fuzzing never touches bytes
+// beyond the window (truncation and extension aside).
+func TestHeaderBytesConfined(t *testing.T) {
+	in := sampleBytes(64, 4)
+	const window = 16
+	for seed := int64(0); seed < 300; seed++ {
+		mut, op := inject.HeaderBytes(in, window, seed)
+		switch op.Kind {
+		case inject.FlipBit, inject.FlipByte, inject.ZeroFill:
+			if len(mut) != len(in) || !bytes.Equal(mut[window:], in[window:]) {
+				t.Fatalf("seed %d op %v escaped the %d-byte window", seed, op, window)
+			}
+		case inject.Duplicate:
+			if op.Pos+op.N > window {
+				t.Fatalf("seed %d op %v duplicated beyond the window", seed, op)
+			}
+		}
+	}
+}
+
+// TestBitsAndCubeDeterministic asserts the stream mutators reproduce.
+func TestBitsAndCubeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	bits := bitvec.NewBits(96)
+	cube := bitvec.NewCube(96)
+	for i := 0; i < 96; i++ {
+		bits.Set(i, rng.Intn(2) == 1)
+		cube.Set(i, bitvec.Trit(rng.Intn(3)))
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		a, opA := inject.Bits(bits, seed)
+		b, opB := inject.Bits(bits, seed)
+		if opA != opB || !a.Equal(b) {
+			t.Fatalf("Bits seed %d not deterministic", seed)
+		}
+		c, opC := inject.Cube(cube, seed)
+		d, opD := inject.Cube(cube, seed)
+		if opC != opD || !c.Equal(d) {
+			t.Fatalf("Cube seed %d not deterministic", seed)
+		}
+	}
+}
+
+// TestCampaignCatchesPanic asserts the harness converts a decoder
+// panic into a Failure instead of crashing the test process.
+func TestCampaignCatchesPanic(t *testing.T) {
+	in := sampleBytes(32, 6)
+	fails := inject.ByteCampaign(in, 10, 0, func(b []byte) error {
+		panic("decoder exploded")
+	})
+	if len(fails) != 10 {
+		t.Fatalf("%d failures, want 10", len(fails))
+	}
+	if fails[0].Panic == nil {
+		t.Fatal("panic not captured")
+	}
+}
+
+// TestCampaignFlagsUnclassifiedErrors asserts errors outside the
+// robust taxonomy are reported as failures.
+func TestCampaignFlagsUnclassifiedErrors(t *testing.T) {
+	in := sampleBytes(32, 7)
+	fails := inject.ByteCampaign(in, 10, 0, func(b []byte) error {
+		return bytes.ErrTooLarge
+	})
+	if len(fails) != 10 {
+		t.Fatalf("%d failures, want 10", len(fails))
+	}
+	if fails[0].Err == nil || fails[0].Panic != nil {
+		t.Fatalf("failure %+v, want unclassified error", fails[0])
+	}
+}

@@ -1,0 +1,109 @@
+// Package robust defines the shared hostile-input contract for every
+// decoder in the repository: a four-way error taxonomy that all decode
+// entry points wrap with %w, and the DecodeLimits guard that bounds
+// what an untrusted header may make a reader allocate.
+//
+// The 9C pipeline ships compressed test data over narrow ATE channels,
+// so corrupted, truncated or adversarial streams are the realistic
+// failure mode. The contract enforced by the internal/inject
+// differential harness is: on any input, a decoder returns a
+// structured error — it never panics, and it never allocates beyond
+// its limits. Errors classify as exactly one of:
+//
+//   - ErrTruncated: the input ended before the format said it would;
+//   - ErrCorrupt: the input is complete but internally inconsistent
+//     (bad magic, invalid codeword, contradictory header fields,
+//     trailing garbage);
+//   - ErrLimitExceeded: the input is well-formed but asks for more
+//     resources than the caller's DecodeLimits allow;
+//   - ErrChecksum: an integrity check (CRC32C in container v3)
+//     failed, so the payload cannot be trusted.
+package robust
+
+import "errors"
+
+// The taxonomy sentinels. Decode paths wrap these with fmt.Errorf and
+// %w so callers dispatch with errors.Is regardless of depth.
+var (
+	// ErrTruncated reports input that ended mid-structure.
+	ErrTruncated = errors.New("input truncated")
+	// ErrCorrupt reports input that is internally inconsistent.
+	ErrCorrupt = errors.New("input corrupt")
+	// ErrLimitExceeded reports input that exceeds a DecodeLimits bound.
+	ErrLimitExceeded = errors.New("decode limit exceeded")
+	// ErrChecksum reports an integrity-check mismatch.
+	ErrChecksum = errors.New("checksum mismatch")
+)
+
+// Classify maps err onto its taxonomy label — "truncated", "corrupt",
+// "limit" or "checksum" — for error counters and reports. It returns
+// "" when err is nil or outside the taxonomy. Checksum and limit take
+// precedence over the broader classes so a multi-wrapped error counts
+// under its most specific cause.
+func Classify(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrChecksum):
+		return "checksum"
+	case errors.Is(err, ErrLimitExceeded):
+		return "limit"
+	case errors.Is(err, ErrTruncated):
+		return "truncated"
+	case errors.Is(err, ErrCorrupt):
+		return "corrupt"
+	}
+	return ""
+}
+
+// IsClassified reports whether err maps onto the taxonomy. The
+// fault-injection harness requires this of every decoder failure.
+func IsClassified(err error) bool { return Classify(err) != "" }
+
+// DecodeLimits bounds the resources a decoder may commit to an
+// untrusted input before validating it. A zero field means "use the
+// default for that field"; the zero value as a whole is therefore the
+// default policy, and callers tighten individual fields as needed.
+type DecodeLimits struct {
+	// MaxPatterns bounds the pattern count a container header may claim.
+	MaxPatterns int
+	// MaxWidth bounds the per-pattern scan width.
+	MaxWidth int
+	// MaxPayloadBytes bounds the total payload allocation (for the
+	// ternary container: both planes together).
+	MaxPayloadBytes int
+}
+
+// Default limit values: generous enough for every workload in the
+// repository (the largest synthetic Mintest-scale sets are ~10^6
+// patterns × ~10^4 bits), small enough that a forged header cannot
+// OOM a service decoding millions of containers.
+const (
+	DefaultMaxPatterns     = 1 << 20
+	DefaultMaxWidth        = 1 << 20
+	DefaultMaxPayloadBytes = 1 << 28 // 256 MiB across both planes
+)
+
+// DefaultLimits returns the default decode policy.
+func DefaultLimits() DecodeLimits {
+	return DecodeLimits{
+		MaxPatterns:     DefaultMaxPatterns,
+		MaxWidth:        DefaultMaxWidth,
+		MaxPayloadBytes: DefaultMaxPayloadBytes,
+	}
+}
+
+// WithDefaults returns l with every zero field replaced by its
+// default, so partially specified limits behave predictably.
+func (l DecodeLimits) WithDefaults() DecodeLimits {
+	if l.MaxPatterns == 0 {
+		l.MaxPatterns = DefaultMaxPatterns
+	}
+	if l.MaxWidth == 0 {
+		l.MaxWidth = DefaultMaxWidth
+	}
+	if l.MaxPayloadBytes == 0 {
+		l.MaxPayloadBytes = DefaultMaxPayloadBytes
+	}
+	return l
+}

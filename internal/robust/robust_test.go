@@ -1,0 +1,48 @@
+package robust
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{ErrTruncated, "truncated"},
+		{ErrCorrupt, "corrupt"},
+		{ErrLimitExceeded, "limit"},
+		{ErrChecksum, "checksum"},
+		{fmt.Errorf("container: header: %w", ErrTruncated), "truncated"},
+		{fmt.Errorf("outer: %w: %w", ErrCorrupt, errors.New("detail")), "corrupt"},
+		// Most specific class wins on multi-wrapped errors.
+		{fmt.Errorf("%w: %w", ErrCorrupt, ErrChecksum), "checksum"},
+		{fmt.Errorf("%w: %w", ErrTruncated, ErrLimitExceeded), "limit"},
+		{errors.New("unrelated"), ""},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+	if IsClassified(errors.New("nope")) {
+		t.Error("unrelated error classified")
+	}
+	if !IsClassified(fmt.Errorf("x: %w", ErrChecksum)) {
+		t.Error("wrapped checksum not classified")
+	}
+}
+
+func TestLimitsDefaults(t *testing.T) {
+	var zero DecodeLimits
+	if got := zero.WithDefaults(); got != DefaultLimits() {
+		t.Fatalf("zero limits = %+v, want defaults %+v", got, DefaultLimits())
+	}
+	tight := DecodeLimits{MaxPatterns: 4}.WithDefaults()
+	if tight.MaxPatterns != 4 || tight.MaxWidth != DefaultMaxWidth || tight.MaxPayloadBytes != DefaultMaxPayloadBytes {
+		t.Fatalf("partial limits = %+v", tight)
+	}
+}

@@ -52,7 +52,9 @@ func Verticalize(s *Set, m int) (*Set, error) {
 		if err != nil {
 			return nil, fmt.Errorf("tcube: pattern %d: %w", i, err)
 		}
-		out.MustAppend(v)
+		if err := out.Append(v); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -65,7 +67,9 @@ func Deverticalize(s *Set, m int) (*Set, error) {
 		if err != nil {
 			return nil, fmt.Errorf("tcube: pattern %d: %w", i, err)
 		}
-		out.MustAppend(v)
+		if err := out.Append(v); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -114,7 +114,9 @@ func FromFlat(name string, flat *bitvec.Cube, width int) (*Set, error) {
 	}
 	out := NewSet(name, width)
 	for off := 0; off < flat.Len(); off += width {
-		out.MustAppend(flat.Slice(off, off+width))
+		if err := out.Append(flat.Slice(off, off+width)); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
