@@ -1,12 +1,13 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race bench bench-json telemetry-smoke overhead-guard fuzz-smoke
+.PHONY: check fmt vet build test race bench bench-json bench-campaign campaign-smoke telemetry-smoke overhead-guard fuzz-smoke
 
 ## check: the full pre-merge gate — formatting, vet, build, race tests,
-## telemetry smoke, the disabled-telemetry overhead guard, and a short
-## fuzz pass over every hostile-input decoder.
-check: fmt vet build race telemetry-smoke overhead-guard fuzz-smoke
+## the campaign-equivalence smoke, telemetry smoke, the
+## disabled-telemetry overhead guard, and a short fuzz pass over every
+## hostile-input decoder.
+check: fmt vet build race campaign-smoke telemetry-smoke overhead-guard fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -30,11 +31,22 @@ race:
 bench:
 	$(GO) test -bench 'Encode|Decode|Classify' -run XXX -benchtime 1s ./internal/core/
 
+## bench-campaign: the fault-simulation campaign benchmarks (collapsed
+## engine vs serial-collapsed) on the s9234-profile synthetic circuit.
+bench-campaign:
+	$(GO) test -bench 'Campaign' -run XXX -benchtime 1s ./internal/faultsim/
+
 ## bench-json: run the hot-path benchmarks and persist a schema-valid
 ## BENCH_<stamp>.json snapshot in the repo root (the perf trajectory).
 bench-json:
-	$(GO) test -bench 'Encode|Decode|Classify' -run XXX -benchtime 1s ./internal/core/ \
+	{ $(GO) test -bench 'Encode|Decode|Classify' -run XXX -benchtime 1s ./internal/core/; \
+	  $(GO) test -bench 'Campaign' -run XXX -benchtime 1s ./internal/faultsim/; } \
 		| $(GO) run ./cmd/benchjson -dir .
+
+## campaign-smoke: prove a parallel collapsed campaign reports coverage
+## bit-identical to the serial uncollapsed per-fault reference.
+campaign-smoke:
+	$(GO) test ./internal/faultsim -run 'TestCampaignEquivalenceSmoke|TestCollapsedCampaignMatchesUncollapsed' -count=1
 
 ## telemetry-smoke: run ninec with telemetry on against the example
 ## cube set and require every emitted byte to be valid JSON.

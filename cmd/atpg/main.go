@@ -22,6 +22,7 @@ import (
 
 func main() {
 	compact := flag.Bool("compact", false, "reverse-order compaction pass")
+	collapse := flag.Bool("collapse", true, "target the structurally collapsed fault list (false: full uncollapsed universe)")
 	backtracks := flag.Int("backtracks", 2000, "PODEM backtrack limit per fault")
 	seed := flag.Int64("seed", 1, "fill seed for fault dropping")
 	var telemetry obs.CLIConfig
@@ -38,7 +39,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "atpg:", err)
 		os.Exit(1)
 	}
-	err = run(flag.Arg(0), *compact, *backtracks, *seed)
+	err = run(flag.Arg(0), *compact, *collapse, *backtracks, *seed)
 	if serr := stop(); serr != nil && err == nil {
 		err = serr
 	}
@@ -48,7 +49,7 @@ func main() {
 	}
 }
 
-func run(path string, compact bool, backtracks int, seed int64) error {
+func run(path string, compact, collapse bool, backtracks int, seed int64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -63,8 +64,13 @@ func run(path string, compact bool, backtracks int, seed int64) error {
 		return err
 	}
 	faults := faultsim.Collapse(ckt)
-	fmt.Fprintf(os.Stderr, "%s: %d gates, %d PIs, %d FFs, scan width %d, %d collapsed faults\n",
-		ckt.Name, ckt.NumLogicGates(), len(ckt.Inputs), len(ckt.DFFs), sv.ScanWidth(), len(faults))
+	kind := "collapsed"
+	if !collapse {
+		faults = faultsim.Universe(ckt)
+		kind = "uncollapsed"
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d gates, %d PIs, %d FFs, scan width %d, %d %s faults\n",
+		ckt.Name, ckt.NumLogicGates(), len(ckt.Inputs), len(ckt.DFFs), sv.ScanWidth(), len(faults), kind)
 
 	set, stats, err := atpg.Generate(sv, faults, atpg.Options{
 		BacktrackLimit: backtracks,

@@ -57,7 +57,7 @@ func TestRunS27(t *testing.T) {
 	if err := os.WriteFile(path, []byte(s27), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	out, err := capture(t, func() error { return run(path, true, 2000, 1) })
+	out, err := capture(t, func() error { return run(path, true, true, 2000, 1) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,15 +78,25 @@ func TestRunS27(t *testing.T) {
 	}
 }
 
+func TestRunUncollapsedUniverse(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s27.bench")
+	if err := os.WriteFile(path, []byte(s27), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error { return run(path, false, false, 2000, 1) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("/nonexistent.bench", false, 100, 1); err == nil {
+	if err := run("/nonexistent.bench", false, true, 100, 1); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.bench")
 	if err := os.WriteFile(bad, []byte("G1 = FROB(G2)"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(bad, false, 100, 1); err == nil {
+	if err := run(bad, false, true, 100, 1); err == nil {
 		t.Fatal("bad netlist accepted")
 	}
 }

@@ -2,6 +2,7 @@ package atpg
 
 import (
 	"hash/fnv"
+	"math/bits"
 	"math/rand"
 
 	"repro/internal/bitvec"
@@ -140,21 +141,32 @@ func Generate(sv *netlist.ScanView, faults []faultsim.Fault, opts Options) (*tcu
 // compaction). Fills come from FillCube with the same seed as during
 // generation, so the patterns judged here are bit-identical to the
 // ones that will ship.
+//
+// Reverse-order compaction keeps pattern i exactly when i is the LAST
+// pattern detecting some fault, so instead of re-simulating the good
+// machine once per pattern it grades all patterns as shared 64-wide
+// batches (faultsim.PrepareBatches) and scans each fault's detection
+// masks from the back — the same keep set at 1/64th the good-machine
+// work.
 func CompactReverse(sv *netlist.ScanView, set *tcube.Set, faults []faultsim.Fault, fillSeed int64) (*tcube.Set, error) {
+	filled := FillSet(set, fillSeed)
+	batches, err := faultsim.PrepareBatches(sv, filled, 1)
+	if err != nil {
+		return nil, err
+	}
 	sim := faultsim.NewSimulator(sv)
-	detected := make([]bool, len(faults))
 	keep := make([]bool, set.Len())
-	for i := set.Len() - 1; i >= 0; i-- {
-		filled := FillCube(set.Cube(i), fillSeed)
-		load, err := cubeToBits(filled)
-		if err != nil {
-			return nil, err
-		}
-		if err := sim.LoadBatch([]*bitvec.Bits{load}); err != nil {
-			return nil, err
-		}
+	// Batch-major with per-fault dropping: within a batch, only faults
+	// still lacking a detector this far from the end are simulated.
+	last := make([]int, len(faults))
+	for i := range last {
+		last[i] = -1
+	}
+	for bi := len(batches) - 1; bi >= 0; bi-- {
+		b := &batches[bi]
+		sim.UseBatch(b)
 		for fj := range faults {
-			if detected[fj] {
+			if last[fj] >= 0 {
 				continue
 			}
 			mask, err := sim.Detects(faults[fj])
@@ -162,8 +174,8 @@ func CompactReverse(sv *netlist.ScanView, set *tcube.Set, faults []faultsim.Faul
 				return nil, err
 			}
 			if mask != 0 {
-				detected[fj] = true
-				keep[i] = true
+				last[fj] = b.Base + 63 - bits.LeadingZeros64(mask)
+				keep[last[fj]] = true
 			}
 		}
 	}

@@ -74,11 +74,18 @@ func ExtraFill(scale int) (*Table, error) {
 			randFill := atpg.FillSet(decoded, 7)
 			zeroFill := decoded.FillConst(0)
 
-			covCollapsed, err := faultsim.CampaignParallel(sv, randFill, collapsed, 0)
+			// The random-fill patterns are graded against two fault
+			// lists; prepare their good-machine batches once and share
+			// them across both campaigns.
+			randBatches, err := faultsim.PrepareBatches(sv, randFill, 0)
 			if err != nil {
 				return nil, err
 			}
-			covRand, err := faultsim.CampaignParallel(sv, randFill, universe, 0)
+			covCollapsed, err := faultsim.CampaignPrepared(sv, randBatches, collapsed, 0)
+			if err != nil {
+				return nil, err
+			}
+			covRand, err := faultsim.CampaignPrepared(sv, randBatches, universe, 0)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,142 @@
+package faultsim
+
+import (
+	"fmt"
+	mathbits "math/bits"
+	"runtime"
+	"sync"
+
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/tcube"
+)
+
+// Batch is one precomputed good-machine batch: up to 64 fully
+// specified scan loads simulated fault-free, stored as the value of
+// every gate with bit p carrying pattern p. Batches are immutable
+// after PrepareBatches returns and are shared read-only by all
+// campaign workers, so the good machine is simulated exactly once per
+// test set instead of once per worker.
+type Batch struct {
+	Base int      // index of the batch's first pattern in the test set
+	N    int      // patterns in the batch (1..64)
+	Good []uint64 // fault-free plane: Good[gate] bit p = value under pattern p
+}
+
+// Mask returns the valid-pattern mask of the batch.
+func (b *Batch) Mask() uint64 {
+	if b.N >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(b.N) - 1
+}
+
+// packBatchWords packs patterns [base, base+n) of the set PPI-major:
+// words[i] carries scan-load bit i across the batch (bit p = pattern
+// base+p). Any X in the range is an error — fault simulation needs
+// fully specified loads.
+func packBatchWords(set *tcube.Set, base, n int, words []uint64) error {
+	for i := range words {
+		words[i] = 0
+	}
+	w := set.Width()
+	for p := 0; p < n; p++ {
+		c := set.Cube(base + p)
+		bit := uint64(1) << uint(p)
+		for off := 0; off < w; off += 64 {
+			care, val := c.ReadWord(off)
+			m := ^uint64(0)
+			if w-off < 64 {
+				m = uint64(1)<<uint(w-off) - 1
+			}
+			if care&m != m {
+				j := off
+				for ; care&1 == 1; j++ {
+					care >>= 1
+				}
+				return fmt.Errorf("faultsim: pattern %d bit %d is X; fill before simulation", base+p, j)
+			}
+			for val &= m; val != 0; val &= val - 1 {
+				j := off + mathbits.TrailingZeros64(val)
+				words[j] |= bit
+			}
+		}
+	}
+	return nil
+}
+
+// PrepareBatches good-simulates the whole fully specified test set
+// once into shared read-only batches. workers ≤ 0 selects GOMAXPROCS;
+// batches are independent, so they are simulated in parallel when
+// workers > 1. The result feeds CampaignPrepared (and every campaign
+// entry point internally), eliminating the per-worker re-simulation
+// of the good machine.
+func PrepareBatches(sv *netlist.ScanView, set *tcube.Set, workers int) ([]Batch, error) {
+	if set.Width() != len(sv.PPIs) {
+		return nil, fmt.Errorf("faultsim: set width %d, want scan width %d", set.Width(), len(sv.PPIs))
+	}
+	nb := (set.Len() + 63) / 64
+	if nb == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nb {
+		workers = nb
+	}
+	batches := make([]Batch, nb)
+	n := sv.Circuit.NumGates()
+	build := func(sim *logicsim.Sim, words []uint64, bi int) error {
+		base := bi * 64
+		cnt := set.Len() - base
+		if cnt > 64 {
+			cnt = 64
+		}
+		if err := packBatchWords(set, base, cnt, words); err != nil {
+			return err
+		}
+		if err := sim.Run2Words(words); err != nil {
+			return err
+		}
+		good := make([]uint64, n)
+		sim.CopyValues2(good)
+		batches[bi] = Batch{Base: base, N: cnt, Good: good}
+		return nil
+	}
+	if workers <= 1 {
+		sim := logicsim.New(sv)
+		words := make([]uint64, len(sv.PPIs))
+		for bi := 0; bi < nb; bi++ {
+			if err := build(sim, words, bi); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				sim := logicsim.New(sv)
+				words := make([]uint64, len(sv.PPIs))
+				for bi := w; bi < nb; bi += workers {
+					if err := build(sim, words, bi); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	obs.Active().Counter("faultsim.patterns_simulated").Add(int64(set.Len()))
+	return batches, nil
+}

@@ -1,0 +1,71 @@
+package faultsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// BenchmarkCampaign pins fault-simulation campaign throughput on the
+// seed workload: an s9234-profile synthetic circuit, the full
+// (uncollapsed) stuck-at list, and 256 random fully specified
+// patterns. This is the number the engine overhaul is graded against
+// in the BENCH_*.json perf trajectory.
+func BenchmarkCampaign(b *testing.B) {
+	cs, err := synth.BenchmarkByName("s9234")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := synth.CircuitProfileFor(cs, 20, 42)
+	ckt, err := prof.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sv, err := ckt.FullScan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := Universe(ckt)
+	rng := rand.New(rand.NewSource(11))
+	set := randomSpecifiedSet(rng, 256, sv.ScanWidth())
+
+	var cov Coverage
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cov, err = CampaignParallel(sv, set, faults, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cov.Percent(), "cov%")
+	b.ReportMetric(float64(len(faults)), "faults")
+}
+
+// BenchmarkCampaignSerialCollapsed is the pre-overhaul fast path for
+// comparison: serial campaign over the structurally collapsed list.
+func BenchmarkCampaignSerialCollapsed(b *testing.B) {
+	cs, err := synth.BenchmarkByName("s9234")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := synth.CircuitProfileFor(cs, 20, 42)
+	ckt, err := prof.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sv, err := ckt.FullScan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := Collapse(ckt)
+	rng := rand.New(rand.NewSource(11))
+	set := randomSpecifiedSet(rng, 256, sv.ScanWidth())
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSimulator(sv).Campaign(set, faults); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -113,3 +113,132 @@ func equivalentToOutput(t netlist.GateType, stuckAt bool) bool {
 	}
 	return false
 }
+
+// Classes is the result of CollapseFaults: the fault list partitioned
+// into exact detection-equivalence classes. Reps holds one
+// representative per class (always an element of the input list, in
+// input order); Of[i] is the class of input fault i. Simulating only
+// Reps and copying each representative's result to its whole class
+// reproduces the per-fault campaign outcome bit for bit.
+type Classes struct {
+	Reps []Fault
+	Of   []int
+}
+
+// CollapseFaults groups the fault list into stuck-at equivalence
+// classes that are *exact* for the PPSFP simulator — two faults land
+// in one class only when Detects provably returns the same mask for
+// both under every batch, so collapsed campaigns report identical
+// Coverage (Detected, FirstDetectedBy) for the full list. Two rules
+// apply, both yielding the same injected value plane at the same gate:
+//
+//   - input ≡ output at the gate itself: BUF in s-a-v ≡ out s-a-v,
+//     NOT in s-a-v ≡ out s-a-(¬v), AND/NAND in s-a-0 ≡ out
+//     s-a-0/s-a-1, OR/NOR in s-a-1 ≡ out s-a-1/s-a-0 (the controlling
+//     value forces the output plane to the same constant the output
+//     fault injects);
+//   - fanout-free branch ≡ stem: when driver d feeds exactly one pin
+//     anywhere and is not itself observed as a PPO, the branch fault
+//     (g, pin, v) and the stem fault (d, out, v) corrupt the circuit
+//     identically.
+//
+// DFF input-pin faults join no class: the simulator detects them on a
+// dedicated capture-only path that no output fault reproduces. The
+// classical dominance-based Collapse above shrinks the list further
+// but only preserves aggregate coverage, not per-fault masks.
+func CollapseFaults(c *netlist.Circuit, faults []Fault) Classes {
+	idx := make(map[Fault]int, len(faults))
+	for i, f := range faults {
+		if _, dup := idx[f]; !dup {
+			idx[f] = i
+		}
+	}
+	parent := make([]int, len(faults))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]] // path halving
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if rb < ra {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra // smallest index roots the class
+	}
+	merge := func(i int, partner Fault) {
+		if j, ok := idx[partner]; ok {
+			union(i, j)
+		}
+	}
+	isPPO := make([]bool, len(c.Gates))
+	for _, o := range c.Outputs {
+		isPPO[o] = true
+	}
+	for _, d := range c.DFFs {
+		isPPO[c.Gates[d].Fanin[0]] = true
+	}
+	for i, f := range faults {
+		if j := idx[f]; j != i {
+			union(i, j) // duplicate fault entries share one class
+		}
+		if f.Gate < 0 || f.Gate >= len(c.Gates) {
+			continue // malformed site: leave it alone
+		}
+		g := &c.Gates[f.Gate]
+		if f.Pin < 0 || f.Pin >= len(g.Fanin) {
+			continue // output faults anchor classes; nothing to merge from
+		}
+		if g.Type == netlist.DFF {
+			continue // capture-only detection path, never equivalent
+		}
+		switch g.Type {
+		case netlist.Buf:
+			merge(i, Fault{Gate: f.Gate, Pin: -1, StuckAt: f.StuckAt})
+		case netlist.Not:
+			merge(i, Fault{Gate: f.Gate, Pin: -1, StuckAt: !f.StuckAt})
+		case netlist.And:
+			if !f.StuckAt {
+				merge(i, Fault{Gate: f.Gate, Pin: -1, StuckAt: false})
+			}
+		case netlist.Nand:
+			if !f.StuckAt {
+				merge(i, Fault{Gate: f.Gate, Pin: -1, StuckAt: true})
+			}
+		case netlist.Or:
+			if f.StuckAt {
+				merge(i, Fault{Gate: f.Gate, Pin: -1, StuckAt: true})
+			}
+		case netlist.Nor:
+			if f.StuckAt {
+				merge(i, Fault{Gate: f.Gate, Pin: -1, StuckAt: false})
+			}
+		}
+		d := g.Fanin[f.Pin]
+		if len(c.Fanouts(d)) == 1 && !isPPO[d] {
+			merge(i, Fault{Gate: d, Pin: -1, StuckAt: f.StuckAt})
+		}
+	}
+	cls := Classes{Of: make([]int, len(faults))}
+	repOf := make(map[int]int, len(faults))
+	for i := range faults {
+		root := find(i)
+		ri, ok := repOf[root]
+		if !ok {
+			ri = len(cls.Reps)
+			repOf[root] = ri
+			cls.Reps = append(cls.Reps, faults[root])
+		}
+		cls.Of[i] = ri
+	}
+	return cls
+}

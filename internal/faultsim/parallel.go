@@ -3,8 +3,10 @@ package faultsim
 import (
 	"context"
 	"fmt"
+	mathbits "math/bits"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/netlist"
 	"repro/internal/obs"
@@ -17,9 +19,9 @@ import (
 var campaignWorkerHook func(worker int)
 
 // CampaignParallel runs the same campaign as Simulator.Campaign but
-// splits the fault list across workers, each with its own simulator
-// (fault dropping is per-fault, so the partition does not change the
-// result). workers ≤ 0 selects GOMAXPROCS.
+// splits the fault list across workers (fault dropping is per-fault,
+// so the partition does not change the result). workers ≤ 0 selects
+// GOMAXPROCS.
 func CampaignParallel(sv *netlist.ScanView, set *tcube.Set, faults []Fault, workers int) (Coverage, error) {
 	return CampaignParallelCtx(context.Background(), sv, set, faults, workers)
 }
@@ -30,71 +32,203 @@ func CampaignParallel(sv *netlist.ScanView, set *tcube.Set, faults []Fault, work
 // failure the partial coverage is discarded atomically — the caller
 // gets the complete result or nothing.
 func CampaignParallelCtx(ctx context.Context, sv *netlist.ScanView, set *tcube.Set, faults []Fault, workers int) (Coverage, error) {
-	if err := ctx.Err(); err != nil {
-		return Coverage{}, err
-	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(faults) {
-		workers = len(faults)
+	return campaignRun(ctx, sv, nil, set, faults, workers)
+}
+
+// CampaignPrepared grades precomputed good-machine batches (see
+// PrepareBatches) against the fault list. Use it to amortize the good
+// simulation when the same test set is graded against several fault
+// lists — the batches are shared read-only across workers and calls.
+func CampaignPrepared(sv *netlist.ScanView, batches []Batch, faults []Fault, workers int) (Coverage, error) {
+	return CampaignPreparedCtx(context.Background(), sv, batches, faults, workers)
+}
+
+// CampaignPreparedCtx is CampaignPrepared under a context, with the
+// same cancellation and panic-containment semantics as
+// CampaignParallelCtx.
+func CampaignPreparedCtx(ctx context.Context, sv *netlist.ScanView, batches []Batch, faults []Fault, workers int) (Coverage, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers <= 1 {
-		return NewSimulator(sv).CampaignCtx(ctx, set, faults)
+	return campaignRun(ctx, sv, batches, nil, faults, workers)
+}
+
+// campaignRun is the shared campaign engine behind every entry point:
+//
+//  1. the test set is converted and good-simulated exactly once into
+//     shared read-only batches (unless the caller prepared them);
+//  2. CollapseFaults shrinks the injection work to one representative
+//     per exact equivalence class, and representatives whose site
+//     cannot reach any PPO are classified undetectable without a
+//     single Detects call;
+//  3. workers pull fixed-size runs of representatives off an atomic
+//     cursor (a work-stealing strided queue) so fault dropping cannot
+//     strand a statically chosen chunk on one worker;
+//  4. the per-representative results are expanded back over the full
+//     fault list, bit-identical to simulating every fault serially.
+func campaignRun(ctx context.Context, sv *netlist.ScanView, batches []Batch, set *tcube.Set, faults []Fault, workers int) (Coverage, error) {
+	if err := ctx.Err(); err != nil {
+		return Coverage{}, err
 	}
 	reg := obs.Active()
-	sp := reg.Span("faultsim.campaign_parallel").
-		Set("workers", workers).Set("patterns", set.Len()).Set("faults", len(faults))
-
-	cov := Coverage{Total: len(faults), FirstDetectedBy: make([]int, len(faults))}
-	type chunk struct{ lo, hi int }
-	chunks := make([]chunk, 0, workers)
-	per := (len(faults) + workers - 1) / workers
-	for lo := 0; lo < len(faults); lo += per {
-		hi := lo + per
-		if hi > len(faults) {
-			hi = len(faults)
+	sp := reg.Span("faultsim.campaign").Set("faults", len(faults)).Set("workers", workers)
+	fail := func(err error) (Coverage, error) {
+		sp.Set("error", err.Error()).End()
+		return Coverage{}, err
+	}
+	if batches == nil {
+		var err error
+		if batches, err = PrepareBatches(sv, set, workers); err != nil {
+			return fail(err)
 		}
-		chunks = append(chunks, chunk{lo, hi})
+		sp.Set("patterns", set.Len())
 	}
 
-	var wg sync.WaitGroup
-	errs := make([]error, len(chunks))
-	results := make([]Coverage, len(chunks))
-	for i, ch := range chunks {
-		wg.Add(1)
-		go func(i int, ch chunk) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					errs[i] = fmt.Errorf("faultsim: campaign worker %d panicked: %v", i, p)
+	cls := CollapseFaults(sv.Circuit, faults)
+	reg.Counter("faultsim.faults_collapsed").Add(int64(len(faults) - len(cls.Reps)))
+
+	// Classify statically unobservable representatives up front; only
+	// the rest enter the work queue. DFF input-pin faults observe the
+	// captured value directly and bypass the cone filter.
+	first := make([]int, len(cls.Reps))
+	work := make([]int32, 0, len(cls.Reps))
+	coneSkipped := 0
+	for ri, f := range cls.Reps {
+		first[ri] = -1
+		g := &sv.Circuit.Gates[f.Gate]
+		if !(g.Type == netlist.DFF && f.Pin == 0) && !sv.Observable[f.Gate] {
+			coneSkipped++
+			continue
+		}
+		work = append(work, int32(ri))
+	}
+	reg.Counter("faultsim.cone_skipped").Add(int64(coneSkipped))
+	sp.Set("reps", len(cls.Reps)).Set("cone_skipped", coneSkipped)
+
+	if workers > len(work) {
+		workers = len(work)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Run size: big enough to amortize the per-batch faulty-plane
+	// reset across many injections, small enough that late-campaign
+	// dropping still load-balances. The serial path takes the whole
+	// queue in one claim, preserving strict batch-major order.
+	run := len(work) / (workers * 8)
+	if run < 16 {
+		run = 16
+	}
+	if run > 256 {
+		run = 256
+	}
+	if workers == 1 && len(work) > 0 {
+		run = len(work)
+	}
+
+	var cursor atomic.Int64
+	cancellable := ctx.Done() != nil
+	serial := workers == 1
+
+	body := func(worker int) error {
+		if campaignWorkerHook != nil {
+			campaignWorkerHook(worker)
+		}
+		sim := NewSimulator(sv)
+		claims := 0
+		for {
+			lo := int(cursor.Add(int64(run))) - run
+			if lo >= len(work) {
+				if claims > 0 {
+					reg.Counter("faultsim.steal_waits").Inc()
 				}
-			}()
-			wsp := sp.Child("faultsim.worker").Set("worker", i).Set("faults", ch.hi-ch.lo)
-			if campaignWorkerHook != nil {
-				campaignWorkerHook(i)
+				return nil
 			}
-			sim := NewSimulator(sv)
-			results[i], errs[i] = sim.CampaignCtx(ctx, set, faults[ch.lo:ch.hi])
-			wsp.Set("detected", results[i].Detected).End()
-			reg.Emit("progress", "faultsim.chunk", map[string]any{
-				"chunk": i, "chunks": len(chunks),
-				"faults": ch.hi - ch.lo, "detected": results[i].Detected,
-			})
-		}(i, ch)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			sp.Set("error", err.Error()).End()
-			return Coverage{}, err
+			claims++
+			hi := lo + run
+			if hi > len(work) {
+				hi = len(work)
+			}
+			remaining := hi - lo
+			dropped := 0
+			for bi := range batches {
+				if remaining == 0 {
+					break
+				}
+				if cancellable {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
+				b := &batches[bi]
+				sim.UseBatch(b)
+				for _, ri := range work[lo:hi] {
+					if first[ri] >= 0 {
+						continue // dropped
+					}
+					mask, err := sim.Detects(cls.Reps[ri])
+					if err != nil {
+						return err
+					}
+					if mask != 0 {
+						first[ri] = b.Base + mathbits.TrailingZeros64(mask)
+						remaining--
+						dropped++
+					}
+				}
+				if serial && reg != nil {
+					reg.Emit("progress", "faultsim.batch", map[string]any{
+						"patterns": b.Base + b.N, "reps": hi - lo, "dropped": dropped,
+					})
+				}
+			}
+			reg.Counter("faultsim.faults_dropped").Add(int64(dropped))
+			if !serial && reg != nil {
+				reg.Emit("progress", "faultsim.chunk", map[string]any{
+					"worker": worker, "reps": hi - lo, "dropped": dropped,
+				})
+			}
 		}
-		ch := chunks[i]
-		for j, first := range results[i].FirstDetectedBy {
-			cov.FirstDetectedBy[ch.lo+j] = first
-			if first >= 0 {
-				cov.Detected++
+	}
+
+	if serial {
+		if err := body(0); err != nil {
+			return fail(err)
+		}
+	} else {
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				defer func() {
+					if p := recover(); p != nil {
+						errs[w] = fmt.Errorf("faultsim: campaign worker %d panicked: %v", w, p)
+					}
+				}()
+				errs[w] = body(w)
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return fail(err)
 			}
+		}
+	}
+
+	// Expand the representative results over the full fault list.
+	cov := Coverage{Total: len(faults), FirstDetectedBy: make([]int, len(faults))}
+	for i := range faults {
+		fd := first[cls.Of[i]]
+		cov.FirstDetectedBy[i] = fd
+		if fd >= 0 {
+			cov.Detected++
 		}
 	}
 	sp.Set("detected", cov.Detected).End()

@@ -1,7 +1,6 @@
 package faultsim
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -9,7 +8,6 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/logicsim"
 	"repro/internal/netlist"
-	"repro/internal/obs"
 	"repro/internal/tcube"
 )
 
@@ -17,33 +15,51 @@ import (
 // to 64 fully specified scan loads is simulated fault-free, then each
 // fault is injected and its effects propagated through the fanout cone
 // only, comparing against the good machine at the PPOs.
+//
+// The propagation scheduler is an index-ordered bucket queue over the
+// scan view's precomputed topological levels: same-level gates are
+// independent, pushes always target strictly deeper levels, and the
+// whole structure is reused across Detects calls, so the hot path is
+// allocation-free (locked in by TestDetectsNoAllocs). Observation
+// walks only the gates the fault actually touched, intersected with
+// the PPO flags — the dynamic realization of the fault's static
+// output-cone PPO subset.
 type Simulator struct {
 	sv   *netlist.ScanView
-	good *logicsim.Sim
+	good *logicsim.Sim // lazily created; only LoadBatch needs it
 
-	pos     []int // topological position of each gate
-	goodVal []uint64
+	goodVal []uint64 // reference plane: owned (LoadBatch) or shared (UseBatch)
 	val     []uint64 // faulty plane, reset to goodVal between faults
-	touched []int
+	touched []int32
 
-	pq     posHeap
-	inHeap []bool
+	fo      [][]int // cached fanout lists
+	comb    []bool  // combinational gate (fault effects propagate through)
+	levels  []int32 // scan-view level per gate
+	buckets [][]int32
+	inQ     []bool
+	pending int
 
 	nbatch int // patterns in the current batch
 }
 
 // NewSimulator returns a fault simulator for the scan view.
 func NewSimulator(sv *netlist.ScanView) *Simulator {
-	n := sv.Circuit.NumGates()
+	c := sv.Circuit
+	n := c.NumGates()
 	s := &Simulator{
-		sv:     sv,
-		good:   logicsim.New(sv),
-		pos:    make([]int, n),
-		val:    make([]uint64, n),
-		inHeap: make([]bool, n),
+		sv:      sv,
+		val:     make([]uint64, n),
+		fo:      make([][]int, n),
+		comb:    make([]bool, n),
+		levels:  make([]int32, n),
+		buckets: make([][]int32, sv.Depth+1),
+		inQ:     make([]bool, n),
 	}
-	for i, id := range sv.Order {
-		s.pos[id] = i
+	for id := range s.fo {
+		s.fo[id] = c.Fanouts(id)
+		t := c.Gates[id].Type
+		s.comb[id] = t != netlist.Input && t != netlist.DFF
+		s.levels[id] = int32(sv.Level[id])
 	}
 	return s
 }
@@ -51,6 +67,9 @@ func NewSimulator(sv *netlist.ScanView) *Simulator {
 // LoadBatch good-simulates up to 64 fully specified scan loads,
 // establishing the reference machine for subsequent Detects calls.
 func (s *Simulator) LoadBatch(loads []*bitvec.Bits) error {
+	if s.good == nil {
+		s.good = logicsim.New(s.sv)
+	}
 	if _, err := s.good.Run2(loads); err != nil {
 		return err
 	}
@@ -58,6 +77,16 @@ func (s *Simulator) LoadBatch(loads []*bitvec.Bits) error {
 	copy(s.val, s.goodVal)
 	s.nbatch = len(loads)
 	return nil
+}
+
+// UseBatch points the simulator at a precomputed shared good-machine
+// batch (see PrepareBatches). The batch's value plane is read-only and
+// may be shared by any number of simulators concurrently; only the
+// simulator's private faulty plane is written.
+func (s *Simulator) UseBatch(b *Batch) {
+	s.goodVal = b.Good
+	copy(s.val, b.Good)
+	s.nbatch = b.N
 }
 
 // batchMask returns the mask of valid pattern bits in the batch.
@@ -80,7 +109,7 @@ func (s *Simulator) Detects(f Fault) (uint64, error) {
 		return 0, ErrNoBatch
 	}
 	c := s.sv.Circuit
-	g := c.Gates[f.Gate]
+	g := &c.Gates[f.Gate]
 	stuck := uint64(0)
 	if f.StuckAt {
 		stuck = ^uint64(0)
@@ -89,6 +118,12 @@ func (s *Simulator) Detects(f Fault) (uint64, error) {
 	// DFF input-pin faults only corrupt the captured (observed) value.
 	if g.Type == netlist.DFF && f.Pin == 0 {
 		return (s.goodVal[g.Fanin[0]] ^ stuck) & s.batchMask(), nil
+	}
+
+	// Static cone reach: a fault whose site cannot reach any PPO is
+	// undetectable by construction — skip injection entirely.
+	if !s.sv.Observable[f.Gate] {
+		return 0, nil
 	}
 
 	// Inject at the fault gate.
@@ -103,24 +138,30 @@ func (s *Simulator) Detects(f Fault) (uint64, error) {
 	}
 	s.setFaulty(f.Gate, nv)
 
-	// Propagate through the fanout cone in topological order.
-	for s.pq.Len() > 0 {
-		id := keyID(heap.Pop(&s.pq).(int64))
-		s.inHeap[id] = false
-		gg := &c.Gates[id]
-		if gg.Type == netlist.Input || gg.Type == netlist.DFF {
-			continue // sources: fault effects do not pass through scan cells
+	// Drain the level buckets in topological order. Every scheduled
+	// gate sits strictly deeper than the gate that scheduled it, so a
+	// single forward sweep evaluates each gate at most once.
+	for lvl := int(s.levels[f.Gate]) + 1; s.pending > 0; lvl++ {
+		b := s.buckets[lvl]
+		for _, id32 := range b {
+			id := int(id32)
+			s.inQ[id] = false
+			s.pending--
+			nv := s.evalGate(id, -1, 0)
+			if nv != s.val[id] {
+				s.setFaulty(id, nv)
+			}
 		}
-		nv := s.evalGate(id, -1, 0)
-		if nv != s.val[id] {
-			s.setFaulty(id, nv)
-		}
+		s.buckets[lvl] = b[:0]
 	}
 
-	// Observe.
+	// Observe: only touched gates can differ from the good machine, so
+	// scanning touched ∩ PPO covers exactly the fault cone's PPOs.
 	var mask uint64
-	for _, id := range s.sv.PPOs {
-		mask |= s.goodVal[id] ^ s.val[id]
+	for _, id := range s.touched {
+		if s.sv.IsPPO[id] {
+			mask |= s.goodVal[id] ^ s.val[id]
+		}
 	}
 	mask &= s.batchMask()
 
@@ -132,16 +173,19 @@ func (s *Simulator) Detects(f Fault) (uint64, error) {
 	return mask, nil
 }
 
-// setFaulty records a faulty value and schedules the gate's fanouts.
+// setFaulty records a faulty value and schedules the gate's
+// combinational fanouts (fault effects stop at scan cells).
 func (s *Simulator) setFaulty(id int, nv uint64) {
 	if s.val[id] == s.goodVal[id] {
-		s.touched = append(s.touched, id)
+		s.touched = append(s.touched, int32(id))
 	}
 	s.val[id] = nv
-	for _, fo := range s.sv.Circuit.Fanouts(id) {
-		if !s.inHeap[fo] {
-			s.inHeap[fo] = true
-			heap.Push(&s.pq, packKey(s.pos[fo], fo))
+	for _, fo := range s.fo[id] {
+		if !s.inQ[fo] && s.comb[fo] {
+			s.inQ[fo] = true
+			s.pending++
+			lvl := s.levels[fo]
+			s.buckets[lvl] = append(s.buckets[lvl], int32(fo))
 		}
 	}
 }
@@ -193,28 +237,6 @@ func (s *Simulator) evalGate(id, overridePin int, overrideVal uint64) uint64 {
 	return s.val[id]
 }
 
-// posHeap orders pending gates by topological position so fault
-// effects are evaluated strictly downstream. It stores packed
-// (pos<<32 | id) keys.
-type posHeap []int64
-
-func packKey(pos, id int) int64 { return int64(pos)<<32 | int64(id) }
-func keyID(k int64) int         { return int(k & 0xffffffff) }
-
-func (h posHeap) Len() int           { return len(h) }
-func (h posHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h posHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-
-func (h *posHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
-
-func (h *posHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
-}
-
 // Coverage summarizes a fault-simulation campaign.
 type Coverage struct {
 	Total    int
@@ -262,65 +284,12 @@ func (s *Simulator) Campaign(set *tcube.Set, faults []Fault) (Coverage, error) {
 // batch granularity (a 64-pattern batch is the unit of useful work) and
 // surfaces as ctx.Err() with no partial coverage. A non-cancellable
 // context costs nothing on the hot path.
+//
+// It is a thin wrapper over the shared campaign engine: the test set
+// is converted and good-simulated exactly once (PrepareBatches) and
+// the engine injects only one representative per equivalence class of
+// CollapseFaults, expanding the result back over the full list — the
+// coverage is bit-identical to simulating every fault individually.
 func (s *Simulator) CampaignCtx(ctx context.Context, set *tcube.Set, faults []Fault) (Coverage, error) {
-	reg := obs.Active()
-	sp := reg.Span("faultsim.campaign").
-		Set("patterns", set.Len()).Set("faults", len(faults))
-	loads, err := LoadsFromSet(set)
-	if err != nil {
-		sp.Set("error", err.Error()).End()
-		return Coverage{}, err
-	}
-	cancellable := ctx.Done() != nil
-	cov := Coverage{Total: len(faults), FirstDetectedBy: make([]int, len(faults))}
-	for i := range cov.FirstDetectedBy {
-		cov.FirstDetectedBy[i] = -1
-	}
-	for base := 0; base < len(loads); base += 64 {
-		if cancellable {
-			if err := ctx.Err(); err != nil {
-				sp.Set("error", err.Error()).End()
-				return Coverage{}, err
-			}
-		}
-		end := base + 64
-		if end > len(loads) {
-			end = len(loads)
-		}
-		if err := s.LoadBatch(loads[base:end]); err != nil {
-			sp.Set("error", err.Error()).End()
-			return Coverage{}, err
-		}
-		dropped := 0
-		for fi, f := range faults {
-			if cov.FirstDetectedBy[fi] >= 0 {
-				continue // dropped
-			}
-			mask, err := s.Detects(f)
-			if err != nil {
-				sp.Set("error", err.Error()).End()
-				return Coverage{}, err
-			}
-			if mask != 0 {
-				first := 0
-				for mask&1 == 0 {
-					mask >>= 1
-					first++
-				}
-				cov.FirstDetectedBy[fi] = base + first
-				cov.Detected++
-				dropped++
-			}
-		}
-		if reg != nil {
-			reg.Counter("faultsim.patterns_simulated").Add(int64(end - base))
-			reg.Counter("faultsim.faults_dropped").Add(int64(dropped))
-			reg.Emit("progress", "faultsim.batch", map[string]any{
-				"patterns": end, "total_patterns": len(loads),
-				"detected": cov.Detected, "faults": len(faults),
-			})
-		}
-	}
-	sp.Set("detected", cov.Detected).End()
-	return cov, nil
+	return campaignRun(ctx, s.sv, nil, set, faults, 1)
 }

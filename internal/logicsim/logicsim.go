@@ -62,6 +62,28 @@ func (s *Sim) Run2(loads []*bitvec.Bits) ([]uint64, error) {
 	return out, nil
 }
 
+// Run2Words is Run2 with the scan loads already packed PPI-major:
+// words[i] carries PPI i across up to 64 patterns (bit p = pattern p).
+// Callers that batch many groups of patterns pack once and skip the
+// per-batch bit transpose Run2 performs.
+func (s *Sim) Run2Words(words []uint64) error {
+	if len(words) != len(s.sv.PPIs) {
+		return fmt.Errorf("logicsim: %d PPI words, want %d", len(words), len(s.sv.PPIs))
+	}
+	for i, id := range s.sv.PPIs {
+		s.val[id] = words[i]
+	}
+	s.eval2()
+	return nil
+}
+
+// CopyValues2 copies the two-valued plane into dst (len NumGates),
+// detaching the result from the simulator's reusable buffer so it can
+// be shared read-only across fault-simulation workers.
+func (s *Sim) CopyValues2(dst []uint64) {
+	copy(dst, s.val)
+}
+
 // eval2 propagates s.val through the levelized order. PPI values must
 // already be in place; DFF and Input nodes are sources.
 func (s *Sim) eval2() {

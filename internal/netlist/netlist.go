@@ -182,6 +182,17 @@ type ScanView struct {
 	Order []int
 	// Level is the logic depth of each gate in the scan view.
 	Level []int
+	// Depth is the maximum Level over all gates.
+	Depth int
+	// IsPPO marks the gates that appear in PPOs (a gate may drive both
+	// a primary output and a DFF and still occupy one flag).
+	IsPPO []bool
+	// Observable is the static output-cone reach of each gate: true
+	// when the gate is a PPO or some PPO is reachable from it through
+	// combinational gates only. Fault effects stop at scan cells
+	// (Input/DFF nodes are sources in the view), so a fault at an
+	// unobservable gate can never be detected by any pattern.
+	Observable []bool
 }
 
 // FullScan builds the scan view. It fails if the combinational core
@@ -231,6 +242,35 @@ func (c *Circuit) FullScan() (*ScanView, error) {
 	sv.PPOs = append(sv.PPOs, c.Outputs...)
 	for _, d := range c.DFFs {
 		sv.PPOs = append(sv.PPOs, c.Gates[d].Fanin[0])
+	}
+	for _, l := range level {
+		if l > sv.Depth {
+			sv.Depth = l
+		}
+	}
+	sv.IsPPO = make([]bool, n)
+	for _, id := range sv.PPOs {
+		sv.IsPPO[id] = true
+	}
+	// Static observability: sweep the topological order in reverse so
+	// every combinational fanout is resolved before its driver.
+	sv.Observable = make([]bool, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		reach := sv.IsPPO[id]
+		if !reach {
+			for _, fo := range c.fanouts[id] {
+				t := c.Gates[fo].Type
+				if t == Input || t == DFF {
+					continue // effects do not pass through scan cells
+				}
+				if sv.Observable[fo] {
+					reach = true
+					break
+				}
+			}
+		}
+		sv.Observable[id] = reach
 	}
 	return sv, nil
 }

@@ -215,3 +215,81 @@ func TestBuilderErrors(t *testing.T) {
 		t.Fatal("duplicate definition accepted")
 	}
 }
+
+func TestFullScanDepthAndIsPPO(t *testing.T) {
+	c := parseS27(t)
+	sv, err := c.FullScan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0
+	for _, l := range sv.Level {
+		if l > max {
+			max = l
+		}
+	}
+	if sv.Depth != max {
+		t.Fatalf("Depth = %d, want max level %d", sv.Depth, max)
+	}
+	want := make([]bool, len(c.Gates))
+	for _, id := range sv.PPOs {
+		want[id] = true
+	}
+	for id := range want {
+		if sv.IsPPO[id] != want[id] {
+			t.Fatalf("IsPPO[%s] = %v, want %v", c.Gates[id].Name, sv.IsPPO[id], want[id])
+		}
+	}
+}
+
+func TestFullScanObservable(t *testing.T) {
+	// D1 -> D2 is a dangling combinational chain: driven, never
+	// observed. Everything on a path to the output or the DFF input
+	// must be observable; the chain must not be.
+	src := `
+INPUT(A)
+INPUT(B)
+OUTPUT(Y)
+Q = DFF(D)
+D = AND(A, Q)
+Y = OR(B, Q)
+D1 = NOT(A)
+D2 = AND(D1, B)
+`
+	c, err := ParseBench("dangle", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := c.FullScan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := func(name string) bool {
+		g, ok := c.GateByName(name)
+		if !ok {
+			t.Fatalf("gate %q missing", name)
+		}
+		return sv.Observable[g.ID]
+	}
+	for _, name := range []string{"A", "B", "Y", "D", "Q"} {
+		if !obs(name) {
+			t.Fatalf("%s should be observable", name)
+		}
+	}
+	for _, name := range []string{"D1", "D2"} {
+		if obs(name) {
+			t.Fatalf("%s is dangling and must not be observable", name)
+		}
+	}
+	// In s27 every gate reaches an output or a DFF input.
+	s27 := parseS27(t)
+	s27v, err := s27.FullScan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, o := range s27v.Observable {
+		if !o {
+			t.Fatalf("s27 gate %s unexpectedly unobservable", s27.Gates[id].Name)
+		}
+	}
+}
