@@ -1,13 +1,13 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race bench bench-json bench-campaign campaign-smoke telemetry-smoke overhead-guard fuzz-smoke
+.PHONY: check fmt vet build test race bench bench-json bench-campaign campaign-smoke telemetry-smoke serve-smoke overhead-guard fuzz-smoke vuln
 
 ## check: the full pre-merge gate — formatting, vet, build, race tests,
-## the campaign-equivalence smoke, telemetry smoke, the
-## disabled-telemetry overhead guard, and a short fuzz pass over every
-## hostile-input decoder.
-check: fmt vet build race campaign-smoke telemetry-smoke overhead-guard fuzz-smoke
+## the campaign-equivalence smoke, telemetry smoke, the ninecd serving
+## smoke, the disabled-telemetry overhead guard, a short fuzz pass over
+## every hostile-input decoder, and (when installed) govulncheck.
+check: fmt vet build race campaign-smoke telemetry-smoke serve-smoke overhead-guard fuzz-smoke vuln
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -53,6 +53,21 @@ campaign-smoke:
 telemetry-smoke:
 	$(GO) run ./cmd/ninec -k 8 -json -metrics - examples/cubes.txt \
 		| $(GO) run ./cmd/benchjson -checkjson
+
+## serve-smoke: boot ninecd, round-trip the example cube set through
+## /encode -> /decode with curl, scrape /metrics, and require a
+## graceful SIGTERM drain.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh
+
+## vuln: run govulncheck when it is on PATH; skip (successfully) when
+## it is not, so air-gapped checkouts still pass `make check`.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vuln: govulncheck not installed, skipping"; \
+	fi
 
 ## overhead-guard: assert the disabled-telemetry encode path costs the
 ## same as the enabled one (the instrumentation must be free by default).

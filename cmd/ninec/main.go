@@ -75,50 +75,85 @@ type decOpts struct {
 }
 
 func main() {
+	os.Exit(realMain(os.Args[1:]))
+}
+
+// realMain runs the whole CLI and reports an exit code instead of
+// calling os.Exit, so the deferred recover below is the single place a
+// library panic can surface: as one classified line on stderr and a
+// non-zero exit, never a goroutine dump shown to the user.
+func realMain(args []string) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintln(os.Stderr, panicMessage(r))
+			code = 2
+		}
+	}()
+
+	fs := flag.NewFlagSet("ninec", flag.ContinueOnError)
 	var o runOpts
 	var telemetry obs.CLIConfig
-	flag.IntVar(&o.K, "k", 8, "block size K (even, >= 2)")
-	flag.IntVar(&o.P, "p", 8, "scan-to-ATE clock ratio for the TAT report")
-	flag.BoolVar(&o.FD, "fd", false, "use the frequency-directed codeword assignment")
-	flag.BoolVar(&o.Stat, "stat", false, "print test-set statistics only")
-	flag.BoolVar(&o.Sweep, "sweep", false, "sweep K over the Table II values")
-	flag.BoolVar(&o.Verify, "verify", false, "decode through the hardware model and cross-check")
-	flag.StringVar(&o.Out, "o", "", "write the compressed stream to this container file")
-	dec := flag.Bool("d", false, "treat the input as a container and decompress to stdout")
-	flag.IntVar(&o.Chains, "chains", 1, "encode for this many parallel scan chains (vertical order, one ATE pin)")
-	flag.BoolVar(&o.Reorder, "reorder", false, "greedily reorder scan cells for compatibility before encoding")
-	flag.IntVar(&o.Workers, "workers", 0, "parallel encode workers (0 = GOMAXPROCS; output is identical to serial)")
-	flag.BoolVar(&o.JSON, "json", false, "emit the encode report as one JSON object on stdout")
-	flag.DurationVar(&o.Timeout, "timeout", 0, "abort the encode after this duration (0 = no limit)")
+	fs.IntVar(&o.K, "k", 8, "block size K (even, >= 2)")
+	fs.IntVar(&o.P, "p", 8, "scan-to-ATE clock ratio for the TAT report")
+	fs.BoolVar(&o.FD, "fd", false, "use the frequency-directed codeword assignment")
+	fs.BoolVar(&o.Stat, "stat", false, "print test-set statistics only")
+	fs.BoolVar(&o.Sweep, "sweep", false, "sweep K over the Table II values")
+	fs.BoolVar(&o.Verify, "verify", false, "decode through the hardware model and cross-check")
+	fs.StringVar(&o.Out, "o", "", "write the compressed stream to this container file")
+	dec := fs.Bool("d", false, "treat the input as a container and decompress to stdout")
+	fs.IntVar(&o.Chains, "chains", 1, "encode for this many parallel scan chains (vertical order, one ATE pin)")
+	fs.BoolVar(&o.Reorder, "reorder", false, "greedily reorder scan cells for compatibility before encoding")
+	fs.IntVar(&o.Workers, "workers", 0, "parallel encode workers (0 = GOMAXPROCS; output is identical to serial)")
+	fs.BoolVar(&o.JSON, "json", false, "emit the encode report as one JSON object on stdout")
+	fs.DurationVar(&o.Timeout, "timeout", 0, "abort the encode after this duration (0 = no limit)")
 	var d decOpts
-	flag.BoolVar(&d.Strict, "strict", true, "with -d: reject any corruption; -strict=false salvages the decodable prefix")
-	flag.IntVar(&d.MaxPatterns, "max-patterns", 0, "with -d: reject containers claiming more patterns (0 = default limit)")
-	flag.IntVar(&d.MaxBits, "max-bits", 0, "with -d: reject containers whose stored stream exceeds this many bits (0 = default limit)")
-	telemetry.RegisterFlags(flag.CommandLine)
-	flag.Parse()
+	fs.BoolVar(&d.Strict, "strict", true, "with -d: reject any corruption; -strict=false salvages the decodable prefix")
+	fs.IntVar(&d.MaxPatterns, "max-patterns", 0, "with -d: reject containers claiming more patterns (0 = default limit)")
+	fs.IntVar(&d.MaxBits, "max-bits", 0, "with -d: reject containers whose stored stream exceeds this many bits (0 = default limit)")
+	telemetry.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
-	if flag.NArg() != 1 {
+	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ninec [flags] <cubes.txt | file.9c>")
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	stop, err := telemetry.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ninec:", err)
-		os.Exit(1)
+		return 1
 	}
 	if *dec {
-		err = runDecompress(flag.Arg(0), d)
+		err = runDecompress(fs.Arg(0), d)
 	} else {
-		err = run(flag.Arg(0), o)
+		err = run(fs.Arg(0), o)
 	}
 	if serr := stop(); serr != nil && err == nil {
 		err = serr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ninec:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// panicMessage renders a recovered panic value as the one classified
+// line realMain prints before exiting non-zero: the robust taxonomy
+// class when the panic carried a classified error, "internal"
+// otherwise.
+func panicMessage(r any) string {
+	err, ok := r.(error)
+	if !ok {
+		err = fmt.Errorf("%v", r)
+	}
+	class := robust.Classify(err)
+	if class == "" {
+		class = "internal"
+	}
+	return fmt.Sprintf("ninec: fatal (%s): %v", class, err)
 }
 
 // countFault publishes one decode fault to the telemetry registry,
@@ -250,7 +285,9 @@ func run(path string, o runOpts) error {
 		}
 		padded := tcube.NewSet(set.Name, w)
 		for i := 0; i < set.Len(); i++ {
-			padded.MustAppend(set.Cube(i).Slice(0, w))
+			if err := padded.Append(set.Cube(i).Slice(0, w)); err != nil {
+				return err
+			}
 		}
 		set, err = tcube.Verticalize(padded, o.Chains)
 		if err != nil {

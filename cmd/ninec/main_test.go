@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -375,6 +376,66 @@ func TestDecompressLenientSalvage(t *testing.T) {
 	// survive the salvage.
 	if !strings.Contains(out, "0000000011111111") {
 		t.Fatalf("salvaged output lost the leading pattern: %q", out)
+	}
+}
+
+// TestRealMainExitCodes drives the whole CLI through realMain and pins
+// the exit-code contract: 0 on success, 1 on an ordinary error, 2 on
+// usage mistakes — and never an uncaught panic.
+func TestRealMainExitCodes(t *testing.T) {
+	path := writeCubes(t)
+	if _, code := quietRealMain(t, []string{"-stat", path}); code != 0 {
+		t.Fatalf("healthy run exited %d", code)
+	}
+	if _, code := quietRealMain(t, []string{"/nonexistent/cubes.txt"}); code != 1 {
+		t.Fatalf("missing input exited %d, want 1", code)
+	}
+	if _, code := quietRealMain(t, []string{}); code != 2 {
+		t.Fatalf("no args exited %d, want 2", code)
+	}
+	if _, code := quietRealMain(t, []string{"-no-such-flag", path}); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+// quietRealMain runs realMain with stderr captured.
+func quietRealMain(t *testing.T, args []string) (string, int) {
+	t.Helper()
+	oldErr := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	var code int
+	_, _ = captureStdout(t, func() error {
+		code = realMain(args)
+		return nil
+	})
+	w.Close()
+	os.Stderr = oldErr
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), code
+}
+
+// TestPanicMessageClassified asserts a library panic that escapes to
+// main is rendered as a single classified line, not a goroutine dump:
+// classified errors keep their taxonomy class, everything else is
+// tagged internal.
+func TestPanicMessageClassified(t *testing.T) {
+	msg := panicMessage(fmt.Errorf("bad container: %w", robust.ErrCorrupt))
+	if !strings.Contains(msg, "ninec: fatal (corrupt):") {
+		t.Fatalf("classified panic message = %q", msg)
+	}
+	msg = panicMessage("index out of range")
+	if !strings.Contains(msg, "ninec: fatal (internal): index out of range") {
+		t.Fatalf("unclassified panic message = %q", msg)
+	}
+	msg = panicMessage(fmt.Errorf("short read: %w", robust.ErrTruncated))
+	if !strings.Contains(msg, "(truncated)") {
+		t.Fatalf("truncated panic message = %q", msg)
 	}
 }
 

@@ -1,0 +1,135 @@
+// Command ninecd serves the 9C codec over HTTP: POST 01X text to
+// /encode and get a chunked v4 container back, POST any container
+// version to /decode and get 01X text back, with /healthz and /metrics
+// for operations.
+//
+// Usage:
+//
+//	ninecd -addr :9314                    # serve on :9314
+//	ninecd -k 12 -timeout 10s             # default block size, deadline
+//	ninecd -workers 4 -queue-wait 2s      # pool size and admission wait
+//	ninecd -max-body 16777216             # request body cap (bytes)
+//	ninecd -max-patterns 4096 -max-bits N # decode limits (robust policy)
+//	ninecd -trace trace.ndjson            # structured span events
+//
+// Endpoints:
+//
+//	POST /encode?k=8&fd=1&name=s          # 01X text -> v4 container
+//	POST /decode                          # container (v1-v4) -> 01X text
+//	GET  /healthz                         # liveness
+//	GET  /metrics                         # telemetry snapshot (JSON)
+//
+// Status codes: 400 for corrupt/truncated/checksum-failed input, 413
+// when a request or its decode limits are exceeded, 429 when the
+// worker pool stays saturated past -queue-wait, 503 when the
+// per-request deadline expires, 500 only for a recovered panic.
+// SIGTERM/SIGINT drain gracefully: in-flight requests finish (up to
+// -drain), new connections are refused.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/robust"
+)
+
+func main() { os.Exit(realMain(os.Args[1:])) }
+
+// realMain is main minus os.Exit so tests can drive it, with a
+// last-resort recover: a bug escaping every handler guard still exits
+// with a classified one-line message instead of a raw stack trace.
+func realMain(args []string) (code int) {
+	defer func() {
+		if v := recover(); v != nil {
+			msg := fmt.Sprintf("%v", v)
+			if err, ok := v.(error); ok && robust.IsClassified(err) {
+				msg = fmt.Sprintf("%s fault: %v", robust.Classify(err), err)
+			}
+			fmt.Fprintf(os.Stderr, "ninecd: internal error: %s\n", msg)
+			code = 2
+		}
+	}()
+
+	var cfg config
+	var trace string
+	fs := flag.NewFlagSet("ninecd", flag.ContinueOnError)
+	fs.StringVar(&cfg.Addr, "addr", "localhost:9314", "listen address")
+	fs.IntVar(&cfg.K, "k", 8, "default block size K for /encode (even, >= 2)")
+	fs.IntVar(&cfg.Workers, "workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	fs.DurationVar(&cfg.QueueWait, "queue-wait", 10*time.Second, "how long a request may wait for a worker before 429")
+	fs.DurationVar(&cfg.Timeout, "timeout", 30*time.Second, "per-request deadline")
+	fs.Int64Var(&cfg.MaxBody, "max-body", 64<<20, "request body cap in bytes")
+	fs.IntVar(&cfg.MaxPatterns, "max-patterns", 0, "reject containers claiming more patterns (0 = default limit)")
+	fs.IntVar(&cfg.MaxBits, "max-bits", 0, "reject containers whose stored stream exceeds this many bits (0 = default limit)")
+	fs.DurationVar(&cfg.Drain, "drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
+	fs.StringVar(&trace, "trace", "", "append structured JSON trace events to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// The daemon always runs with telemetry on: /metrics serves the
+	// registry snapshot, and library spans/counters feed it for free.
+	reg := obs.NewRegistry()
+	if trace != "" {
+		f, err := os.Create(trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ninecd:", err)
+			return 1
+		}
+		defer f.Close()
+		reg.SetSink(obs.NewJSONSink(f))
+	}
+	obs.Enable(reg)
+	defer obs.Disable()
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ninecd:", err)
+		return 1
+	}
+	log.Printf("ninecd: listening on %s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, ln, newServer(cfg, reg), cfg.Drain); err != nil {
+		fmt.Fprintln(os.Stderr, "ninecd:", err)
+		return 1
+	}
+	log.Printf("ninecd: drained, bye")
+	return 0
+}
+
+// serve runs the HTTP server on ln until ctx is cancelled (SIGTERM /
+// SIGINT in production), then drains: the listener closes immediately,
+// in-flight requests get up to drain to finish. Split from realMain so
+// the shutdown path is testable without signals or real ports.
+func serve(ctx context.Context, ln net.Listener, h http.Handler, drain time.Duration) error {
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

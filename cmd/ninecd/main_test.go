@@ -1,0 +1,423 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/inject"
+	"repro/internal/obs"
+	"repro/internal/tcube"
+)
+
+// sampleText builds deterministic 01X text with the given shape.
+func sampleText(patterns, width int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString("# generated sample\n")
+	for i := 0; i < patterns; i++ {
+		for j := 0; j < width; j++ {
+			b.WriteByte("01X"[rng.Intn(3)])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func newTestServer(t *testing.T, cfg config) (*httptest.Server, *server) {
+	t.Helper()
+	s := newServer(cfg, obs.NewRegistry())
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+func post(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestRoundTrip: 01X text through /encode comes back a valid v4
+// container whose /decode output matches the in-process reference
+// decode bit for bit.
+func TestRoundTrip(t *testing.T) {
+	ts, _ := newTestServer(t, config{})
+	text := sampleText(50, 64, 1)
+
+	resp, cont := post(t, ts.URL+"/encode?k=8&name=rt", []byte(text))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("encode: %d %s", resp.StatusCode, cont)
+	}
+	if got := cont[:4]; string(got) != container.Magic4 {
+		t.Fatalf("encode returned %q, want a v4 container", got)
+	}
+
+	// Reference: same set through the in-process pipeline.
+	set, err := tcube.Read("rt", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdc, err := core.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cdc.EncodeSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cdc.DecodeSet(r.Stream, set.Width(), set.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, text01x := post(t, ts.URL+"/decode", cont)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decode: %d %s", resp.StatusCode, text01x)
+	}
+	got, err := tcube.Read("back", bytes.NewReader(text01x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Name = want.Name
+	if !got.Equal(want) {
+		t.Fatal("served decode differs from reference decode")
+	}
+}
+
+// TestLegacyContainerDecode: the service still decodes v3 containers.
+func TestLegacyContainerDecode(t *testing.T) {
+	ts, _ := newTestServer(t, config{})
+	set, err := tcube.Read("v3", strings.NewReader(sampleText(5, 24, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdc, err := core.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cdc.EncodeSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := container.Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := post(t, ts.URL+"/decode", buf.Bytes())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v3 decode: %d %s", resp.StatusCode, body)
+	}
+	if _, err := tcube.Read("back", bytes.NewReader(body)); err != nil {
+		t.Fatalf("v3 decode output unparseable: %v", err)
+	}
+}
+
+// TestStatusMapping pins the error-class -> status-code contract.
+func TestStatusMapping(t *testing.T) {
+	ts, _ := newTestServer(t, config{MaxPatterns: 3, MaxBody: 4096})
+
+	valid := func(patterns int) []byte {
+		resp, cont := post(t, ts.URL+"/encode", []byte(sampleText(patterns, 16, 3)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("setup encode: %d", resp.StatusCode)
+		}
+		return cont
+	}
+	small := valid(2)
+
+	// A v3 container with too many patterns: its geometry is validated
+	// up front, so the limit maps onto a status code (a v4 stream hits
+	// the limit mid-stream, after the response is committed — covered
+	// below).
+	set, err := tcube.Read("v3", strings.NewReader(sampleText(4, 16, 30)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdc, err := core.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cdc.EncodeSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v3over bytes.Buffer
+	if err := container.Write(&v3over, r); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		url    string
+		body   []byte
+		status int
+		class  string
+	}{
+		{"garbage", "/decode", []byte("not a container at all"), http.StatusBadRequest, "corrupt"},
+		{"empty", "/decode", nil, http.StatusBadRequest, "truncated"},
+		{"header-cut", "/decode", small[:50], http.StatusBadRequest, "truncated"},
+		{"over-patterns", "/decode", v3over.Bytes(), http.StatusRequestEntityTooLarge, "limit"},
+		{"oversize-body", "/encode", bytes.Repeat([]byte("# padding\n"), 600), http.StatusRequestEntityTooLarge, "too_large"},
+		{"bad-text", "/encode", []byte("01X\n01@\n"), http.StatusBadRequest, "bad_request"},
+		{"empty-set", "/encode", []byte("# only a comment\n"), http.StatusBadRequest, "corrupt"},
+		{"bad-k", "/encode?k=7", []byte("0101\n"), http.StatusBadRequest, "bad_request"},
+	}
+	for _, tc := range cases {
+		resp, body := post(t, ts.URL+tc.url, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
+		}
+		if got := resp.Header.Get("X-Error-Class"); got != tc.class {
+			t.Errorf("%s: class %q, want %q", tc.name, got, tc.class)
+		}
+	}
+
+	// A v4 stream cut after its first chunk has already committed the
+	// response when the fault surfaces, so it ends with an abort
+	// comment instead of a status code.
+	resp0, body := post(t, ts.URL+"/decode", small[:len(small)-7])
+	if resp0.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("# decode aborted")) {
+		t.Errorf("mid-stream cut: status %d body %q", resp0.StatusCode, body)
+	}
+
+	// Flip one byte in the chunk region: checksum class.
+	mut := append([]byte(nil), small...)
+	mut[len(mut)-30] ^= 0x10
+	resp, _ := post(t, ts.URL+"/decode", mut)
+	if resp.StatusCode == http.StatusOK || resp.StatusCode >= 500 {
+		t.Errorf("bit flip: status %d", resp.StatusCode)
+	}
+
+	// Wrong method.
+	getResp, err := http.Get(ts.URL + "/decode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /decode: %d", getResp.StatusCode)
+	}
+}
+
+// TestHealthAndMetrics: liveness and the telemetry snapshot.
+func TestHealthAndMetrics(t *testing.T) {
+	ts, _ := newTestServer(t, config{})
+	post(t, ts.URL+"/encode", []byte(sampleText(3, 8, 4)))
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte("ninecd.encode.requests")) {
+		t.Fatalf("metrics snapshot missing request counter: %s", body)
+	}
+}
+
+// TestPoolSaturation: with every worker slot held, a request is
+// refused with 429 once the queue wait expires.
+func TestPoolSaturation(t *testing.T) {
+	ts, s := newTestServer(t, config{Workers: 1, QueueWait: 10 * time.Millisecond})
+	s.sem <- struct{}{} // occupy the only worker slot
+	defer func() { <-s.sem }()
+	resp, _ := post(t, ts.URL+"/encode", []byte("0101\n"))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated pool: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+// TestConcurrentRoundTrips drives 1000 concurrent encode+decode round
+// trips through the pool (run under -race in make check): zero panics,
+// zero 5xx, every decode output parses.
+func TestConcurrentRoundTrips(t *testing.T) {
+	ts, s := newTestServer(t, config{})
+	const n = 1000
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			text := sampleText(4+i%5, 16+(i%3)*8, int64(i))
+			resp, cont := post(t, ts.URL+fmt.Sprintf("/encode?k=%d", 4+(i%3)*4), []byte(text))
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("req %d: encode %d", i, resp.StatusCode)
+				return
+			}
+			resp, body := post(t, ts.URL+"/decode", cont)
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("req %d: decode %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			if _, err := tcube.Read("back", bytes.NewReader(body)); err != nil {
+				errs <- fmt.Errorf("req %d: output unparseable: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if p := s.reg.Counter("ninecd.encode.panics").Value() + s.reg.Counter("ninecd.decode.panics").Value(); p != 0 {
+		t.Fatalf("%d recovered panics during the run", p)
+	}
+}
+
+// TestDecodeInjectCampaign: seeded byte mutations of a valid container
+// never produce a 5xx from /decode — hostile bytes are a client error,
+// not a server failure.
+func TestDecodeInjectCampaign(t *testing.T) {
+	ts, s := newTestServer(t, config{})
+	resp, cont := post(t, ts.URL+"/encode", []byte(sampleText(10, 32, 5)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("setup encode failed")
+	}
+	n := 400
+	if testing.Short() {
+		n = 50
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		mut, op := inject.Bytes(cont, seed)
+		resp, body := post(t, ts.URL+"/decode", mut)
+		if resp.StatusCode >= 500 {
+			t.Fatalf("seed %d op %s: %d %s", seed, op, resp.StatusCode, body)
+		}
+		if resp.StatusCode != http.StatusOK && resp.Header.Get("X-Error-Class") == "" {
+			t.Fatalf("seed %d op %s: %d without an error class", seed, op, resp.StatusCode)
+		}
+	}
+	if p := s.reg.Counter("ninecd.decode.panics").Value(); p != 0 {
+		t.Fatalf("%d recovered panics during the campaign", p)
+	}
+}
+
+// blockingHandler serves requests that wait until released, to hold
+// work in flight across a shutdown.
+type blockingHandler struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (h *blockingHandler) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	h.started <- struct{}{}
+	<-h.release
+	io.WriteString(w, "done")
+}
+
+// TestServeDrains proves the serve loop's graceful-shutdown contract:
+// cancelling the context stops accepting but lets the in-flight
+// request finish.
+func TestServeDrains(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &blockingHandler{started: make(chan struct{}, 1), release: make(chan struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(ctx, ln, h, 5*time.Second) }()
+
+	url := "http://" + ln.Addr().String() + "/"
+	reqDone := make(chan string, 1)
+	go func() {
+		resp, err := http.Get(url)
+		if err != nil {
+			reqDone <- "error: " + err.Error()
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		reqDone <- string(body)
+	}()
+	<-h.started
+	cancel()
+	time.Sleep(50 * time.Millisecond) // let Shutdown close the listener
+	close(h.release)
+
+	if got := <-reqDone; got != "done" {
+		t.Fatalf("in-flight request not drained: %q", got)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if _, err := http.Get(url); err == nil {
+		t.Fatal("listener still accepting after drain")
+	}
+}
+
+// TestSIGTERMDrain exercises the real signal path: a SIGTERM to this
+// process (via the same signal.NotifyContext wiring realMain uses)
+// drains the server cleanly.
+func TestSIGTERMDrain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	s := newServer(config{}, obs.NewRegistry())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(ctx, ln, s, 5*time.Second) }()
+
+	url := "http://" + ln.Addr().String()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serve after SIGTERM: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after SIGTERM")
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after SIGTERM drain")
+	}
+}

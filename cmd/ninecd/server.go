@@ -1,0 +1,338 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/robust"
+	"repro/internal/tcube"
+)
+
+// config carries the daemon's serving parameters; zero fields take the
+// defaults applied by newServer.
+type config struct {
+	Addr        string
+	K           int           // default block size for /encode
+	Workers     int           // worker-pool size; 0 = GOMAXPROCS
+	QueueWait   time.Duration // how long a request may wait for a worker
+	Timeout     time.Duration // per-request deadline
+	MaxBody     int64         // request body cap in bytes
+	MaxPatterns int           // decode limit (0 = robust default)
+	MaxBits     int           // decode limit on stored |T_E| (0 = default)
+	Drain       time.Duration // graceful-shutdown budget
+}
+
+func (c config) withDefaults() config {
+	if c.K == 0 {
+		c.K = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 10 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 64 << 20
+	}
+	if c.Drain <= 0 {
+		c.Drain = 15 * time.Second
+	}
+	return c
+}
+
+// limits maps the daemon's flags onto the robust decode policy.
+func (c config) limits() robust.DecodeLimits {
+	lim := robust.DecodeLimits{MaxPatterns: c.MaxPatterns}
+	if c.MaxBits > 0 {
+		lim.MaxPayloadBytes = 2 * ((c.MaxBits + 7) / 8)
+	}
+	return lim
+}
+
+// server is the HTTP surface over the 9C codec: /encode turns 01X text
+// into a chunked v4 container, /decode turns any container version
+// back into 01X text, /healthz and /metrics observe the process. Every
+// request runs inside a bounded worker pool with a deadline, and every
+// decoder failure maps onto a status code by its robust taxonomy
+// class — hostile input gets a 4xx, never a crash.
+type server struct {
+	cfg config
+	reg *obs.Registry
+	sem chan struct{}
+	mux *http.ServeMux
+}
+
+// newServer builds the handler; it is http.Handler so tests drive it
+// through httptest without binding a port.
+func newServer(cfg config, reg *obs.Registry) *server {
+	cfg = cfg.withDefaults()
+	s := &server{
+		cfg: cfg,
+		reg: reg,
+		sem: make(chan struct{}, cfg.Workers),
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /encode", s.guard("encode", s.handleEncode))
+	s.mux.HandleFunc("POST /decode", s.guard("decode", s.handleDecode))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// statusFor maps a handler error onto its status code: over-limit and
+// over-size requests are 413, a saturated pool 429 (handled in guard),
+// a missed deadline 503, and every other classified decode fault —
+// corrupt, truncated, checksum — plus malformed request text is 400.
+func statusFor(err error) int {
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &mbe), errors.Is(err, robust.ErrLimitExceeded):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// errClass labels an error for metrics and the X-Error-Class header.
+func errClass(err error) string {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return "too_large"
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "deadline"
+	}
+	if c := robust.Classify(err); c != "" {
+		return c
+	}
+	return "bad_request"
+}
+
+// guard wraps a handler with the serving contract: panic recovery (a
+// recovered panic is a 500 and a counter bump, never a dead process),
+// worker-pool admission (429 when the pool stays saturated past the
+// queue wait), the per-request deadline, and fault accounting.
+func (s *server) guard(name string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.reg.Counter("ninecd." + name + ".requests").Inc()
+		defer func() {
+			if v := recover(); v != nil {
+				s.reg.Counter("ninecd." + name + ".panics").Inc()
+				http.Error(w, fmt.Sprintf("internal error: %v", v), http.StatusInternalServerError)
+			}
+		}()
+
+		wait := time.NewTimer(s.cfg.QueueWait)
+		defer wait.Stop()
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-wait.C:
+			s.reg.Counter("ninecd." + name + ".rejected").Inc()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "worker pool saturated", http.StatusTooManyRequests)
+			return
+		case <-r.Context().Done():
+			s.reg.Counter("ninecd." + name + ".rejected").Inc()
+			http.Error(w, "client gave up in queue", http.StatusTooManyRequests)
+			return
+		}
+		s.reg.Gauge("ninecd.inflight").Add(1)
+		defer s.reg.Gauge("ninecd.inflight").Add(-1)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		start := time.Now()
+		err := h(w, r.WithContext(ctx))
+		s.reg.Histogram("ninecd." + name + ".us").Observe(time.Since(start).Microseconds())
+		if err != nil {
+			class := errClass(err)
+			s.reg.Counter("ninecd." + name + ".fault." + class).Inc()
+			w.Header().Set("X-Error-Class", class)
+			http.Error(w, err.Error(), statusFor(err))
+		}
+	}
+}
+
+// handleEncode reads 01X text from the request body and responds with
+// a chunked v4 container. Query parameters: k (block size, default the
+// daemon's -k), fd (frequency-directed assignment, two-pass), name
+// (set name stored in the container).
+func (s *server) handleEncode(w http.ResponseWriter, r *http.Request) error {
+	q := r.URL.Query()
+	k := s.cfg.K
+	if v := q.Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("bad k %q: %w", v, err)
+		}
+		k = n
+	}
+	name := q.Get("name")
+	if name == "" {
+		name = "request"
+	}
+
+	set, err := tcube.Read(name, http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err != nil {
+		return err
+	}
+	if set == nil || set.Len() == 0 {
+		return fmt.Errorf("empty test set: %w", robust.ErrCorrupt)
+	}
+	cdc, err := core.New(k)
+	if err != nil {
+		return err
+	}
+	res, err := cdc.EncodeSetParallelCtx(r.Context(), set, 0)
+	if err != nil {
+		return err
+	}
+	if q.Get("fd") != "" {
+		// Frequency-directed mode needs the first-pass counts, so it is
+		// inherently two-pass and buffers the set either way.
+		cdc, err = core.NewWithAssignment(k, core.FrequencyDirected(res.Counts))
+		if err != nil {
+			return err
+		}
+		if res, err = cdc.EncodeSetParallelCtx(r.Context(), set, 0); err != nil {
+			return err
+		}
+	}
+	res.Name = name
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Patterns", strconv.Itoa(res.Patterns))
+	w.Header().Set("X-Compressed-Bits", strconv.Itoa(res.CompressedBits()))
+	return container.WriteVersion(w, res, container.Magic4)
+}
+
+// handleDecode reads a container (any version) from the request body
+// and responds with 01X text. Chunked v4 containers stream: each chunk
+// is CRC-verified and its patterns emitted before the next is read, so
+// the response starts before the container has fully arrived and the
+// working set stays O(chunk). Earlier versions buffer, as their single
+// payload checksum only verifies at the end.
+func (s *server) handleDecode(w http.ResponseWriter, r *http.Request) error {
+	body := bufio.NewReader(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	magic, err := body.Peek(4)
+	if err != nil {
+		return fmt.Errorf("container magic: %w: %v", robust.ErrTruncated, err)
+	}
+	if string(magic) == container.Magic4 {
+		return s.decodeChunked(w, r, body)
+	}
+
+	res, _, err := container.ReadWithOptions(body, container.Options{Limits: s.cfg.limits()})
+	if err != nil {
+		return err
+	}
+	cdc, err := core.NewWithAssignment(res.K, res.Assign)
+	if err != nil {
+		return err
+	}
+	set, cube, err := cdc.Decode(res)
+	if err != nil {
+		return err
+	}
+	if set == nil {
+		if set, err = tcube.FromFlat(res.Name, cube, cube.Len()); err != nil {
+			return err
+		}
+	}
+	set.Name = res.Name
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	return set.Write(w)
+}
+
+// decodeChunked is the verify-and-emit path for v4 containers.
+func (s *server) decodeChunked(w http.ResponseWriter, r *http.Request, body io.Reader) error {
+	chr, err := container.NewChunkReader(body, s.cfg.limits())
+	if err != nil {
+		return err
+	}
+	h := chr.Header()
+	cdc, err := core.NewWithAssignment(h.K, h.Assign)
+	if err != nil {
+		return fmt.Errorf("%w: %v", robust.ErrCorrupt, err)
+	}
+	dec, err := cdc.NewStreamDecoder(chr, h.Width, s.cfg.limits())
+	if err != nil {
+		return err
+	}
+
+	// The first pattern decodes before any byte is written, so header
+	// faults still map onto a status code. After that the stream is
+	// committed: a later fault terminates the body with a '#' comment
+	// the 01X parser ignores-but-a-human sees, plus the fault counter.
+	var bw *bufio.Writer
+	ctx := r.Context()
+	for {
+		if err := ctx.Err(); err != nil {
+			if bw == nil {
+				return err
+			}
+			fmt.Fprintf(bw, "# decode aborted: %v\n", err)
+			return bw.Flush()
+		}
+		p, err := dec.ReadPattern()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if bw == nil {
+				return err
+			}
+			s.reg.Counter("ninecd.decode.fault." + errClass(err)).Inc()
+			fmt.Fprintf(bw, "# decode aborted after %d patterns: %v\n", dec.Patterns(), err)
+			return bw.Flush()
+		}
+		if bw == nil {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Header().Set("X-Set-Name", h.Name)
+			bw = bufio.NewWriter(w)
+		}
+		if _, err := bw.WriteString(p.String()); err != nil {
+			return nil // client went away; nothing useful left to do
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return nil
+		}
+	}
+	if bw == nil {
+		// Zero patterns: an empty but valid container.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		bw = bufio.NewWriter(w)
+	}
+	return bw.Flush()
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.reg.Snapshot().WriteJSON(w); err != nil {
+		s.reg.Counter("ninecd.metrics.write_errors").Inc()
+	}
+}

@@ -32,7 +32,9 @@ func main() {
 	}
 	padded := tcube.NewSet(set.Name, width)
 	for i := 0; i < set.Len(); i++ {
-		padded.MustAppend(set.Cube(i).Slice(0, width))
+		if err := padded.Append(set.Cube(i).Slice(0, width)); err != nil {
+			log.Fatal(err)
+		}
 	}
 	codec, err := core.New(k)
 	if err != nil {
@@ -127,7 +129,9 @@ func groupStreams(padded *tcube.Set, m, k int, codec *core.Codec) ([]*bitvec.Bit
 			if err != nil {
 				return nil, 0, err
 			}
-			sets[g].MustAppend(vert)
+			if err := sets[g].Append(vert); err != nil {
+				return nil, 0, err
+			}
 		}
 	}
 	var streams []*bitvec.Bits

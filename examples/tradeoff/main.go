@@ -51,7 +51,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		tat := ate.TAT(r, 8)
+		tat, err := ate.TAT(r, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
 		mark := " "
 		if r.LXPercent() >= minLX && r.CR() > bestCR {
 			bestCR, bestK = r.CR(), k

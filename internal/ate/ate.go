@@ -8,6 +8,7 @@
 package ate
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -15,6 +16,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/decoder"
 )
+
+// ErrClockRatio reports a scan-to-ATE clock ratio outside the model's
+// domain (p must be >= 1: the scan clock is never slower than the ATE
+// clock in the paper's deployment). It is a sentinel so callers that
+// accept p from a flag or a request can dispatch with errors.Is.
+var ErrClockRatio = errors.New("ate: clock ratio out of range")
 
 // TestTimeUncompressed returns the baseline test time in ATE cycles:
 // every T_D bit crosses the pin at the ATE rate.
@@ -26,24 +33,29 @@ func TestTimeUncompressed(origBits int) float64 { return float64(origBits) }
 //	t_comp = Σ_i N_i(|C_i| + data_i) + (blocks · K)/p
 //
 // i.e. every shipped bit costs one ATE cycle and every block costs K
-// scan-clock cycles of shifting.
-func TestTimeCompressed(r *core.Result, p int) float64 {
+// scan-clock cycles of shifting. p < 1 is ErrClockRatio.
+func TestTimeCompressed(r *core.Result, p int) (float64, error) {
 	if p < 1 {
-		panic(fmt.Sprintf("ate: clock ratio p=%d", p))
+		return 0, fmt.Errorf("%w: p=%d, want >= 1", ErrClockRatio, p)
 	}
 	return float64(core.CompressedSize(r.K, r.Assign, r.Counts)) +
-		float64(r.Blocks*r.K)/float64(p)
+		float64(r.Blocks*r.K)/float64(p), nil
 }
 
 // TAT returns the test-application-time reduction percentage
 // 100·(t_nocomp − t_comp)/t_nocomp for clock ratio p. As p grows, TAT
 // approaches CR from below (the paper's "TAT is bounded by CR").
-func TAT(r *core.Result, p int) float64 {
+// p < 1 is ErrClockRatio.
+func TAT(r *core.Result, p int) (float64, error) {
+	comp, err := TestTimeCompressed(r, p)
+	if err != nil {
+		return 0, err
+	}
 	if r.OrigBits == 0 {
-		return 0
+		return 0, nil
 	}
 	base := TestTimeUncompressed(r.OrigBits)
-	return 100 * (base - TestTimeCompressed(r, p)) / base
+	return 100 * (base - comp) / base, nil
 }
 
 // Session is one ATE-to-SoC decompression run.
@@ -71,8 +83,9 @@ type Report struct {
 // ships the stream through the Fig. 1 decoder, and reports both the
 // analytic and the cycle-measured TAT.
 func (s Session) RunSingleScan(r *core.Result) (*Report, error) {
-	if s.P < 1 {
-		return nil, fmt.Errorf("ate: clock ratio p=%d, want >= 1", s.P)
+	analytic, err := TAT(r, s.P)
+	if err != nil {
+		return nil, err
 	}
 	stream, err := FillStream(r.Stream, s.FillSeed)
 	if err != nil {
@@ -90,7 +103,7 @@ func (s Session) RunSingleScan(r *core.Result) (*Report, error) {
 	rep := &Report{
 		CRPercent:    r.CR(),
 		LXPercent:    r.LXPercent(),
-		TATAnalytic:  TAT(r, s.P),
+		TATAnalytic:  analytic,
 		ATECycles:    tr.ATECycles,
 		ScanCycles:   tr.ScanCycles,
 		ShippedBits:  stream.Len(),

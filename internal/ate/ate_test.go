@@ -1,6 +1,7 @@
 package ate
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -33,7 +34,10 @@ func TestAnalyticTATBoundedByCR(t *testing.T) {
 	r := encodeRandom(t, 1, 8, 800)
 	prev := -math.MaxFloat64
 	for _, p := range []int{1, 2, 4, 8, 16, 64, 1024} {
-		tat := TAT(r, p)
+		tat, err := TAT(r, p)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if tat < prev {
 			t.Fatalf("TAT not monotone in p: p=%d gives %f < %f", p, tat, prev)
 		}
@@ -43,7 +47,11 @@ func TestAnalyticTATBoundedByCR(t *testing.T) {
 		prev = tat
 	}
 	// Large p approaches CR.
-	if diff := r.CR() - TAT(r, 1<<20); diff > 0.5 {
+	huge, err := TAT(r, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := r.CR() - huge; diff > 0.5 {
 		t.Fatalf("TAT at huge p should approach CR, gap %f", diff)
 	}
 }
@@ -51,15 +59,32 @@ func TestAnalyticTATBoundedByCR(t *testing.T) {
 func TestTestTimeCompressedFormula(t *testing.T) {
 	r := encodeRandom(t, 2, 8, 400)
 	want := float64(r.CompressedBits()) + float64(r.Blocks*r.K)/8.0
-	if got := TestTimeCompressed(r, 8); got != want {
+	got, err := TestTimeCompressed(r, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
 		t.Fatalf("t_comp = %v, want %v", got, want)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("p=0 should panic")
+}
+
+// TestClockRatioClassified is the regression for the retired panic: an
+// out-of-range p is a classified, sentinel-matchable error from every
+// entry point — the analytic formulas and the simulated session — and
+// never a panic.
+func TestClockRatioClassified(t *testing.T) {
+	r := encodeRandom(t, 2, 8, 400)
+	for _, p := range []int{0, -1, -1 << 30} {
+		if _, err := TestTimeCompressed(r, p); !errors.Is(err, ErrClockRatio) {
+			t.Fatalf("TestTimeCompressed(p=%d): %v, want ErrClockRatio", p, err)
 		}
-	}()
-	TestTimeCompressed(r, 0)
+		if _, err := TAT(r, p); !errors.Is(err, ErrClockRatio) {
+			t.Fatalf("TAT(p=%d): %v, want ErrClockRatio", p, err)
+		}
+		if _, err := (Session{P: p}).RunSingleScan(r); !errors.Is(err, ErrClockRatio) {
+			t.Fatalf("RunSingleScan(p=%d): %v, want ErrClockRatio", p, err)
+		}
+	}
 }
 
 func TestSessionMeasuredEqualsAnalytic(t *testing.T) {
@@ -109,7 +134,11 @@ func TestEmptyResultTAT(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if TAT(r, 8) != 0 {
+	tat, err := TAT(r, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tat != 0 {
 		t.Fatal("empty TAT should be 0")
 	}
 }

@@ -127,7 +127,10 @@ func fdrEncodeRun(w *bitvec.Writer, l int) {
 	w.WriteUint(uint64(l-base), k)
 }
 
-// fdrDecodeRun reads one FDR codeword.
+// fdrDecodeRun reads one FDR codeword. Group k encodes runs up to
+// 2^(k+1)-2, so any real run length fits in a small group; a hostile
+// prefix pushing k past 61 would overflow base (and ReadUint rejects
+// widths over 64 by panicking), so it is malformed, not a crash.
 func fdrDecodeRun(r *bitvec.Reader) (int, error) {
 	k := 1
 	base := 0
@@ -138,6 +141,9 @@ func fdrDecodeRun(r *bitvec.Reader) (int, error) {
 		}
 		if !b {
 			break
+		}
+		if k >= 61 {
+			return 0, errBadStream
 		}
 		base += 1 << uint(k)
 		k++

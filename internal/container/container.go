@@ -48,8 +48,14 @@ import (
 	"repro/internal/robust"
 )
 
-// Magic identifies the current format version (CRC-protected).
+// Magic identifies the default whole-payload format (CRC-protected).
 const Magic = "N9C3"
+
+// Magic4 identifies the chunked streaming format: the same CRC-checked
+// header, but the payload split into CRC32C-framed chunks (see chunk.go)
+// so a decoder can verify-and-emit incrementally and salvage up to the
+// first bad chunk.
+const Magic4 = "N9C4"
 
 // MagicV2 is the CRC-less named format, accepted on read.
 const MagicV2 = "N9C2"
@@ -72,9 +78,15 @@ func Write(w io.Writer, r *core.Result) error {
 }
 
 // WriteVersion serializes r in the format selected by magic ("N9C1",
-// "N9C2" or "N9C3") — legacy versions exist for fixtures and
-// compatibility tooling; new containers should use Write.
+// "N9C2", "N9C3" or "N9C4") — legacy versions exist for fixtures and
+// compatibility tooling; new containers should use Write, or the
+// streaming ChunkWriter when the payload should not be materialized.
+// The v4 path requires a pattern-set result (Width ≥ 1): the chunked
+// format is set-oriented so a streaming decoder can frame patterns.
 func WriteVersion(w io.Writer, r *core.Result, magic string) (err error) {
+	if magic == Magic4 {
+		return writeV4(w, r)
+	}
 	if magic != Magic && magic != MagicV2 && magic != MagicV1 {
 		return fmt.Errorf("container: unknown version %q", magic)
 	}
@@ -82,41 +94,8 @@ func WriteVersion(w io.Writer, r *core.Result, magic string) (err error) {
 	cw := &countingWriter{w: w}
 	defer func() { observeIO(sp, "container.writes", "container.bytes_written", cw.n, err) }()
 
-	// Header (magic through set name) is built in memory so the v3
-	// checksum can cover it.
-	var hdr bytes.Buffer
-	hdr.WriteString(magic)
-	var fields [24]byte
-	binary.LittleEndian.PutUint32(fields[0:], uint32(r.K))
-	binary.LittleEndian.PutUint32(fields[4:], uint32(r.Patterns))
-	binary.LittleEndian.PutUint32(fields[8:], uint32(r.Width))
-	binary.LittleEndian.PutUint32(fields[12:], uint32(r.OrigBits))
-	binary.LittleEndian.PutUint32(fields[16:], uint32(r.Blocks))
-	binary.LittleEndian.PutUint32(fields[20:], uint32(r.Stream.Len()))
-	hdr.Write(fields[:])
-	for cs := core.CaseAll0; cs <= core.CaseMisMis; cs++ {
-		code := r.Assign.Code(cs)
-		var entry [9]byte
-		entry[0] = byte(len(code))
-		copy(entry[1:], code)
-		hdr.Write(entry[:])
-	}
-	if magic != MagicV1 {
-		name := r.Name
-		if len(name) > maxNameLen {
-			name = name[:maxNameLen]
-		}
-		var nlen [2]byte
-		binary.LittleEndian.PutUint16(nlen[:], uint16(len(name)))
-		hdr.Write(nlen[:])
-		hdr.WriteString(name)
-	}
-	if magic == Magic {
-		var crc [4]byte
-		binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(hdr.Bytes(), castagnoli))
-		hdr.Write(crc[:])
-	}
-	if _, err := cw.Write(hdr.Bytes()); err != nil {
+	hdr := buildHeader(magic, r.K, r.Patterns, r.Width, r.OrigBits, r.Blocks, r.Stream.Len(), r.Assign, r.Name)
+	if _, err := cw.Write(hdr); err != nil {
 		return err
 	}
 
@@ -138,6 +117,61 @@ func WriteVersion(w io.Writer, r *core.Result, magic string) (err error) {
 		}
 	}
 	return nil
+}
+
+// writeV4 serializes an in-memory result through the chunked writer.
+func writeV4(w io.Writer, r *core.Result) error {
+	cw, err := NewChunkWriter(w, StreamHeader{K: r.K, Width: r.Width, Assign: r.Assign, Name: r.Name})
+	if err != nil {
+		return err
+	}
+	if err := cw.WriteStream(r.Stream); err != nil {
+		return err
+	}
+	return cw.Close(core.StreamSummary{
+		Patterns: r.Patterns, Width: r.Width, OrigBits: r.OrigBits,
+		Blocks: r.Blocks, StreamBits: r.Stream.Len(), Counts: r.Counts,
+	})
+}
+
+// buildHeader assembles the header bytes (magic through set name, plus
+// the CRC32C for the checksummed versions). The same layout serves v3
+// and v4; a v4 header stores zero for the four stream totals, which
+// live in the trailer instead because a streaming writer does not know
+// them up front.
+func buildHeader(magic string, k, patterns, width, origBits, blocks, streamBits int, assign core.Assignment, name string) []byte {
+	var hdr bytes.Buffer
+	hdr.WriteString(magic)
+	var fields [24]byte
+	binary.LittleEndian.PutUint32(fields[0:], uint32(k))
+	binary.LittleEndian.PutUint32(fields[4:], uint32(patterns))
+	binary.LittleEndian.PutUint32(fields[8:], uint32(width))
+	binary.LittleEndian.PutUint32(fields[12:], uint32(origBits))
+	binary.LittleEndian.PutUint32(fields[16:], uint32(blocks))
+	binary.LittleEndian.PutUint32(fields[20:], uint32(streamBits))
+	hdr.Write(fields[:])
+	for cs := core.CaseAll0; cs <= core.CaseMisMis; cs++ {
+		code := assign.Code(cs)
+		var entry [9]byte
+		entry[0] = byte(len(code))
+		copy(entry[1:], code)
+		hdr.Write(entry[:])
+	}
+	if magic != MagicV1 {
+		if len(name) > maxNameLen {
+			name = name[:maxNameLen]
+		}
+		var nlen [2]byte
+		binary.LittleEndian.PutUint16(nlen[:], uint16(len(name)))
+		hdr.Write(nlen[:])
+		hdr.WriteString(name)
+	}
+	if magic == Magic || magic == Magic4 {
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(hdr.Bytes(), castagnoli))
+		hdr.Write(crc[:])
+	}
+	return hdr.Bytes()
 }
 
 // Options selects how strictly ReadWithOptions treats the input.
@@ -197,101 +231,27 @@ func ReadWithOptions(rd io.Reader, opt Options) (res *core.Result, diag *Diag, e
 	lim := opt.Limits.WithDefaults()
 	diag = &Diag{HeaderCRCOK: true, PayloadCRCOK: true}
 
-	hcrc := crc32.New(castagnoli)
+	h, err := readHeader(cr, diag)
+	if err != nil {
+		return nil, diag, err
+	}
+	if h.version == Magic4 {
+		return readV4(cr, h, opt, diag)
+	}
+	// Geometry validation runs after the v3 header CRC so field
+	// corruption reports as a checksum fault, but strictly before the
+	// payload planes are sized from the untrusted stream bit count.
+	if err := validateGeometry(h.k, h.patterns, h.width, h.origBits, h.blocks, h.streamBits, lim); err != nil {
+		return nil, diag, err
+	}
+
 	readFull := func(buf []byte, what string) error {
 		if _, err := io.ReadFull(cr, buf); err != nil {
 			return fmt.Errorf("container: %s: %w: %v", what, robust.ErrTruncated, err)
 		}
 		return nil
 	}
-
-	var magic [4]byte
-	if err := readFull(magic[:], "magic"); err != nil {
-		return nil, diag, err
-	}
-	hcrc.Write(magic[:])
-	diag.Version = string(magic[:])
-	switch diag.Version {
-	case Magic:
-		diag.HasCRC = true
-	case MagicV2, MagicV1:
-	default:
-		return nil, diag, fmt.Errorf("container: bad magic %q: %w", magic[:], robust.ErrCorrupt)
-	}
-	hasName := diag.Version != MagicV1
-
-	var hdr [24]byte
-	if err := readFull(hdr[:], "header"); err != nil {
-		return nil, diag, err
-	}
-	hcrc.Write(hdr[:])
-	k := int(binary.LittleEndian.Uint32(hdr[0:]))
-	patterns := int(binary.LittleEndian.Uint32(hdr[4:]))
-	width := int(binary.LittleEndian.Uint32(hdr[8:]))
-	origBits := int(binary.LittleEndian.Uint32(hdr[12:]))
-	blocks := int(binary.LittleEndian.Uint32(hdr[16:]))
-	streamBits := int(binary.LittleEndian.Uint32(hdr[20:]))
-
-	codes := make([]string, core.NumCases)
-	for i := range codes {
-		var entry [9]byte
-		if err := readFull(entry[:], "codeword table"); err != nil {
-			return nil, diag, err
-		}
-		hcrc.Write(entry[:])
-		n := int(entry[0])
-		if n < 1 || n > 8 {
-			return nil, diag, fmt.Errorf("container: codeword %d has length %d: %w", i+1, n, robust.ErrCorrupt)
-		}
-		code := string(entry[1 : 1+n])
-		if strings.Trim(code, "01") != "" {
-			return nil, diag, fmt.Errorf("container: codeword %d is not binary: %q: %w", i+1, code, robust.ErrCorrupt)
-		}
-		codes[i] = code
-	}
-	assign, err := core.AssignmentFromCodes(codes)
-	if err != nil {
-		return nil, diag, fmt.Errorf("container: %w: %w", robust.ErrCorrupt, err)
-	}
-
-	var name string
-	if hasName {
-		var nlen [2]byte
-		if err := readFull(nlen[:], "set name length"); err != nil {
-			return nil, diag, err
-		}
-		hcrc.Write(nlen[:])
-		n := int(binary.LittleEndian.Uint16(nlen[:]))
-		if n > maxNameLen {
-			return nil, diag, fmt.Errorf("container: set name length %d exceeds %d: %w", n, maxNameLen, robust.ErrLimitExceeded)
-		}
-		buf := make([]byte, n)
-		if err := readFull(buf, "set name"); err != nil {
-			return nil, diag, err
-		}
-		hcrc.Write(buf)
-		name = string(buf)
-	}
-	if diag.HasCRC {
-		var crc [4]byte
-		if err := readFull(crc[:], "header checksum"); err != nil {
-			return nil, diag, err
-		}
-		if got, want := hcrc.Sum32(), binary.LittleEndian.Uint32(crc[:]); got != want {
-			// A bad header CRC is fatal even in lenient mode: the
-			// geometry that partial decode depends on is untrustworthy.
-			diag.HeaderCRCOK = false
-			return nil, diag, fmt.Errorf("container: header CRC32C %08x, stored %08x: %w", got, want, robust.ErrChecksum)
-		}
-	}
-	// Geometry validation runs after the v3 header CRC so field
-	// corruption reports as a checksum fault, but strictly before the
-	// payload planes are sized from the untrusted stream bit count.
-	if err := validateGeometry(k, patterns, width, origBits, blocks, streamBits, lim); err != nil {
-		return nil, diag, err
-	}
-
-	nbytes := (streamBits + 7) / 8
+	nbytes := (h.streamBits + 7) / 8
 	val := make([]byte, nbytes)
 	mask := make([]byte, nbytes)
 	if err := readFull(val, "value plane"); err != nil {
@@ -318,34 +278,149 @@ func ReadWithOptions(rd io.Reader, opt Options) (res *core.Result, diag *Diag, e
 	if n, _ := cr.Read(make([]byte, 1)); n != 0 {
 		return nil, diag, fmt.Errorf("container: trailing bytes: %w", robust.ErrCorrupt)
 	}
-	stream, conflicts, err := unplanes(val, mask, streamBits, opt.Lenient)
+	stream, conflicts, err := unplanes(val, mask, h.streamBits, opt.Lenient)
 	diag.PlaneConflicts = conflicts
 	if err != nil {
 		return nil, diag, err
 	}
+	return finishResult(h, stream, opt.Lenient, diag)
+}
 
-	r := &core.Result{
-		K: k, Name: name, Assign: assign, Stream: stream,
-		OrigBits: origBits, Blocks: blocks, LeftoverX: stream.XCount(),
-		Patterns: patterns, Width: width,
+// headerInfo is the parsed header of any container version: geometry
+// fields, codeword assignment and set name. For v4 the four stream
+// totals are zero placeholders; the real values live in the trailer.
+type headerInfo struct {
+	version                                          string
+	k, patterns, width, origBits, blocks, streamBits int
+	assign                                           core.Assignment
+	name                                             string
+}
+
+// readHeader parses magic through the header checksum (where the
+// version has one), updating diag as it goes. Shared by the whole-
+// payload read path and the chunked v4 reader.
+func readHeader(cr io.Reader, diag *Diag) (*headerInfo, error) {
+	hcrc := crc32.New(castagnoli)
+	readFull := func(buf []byte, what string) error {
+		if _, err := io.ReadFull(cr, buf); err != nil {
+			return fmt.Errorf("container: %s: %w: %v", what, robust.ErrTruncated, err)
+		}
+		return nil
 	}
-	// Recover the codeword statistics (and validate the stream) by
-	// decoding once. Lenient mode records the failure instead and
-	// leaves Counts zero: the caller salvages via partial decode.
-	cdc, err := core.NewWithAssignment(k, assign)
+
+	h := &headerInfo{}
+	var magic [4]byte
+	if err := readFull(magic[:], "magic"); err != nil {
+		return nil, err
+	}
+	hcrc.Write(magic[:])
+	h.version = string(magic[:])
+	diag.Version = h.version
+	switch h.version {
+	case Magic, Magic4:
+		diag.HasCRC = true
+	case MagicV2, MagicV1:
+	default:
+		return nil, fmt.Errorf("container: bad magic %q: %w", magic[:], robust.ErrCorrupt)
+	}
+	hasName := h.version != MagicV1
+
+	var hdr [24]byte
+	if err := readFull(hdr[:], "header"); err != nil {
+		return nil, err
+	}
+	hcrc.Write(hdr[:])
+	h.k = int(binary.LittleEndian.Uint32(hdr[0:]))
+	h.patterns = int(binary.LittleEndian.Uint32(hdr[4:]))
+	h.width = int(binary.LittleEndian.Uint32(hdr[8:]))
+	h.origBits = int(binary.LittleEndian.Uint32(hdr[12:]))
+	h.blocks = int(binary.LittleEndian.Uint32(hdr[16:]))
+	h.streamBits = int(binary.LittleEndian.Uint32(hdr[20:]))
+
+	codes := make([]string, core.NumCases)
+	for i := range codes {
+		var entry [9]byte
+		if err := readFull(entry[:], "codeword table"); err != nil {
+			return nil, err
+		}
+		hcrc.Write(entry[:])
+		n := int(entry[0])
+		if n < 1 || n > 8 {
+			return nil, fmt.Errorf("container: codeword %d has length %d: %w", i+1, n, robust.ErrCorrupt)
+		}
+		code := string(entry[1 : 1+n])
+		if strings.Trim(code, "01") != "" {
+			return nil, fmt.Errorf("container: codeword %d is not binary: %q: %w", i+1, code, robust.ErrCorrupt)
+		}
+		codes[i] = code
+	}
+	assign, err := core.AssignmentFromCodes(codes)
+	if err != nil {
+		return nil, fmt.Errorf("container: %w: %w", robust.ErrCorrupt, err)
+	}
+	h.assign = assign
+
+	if hasName {
+		var nlen [2]byte
+		if err := readFull(nlen[:], "set name length"); err != nil {
+			return nil, err
+		}
+		hcrc.Write(nlen[:])
+		n := int(binary.LittleEndian.Uint16(nlen[:]))
+		if n > maxNameLen {
+			return nil, fmt.Errorf("container: set name length %d exceeds %d: %w", n, maxNameLen, robust.ErrLimitExceeded)
+		}
+		buf := make([]byte, n)
+		if err := readFull(buf, "set name"); err != nil {
+			return nil, err
+		}
+		hcrc.Write(buf)
+		h.name = string(buf)
+	}
+	if diag.HasCRC {
+		var crc [4]byte
+		if err := readFull(crc[:], "header checksum"); err != nil {
+			return nil, err
+		}
+		if got, want := hcrc.Sum32(), binary.LittleEndian.Uint32(crc[:]); got != want {
+			// A bad header CRC is fatal even in lenient mode: the
+			// geometry that partial decode depends on is untrustworthy.
+			diag.HeaderCRCOK = false
+			return nil, fmt.Errorf("container: header CRC32C %08x, stored %08x: %w", got, want, robust.ErrChecksum)
+		}
+	}
+	return h, nil
+}
+
+// finishResult builds the Result from a verified stream and geometry,
+// recovering the codeword statistics (and validating the stream) by
+// decoding once. Lenient mode records the failure instead and leaves
+// Counts zero: the caller salvages via partial decode.
+func finishResult(h *headerInfo, stream *bitvec.Cube, lenient bool, diag *Diag) (*core.Result, *Diag, error) {
+	r := &core.Result{
+		K: h.k, Name: h.name, Assign: h.assign, Stream: stream,
+		OrigBits: h.origBits, Blocks: h.blocks, LeftoverX: stream.XCount(),
+		Patterns: h.patterns, Width: h.width,
+	}
+	cdc, err := core.NewWithAssignment(h.k, h.assign)
 	if err != nil {
 		return nil, diag, fmt.Errorf("container: %w: %w", robust.ErrCorrupt, err)
 	}
+	if diag.StreamErr != nil {
+		// The chunked reader already hit a payload fault; the stream is
+		// a salvaged prefix and re-validating it would be misleading.
+		return r, diag, nil
+	}
 	if _, _, err := cdc.Decode(r); err != nil {
-		if !opt.Lenient {
+		if !lenient {
 			return nil, diag, fmt.Errorf("container: stored stream does not decode: %w", err)
 		}
 		diag.StreamErr = err
 		return r, diag, nil
 	}
-	counts, err := core.CountsOfStream(cdc, stream, blocks)
+	counts, err := core.CountsOfStream(cdc, stream, h.blocks)
 	if err != nil {
-		if !opt.Lenient {
+		if !lenient {
 			return nil, diag, fmt.Errorf("container: %w: %w", robust.ErrCorrupt, err)
 		}
 		diag.StreamErr = err

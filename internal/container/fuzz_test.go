@@ -30,7 +30,13 @@ func FuzzRead(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
+	var buf4 bytes.Buffer
+	if err := WriteVersion(&buf4, r, Magic4); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf4.Bytes())
 	f.Add([]byte("N9C1"))
+	f.Add([]byte("N9C4"))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 200))
 

@@ -170,8 +170,8 @@ func (c *Codec) EncodeSet(s *tcube.Set) (*Result, error) {
 
 // decodeBlocks reads exactly blocks block encodings from r and emits
 // their K-bit expansions into out starting at position 0.
-func (c *Codec) decodeBlocks(r *cubeReader, blocks int) (*bitvec.Cube, error) {
-	out, _, err := c.decodeBlocksPartial(r, blocks)
+func decodeBlocks[R blockSource](c *Codec, r R, blocks int) (*bitvec.Cube, error) {
+	out, _, err := decodeBlocksPartial(c, r, blocks)
 	if err != nil {
 		return nil, err
 	}
@@ -183,12 +183,14 @@ func (c *Codec) decodeBlocks(r *cubeReader, blocks int) (*bitvec.Cube, error) {
 // output cube, the number of blocks decoded cleanly, and the error
 // that stopped decoding (nil when all blocks decoded). The output is
 // always blocks*K long; only the first good*K positions are meaningful.
-func (c *Codec) decodeBlocksPartial(r *cubeReader, blocks int) (*bitvec.Cube, int, error) {
+// Generic over the stream source so the in-memory and streaming
+// decoders monomorphize to the same loop.
+func decodeBlocksPartial[R blockSource](c *Codec, r R, blocks int) (*bitvec.Cube, int, error) {
 	k := c.k
 	h := k / 2
 	out := bitvec.NewCube(blocks * k)
 	for b := 0; b < blocks; b++ {
-		cs, err := c.table.next(r)
+		cs, err := nextCase(c.table, r)
 		if err != nil {
 			return out, b, fmt.Errorf("core: block %d: %w", b, err)
 		}
@@ -224,7 +226,7 @@ func (c *Codec) DecodeCube(stream *bitvec.Cube, origBits int) (cube *bitvec.Cube
 	}
 	r := &cubeReader{src: stream}
 	blocks := (origBits + c.k - 1) / c.k
-	out, err := c.decodeBlocks(r, blocks)
+	out, err := decodeBlocks(c, r, blocks)
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +248,7 @@ func (c *Codec) DecodeCubePartial(stream *bitvec.Cube, origBits int) (*bitvec.Cu
 	}
 	r := &cubeReader{src: stream}
 	blocks := (origBits + c.k - 1) / c.k
-	out, good, err := c.decodeBlocksPartial(r, blocks)
+	out, good, err := decodeBlocksPartial(c, r, blocks)
 	n := good * c.k
 	if n > origBits {
 		n = origBits
@@ -269,7 +271,7 @@ func (c *Codec) DecodeSet(stream *bitvec.Cube, width, patterns int) (set *tcube.
 	blocksPer := (width + c.k - 1) / c.k
 	out := tcube.NewSet("decoded", width)
 	for i := 0; i < patterns; i++ {
-		p, err := c.decodeBlocks(r, blocksPer)
+		p, err := decodeBlocks(c, r, blocksPer)
 		if err != nil {
 			return nil, fmt.Errorf("core: pattern %d: %w", i, err)
 		}
@@ -299,7 +301,7 @@ func (c *Codec) DecodeSetPartial(stream *bitvec.Cube, width, patterns int) (*tcu
 	blocksPer := (width + c.k - 1) / c.k
 	out := tcube.NewSet("decoded", width)
 	for i := 0; i < patterns; i++ {
-		p, err := c.decodeBlocks(r, blocksPer)
+		p, err := decodeBlocks(c, r, blocksPer)
 		if err != nil {
 			return out, fmt.Errorf("core: pattern %d: %w", i, err)
 		}

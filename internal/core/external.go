@@ -30,7 +30,7 @@ func CountsOfStream(c *Codec, stream *bitvec.Cube, blocks int) (Counts, error) {
 	table := newDecodeTable(c.assign)
 	h := c.k / 2
 	for b := 0; b < blocks; b++ {
-		cs, err := table.next(r)
+		cs, err := nextCase(table, r)
 		if err != nil {
 			return counts, fmt.Errorf("core: block %d: %w", b, err)
 		}

@@ -72,6 +72,19 @@ func (w *cubeWriter) writeRaw(flat *bitvec.Cube, lo, hi int) {
 
 func (w *cubeWriter) cube() *bitvec.Cube { return w.b.Build() }
 
+// blockSource is the stream interface the block decoder consumes: one
+// codeword bit at a time plus word-blitted mismatch data. It is
+// implemented by cubeReader (whole stream in memory) and streamReader
+// (bounded buffer fed by a StreamSource); decodeBlocksPartial is
+// generic over it so both paths monomorphize to the same loop.
+type blockSource interface {
+	readBit() (bool, error)
+	readRaw(out *bitvec.Cube, lo, hi int) error
+	// bitPos returns the number of stream trits consumed so far, for
+	// error positions.
+	bitPos() int
+}
+
 // cubeReader consumes a ternary stream sequentially.
 type cubeReader struct {
 	src *bitvec.Cube
@@ -79,6 +92,8 @@ type cubeReader struct {
 }
 
 func (r *cubeReader) remaining() int { return r.src.Len() - r.pos }
+
+func (r *cubeReader) bitPos() int { return r.pos }
 
 // readBit reads one codeword bit; X is rejected.
 func (r *cubeReader) readBit() (bool, error) {
@@ -162,8 +177,10 @@ func (t *decodeTable) addNode() int {
 	return len(t.term) - 1
 }
 
-// next reads one codeword from r and returns its case.
-func (t *decodeTable) next(r *cubeReader) (Case, error) {
+// nextCase reads one codeword from r and returns its case. It is a
+// free function rather than a method so it can be generic over the
+// stream source (Go methods cannot carry type parameters).
+func nextCase[R blockSource](t *decodeTable, r R) (Case, error) {
 	node := 0
 	for {
 		if t.term[node] != 0 {
@@ -180,7 +197,7 @@ func (t *decodeTable) next(r *cubeReader) (Case, error) {
 			child = t.zero[node]
 		}
 		if child < 0 {
-			return 0, fmt.Errorf("%w: no codeword matches at bit %d", ErrBadCodeword, r.pos-1)
+			return 0, fmt.Errorf("%w: no codeword matches at bit %d", ErrBadCodeword, r.bitPos()-1)
 		}
 		node = int(child)
 	}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bitvec"
+	"repro/internal/obs"
+	"repro/internal/robust"
+)
+
+// This file is the constant-memory streaming layer over the 9C codec.
+// The in-memory paths (EncodeSet/DecodeSet) materialize the whole
+// T_D and T_E; the paper's own deployment model is a serial stream the
+// ATE ships into an on-chip decoder, so the streaming layer processes
+// one pattern (and inside it, one block) at a time with working state
+// proportional to the scan width plus whatever segment the transport
+// hands over — never to the pattern count. The stream contents are
+// bit-identical to the in-memory paths, pinned by differential tests.
+
+// StreamSink consumes successive segments of a compressed 9C stream.
+// Segments are arbitrary splits of the same trit sequence EncodeSet
+// would produce; concatenating them in order reconstructs T_E exactly.
+// container.ChunkWriter implements StreamSink over chunked v4 framing.
+type StreamSink interface {
+	WriteStream(seg *bitvec.Cube) error
+}
+
+// StreamSource yields successive segments of a compressed 9C stream.
+// It returns io.EOF after the final segment. Segment boundaries carry
+// no meaning; only the concatenated trit sequence does. Sources that
+// verify integrity incrementally (container.ChunkReader) return their
+// classified error in place of the segment that failed verification.
+type StreamSource interface {
+	ReadStream() (*bitvec.Cube, error)
+}
+
+// StreamSummary totals what passed through a streaming encode, in the
+// same units the Result of an in-memory encode reports.
+type StreamSummary struct {
+	Patterns   int
+	Width      int
+	OrigBits   int // |T_D| = Patterns·Width
+	Blocks     int
+	StreamBits int // |T_E|
+	Counts     Counts
+}
+
+// StreamEncoder encodes a test set one pattern at a time, handing each
+// pattern's compressed sub-stream to the sink as soon as it is ready.
+// Its working state is one pattern's worth of stream (O(width)); the
+// pattern count never enters its memory footprint. The concatenation
+// of everything written to the sink is bit-identical to the Stream an
+// in-memory EncodeSet of the same patterns would produce, because both
+// pad and encode each scan load independently.
+type StreamEncoder struct {
+	c          *Codec
+	sink       StreamSink
+	width      int
+	blocksPer  int
+	patterns   int
+	streamBits int
+	counts     Counts
+	finished   bool
+}
+
+// NewStreamEncoder returns a streaming encoder for scan loads of the
+// given width (≥ 1), writing the compressed stream to sink.
+func (c *Codec) NewStreamEncoder(sink StreamSink, width int) (*StreamEncoder, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("core: stream width %d, want >= 1", width)
+	}
+	return &StreamEncoder{
+		c: c, sink: sink, width: width,
+		blocksPer: (width + c.k - 1) / c.k,
+	}, nil
+}
+
+// WritePattern encodes one scan load (padded independently to a block
+// multiple, exactly like EncodeSet) and forwards its sub-stream to the
+// sink. The pattern must match the encoder's width.
+func (e *StreamEncoder) WritePattern(p *bitvec.Cube) error {
+	if e.finished {
+		return errors.New("core: StreamEncoder used after Finish")
+	}
+	if p.Len() != e.width {
+		return fmt.Errorf("core: pattern width %d != stream width %d", p.Len(), e.width)
+	}
+	w := newCubeWriter(e.width + e.blocksPer*2)
+	for b := 0; b < e.blocksPer; b++ {
+		e.counts.Add(e.c.encodeBlock(p, b*e.c.k, w))
+	}
+	seg := w.cube()
+	e.patterns++
+	e.streamBits += seg.Len()
+	return e.sink.WriteStream(seg)
+}
+
+// Finish seals the encoder and returns the stream totals (the sink's
+// own close/flush, if any, is the caller's job — the encoder never
+// buffers trits across patterns, so there is nothing left to flush).
+func (e *StreamEncoder) Finish() (StreamSummary, error) {
+	if e.finished {
+		return StreamSummary{}, errors.New("core: StreamEncoder finished twice")
+	}
+	e.finished = true
+	if reg := obs.Active(); reg != nil {
+		reg.Counter("core.stream.patterns_encoded").Add(int64(e.patterns))
+		reg.Counter("core.stream.bits_encoded").Add(int64(e.streamBits))
+	}
+	return e.Summary(), nil
+}
+
+// Summary returns the totals so far (valid before and after Finish).
+func (e *StreamEncoder) Summary() StreamSummary {
+	return StreamSummary{
+		Patterns: e.patterns, Width: e.width,
+		OrigBits:   e.patterns * e.width,
+		Blocks:     e.patterns * e.blocksPer,
+		StreamBits: e.streamBits,
+		Counts:     e.counts,
+	}
+}
+
+// streamReader adapts a StreamSource into a blockSource: it keeps the
+// unconsumed tail of the current segment plus at most one fetched
+// segment in memory, so the decode buffer is bounded by the largest
+// segment the source yields plus one pattern of lookahead — never by
+// the stream length.
+type streamReader struct {
+	src      StreamSource
+	buf      *bitvec.Cube
+	pos      int
+	consumed int // total trits consumed, for error positions
+	srcDone  bool
+	maxBuf   int // high-water mark of buf.Len(), pinned by memory tests
+}
+
+func (r *streamReader) unread() int {
+	if r.buf == nil {
+		return 0
+	}
+	return r.buf.Len() - r.pos
+}
+
+func (r *streamReader) bitPos() int { return r.consumed }
+
+// fetch pulls the next segment and splices it after the unconsumed
+// tail. It returns io.EOF (and latches srcDone) at stream end.
+func (r *streamReader) fetch() error {
+	seg, err := r.src.ReadStream()
+	if err != nil {
+		if err == io.EOF {
+			r.srcDone = true
+		}
+		return err
+	}
+	if seg == nil || seg.Len() == 0 {
+		return nil
+	}
+	if r.unread() == 0 {
+		r.buf, r.pos = seg, 0
+	} else {
+		b := bitvec.NewCubeBuilder(r.unread() + seg.Len())
+		b.AppendCubeRange(r.buf, r.pos, r.buf.Len())
+		b.AppendCube(seg)
+		r.buf, r.pos = b.Build(), 0
+	}
+	if r.buf.Len() > r.maxBuf {
+		r.maxBuf = r.buf.Len()
+	}
+	return nil
+}
+
+// ensure makes at least n unread trits available, fetching segments as
+// needed. A stream that ends first reports ErrTruncated; a source
+// error (e.g. a chunk checksum failure) propagates as-is.
+func (r *streamReader) ensure(n int) error {
+	for r.unread() < n {
+		if r.srcDone {
+			return ErrTruncated
+		}
+		if err := r.fetch(); err != nil && err != io.EOF {
+			return err
+		}
+	}
+	return nil
+}
+
+// readBit reads one codeword bit; X is rejected (codewords are always
+// fully specified), matching cubeReader.readBit.
+func (r *streamReader) readBit() (bool, error) {
+	if err := r.ensure(1); err != nil {
+		return false, err
+	}
+	t := r.buf.Get(r.pos)
+	r.pos++
+	r.consumed++
+	switch t {
+	case bitvec.Zero:
+		return false, nil
+	case bitvec.One:
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: X at codeword position %d", ErrBadCodeword, r.consumed-1)
+	}
+}
+
+// readRaw copies the next hi-lo trits into out[lo:hi], word at a time.
+func (r *streamReader) readRaw(out *bitvec.Cube, lo, hi int) error {
+	if err := r.ensure(hi - lo); err != nil {
+		return err
+	}
+	for i := lo; i < hi; {
+		n := hi - i
+		if n > 64 {
+			n = 64
+		}
+		care, val := r.buf.ReadWord(r.pos)
+		out.WriteWord(i, care, val, n)
+		r.pos += n
+		r.consumed += n
+		i += n
+	}
+	return nil
+}
+
+// StreamDecoder decodes a compressed stream one pattern at a time,
+// pulling segments from the source on demand. Its buffer holds at most
+// the source's largest segment plus the tail of the previous one;
+// robust.DecodeLimits are enforced incrementally — the width bound at
+// construction, the pattern bound as patterns are emitted — so a
+// hostile stream can never force an allocation proportional to a
+// forged length field. The decoded patterns are bit-identical to what
+// DecodeSet would produce from the concatenated stream.
+type StreamDecoder struct {
+	c         *Codec
+	r         *streamReader
+	width     int
+	blocksPer int
+	lim       robust.DecodeLimits
+	patterns  int
+	done      bool
+}
+
+// NewStreamDecoder returns a streaming decoder for scan loads of the
+// given width (≥ 1), reading the compressed stream from src under lim
+// (zero fields take the robust defaults).
+func (c *Codec) NewStreamDecoder(src StreamSource, width int, lim robust.DecodeLimits) (*StreamDecoder, error) {
+	lim = lim.WithDefaults()
+	if width < 1 {
+		return nil, fmt.Errorf("core: stream width %d, want >= 1: %w", width, robust.ErrCorrupt)
+	}
+	if width > lim.MaxWidth {
+		return nil, fmt.Errorf("core: stream width %d exceeds limit %d: %w", width, lim.MaxWidth, robust.ErrLimitExceeded)
+	}
+	return &StreamDecoder{
+		c: c, r: &streamReader{src: src}, width: width,
+		blocksPer: (width + c.k - 1) / c.k, lim: lim,
+	}, nil
+}
+
+// ReadPattern decodes and returns the next scan load, or io.EOF when
+// the stream ended cleanly at a pattern boundary. Any other condition
+// — truncation mid-pattern, an invalid codeword, a source error, or a
+// pattern count beyond the limits — is a classified error.
+func (d *StreamDecoder) ReadPattern() (*bitvec.Cube, error) {
+	if d.done {
+		return nil, io.EOF
+	}
+	if err := d.r.ensure(1); err != nil {
+		if errors.Is(err, ErrTruncated) && d.r.unread() == 0 {
+			// No trits left and the source is drained: clean end.
+			d.done = true
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("core: pattern %d: %w", d.patterns, err)
+	}
+	if d.patterns >= d.lim.MaxPatterns {
+		return nil, fmt.Errorf("core: stream exceeds %d patterns: %w", d.lim.MaxPatterns, robust.ErrLimitExceeded)
+	}
+	out, _, err := decodeBlocksPartial(d.c, d.r, d.blocksPer)
+	if err != nil {
+		return nil, fmt.Errorf("core: pattern %d: %w", d.patterns, err)
+	}
+	d.patterns++
+	return out.Slice(0, d.width), nil
+}
+
+// Patterns returns the number of patterns decoded so far.
+func (d *StreamDecoder) Patterns() int { return d.patterns }
+
+// TritsConsumed returns the number of stream trits consumed so far.
+func (d *StreamDecoder) TritsConsumed() int { return d.r.consumed }
+
+// MaxBuffered returns the decoder's buffer high-water mark in trits,
+// which the memory-pin tests assert is independent of pattern count.
+func (d *StreamDecoder) MaxBuffered() int { return d.r.maxBuf }
+
+// CubeSource adapts an in-memory compressed cube as a one-segment
+// StreamSource, for decoding a stored stream through the streaming
+// path (and for differential tests against the in-memory decoder).
+type CubeSource struct {
+	c    *bitvec.Cube
+	done bool
+}
+
+// NewCubeSource returns a StreamSource yielding c as a single segment.
+func NewCubeSource(c *bitvec.Cube) *CubeSource { return &CubeSource{c: c} }
+
+// ReadStream yields the cube once, then io.EOF.
+func (s *CubeSource) ReadStream() (*bitvec.Cube, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	s.done = true
+	return s.c, nil
+}
+
+// CubeSink collects a compressed stream into memory, for tests and for
+// callers that stream-encode but still want a whole T_E cube.
+type CubeSink struct {
+	b *bitvec.CubeBuilder
+}
+
+// NewCubeSink returns an empty collecting sink.
+func NewCubeSink() *CubeSink { return &CubeSink{b: bitvec.NewCubeBuilder(0)} }
+
+// WriteStream appends the segment.
+func (s *CubeSink) WriteStream(seg *bitvec.Cube) error {
+	s.b.AppendCube(seg)
+	return nil
+}
+
+// Cube returns the collected stream.
+func (s *CubeSink) Cube() *bitvec.Cube { return s.b.Build() }

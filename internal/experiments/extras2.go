@@ -76,7 +76,9 @@ func ExtraBIST(scale int) (*Table, error) {
 					c.Set(i, bitvec.Zero)
 				}
 			}
-			set.MustAppend(c)
+			if err := set.Append(c); err != nil {
+				return nil, err
+			}
 		}
 		cov, err := faultsim.CampaignParallel(sv, set, faults, 0)
 		if err != nil {

@@ -31,7 +31,11 @@ func ExtraSoC() (*Table, error) {
 			return nil, err
 		}
 		plain = append(plain, soc.Core{Name: cs.Name, TestTime: ate.TestTimeUncompressed(set.Bits())})
-		comp = append(comp, soc.Core{Name: cs.Name, TestTime: ate.TestTimeCompressed(r, p)})
+		tc, err := ate.TestTimeCompressed(r, p)
+		if err != nil {
+			return nil, err
+		}
+		comp = append(comp, soc.Core{Name: cs.Name, TestTime: tc})
 	}
 	for _, ch := range []int{1, 2, 3, 4} {
 		pu, err := soc.LPT(plain, ch)

@@ -116,7 +116,10 @@ func Figure3() (*Table, error) {
 	// each arrangement the multi-scan decoder must cost exactly what
 	// the single-scan decoder costs on the same stream (paper §III.B).
 	widths := []int{1, 2, 4, 8, 16}
-	padded := padSetWidth(set, lcmAll(widths))
+	padded, err := padSetWidth(set, lcmAll(widths))
+	if err != nil {
+		return nil, err
+	}
 	for _, m := range widths {
 		vert, err := tcube.Verticalize(padded, m)
 		if err != nil {
@@ -177,7 +180,10 @@ func Figure4() (*Table, error) {
 		p = 8
 		m = 32 // chains for variants (b) and (c)
 	)
-	padded := padSetWidth(set, m*k)
+	padded, err := padSetWidth(set, m*k)
+	if err != nil {
+		return nil, err
+	}
 	cdc, err := core.New(k)
 	if err != nil {
 		return nil, err
@@ -255,16 +261,18 @@ func Figure4() (*Table, error) {
 
 // padSetWidth pads every cube with trailing X so the width becomes a
 // multiple of mult.
-func padSetWidth(s *tcube.Set, mult int) *tcube.Set {
+func padSetWidth(s *tcube.Set, mult int) (*tcube.Set, error) {
 	w := s.Width()
 	if mult > 0 && w%mult != 0 {
 		w += mult - w%mult
 	}
 	out := tcube.NewSet(s.Name, w)
 	for i := 0; i < s.Len(); i++ {
-		out.MustAppend(s.Cube(i).Slice(0, w))
+		if err := out.Append(s.Cube(i).Slice(0, w)); err != nil {
+			return nil, err
+		}
 	}
-	return out
+	return out, nil
 }
 
 func lcmAll(vs []int) int {
@@ -315,7 +323,9 @@ func splitForBank(s *tcube.Set, m, k int) ([]*tcube.Set, error) {
 			if err != nil {
 				return nil, err
 			}
-			out[g].MustAppend(vert)
+			if err := out[g].Append(vert); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return out, nil

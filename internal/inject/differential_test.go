@@ -3,6 +3,7 @@ package inject_test
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
 	"testing"
 
@@ -61,7 +62,7 @@ func TestDifferentialContainer(t *testing.T) {
 		t.Fatal(err)
 	}
 	lim := robust.DecodeLimits{MaxPatterns: 1 << 12, MaxWidth: 1 << 12, MaxPayloadBytes: 1 << 16}
-	for _, magic := range []string{container.Magic, container.MagicV2, container.MagicV1} {
+	for _, magic := range []string{container.Magic4, container.Magic, container.MagicV2, container.MagicV1} {
 		var buf bytes.Buffer
 		if err := container.WriteVersion(&buf, r, magic); err != nil {
 			t.Fatal(err)
@@ -123,6 +124,89 @@ func TestDifferentialCoreStream(t *testing.T) {
 		return err
 	})
 	report(t, "DecodeCube", cube)
+}
+
+// TestDifferentialStreamDecoder mutates the raw T_E stream and drives
+// it through the block-at-a-time StreamDecoder: every mutant must end
+// in a clean EOF or a taxonomy error, never a panic, and never more
+// patterns than the limit admits.
+func TestDifferentialStreamDecoder(t *testing.T) {
+	set := randomSet("stream", 10, 48, 23)
+	cdc, err := core.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cdc.EncodeSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := robust.DecodeLimits{MaxPatterns: 1 << 10, MaxWidth: 1 << 12}
+	fails := inject.CubeCampaign(r.Stream, mutationsPerDecoder, 8000, func(c *bitvec.Cube) error {
+		dec, err := cdc.NewStreamDecoder(core.NewCubeSource(c), set.Width(), lim)
+		if err != nil {
+			return err
+		}
+		for {
+			_, err := dec.ReadPattern()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if dec.Patterns() > 1<<10 {
+				return fmt.Errorf("stream decoder ran past the pattern limit")
+			}
+		}
+	})
+	report(t, "StreamDecoder", fails)
+}
+
+// TestDifferentialChunkReader mutates a chunked v4 container and pulls
+// it through the incremental ChunkReader + StreamDecoder pipeline (the
+// path ninecd serves), not just the whole-container read.
+func TestDifferentialChunkReader(t *testing.T) {
+	set := randomSet("chunk", 14, 40, 29)
+	cdc, err := core.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cdc.EncodeSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := container.WriteVersion(&buf, r, container.Magic4); err != nil {
+		t.Fatal(err)
+	}
+	lim := robust.DecodeLimits{MaxPatterns: 1 << 10, MaxWidth: 1 << 12, MaxPayloadBytes: 1 << 16}
+	decode := func(b []byte) error {
+		cr, err := container.NewChunkReader(bytes.NewReader(b), lim)
+		if err != nil {
+			return err
+		}
+		c, err := core.NewWithAssignment(cr.Header().K, cr.Header().Assign)
+		if err != nil {
+			return err
+		}
+		dec, err := c.NewStreamDecoder(cr, cr.Header().Width, lim)
+		if err != nil {
+			return err
+		}
+		for {
+			_, err := dec.ReadPattern()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	body := inject.ByteCampaign(buf.Bytes(), mutationsPerDecoder*7/10, 10000, decode)
+	report(t, "chunked body", body)
+	hdr := inject.HeaderCampaign(buf.Bytes(), 28, mutationsPerDecoder*3/10, 11000, decode)
+	report(t, "chunked header", hdr)
 }
 
 // TestDifferentialCodecs mutates each baseline codec's compressed

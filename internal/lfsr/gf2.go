@@ -1,5 +1,7 @@
 package lfsr
 
+import "fmt"
+
 // Row is a GF(2) linear combination over up to 64·len(Row) variables,
 // packed 64 per word (variable v lives in word v/64, bit v%64).
 type Row []uint64
@@ -29,10 +31,11 @@ func (r Row) isZero() bool {
 // SolveGF2 solves the linear system rows·x = rhs over GF(2) by
 // Gaussian elimination. nvars bounds the variable count. It returns a
 // solution (free variables set to 0) and ok=false when the system is
-// inconsistent.
-func SolveGF2(rows []Row, rhs []bool, nvars int) ([]bool, bool) {
+// inconsistent. A rows/rhs length mismatch is an error, not a panic:
+// the system shape can derive from caller-supplied cube data.
+func SolveGF2(rows []Row, rhs []bool, nvars int) ([]bool, bool, error) {
 	if len(rows) != len(rhs) {
-		panic("lfsr: rows/rhs length mismatch")
+		return nil, false, fmt.Errorf("lfsr: %d rows but %d right-hand sides", len(rows), len(rhs))
 	}
 	// Work on copies.
 	m := make([]Row, len(rows))
@@ -72,12 +75,12 @@ func SolveGF2(rows []Row, rhs []bool, nvars int) ([]bool, bool) {
 	// Inconsistency: zero row with nonzero rhs.
 	for i := rank; i < len(m); i++ {
 		if m[i].isZero() && b[i] {
-			return nil, false
+			return nil, false, nil
 		}
 	}
 	x := make([]bool, nvars)
 	for p, col := range pivotCol {
 		x[col] = b[pivotOf[p]]
 	}
-	return x, true
+	return x, true, nil
 }

@@ -114,21 +114,25 @@ func TestSolveGF2Known(t *testing.T) {
 	r0.setBit(1)
 	r1 := make(Row, 1)
 	r1.setBit(1)
-	x, ok := SolveGF2([]Row{r0, r1}, []bool{true, true}, 2)
-	if !ok || x[0] || !x[1] {
-		t.Fatalf("solution = %v ok=%v", x, ok)
+	x, ok, err := SolveGF2([]Row{r0, r1}, []bool{true, true}, 2)
+	if err != nil || !ok || x[0] || !x[1] {
+		t.Fatalf("solution = %v ok=%v err=%v", x, ok, err)
 	}
 	// Inconsistent: x0 = 0 and x0 = 1.
 	ra := make(Row, 1)
 	ra.setBit(0)
 	rb := make(Row, 1)
 	rb.setBit(0)
-	if _, ok := SolveGF2([]Row{ra, rb}, []bool{false, true}, 2); ok {
-		t.Fatal("inconsistent system solved")
+	if _, ok, err := SolveGF2([]Row{ra, rb}, []bool{false, true}, 2); ok || err != nil {
+		t.Fatalf("inconsistent system solved (err %v)", err)
 	}
 	// Redundant consistent rows.
-	if _, ok := SolveGF2([]Row{ra, rb}, []bool{true, true}, 2); !ok {
-		t.Fatal("redundant system rejected")
+	if _, ok, err := SolveGF2([]Row{ra, rb}, []bool{true, true}, 2); !ok || err != nil {
+		t.Fatalf("redundant system rejected (err %v)", err)
+	}
+	// Shape mismatch is an error, not a panic.
+	if _, _, err := SolveGF2([]Row{ra}, []bool{true, false}, 2); err == nil {
+		t.Fatal("rows/rhs mismatch accepted")
 	}
 }
 
@@ -158,8 +162,8 @@ func TestSolveGF2Property(t *testing.T) {
 			}
 			rhs[i] = v
 		}
-		x, ok := SolveGF2(rows, rhs, nvars)
-		if !ok {
+		x, ok, err := SolveGF2(rows, rhs, nvars)
+		if err != nil || !ok {
 			return false // consistent by construction
 		}
 		// Any returned solution must satisfy every row.

@@ -102,7 +102,10 @@ func (r *Reseeder) EncodeSet(s *tcube.Set) (*Result, error) {
 				rhs = append(rhs, true)
 			}
 		}
-		x, ok := SolveGF2(rows, rhs, r.L)
+		x, ok, err := SolveGF2(rows, rhs, r.L)
+		if err != nil {
+			return nil, err
+		}
 		if !ok {
 			out.Unsolvable++
 			continue

@@ -130,7 +130,9 @@ func Apply(s *tcube.Set, perm []int) (*tcube.Set, error) {
 		for p, old := range perm {
 			dst.Set(p, src.Get(old))
 		}
-		out.MustAppend(dst)
+		if err := out.Append(dst); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
