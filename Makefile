@@ -1,13 +1,14 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race bench bench-json bench-campaign campaign-smoke telemetry-smoke serve-smoke overhead-guard fuzz-smoke vuln
+.PHONY: check fmt vet build test race bench bench-json bench-gate bench-campaign campaign-smoke telemetry-smoke serve-smoke overhead-guard fuzz-smoke vuln
 
 ## check: the full pre-merge gate — formatting, vet, build, race tests,
 ## the campaign-equivalence smoke, telemetry smoke, the ninecd serving
 ## smoke, the disabled-telemetry overhead guard, a short fuzz pass over
-## every hostile-input decoder, and (when installed) govulncheck.
-check: fmt vet build race campaign-smoke telemetry-smoke serve-smoke overhead-guard fuzz-smoke vuln
+## every hostile-input decoder, the bench regression gate over the two
+## newest snapshots, and (when installed) govulncheck.
+check: fmt vet build race campaign-smoke telemetry-smoke serve-smoke overhead-guard fuzz-smoke bench-gate vuln
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -42,6 +43,14 @@ bench-json:
 	{ $(GO) test -bench 'Encode|Decode|Classify' -run XXX -benchtime 1s ./internal/core/; \
 	  $(GO) test -bench 'Campaign' -run XXX -benchtime 1s ./internal/faultsim/; } \
 		| $(GO) run ./cmd/benchjson -dir .
+
+## bench-gate: diff the newest two BENCH_*.json snapshots and fail on
+## >10% ns/op regression in the hot-path metrics (EncodeSet*,
+## DecodeSet*, EncodeCube, DecodeCube, Classify, Campaign). Skips
+## gracefully when fewer than two snapshots exist or the snapshots
+## come from different hardware, so fresh clones still pass.
+bench-gate:
+	$(GO) run ./cmd/benchjson -gate -dir .
 
 ## campaign-smoke: prove a parallel collapsed campaign reports coverage
 ## bit-identical to the serial uncollapsed per-fault reference.

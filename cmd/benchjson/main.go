@@ -8,6 +8,7 @@
 //	go test -bench ... | benchjson -dir .   # write BENCH_<stamp>.json
 //	benchjson -validate BENCH_*.json        # validate snapshot files
 //	ninec -json ... | benchjson -checkjson  # validate a JSON value stream
+//	benchjson -gate -dir .                  # fail on hot-path regression
 package main
 
 import (
@@ -17,17 +18,29 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"regexp"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/obs"
 )
+
+// gateDefaultMatch selects the hot-path metrics the regression gate
+// guards: the serving-path encode/decode benchmarks (including the
+// per-K kernel variants), block classification, and the fault-sim
+// campaign. Cold-path and setup benchmarks are deliberately excluded
+// so the gate stays low-noise.
+const gateDefaultMatch = `^Benchmark(EncodeSet|DecodeSet|EncodeCube|DecodeCube|Classify|Campaign)`
 
 func main() {
 	dir := flag.String("dir", ".", "directory receiving the BENCH_<stamp>.json snapshot")
 	stamp := flag.String("stamp", "", "override the snapshot stamp (default: current UTC time)")
 	validate := flag.Bool("validate", false, "validate the snapshot files given as arguments instead of writing one")
 	checkJSON := flag.Bool("checkjson", false, "require stdin to be a non-empty stream of valid JSON values")
+	gate := flag.Bool("gate", false, "diff the newest two BENCH_*.json in -dir and fail on hot-path regression")
+	gateThreshold := flag.Float64("gate-threshold", 10, "ns/op regression percentage the gate tolerates")
+	gateMatch := flag.String("gate-match", gateDefaultMatch, "regexp selecting the benchmark names the gate checks")
 	flag.Parse()
 
 	var err error
@@ -36,6 +49,8 @@ func main() {
 		err = runValidate(flag.Args())
 	case *checkJSON:
 		err = runCheckJSON(os.Stdin)
+	case *gate:
+		err = runGate(os.Stderr, *dir, *gateThreshold, *gateMatch)
 	default:
 		err = runSnapshot(os.Stdin, *dir, *stamp)
 	}
@@ -55,8 +70,9 @@ func runSnapshot(r io.Reader, dir, stamp string) error {
 	if len(snap.Results) == 0 {
 		return fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench` output in)")
 	}
-	if stamp == "" {
-		stamp = time.Now().UTC().Format(obs.BenchStampLayout)
+	stamp, path, err := resolveSnapshotPath(dir, stamp)
+	if err != nil {
+		return err
 	}
 	snap.Schema = obs.BenchSchema
 	snap.Stamp = stamp
@@ -71,7 +87,6 @@ func runSnapshot(r io.Reader, dir, stamp string) error {
 	if err := snap.Validate(); err != nil {
 		return err
 	}
-	path := filepath.Join(dir, "BENCH_"+stamp+".json")
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -85,6 +100,126 @@ func runSnapshot(r io.Reader, dir, stamp string) error {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d results)\n", path, len(snap.Results))
 	return nil
+}
+
+// resolveSnapshotPath picks a collision-free snapshot path. The stamp
+// IS the filename (BENCH_<stamp>.json — the repo's snapshot tests pin
+// that equality), so disambiguation must move the stamp, not suffix
+// the name: an auto-generated stamp that collides with an existing
+// file is bumped forward one second until free, while an explicit
+// -stamp collision is an error — the caller asked for that exact
+// stamp, silently rewriting history under it is the bug this guards
+// against.
+func resolveSnapshotPath(dir, stamp string) (string, string, error) {
+	explicit := stamp != ""
+	if !explicit {
+		stamp = time.Now().UTC().Format(obs.BenchStampLayout)
+	}
+	for {
+		path := filepath.Join(dir, "BENCH_"+stamp+".json")
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return stamp, path, nil
+		} else if err != nil {
+			return "", "", err
+		}
+		if explicit {
+			return "", "", fmt.Errorf("snapshot %s already exists (explicit -stamp %s; refusing to overwrite)", path, stamp)
+		}
+		t, err := time.Parse(obs.BenchStampLayout, stamp)
+		if err != nil {
+			return "", "", fmt.Errorf("internal: bad generated stamp %q: %w", stamp, err)
+		}
+		stamp = t.Add(time.Second).Format(obs.BenchStampLayout)
+	}
+}
+
+// runGate diffs the newest two BENCH_*.json snapshots in dir and fails
+// when any gate-matched benchmark regressed by more than threshold
+// percent in ns/op. Situations where a comparison would be
+// meaningless — fewer than two snapshots, or snapshots taken on a
+// different CPU or GOMAXPROCS — skip gracefully (exit 0 with a
+// message) so fresh clones and migrated machines don't break `make
+// check`.
+func runGate(w io.Writer, dir string, threshold float64, match string) error {
+	re, err := regexp.Compile(match)
+	if err != nil {
+		return fmt.Errorf("-gate-match: %w", err)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	// The stamp layout makes lexicographic order chronological.
+	sort.Strings(paths)
+	if len(paths) < 2 {
+		fmt.Fprintf(w, "benchjson: gate skipped: %d snapshot(s) in %s, need 2\n", len(paths), dir)
+		return nil
+	}
+	prevPath, curPath := paths[len(paths)-2], paths[len(paths)-1]
+	prev, err := readSnapshotFile(prevPath)
+	if err != nil {
+		return err
+	}
+	cur, err := readSnapshotFile(curPath)
+	if err != nil {
+		return err
+	}
+	if prev.CPU != cur.CPU || prev.GOMAXPROCS != cur.GOMAXPROCS {
+		fmt.Fprintf(w, "benchjson: gate skipped: environment changed between %s (cpu %q, procs %d) and %s (cpu %q, procs %d)\n",
+			filepath.Base(prevPath), prev.CPU, prev.GOMAXPROCS,
+			filepath.Base(curPath), cur.CPU, cur.GOMAXPROCS)
+		return nil
+	}
+
+	base := make(map[string]obs.BenchResult, len(prev.Results))
+	for _, r := range prev.Results {
+		base[r.Name] = r
+	}
+	compared, regressed := 0, 0
+	for _, r := range cur.Results {
+		if !re.MatchString(r.Name) {
+			continue
+		}
+		p, ok := base[r.Name]
+		if !ok {
+			continue // new benchmark: nothing to regress against
+		}
+		compared++
+		delta := (r.NsPerOp - p.NsPerOp) / p.NsPerOp * 100
+		if delta > threshold {
+			regressed++
+			fmt.Fprintf(w, "benchjson: REGRESSION %s: %.0f ns/op -> %.0f ns/op (%+.1f%%, limit %+.1f%%)\n",
+				r.Name, p.NsPerOp, r.NsPerOp, delta, threshold)
+		} else {
+			fmt.Fprintf(w, "benchjson: ok %s: %.0f ns/op -> %.0f ns/op (%+.1f%%)\n",
+				r.Name, p.NsPerOp, r.NsPerOp, delta)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintf(w, "benchjson: gate skipped: no benchmarks matching %q in both snapshots\n", match)
+		return nil
+	}
+	if regressed > 0 {
+		return fmt.Errorf("gate: %d of %d hot-path benchmark(s) regressed >%.1f%% between %s and %s",
+			regressed, compared, threshold, filepath.Base(prevPath), filepath.Base(curPath))
+	}
+	fmt.Fprintf(w, "benchjson: gate passed: %d hot-path benchmark(s) within %.1f%% (%s vs %s)\n",
+		compared, threshold, filepath.Base(curPath), filepath.Base(prevPath))
+	return nil
+}
+
+// readSnapshotFile opens and schema-validates one snapshot.
+func readSnapshotFile(path string) (*obs.BenchSnapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	snap, err := obs.ReadBenchSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
 }
 
 // runValidate checks each named snapshot file against the schema.

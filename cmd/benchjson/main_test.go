@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 
+	"time"
+
 	"repro/internal/obs"
 )
 
@@ -82,6 +84,189 @@ func TestRunValidate(t *testing.T) {
 	if err := runValidate(nil); err == nil {
 		t.Error("empty argument list accepted")
 	}
+}
+
+// TestResolveSnapshotCollision pins the stamp-collision fix: two runs
+// landing in the same second must not silently overwrite each other.
+// Auto stamps bump forward one second until free (the filename must
+// stay BENCH_<stamp>.json, so the stamp moves, not a suffix); an
+// explicit -stamp collision is a refusal.
+func TestResolveSnapshotCollision(t *testing.T) {
+	dir := t.TempDir()
+	stamp := "20260807T090000Z"
+	if err := runSnapshot(strings.NewReader(benchOutput), dir, stamp); err != nil {
+		t.Fatalf("first runSnapshot: %v", err)
+	}
+
+	// Explicit stamp collision: error, file untouched.
+	before, err := os.ReadFile(filepath.Join(dir, "BENCH_"+stamp+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runSnapshot(strings.NewReader(benchOutput), dir, stamp); err == nil {
+		t.Fatal("explicit -stamp collision accepted")
+	} else if !strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("collision error %q does not name the conflict", err)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, "BENCH_"+stamp+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("explicit collision rewrote the existing snapshot")
+	}
+
+	// Auto stamp collision: bumps one second forward until free.
+	got, path, err := resolveSnapshotPath(dir, "")
+	if err != nil {
+		t.Fatalf("resolveSnapshotPath: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("resolved path %s is not free (stat err %v)", path, err)
+	}
+	if filepath.Base(path) != "BENCH_"+got+".json" {
+		t.Fatalf("path %s does not embed stamp %s", path, got)
+	}
+	// Occupy the resolved stamp and every stamp for the next few
+	// seconds; the next resolution must land past the occupied range.
+	occupied := make(map[string]bool)
+	cur := got
+	for i := 0; i < 5; i++ {
+		occupied[cur] = true
+		if err := os.WriteFile(filepath.Join(dir, "BENCH_"+cur+".json"), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ts, err := time.Parse(obs.BenchStampLayout, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = ts.Add(time.Second).Format(obs.BenchStampLayout)
+	}
+	bumped, _, err := resolveSnapshotPath(dir, "")
+	if err != nil {
+		t.Fatalf("resolveSnapshotPath after occupation: %v", err)
+	}
+	if occupied[bumped] {
+		t.Fatalf("resolved stamp %s collides with an existing snapshot", bumped)
+	}
+	if len(bumped) != len(obs.BenchStampLayout) {
+		t.Fatalf("bumped stamp %q does not match layout", bumped)
+	}
+}
+
+// writeGateSnapshot writes a valid snapshot with the given stamp,
+// environment, and EncodeSet/Setup timings for gate tests.
+func writeGateSnapshot(t *testing.T, dir, stamp, cpu string, procs int, encodeNs, setupNs float64) {
+	t.Helper()
+	snap := &obs.BenchSnapshot{
+		Schema: obs.BenchSchema, Stamp: stamp,
+		GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64",
+		CPU: cpu, GOMAXPROCS: procs,
+		Results: []obs.BenchResult{
+			{Name: "BenchmarkEncodeSet", Iterations: 100, NsPerOp: encodeNs},
+			{Name: "BenchmarkEncodeSetK16", Iterations: 100, NsPerOp: encodeNs / 2},
+			{Name: "BenchmarkSetup", Iterations: 100, NsPerOp: setupNs},
+		},
+	}
+	f, err := os.Create(filepath.Join(dir, "BENCH_"+stamp+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := snap.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGate(t *testing.T) {
+	const cpu = "Example CPU @ 2.00GHz"
+	gate := func(dir string) (string, error) {
+		var buf strings.Builder
+		err := runGate(&buf, dir, 10, gateDefaultMatch)
+		return buf.String(), err
+	}
+
+	t.Run("skip on fewer than two snapshots", func(t *testing.T) {
+		dir := t.TempDir()
+		out, err := gate(dir)
+		if err != nil || !strings.Contains(out, "gate skipped") {
+			t.Fatalf("empty dir: err %v, out %q", err, out)
+		}
+		writeGateSnapshot(t, dir, "20260807T100000Z", cpu, 1, 1000, 1000)
+		out, err = gate(dir)
+		if err != nil || !strings.Contains(out, "gate skipped") {
+			t.Fatalf("one snapshot: err %v, out %q", err, out)
+		}
+	})
+
+	t.Run("pass within threshold", func(t *testing.T) {
+		dir := t.TempDir()
+		writeGateSnapshot(t, dir, "20260807T100000Z", cpu, 1, 1000, 1000)
+		writeGateSnapshot(t, dir, "20260807T100100Z", cpu, 1, 1050, 1000)
+		out, err := gate(dir)
+		if err != nil {
+			t.Fatalf("5%% drift failed the gate: %v\n%s", err, out)
+		}
+		if !strings.Contains(out, "gate passed") {
+			t.Fatalf("missing pass line in %q", out)
+		}
+	})
+
+	t.Run("fail beyond threshold", func(t *testing.T) {
+		dir := t.TempDir()
+		writeGateSnapshot(t, dir, "20260807T100000Z", cpu, 1, 1000, 1000)
+		writeGateSnapshot(t, dir, "20260807T100100Z", cpu, 1, 1250, 1000)
+		out, err := gate(dir)
+		if err == nil {
+			t.Fatalf("25%% regression passed the gate:\n%s", out)
+		}
+		if !strings.Contains(out, "REGRESSION BenchmarkEncodeSet") {
+			t.Fatalf("missing regression line in %q", out)
+		}
+	})
+
+	t.Run("cold-path regression ignored", func(t *testing.T) {
+		dir := t.TempDir()
+		writeGateSnapshot(t, dir, "20260807T100000Z", cpu, 1, 1000, 1000)
+		writeGateSnapshot(t, dir, "20260807T100100Z", cpu, 1, 1000, 9000)
+		if out, err := gate(dir); err != nil {
+			t.Fatalf("BenchmarkSetup regression tripped the gate: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("newest two chosen by stamp order", func(t *testing.T) {
+		dir := t.TempDir()
+		// Oldest has a fast time that would trip the gate if compared
+		// against; the newest two are within threshold of each other.
+		writeGateSnapshot(t, dir, "20260807T100000Z", cpu, 1, 500, 1000)
+		writeGateSnapshot(t, dir, "20260807T100100Z", cpu, 1, 1000, 1000)
+		writeGateSnapshot(t, dir, "20260807T100200Z", cpu, 1, 1040, 1000)
+		if out, err := gate(dir); err != nil {
+			t.Fatalf("gate compared against the wrong snapshot: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("skip on environment change", func(t *testing.T) {
+		dir := t.TempDir()
+		writeGateSnapshot(t, dir, "20260807T100000Z", cpu, 1, 1000, 1000)
+		writeGateSnapshot(t, dir, "20260807T100100Z", "Other CPU", 1, 9000, 1000)
+		out, err := gate(dir)
+		if err != nil || !strings.Contains(out, "environment changed") {
+			t.Fatalf("cpu change: err %v, out %q", err, out)
+		}
+		writeGateSnapshot(t, dir, "20260807T100200Z", "Other CPU", 8, 9000, 1000)
+		out, err = gate(dir)
+		if err != nil || !strings.Contains(out, "environment changed") {
+			t.Fatalf("procs change: err %v, out %q", err, out)
+		}
+	})
+
+	t.Run("bad match regexp", func(t *testing.T) {
+		var buf strings.Builder
+		if err := runGate(&buf, t.TempDir(), 10, "("); err == nil {
+			t.Fatal("invalid -gate-match accepted")
+		}
+	})
 }
 
 func TestRunCheckJSON(t *testing.T) {

@@ -8,15 +8,55 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
+	"sync"
 	"time"
 
+	"repro/internal/bitvec"
 	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/robust"
 	"repro/internal/tcube"
 )
+
+// defaultAssign is the canonical assignment, for deciding whether a
+// container's codec can come from the shared cache.
+var defaultAssign = core.DefaultAssignment()
+
+// codecCache reuses default-assignment codecs across requests; a Codec
+// is immutable after construction, so sharing is free. Keyed by K.
+// Frequency-directed codecs depend on per-request counts and are built
+// per request.
+var codecCache sync.Map // int -> *core.Codec
+
+// codecFor returns the shared default-assignment codec for block size
+// k, building it on first use. Invalid k errors without caching.
+func codecFor(k int) (*core.Codec, error) {
+	if c, ok := codecCache.Load(k); ok {
+		return c.(*core.Codec), nil
+	}
+	c, err := core.New(k)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := codecCache.LoadOrStore(k, c)
+	return actual.(*core.Codec), nil
+}
+
+// codecForAssign is codecFor when the assignment is the canonical one,
+// and a fresh build otherwise.
+func codecForAssign(k int, a core.Assignment) (*core.Codec, error) {
+	if a == defaultAssign {
+		return codecFor(k)
+	}
+	return core.NewWithAssignment(k, a)
+}
+
+// textBufPool recycles the per-row 01X emission buffers of the decode
+// handlers.
+var textBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // config carries the daemon's serving parameters; zero fields take the
 // defaults applied by newServer.
@@ -136,7 +176,15 @@ func (s *server) guard(name string, h func(http.ResponseWriter, *http.Request) e
 		defer func() {
 			if v := recover(); v != nil {
 				s.reg.Counter("ninecd." + name + ".panics").Inc()
-				http.Error(w, fmt.Sprintf("internal error: %v", v), http.StatusInternalServerError)
+				// The full panic value and stack go to telemetry only:
+				// recovered values can carry internal state (paths,
+				// addresses, config) that untrusted callers must never
+				// see, so the response body stays generic.
+				s.reg.Emit("panic", "ninecd."+name, map[string]any{
+					"value": fmt.Sprint(v),
+					"stack": string(debug.Stack()),
+				})
+				http.Error(w, "internal error", http.StatusInternalServerError)
 			}
 		}()
 
@@ -151,8 +199,12 @@ func (s *server) guard(name string, h func(http.ResponseWriter, *http.Request) e
 			http.Error(w, "worker pool saturated", http.StatusTooManyRequests)
 			return
 		case <-r.Context().Done():
-			s.reg.Counter("ninecd." + name + ".rejected").Inc()
-			http.Error(w, "client gave up in queue", http.StatusTooManyRequests)
+			// The client abandoned the request while it was queued.
+			// That is not pool pressure: no 429, no Retry-After (nobody
+			// is listening for the body anyway), and its own counter so
+			// saturation dashboards stay honest.
+			s.reg.Counter("ninecd." + name + ".client_gone").Inc()
+			http.Error(w, "client closed request while queued", http.StatusRequestTimeout)
 			return
 		}
 		s.reg.Gauge("ninecd.inflight").Add(1)
@@ -198,11 +250,16 @@ func (s *server) handleEncode(w http.ResponseWriter, r *http.Request) error {
 	if set == nil || set.Len() == 0 {
 		return fmt.Errorf("empty test set: %w", robust.ErrCorrupt)
 	}
-	cdc, err := core.New(k)
+	cdc, err := codecFor(k)
 	if err != nil {
 		return err
 	}
-	res, err := cdc.EncodeSetParallelCtx(r.Context(), set, 0)
+	// The pooled workspace keeps the kernel encode allocation-free per
+	// request; res aliases ws, which stays checked out until the
+	// container has been written.
+	ws := core.GetWorkspace()
+	defer ws.Release()
+	res, err := cdc.EncodeSetWSCtx(r.Context(), ws, set)
 	if err != nil {
 		return err
 	}
@@ -213,7 +270,7 @@ func (s *server) handleEncode(w http.ResponseWriter, r *http.Request) error {
 		if err != nil {
 			return err
 		}
-		if res, err = cdc.EncodeSetParallelCtx(r.Context(), set, 0); err != nil {
+		if res, err = cdc.EncodeSetWSCtx(r.Context(), ws, set); err != nil {
 			return err
 		}
 	}
@@ -245,22 +302,59 @@ func (s *server) handleDecode(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	cdc, err := core.NewWithAssignment(res.K, res.Assign)
+	cdc, err := codecForAssign(res.K, res.Assign)
 	if err != nil {
 		return err
 	}
-	set, cube, err := cdc.Decode(res)
+	// Decode into the pooled workspace's flat row buffer and emit the
+	// 01X text straight from the packed planes: the steady state of the
+	// buffered decode path allocates nothing per request beyond what
+	// container parsing itself needs.
+	width, patterns := res.Width, res.Patterns
+	if patterns == 0 && width == 0 {
+		// Bare-cube container: one row of the cube's full length.
+		width, patterns = res.OrigBits, 1
+		if res.OrigBits == 0 {
+			width, patterns = 0, 0
+		}
+	}
+	ws := core.GetWorkspace()
+	defer ws.Release()
+	flat, err := cdc.DecodeSetFlatWS(ws, res.Stream, width, patterns)
 	if err != nil {
 		return err
 	}
-	if set == nil {
-		if set, err = tcube.FromFlat(res.Name, cube, cube.Len()); err != nil {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	return writeSetText(w, res.Name, flat, patterns, width, cdc.RowBits(width))
+}
+
+// writeSetText emits the 01X text of patterns stored rowBits apart in
+// flat, byte-identical to tcube.Set.Write, reusing one pooled row
+// buffer for the whole response.
+func writeSetText(w io.Writer, name string, flat *bitvec.Cube, patterns, width, rowBits int) error {
+	xcount := 0
+	for i := 0; i < patterns; i++ {
+		xcount += flat.XIn(i*rowBits, i*rowBits+width)
+	}
+	xp := 0.0
+	if patterns*width > 0 {
+		xp = 100 * float64(xcount) / float64(patterns*width)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# test set %s: %d patterns x %d bits, %.2f%% X\n",
+		name, patterns, width, xp)
+	bufp := textBufPool.Get().(*[]byte)
+	defer textBufPool.Put(bufp)
+	for i := 0; i < patterns; i++ {
+		*bufp = flat.AppendTextRange((*bufp)[:0], i*rowBits, i*rowBits+width)
+		if _, err := bw.Write(*bufp); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
 			return err
 		}
 	}
-	set.Name = res.Name
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	return set.Write(w)
+	return bw.Flush()
 }
 
 // decodeChunked is the verify-and-emit path for v4 containers.
@@ -284,6 +378,8 @@ func (s *server) decodeChunked(w http.ResponseWriter, r *http.Request, body io.R
 	// committed: a later fault terminates the body with a '#' comment
 	// the 01X parser ignores-but-a-human sees, plus the fault counter.
 	var bw *bufio.Writer
+	bufp := textBufPool.Get().(*[]byte)
+	defer textBufPool.Put(bufp)
 	ctx := r.Context()
 	for {
 		if err := ctx.Err(); err != nil {
@@ -310,7 +406,8 @@ func (s *server) decodeChunked(w http.ResponseWriter, r *http.Request, body io.R
 			w.Header().Set("X-Set-Name", h.Name)
 			bw = bufio.NewWriter(w)
 		}
-		if _, err := bw.WriteString(p.String()); err != nil {
+		*bufp = p.AppendTextRange((*bufp)[:0], 0, p.Len())
+		if _, err := bw.Write(*bufp); err != nil {
 			return nil // client went away; nothing useful left to do
 		}
 		if err := bw.WriteByte('\n'); err != nil {

@@ -3,7 +3,6 @@ package bitvec
 import (
 	"fmt"
 	"math/rand"
-	"strings"
 )
 
 // Trit is a ternary test-data digit: 0, 1 or X (unspecified).
@@ -206,12 +205,7 @@ func (c *Cube) FillAdjacent() *Cube {
 
 // String renders the cube as a string over {0,1,X}.
 func (c *Cube) String() string {
-	var sb strings.Builder
-	sb.Grow(c.Len())
-	for i := 0; i < c.Len(); i++ {
-		sb.WriteString(c.Get(i).String())
-	}
-	return sb.String()
+	return string(c.AppendTextRange(make([]byte, 0, c.Len()), 0, c.Len()))
 }
 
 // ParseCube parses a string over {0,1,x,X,-} ('-' is the ATPG-community

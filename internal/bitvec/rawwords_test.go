@@ -1,0 +1,147 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mixedCube returns an n-trit cube with mixed 0/1/X content.
+func mixedCube(rng *rand.Rand, n int) *Cube {
+	c := NewCube(n)
+	for i := 0; i < n; i++ {
+		c.Set(i, Trit(rng.Intn(3)))
+	}
+	return c
+}
+
+func TestRawWordsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 63, 64, 65, 130, 1000} {
+		c := mixedCube(rng, n)
+		care, val := c.RawWords()
+		if len(care) != wordsFor(n) || len(val) != wordsFor(n) {
+			t.Fatalf("n=%d: plane lengths %d/%d, want %d", n, len(care), len(val), wordsFor(n))
+		}
+		for i := 0; i < n; i++ {
+			cb := care[i/wordBits]>>(uint(i)%wordBits)&1 == 1
+			vb := val[i/wordBits]>>(uint(i)%wordBits)&1 == 1
+			var want Trit
+			switch {
+			case !cb:
+				want = X
+			case vb:
+				want = One
+			default:
+				want = Zero
+			}
+			if c.Get(i) != want {
+				t.Fatalf("n=%d: trit %d = %v, planes say %v", n, i, c.Get(i), want)
+			}
+		}
+		// Tail bits beyond n must read zero (the kernel padding rule).
+		if rem := uint(n % wordBits); rem != 0 {
+			mask := ^(uint64(1)<<rem - 1)
+			if care[len(care)-1]&mask != 0 || val[len(val)-1]&mask != 0 {
+				t.Fatalf("n=%d: tail bits beyond length are set", n)
+			}
+		}
+	}
+}
+
+func TestCubeOfWordsAliasesAndCopyOwns(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	src := mixedCube(rng, 200)
+	care, val := src.RawWords()
+
+	alias := CubeOfWords(200, care, val)
+	if !alias.Equal(src) {
+		t.Fatal("CubeOfWords differs from source")
+	}
+
+	copied := NewCubeCopyWords(200, care, val)
+	if !copied.Equal(src) {
+		t.Fatal("NewCubeCopyWords differs from source")
+	}
+	// Mutating the source planes changes the alias but not the copy.
+	src.Set(5, One)
+	if alias.Get(5) != One {
+		t.Fatal("alias did not track source mutation")
+	}
+	if copied.Get(5) == One && src.Get(5) == One && copied.Get(5) == src.Get(5) {
+		// Only fails if the copy aliased the planes; re-check directly.
+		cw, _ := copied.RawWords()
+		sw, _ := src.RawWords()
+		if &cw[0] == &sw[0] {
+			t.Fatal("NewCubeCopyWords aliased the source planes")
+		}
+	}
+}
+
+func TestNewCubeCopyWordsRepairsInvariants(t *testing.T) {
+	// Hostile planes: val bits without care, junk beyond the length.
+	care := []uint64{0x0f}
+	val := []uint64{^uint64(0)}
+	c := NewCubeCopyWords(6, care, val)
+	for i := 0; i < 4; i++ {
+		if c.Get(i) != One {
+			t.Fatalf("trit %d = %v, want One", i, c.Get(i))
+		}
+	}
+	for i := 4; i < 6; i++ {
+		if c.Get(i) != X {
+			t.Fatalf("trit %d = %v, want X (val masked to care)", i, c.Get(i))
+		}
+	}
+	cw, vw := c.RawWords()
+	if cw[0]&^0x3f != 0 || vw[0]&^0x3f != 0 {
+		t.Fatal("tail bits beyond length not cleared")
+	}
+}
+
+func TestResetWordsZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := mixedCube(rng, 300)
+	care, val := src.RawWords()
+	cube := CubeOfWords(0, nil, nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		cube.ResetWords(300, care, val)
+	})
+	if allocs != 0 {
+		t.Fatalf("ResetWords allocated %v per run", allocs)
+	}
+	if !cube.Equal(src) {
+		t.Fatal("ResetWords cube differs from source")
+	}
+	cube.ResetWords(64, care, val)
+	if cube.Len() != 64 || !cube.Slice(0, 64).Equal(src.Slice(0, 64)) {
+		t.Fatal("ResetWords to a shorter length is wrong")
+	}
+}
+
+func TestAppendTextRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{0, 1, 64, 65, 257} {
+		c := mixedCube(rng, n)
+		got := string(c.AppendTextRange(nil, 0, n))
+		if got != c.String() {
+			t.Fatalf("n=%d: AppendTextRange %q != String %q", n, got, c.String())
+		}
+		// Past-end positions render as X.
+		if n > 2 {
+			got = string(c.AppendTextRange([]byte("p:"), n-1, n+2))
+			want := "p:" + c.Get(n-1).String() + "XX"
+			if got != want {
+				t.Fatalf("n=%d: padded range %q, want %q", n, got, want)
+			}
+		}
+	}
+	// Reused destination: zero allocations once grown.
+	c := mixedCube(rng, 512)
+	buf := make([]byte, 0, 600)
+	allocs := testing.AllocsPerRun(50, func() {
+		buf = c.AppendTextRange(buf[:0], 0, 512)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendTextRange with reused buffer allocated %v per run", allocs)
+	}
+}

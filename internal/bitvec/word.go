@@ -1,5 +1,7 @@
 package bitvec
 
+import "fmt"
+
 // Word-level primitives shared by the 9C hot path: 64-trit reads and
 // writes at arbitrary bit offsets, constant-run fills, single-pass
 // half-block compatibility tests, and an appending CubeBuilder. These
@@ -157,6 +159,106 @@ func (c *Cube) Compat(lo, hi int) (zeroOK, oneOK bool) {
 		}
 	}
 	return
+}
+
+// RawWords exposes the cube's packed planes for word-at-a-time readers
+// (the 9C per-K kernels): bit i of word i/64 is the care/val bit of
+// trit i, and bits at or beyond Len() are zero. The slices alias the
+// cube's storage and MUST NOT be modified; writers go through
+// WriteWord/SetRun or a CubeBuilder instead.
+func (c *Cube) RawWords() (care, val []uint64) {
+	return c.care.words, c.val.words
+}
+
+// wordsFor returns the number of 64-bit words backing n trits.
+func wordsFor(n int) int { return (n + wordBits - 1) / wordBits }
+
+// CubeOfWords wraps packed care/val planes as an n-trit cube without
+// copying: the cube aliases the slices, whose length must be at least
+// ⌈n/64⌉ words. The caller guarantees the plane invariants — val ⊆
+// care, and every bit at position ≥ n zero — which the 9C kernel
+// writers maintain by construction. For untrusted planes use
+// NewCubeCopyWords, which re-establishes both invariants.
+func CubeOfWords(n int, care, val []uint64) *Cube {
+	words := wordsFor(n)
+	if n < 0 || len(care) < words || len(val) < words {
+		panic("bitvec: CubeOfWords planes shorter than length")
+	}
+	return &Cube{
+		care: &Bits{n: n, words: care[:words:words]},
+		val:  &Bits{n: n, words: val[:words:words]},
+	}
+}
+
+// ResetWords repoints an existing cube at new packed planes in place,
+// allocating nothing: the zero-allocation steady-state counterpart of
+// CubeOfWords, used by reusable codec workspaces. The same aliasing and
+// invariant contract applies.
+func (c *Cube) ResetWords(n int, care, val []uint64) {
+	words := wordsFor(n)
+	if n < 0 || len(care) < words || len(val) < words {
+		panic("bitvec: ResetWords planes shorter than length")
+	}
+	c.care.n, c.care.words = n, care[:words:words]
+	c.val.n, c.val.words = n, val[:words:words]
+}
+
+// NewCubeCopyWords returns an n-trit cube holding a copy of the low n
+// bits of the packed planes. Unlike CubeOfWords it owns its storage and
+// re-establishes the invariants itself: val is masked to care and the
+// tail bits of the last word are cleared.
+func NewCubeCopyWords(n int, care, val []uint64) *Cube {
+	words := wordsFor(n)
+	if n < 0 || len(care) < words || len(val) < words {
+		panic("bitvec: NewCubeCopyWords planes shorter than length")
+	}
+	cw := make([]uint64, words)
+	vw := make([]uint64, words)
+	copy(cw, care[:words])
+	copy(vw, val[:words])
+	for i := range vw {
+		vw[i] &= cw[i]
+	}
+	c := &Cube{
+		care: &Bits{n: n, words: cw},
+		val:  &Bits{n: n, words: vw},
+	}
+	c.care.clip()
+	c.val.clip()
+	return c
+}
+
+// AppendTextRange appends the 01X text of trits [lo, hi) to dst and
+// returns the extended slice, reading the planes a word at a time.
+// Positions beyond the cube end render as X (the padding rule). It is
+// the zero-allocation emission path of the ninecd decode handlers: with
+// a reused dst there is no per-call allocation once dst has grown to
+// the row width.
+func (c *Cube) AppendTextRange(dst []byte, lo, hi int) []byte {
+	if lo < 0 || hi < lo {
+		panic(fmt.Sprintf("bitvec: invalid text range [%d,%d)", lo, hi))
+	}
+	for off := lo; off < hi; {
+		n := hi - off
+		if n > wordBits {
+			n = wordBits
+		}
+		care, val := c.ReadWord(off)
+		for j := 0; j < n; j++ {
+			switch {
+			case care&1 == 0:
+				dst = append(dst, 'X')
+			case val&1 == 1:
+				dst = append(dst, '1')
+			default:
+				dst = append(dst, '0')
+			}
+			care >>= 1
+			val >>= 1
+		}
+		off += n
+	}
+	return dst
 }
 
 // CubeBuilder accumulates a cube by appending trits at the tail, whole

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitvec"
@@ -37,6 +38,17 @@ type Codec struct {
 	assign Assignment
 	packed [NumCases]packedCode // codewords packed for word appending
 	table  *decodeTable         // codeword trie, immutable after construction
+
+	// Per-K kernel state (see kernel.go); kenc/kdec stay nil for block
+	// sizes without a specialized kernel and the generic path runs.
+	kcodes   [NumCases]kernelCode
+	kenc     kernelEncode
+	kdec     kernelDecode
+	kc1      kernelCode // 64/K C1 codewords packed as one append
+	kc1ok    bool
+	maxCode  int      // longest codeword length
+	klut     []uint16 // flat codeword LUT, nil when maxCode > maxLUTBits
+	klutMask uint64
 }
 
 // New returns a Codec for block size k with the default codeword
@@ -55,7 +67,9 @@ func NewWithAssignment(k int, a Assignment) (*Codec, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
-	return &Codec{k: k, assign: a, packed: packAssignment(a), table: newDecodeTable(a)}, nil
+	c := &Codec{k: k, assign: a, packed: packAssignment(a), table: newDecodeTable(a)}
+	c.initKernel()
+	return c, nil
 }
 
 // K returns the block size.
@@ -121,12 +135,21 @@ func (c *Codec) encodeBlock(flat *bitvec.Cube, off int, w *cubeWriter) Case {
 func (c *Codec) EncodeCube(flat *bitvec.Cube) (*Result, error) {
 	sp := obs.Active().Span("core.encode_cube")
 	blocks := (flat.Len() + c.k - 1) / c.k
-	w := newCubeWriter(flat.Len() + blocks*2)
 	var counts Counts
-	for b := 0; b < blocks; b++ {
-		counts.Add(c.encodeBlock(flat, b*c.k, w))
+	var stream *bitvec.Cube
+	if c.hasKernel() {
+		var w kernelWriter
+		w.reset(c.worstBits(blocks))
+		care, val := flat.RawWords()
+		c.kenc(c, care, val, blocks, &w, &counts)
+		stream = w.take()
+	} else {
+		w := newCubeWriter(flat.Len() + blocks*2)
+		for b := 0; b < blocks; b++ {
+			counts.Add(c.encodeBlock(flat, b*c.k, w))
+		}
+		stream = w.cube()
 	}
-	stream := w.cube()
 	r := &Result{
 		K: c.k, Assign: c.assign, Stream: stream, Counts: counts,
 		OrigBits: flat.Len(), Blocks: blocks, LeftoverX: stream.XCount(),
@@ -150,15 +173,44 @@ func (c *Codec) encodePatterns(s *tcube.Set, lo, hi int, w *cubeWriter) Counts {
 	return counts
 }
 
+// encodeChunk encodes patterns [lo,hi) of s into a fresh stream cube,
+// through the per-K kernel when one is installed. It is the shared
+// inner engine of EncodeSet, the ctx-checked serial encode, and the
+// EncodeSetParallel workers; a non-cancellable ctx (Done() == nil)
+// costs nothing extra.
+func (c *Codec) encodeChunk(ctx context.Context, s *tcube.Set, lo, hi int) (*bitvec.Cube, Counts, error) {
+	blocksPer := (s.Width() + c.k - 1) / c.k
+	var counts Counts
+	if c.hasKernel() {
+		var w kernelWriter
+		w.reset(c.worstBits(blocksPer * (hi - lo)))
+		cancellable := ctx.Done() != nil
+		for i := lo; i < hi; i++ {
+			if cancellable {
+				if err := ctx.Err(); err != nil {
+					return nil, counts, err
+				}
+			}
+			care, val := s.Cube(i).RawWords()
+			c.kenc(c, care, val, blocksPer, &w, &counts)
+		}
+		return w.take(), counts, nil
+	}
+	w := newCubeWriter((hi-lo)*s.Width() + (hi-lo)*blocksPer*2)
+	counts, err := c.encodePatternsCtx(ctx, s, lo, hi, w)
+	if err != nil {
+		return nil, counts, err
+	}
+	return w.cube(), counts, nil
+}
+
 // EncodeSet compresses a test set pattern by pattern: each scan load is
 // padded independently to a multiple of K, preserving per-pattern
 // synchronization between the ATE and the decoder.
 func (c *Codec) EncodeSet(s *tcube.Set) (*Result, error) {
 	sp := obs.Active().Span("core.encode_set")
 	blocksPer := (s.Width() + c.k - 1) / c.k
-	w := newCubeWriter(s.Bits() + blocksPer*s.Len()*2)
-	counts := c.encodePatterns(s, 0, s.Len(), w)
-	stream := w.cube()
+	stream, counts, _ := c.encodeChunk(context.Background(), s, 0, s.Len())
 	r := &Result{
 		K: c.k, Name: s.Name, Assign: c.assign, Stream: stream, Counts: counts,
 		OrigBits: s.Bits(), Blocks: blocksPer * s.Len(),
@@ -224,6 +276,9 @@ func (c *Codec) DecodeCube(stream *bitvec.Cube, origBits int) (cube *bitvec.Cube
 	if origBits < 0 {
 		return nil, fmt.Errorf("core: negative output size %d: %w", origBits, robust.ErrCorrupt)
 	}
+	if out, ok := c.decodeCubeFast(stream, origBits); ok {
+		return out, nil
+	}
 	r := &cubeReader{src: stream}
 	blocks := (origBits + c.k - 1) / c.k
 	out, err := decodeBlocks(c, r, blocks)
@@ -234,6 +289,26 @@ func (c *Codec) DecodeCube(stream *bitvec.Cube, origBits int) (cube *bitvec.Cube
 		return nil, fmt.Errorf("core: %d trailing bits after final block: %w", r.remaining(), robust.ErrCorrupt)
 	}
 	return out.Slice(0, origBits), nil
+}
+
+// decodeCubeFast is the kernel decode of a bare-cube stream. ok=false
+// (unsupported K, exotic assignment, or anything suspicious in the
+// stream) means the caller must run the generic path; the fast path
+// never reports errors itself so the classified error and its position
+// come from exactly the same code as before the kernels existed.
+func (c *Codec) decodeCubeFast(stream *bitvec.Cube, origBits int) (*bitvec.Cube, bool) {
+	if !c.hasDecodeKernel() {
+		return nil, false
+	}
+	scare, sval := stream.RawWords()
+	blocks := (origBits + c.k - 1) / c.k
+	var w kernelWriter
+	w.reset(blocks * c.k)
+	pos, ok := c.kdec(c, scare, sval, stream.Len(), 0, blocks, &w)
+	if !ok || pos != stream.Len() {
+		return nil, false
+	}
+	return bitvec.NewCubeCopyWords(origBits, w.care, w.val), true
 }
 
 // DecodeCubePartial is the lenient counterpart of DecodeCube: it
@@ -267,22 +342,41 @@ func (c *Codec) DecodeSet(stream *bitvec.Cube, width, patterns int) (set *tcube.
 	if width < 0 || patterns < 0 {
 		return nil, fmt.Errorf("core: invalid geometry %dx%d: %w", patterns, width, robust.ErrCorrupt)
 	}
-	r := &cubeReader{src: stream}
+	if out, ok := c.decodeSetFast(stream, width, patterns); ok {
+		return out, nil
+	}
+	return c.decodeSetGeneric(stream, width, patterns)
+}
+
+// decodeSetFast is the kernel decode of a set stream: one reusable
+// scratch writer across patterns, each decoded pattern copied out as an
+// independently-owned cube. ok=false falls back to the generic path
+// (see decodeCubeFast).
+func (c *Codec) decodeSetFast(stream *bitvec.Cube, width, patterns int) (*tcube.Set, bool) {
+	if !c.hasDecodeKernel() {
+		return nil, false
+	}
+	scare, sval := stream.RawWords()
+	slen := stream.Len()
 	blocksPer := (width + c.k - 1) / c.k
 	out := tcube.NewSet("decoded", width)
+	var w kernelWriter
+	pos := 0
 	for i := 0; i < patterns; i++ {
-		p, err := decodeBlocks(c, r, blocksPer)
-		if err != nil {
-			return nil, fmt.Errorf("core: pattern %d: %w", i, err)
+		w.reset(blocksPer * c.k)
+		var ok bool
+		pos, ok = c.kdec(c, scare, sval, slen, pos, blocksPer, &w)
+		if !ok {
+			return nil, false
 		}
-		if err := out.Append(p.Slice(0, width)); err != nil {
-			return nil, err
+		if out.Append(bitvec.NewCubeCopyWords(width, w.care, w.val)) != nil {
+			return nil, false
 		}
 	}
-	if r.remaining() != 0 {
-		return nil, fmt.Errorf("core: %d trailing bits after final pattern: %w", r.remaining(), robust.ErrCorrupt)
+	if pos != slen {
+		return nil, false
 	}
-	return out, nil
+	return out, true
 }
 
 // DecodeSetPartial is the lenient counterpart of DecodeSet: it decodes

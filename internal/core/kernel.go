@@ -1,0 +1,605 @@
+package core
+
+import (
+	"repro/internal/bitvec"
+)
+
+// This file is the per-K hot path of the 9C codec: specialized encode
+// and decode kernels for the production block sizes K ∈ {4, 8, 16, 32}.
+// The generic paths (encodeBlock / decodeBlocksPartial) remain the
+// fallback for other K values, for exotic assignments, and for hostile
+// streams — and serve as the differential oracle the kernels are pinned
+// against.
+//
+// The kernels get their speed from three ideas:
+//
+//  1. Word-batched classification. Blocks of the supported sizes never
+//     straddle a 64-bit plane word (patterns are padded independently,
+//     so block b of a pattern occupies bits [b·K, (b+1)·K) of that
+//     pattern's planes). One word read yields 64/K whole blocks, and a
+//     half is 0-compatible iff its val bits are zero, 1-compatible iff
+//     its care&^val bits are zero — four flag bits that index a
+//     16-entry case table. No per-trit work, no branches per trit.
+//
+//  2. Branchless appending. kernelWriter pre-zeroes its planes and
+//     appends n ≤ 64 bits with two unconditional OR-writes per plane,
+//     exploiting Go's defined x>>64 == 0 semantics (a spare word
+//     absorbs the second write when the append does not straddle).
+//
+//  3. Table decode. The decoder indexes a flat LUT with the next
+//     maxCode stream bits and gets (case, length) in one load, then
+//     emits whole halves as word appends. Anything the fast path is
+//     not sure about — an X inside a codeword window, an unassigned
+//     LUT entry, truncation — abandons the fast decode entirely and
+//     reruns the generic path so error reporting stays byte-identical.
+
+// caseTab maps the four half-compatibility flags to the 9C case:
+// index = l0 | l1<<1 | r0<<2 | r1<<3 where l0/l1 (r0/r1) report the
+// left (right) half 0-/1-compatible. Built in init from the same
+// priority order as Classify, so the two can never disagree.
+var caseTab [16]Case
+
+// misTab, indexed by Case, packs the mismatch shape: bit 0 = left half
+// shipped verbatim, bit 1 = right half shipped verbatim.
+var misTab [NumCases + 1]uint8
+
+// lvalTab / rvalTab, indexed by Case, hold the constant the decoder
+// regenerates for a matched half: all-ones for 1-fill, zero for 0-fill
+// (masked to the half width at use). Only valid for non-mismatch
+// halves.
+var lvalTab, rvalTab [NumCases + 1]uint64
+
+func init() {
+	for idx := range caseTab {
+		caseTab[idx] = classifyFlags(idx&1 != 0, idx&2 != 0, idx&4 != 0, idx&8 != 0)
+	}
+	for cs := CaseAll0; cs <= CaseMisMis; cs++ {
+		var m uint8
+		if cs.LeftMismatch() {
+			m |= 1
+		}
+		if cs.RightMismatch() {
+			m |= 2
+		}
+		misTab[cs] = m
+		if v, ok := cs.matchedLeft(); ok && v == bitvec.One {
+			lvalTab[cs] = ^uint64(0)
+		}
+		if v, ok := cs.matchedRight(); ok && v == bitvec.One {
+			rvalTab[cs] = ^uint64(0)
+		}
+	}
+}
+
+// classifyFlags is Classify's priority switch over precomputed
+// compatibility flags; Classify itself derives the flags from a cube
+// range, the kernels derive them from plane words.
+func classifyFlags(l0, l1, r0, r1 bool) Case {
+	switch {
+	case l0 && r0:
+		return CaseAll0
+	case l1 && r1:
+		return CaseAll1
+	case l0 && r1:
+		return Case0Then1
+	case l1 && r0:
+		return Case1Then0
+	case l0:
+		return Case0ThenMis
+	case r0:
+		return CaseMisThen0
+	case l1:
+		return Case1ThenMis
+	case r1:
+		return CaseMisThen1
+	default:
+		return CaseMisMis
+	}
+}
+
+// kernelCode is a codeword prepared for the branchless writer: the
+// packed bits, the all-ones care mask of the same width, and the
+// length.
+type kernelCode struct {
+	bits uint64
+	mask uint64
+	n    int
+}
+
+// maxLUTBits bounds the decode LUT at 2^11 entries; every canonical 9C
+// assignment is far below it (max codeword length 5).
+const maxLUTBits = 11
+
+// kernelEncode / kernelDecode are the per-K entry points installed on a
+// Codec at construction when K is a supported kernel size.
+type kernelEncode func(c *Codec, care, val []uint64, blocks int, w *kernelWriter, counts *Counts)
+type kernelDecode func(c *Codec, scare, sval []uint64, slen, pos, blocks int, w *kernelWriter) (int, bool)
+
+// initKernel prepares the per-K kernel state: packed codeword masks,
+// the repeated-C1 batch word, the decode LUT, and the dispatch
+// functions. For unsupported K the codec simply keeps kenc/kdec nil
+// and every call takes the generic path.
+func (c *Codec) initKernel() {
+	for i, p := range c.packed {
+		c.kcodes[i] = kernelCode{bits: p.bits, mask: lowMask64(p.n), n: p.n}
+		if p.n > c.maxCode {
+			c.maxCode = p.n
+		}
+	}
+	switch c.k {
+	case 4:
+		c.kenc, c.kdec = encodeK4, decodeK4
+	case 8:
+		c.kenc, c.kdec = encodeK8, decodeK8
+	case 16:
+		c.kenc, c.kdec = encodeK16, decodeK16
+	case 32:
+		c.kenc, c.kdec = encodeK32, decodeK32
+	default:
+		return
+	}
+	// An all-zero plane word means 64/K consecutive C1 blocks; when the
+	// repeated C1 codeword fits one word, the kernels emit it in a
+	// single append.
+	perWord := 64 / c.k
+	c1 := c.kcodes[CaseAll0-1]
+	if perWord*c1.n <= 64 {
+		var bits uint64
+		for i := 0; i < perWord; i++ {
+			bits |= c1.bits << uint(i*c1.n)
+		}
+		c.kc1 = kernelCode{bits: bits, mask: lowMask64(perWord * c1.n), n: perWord * c1.n}
+		c.kc1ok = true
+	}
+	if c.maxCode <= maxLUTBits {
+		c.klut = buildCodeLUT(c.packed, c.maxCode)
+		c.klutMask = lowMask64(c.maxCode)
+	}
+}
+
+// buildCodeLUT builds the flat decode table: entry i (for every window
+// whose low bits spell a codeword) packs case | length<<4. Unreachable
+// windows (possible only for incomplete prefix codes) stay 0, which the
+// decoder treats as "fall back to the generic path".
+func buildCodeLUT(packed [NumCases]packedCode, maxCode int) []uint16 {
+	lut := make([]uint16, 1<<uint(maxCode))
+	for i, p := range packed {
+		e := uint16(i+1) | uint16(p.n)<<4
+		for hi := uint64(0); hi < 1<<uint(maxCode-p.n); hi++ {
+			lut[p.bits|hi<<uint(p.n)] = e
+		}
+	}
+	return lut
+}
+
+// lowMask64 returns a mask of the low n bits, 0 ≤ n ≤ 64.
+func lowMask64(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(n) - 1
+}
+
+// worstBits bounds the stream size of encoding the given block count:
+// every block costs at most the longest codeword plus K verbatim bits.
+func (c *Codec) worstBits(blocks int) int {
+	return blocks * (c.maxCode + c.k)
+}
+
+// kernelWriter accumulates a ternary stream as raw pre-zeroed planes.
+// append is branchless: two OR-writes per plane, with a spare word so
+// the straddle write (shift ≥ 64 → 0 when off == 0) is always in
+// bounds. reset reuses the backing across calls, clearing only the
+// words the previous use touched — the workspace steady state
+// allocates nothing.
+type kernelWriter struct {
+	care, val []uint64
+	n         int // bits appended since reset
+}
+
+// reset prepares the writer for up to capBits of output. The previous
+// contents (and any Cube taken from them) are invalidated.
+func (w *kernelWriter) reset(capBits int) {
+	words := capBits>>6 + 2 // ceil(capBits/64) + spare word, rounded up
+	if cap(w.care) < words {
+		w.care = make([]uint64, words)
+		w.val = make([]uint64, words)
+		w.n = 0
+		return
+	}
+	w.care = w.care[:cap(w.care)]
+	w.val = w.val[:cap(w.val)]
+	hi := w.n>>6 + 2 // words the previous use may have touched
+	if hi > len(w.care) {
+		hi = len(w.care)
+	}
+	for i := 0; i < hi; i++ {
+		w.care[i] = 0
+		w.val[i] = 0
+	}
+	w.n = 0
+}
+
+// append writes the low n bits of the packed care/val words at the
+// tail. The inputs must already be masked to n bits and satisfy
+// val ⊆ care; all kernel call sites guarantee both.
+func (w *kernelWriter) append(care, val uint64, n int) {
+	wi, off := w.n>>6, uint(w.n)&63
+	w.care[wi] |= care << off
+	w.val[wi] |= val << off
+	w.care[wi+1] |= care >> (64 - off)
+	w.val[wi+1] |= val >> (64 - off)
+	w.n += n
+}
+
+// take wraps the accumulated planes as a Cube without copying. The cube
+// aliases the writer's backing: it stays valid only until the next
+// reset. One-shot callers drop the writer (the cube then owns the
+// memory); workspace callers document the invalidation.
+func (w *kernelWriter) take() *bitvec.Cube {
+	return bitvec.CubeOfWords(w.n, w.care, w.val)
+}
+
+// takeCopy returns an independently-owned copy of the accumulated
+// stream, for callers that will reuse the writer.
+func (w *kernelWriter) takeCopy() *bitvec.Cube {
+	return bitvec.NewCubeCopyWords(w.n, w.care, w.val)
+}
+
+// encBlock encodes one K-bit block given its packed care/val bits
+// (already masked to K bits, pad bits zero): classify both halves
+// branchlessly, append the codeword, append whatever the case ships
+// verbatim. k, h and lh are the block size, half size and half mask —
+// constants at every call site.
+func encBlock(w *kernelWriter, codes *[NumCases]kernelCode, counts *Counts, bc, bv uint64, k, h int, lh uint64) {
+	zeros := bc &^ bv
+	idx := b2i(bv&lh == 0) | b2i(zeros&lh == 0)<<1 |
+		b2i(bv>>uint(h) == 0)<<2 | b2i(zeros>>uint(h) == 0)<<3
+	cs := caseTab[idx]
+	counts[cs-1]++
+	p := &codes[cs-1]
+	w.append(p.mask, p.bits, p.n)
+	switch misTab[cs] {
+	case 1: // left verbatim
+		w.append(bc&lh, bv&lh, h)
+	case 2: // right verbatim
+		w.append(bc>>uint(h), bv>>uint(h), h)
+	case 3: // both verbatim: one contiguous K-bit append
+		w.append(bc, bv, k)
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Each encodeK* kernel walks whole plane words (64/K blocks per read),
+// with an all-zero-word fast path (every half 0-compatible ⇒ 64/K C1
+// blocks in one append) and a masked tail for the final partial word.
+// Bits past the cube end read as zero in both planes — exactly the
+// "pad with X" rule, since X is 0-compatible first in priority order.
+
+func encodeK4(c *Codec, care, val []uint64, blocks int, w *kernelWriter, counts *Counts) {
+	const k, h = 4, 2
+	const lh = uint64(1)<<h - 1
+	const bm = uint64(1)<<k - 1
+	const perWord = 64 / k
+	codes := &c.kcodes
+	wi := 0
+	for ; blocks >= perWord; blocks, wi = blocks-perWord, wi+1 {
+		cw, vw := care[wi], val[wi]
+		if vw == 0 && c.kc1ok {
+			counts[CaseAll0-1] += perWord
+			w.append(c.kc1.mask, c.kc1.bits, c.kc1.n)
+			continue
+		}
+		encBlock(w, codes, counts, cw&bm, vw&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>4&bm, vw>>4&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>8&bm, vw>>8&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>12&bm, vw>>12&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>16&bm, vw>>16&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>20&bm, vw>>20&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>24&bm, vw>>24&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>28&bm, vw>>28&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>32&bm, vw>>32&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>36&bm, vw>>36&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>40&bm, vw>>40&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>44&bm, vw>>44&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>48&bm, vw>>48&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>52&bm, vw>>52&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>56&bm, vw>>56&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>60&bm, vw>>60&bm, k, h, lh)
+	}
+	encodeTail(c, care, val, wi, blocks, w, counts, k, h, lh, bm)
+}
+
+func encodeK8(c *Codec, care, val []uint64, blocks int, w *kernelWriter, counts *Counts) {
+	const k, h = 8, 4
+	const lh = uint64(1)<<h - 1
+	const bm = uint64(1)<<k - 1
+	const perWord = 64 / k
+	codes := &c.kcodes
+	wi := 0
+	for ; blocks >= perWord; blocks, wi = blocks-perWord, wi+1 {
+		cw, vw := care[wi], val[wi]
+		if vw == 0 && c.kc1ok {
+			counts[CaseAll0-1] += perWord
+			w.append(c.kc1.mask, c.kc1.bits, c.kc1.n)
+			continue
+		}
+		encBlock(w, codes, counts, cw&bm, vw&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>8&bm, vw>>8&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>16&bm, vw>>16&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>24&bm, vw>>24&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>32&bm, vw>>32&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>40&bm, vw>>40&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>48&bm, vw>>48&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>56&bm, vw>>56&bm, k, h, lh)
+	}
+	encodeTail(c, care, val, wi, blocks, w, counts, k, h, lh, bm)
+}
+
+func encodeK16(c *Codec, care, val []uint64, blocks int, w *kernelWriter, counts *Counts) {
+	const k, h = 16, 8
+	const lh = uint64(1)<<h - 1
+	const bm = uint64(1)<<k - 1
+	const perWord = 64 / k
+	codes := &c.kcodes
+	wi := 0
+	for ; blocks >= perWord; blocks, wi = blocks-perWord, wi+1 {
+		cw, vw := care[wi], val[wi]
+		if vw == 0 && c.kc1ok {
+			counts[CaseAll0-1] += perWord
+			w.append(c.kc1.mask, c.kc1.bits, c.kc1.n)
+			continue
+		}
+		encBlock(w, codes, counts, cw&bm, vw&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>16&bm, vw>>16&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>32&bm, vw>>32&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>48&bm, vw>>48&bm, k, h, lh)
+	}
+	encodeTail(c, care, val, wi, blocks, w, counts, k, h, lh, bm)
+}
+
+func encodeK32(c *Codec, care, val []uint64, blocks int, w *kernelWriter, counts *Counts) {
+	const k, h = 32, 16
+	const lh = uint64(1)<<h - 1
+	const bm = uint64(1)<<k - 1
+	const perWord = 64 / k
+	codes := &c.kcodes
+	wi := 0
+	for ; blocks >= perWord; blocks, wi = blocks-perWord, wi+1 {
+		cw, vw := care[wi], val[wi]
+		if vw == 0 && c.kc1ok {
+			counts[CaseAll0-1] += perWord
+			w.append(c.kc1.mask, c.kc1.bits, c.kc1.n)
+			continue
+		}
+		encBlock(w, codes, counts, cw&bm, vw&bm, k, h, lh)
+		encBlock(w, codes, counts, cw>>32&bm, vw>>32&bm, k, h, lh)
+	}
+	encodeTail(c, care, val, wi, blocks, w, counts, k, h, lh, bm)
+}
+
+// encodeTail encodes the final partial word: the remaining blocks all
+// live in word wi (fewer than 64/K of them), possibly past the plane
+// end, where both planes read as zero (X padding).
+func encodeTail(c *Codec, care, val []uint64, wi, blocks int, w *kernelWriter, counts *Counts, k, h int, lh, bm uint64) {
+	if blocks <= 0 {
+		return
+	}
+	var cw, vw uint64
+	if wi < len(care) {
+		cw, vw = care[wi], val[wi]
+	}
+	codes := &c.kcodes
+	for sh := uint(0); blocks > 0; blocks, sh = blocks-1, sh+uint(k) {
+		encBlock(w, codes, counts, cw>>sh&bm, vw>>sh&bm, k, h, lh)
+	}
+}
+
+// window64 returns the 64 stream bits starting at pos (positions past
+// the end read as zero).
+func window64(words []uint64, pos int) uint64 {
+	wi, off := pos>>6, uint(pos)&63
+	if wi >= len(words) {
+		return 0
+	}
+	w := words[wi] >> off
+	if off != 0 && wi+1 < len(words) {
+		w |= words[wi+1] << (64 - off)
+	}
+	return w
+}
+
+// Each decodeK* kernel consumes blocks block encodings from the raw
+// stream planes starting at bit pos, appending K decoded trits per
+// block to w. It returns the new position and ok=false the moment it
+// meets anything but a well-formed block — an unassigned LUT window,
+// an X or a truncation inside a codeword (care bits below the codeword
+// length not all ones), or verbatim data running past the stream end.
+// On ok=false the caller reruns the generic decoder from scratch so
+// the classified error (and its bit position) is byte-identical to the
+// pre-kernel behavior.
+
+func decodeK4(c *Codec, scare, sval []uint64, slen, pos, blocks int, w *kernelWriter) (int, bool) {
+	const k, h = 4, 2
+	const lh = uint64(1)<<h - 1
+	const bm = uint64(1)<<k - 1
+	lut, lmask := c.klut, c.klutMask
+	for b := 0; b < blocks; b++ {
+		e := lut[window64(sval, pos)&lmask]
+		n := int(e >> 4)
+		cmask := uint64(1)<<uint(n) - 1
+		if n == 0 || window64(scare, pos)&cmask != cmask {
+			return pos, false
+		}
+		cs := Case(e & 0xf)
+		pos += n
+		switch misTab[cs] {
+		case 0:
+			w.append(lh, lvalTab[cs]&lh, h)
+			w.append(lh, rvalTab[cs]&lh, h)
+		case 1:
+			if pos+h > slen {
+				return pos, false
+			}
+			w.append(window64(scare, pos)&lh, window64(sval, pos)&lh, h)
+			pos += h
+			w.append(lh, rvalTab[cs]&lh, h)
+		case 2:
+			w.append(lh, lvalTab[cs]&lh, h)
+			if pos+h > slen {
+				return pos, false
+			}
+			w.append(window64(scare, pos)&lh, window64(sval, pos)&lh, h)
+			pos += h
+		default:
+			if pos+k > slen {
+				return pos, false
+			}
+			w.append(window64(scare, pos)&bm, window64(sval, pos)&bm, k)
+			pos += k
+		}
+	}
+	return pos, true
+}
+
+func decodeK8(c *Codec, scare, sval []uint64, slen, pos, blocks int, w *kernelWriter) (int, bool) {
+	const k, h = 8, 4
+	const lh = uint64(1)<<h - 1
+	const bm = uint64(1)<<k - 1
+	lut, lmask := c.klut, c.klutMask
+	for b := 0; b < blocks; b++ {
+		e := lut[window64(sval, pos)&lmask]
+		n := int(e >> 4)
+		cmask := uint64(1)<<uint(n) - 1
+		if n == 0 || window64(scare, pos)&cmask != cmask {
+			return pos, false
+		}
+		cs := Case(e & 0xf)
+		pos += n
+		switch misTab[cs] {
+		case 0:
+			w.append(lh, lvalTab[cs]&lh, h)
+			w.append(lh, rvalTab[cs]&lh, h)
+		case 1:
+			if pos+h > slen {
+				return pos, false
+			}
+			w.append(window64(scare, pos)&lh, window64(sval, pos)&lh, h)
+			pos += h
+			w.append(lh, rvalTab[cs]&lh, h)
+		case 2:
+			w.append(lh, lvalTab[cs]&lh, h)
+			if pos+h > slen {
+				return pos, false
+			}
+			w.append(window64(scare, pos)&lh, window64(sval, pos)&lh, h)
+			pos += h
+		default:
+			if pos+k > slen {
+				return pos, false
+			}
+			w.append(window64(scare, pos)&bm, window64(sval, pos)&bm, k)
+			pos += k
+		}
+	}
+	return pos, true
+}
+
+func decodeK16(c *Codec, scare, sval []uint64, slen, pos, blocks int, w *kernelWriter) (int, bool) {
+	const k, h = 16, 8
+	const lh = uint64(1)<<h - 1
+	const bm = uint64(1)<<k - 1
+	lut, lmask := c.klut, c.klutMask
+	for b := 0; b < blocks; b++ {
+		e := lut[window64(sval, pos)&lmask]
+		n := int(e >> 4)
+		cmask := uint64(1)<<uint(n) - 1
+		if n == 0 || window64(scare, pos)&cmask != cmask {
+			return pos, false
+		}
+		cs := Case(e & 0xf)
+		pos += n
+		switch misTab[cs] {
+		case 0:
+			w.append(lh, lvalTab[cs]&lh, h)
+			w.append(lh, rvalTab[cs]&lh, h)
+		case 1:
+			if pos+h > slen {
+				return pos, false
+			}
+			w.append(window64(scare, pos)&lh, window64(sval, pos)&lh, h)
+			pos += h
+			w.append(lh, rvalTab[cs]&lh, h)
+		case 2:
+			w.append(lh, lvalTab[cs]&lh, h)
+			if pos+h > slen {
+				return pos, false
+			}
+			w.append(window64(scare, pos)&lh, window64(sval, pos)&lh, h)
+			pos += h
+		default:
+			if pos+k > slen {
+				return pos, false
+			}
+			w.append(window64(scare, pos)&bm, window64(sval, pos)&bm, k)
+			pos += k
+		}
+	}
+	return pos, true
+}
+
+func decodeK32(c *Codec, scare, sval []uint64, slen, pos, blocks int, w *kernelWriter) (int, bool) {
+	const k, h = 32, 16
+	const lh = uint64(1)<<h - 1
+	const bm = uint64(1)<<k - 1
+	lut, lmask := c.klut, c.klutMask
+	for b := 0; b < blocks; b++ {
+		e := lut[window64(sval, pos)&lmask]
+		n := int(e >> 4)
+		cmask := uint64(1)<<uint(n) - 1
+		if n == 0 || window64(scare, pos)&cmask != cmask {
+			return pos, false
+		}
+		cs := Case(e & 0xf)
+		pos += n
+		switch misTab[cs] {
+		case 0:
+			w.append(lh, lvalTab[cs]&lh, h)
+			w.append(lh, rvalTab[cs]&lh, h)
+		case 1:
+			if pos+h > slen {
+				return pos, false
+			}
+			w.append(window64(scare, pos)&lh, window64(sval, pos)&lh, h)
+			pos += h
+			w.append(lh, rvalTab[cs]&lh, h)
+		case 2:
+			w.append(lh, lvalTab[cs]&lh, h)
+			if pos+h > slen {
+				return pos, false
+			}
+			w.append(window64(scare, pos)&lh, window64(sval, pos)&lh, h)
+			pos += h
+		default:
+			if pos+k > slen {
+				return pos, false
+			}
+			w.append(window64(scare, pos)&bm, window64(sval, pos)&bm, k)
+			pos += k
+		}
+	}
+	return pos, true
+}
+
+// hasKernel reports whether this codec has a specialized encode kernel.
+func (c *Codec) hasKernel() bool { return c.kenc != nil }
+
+// hasDecodeKernel reports whether the fast table decoder is available
+// (requires both a per-K kernel and a LUT-sized assignment).
+func (c *Codec) hasDecodeKernel() bool { return c.kdec != nil && c.klut != nil }

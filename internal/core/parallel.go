@@ -78,13 +78,11 @@ func (c *Codec) EncodeSetParallelCtx(ctx context.Context, s *tcube.Set, workers 
 			if encodeWorkerHook != nil {
 				encodeWorkerHook(i)
 			}
-			w := newCubeWriter((ch.hi-ch.lo)*s.Width() + (ch.hi-ch.lo)*blocksPer*2)
-			subCounts[i], errs[i] = c.encodePatternsCtx(ctx, s, ch.lo, ch.hi, w)
+			streams[i], subCounts[i], errs[i] = c.encodeChunk(ctx, s, ch.lo, ch.hi)
 			if errs[i] != nil {
 				wsp.Set("worker", i).Set("error", errs[i].Error()).End()
 				return
 			}
-			streams[i] = w.cube()
 			wsp.Set("worker", i).Set("lo", ch.lo).Set("hi", ch.hi).
 				Set("bits_out", streams[i].Len()).End()
 		}(i, ch)
@@ -151,13 +149,11 @@ func (c *Codec) encodePatternsCtx(ctx context.Context, s *tcube.Set, lo, hi int,
 func (c *Codec) encodeSetSerialCtx(ctx context.Context, s *tcube.Set) (*Result, error) {
 	sp := obs.Active().Span("core.encode_set")
 	blocksPer := (s.Width() + c.k - 1) / c.k
-	w := newCubeWriter(s.Bits() + blocksPer*s.Len()*2)
-	counts, err := c.encodePatternsCtx(ctx, s, 0, s.Len(), w)
+	stream, counts, err := c.encodeChunk(ctx, s, 0, s.Len())
 	if err != nil {
 		sp.Set("error", err.Error()).End()
 		return nil, err
 	}
-	stream := w.cube()
 	r := &Result{
 		K: c.k, Name: s.Name, Assign: c.assign, Stream: stream, Counts: counts,
 		OrigBits: s.Bits(), Blocks: blocksPer * s.Len(),

@@ -87,11 +87,20 @@ func (e *StreamEncoder) WritePattern(p *bitvec.Cube) error {
 	if p.Len() != e.width {
 		return fmt.Errorf("core: pattern width %d != stream width %d", p.Len(), e.width)
 	}
-	w := newCubeWriter(e.width + e.blocksPer*2)
-	for b := 0; b < e.blocksPer; b++ {
-		e.counts.Add(e.c.encodeBlock(p, b*e.c.k, w))
+	var seg *bitvec.Cube
+	if e.c.hasKernel() {
+		var w kernelWriter
+		w.reset(e.c.worstBits(e.blocksPer))
+		care, val := p.RawWords()
+		e.c.kenc(e.c, care, val, e.blocksPer, &w, &e.counts)
+		seg = w.take()
+	} else {
+		w := newCubeWriter(e.width + e.blocksPer*2)
+		for b := 0; b < e.blocksPer; b++ {
+			e.counts.Add(e.c.encodeBlock(p, b*e.c.k, w))
+		}
+		seg = w.cube()
 	}
-	seg := w.cube()
 	e.patterns++
 	e.streamBits += seg.Len()
 	return e.sink.WriteStream(seg)

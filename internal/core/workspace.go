@@ -1,0 +1,179 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/obs"
+	"repro/internal/robust"
+	"repro/internal/tcube"
+)
+
+// Workspace owns the reusable scratch of the kernel hot path: the
+// encode and decode plane backings, a re-pointed stream/output cube,
+// and a Result. With a warm workspace, EncodeSetWS and DecodeSetFlatWS
+// allocate nothing per call (pinned by AllocsPerRun tests), which is
+// what keeps the ninecd request path and tight re-encode loops (the
+// planned code-space search) off the garbage collector.
+//
+// The returned Result, its Stream, and the flat decode cube all alias
+// workspace memory: they stay valid only until the workspace's next
+// use or Release. Callers that need the data past that point must copy
+// it first.
+type Workspace struct {
+	enc    kernelWriter
+	dec    kernelWriter
+	stream *bitvec.Cube // aliases enc's planes
+	flat   *bitvec.Cube // aliases dec's planes
+	res    Result
+}
+
+// wsPool recycles workspaces (and their grown backings) across
+// goroutines and requests.
+var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
+
+// GetWorkspace fetches a workspace from the shared pool.
+func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+
+// Release returns the workspace to the pool. The caller must be done
+// with every Result and cube obtained from it.
+func (ws *Workspace) Release() { wsPool.Put(ws) }
+
+// takeStream wraps the encode writer's planes as the workspace's
+// reusable stream cube.
+func (ws *Workspace) takeStream() *bitvec.Cube {
+	if ws.stream == nil {
+		ws.stream = bitvec.CubeOfWords(ws.enc.n, ws.enc.care, ws.enc.val)
+	} else {
+		ws.stream.ResetWords(ws.enc.n, ws.enc.care, ws.enc.val)
+	}
+	return ws.stream
+}
+
+// takeFlat wraps the first n bits of the decode writer's planes as the
+// workspace's reusable output cube.
+func (ws *Workspace) takeFlat(n int) *bitvec.Cube {
+	if ws.flat == nil {
+		ws.flat = bitvec.CubeOfWords(n, ws.dec.care, ws.dec.val)
+	} else {
+		ws.flat.ResetWords(n, ws.dec.care, ws.dec.val)
+	}
+	return ws.flat
+}
+
+// EncodeSetWS is EncodeSet into a reusable workspace: same stream,
+// same statistics, no per-call allocation once the workspace is warm
+// (kernel block sizes; other K values fall back to the allocating
+// path). The Result and its Stream alias ws.
+func (c *Codec) EncodeSetWS(ws *Workspace, s *tcube.Set) (*Result, error) {
+	return c.EncodeSetWSCtx(context.Background(), ws, s)
+}
+
+// EncodeSetWSCtx is EncodeSetWS with cancellation checks at pattern
+// granularity; a non-cancellable context costs nothing.
+func (c *Codec) EncodeSetWSCtx(ctx context.Context, ws *Workspace, s *tcube.Set) (*Result, error) {
+	if !c.hasKernel() {
+		if ctx.Done() == nil {
+			return c.EncodeSet(s)
+		}
+		return c.encodeSetSerialCtx(ctx, s)
+	}
+	sp := obs.Active().Span("core.encode_set")
+	blocksPer := (s.Width() + c.k - 1) / c.k
+	ws.enc.reset(c.worstBits(blocksPer * s.Len()))
+	// Accumulate counts directly in the workspace-resident Result so the
+	// pointer handed to the kernel never forces a heap escape.
+	ws.res = Result{
+		K: c.k, Name: s.Name, Assign: c.assign,
+		OrigBits: s.Bits(), Blocks: blocksPer * s.Len(),
+		Patterns: s.Len(), Width: s.Width(),
+	}
+	counts := &ws.res.Counts
+	cancellable := ctx.Done() != nil
+	for i := 0; i < s.Len(); i++ {
+		if cancellable {
+			if err := ctx.Err(); err != nil {
+				sp.Set("error", err.Error()).End()
+				return nil, err
+			}
+		}
+		care, val := s.Cube(i).RawWords()
+		c.kenc(c, care, val, blocksPer, &ws.enc, counts)
+	}
+	stream := ws.takeStream()
+	ws.res.Stream = stream
+	ws.res.LeftoverX = stream.XCount()
+	observeEncode(sp, &ws.res, "serial")
+	return &ws.res, nil
+}
+
+// RowBits returns the padded row stride of DecodeSetFlatWS output for
+// a set of the given width: each pattern decodes to a whole number of
+// K-bit blocks.
+func (c *Codec) RowBits(width int) int {
+	return (width + c.k - 1) / c.k * c.k
+}
+
+// DecodeSetFlatWS decodes a set stream into the workspace's flat row
+// buffer: pattern i occupies bits [i·RowBits(width), i·RowBits(width)
+// + width) of the returned cube (the remainder of each row is block
+// padding). It accepts exactly the streams DecodeSet accepts and
+// reports the identical errors, but allocates nothing per call with a
+// warm workspace on the kernel path. The returned cube aliases ws.
+func (c *Codec) DecodeSetFlatWS(ws *Workspace, stream *bitvec.Cube, width, patterns int) (cube *bitvec.Cube, err error) {
+	sp := obs.Active().Span("core.decode_set")
+	defer func() { observeDecode(sp, width*patterns, err) }()
+	if width < 0 || patterns < 0 {
+		return nil, fmt.Errorf("core: invalid geometry %dx%d: %w", patterns, width, robust.ErrCorrupt)
+	}
+	if c.hasDecodeKernel() {
+		scare, sval := stream.RawWords()
+		slen := stream.Len()
+		blocksPer := (width + c.k - 1) / c.k
+		ws.dec.reset(blocksPer * c.k * patterns)
+		pos, ok := 0, true
+		for i := 0; i < patterns && ok; i++ {
+			pos, ok = c.kdec(c, scare, sval, slen, pos, blocksPer, &ws.dec)
+		}
+		if ok && pos == slen {
+			return ws.takeFlat(ws.dec.n), nil
+		}
+		// Suspicious stream: rerun the generic decoder for the
+		// classified error (or, rarely, a clean result the fast path
+		// declined — e.g. an incomplete prefix code).
+	}
+	set, err := c.decodeSetGeneric(stream, width, patterns)
+	if err != nil {
+		return nil, err
+	}
+	rowBits := c.RowBits(width)
+	b := bitvec.NewCubeBuilder(rowBits * patterns)
+	for i := 0; i < set.Len(); i++ {
+		b.AppendCubeRange(set.Cube(i), 0, rowBits)
+	}
+	return b.Build(), nil
+}
+
+// decodeSetGeneric is DecodeSet without the kernel fast path or
+// telemetry, for the fallback of DecodeSetFlatWS (which reports its
+// own telemetry) and for differential tests.
+func (c *Codec) decodeSetGeneric(stream *bitvec.Cube, width, patterns int) (*tcube.Set, error) {
+	r := &cubeReader{src: stream}
+	blocksPer := (width + c.k - 1) / c.k
+	out := tcube.NewSet("decoded", width)
+	for i := 0; i < patterns; i++ {
+		p, err := decodeBlocks(c, r, blocksPer)
+		if err != nil {
+			return nil, fmt.Errorf("core: pattern %d: %w", i, err)
+		}
+		if err := out.Append(p.Slice(0, width)); err != nil {
+			return nil, err
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("core: %d trailing bits after final pattern: %w", r.remaining(), robust.ErrCorrupt)
+	}
+	return out, nil
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/tcube"
+)
+
+func wsTestSet(rng *rand.Rand, patterns, width int) *tcube.Set {
+	set := tcube.NewSet("ws", width)
+	for i := 0; i < patterns; i++ {
+		set.MustAppend(diffCube(rng, width, 0.6))
+	}
+	return set
+}
+
+// TestEncodeSetWSMatchesEncodeSet pins the workspace encode
+// bit-identical to the one-shot path, including after workspace reuse
+// across sets of different shapes.
+func TestEncodeSetWSMatchesEncodeSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	ws := GetWorkspace()
+	defer ws.Release()
+	for _, k := range append([]int{2, 6}, kernelKs...) {
+		cdc := mustCodec(t, k)
+		for _, geom := range []struct{ patterns, width int }{
+			{5, 100}, {1, 1}, {17, 3 * k}, {3, 64 + k + 1}, {0, 10},
+		} {
+			set := wsTestSet(rng, geom.patterns, geom.width)
+			want, err := cdc.EncodeSet(set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cdc.EncodeSetWS(ws, set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSameResult(t, "K="+itoa(k)+" "+itoa(geom.patterns)+"x"+itoa(geom.width), got, want)
+		}
+	}
+}
+
+// TestDecodeSetFlatWSMatchesDecodeSet pins the flat workspace decode
+// against DecodeSet row by row, and the identical classified errors on
+// hostile streams.
+func TestDecodeSetFlatWSMatchesDecodeSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	ws := GetWorkspace()
+	defer ws.Release()
+	for _, k := range append([]int{2, 6}, kernelKs...) {
+		cdc := mustCodec(t, k)
+		for _, width := range []int{1, k - 1, 100, 64 + k} {
+			if width < 1 {
+				continue
+			}
+			set := wsTestSet(rng, 7, width)
+			enc, err := cdc.EncodeSet(set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := cdc.DecodeSet(enc.Stream, width, set.Len())
+			if err != nil {
+				t.Fatal(err)
+			}
+			flat, err := cdc.DecodeSetFlatWS(ws, enc.Stream, width, set.Len())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rowBits := cdc.RowBits(width)
+			if flat.Len() != rowBits*set.Len() {
+				t.Fatalf("K=%d w=%d: flat len %d, want %d", k, width, flat.Len(), rowBits*set.Len())
+			}
+			for i := 0; i < set.Len(); i++ {
+				row := flat.Slice(i*rowBits, i*rowBits+width)
+				if !row.Equal(want.Cube(i)) {
+					t.Fatalf("K=%d w=%d: row %d differs from DecodeSet", k, width, i)
+				}
+			}
+
+			// Hostile: truncate mid-stream; error must match DecodeSet.
+			if enc.Stream.Len() > 2 {
+				cut := enc.Stream.Slice(0, enc.Stream.Len()/2)
+				_, wantErr := cdc.DecodeSet(cut, width, set.Len())
+				_, gotErr := cdc.DecodeSetFlatWS(ws, cut, width, set.Len())
+				if wantErr == nil || gotErr == nil || wantErr.Error() != gotErr.Error() {
+					t.Fatalf("K=%d w=%d: hostile errors differ: %v vs %v", k, width, gotErr, wantErr)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkspaceZeroAlloc pins the zero-allocation steady state of the
+// kernel hot path: with a warm workspace, EncodeSetWS and
+// DecodeSetFlatWS allocate nothing per call for every kernel K.
+func TestWorkspaceZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for _, k := range kernelKs {
+		cdc := mustCodec(t, k)
+		set := wsTestSet(rng, 32, 300)
+		ws := GetWorkspace()
+		enc, err := cdc.EncodeSetWS(ws, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := enc.Stream.Clone() // survives workspace reuse
+		width, patterns := set.Width(), set.Len()
+
+		if allocs := testing.AllocsPerRun(100, func() {
+			if _, err := cdc.EncodeSetWS(ws, set); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("K=%d: EncodeSetWS allocated %v per run", k, allocs)
+		}
+
+		if _, err := cdc.DecodeSetFlatWS(ws, stream, width, patterns); err != nil {
+			t.Fatal(err)
+		}
+		if allocs := testing.AllocsPerRun(100, func() {
+			if _, err := cdc.DecodeSetFlatWS(ws, stream, width, patterns); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("K=%d: DecodeSetFlatWS allocated %v per run", k, allocs)
+		}
+		ws.Release()
+	}
+}
+
+// TestWorkspaceResultInvalidation documents the aliasing contract: a
+// Result from EncodeSetWS is rewritten by the workspace's next use,
+// and copying the stream first preserves it.
+func TestWorkspaceResultInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	cdc := mustCodec(t, 16)
+	ws := GetWorkspace()
+	defer ws.Release()
+	a := wsTestSet(rng, 4, 128)
+	b := wsTestSet(rng, 4, 128)
+	ra, err := cdc.EncodeSetWS(ws, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := ra.Stream.Clone()
+	if _, err := cdc.EncodeSetWS(ws, b); err != nil {
+		t.Fatal(err)
+	}
+	// The saved copy still decodes back to a's patterns.
+	dec, err := cdc.DecodeSet(saved, a.Width(), a.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Covers(dec) {
+		t.Fatal("saved stream no longer decodes to the first set")
+	}
+}
+
+// TestKernelWriterReuse pins that a reused kernelWriter starts every
+// round from all-zero planes (reset clears exactly what was touched).
+func TestKernelWriterReuse(t *testing.T) {
+	var w kernelWriter
+	for round := 0; round < 3; round++ {
+		w.reset(512)
+		for i := 0; i < 512; i += 8 {
+			w.append(0xff, 0xaa, 8)
+		}
+		c := w.takeCopy()
+		if c.Len() != 512 {
+			t.Fatalf("round %d: len %d", round, c.Len())
+		}
+		for i := 0; i < 512; i++ {
+			want := bitvec.Zero
+			if i%2 == 1 {
+				want = bitvec.One
+			}
+			if c.Get(i) != want {
+				t.Fatalf("round %d: bit %d = %v, want %v", round, i, c.Get(i), want)
+			}
+		}
+		// Shrinking rounds must not see stale tail words.
+		w.reset(64)
+		w.append(^uint64(0), 0, 64)
+		s := w.takeCopy()
+		for i := 0; i < 64; i++ {
+			if s.Get(i) != bitvec.Zero {
+				t.Fatalf("round %d: stale bit %d after shrink", round, i)
+			}
+		}
+	}
+}
