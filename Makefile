@@ -1,14 +1,15 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race bench bench-json bench-gate bench-campaign campaign-smoke telemetry-smoke serve-smoke overhead-guard fuzz-smoke vuln
+.PHONY: check fmt vet build test race bench bench-json bench-gate bench-campaign campaign-smoke telemetry-smoke serve-smoke metriclint overhead-guard fuzz-smoke vuln
 
 ## check: the full pre-merge gate — formatting, vet, build, race tests,
 ## the campaign-equivalence smoke, telemetry smoke, the ninecd serving
-## smoke, the disabled-telemetry overhead guard, a short fuzz pass over
-## every hostile-input decoder, the bench regression gate over the two
-## newest snapshots, and (when installed) govulncheck.
-check: fmt vet build race campaign-smoke telemetry-smoke serve-smoke overhead-guard fuzz-smoke bench-gate vuln
+## smoke, the metric-name contract lint, the disabled-telemetry
+## overhead guard, a short fuzz pass over every hostile-input decoder,
+## the bench regression gate over the two newest snapshots, and (when
+## installed) govulncheck.
+check: fmt vet build race campaign-smoke telemetry-smoke serve-smoke metriclint overhead-guard fuzz-smoke bench-gate vuln
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -68,6 +69,12 @@ telemetry-smoke:
 ## graceful SIGTERM drain.
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
+
+## metriclint: enforce the metric-name contract — dot-separated
+## lowercase names whose Prometheus mapping is stable and
+## collision-free across every registration in the tree.
+metriclint:
+	$(GO) test ./internal/obs -run TestMetricNameContract -count=1
 
 ## vuln: run govulncheck when it is on PATH; skip (successfully) when
 ## it is not, so air-gapped checkouts still pass `make check`.

@@ -1,7 +1,7 @@
 // Command ninecd serves the 9C codec over HTTP: POST 01X text to
 // /encode and get a chunked v4 container back, POST any container
-// version to /decode and get 01X text back, with /healthz and /metrics
-// for operations.
+// version to /decode and get 01X text back, with a full observability
+// surface for operations.
 //
 // Usage:
 //
@@ -11,13 +11,22 @@
 //	ninecd -max-body 16777216             # request body cap (bytes)
 //	ninecd -max-patterns 4096 -max-bits N # decode limits (robust policy)
 //	ninecd -trace trace.ndjson            # structured span events
+//	ninecd -access-log access.ndjson      # NDJSON access log
+//	ninecd -slo-window 5m -slo-latency 250ms  # /readyz objectives
 //
 // Endpoints:
 //
 //	POST /encode?k=8&fd=1&name=s          # 01X text -> v4 container
 //	POST /decode                          # container (v1-v4) -> 01X text
 //	GET  /healthz                         # liveness
-//	GET  /metrics                         # telemetry snapshot (JSON)
+//	GET  /readyz                          # SLO-backed readiness (503 on budget burn)
+//	GET  /metrics                         # Prometheus text exposition
+//	GET  /metrics.json                    # telemetry snapshot (JSON)
+//	GET  /debug/traces                    # recent + slowest request traces
+//
+// Every response carries an X-Request-ID header (inbound value echoed
+// when printable, generated otherwise); the same ID threads through
+// spans, the access log, and /debug/traces.
 //
 // Status codes: 400 for corrupt/truncated/checksum-failed input, 413
 // when a request or its decode limits are exceeded, 429 when the
@@ -62,7 +71,7 @@ func realMain(args []string) (code int) {
 	}()
 
 	var cfg config
-	var trace string
+	var trace, accessLog string
 	fs := flag.NewFlagSet("ninecd", flag.ContinueOnError)
 	fs.StringVar(&cfg.Addr, "addr", "localhost:9314", "listen address")
 	fs.IntVar(&cfg.K, "k", 8, "default block size K for /encode (even, >= 2)")
@@ -74,6 +83,11 @@ func realMain(args []string) (code int) {
 	fs.IntVar(&cfg.MaxBits, "max-bits", 0, "reject containers whose stored stream exceeds this many bits (0 = default limit)")
 	fs.DurationVar(&cfg.Drain, "drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 	fs.StringVar(&trace, "trace", "", "append structured JSON trace events to this file")
+	fs.StringVar(&accessLog, "access-log", "", "append an NDJSON access-log line per request to this file")
+	fs.DurationVar(&cfg.SLOWindow, "slo-window", 0, "rolling SLO window for /readyz (0 = 5m)")
+	fs.Float64Var(&cfg.SLOAvailability, "slo-availability", 0, "availability objective, fraction of non-5xx responses (0 = 0.999)")
+	fs.DurationVar(&cfg.SLOLatency, "slo-latency", 0, "per-request latency objective (0 = 250ms)")
+	fs.Float64Var(&cfg.SLOLatencyTarget, "slo-latency-target", 0, "fraction of requests that must meet -slo-latency (0 = 0.99)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -93,6 +107,16 @@ func realMain(args []string) (code int) {
 	obs.Enable(reg)
 	defer obs.Disable()
 
+	if accessLog != "" {
+		f, err := os.OpenFile(accessLog, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ninecd:", err)
+			return 1
+		}
+		defer f.Close()
+		cfg.Access = obs.NewAccessLog(f)
+	}
+
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ninecd:", err)
@@ -100,9 +124,15 @@ func realMain(args []string) (code int) {
 	}
 	log.Printf("ninecd: listening on %s", ln.Addr())
 
+	srv := newServer(cfg, reg)
+	// Background runtime sampling keeps GC/heap/scheduler gauges fresh
+	// even between scrapes (scrapes also sample, so this is a floor).
+	stopRC := srv.rc.Start(5 * time.Second)
+	defer stopRC()
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := serve(ctx, ln, newServer(cfg, reg), cfg.Drain); err != nil {
+	if err := serve(ctx, ln, srv, cfg.Drain); err != nil {
 		fmt.Fprintln(os.Stderr, "ninecd:", err)
 		return 1
 	}

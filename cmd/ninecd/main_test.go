@@ -223,7 +223,8 @@ func TestStatusMapping(t *testing.T) {
 	}
 }
 
-// TestHealthAndMetrics: liveness and the telemetry snapshot.
+// TestHealthAndMetrics: liveness, the Prometheus exposition at
+// /metrics, and the JSON snapshot at /metrics.json.
 func TestHealthAndMetrics(t *testing.T) {
 	ts, _ := newTestServer(t, config{})
 	post(t, ts.URL+"/encode", []byte(sampleText(3, 8, 4)))
@@ -245,6 +246,24 @@ func TestHealthAndMetrics(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != obs.PromContentType {
+		t.Fatalf("metrics Content-Type = %q, want %q", got, obs.PromContentType)
+	}
+	for _, want := range []string{"# TYPE ", "ninecd_http_requests_total", `_bucket{le="`} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Fatalf("Prometheus exposition missing %q: %s", want, body)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics.json: %d", resp.StatusCode)
 	}
 	if !bytes.Contains(body, []byte("ninecd.encode.requests")) {
 		t.Fatalf("metrics snapshot missing request counter: %s", body)

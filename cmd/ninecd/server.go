@@ -70,6 +70,16 @@ type config struct {
 	MaxPatterns int           // decode limit (0 = robust default)
 	MaxBits     int           // decode limit on stored |T_E| (0 = default)
 	Drain       time.Duration // graceful-shutdown budget
+
+	// SLO objectives backing /readyz (zero fields take the obs
+	// defaults: 5m window, 99.9% availability, 250ms at p99).
+	SLOWindow        time.Duration
+	SLOAvailability  float64
+	SLOLatency       time.Duration
+	SLOLatencyTarget float64
+
+	// Access is the NDJSON access log; nil (the default) disables it.
+	Access *obs.AccessLog
 }
 
 func (c config) withDefaults() config {
@@ -110,30 +120,64 @@ func (c config) limits() robust.DecodeLimits {
 // decoder failure maps onto a status code by its robust taxonomy
 // class — hostile input gets a 4xx, never a crash.
 type server struct {
-	cfg config
-	reg *obs.Registry
-	sem chan struct{}
-	mux *http.ServeMux
+	cfg    config
+	reg    *obs.Registry
+	sem    chan struct{}
+	mux    *http.ServeMux
+	traces *obs.TraceBuffer
+	slo    *obs.SLOTracker
+	rc     *obs.RuntimeCollector
+	access *obs.AccessLog
 }
+
+// traceRecent/traceSlowest size the /debug/traces retention: bounded,
+// so trace memory never grows with traffic.
+const (
+	traceRecent  = 64
+	traceSlowest = 32
+)
 
 // newServer builds the handler; it is http.Handler so tests drive it
 // through httptest without binding a port.
 func newServer(cfg config, reg *obs.Registry) *server {
 	cfg = cfg.withDefaults()
 	s := &server{
-		cfg: cfg,
-		reg: reg,
-		sem: make(chan struct{}, cfg.Workers),
-		mux: http.NewServeMux(),
+		cfg:    cfg,
+		reg:    reg,
+		sem:    make(chan struct{}, cfg.Workers),
+		mux:    http.NewServeMux(),
+		traces: obs.NewTraceBuffer(traceRecent, traceSlowest),
+		slo: obs.NewSLOTracker(obs.SLOConfig{
+			Window:           cfg.SLOWindow,
+			Availability:     cfg.SLOAvailability,
+			LatencyObjective: cfg.SLOLatency,
+			LatencyTarget:    cfg.SLOLatencyTarget,
+		}),
+		rc:     obs.NewRuntimeCollector(reg),
+		access: cfg.Access,
 	}
-	s.mux.HandleFunc("POST /encode", s.guard("encode", s.handleEncode))
-	s.mux.HandleFunc("POST /decode", s.guard("decode", s.handleDecode))
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /encode", s.instrument("encode", true, s.guard("encode", s.handleEncode)))
+	s.mux.HandleFunc("POST /decode", s.instrument("decode", true, s.guard("decode", s.handleDecode)))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", false, s.handleReadyz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", false, s.handleMetricsProm))
+	s.mux.HandleFunc("GET /metrics.json", s.instrument("metrics_json", false, s.handleMetricsJSON))
+	s.mux.HandleFunc("GET /debug/traces", s.instrument("debug_traces", false, s.handleDebugTraces))
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP assigns the request its trace ID before routing: an
+// inbound X-Request-ID is honored when printable, a fresh ID is
+// generated otherwise, and either way the ID is echoed on the response
+// and carried through the request context into every span and log.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := sanitizeRequestID(r.Header.Get("X-Request-ID"))
+	if id == "" {
+		id = obs.NewTraceID()
+	}
+	w.Header().Set("X-Request-ID", id)
+	s.mux.ServeHTTP(w, r.WithContext(obs.ContextWithTraceID(r.Context(), id)))
+}
 
 // statusFor maps a handler error onto its status code: over-limit and
 // over-size requests are 413, a saturated pool 429 (handled in guard),
@@ -188,10 +232,14 @@ func (s *server) guard(name string, h func(http.ResponseWriter, *http.Request) e
 			}
 		}()
 
+		enqueued := time.Now()
 		wait := time.NewTimer(s.cfg.QueueWait)
 		defer wait.Stop()
 		select {
 		case s.sem <- struct{}{}:
+			if info := reqInfoFrom(r.Context()); info != nil {
+				info.queueWait = time.Since(enqueued)
+			}
 			defer func() { <-s.sem }()
 		case <-wait.C:
 			s.reg.Counter("ninecd." + name + ".rejected").Inc()
@@ -217,6 +265,9 @@ func (s *server) guard(name string, h func(http.ResponseWriter, *http.Request) e
 		s.reg.Histogram("ninecd." + name + ".us").Observe(time.Since(start).Microseconds())
 		if err != nil {
 			class := errClass(err)
+			if info := reqInfoFrom(r.Context()); info != nil {
+				info.errClass = class
+			}
 			s.reg.Counter("ninecd." + name + ".fault." + class).Inc()
 			w.Header().Set("X-Error-Class", class)
 			http.Error(w, err.Error(), statusFor(err))
@@ -320,7 +371,7 @@ func (s *server) handleDecode(w http.ResponseWriter, r *http.Request) error {
 	}
 	ws := core.GetWorkspace()
 	defer ws.Release()
-	flat, err := cdc.DecodeSetFlatWS(ws, res.Stream, width, patterns)
+	flat, err := cdc.DecodeSetFlatWSCtx(r.Context(), ws, res.Stream, width, patterns)
 	if err != nil {
 		return err
 	}
@@ -359,6 +410,8 @@ func writeSetText(w io.Writer, name string, flat *bitvec.Cube, patterns, width, 
 
 // decodeChunked is the verify-and-emit path for v4 containers.
 func (s *server) decodeChunked(w http.ResponseWriter, r *http.Request, body io.Reader) error {
+	sp := obs.SpanCtx(r.Context(), "ninecd.decode.stream")
+	defer sp.End()
 	chr, err := container.NewChunkReader(body, s.cfg.limits())
 	if err != nil {
 		return err
@@ -425,11 +478,4 @@ func (s *server) decodeChunked(w http.ResponseWriter, r *http.Request, body io.R
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, "ok\n")
-}
-
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := s.reg.Snapshot().WriteJSON(w); err != nil {
-		s.reg.Counter("ninecd.metrics.write_errors").Inc()
-	}
 }

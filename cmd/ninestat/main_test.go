@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const promFixture = `# HELP ninecd_http_requests_total ninecd.http.requests (counter)
+# TYPE ninecd_http_requests_total counter
+ninecd_http_requests_total 100
+# TYPE ninecd_inflight gauge
+ninecd_inflight 3
+# TYPE ninecd_http_encode_requests_total counter
+ninecd_http_encode_requests_total 60
+ninecd_http_encode_status_2xx_total 50
+ninecd_http_encode_status_4xx_total 10
+# TYPE ninecd_http_encode_latency_seconds histogram
+ninecd_http_encode_latency_seconds_bucket{le="0.001"} 10
+ninecd_http_encode_latency_seconds_bucket{le="0.01"} 40
+ninecd_http_encode_latency_seconds_bucket{le="0.1"} 58
+ninecd_http_encode_latency_seconds_bucket{le="+Inf"} 60
+ninecd_http_encode_latency_seconds_sum 1.5
+ninecd_http_encode_latency_seconds_count 60
+`
+
+func TestParsePromText(t *testing.T) {
+	s, err := parsePromText(strings.NewReader(promFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.samples["ninecd_http_requests_total"]; got != 100 {
+		t.Errorf("requests_total = %v, want 100", got)
+	}
+	if got := s.samples["ninecd_inflight"]; got != 3 {
+		t.Errorf("inflight = %v, want 3", got)
+	}
+	h := s.hists["ninecd_http_encode_latency_seconds"]
+	if h == nil {
+		t.Fatal("latency histogram not reassembled")
+	}
+	if len(h.bounds) != 4 || !math.IsInf(h.bounds[3], 1) {
+		t.Fatalf("bounds = %v, want 4 ending in +Inf", h.bounds)
+	}
+	if h.counts[1] != 40 || h.count != 60 || h.sum != 1.5 {
+		t.Errorf("hist = %+v, want counts[1]=40 count=60 sum=1.5", h)
+	}
+}
+
+func TestQuantileDelta(t *testing.T) {
+	// 100 observations uniform in the delta: bucket (0,10] has 50,
+	// (10,100] has 50.
+	prev := &histScrape{bounds: []float64{10, 100, math.Inf(1)}, counts: []float64{0, 0, 0}}
+	cur := &histScrape{bounds: []float64{10, 100, math.Inf(1)}, counts: []float64{50, 100, 100}}
+	if got := quantileDelta(cur, prev, 0.5); got != 10 {
+		t.Errorf("p50 = %v, want 10 (upper edge of first bucket)", got)
+	}
+	// p75 is halfway through the second bucket: 10 + 90*(75-50)/50 = 55.
+	if got := quantileDelta(cur, prev, 0.75); math.Abs(got-55) > 1e-9 {
+		t.Errorf("p75 = %v, want 55", got)
+	}
+	// All mass in +Inf bucket: honest answer is the last finite bound.
+	inf := &histScrape{bounds: []float64{10, 100, math.Inf(1)}, counts: []float64{0, 0, 7}}
+	if got := quantileDelta(inf, nil, 0.99); got != 100 {
+		t.Errorf("p99 of overflow-only = %v, want 100", got)
+	}
+	// Empty interval has no quantile.
+	if got := quantileDelta(cur, cur, 0.5); !math.IsNaN(got) {
+		t.Errorf("quantile of empty delta = %v, want NaN", got)
+	}
+	// Counter reset (cur < prev) must not go negative.
+	if got := quantileDelta(prev, cur, 0.5); !math.IsNaN(got) {
+		t.Errorf("quantile across reset = %v, want NaN", got)
+	}
+}
+
+func TestSummarizeRatesAndRoutes(t *testing.T) {
+	prev, err := parsePromText(strings.NewReader(promFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	curText := strings.NewReplacer(
+		"ninecd_http_requests_total 100", "ninecd_http_requests_total 300",
+		"ninecd_http_encode_requests_total 60", "ninecd_http_encode_requests_total 160",
+		`ninecd_http_encode_latency_seconds_bucket{le="0.001"} 10`, `ninecd_http_encode_latency_seconds_bucket{le="0.001"} 110`,
+		`ninecd_http_encode_latency_seconds_bucket{le="0.01"} 40`, `ninecd_http_encode_latency_seconds_bucket{le="0.01"} 140`,
+		`ninecd_http_encode_latency_seconds_bucket{le="0.1"} 58`, `ninecd_http_encode_latency_seconds_bucket{le="0.1"} 158`,
+		`ninecd_http_encode_latency_seconds_bucket{le="+Inf"} 60`, `ninecd_http_encode_latency_seconds_bucket{le="+Inf"} 160`,
+	).Replace(promFixture)
+	cur, err := parsePromText(strings.NewReader(curText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.at = prev.at.Add(10 * time.Second)
+
+	sum := summarize("test", cur, prev)
+	if math.Abs(sum.ReqPerSec-20) > 1e-9 {
+		t.Errorf("req/s = %v, want 20", sum.ReqPerSec)
+	}
+	if len(sum.Routes) != 1 || sum.Routes[0].Route != "encode" {
+		t.Fatalf("routes = %+v, want exactly [encode]", sum.Routes)
+	}
+	if math.Abs(sum.Routes[0].ReqPerSec-10) > 1e-9 {
+		t.Errorf("encode req/s = %v, want 10", sum.Routes[0].ReqPerSec)
+	}
+	// All 100 new observations landed in the first bucket: p99 <= 1ms.
+	if p := sum.Routes[0].P99Ms; p <= 0 || p > 1 {
+		t.Errorf("encode p99 = %vms, want (0, 1]", p)
+	}
+	// The summary must always be marshalable (no NaN leaks).
+	if _, err := json.Marshal(sum); err != nil {
+		t.Errorf("summary not marshalable: %v", err)
+	}
+}
+
+func TestDiscoverRoutesSkipsStatusFamilies(t *testing.T) {
+	s, err := parsePromText(strings.NewReader(promFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range discoverRoutes(s) {
+		if strings.Contains(r, "status") {
+			t.Errorf("status family leaked into route list: %q", r)
+		}
+	}
+}
+
+func TestOnceMode(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		n := calls.Add(1)
+		body := promFixture
+		if n > 1 {
+			body = strings.Replace(body, "ninecd_http_requests_total 100", "ninecd_http_requests_total 200", 1)
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		w.Write([]byte(body))
+	}))
+	defer srv.Close()
+
+	out, err := os.CreateTemp(t.TempDir(), "ninestat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if code := realMain([]string{"-addr", srv.URL, "-once", "-interval", "100ms"}, out); code != 0 {
+		t.Fatalf("realMain = %d, want 0", code)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatalf("output is not one JSON summary: %v\n%s", err, data)
+	}
+	if sum.ReqPerSec <= 0 {
+		t.Errorf("req/s = %v, want > 0 (100 new requests over the interval)", sum.ReqPerSec)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("scrapes = %d, want exactly 2 in -once mode", calls.Load())
+	}
+}
+
+func TestRenderDoesNotPanicOnEmpty(t *testing.T) {
+	var sb strings.Builder
+	render(&sb, summary{}, false)
+	if sb.Len() == 0 {
+		t.Error("render produced nothing")
+	}
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// scrape is one parsed Prometheus text-format exposition: flat samples
+// (counters, gauges, _sum/_count series) by full metric name, and
+// histograms reassembled from their _bucket series by base name.
+type scrape struct {
+	at      time.Time
+	samples map[string]float64
+	hists   map[string]*histScrape
+}
+
+// histScrape is one histogram family at one scrape: parallel slices of
+// upper bounds (ascending, ending in +Inf) and cumulative counts.
+type histScrape struct {
+	bounds []float64
+	counts []float64
+	sum    float64
+	count  float64
+}
+
+// parsePromText parses the subset of the Prometheus text format that
+// ninecd emits: comment lines, bare samples, and _bucket samples whose
+// only label is le. Unparseable lines are skipped rather than fatal so
+// a console never dies mid-refresh on a partial scrape.
+func parsePromText(r io.Reader) (*scrape, error) {
+	s := &scrape{
+		at:      time.Now(),
+		samples: make(map[string]float64),
+		hists:   make(map[string]*histScrape),
+	}
+	type bucketSample struct{ le, v float64 }
+	buckets := make(map[string][]bucketSample)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		id, valStr, ok := splitSample(line)
+		if !ok {
+			continue
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			continue
+		}
+		name, labels := splitLabels(id)
+		if base, isBucket := strings.CutSuffix(name, "_bucket"); isBucket {
+			le, err := parseLe(labels)
+			if err != nil {
+				continue
+			}
+			buckets[base] = append(buckets[base], bucketSample{le, val})
+			continue
+		}
+		s.samples[name] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	for base, bs := range buckets {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		h := &histScrape{
+			sum:   s.samples[base+"_sum"],
+			count: s.samples[base+"_count"],
+		}
+		for _, b := range bs {
+			h.bounds = append(h.bounds, b.le)
+			h.counts = append(h.counts, b.v)
+		}
+		s.hists[base] = h
+	}
+	return s, nil
+}
+
+// splitSample separates "<id> <value>" where id may carry a label set
+// containing spaces inside quotes; ninecd never emits those, so the
+// last space is the separator.
+func splitSample(line string) (id, val string, ok bool) {
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return "", "", false
+	}
+	return strings.TrimSpace(line[:i]), line[i+1:], true
+}
+
+// splitLabels separates a metric id into name and raw label body.
+func splitLabels(id string) (name, labels string) {
+	i := strings.IndexByte(id, '{')
+	if i < 0 {
+		return id, ""
+	}
+	return id[:i], strings.TrimSuffix(id[i+1:], "}")
+}
+
+// parseLe extracts the le bound from a _bucket label body.
+func parseLe(labels string) (float64, error) {
+	for _, part := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || strings.TrimSpace(k) != "le" {
+			continue
+		}
+		v = strings.Trim(strings.TrimSpace(v), `"`)
+		if v == "+Inf" {
+			return math.Inf(1), nil
+		}
+		return strconv.ParseFloat(v, 64)
+	}
+	return 0, fmt.Errorf("no le label in %q", labels)
+}

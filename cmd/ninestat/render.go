@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// render paints one top-style screen of the summary. It writes the
+// whole frame into one builder and flushes it in a single Write so the
+// terminal never shows a half-drawn refresh.
+func render(w io.Writer, sum summary, clear bool) {
+	var b strings.Builder
+	if clear {
+		b.WriteString("\x1b[H\x1b[2J")
+	}
+	fmt.Fprintf(&b, "ninestat — %s — %s   interval %.1fs\n",
+		sum.Addr, time.Now().Format("15:04:05"), sum.IntervalSeconds)
+	ready := "READY"
+	if !sum.SLO.Ready {
+		ready = "DEGRADED"
+	}
+	fmt.Fprintf(&b, "req/s %8.1f   inflight %3.0f   slo %s (err burn %.2f, lat burn %.2f, window %d reqs)\n",
+		sum.ReqPerSec, sum.Inflight, ready,
+		sum.SLO.ErrorBurn, sum.SLO.LatencyBurn, int(sum.SLO.WindowTotal))
+	fmt.Fprintf(&b, "heap %s alloc / %s inuse   goroutines %.0f   gc/s %.2f   gc pause p50 %s p99 %s   sched p99 %s\n\n",
+		mem(sum.HeapAllocBytes), mem(sum.HeapInuseBytes), sum.Goroutines, sum.GCPerSec,
+		us(sum.GCPauseP50Us), us(sum.GCPauseP99Us), us(sum.SchedLatP99Us))
+
+	fmt.Fprintf(&b, "%-14s %9s %8s %8s %8s %9s %9s %9s\n",
+		"ROUTE", "REQ/S", "2XX/S", "4XX/S", "5XX/S", "P50", "P95", "P99")
+	for _, r := range sum.Routes {
+		fmt.Fprintf(&b, "%-14s %9.1f %8.1f %8.1f %8.1f %9s %9s %9s\n",
+			r.Route, r.ReqPerSec, r.Rate2xx, r.Rate4xx, r.Rate5xx,
+			ms(r.P50Ms), ms(r.P95Ms), ms(r.P99Ms))
+	}
+	io.WriteString(w, b.String())
+}
+
+// ms formats a millisecond quantile; 0 means no observations landed in
+// the interval.
+func ms(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	if v < 1 {
+		return fmt.Sprintf("%.0fµs", v*1e3)
+	}
+	return fmt.Sprintf("%.1fms", v)
+}
+
+// us formats a microsecond quantity.
+func us(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	if v >= 1e3 {
+		return fmt.Sprintf("%.1fms", v/1e3)
+	}
+	return fmt.Sprintf("%.0fµs", v)
+}
+
+// mem formats a byte count.
+func mem(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.0fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}

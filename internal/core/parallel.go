@@ -47,7 +47,7 @@ func (c *Codec) EncodeSetParallelCtx(ctx context.Context, s *tcube.Set, workers 
 		}
 		return c.encodeSetSerialCtx(ctx, s)
 	}
-	sp := obs.Active().Span("core.encode_set_parallel").Set("workers", workers)
+	sp := obs.SpanCtx(ctx, "core.encode_set_parallel").Set("workers", workers)
 
 	type chunk struct{ lo, hi int }
 	chunks := make([]chunk, 0, workers)
@@ -147,7 +147,7 @@ func (c *Codec) encodePatternsCtx(ctx context.Context, s *tcube.Set, lo, hi int,
 // encodeSetSerialCtx is the single-worker cancellable encode; its
 // output is bit-identical to EncodeSet.
 func (c *Codec) encodeSetSerialCtx(ctx context.Context, s *tcube.Set) (*Result, error) {
-	sp := obs.Active().Span("core.encode_set")
+	sp := obs.SpanCtx(ctx, "core.encode_set")
 	blocksPer := (s.Width() + c.k - 1) / c.k
 	stream, counts, err := c.encodeChunk(ctx, s, 0, s.Len())
 	if err != nil {

@@ -80,7 +80,7 @@ func (c *Codec) EncodeSetWSCtx(ctx context.Context, ws *Workspace, s *tcube.Set)
 		}
 		return c.encodeSetSerialCtx(ctx, s)
 	}
-	sp := obs.Active().Span("core.encode_set")
+	sp := obs.SpanCtx(ctx, "core.encode_set")
 	blocksPer := (s.Width() + c.k - 1) / c.k
 	ws.enc.reset(c.worstBits(blocksPer * s.Len()))
 	// Accumulate counts directly in the workspace-resident Result so the
@@ -122,8 +122,17 @@ func (c *Codec) RowBits(width int) int {
 // padding). It accepts exactly the streams DecodeSet accepts and
 // reports the identical errors, but allocates nothing per call with a
 // warm workspace on the kernel path. The returned cube aliases ws.
-func (c *Codec) DecodeSetFlatWS(ws *Workspace, stream *bitvec.Cube, width, patterns int) (cube *bitvec.Cube, err error) {
-	sp := obs.Active().Span("core.decode_set")
+func (c *Codec) DecodeSetFlatWS(ws *Workspace, stream *bitvec.Cube, width, patterns int) (*bitvec.Cube, error) {
+	return c.DecodeSetFlatWSCtx(context.Background(), ws, stream, width, patterns)
+}
+
+// DecodeSetFlatWSCtx is DecodeSetFlatWS whose telemetry span nests
+// under the span carried by ctx (a ninecd request root span), sharing
+// its trace ID. The context is used for span threading only — the
+// decode itself is not cancellable, it is too fast to be worth
+// checking.
+func (c *Codec) DecodeSetFlatWSCtx(ctx context.Context, ws *Workspace, stream *bitvec.Cube, width, patterns int) (cube *bitvec.Cube, err error) {
+	sp := obs.SpanCtx(ctx, "core.decode_set")
 	defer func() { observeDecode(sp, width*patterns, err) }()
 	if width < 0 || patterns < 0 {
 		return nil, fmt.Errorf("core: invalid geometry %dx%d: %w", patterns, width, robust.ErrCorrupt)

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// AccessEvent is one completed request in the NDJSON access log: the
+// trace ID, routing, sizes, and timing — the same redaction standard
+// as TraceRecord, so no field ever carries payload bytes.
+type AccessEvent struct {
+	TimeUnixNano int64  `json:"t"`
+	Trace        string `json:"trace"`
+	Route        string `json:"route"`
+	Method       string `json:"method,omitempty"`
+	Status       int    `json:"status"`
+	BytesIn      int64  `json:"bytes_in"`
+	BytesOut     int64  `json:"bytes_out"`
+	QueueWaitNs  int64  `json:"queue_wait_ns,omitempty"`
+	HandlerNs    int64  `json:"handler_ns"`
+	ErrClass     string `json:"err_class,omitempty"`
+}
+
+// AccessLog writes one JSON object per completed request, mutex
+// serialized so concurrent requests never interleave bytes. A nil
+// *AccessLog is a valid disabled log: Log is a no-op, which is how the
+// daemon runs unless -access-log is set.
+type AccessLog struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewAccessLog returns an access log writing NDJSON events to w.
+func NewAccessLog(w io.Writer) *AccessLog {
+	return &AccessLog{enc: json.NewEncoder(w)}
+}
+
+// Log writes one event line, stamping the time if unset. Encoding or
+// write errors are dropped — the access log must never fail the
+// request it records. Nil-safe.
+func (l *AccessLog) Log(e AccessEvent) {
+	if l == nil {
+		return
+	}
+	if e.TimeUnixNano == 0 {
+		e.TimeUnixNano = time.Now().UnixNano()
+	}
+	l.mu.Lock()
+	_ = l.enc.Encode(e)
+	l.mu.Unlock()
+}

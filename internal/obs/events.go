@@ -13,6 +13,7 @@ type Event struct {
 	TimeUnixNano int64          `json:"t"`
 	Type         string         `json:"type"`
 	Name         string         `json:"name"`
+	Trace        string         `json:"trace,omitempty"`
 	DurNs        int64          `json:"dur_ns,omitempty"`
 	SpanID       int64          `json:"span,omitempty"`
 	ParentID     int64          `json:"parent,omitempty"`

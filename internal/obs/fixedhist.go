@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBounds are the request-latency bucket upper bounds in
+// seconds, spanning 500µs to 10s — tight enough that p50/p95/p99
+// recovered by interpolation carry bounded error across the ninecd
+// serving range.
+var DefaultLatencyBounds = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// FixedHistogram is a histogram over explicit, immutable bucket upper
+// bounds (Prometheus-style), with atomic counters so Observe never
+// locks or allocates. Unlike the log2 Histogram, its boundaries are
+// chosen per metric — request latencies use second-scale bounds so
+// quantiles interpolate with bounded error.
+type FixedHistogram struct {
+	bounds  []float64 // ascending upper bounds; an implicit +Inf follows
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+	buckets []atomic.Int64
+}
+
+// newFixedHistogram builds a histogram over the given upper bounds
+// (sorted, deduplicated, non-finite dropped). With no usable bounds it
+// falls back to DefaultLatencyBounds.
+func newFixedHistogram(bounds []float64) *FixedHistogram {
+	clean := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if !math.IsInf(b, 0) && !math.IsNaN(b) {
+			clean = append(clean, b)
+		}
+	}
+	sort.Float64s(clean)
+	uniq := clean[:0]
+	for i, b := range clean {
+		if i == 0 || b != clean[i-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	if len(uniq) == 0 {
+		uniq = append([]float64(nil), DefaultLatencyBounds...)
+	}
+	return &FixedHistogram{
+		bounds:  uniq,
+		buckets: make([]atomic.Int64, len(uniq)+1),
+	}
+}
+
+// Observe records one value. Negative and NaN values clamp into the
+// first bucket (they can never index outside the bucket array), so a
+// hostile or buggy duration cannot corrupt the histogram. Nil-safe.
+func (h *FixedHistogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if math.IsNaN(v) || v < 0 {
+		v = 0
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: le is inclusive
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *FixedHistogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *FixedHistogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *FixedHistogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// FixedHistSnapshot is a point-in-time copy of a fixed-boundary
+// histogram: per-bucket (non-cumulative) counts aligned with Bounds,
+// plus one overflow bucket at the end for values past the last bound.
+type FixedHistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// snapshot copies the histogram's current state.
+func (h *FixedHistogram) snapshot() FixedHistSnapshot {
+	s := FixedHistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}

@@ -73,14 +73,18 @@ type Histogram struct {
 	buckets [histBuckets]atomic.Int64
 }
 
-// Observe records one value. Negative values clamp to bucket 0.
-// No-op on a nil receiver.
+// Observe records one value. Negative values clamp to bucket 0 — the
+// index never derives from an untrusted v's bit pattern, so a hostile
+// or buggy duration (math.MinInt64 included) cannot index outside the
+// bucket array. No-op on a nil receiver.
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
 	}
 	i := 0
 	if v > 0 {
+		// bits.Len64 of a positive int64 is at most 63, safely inside
+		// the 65-bucket array.
 		i = bits.Len64(uint64(v))
 	}
 	h.buckets[i].Add(1)
@@ -122,11 +126,12 @@ type HistSnapshot struct {
 // Snapshot is a point-in-time copy of every metric in a registry, the
 // shape serialized by the CLI -metrics flag.
 type Snapshot struct {
-	TimeUnixNano int64                   `json:"t"`
-	UptimeNs     int64                   `json:"uptime_ns"`
-	Counters     map[string]int64        `json:"counters,omitempty"`
-	Gauges       map[string]int64        `json:"gauges,omitempty"`
-	Histograms   map[string]HistSnapshot `json:"histograms,omitempty"`
+	TimeUnixNano    int64                        `json:"t"`
+	UptimeNs        int64                        `json:"uptime_ns"`
+	Counters        map[string]int64             `json:"counters,omitempty"`
+	Gauges          map[string]int64             `json:"gauges,omitempty"`
+	Histograms      map[string]HistSnapshot      `json:"histograms,omitempty"`
+	FixedHistograms map[string]FixedHistSnapshot `json:"fixed_histograms,omitempty"`
 }
 
 // Snapshot copies the registry's current metric values. Nil-safe: a
@@ -163,6 +168,12 @@ func (r *Registry) Snapshot() *Snapshot {
 			}
 			sort.Slice(hs.Buckets, func(a, b int) bool { return hs.Buckets[a].Pow < hs.Buckets[b].Pow })
 			s.Histograms[name] = hs
+		}
+	}
+	if len(r.fixed) > 0 {
+		s.FixedHistograms = make(map[string]FixedHistSnapshot, len(r.fixed))
+		for name, h := range r.fixed {
+			s.FixedHistograms[name] = h.snapshot()
 		}
 	}
 	return s

@@ -35,6 +35,8 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	fixed    map[string]*FixedHistogram
+	help     map[string]string
 }
 
 // sinkBox wraps a Sink so the atomic pointer has a concrete type.
@@ -47,6 +49,8 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		fixed:    make(map[string]*FixedHistogram),
+		help:     make(map[string]string),
 	}
 }
 
@@ -106,6 +110,34 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// FixedHistogram returns the named fixed-boundary histogram, creating
+// it with the given bucket upper bounds on first use (later calls
+// return the existing histogram regardless of bounds). Nil-safe.
+func (r *Registry) FixedHistogram(name string, bounds []float64) *FixedHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.fixed[name]
+	if !ok {
+		h = newFixedHistogram(bounds)
+		r.fixed[name] = h
+	}
+	return h
+}
+
+// Describe attaches a help string to the named metric, emitted as the
+// Prometheus # HELP line. Nil-safe.
+func (r *Registry) Describe(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
 }
 
 // Emit sends one structured event to the sink, stamped with the

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition (text/plain; version=0.0.4) over
+// the registry. The repo's dot-separated lowercase metric names map
+// onto Prometheus names by replacing every '.' with '_' (PromName);
+// the metric-name contract test keeps that mapping collision-free
+// across the whole registry. Counters gain the conventional _total
+// suffix; log2 histograms export exact integer upper bounds (bucket i
+// holds v < 2^i, so le = 2^i - 1 is exact for integer observations);
+// fixed-boundary histograms export their bounds as-is.
+
+// PromContentType is the Content-Type of the exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName maps a dot-separated metric name onto its Prometheus
+// name: letters, digits, and underscores pass through, every other
+// byte becomes '_', and a leading digit gains a '_' prefix.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP line per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promState is the consistent copy of the registry taken under its
+// mutex, written out lock-free.
+type promState struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	fixed    map[string]*FixedHistogram
+	help     map[string]string
+}
+
+func (r *Registry) promState() promState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := promState{
+		counters: make(map[string]*Counter, len(r.counters)),
+		gauges:   make(map[string]*Gauge, len(r.gauges)),
+		hists:    make(map[string]*Histogram, len(r.hists)),
+		fixed:    make(map[string]*FixedHistogram, len(r.fixed)),
+		help:     make(map[string]string, len(r.help)),
+	}
+	for n, m := range r.counters {
+		st.counters[n] = m
+	}
+	for n, m := range r.gauges {
+		st.gauges[n] = m
+	}
+	for n, m := range r.hists {
+		st.hists[n] = m
+	}
+	for n, m := range r.fixed {
+		st.fixed[n] = m
+	}
+	for n, h := range r.help {
+		st.help[n] = h
+	}
+	return st
+}
+
+// helpFor returns the HELP text for a metric: the Describe()d string
+// when set, otherwise the dotted source name itself — which documents
+// the Prometheus↔registry name mapping in the exposition.
+func (st promState) helpFor(name, kind string) string {
+	if h, ok := st.help[name]; ok {
+		return escapeHelp(h)
+	}
+	return escapeHelp(name + " (" + kind + ")")
+}
+
+// WritePrometheus writes every metric in the registry in the
+// Prometheus text exposition format, families sorted by name for a
+// stable scrape. Nil-safe: a nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	st := r.promState()
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(st.counters)+len(st.gauges)+len(st.hists)+len(st.fixed))
+	for n := range st.counters {
+		names = append(names, n)
+	}
+	for n := range st.gauges {
+		names = append(names, n)
+	}
+	for n := range st.hists {
+		names = append(names, n)
+	}
+	for n := range st.fixed {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		if c, ok := st.counters[name]; ok {
+			fam := PromName(name) + "_total"
+			if seen[fam] {
+				continue
+			}
+			seen[fam] = true
+			fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+				fam, st.helpFor(name, "counter"), fam, fam, c.Value())
+		}
+		if g, ok := st.gauges[name]; ok {
+			fam := PromName(name)
+			if seen[fam] {
+				continue
+			}
+			seen[fam] = true
+			fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+				fam, st.helpFor(name, "gauge"), fam, fam, g.Value())
+		}
+		if h, ok := st.hists[name]; ok {
+			writeLog2Hist(bw, st, name, h, seen)
+		}
+		if h, ok := st.fixed[name]; ok {
+			writeFixedHist(bw, st, name, h, seen)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeLog2Hist exports one log2 histogram as cumulative _bucket,
+// _sum, and _count series. Bucket i of the source holds integer values
+// in [2^(i-1), 2^i) (bucket 0: v <= 0), so le = 2^i - 1 is an exact
+// inclusive upper bound; only populated prefixes are emitted, then
+// +Inf.
+func writeLog2Hist(bw *bufio.Writer, st promState, name string, h *Histogram, seen map[string]bool) {
+	fam := PromName(name)
+	if seen[fam] {
+		return
+	}
+	seen[fam] = true
+	fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s histogram\n",
+		fam, st.helpFor(name, "log2 histogram"), fam)
+	// One pass over the buckets; the +Inf bucket and _count derive from
+	// the same reads, so the cumulative series is consistent even while
+	// writers are racing the scrape.
+	maxPow, total := 0, int64(0)
+	var counts [histBuckets]int64
+	for i := 0; i < histBuckets; i++ {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+		if counts[i] != 0 {
+			maxPow = i
+		}
+	}
+	cum := int64(0)
+	for i := 0; i <= maxPow; i++ {
+		cum += counts[i]
+		var le string
+		if i == 0 {
+			le = "0"
+		} else if i < 64 {
+			le = strconv.FormatUint(1<<uint(i)-1, 10)
+		} else {
+			le = strconv.FormatUint(^uint64(0), 10)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", fam, le, cum)
+	}
+	fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", fam, total)
+	fmt.Fprintf(bw, "%s_sum %d\n%s_count %d\n", fam, h.Sum(), fam, total)
+}
+
+// writeFixedHist exports one fixed-boundary histogram.
+func writeFixedHist(bw *bufio.Writer, st promState, name string, h *FixedHistogram, seen map[string]bool) {
+	fam := PromName(name)
+	if seen[fam] {
+		return
+	}
+	seen[fam] = true
+	fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s histogram\n",
+		fam, st.helpFor(name, "histogram"), fam)
+	s := h.snapshot()
+	cum, total := int64(0), int64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n",
+			fam, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+	}
+	fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", fam, total)
+	fmt.Fprintf(bw, "%s_sum %s\n%s_count %d\n",
+		fam, strconv.FormatFloat(s.Sum, 'g', -1, 64), fam, total)
+}

@@ -1,0 +1,316 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"ninecd.http.encode.requests": "ninecd_http_encode_requests",
+		"already_fine":                "already_fine",
+		"9starts.with.digit":          "_9starts_with_digit",
+		"weird-chars: here":           "weird_chars__here",
+		"":                            "",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// parseProm pulls the samples and the HELP/TYPE sets out of an
+// exposition for assertions.
+func parseProm(t *testing.T, text string) (samples map[string]string, help, typ map[string]string) {
+	t.Helper()
+	samples = make(map[string]string)
+	help = make(map[string]string)
+	typ = make(map[string]string)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, h, _ := strings.Cut(rest, " ")
+			help[name] = h
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, k, _ := strings.Cut(rest, " ")
+			typ[name] = k
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line %q", line)
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		samples[line[:i]] = line[i+1:]
+	}
+	return samples, help, typ
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ninecd.http.requests").Add(7)
+	r.Gauge("ninecd.inflight").Set(3)
+	r.Describe("ninecd.http.requests", "total requests served")
+	h := r.Histogram("ninecd.encode.us")
+	for _, v := range []int64{0, 1, 2, 3, 1024} {
+		h.Observe(v)
+	}
+	f := r.FixedHistogram("ninecd.http.encode.latency_seconds", []float64{0.001, 0.01, 0.1})
+	f.Observe(0.0005)
+	f.Observe(0.05)
+	f.Observe(99) // overflow bucket
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	samples, help, typ := parseProm(t, text)
+
+	if samples["ninecd_http_requests_total"] != "7" {
+		t.Errorf("counter sample = %q, want 7", samples["ninecd_http_requests_total"])
+	}
+	if typ["ninecd_http_requests_total"] != "counter" {
+		t.Errorf("counter TYPE = %q", typ["ninecd_http_requests_total"])
+	}
+	if help["ninecd_http_requests_total"] != "total requests served" {
+		t.Errorf("Describe()d help lost: %q", help["ninecd_http_requests_total"])
+	}
+	if samples["ninecd_inflight"] != "3" || typ["ninecd_inflight"] != "gauge" {
+		t.Errorf("gauge: %q / %q", samples["ninecd_inflight"], typ["ninecd_inflight"])
+	}
+
+	// Log2 histogram: exact integer bounds, cumulative, +Inf == _count.
+	if typ["ninecd_encode_us"] != "histogram" {
+		t.Errorf("hist TYPE = %q", typ["ninecd_encode_us"])
+	}
+	wantBuckets := map[string]string{
+		`ninecd_encode_us_bucket{le="0"}`:    "1",
+		`ninecd_encode_us_bucket{le="1"}`:    "2",
+		`ninecd_encode_us_bucket{le="3"}`:    "4",
+		`ninecd_encode_us_bucket{le="2047"}`: "5",
+		`ninecd_encode_us_bucket{le="+Inf"}`: "5",
+		"ninecd_encode_us_count":             "5",
+		"ninecd_encode_us_sum":               "1030",
+	}
+	for series, want := range wantBuckets {
+		if got := samples[series]; got != want {
+			t.Errorf("%s = %q, want %q", series, got, want)
+		}
+	}
+
+	// Fixed histogram: bounds as written, le inclusive, overflow in +Inf.
+	wantFixed := map[string]string{
+		`ninecd_http_encode_latency_seconds_bucket{le="0.001"}`: "1",
+		`ninecd_http_encode_latency_seconds_bucket{le="0.01"}`:  "1",
+		`ninecd_http_encode_latency_seconds_bucket{le="0.1"}`:   "2",
+		`ninecd_http_encode_latency_seconds_bucket{le="+Inf"}`:  "3",
+		"ninecd_http_encode_latency_seconds_count":              "3",
+	}
+	for series, want := range wantFixed {
+		if got := samples[series]; got != want {
+			t.Errorf("%s = %q, want %q", series, got, want)
+		}
+	}
+
+	// Every sample family must carry HELP and TYPE.
+	for series := range samples {
+		name, _, _ := strings.Cut(series, "{")
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suf); ok {
+				base = b
+				break
+			}
+		}
+		if typ[base] == "" {
+			t.Errorf("series %s has no TYPE for family %s", series, base)
+		}
+		if help[base] == "" {
+			t.Errorf("series %s has no HELP for family %s", series, base)
+		}
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil registry wrote %q", buf.String())
+	}
+}
+
+// TestPrometheusConsistentUnderConcurrentWriters scrapes while writers
+// hammer the registry and asserts each scrape is internally consistent:
+// cumulative bucket series are non-decreasing and the +Inf bucket
+// equals _count for every histogram family. Run under -race in CI.
+func TestPrometheusConsistentUnderConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := r.Histogram("hammer.log2")
+			f := r.FixedHistogram("hammer.fixed", []float64{1, 10, 100})
+			c := r.Counter("hammer.count")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(int64(i % 5000))
+				f.Observe(float64(i % 200))
+				c.Inc()
+			}
+		}(w)
+	}
+	for scrapes := 0; scrapes < 50; scrapes++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		samples, _, _ := parseProm(t, buf.String())
+		for _, fam := range []string{"hammer_log2", "hammer_fixed"} {
+			var inf, maxBucket int64
+			for series, val := range samples {
+				if !strings.HasPrefix(series, fam+"_bucket") {
+					continue
+				}
+				v, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					t.Fatalf("%s = %q: %v", series, val, err)
+				}
+				if strings.Contains(series, "+Inf") {
+					inf = v
+				} else if v > maxBucket {
+					maxBucket = v
+				}
+			}
+			count, _ := strconv.ParseInt(samples[fam+"_count"], 10, 64)
+			if inf != count {
+				t.Fatalf("scrape %d: %s +Inf bucket %d != _count %d", scrapes, fam, inf, count)
+			}
+			if maxBucket > inf {
+				t.Fatalf("scrape %d: %s cumulative bucket %d exceeds +Inf %d", scrapes, fam, maxBucket, inf)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSnapshotConsistentUnderConcurrentWriters pins the JSON snapshot
+// path under the race detector: bucket sums never exceed the count
+// recorded in the same snapshot by more than the writers still in
+// flight could explain, and the snapshot itself never tears.
+func TestSnapshotConsistentUnderConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := r.Histogram("snap.h")
+			f := r.FixedHistogram("snap.f", DefaultLatencyBounds)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(int64(i))
+				f.Observe(float64(i%100) / 100)
+				r.Counter("snap.c").Inc()
+				r.Gauge("snap.g").Set(int64(i))
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		s := r.Snapshot()
+		if s.TimeUnixNano == 0 {
+			t.Fatal("snapshot missing timestamp")
+		}
+		if hs, ok := s.Histograms["snap.h"]; ok {
+			var sum int64
+			for _, b := range hs.Buckets {
+				sum += b.Count
+			}
+			if sum < 0 {
+				t.Fatalf("bucket sum overflowed: %d", sum)
+			}
+		}
+		if fs, ok := s.FixedHistograms["snap.f"]; ok {
+			if len(fs.Counts) != len(fs.Bounds)+1 {
+				t.Fatalf("fixed snapshot shape: %d counts for %d bounds", len(fs.Counts), len(fs.Bounds))
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFixedHistogramObserve(t *testing.T) {
+	h := newFixedHistogram([]float64{10, 1, 1, math.Inf(1), math.NaN(), 5})
+	// Bounds sort, dedupe, and drop non-finite: {1, 5, 10}.
+	if len(h.bounds) != 3 || h.bounds[0] != 1 || h.bounds[2] != 10 {
+		t.Fatalf("bounds = %v, want [1 5 10]", h.bounds)
+	}
+	h.Observe(1) // le inclusive: lands in bucket 0
+	h.Observe(2)
+	h.Observe(100)          // overflow
+	h.Observe(-7)           // clamps to first bucket
+	h.Observe(math.NaN())   // clamps to first bucket
+	h.Observe(math.Inf(-1)) // negative infinity clamps too
+	s := h.snapshot()
+	if s.Counts[0] != 4 || s.Counts[1] != 1 || s.Counts[3] != 1 {
+		t.Errorf("counts = %v, want [4 1 0 1]", s.Counts)
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+
+	// Empty bounds fall back to the latency defaults.
+	d := newFixedHistogram(nil)
+	if len(d.bounds) != len(DefaultLatencyBounds) {
+		t.Errorf("fallback bounds = %v", d.bounds)
+	}
+}
+
+// TestHistogramNegativeClamp pins the hardening contract: any negative
+// value — math.MinInt64 included, whose bit pattern is hostile to
+// naive bucket math — lands in bucket 0 and never corrupts the array.
+func TestHistogramNegativeClamp(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{-1, -1024, math.MinInt64, 0} {
+		h.Observe(v)
+	}
+	if got := h.buckets[0].Load(); got != 4 {
+		t.Fatalf("bucket 0 = %d, want all 4 non-positive observations", got)
+	}
+	for i := 1; i < histBuckets; i++ {
+		if h.buckets[i].Load() != 0 {
+			t.Fatalf("bucket %d nonzero after negative observations", i)
+		}
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+}

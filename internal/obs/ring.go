@@ -1,0 +1,136 @@
+package obs
+
+import "sync"
+
+// SpanRecord is one finished span inside a retained trace: name,
+// identity, and timing only — span fields are deliberately excluded so
+// a trace export can never carry payload bytes or internal state.
+type SpanRecord struct {
+	Name          string `json:"name"`
+	SpanID        int64  `json:"span"`
+	ParentID      int64  `json:"parent,omitempty"`
+	StartUnixNano int64  `json:"t"`
+	DurNs         int64  `json:"dur_ns"`
+}
+
+// TraceRecord is one completed request as retained by a TraceBuffer:
+// routing metadata, sizes, timing, and the nested span tree. No field
+// ever holds request or response payload bytes.
+type TraceRecord struct {
+	TraceID       string       `json:"trace"`
+	Route         string       `json:"route"`
+	Method        string       `json:"method,omitempty"`
+	Status        int          `json:"status"`
+	StartUnixNano int64        `json:"t"`
+	DurNs         int64        `json:"dur_ns"`
+	BytesIn       int64        `json:"bytes_in,omitempty"`
+	BytesOut      int64        `json:"bytes_out,omitempty"`
+	QueueWaitNs   int64        `json:"queue_wait_ns,omitempty"`
+	ErrClass      string       `json:"err_class,omitempty"`
+	Spans         []SpanRecord `json:"spans,omitempty"`
+}
+
+// TraceBuffer retains the N most recent and the N slowest completed
+// traces under one short-critical-section mutex: Record copies a
+// fixed-size struct header and at most shifts the slow list, so it is
+// cheap enough for every request. The buffer is bounded — memory never
+// grows with traffic.
+type TraceBuffer struct {
+	mu      sync.Mutex
+	recent  []TraceRecord // ring; next is the oldest slot
+	next    int
+	filled  bool
+	slow    []TraceRecord // ascending by DurNs; [0] is the fastest kept
+	slowCap int
+	total   int64
+}
+
+// NewTraceBuffer returns a buffer keeping the given number of recent
+// and slowest traces (minimum 1 each).
+func NewTraceBuffer(recent, slowest int) *TraceBuffer {
+	if recent < 1 {
+		recent = 1
+	}
+	if slowest < 1 {
+		slowest = 1
+	}
+	return &TraceBuffer{
+		recent:  make([]TraceRecord, recent),
+		slow:    make([]TraceRecord, 0, slowest),
+		slowCap: slowest,
+	}
+}
+
+// Record retains one completed trace. Nil-safe no-op.
+func (b *TraceBuffer) Record(rec TraceRecord) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.total++
+	b.recent[b.next] = rec
+	b.next++
+	if b.next == len(b.recent) {
+		b.next, b.filled = 0, true
+	}
+	if len(b.slow) < b.slowCap {
+		b.slow = append(b.slow, rec)
+		b.sortUpFrom(len(b.slow) - 1)
+	} else if rec.DurNs > b.slow[0].DurNs {
+		b.slow[0] = rec
+		b.sortUpFrom(0)
+	}
+}
+
+// sortUpFrom restores ascending DurNs order after slot i changed, by
+// bubbling it toward its place (the list is tiny and already sorted
+// elsewhere, so this is O(len)).
+func (b *TraceBuffer) sortUpFrom(i int) {
+	for i+1 < len(b.slow) && b.slow[i].DurNs > b.slow[i+1].DurNs {
+		b.slow[i], b.slow[i+1] = b.slow[i+1], b.slow[i]
+		i++
+	}
+	for i > 0 && b.slow[i].DurNs < b.slow[i-1].DurNs {
+		b.slow[i], b.slow[i-1] = b.slow[i-1], b.slow[i]
+		i--
+	}
+}
+
+// Traces returns copies of the retained traces: recent newest-first
+// and slowest slowest-first. Nil-safe (empty results).
+func (b *TraceBuffer) Traces() (recent, slowest []TraceRecord) {
+	if b == nil {
+		return nil, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.next
+	if !b.filled {
+		recent = make([]TraceRecord, 0, n)
+		for i := n - 1; i >= 0; i-- {
+			recent = append(recent, b.recent[i])
+		}
+	} else {
+		recent = make([]TraceRecord, 0, len(b.recent))
+		for i := 0; i < len(b.recent); i++ {
+			recent = append(recent, b.recent[(n-1-i+len(b.recent))%len(b.recent)])
+		}
+	}
+	slowest = make([]TraceRecord, len(b.slow))
+	for i := range b.slow {
+		slowest[i] = b.slow[len(b.slow)-1-i]
+	}
+	return recent, slowest
+}
+
+// Total returns how many traces have been recorded over the buffer's
+// lifetime (0 on nil).
+func (b *TraceBuffer) Total() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}

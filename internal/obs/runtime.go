@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"runtime"
+	rtm "runtime/metrics"
+	"sync"
+	"time"
+)
+
+// RuntimeCollector samples Go runtime health into a registry: heap and
+// GC gauges from runtime.ReadMemStats, per-pause GC durations into the
+// log2 histogram runtime.gc_pause_ns, and scheduler-latency quantiles
+// from runtime/metrics' /sched/latencies:seconds (computed over the
+// delta since the previous sample, so the gauges reflect recent
+// behavior, not the process lifetime). Sample is cheap enough to run
+// both on a background ticker and on demand at /metrics scrape time.
+type RuntimeCollector struct {
+	reg *Registry
+
+	mu         sync.Mutex
+	lastNumGC  uint32
+	schedPrev  []uint64 // previous cumulative sched-latency bucket counts
+	schedOK    bool
+	samples    [1]rtm.Sample
+	lastSample time.Time
+}
+
+// schedLatencyMetric is the runtime/metrics name sampled for scheduler
+// latency.
+const schedLatencyMetric = "/sched/latencies:seconds"
+
+// NewRuntimeCollector returns a collector publishing into reg. A nil
+// registry yields a nil collector whose methods are no-ops.
+func NewRuntimeCollector(reg *Registry) *RuntimeCollector {
+	if reg == nil {
+		return nil
+	}
+	c := &RuntimeCollector{reg: reg}
+	c.samples[0].Name = schedLatencyMetric
+	reg.Describe("runtime.gc_pause_ns", "stop-the-world GC pause durations in nanoseconds")
+	reg.Describe("runtime.gc_cpu_fraction_ppm", "fraction of available CPU consumed by the GC, in parts per million")
+	reg.Describe("runtime.sched_latency_p50_ns", "median goroutine scheduling latency since the previous sample")
+	reg.Describe("runtime.sched_latency_p99_ns", "p99 goroutine scheduling latency since the previous sample")
+	return c
+}
+
+// Sample takes one runtime sample and publishes it. Nil-safe, and
+// rate-limited to one real sample per 100ms so a scrape storm cannot
+// turn ReadMemStats into load.
+func (c *RuntimeCollector) Sample() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	if now.Sub(c.lastSample) < 100*time.Millisecond {
+		return
+	}
+	c.lastSample = now
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg := c.reg
+	reg.Gauge("runtime.heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	reg.Gauge("runtime.heap_inuse_bytes").Set(int64(ms.HeapInuse))
+	reg.Gauge("runtime.heap_sys_bytes").Set(int64(ms.HeapSys))
+	reg.Gauge("runtime.next_gc_bytes").Set(int64(ms.NextGC))
+	reg.Gauge("runtime.goroutines").Set(int64(runtime.NumGoroutine()))
+	reg.Gauge("runtime.num_gc").Set(int64(ms.NumGC))
+	reg.Gauge("runtime.gc_pause_total_ns").Set(int64(ms.PauseTotalNs))
+	reg.Gauge("runtime.gc_cpu_fraction_ppm").Set(int64(ms.GCCPUFraction * 1e6))
+
+	// New GC pauses since the previous sample land in the pause
+	// histogram; the runtime keeps the last 256 in a ring.
+	if n := ms.NumGC - c.lastNumGC; n > 0 {
+		if n > 256 {
+			n = 256
+		}
+		h := reg.Histogram("runtime.gc_pause_ns")
+		for i := uint32(0); i < n; i++ {
+			h.Observe(int64(ms.PauseNs[(ms.NumGC-1-i)%256]))
+		}
+	}
+	c.lastNumGC = ms.NumGC
+
+	c.sampleSchedLatency(reg)
+}
+
+// sampleSchedLatency publishes p50/p99 scheduler latency over the
+// bucket-count delta since the previous call.
+func (c *RuntimeCollector) sampleSchedLatency(reg *Registry) {
+	rtm.Read(c.samples[:])
+	if c.samples[0].Value.Kind() != rtm.KindFloat64Histogram {
+		return
+	}
+	h := c.samples[0].Value.Float64Histogram()
+	if h == nil || len(h.Counts) == 0 {
+		return
+	}
+	cur := h.Counts
+	var delta []uint64
+	if c.schedOK && len(c.schedPrev) == len(cur) {
+		delta = make([]uint64, len(cur))
+		for i := range cur {
+			delta[i] = cur[i] - c.schedPrev[i]
+		}
+	} else {
+		delta = cur
+	}
+	c.schedPrev = append(c.schedPrev[:0], cur...)
+	c.schedOK = true
+
+	total := uint64(0)
+	for _, d := range delta {
+		total += d
+	}
+	if total == 0 {
+		return
+	}
+	reg.Gauge("runtime.sched_latency_p50_ns").Set(schedQuantileNs(h.Buckets, delta, total, 0.50))
+	reg.Gauge("runtime.sched_latency_p99_ns").Set(schedQuantileNs(h.Buckets, delta, total, 0.99))
+}
+
+// schedQuantileNs picks the upper boundary (in ns) of the bucket
+// containing the q-th observation. Buckets has len(counts)+1 edges.
+func schedQuantileNs(buckets []float64, counts []uint64, total uint64, q float64) int64 {
+	rank := uint64(q * float64(total))
+	cum := uint64(0)
+	for i, cnt := range counts {
+		cum += cnt
+		if cum > rank {
+			hi := buckets[i+1]
+			if hi > 10 { // +Inf or absurd edge: report the lower edge instead
+				hi = buckets[i]
+			}
+			return int64(hi * 1e9)
+		}
+	}
+	return int64(buckets[len(buckets)-1] * 1e9)
+}
+
+// Start launches a background sampling loop at the given interval
+// (default 5s when non-positive) and returns its stop function.
+// Nil-safe: a nil collector returns a no-op stop.
+func (c *RuntimeCollector) Start(interval time.Duration) (stop func()) {
+	if c == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		c.Sample()
+		for {
+			select {
+			case <-t.C:
+				c.Sample()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLOConfig describes the serving objectives tracked by an SLOTracker.
+type SLOConfig struct {
+	// Window is the rolling evaluation window (default 5m, floor 10s).
+	Window time.Duration
+	// Availability is the fraction of requests that must not fail
+	// (5xx), e.g. 0.999. The error budget is 1 - Availability.
+	Availability float64
+	// LatencyObjective is the per-request latency bound, and
+	// LatencyTarget the fraction of requests that must meet it
+	// (e.g. 250ms at 0.99).
+	LatencyObjective time.Duration
+	LatencyTarget    float64
+	// BurnThreshold is the burn rate at which Ready flips false
+	// (default 2: consuming budget at twice the sustainable rate
+	// degrades /readyz before /healthz would ever fail).
+	BurnThreshold float64
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Window <= 0 {
+		c.Window = 5 * time.Minute
+	}
+	if c.Window < 10*time.Second {
+		c.Window = 10 * time.Second
+	}
+	if c.Availability <= 0 || c.Availability >= 1 {
+		c.Availability = 0.999
+	}
+	if c.LatencyObjective <= 0 {
+		c.LatencyObjective = 250 * time.Millisecond
+	}
+	if c.LatencyTarget <= 0 || c.LatencyTarget >= 1 {
+		c.LatencyTarget = 0.99
+	}
+	if c.BurnThreshold <= 0 {
+		c.BurnThreshold = 2
+	}
+	return c
+}
+
+// sloBucket aggregates one second of observations.
+type sloBucket struct {
+	sec    int64
+	total  int64
+	errors int64
+	slow   int64
+}
+
+// SLOTracker maintains rolling-window availability and latency
+// objectives over per-second buckets. Observe is O(1) under one mutex
+// with a tiny critical section; Status folds the live window. A nil
+// tracker is a valid disabled tracker: Observe is a no-op and Status
+// reports an always-ready zero window.
+type SLOTracker struct {
+	cfg SLOConfig
+
+	mu      sync.Mutex
+	buckets []sloBucket
+
+	// Cumulative burn counters (exported as Prometheus counters).
+	cumTotal  int64
+	cumErrors int64
+	cumSlow   int64
+}
+
+// NewSLOTracker returns a tracker for the given objectives.
+func NewSLOTracker(cfg SLOConfig) *SLOTracker {
+	cfg = cfg.withDefaults()
+	return &SLOTracker{
+		cfg:     cfg,
+		buckets: make([]sloBucket, int(cfg.Window/time.Second)),
+	}
+}
+
+// Config returns the tracker's effective (defaulted) config.
+func (t *SLOTracker) Config() SLOConfig {
+	if t == nil {
+		return SLOConfig{}.withDefaults()
+	}
+	return t.cfg
+}
+
+// Observe records one completed request. Nil-safe.
+func (t *SLOTracker) Observe(d time.Duration, isError bool) {
+	if t == nil {
+		return
+	}
+	sec := time.Now().Unix()
+	t.mu.Lock()
+	b := &t.buckets[sec%int64(len(t.buckets))]
+	if b.sec != sec {
+		*b = sloBucket{sec: sec}
+	}
+	b.total++
+	t.cumTotal++
+	if isError {
+		b.errors++
+		t.cumErrors++
+	}
+	if d > t.cfg.LatencyObjective {
+		b.slow++
+		t.cumSlow++
+	}
+	t.mu.Unlock()
+}
+
+// SLOStatus is one evaluation of the rolling window.
+type SLOStatus struct {
+	WindowSeconds int     `json:"window_s"`
+	Total         int64   `json:"total"`
+	Errors        int64   `json:"errors"`
+	Slow          int64   `json:"slow"`
+	ErrorBurn     float64 `json:"error_burn"`   // 1.0 = consuming exactly the error budget
+	LatencyBurn   float64 `json:"latency_burn"` // 1.0 = consuming exactly the latency budget
+	Ready         bool    `json:"ready"`
+}
+
+// Status evaluates the window now. An empty window is ready (no
+// traffic means no budget burn). Nil-safe.
+func (t *SLOTracker) Status() SLOStatus {
+	if t == nil {
+		return SLOStatus{Ready: true}
+	}
+	now := time.Now().Unix()
+	t.mu.Lock()
+	var total, errors, slow int64
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		if b.sec > now-int64(len(t.buckets)) && b.sec <= now {
+			total += b.total
+			errors += b.errors
+			slow += b.slow
+		}
+	}
+	t.mu.Unlock()
+
+	st := SLOStatus{
+		WindowSeconds: len(t.buckets),
+		Total:         total, Errors: errors, Slow: slow,
+		Ready: true,
+	}
+	if total > 0 {
+		st.ErrorBurn = (float64(errors) / float64(total)) / (1 - t.cfg.Availability)
+		st.LatencyBurn = (float64(slow) / float64(total)) / (1 - t.cfg.LatencyTarget)
+		st.Ready = st.ErrorBurn < t.cfg.BurnThreshold && st.LatencyBurn < t.cfg.BurnThreshold
+	}
+	return st
+}
+
+// Publish exports the tracker's cumulative burn counters and the
+// current window as registry metrics (called at scrape time so the
+// exposition always reflects a fresh evaluation). Nil-safe on both
+// receiver and registry.
+func (t *SLOTracker) Publish(reg *Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	st := t.Status()
+	t.mu.Lock()
+	cumTotal, cumErrors, cumSlow := t.cumTotal, t.cumErrors, t.cumSlow
+	t.mu.Unlock()
+
+	// Counters are cumulative and monotone; Add the delta against the
+	// registry's current value so repeated Publish calls stay exact.
+	setCounter := func(name string, v int64) {
+		c := reg.Counter(name)
+		if d := v - c.Value(); d > 0 {
+			c.Add(d)
+		}
+	}
+	setCounter("ninecd.slo.observed", cumTotal)
+	setCounter("ninecd.slo.errors", cumErrors)
+	setCounter("ninecd.slo.slow", cumSlow)
+	reg.Gauge("ninecd.slo.window_total").Set(st.Total)
+	reg.Gauge("ninecd.slo.window_errors").Set(st.Errors)
+	reg.Gauge("ninecd.slo.window_slow").Set(st.Slow)
+	reg.Gauge("ninecd.slo.error_burn_ppm").Set(int64(st.ErrorBurn * 1e6))
+	reg.Gauge("ninecd.slo.latency_burn_ppm").Set(int64(st.LatencyBurn * 1e6))
+	ready := int64(0)
+	if st.Ready {
+		ready = 1
+	}
+	reg.Gauge("ninecd.slo.ready").Set(ready)
+}

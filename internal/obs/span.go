@@ -1,6 +1,9 @@
 package obs
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // Span measures one timed stage. End records the duration into the
 // histogram "span.<name>" (nanoseconds) and, when a sink is attached,
@@ -8,12 +11,14 @@ import "time"
 // Child and are goroutine-safe across spans (a single span's Set/End
 // must not race with itself, matching the usual start/stop usage).
 type Span struct {
-	r      *Registry
-	name   string
-	id     int64
-	parent int64
-	start  time.Time
-	fields map[string]any
+	r       *Registry
+	name    string
+	id      int64
+	parent  int64
+	trace   string
+	collect *spanCollector
+	start   time.Time
+	fields  map[string]any
 }
 
 // Span starts a root span. Nil-safe: a nil registry returns a nil
@@ -26,14 +31,78 @@ func (r *Registry) Span(name string) *Span {
 }
 
 // Child starts a nested span; its trace event links back through the
-// parent span ID. Nil-safe.
+// parent span ID, and it inherits the parent's trace ID and span
+// collector (so a whole request tree lands in one TraceRecord).
+// Nil-safe.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
 	c := s.r.Span(name)
 	c.parent = s.id
+	c.trace = s.trace
+	c.collect = s.collect
 	return c
+}
+
+// WithTraceID stamps the span (and, through Child, its descendants)
+// with a request-scoped trace ID carried on every emitted event.
+// It returns the span for chaining and is nil-safe.
+func (s *Span) WithTraceID(id string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.trace = id
+	return s
+}
+
+// TraceID returns the span's trace ID ("" on nil or untraced spans).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace
+}
+
+// Collect attaches a fresh span collector: this span and every
+// descendant started through Child append a SpanRecord on End, drained
+// by Records. Meant for request root spans; nil-safe.
+func (s *Span) Collect() *Span {
+	if s == nil {
+		return nil
+	}
+	s.collect = &spanCollector{}
+	return s
+}
+
+// Records drains the collected span records (nil without a collector
+// or on a nil span). Call after End; the records carry only names,
+// IDs, and durations — never payload data.
+func (s *Span) Records() []SpanRecord {
+	if s == nil || s.collect == nil {
+		return nil
+	}
+	return s.collect.take()
+}
+
+// spanCollector accumulates the finished spans of one trace.
+type spanCollector struct {
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+func (c *spanCollector) add(rec SpanRecord) {
+	c.mu.Lock()
+	c.spans = append(c.spans, rec)
+	c.mu.Unlock()
+}
+
+func (c *spanCollector) take() []SpanRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.spans
+	c.spans = nil
+	return out
 }
 
 // Set attaches a key/value field included in the span's trace event.
@@ -65,9 +134,16 @@ func (s *Span) End() {
 	}
 	dur := time.Since(s.start)
 	s.r.Histogram("span." + s.name).Observe(dur.Nanoseconds())
+	if s.collect != nil {
+		s.collect.add(SpanRecord{
+			Name: s.name, SpanID: s.id, ParentID: s.parent,
+			StartUnixNano: s.start.UnixNano(), DurNs: dur.Nanoseconds(),
+		})
+	}
 	s.r.emit(Event{
 		Type:     "span",
 		Name:     s.name,
+		Trace:    s.trace,
 		DurNs:    dur.Nanoseconds(),
 		SpanID:   s.id,
 		ParentID: s.parent,

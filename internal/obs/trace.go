@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+	"time"
+)
+
+// Request-scoped tracing: a trace ID names one external request, and
+// spans started from that request's context inherit it, so the
+// guard → admission → codec stages of one HTTP call share a single ID
+// that is also echoed to the client as X-Request-ID. The context
+// carries at most two values — the trace ID string and the current
+// span — and every helper is nil-safe and free when telemetry is
+// disabled (SpanCtx returns nil after one atomic load, without even
+// touching the context).
+
+type traceIDKey struct{}
+type spanKey struct{}
+
+// ContextWithTraceID returns ctx carrying the trace ID; spans started
+// from it via SpanCtx inherit the ID.
+func ContextWithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFromContext returns the trace ID carried by ctx ("" if none).
+func TraceIDFromContext(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
+
+// ContextWithSpan returns ctx carrying sp as the current span; SpanCtx
+// nests new spans under it. A nil span returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFromContext returns the current span carried by ctx (nil if
+// none).
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// SpanCtx starts a span as a child of the span in ctx when one is
+// present (inheriting its trace ID and collector), and as a root span
+// stamped with the context's trace ID otherwise. When telemetry is
+// disabled it returns nil after a single atomic load — the context is
+// not inspected, so the disabled hot path stays allocation-free.
+func SpanCtx(ctx context.Context, name string) *Span {
+	r := Active()
+	if r == nil {
+		return nil
+	}
+	if parent := SpanFromContext(ctx); parent != nil {
+		return parent.Child(name)
+	}
+	sp := r.Span(name)
+	sp.trace = TraceIDFromContext(ctx)
+	return sp
+}
+
+// traceSeq makes generated trace IDs unique within the process even if
+// the random source ever fails; traceEntropy makes them unique across
+// processes.
+var (
+	traceSeq     atomic.Uint64
+	traceEntropy = func() uint64 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return uint64(time.Now().UnixNano())
+		}
+		return binary.LittleEndian.Uint64(b[:])
+	}()
+)
+
+// NewTraceID returns a fresh 16-hex-character request ID, unique per
+// process instance (random 64-bit process tag mixed with a sequence
+// counter). It never fails and never blocks.
+func NewTraceID() string {
+	n := traceSeq.Add(1)
+	// Mix the counter through a 64-bit finalizer so consecutive IDs do
+	// not share a prefix (splitmix64 output function).
+	x := traceEntropy + n*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], x)
+	return hex.EncodeToString(b[:])
+}

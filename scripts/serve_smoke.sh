@@ -1,7 +1,10 @@
 #!/bin/sh
 # serve-smoke gate: boot ninecd on an ephemeral port, round-trip the
-# example cube set through /encode -> /decode with curl, scrape
-# /metrics, then prove SIGTERM drains gracefully (exit 0, drain log).
+# example cube set through /encode -> /decode with curl, scrape both
+# metric expositions (Prometheus text at /metrics, JSON at
+# /metrics.json), check the X-Request-ID echo, drive ninestat -once
+# against the live daemon under curl load, then prove SIGTERM drains
+# gracefully (exit 0, drain log).
 set -eu
 
 GO=${GO:-go}
@@ -16,6 +19,7 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 $GO build -o "$tmp/ninecd" ./cmd/ninecd
+$GO build -o "$tmp/ninestat" ./cmd/ninestat
 "$tmp/ninecd" -addr localhost:0 -k 8 >"$tmp/log" 2>&1 &
 pid=$!
 
@@ -57,12 +61,70 @@ if [ "$want" != "$got" ]; then
 	exit 1
 fi
 
-metrics=$(curl -fsS "$base/metrics")
+# Every response must echo X-Request-ID: an inbound value verbatim, a
+# generated one otherwise.
+echoed=$(curl -fsS -D - -o /dev/null -H 'X-Request-ID: smoke-rid-7' "$base/healthz" |
+	tr -d '\r' | sed -n 's/^[Xx]-[Rr]equest-[Ii][Dd]: //p')
+if [ "$echoed" != "smoke-rid-7" ]; then
+	echo "serve-smoke: X-Request-ID not echoed (got '$echoed')" >&2
+	exit 1
+fi
+generated=$(curl -fsS -D - -o /dev/null "$base/healthz" |
+	tr -d '\r' | sed -n 's/^[Xx]-[Rr]equest-[Ii][Dd]: //p')
+if [ -z "$generated" ]; then
+	echo "serve-smoke: no generated X-Request-ID on a bare request" >&2
+	exit 1
+fi
+
+# Prometheus exposition: a histogram _bucket series and the request
+# counter family must be present in valid text format.
+prom=$(curl -fsS "$base/metrics")
+case $prom in
+*'_bucket{le="'*) ;;
+*)
+	echo "serve-smoke: /metrics has no _bucket series:" >&2
+	echo "$prom" | head -40 >&2
+	exit 1
+	;;
+esac
+case $prom in
+*'ninecd_http_requests_total'*) ;;
+*)
+	echo "serve-smoke: /metrics missing ninecd_http_requests_total:" >&2
+	echo "$prom" | head -40 >&2
+	exit 1
+	;;
+esac
+
+# JSON snapshot moved to /metrics.json.
+metrics=$(curl -fsS "$base/metrics.json")
 case $metrics in
 *'"ninecd.encode.requests"'*) ;;
 *)
-	echo "serve-smoke: /metrics missing the encode counter:" >&2
+	echo "serve-smoke: /metrics.json missing the encode counter:" >&2
 	echo "$metrics" >&2
+	exit 1
+	;;
+esac
+
+# ninestat -once against the live daemon while curl generates load: the
+# summary must be JSON reporting non-zero req/s.
+(
+	i=0
+	while [ $i -lt 50 ]; do
+		curl -fsS -o /dev/null --data-binary @examples/cubes.txt \
+			"$base/encode?k=8&name=load" || break
+		i=$((i + 1))
+	done
+) &
+loadpid=$!
+"$tmp/ninestat" -addr "$addr" -once -interval 1s >"$tmp/stat.json"
+wait "$loadpid" || true
+rps=$(sed -n 's/^[[:space:]]*"req_per_sec": \([0-9.]*\).*/\1/p' "$tmp/stat.json" | head -n 1)
+case $rps in
+'' | 0 | 0.0)
+	echo "serve-smoke: ninestat -once reported req/s '$rps' under load:" >&2
+	cat "$tmp/stat.json" >&2
 	exit 1
 	;;
 esac
