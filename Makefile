@@ -1,15 +1,16 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race bench bench-json bench-gate bench-campaign campaign-smoke telemetry-smoke serve-smoke metriclint overhead-guard fuzz-smoke vuln
+.PHONY: check fmt vet build test race bench bench-json bench-gate bench-campaign campaign-smoke telemetry-smoke serve-smoke chaos-smoke resilience-soak metriclint overhead-guard fuzz-smoke vuln
 
 ## check: the full pre-merge gate — formatting, vet, build, race tests,
 ## the campaign-equivalence smoke, telemetry smoke, the ninecd serving
-## smoke, the metric-name contract lint, the disabled-telemetry
-## overhead guard, a short fuzz pass over every hostile-input decoder,
-## the bench regression gate over the two newest snapshots, and (when
-## installed) govulncheck.
-check: fmt vet build race campaign-smoke telemetry-smoke serve-smoke metriclint overhead-guard fuzz-smoke bench-gate vuln
+## smoke, the seeded chaos/SLO smoke, the client resilience soak, the
+## metric-name contract lint, the disabled-telemetry overhead guard, a
+## short fuzz pass over every hostile-input decoder, the bench
+## regression gate over the two newest snapshots, and (when installed)
+## govulncheck.
+check: fmt vet build race campaign-smoke telemetry-smoke serve-smoke chaos-smoke resilience-soak metriclint overhead-guard fuzz-smoke bench-gate vuln
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -69,6 +70,19 @@ telemetry-smoke:
 ## graceful SIGTERM drain.
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
+
+## chaos-smoke: fire ninecload at a live ninecd through the seeded
+## chaos proxy (latency + 5% resets + 5% slow-loris) and require a
+## clean SLO verdict — zero unclassified client errors, zero daemon
+## panics, budgets respected — then a graceful SIGTERM drain.
+chaos-smoke:
+	GO="$(GO)" sh scripts/chaos_smoke.sh
+
+## resilience-soak: a short -race soak of the client retry path —
+## concurrent goroutines through retrier, breaker, and limiter against
+## a misbehaving server, asserting budgets and classification.
+resilience-soak:
+	$(GO) test -race ./internal/ninecdclient -run 'Soak' -count=1
 
 ## metriclint: enforce the metric-name contract — dot-separated
 ## lowercase names whose Prometheus mapping is stable and

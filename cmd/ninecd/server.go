@@ -11,6 +11,7 @@ import (
 	"runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bitvec"
@@ -71,6 +72,17 @@ type config struct {
 	MaxBits     int           // decode limit on stored |T_E| (0 = default)
 	Drain       time.Duration // graceful-shutdown budget
 
+	// Adaptive admission (see admission.go). ShedQueue is the queued-
+	// request depth at which new arrivals are refused immediately
+	// (0 = Workers*8); ShedMemBytes sheds when the heap exceeds it
+	// (0 = disabled). PrioBytes bounds the /decode body size that
+	// qualifies for the priority lane (0 = 64 KiB) and PrioSlots sizes
+	// that lane (0 = max(1, Workers/4)).
+	ShedQueue    int
+	ShedMemBytes int64
+	PrioBytes    int64
+	PrioSlots    int
+
 	// SLO objectives backing /readyz (zero fields take the obs
 	// defaults: 5m window, 99.9% availability, 250ms at p99).
 	SLOWindow        time.Duration
@@ -101,6 +113,18 @@ func (c config) withDefaults() config {
 	if c.Drain <= 0 {
 		c.Drain = 15 * time.Second
 	}
+	if c.ShedQueue <= 0 {
+		c.ShedQueue = c.Workers * 8
+	}
+	if c.PrioBytes <= 0 {
+		c.PrioBytes = 64 << 10
+	}
+	if c.PrioSlots <= 0 {
+		c.PrioSlots = c.Workers / 4
+		if c.PrioSlots < 1 {
+			c.PrioSlots = 1
+		}
+	}
 	return c
 }
 
@@ -123,11 +147,16 @@ type server struct {
 	cfg    config
 	reg    *obs.Registry
 	sem    chan struct{}
+	prio   chan struct{} // extra slots for small /decode (admission.go)
 	mux    *http.ServeMux
 	traces *obs.TraceBuffer
 	slo    *obs.SLOTracker
 	rc     *obs.RuntimeCollector
 	access *obs.AccessLog
+
+	draining atomic.Bool // set by StartDrain; flips /readyz to 503
+	queued   *obs.Gauge  // requests waiting for a worker slot
+	heap     *obs.Gauge  // runtime.heap_alloc_bytes, for memory shedding
 }
 
 // traceRecent/traceSlowest size the /debug/traces retention: bounded,
@@ -156,6 +185,9 @@ func newServer(cfg config, reg *obs.Registry) *server {
 		rc:     obs.NewRuntimeCollector(reg),
 		access: cfg.Access,
 	}
+	s.prio = make(chan struct{}, cfg.PrioSlots)
+	s.queued = reg.Gauge("ninecd.queued")
+	s.heap = reg.Gauge("runtime.heap_alloc_bytes")
 	s.mux.HandleFunc("POST /encode", s.instrument("encode", true, s.guard("encode", s.handleEncode)))
 	s.mux.HandleFunc("POST /decode", s.instrument("decode", true, s.guard("decode", s.handleDecode)))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
@@ -212,8 +244,8 @@ func errClass(err error) string {
 
 // guard wraps a handler with the serving contract: panic recovery (a
 // recovered panic is a 500 and a counter bump, never a dead process),
-// worker-pool admission (429 when the pool stays saturated past the
-// queue wait), the per-request deadline, and fault accounting.
+// adaptive admission (shed/saturation 429s with an honest Retry-After —
+// see admission.go), the per-request deadline, and fault accounting.
 func (s *server) guard(name string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.reg.Counter("ninecd." + name + ".requests").Inc()
@@ -232,29 +264,11 @@ func (s *server) guard(name string, h func(http.ResponseWriter, *http.Request) e
 			}
 		}()
 
-		enqueued := time.Now()
-		wait := time.NewTimer(s.cfg.QueueWait)
-		defer wait.Stop()
-		select {
-		case s.sem <- struct{}{}:
-			if info := reqInfoFrom(r.Context()); info != nil {
-				info.queueWait = time.Since(enqueued)
-			}
-			defer func() { <-s.sem }()
-		case <-wait.C:
-			s.reg.Counter("ninecd." + name + ".rejected").Inc()
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, "worker pool saturated", http.StatusTooManyRequests)
-			return
-		case <-r.Context().Done():
-			// The client abandoned the request while it was queued.
-			// That is not pool pressure: no 429, no Retry-After (nobody
-			// is listening for the body anyway), and its own counter so
-			// saturation dashboards stay honest.
-			s.reg.Counter("ninecd." + name + ".client_gone").Inc()
-			http.Error(w, "client closed request while queued", http.StatusRequestTimeout)
+		release, ok := s.admit(name, w, r)
+		if !ok {
 			return
 		}
+		defer release()
 		s.reg.Gauge("ninecd.inflight").Add(1)
 		defer s.reg.Gauge("ninecd.inflight").Add(-1)
 

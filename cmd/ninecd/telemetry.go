@@ -225,6 +225,15 @@ func (s *server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 // the threshold — before /healthz, which only proves liveness, would
 // ever fail.
 func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		// Draining trumps the SLO verdict: the instant shutdown begins,
+		// load balancers must stop routing here — before the listener
+		// closes, while in-flight requests are still finishing.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
 	st := s.slo.Status()
 	s.slo.Publish(s.reg)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

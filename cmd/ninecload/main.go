@@ -1,0 +1,313 @@
+// Command ninecload is the SLO harness for ninecd: it replays a mixed
+// encode/decode workload against a live daemon — optionally through
+// the seeded chaos proxy — using the resilient ninecdclient, then
+// asserts service-level objectives against both its own client-observed
+// numbers and the daemon's /metrics.
+//
+// Usage:
+//
+//	ninecload -addr localhost:9314 -n 200 -c 8        # plain load
+//	ninecload -addr HOST -chaos -chaos-reset 0.05 \
+//	          -chaos-latency 5ms -chaos-slowloris 0.05 # through chaos
+//	ninecload -slo-p99 2s -slo-success 0.99            # SLO gates
+//	ninecload -json                                    # machine report
+//
+// The workload is deterministic: -seed fixes the corpus, the
+// encode/decode mix per request, the client's backoff jitter, and every
+// chaos decision, so a failing run replays exactly.
+//
+// Exit status: 0 when every SLO holds, 1 on any violation (latency,
+// success rate, unclassified client errors, daemon panics), 2 on setup
+// failure (daemon unreachable, bad flags).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/inject"
+	"repro/internal/ninecdclient"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/tcube"
+)
+
+func main() { os.Exit(realMain(os.Args[1:], os.Stdout)) }
+
+type options struct {
+	addr string
+	n    int
+	c    int
+	seed int64
+	mix  float64
+
+	k        int
+	patterns int
+	width    int
+
+	chaos          bool
+	chaosLatency   time.Duration
+	chaosJitter    time.Duration
+	chaosReset     float64
+	chaosSlowloris float64
+	chaosBandwidth int
+	chaosTruncate  float64
+	chaosDuplicate float64
+
+	retries        int
+	budget         time.Duration
+	attemptTimeout time.Duration
+	hedge          time.Duration
+	rate           float64
+
+	sloP99     time.Duration
+	sloSuccess float64
+	jsonOut    bool
+}
+
+func realMain(args []string, out io.Writer) int {
+	var o options
+	fs := flag.NewFlagSet("ninecload", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", "localhost:9314", "ninecd address (host:port)")
+	fs.IntVar(&o.n, "n", 200, "total requests to issue")
+	fs.IntVar(&o.c, "c", 8, "concurrent workers")
+	fs.Int64Var(&o.seed, "seed", 1, "seed for corpus, mix, jitter, and chaos")
+	fs.Float64Var(&o.mix, "mix", 0.5, "fraction of requests that decode (rest encode)")
+	fs.IntVar(&o.k, "k", 8, "block size K for the corpus")
+	fs.IntVar(&o.patterns, "patterns", 16, "patterns per corpus test set")
+	fs.IntVar(&o.width, "width", 64, "bits per corpus pattern")
+	fs.BoolVar(&o.chaos, "chaos", false, "route traffic through the seeded chaos proxy")
+	fs.DurationVar(&o.chaosLatency, "chaos-latency", 0, "added latency per connection direction")
+	fs.DurationVar(&o.chaosJitter, "chaos-jitter", 0, "seeded extra latency in [0, jitter)")
+	fs.Float64Var(&o.chaosReset, "chaos-reset", 0, "per-connection probability of a mid-body RST")
+	fs.Float64Var(&o.chaosSlowloris, "chaos-slowloris", 0, "per-connection probability of slow-loris dripping")
+	fs.IntVar(&o.chaosBandwidth, "chaos-bandwidth", 0, "per-direction bandwidth cap in bytes/s (0 = unlimited)")
+	fs.Float64Var(&o.chaosTruncate, "chaos-truncate", 0, "per-connection probability of a truncated body")
+	fs.Float64Var(&o.chaosDuplicate, "chaos-duplicate", 0, "per-connection probability of a duplicated write")
+	fs.IntVar(&o.retries, "retries", 5, "max attempts per request")
+	fs.DurationVar(&o.budget, "budget", 10*time.Second, "overall retry budget per request")
+	fs.DurationVar(&o.attemptTimeout, "attempt-timeout", 2*time.Second, "per-attempt deadline")
+	fs.DurationVar(&o.hedge, "hedge", 0, "hedge delay for decode requests (0 = off)")
+	fs.Float64Var(&o.rate, "rate", 0, "client-side request rate limit in req/s (0 = unlimited)")
+	fs.DurationVar(&o.sloP99, "slo-p99", 0, "client-observed p99 latency objective (0 = skip)")
+	fs.Float64Var(&o.sloSuccess, "slo-success", 0.99, "required success fraction after retries")
+	fs.BoolVar(&o.jsonOut, "json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if o.n <= 0 || o.c <= 0 || o.mix < 0 || o.mix > 1 {
+		fmt.Fprintln(os.Stderr, "ninecload: -n and -c must be positive, -mix in [0,1]")
+		return 2
+	}
+
+	// The harness's own registry collects the client's resilience
+	// counters (retries, recoveries, hedges) for the report.
+	reg := obs.NewRegistry()
+	obs.Enable(reg)
+	defer obs.Disable()
+
+	rep, err := run(o, reg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ninecload:", err)
+		return 2
+	}
+	if o.jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	} else {
+		rep.writeText(out)
+	}
+	if len(rep.Violations) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// run executes the workload and builds the report. Setup failures are
+// errors; SLO failures are violations on the report.
+func run(o options, reg *obs.Registry) (*report, error) {
+	texts, conts, err := buildCorpus(o.k, o.patterns, o.width, 8, o.seed)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+
+	target := strings.TrimPrefix(strings.TrimPrefix(o.addr, "http://"), "https://")
+	var proxy *inject.Proxy
+	if o.chaos {
+		proxy, err = inject.NewProxy(target, inject.ProxyConfig{
+			Seed:          o.seed,
+			Latency:       o.chaosLatency,
+			Jitter:        o.chaosJitter,
+			BandwidthBPS:  o.chaosBandwidth,
+			ResetProb:     o.chaosReset,
+			SlowLorisProb: o.chaosSlowloris,
+			TruncateProb:  o.chaosTruncate,
+			DuplicateProb: o.chaosDuplicate,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer proxy.Close()
+		target = proxy.Addr()
+	}
+
+	c, err := ninecdclient.New(ninecdclient.Config{
+		BaseURL: target,
+		// Keep-alives off: each request gets its own proxied connection,
+		// so per-connection chaos plans are per-request plans.
+		HTTPClient: &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+		Retry: resilience.Policy{
+			MaxAttempts:    o.retries,
+			AttemptTimeout: o.attemptTimeout,
+			Budget:         o.budget,
+		},
+		Seed:       o.seed,
+		HedgeDelay: o.hedge,
+		Rate:       o.rate,
+		Burst:      o.c,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// One untouched probe proves the daemon is actually there before
+	// the harness blames chaos for connection failures.
+	probeCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	direct, err := ninecdclient.New(ninecdclient.Config{BaseURL: o.addr})
+	if err != nil {
+		return nil, err
+	}
+	if err := direct.Ready(probeCtx); err != nil {
+		return nil, fmt.Errorf("daemon not ready at %s: %w", o.addr, err)
+	}
+
+	// The workload: worker g serves request indices g, g+c, g+2c, ...
+	// Every per-request decision derives from (seed, index), so the run
+	// replays under the same flags.
+	samples := make([]sample, o.n)
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < o.c; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= o.n {
+					return
+				}
+				samples[i] = oneRequest(c, o, texts, conts, i)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := buildReport(o, samples, elapsed, reg)
+	if proxy != nil {
+		st := proxy.Stats()
+		rep.Proxy = &st
+	}
+
+	// Daemon-side verdict, scraped directly — never through the proxy,
+	// so chaos cannot corrupt the evidence.
+	scrapeCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	snap, err := direct.MetricsSnapshot(scrapeCtx)
+	if err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("daemon metrics scrape failed: %v", err))
+		return rep, nil
+	}
+	for name, v := range snap.Counters {
+		if strings.HasSuffix(name, ".panics") {
+			rep.DaemonPanics += v
+		}
+		if strings.HasSuffix(name, ".status.5xx") {
+			rep.Daemon5xx += v
+		}
+	}
+	if rep.DaemonPanics > 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("daemon recovered %d panics under load", rep.DaemonPanics))
+	}
+	return rep, nil
+}
+
+// oneRequest issues request i (encode or decode by the seeded mix) and
+// returns its sample.
+func oneRequest(c *ninecdclient.Client, o options, texts, conts [][]byte, i int) sample {
+	rng := rand.New(rand.NewSource(o.seed ^ int64(i)*0x5851F42D4C957F2D))
+	s := sample{op: "encode"}
+	if rng.Float64() < o.mix {
+		s.op = "decode"
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), o.budget+o.attemptTimeout+5*time.Second)
+	defer cancel()
+	start := time.Now()
+	var err error
+	switch s.op {
+	case "decode":
+		_, err = c.Decode(ctx, conts[i%len(conts)])
+	default:
+		_, err = c.Encode(ctx, fmt.Sprintf("load-%d", i), o.k, texts[i%len(texts)])
+	}
+	s.dur = time.Since(start)
+	if err != nil {
+		s.class = ninecdclient.ErrorClass(err)
+		s.errMsg = err.Error()
+	}
+	return s
+}
+
+// buildCorpus generates `count` deterministic 01X test sets and their
+// locally encoded v4 containers, so decode traffic needs no network
+// round trip to set up.
+func buildCorpus(k, patterns, width, count int, seed int64) (texts, conts [][]byte, err error) {
+	cdc, err := core.New(k)
+	if err != nil {
+		return nil, nil, err
+	}
+	for v := 0; v < count; v++ {
+		rng := rand.New(rand.NewSource(seed + int64(v)))
+		var b strings.Builder
+		for i := 0; i < patterns; i++ {
+			for j := 0; j < width; j++ {
+				b.WriteByte("01X"[rng.Intn(3)])
+			}
+			b.WriteByte('\n')
+		}
+		text := b.String()
+		set, err := tcube.Read(fmt.Sprintf("corpus-%d", v), strings.NewReader(text))
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := cdc.EncodeSet(set)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Name = set.Name
+		var buf bytes.Buffer
+		if err := container.WriteVersion(&buf, res, container.Magic4); err != nil {
+			return nil, nil, err
+		}
+		texts = append(texts, []byte(text))
+		conts = append(conts, buf.Bytes())
+	}
+	return texts, conts, nil
+}

@@ -1,0 +1,297 @@
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProxyConfig configures the chaos TCP proxy. Probabilities are per
+// connection in [0,1]; a zero config is a transparent relay. Like
+// every other mutation in this package, chaos decisions are a pure
+// function of (Seed, connection index): replaying the same traffic in
+// the same connection order reproduces the same faults.
+type ProxyConfig struct {
+	// Seed determines every per-connection chaos decision.
+	Seed int64
+	// Latency is added once per direction before the first byte flows;
+	// Jitter adds a seeded uniform extra in [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+	// BandwidthBPS caps each direction's throughput in bytes/second
+	// (0 = unlimited).
+	BandwidthBPS int
+	// ResetProb hard-resets the connection (RST, not FIN) after a
+	// seeded number of downstream body bytes — the classic LB-restart
+	// failure a retrying client must absorb.
+	ResetProb float64
+	// SlowLorisProb drips the connection through tiny chunks with a
+	// per-chunk delay, modeling a pathologically slow peer.
+	SlowLorisProb float64
+	// SlowLorisDelay is the per-chunk drip delay (default 2ms).
+	SlowLorisDelay time.Duration
+	// TruncateProb cleanly closes (FIN) the connection after a seeded
+	// number of downstream bytes — a truncated response body.
+	TruncateProb float64
+	// DuplicateProb duplicates one downstream write — bytes repeated on
+	// the wire, corrupting the stream past that point.
+	DuplicateProb float64
+}
+
+// ProxyStats counts what the proxy did, for reports and assertions.
+type ProxyStats struct {
+	Conns      int64 `json:"conns"`
+	Resets     int64 `json:"resets"`
+	SlowLoris  int64 `json:"slow_loris"`
+	Truncates  int64 `json:"truncates"`
+	Duplicates int64 `json:"duplicates"`
+	BytesUp    int64 `json:"bytes_up"`   // client -> target
+	BytesDown  int64 `json:"bytes_down"` // target -> client
+}
+
+// connPlan is the seeded chaos verdict for one connection. All draws
+// happen up front in a fixed order so the plan for connection i under
+// seed s is stable regardless of traffic timing.
+type connPlan struct {
+	latency    time.Duration
+	reset      bool
+	resetAt    int64 // downstream byte offset
+	slow       bool
+	truncate   bool
+	truncAt    int64
+	duplicate  bool
+	dupAt      int64
+	chunkDelay time.Duration
+}
+
+// Proxy is a seeded, replayable TCP chaos proxy in front of one
+// target address. It listens on a loopback port (Addr) and forwards
+// every accepted connection, applying the connection's seeded plan.
+// Close stops the listener and severs every live connection.
+type Proxy struct {
+	target string
+	cfg    ProxyConfig
+	ln     net.Listener
+
+	seq    atomic.Int64
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	nconns, resets, slow, truncs, dups, up, down atomic.Int64
+}
+
+// NewProxy starts a chaos proxy on an ephemeral loopback port in
+// front of target ("host:port").
+func NewProxy(target string, cfg ProxyConfig) (*Proxy, error) {
+	if cfg.SlowLorisDelay <= 0 {
+		cfg.SlowLorisDelay = 2 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("inject: proxy listen: %w", err)
+	}
+	p := &Proxy{target: target, cfg: cfg, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address ("127.0.0.1:port").
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Stats snapshots the chaos counters.
+func (p *Proxy) Stats() ProxyStats {
+	return ProxyStats{
+		Conns:      p.nconns.Load(),
+		Resets:     p.resets.Load(),
+		SlowLoris:  p.slow.Load(),
+		Truncates:  p.truncs.Load(),
+		Duplicates: p.dups.Load(),
+		BytesUp:    p.up.Load(),
+		BytesDown:  p.down.Load(),
+	}
+}
+
+// Close stops accepting, severs every live connection, and waits for
+// the pumps to drain. Idempotent.
+func (p *Proxy) Close() error {
+	if !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := p.ln.Close()
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+// plan draws the chaos verdict for connection id. Draw order is fixed;
+// adding a knob must append draws, never reorder them, or recorded
+// seeds stop replaying.
+func (p *Proxy) plan(id int64) connPlan {
+	const mix = int64(-0x61c8864680b583eb) // golden-ratio mixer (0x9E37…15 as int64)
+	rng := rand.New(rand.NewSource(p.cfg.Seed ^ (id * mix)))
+	var cp connPlan
+	cp.latency = p.cfg.Latency
+	if p.cfg.Jitter > 0 {
+		cp.latency += time.Duration(rng.Int63n(int64(p.cfg.Jitter)))
+	}
+	cp.reset = rng.Float64() < p.cfg.ResetProb
+	cp.resetAt = rng.Int63n(4096)
+	cp.slow = rng.Float64() < p.cfg.SlowLorisProb
+	cp.truncate = rng.Float64() < p.cfg.TruncateProb
+	cp.truncAt = rng.Int63n(4096)
+	cp.duplicate = rng.Float64() < p.cfg.DuplicateProb
+	cp.dupAt = rng.Int63n(4096)
+	cp.chunkDelay = p.cfg.SlowLorisDelay
+	return cp
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		id := p.seq.Add(1)
+		p.nconns.Add(1)
+		p.wg.Add(1)
+		go p.handle(conn, p.plan(id))
+	}
+}
+
+// track registers a conn for Close teardown; the returned func
+// unregisters it.
+func (p *Proxy) track(c net.Conn) func() {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+	return func() {
+		p.mu.Lock()
+		delete(p.conns, c)
+		p.mu.Unlock()
+	}
+}
+
+func (p *Proxy) handle(client net.Conn, cp connPlan) {
+	defer p.wg.Done()
+	defer client.Close()
+	untrackC := p.track(client)
+	defer untrackC()
+
+	target, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	defer target.Close()
+	untrackT := p.track(target)
+	defer untrackT()
+
+	if cp.slow {
+		p.slow.Add(1)
+	}
+	var once sync.Once
+	sever := func(rst bool) {
+		once.Do(func() {
+			if rst {
+				// SetLinger(0) turns Close into an RST: the client sees
+				// "connection reset by peer", not a clean EOF.
+				if tc, ok := client.(*net.TCPConn); ok {
+					tc.SetLinger(0)
+				}
+			}
+			client.Close()
+			target.Close()
+		})
+	}
+
+	var pumps sync.WaitGroup
+	pumps.Add(2)
+	// Upstream: client -> target. Latency, bandwidth, and slow-loris
+	// apply (a dripped upload is a slow-loris read from the daemon's
+	// point of view); the byte-offset faults target the downstream.
+	go func() {
+		defer pumps.Done()
+		p.pump(target, client, cp, &p.up, nil, sever)
+	}()
+	// Downstream: target -> client. All faults apply.
+	go func() {
+		defer pumps.Done()
+		p.pump(client, target, cp, &p.down, &cp, sever)
+	}()
+	pumps.Wait()
+}
+
+// pump copies src to dst under the plan. faults == nil disables the
+// byte-offset faults (reset/truncate/duplicate) for this direction.
+func (p *Proxy) pump(dst, src net.Conn, cp connPlan, bytes *atomic.Int64, faults *connPlan, sever func(rst bool)) {
+	defer sever(false) // EOF or error on either side ends the pair
+	if cp.latency > 0 {
+		time.Sleep(cp.latency)
+	}
+	bufSize := 32 * 1024
+	if cp.slow {
+		bufSize = 64 // drip in tiny chunks
+	}
+	buf := make([]byte, bufSize)
+	var offset int64
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if faults != nil {
+				if faults.reset && offset+int64(n) >= faults.resetAt {
+					keep := faults.resetAt - offset
+					if keep > 0 {
+						dst.Write(chunk[:keep])
+						bytes.Add(keep)
+					}
+					p.resets.Add(1)
+					sever(true)
+					return
+				}
+				if faults.truncate && offset+int64(n) >= faults.truncAt {
+					keep := faults.truncAt - offset
+					if keep > 0 {
+						dst.Write(chunk[:keep])
+						bytes.Add(keep)
+					}
+					p.truncs.Add(1)
+					sever(false)
+					return
+				}
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				return
+			}
+			bytes.Add(int64(n))
+			if faults != nil && faults.duplicate && offset <= faults.dupAt && faults.dupAt < offset+int64(n) {
+				if _, werr := dst.Write(chunk); werr != nil {
+					return
+				}
+				bytes.Add(int64(n))
+				p.dups.Add(1)
+			}
+			offset += int64(n)
+			if cp.slow {
+				time.Sleep(cp.chunkDelay)
+			}
+			if p.cfg.BandwidthBPS > 0 {
+				time.Sleep(time.Duration(float64(n) / float64(p.cfg.BandwidthBPS) * float64(time.Second)))
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

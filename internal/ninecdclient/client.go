@@ -1,0 +1,407 @@
+// Package ninecdclient is the resilient Go client for the ninecd HTTP
+// API: it wraps /encode and /decode with the internal/resilience
+// policies — seeded full-jitter retry under a deadline budget, a
+// failure-rate circuit breaker, a client-side token-bucket limiter,
+// and hedged requests for the idempotent decode path.
+//
+// Retry semantics follow the daemon's status contract: 400 and 413
+// responses are the caller's own fault and never retry; 429 and 503
+// retry honoring the Retry-After header; transport-level failures
+// (connection refused/reset, truncated responses) retry because both
+// endpoints are pure functions of the request body — replaying a POST
+// cannot double a side effect. Every failure an operator can meet has
+// a stable label from ErrorClass, so load tests can assert that no
+// error goes unclassified.
+package ninecdclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/resilience"
+)
+
+// Config assembles a Client. Zero fields take the documented defaults.
+type Config struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:9314" (a bare
+	// host:port gets the http scheme). Required.
+	BaseURL string
+	// HTTPClient overrides the transport (default: a fresh http.Client;
+	// per-attempt deadlines come from Retry.AttemptTimeout).
+	HTTPClient *http.Client
+	// Retry is the backoff policy (defaults per resilience.Policy).
+	Retry resilience.Policy
+	// Seed determines the jitter stream; same seed, same delays.
+	Seed int64
+	// Breaker is the circuit-breaker policy; DisableBreaker turns the
+	// breaker off entirely.
+	Breaker        resilience.BreakerConfig
+	DisableBreaker bool
+	// Rate/Burst configure the client-side token bucket limiter in
+	// requests/second (Rate <= 0 = unlimited).
+	Rate  float64
+	Burst int
+	// HedgeDelay arms request hedging on Decode (idempotent): when an
+	// attempt has not answered after this long, up to HedgeMax extra
+	// attempts race it (HedgeMax default 1). 0 disables hedging.
+	HedgeDelay time.Duration
+	HedgeMax   int
+	// MaxErrorBody caps how many bytes of an error response body are
+	// retained on an HTTPError (default 4096).
+	MaxErrorBody int64
+}
+
+// Client talks to one ninecd instance. Safe for concurrent use.
+type Client struct {
+	base       string
+	hc         *http.Client
+	retr       *resilience.Retrier
+	breaker    *resilience.Breaker
+	limiter    *resilience.Limiter
+	hedgeDelay time.Duration
+	hedgeMax   int
+	maxErrBody int64
+}
+
+// New validates cfg and builds a Client.
+func New(cfg Config) (*Client, error) {
+	base := strings.TrimSuffix(strings.TrimSpace(cfg.BaseURL), "/")
+	if base == "" {
+		return nil, errors.New("ninecdclient: BaseURL required")
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if _, err := url.Parse(base); err != nil {
+		return nil, fmt.Errorf("ninecdclient: bad BaseURL: %w", err)
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	var breaker *resilience.Breaker
+	if !cfg.DisableBreaker {
+		bc := cfg.Breaker
+		if bc.Name == "" {
+			bc.Name = "ninecd_client"
+		}
+		breaker = resilience.NewBreaker(bc)
+	}
+	hedgeMax := cfg.HedgeMax
+	if hedgeMax <= 0 {
+		hedgeMax = 1
+	}
+	maxErrBody := cfg.MaxErrorBody
+	if maxErrBody <= 0 {
+		maxErrBody = 4096
+	}
+	return &Client{
+		base:       base,
+		hc:         hc,
+		retr:       resilience.NewRetrier(cfg.Retry, ClassifyRetry, cfg.Seed),
+		breaker:    breaker,
+		limiter:    resilience.NewLimiter(cfg.Rate, cfg.Burst),
+		hedgeDelay: cfg.HedgeDelay,
+		hedgeMax:   hedgeMax,
+		maxErrBody: maxErrBody,
+	}, nil
+}
+
+// BreakerState reports the circuit state (Closed when disabled).
+func (c *Client) BreakerState() resilience.BreakerState { return c.breaker.State() }
+
+// HTTPError is a non-2xx daemon response: the status code, the
+// X-Error-Class taxonomy label, the parsed Retry-After, and a bounded
+// prefix of the body.
+type HTTPError struct {
+	Status     int
+	Class      string
+	RetryAfter time.Duration
+	Body       string
+}
+
+func (e *HTTPError) Error() string {
+	msg := fmt.Sprintf("ninecd: http %d", e.Status)
+	if e.Class != "" {
+		msg += " (" + e.Class + ")"
+	}
+	if b := strings.TrimSpace(e.Body); b != "" {
+		msg += ": " + b
+	}
+	return msg
+}
+
+// ClassifyRetry is the retry policy over client errors, exported so
+// callers composing their own Retrier keep the same semantics:
+//   - 429/503 retry, honoring Retry-After
+//   - 502/504 (a fronting proxy's trouble) retry
+//   - every other HTTP status is a terminal verdict: 400/413 mean the
+//     request itself is bad, 500 means a daemon bug worth surfacing
+//   - a short-circuited breaker retries (the backoff waits out the
+//     open window)
+//   - context cancellation/expiry never retries
+//   - everything else is transport-level (reset, refused, truncated)
+//     and retries: both endpoints are pure, so replay is safe
+func ClassifyRetry(err error) resilience.Decision {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		switch he.Status {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			return resilience.Decision{Retry: true, After: he.RetryAfter}
+		case http.StatusBadGateway, http.StatusGatewayTimeout:
+			return resilience.Decision{Retry: true}
+		}
+		return resilience.Decision{}
+	}
+	if errors.Is(err, resilience.ErrBreakerOpen) {
+		return resilience.Decision{Retry: true}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return resilience.Decision{}
+	}
+	return resilience.Decision{Retry: true}
+}
+
+// ErrorClass labels err with a stable operator-facing class. Every
+// failure mode the daemon, the resilience layer, or the Go transport
+// can produce maps to a known label; "unclassified" is reserved for
+// genuinely novel failures and load harnesses assert it never appears.
+func ErrorClass(err error) string {
+	if err == nil {
+		return ""
+	}
+	var he *HTTPError
+	if errors.As(err, &he) {
+		if he.Class != "" {
+			return "http_" + he.Class
+		}
+		return "http_" + strconv.Itoa(he.Status)
+	}
+	switch {
+	case errors.Is(err, resilience.ErrBreakerOpen):
+		return "breaker_open"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, syscall.ECONNREFUSED):
+		return "conn_refused"
+	case errors.Is(err, syscall.ECONNRESET):
+		return "conn_reset"
+	case errors.Is(err, syscall.EPIPE):
+		return "broken_pipe"
+	case errors.Is(err, io.ErrUnexpectedEOF), errors.Is(err, io.EOF):
+		return "eof"
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return "timeout"
+	}
+	// The Go HTTP transport reports several chaos-visible failures as
+	// fmt.Errorf strings with no sentinel to errors.Is against; match
+	// the stable message fragments so chaos runs stay fully classified.
+	msg := err.Error()
+	for frag, class := range map[string]string{
+		"connection reset":       "conn_reset",
+		"connection refused":     "conn_refused",
+		"broken pipe":            "broken_pipe",
+		"EOF":                    "eof",
+		"malformed HTTP":         "malformed_response",
+		"bad chunk":              "malformed_response",
+		"server closed":          "server_closed",
+		"body length mismatch":   "truncated_response",
+		"unexpected content":     "malformed_response",
+		"timeout":                "timeout",
+		"deadline":               "deadline",
+		"no such host":           "dns",
+		"network is unreachable": "unreachable",
+	} {
+		if strings.Contains(msg, frag) {
+			return class
+		}
+	}
+	return "unclassified"
+}
+
+// EncodeResult is a successful /encode response.
+type EncodeResult struct {
+	// Container is the chunked v4 container.
+	Container []byte
+	// Patterns and CompressedBits echo the daemon's X-Patterns and
+	// X-Compressed-Bits response headers.
+	Patterns       int
+	CompressedBits int
+}
+
+// Encode posts 01X text and returns the v4 container, retrying under
+// the client's policy. name labels the set inside the container; k <=
+// 0 uses the daemon default.
+func (c *Client) Encode(ctx context.Context, name string, k int, text []byte) (*EncodeResult, error) {
+	q := url.Values{}
+	if name != "" {
+		q.Set("name", name)
+	}
+	if k > 0 {
+		q.Set("k", strconv.Itoa(k))
+	}
+	path := "/encode"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var res *EncodeResult
+	err := c.retr.Do(ctx, "ninecd.encode", func(ctx context.Context) error {
+		body, hdr, err := c.roundTrip(ctx, path, "text/plain; charset=utf-8", text)
+		if err != nil {
+			return err
+		}
+		patterns, _ := strconv.Atoi(hdr.Get("X-Patterns"))
+		bits, _ := strconv.Atoi(hdr.Get("X-Compressed-Bits"))
+		res = &EncodeResult{Container: body, Patterns: patterns, CompressedBits: bits}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Decode posts a container (any version) and returns the decoded 01X
+// text. Decode is idempotent, so when HedgeDelay is armed each retry
+// attempt may race a hedge against a stalled primary.
+func (c *Client) Decode(ctx context.Context, cont []byte) ([]byte, error) {
+	var out []byte
+	err := c.retr.Do(ctx, "ninecd.decode", func(ctx context.Context) error {
+		body, err := resilience.Hedged(ctx, "ninecd.decode", c.hedgeDelay, c.hedgeMax,
+			func(ctx context.Context, _ int) ([]byte, error) {
+				b, _, err := c.roundTrip(ctx, "/decode", "application/octet-stream", cont)
+				return b, err
+			})
+		if err != nil {
+			return err
+		}
+		out = body
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Ready probes /readyz once (no retry — a readiness probe's failure IS
+// its answer). It returns nil when the daemon reports ready and an
+// *HTTPError carrying the degraded body otherwise.
+func (c *Client) Ready(ctx context.Context) error {
+	_, err := c.get(ctx, "/readyz")
+	return err
+}
+
+// MetricsSnapshot fetches and parses /metrics.json.
+func (c *Client) MetricsSnapshot(ctx context.Context) (*obs.Snapshot, error) {
+	body, err := c.get(ctx, "/metrics.json")
+	if err != nil {
+		return nil, err
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return nil, fmt.Errorf("ninecdclient: metrics snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// get is a plain single-shot GET (observability endpoints are probes,
+// not workloads: no retry, no breaker, no limiter).
+func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.httpError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// roundTrip performs one POST attempt under the limiter and breaker,
+// returning the full response body on 200 and a classified error
+// otherwise. The body is rebuilt from the byte slice per attempt, so
+// retries and hedges never share a consumed reader.
+func (c *Client) roundTrip(ctx context.Context, path, contentType string, body []byte) ([]byte, http.Header, error) {
+	if err := c.limiter.Wait(ctx); err != nil {
+		return nil, nil, err
+	}
+	done, err := c.breaker.Allow()
+	if err != nil {
+		return nil, nil, err
+	}
+	b, hdr, err := c.post(ctx, path, contentType, body)
+	// Only daemon-side pressure and transport loss count against the
+	// breaker; a 400/413 verdict on this request's own bytes says
+	// nothing about the server's health.
+	var he *HTTPError
+	if err != nil && errors.As(err, &he) && he.Status < 500 && he.Status != http.StatusTooManyRequests {
+		done(true)
+	} else {
+		done(err == nil)
+	}
+	return b, hdr, err
+}
+
+func (c *Client) post(ctx context.Context, path, contentType string, body []byte) ([]byte, http.Header, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, c.httpError(resp)
+	}
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ninecdclient: reading response: %w", err)
+	}
+	return out, resp.Header, nil
+}
+
+// httpError drains a bounded prefix of an error response into an
+// *HTTPError, parsing Retry-After and X-Error-Class.
+func (c *Client) httpError(resp *http.Response) error {
+	limit := c.maxErrBody
+	if limit <= 0 {
+		limit = 4096
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, limit))
+	he := &HTTPError{
+		Status: resp.StatusCode,
+		Class:  resp.Header.Get("X-Error-Class"),
+		Body:   string(body),
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			he.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return he
+}

@@ -1,0 +1,320 @@
+package ninecdclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// fastRetry is a policy tight enough for tests.
+var fastRetry = resilience.Policy{
+	MaxAttempts: 4,
+	BaseDelay:   time.Millisecond,
+	MaxDelay:    5 * time.Millisecond,
+}
+
+func newTestClient(t *testing.T, url string, mut func(*Config)) *Client {
+	t.Helper()
+	cfg := Config{BaseURL: url, Retry: fastRetry, Seed: 1}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestEncodeDecodeHappyPath: the client round-trips bodies and headers
+// against a well-behaved server.
+func TestEncodeDecodeHappyPath(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		switch r.URL.Path {
+		case "/encode":
+			if got := r.URL.Query().Get("name"); got != "s1" {
+				t.Errorf("name = %q", got)
+			}
+			if got := r.URL.Query().Get("k"); got != "8" {
+				t.Errorf("k = %q", got)
+			}
+			w.Header().Set("X-Patterns", "3")
+			w.Header().Set("X-Compressed-Bits", "77")
+			w.Write(append([]byte("9C:"), body...))
+		case "/decode":
+			w.Write([]byte("01X\n"))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, nil)
+	res, err := c.Encode(context.Background(), "s1", 8, []byte("0101\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Container) != "9C:0101\n" || res.Patterns != 3 || res.CompressedBits != 77 {
+		t.Fatalf("encode result %+v (%q)", res, res.Container)
+	}
+	out, err := c.Decode(context.Background(), res.Container)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "01X\n" {
+		t.Fatalf("decode = %q", out)
+	}
+}
+
+// TestRetryOn503HonorsRetryAfter: 503s retry and the recovery
+// succeeds; the Retry-After floor is respected between attempts.
+func TestRetryOn503HonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0") // integer parse path, no test delay
+			w.Header().Set("X-Error-Class", "saturated")
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, nil)
+	out, err := c.Decode(context.Background(), []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "ok" || calls.Load() != 3 {
+		t.Fatalf("out=%q calls=%d", out, calls.Load())
+	}
+}
+
+// TestNoRetryOn400And413: client-fault statuses return immediately
+// with the taxonomy class intact.
+func TestNoRetryOn400And413(t *testing.T) {
+	for _, tc := range []struct {
+		status int
+		class  string
+	}{
+		{http.StatusBadRequest, "corrupt"},
+		{http.StatusRequestEntityTooLarge, "limit"},
+	} {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			w.Header().Set("X-Error-Class", tc.class)
+			http.Error(w, "no", tc.status)
+		}))
+		c := newTestClient(t, ts.URL, nil)
+		_, err := c.Encode(context.Background(), "s", 8, []byte("x"))
+		ts.Close()
+		var he *HTTPError
+		if !errors.As(err, &he) || he.Status != tc.status {
+			t.Fatalf("status %d: err = %v", tc.status, err)
+		}
+		if calls.Load() != 1 {
+			t.Fatalf("status %d retried: %d calls", tc.status, calls.Load())
+		}
+		if got := ErrorClass(err); got != "http_"+tc.class {
+			t.Fatalf("ErrorClass = %q, want http_%s", got, tc.class)
+		}
+	}
+}
+
+// TestRetryOnConnectionDrop: a server that kills the connection
+// mid-response gets retried to success.
+func TestRetryOnConnectionDrop(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("no hijacker")
+			}
+			conn, _, _ := hj.Hijack()
+			conn.Close() // mid-handshake slam: the client sees EOF/reset
+			return
+		}
+		w.Write([]byte("recovered"))
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, nil)
+	out, err := c.Decode(context.Background(), []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "recovered" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+// TestBreakerOpensAndLabels: a hard-down server trips the breaker;
+// subsequent failures classify as breaker_open or a transport class,
+// never unclassified.
+func TestBreakerOpensAndLabels(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, func(cfg *Config) {
+		cfg.Breaker = resilience.BreakerConfig{MinSamples: 4, FailureRate: 0.5, OpenFor: time.Minute}
+	})
+	sawBreaker := false
+	for i := 0; i < 10; i++ {
+		_, err := c.Decode(context.Background(), []byte("x"))
+		if err == nil {
+			t.Fatal("down server reported success")
+		}
+		class := ErrorClass(err)
+		if class == "unclassified" {
+			t.Fatalf("unclassified failure: %v", err)
+		}
+		if class == "breaker_open" {
+			sawBreaker = true
+		}
+	}
+	if !sawBreaker {
+		t.Fatalf("breaker never opened; state %v", c.BreakerState())
+	}
+}
+
+// TestHedgeBeatsStalledServer: with hedging armed, a server whose
+// first response stalls is beaten by the hedge on a fresh connection.
+func TestHedgeBeatsStalledServer(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	defer close(release)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body first: the server only arms its client-gone
+		// detection (which cancels r.Context) once the body hits EOF.
+		io.Copy(io.Discard, r.Body)
+		if calls.Add(1) == 1 {
+			select { // stall the primary until cancelled or released
+			case <-release:
+			case <-r.Context().Done():
+			}
+			return
+		}
+		w.Write([]byte("hedged"))
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, func(cfg *Config) {
+		cfg.HedgeDelay = 20 * time.Millisecond
+	})
+	start := time.Now()
+	out, err := c.Decode(context.Background(), []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "hedged" {
+		t.Fatalf("out = %q", out)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hedge took %v", elapsed)
+	}
+}
+
+// TestRateLimiterSmoothsLoad: with a 100/s limiter, 20 requests take
+// at least ~90ms beyond the burst.
+func TestRateLimiterSmoothsLoad(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	c := newTestClient(t, ts.URL, func(cfg *Config) {
+		cfg.Rate, cfg.Burst = 100, 10
+	})
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		if _, err := c.Decode(context.Background(), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("20 requests at 100/s burst 10 finished in %v", elapsed)
+	}
+}
+
+// TestErrorClassTable pins the label for each failure family.
+func TestErrorClassTable(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{&HTTPError{Status: 429, Class: "overload"}, "http_overload"},
+		{&HTTPError{Status: 500}, "http_500"},
+		{fmt.Errorf("wrap: %w", resilience.ErrBreakerOpen), "breaker_open"},
+		{context.DeadlineExceeded, "deadline"},
+		{context.Canceled, "canceled"},
+		{io.ErrUnexpectedEOF, "eof"},
+		{errors.New("read tcp 1.2.3.4: connection reset by peer"), "conn_reset"},
+		{errors.New("dial tcp: connection refused"), "conn_refused"},
+		{errors.New("net/http: HTTP/1.x transport connection broken: malformed HTTP response"), "malformed_response"},
+		{errors.New("some novel failure"), "unclassified"},
+	}
+	for _, tc := range cases {
+		if got := ErrorClass(tc.err); got != tc.want {
+			t.Errorf("ErrorClass(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAfterParsing: integer Retry-After seconds land on the
+// HTTPError; garbage parses to zero.
+func TestRetryAfterParsing(t *testing.T) {
+	for raw, want := range map[string]time.Duration{
+		"7":       7 * time.Second,
+		"0":       0,
+		"":        0,
+		"garbage": 0,
+		"-3":      0,
+	} {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if raw != "" {
+				w.Header().Set("Retry-After", raw)
+			}
+			http.Error(w, "no", http.StatusBadRequest) // non-retryable: one attempt
+		}))
+		c := newTestClient(t, ts.URL, nil)
+		_, err := c.Encode(context.Background(), "s", 8, []byte("x"))
+		ts.Close()
+		var he *HTTPError
+		if !errors.As(err, &he) {
+			t.Fatalf("Retry-After %q: %v", raw, err)
+		}
+		if he.RetryAfter != want {
+			t.Errorf("Retry-After %q parsed to %v, want %v", raw, he.RetryAfter, want)
+		}
+	}
+}
+
+// TestNewValidation: bad configs are rejected, bare host:port gets a
+// scheme.
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty BaseURL accepted")
+	}
+	c, err := New(Config{BaseURL: "localhost:9314"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.base != "http://localhost:9314" {
+		t.Fatalf("base = %q", c.base)
+	}
+}

@@ -1,0 +1,233 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// BreakerState is one of the three circuit-breaker states.
+type BreakerState int32
+
+const (
+	// Closed: requests flow; failures are counted in the rolling window.
+	Closed BreakerState = iota
+	// Open: requests short-circuit with ErrBreakerOpen until OpenFor
+	// has elapsed.
+	Open
+	// HalfOpen: exactly one probe request is admitted; its outcome
+	// decides between Closed and Open.
+	HalfOpen
+)
+
+// String names the state for reports and metrics.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "invalid"
+	}
+}
+
+// ErrBreakerOpen short-circuits a request while the breaker refuses
+// traffic (open, or half-open with the probe slot taken).
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerConfig sets the trip policy. Zero fields take the defaults.
+type BreakerConfig struct {
+	// Window is the rolling failure-rate window (default 10s, floor 1s).
+	Window time.Duration
+	// MinSamples is the fewest requests in the window before the rate
+	// can trip the breaker (default 10) — one early failure must not
+	// open an idle circuit.
+	MinSamples int
+	// FailureRate in [0,1] trips the breaker when reached (default 0.5).
+	FailureRate float64
+	// OpenFor is how long the breaker refuses before probing (default 2s).
+	OpenFor time.Duration
+	// Name labels the breaker's metrics (default "breaker").
+	Name string
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.Window < time.Second {
+		c.Window = time.Second
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 10
+	}
+	if c.FailureRate <= 0 || c.FailureRate > 1 {
+		c.FailureRate = 0.5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 2 * time.Second
+	}
+	if c.Name == "" {
+		c.Name = "breaker"
+	}
+	return c
+}
+
+// breakerBucket aggregates one second of outcomes.
+type breakerBucket struct {
+	sec      int64
+	total    int64
+	failures int64
+}
+
+// Breaker is a three-state circuit breaker with a per-second
+// rolling failure-rate window (the SLOTracker bucketing scheme).
+// Allow admits or short-circuits; the returned done func records the
+// outcome. A nil Breaker always admits and records nothing.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // swapped by tests for deterministic clocks
+
+	mu       sync.Mutex
+	state    BreakerState
+	openedAt time.Time
+	probing  bool
+	buckets  []breakerBucket
+}
+
+// NewBreaker builds a closed breaker with the given policy.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{
+		cfg:     cfg,
+		now:     time.Now,
+		buckets: make([]breakerBucket, int(cfg.Window/time.Second)),
+	}
+}
+
+// State reports the current state, accounting for an elapsed open
+// window (an Open breaker past OpenFor reports HalfOpen even before
+// the next Allow performs the transition). Closed on nil.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.cfg.OpenFor {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Allow asks to run one request. On admission it returns a done func
+// that MUST be called exactly once with the outcome; on refusal it
+// returns ErrBreakerOpen. In half-open, exactly one caller holds the
+// probe slot at a time. Nil-safe: a nil breaker admits everything with
+// a no-op done.
+func (b *Breaker) Allow() (done func(ok bool), err error) {
+	if b == nil {
+		return func(bool) {}, nil
+	}
+	reg := obs.Active()
+	b.mu.Lock()
+	now := b.now()
+	if b.state == Open {
+		if now.Sub(b.openedAt) < b.cfg.OpenFor {
+			b.mu.Unlock()
+			reg.Counter("resilience." + b.cfg.Name + ".short_circuited").Inc()
+			return nil, ErrBreakerOpen
+		}
+		b.state = HalfOpen
+		b.probing = false
+	}
+	if b.state == HalfOpen {
+		if b.probing {
+			b.mu.Unlock()
+			reg.Counter("resilience." + b.cfg.Name + ".short_circuited").Inc()
+			return nil, ErrBreakerOpen
+		}
+		b.probing = true
+		b.mu.Unlock()
+		reg.Counter("resilience." + b.cfg.Name + ".probes").Inc()
+		return b.probeDone, nil
+	}
+	b.mu.Unlock()
+	return b.closedDone, nil
+}
+
+// closedDone records a closed-state outcome and trips the breaker when
+// the windowed failure rate crosses the threshold.
+func (b *Breaker) closedDone(ok bool) {
+	b.mu.Lock()
+	now := b.now()
+	if b.state != Closed {
+		// A stale done from before a state change: outcomes of requests
+		// admitted while closed still count if we are closed, otherwise
+		// they are history — the open/half-open logic owns the state.
+		b.mu.Unlock()
+		return
+	}
+	sec := now.Unix()
+	bk := &b.buckets[sec%int64(len(b.buckets))]
+	if bk.sec != sec {
+		*bk = breakerBucket{sec: sec}
+	}
+	bk.total++
+	if !ok {
+		bk.failures++
+	}
+	var total, failures int64
+	for i := range b.buckets {
+		w := &b.buckets[i]
+		if w.sec > sec-int64(len(b.buckets)) && w.sec <= sec {
+			total += w.total
+			failures += w.failures
+		}
+	}
+	tripped := total >= int64(b.cfg.MinSamples) &&
+		float64(failures)/float64(total) >= b.cfg.FailureRate
+	if tripped {
+		b.state = Open
+		b.openedAt = now
+		for i := range b.buckets {
+			b.buckets[i] = breakerBucket{}
+		}
+	}
+	b.mu.Unlock()
+	if tripped {
+		obs.Active().Counter("resilience." + b.cfg.Name + ".opened").Inc()
+	}
+}
+
+// probeDone resolves the half-open probe: success closes the circuit
+// with a clean window, failure re-opens it for another OpenFor.
+func (b *Breaker) probeDone(ok bool) {
+	b.mu.Lock()
+	if b.state != HalfOpen || !b.probing {
+		b.mu.Unlock()
+		return
+	}
+	b.probing = false
+	if ok {
+		b.state = Closed
+		for i := range b.buckets {
+			b.buckets[i] = breakerBucket{}
+		}
+	} else {
+		b.state = Open
+		b.openedAt = b.now()
+	}
+	closedNow := ok
+	b.mu.Unlock()
+	if closedNow {
+		obs.Active().Counter("resilience." + b.cfg.Name + ".closed").Inc()
+	} else {
+		obs.Active().Counter("resilience." + b.cfg.Name + ".reopened").Inc()
+	}
+}

@@ -1,0 +1,221 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for deterministic breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(cfg BreakerConfig) (*Breaker, *fakeClock) {
+	b := NewBreaker(cfg)
+	clk := newFakeClock()
+	b.now = clk.now
+	return b, clk
+}
+
+// trip drives enough failures through a closed breaker to open it.
+func trip(t *testing.T, b *Breaker, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		done, err := b.Allow()
+		if err != nil {
+			t.Fatalf("failure %d refused while tripping: %v", i, err)
+		}
+		done(false)
+	}
+	if got := b.State(); got != Open {
+		t.Fatalf("state after %d failures = %v, want open", n, got)
+	}
+}
+
+// TestBreakerTripsOnFailureRate: below MinSamples nothing trips; at
+// MinSamples with every request failing, the breaker opens and
+// short-circuits.
+func TestBreakerTripsOnFailureRate(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{MinSamples: 10, FailureRate: 0.5, OpenFor: time.Second})
+	for i := 0; i < 9; i++ {
+		done, err := b.Allow()
+		if err != nil {
+			t.Fatalf("request %d refused below MinSamples: %v", i, err)
+		}
+		done(false)
+	}
+	if b.State() != Closed {
+		t.Fatal("breaker tripped below MinSamples")
+	}
+	done, err := b.Allow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done(false) // 10th failure: 100% rate at MinSamples
+	if b.State() != Open {
+		t.Fatal("breaker still closed at 100% failure rate and MinSamples")
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker admitted a request (err=%v)", err)
+	}
+}
+
+// TestBreakerStaysClosedUnderThreshold: 30% failures against a 50%
+// threshold keeps the circuit closed.
+func TestBreakerStaysClosedUnderThreshold(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{MinSamples: 10, FailureRate: 0.5})
+	for i := 0; i < 200; i++ {
+		done, err := b.Allow()
+		if err != nil {
+			t.Fatalf("request %d refused: %v", i, err)
+		}
+		done(i%10 >= 3) // 30% failures
+	}
+	if b.State() != Closed {
+		t.Fatal("breaker opened below the failure-rate threshold")
+	}
+}
+
+// TestBreakerHalfOpenAdmitsExactlyOne: after OpenFor elapses, N
+// concurrent Allow calls win exactly one probe slot.
+func TestBreakerHalfOpenAdmitsExactlyOne(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{MinSamples: 4, FailureRate: 0.5, OpenFor: time.Second})
+	trip(t, b, 4)
+	clk.advance(time.Second) // open window elapsed: next Allow probes
+
+	const goroutines = 64
+	var admitted atomic.Int64
+	var dones sync.Map
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			done, err := b.Allow()
+			if err == nil {
+				admitted.Add(1)
+				dones.Store(g, done)
+			} else if !errors.Is(err, ErrBreakerOpen) {
+				t.Errorf("unexpected refusal: %v", err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := admitted.Load(); n != 1 {
+		t.Fatalf("half-open admitted %d probes, want exactly 1", n)
+	}
+
+	// Probe success closes the circuit with a clean window.
+	dones.Range(func(_, v any) bool {
+		v.(func(bool))(true)
+		return true
+	})
+	if b.State() != Closed {
+		t.Fatal("successful probe did not close the circuit")
+	}
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("closed-after-probe breaker refused: %v", err)
+	}
+}
+
+// TestBreakerProbeFailureReopens: a failed probe re-opens the circuit
+// for a full OpenFor before the next probe.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{MinSamples: 4, FailureRate: 0.5, OpenFor: time.Second})
+	trip(t, b, 4)
+	clk.advance(time.Second)
+	done, err := b.Allow()
+	if err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	done(false)
+	if b.State() != Open {
+		t.Fatal("failed probe did not re-open the circuit")
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("re-opened breaker admitted a request before OpenFor")
+	}
+	clk.advance(time.Second)
+	if done, err = b.Allow(); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	done(true)
+	if b.State() != Closed {
+		t.Fatal("second probe success did not close the circuit")
+	}
+}
+
+// TestBreakerWindowExpiry: failures older than the window do not count
+// toward the rate.
+func TestBreakerWindowExpiry(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Window: 2 * time.Second, MinSamples: 4, FailureRate: 0.5})
+	for i := 0; i < 3; i++ { // three failures, under MinSamples
+		done, _ := b.Allow()
+		done(false)
+	}
+	clk.advance(3 * time.Second) // beyond the window
+	done, _ := b.Allow()
+	done(false) // would be the 4th failure if the window still counted
+	if b.State() != Open {
+		// 1 failure / 1 sample in-window: under MinSamples, stays closed.
+		return
+	}
+	t.Fatal("stale failures outside the window tripped the breaker")
+}
+
+// TestNilBreaker: nil admits everything.
+func TestNilBreaker(t *testing.T) {
+	var b *Breaker
+	done, err := b.Allow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done(false)
+	if b.State() != Closed {
+		t.Fatal("nil breaker not closed")
+	}
+}
+
+// TestBreakerConcurrentOutcomes hammers a breaker from many goroutines
+// under -race: no lost updates, and the breaker ends in a valid state.
+func TestBreakerConcurrentOutcomes(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{MinSamples: 50, FailureRate: 0.9, OpenFor: time.Millisecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				done, err := b.Allow()
+				if err != nil {
+					continue
+				}
+				done(i%4 != 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	switch b.State() {
+	case Closed, Open, HalfOpen:
+	default:
+		t.Fatalf("invalid terminal state %v", b.State())
+	}
+}

@@ -1,0 +1,88 @@
+package resilience
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Hedged runs op and, whenever no attempt has returned after another
+// delay elapses, launches one more concurrent attempt (up to extra
+// hedges). The first success wins and cancels the rest; if every
+// launched attempt fails, the first error is returned. All attempts
+// share ctx's deadline.
+//
+// Hedging is for idempotent operations only (the 9C decode of an
+// immutable container is the canonical case): a hedge may execute
+// concurrently with the attempt it shadows, so side effects would
+// double. delay <= 0 or extra <= 0 degrades to exactly one attempt.
+//
+// Telemetry: resilience.<name>.hedges counts launched hedges,
+// resilience.<name>.hedge_wins counts hedges that beat the primary.
+func Hedged[T any](ctx context.Context, name string, delay time.Duration, extra int, op func(ctx context.Context, attempt int) (T, error)) (T, error) {
+	if delay <= 0 || extra <= 0 {
+		return op(ctx, 0)
+	}
+	if name == "" {
+		name = "op"
+	}
+	reg := obs.Active()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		v       T
+		err     error
+		attempt int
+	}
+	// Buffered to capacity: losers never block, never leak.
+	resc := make(chan result, extra+1)
+	launch := func(i int) {
+		go func() {
+			v, err := op(ctx, i)
+			resc <- result{v, err, i}
+		}()
+	}
+	launch(0)
+	launched, failed := 1, 0
+	var firstErr error
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	for {
+		select {
+		case r := <-resc:
+			if r.err == nil {
+				if r.attempt > 0 {
+					reg.Counter("resilience." + name + ".hedge_wins").Inc()
+				}
+				return r.v, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			failed++
+			if failed == extra+1 {
+				var zero T
+				return zero, firstErr
+			}
+			if failed == launched {
+				// Every outstanding attempt already failed — waiting out
+				// the hedge delay would be pure latency.
+				reg.Counter("resilience." + name + ".hedges").Inc()
+				launch(launched)
+				launched++
+			}
+		case <-timer.C:
+			if launched < extra+1 {
+				reg.Counter("resilience." + name + ".hedges").Inc()
+				launch(launched)
+				launched++
+				timer.Reset(delay)
+			}
+		case <-ctx.Done():
+			var zero T
+			return zero, ctx.Err()
+		}
+	}
+}

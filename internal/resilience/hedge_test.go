@@ -1,0 +1,118 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHedgedFastPrimary: a primary that answers before the hedge delay
+// never launches a hedge.
+func TestHedgedFastPrimary(t *testing.T) {
+	var calls atomic.Int64
+	v, err := Hedged(context.Background(), "t", 100*time.Millisecond, 2,
+		func(ctx context.Context, attempt int) (int, error) {
+			calls.Add(1)
+			return 7, nil
+		})
+	if err != nil || v != 7 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("%d attempts launched for a fast primary", n)
+	}
+}
+
+// TestHedgedSlowPrimary: a stalled primary is shadowed by a hedge, and
+// the hedge's result wins.
+func TestHedgedSlowPrimary(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	v, err := Hedged(context.Background(), "t", 10*time.Millisecond, 1,
+		func(ctx context.Context, attempt int) (int, error) {
+			if attempt == 0 {
+				select { // stalled primary
+				case <-release:
+				case <-ctx.Done():
+				}
+				return 0, ctx.Err()
+			}
+			return 42, nil
+		})
+	if err != nil || v != 42 {
+		t.Fatalf("v=%d err=%v, want the hedge's 42", v, err)
+	}
+}
+
+// TestHedgedAllFail: when every attempt fails, the first error comes
+// back and the call does not hang.
+func TestHedgedAllFail(t *testing.T) {
+	first := errors.New("first")
+	var calls atomic.Int64
+	_, err := Hedged(context.Background(), "t", time.Millisecond, 2,
+		func(ctx context.Context, attempt int) (int, error) {
+			if calls.Add(1) == 1 {
+				return 0, first
+			}
+			return 0, errors.New("later")
+		})
+	if !errors.Is(err, first) {
+		t.Fatalf("err = %v, want the first error", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("launched %d attempts, want 3 (primary + 2 hedges)", n)
+	}
+}
+
+// TestHedgedFailureFastForwards: when every outstanding attempt has
+// failed, the next hedge launches immediately instead of waiting out
+// the delay.
+func TestHedgedFailureFastForwards(t *testing.T) {
+	start := time.Now()
+	v, err := Hedged(context.Background(), "t", time.Hour, 1,
+		func(ctx context.Context, attempt int) (int, error) {
+			if attempt == 0 {
+				return 0, errors.New("primary down")
+			}
+			return 1, nil
+		})
+	if err != nil || v != 1 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("hedge waited %v despite a dead primary", elapsed)
+	}
+}
+
+// TestHedgedDisabled: delay or extra <= 0 degrades to one plain call.
+func TestHedgedDisabled(t *testing.T) {
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	_, err := Hedged(context.Background(), "t", 0, 3,
+		func(ctx context.Context, attempt int) (int, error) {
+			calls.Add(1)
+			return 0, boom
+		})
+	if !errors.Is(err, boom) || calls.Load() != 1 {
+		t.Fatalf("disabled hedging: err=%v calls=%d", err, calls.Load())
+	}
+}
+
+// TestHedgedCancel: cancelling the caller's context unblocks Hedged.
+func TestHedgedCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, err := Hedged(ctx, "t", time.Hour, 1,
+		func(ctx context.Context, attempt int) (int, error) {
+			<-ctx.Done()
+			return 0, ctx.Err()
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+}

@@ -1,0 +1,86 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Limiter is a token-bucket rate limiter: rate tokens/second refill a
+// bucket of burst capacity, one token per request. It smooths a
+// client's offered load so a recovering server is not immediately
+// re-overwhelmed by its own callers. A nil Limiter never delays.
+type Limiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time // swapped by tests
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter builds a full bucket. rate <= 0 returns nil — the valid
+// "unlimited" limiter. burst < 1 is raised to 1 so progress is always
+// possible.
+func NewLimiter(rate float64, burst int) *Limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{rate: rate, burst: float64(burst), tokens: float64(burst), now: time.Now}
+}
+
+// refillLocked advances the bucket to now.
+func (l *Limiter) refillLocked(now time.Time) {
+	if !l.last.IsZero() {
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+	}
+	l.last = now
+}
+
+// Allow takes a token if one is available now. Nil-safe (always true).
+func (l *Limiter) Allow() bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refillLocked(l.now())
+	if l.tokens >= 1 {
+		l.tokens--
+		return true
+	}
+	return false
+}
+
+// Reserve takes the next token unconditionally and returns how long
+// the caller must wait before using it (0 = immediately). The debt
+// model keeps Reserve O(1) and FIFO-fair among concurrent callers.
+func (l *Limiter) Reserve() time.Duration {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refillLocked(l.now())
+	l.tokens--
+	if l.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-l.tokens / l.rate * float64(time.Second))
+}
+
+// Wait reserves a token and sleeps until it is usable or ctx is done.
+// Nil-safe (returns nil immediately).
+func (l *Limiter) Wait(ctx context.Context) error {
+	if l == nil {
+		return nil
+	}
+	return sleepCtx(ctx, l.Reserve())
+}

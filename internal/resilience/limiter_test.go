@@ -1,0 +1,108 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestLimiter(rate float64, burst int) (*Limiter, *fakeClock) {
+	l := NewLimiter(rate, burst)
+	clk := newFakeClock()
+	l.now = clk.now
+	return l, clk
+}
+
+// TestLimiterBurstThenRefill: the bucket starts full, drains, refuses,
+// and refills at the configured rate.
+func TestLimiterBurstThenRefill(t *testing.T) {
+	l, clk := newTestLimiter(10, 3) // 10/s, burst 3
+	for i := 0; i < 3; i++ {
+		if !l.Allow() {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	if l.Allow() {
+		t.Fatal("empty bucket allowed a token")
+	}
+	clk.advance(100 * time.Millisecond) // one token refilled
+	if !l.Allow() {
+		t.Fatal("refilled token refused")
+	}
+	if l.Allow() {
+		t.Fatal("second token allowed after one refill interval")
+	}
+	clk.advance(10 * time.Second) // cap at burst, not 100 tokens
+	for i := 0; i < 3; i++ {
+		if !l.Allow() {
+			t.Fatalf("token %d refused after long idle", i)
+		}
+	}
+	if l.Allow() {
+		t.Fatal("bucket exceeded burst capacity")
+	}
+}
+
+// TestLimiterReserveDebt: Reserve hands out future tokens with waits
+// spaced one refill interval apart.
+func TestLimiterReserveDebt(t *testing.T) {
+	l, _ := newTestLimiter(10, 1) // 100ms per token
+	if d := l.Reserve(); d != 0 {
+		t.Fatalf("first reservation waits %v, want 0", d)
+	}
+	d1, d2 := l.Reserve(), l.Reserve()
+	if d1 < 90*time.Millisecond || d1 > 110*time.Millisecond {
+		t.Fatalf("second reservation waits %v, want ~100ms", d1)
+	}
+	if d2 < 190*time.Millisecond || d2 > 210*time.Millisecond {
+		t.Fatalf("third reservation waits %v, want ~200ms", d2)
+	}
+}
+
+// TestLimiterNilAndUnlimited: rate <= 0 builds the nil (unlimited)
+// limiter, and nil never delays.
+func TestLimiterNilAndUnlimited(t *testing.T) {
+	if l := NewLimiter(0, 5); l != nil {
+		t.Fatal("rate 0 should return the nil unlimited limiter")
+	}
+	var l *Limiter
+	if !l.Allow() {
+		t.Fatal("nil limiter refused")
+	}
+	if d := l.Reserve(); d != 0 {
+		t.Fatalf("nil Reserve = %v", d)
+	}
+	if err := l.Wait(context.Background()); err != nil {
+		t.Fatalf("nil Wait = %v", err)
+	}
+}
+
+// TestLimiterConcurrent: hammered under -race, the limiter hands out
+// no more than burst + rate*elapsed tokens.
+func TestLimiterConcurrent(t *testing.T) {
+	l := NewLimiter(1000, 10)
+	start := time.Now()
+	var mu sync.Mutex
+	granted := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if l.Allow() {
+					mu.Lock()
+					granted++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	max := 10 + int(elapsed.Seconds()*1000) + 2 // burst + refill + rounding
+	if granted > max {
+		t.Fatalf("granted %d tokens in %v, cap %d", granted, elapsed, max)
+	}
+}

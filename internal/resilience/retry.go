@@ -1,0 +1,235 @@
+// Package resilience provides the client-side fault-tolerance
+// primitives used to reach ninecd across unreliable networks: seeded
+// exponential-backoff retry with full jitter and hard deadline
+// budgets, a failure-rate-windowed three-state circuit breaker, hedged
+// requests for idempotent calls, and a token-bucket rate limiter.
+//
+// The package follows the same two rules as internal/obs and
+// internal/inject: every receiver is nil-safe (a nil Retrier runs the
+// operation once, a nil Breaker always admits, a nil Limiter never
+// delays), and every random choice is a pure function of the seed, so
+// a recorded failure — "attempt 3, delay 137ms" — is a complete
+// reproducer. Instrumentation goes through obs.Active() and therefore
+// costs one atomic load when telemetry is off.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Policy configures a Retrier. Zero fields take the documented
+// defaults; a zero Policy is a sane transient-fault policy.
+type Policy struct {
+	// MaxAttempts bounds the total number of tries, first included
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff ceiling before the first retry
+	// (default 50ms); the ceiling doubles (Multiplier) per attempt.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff ceiling (default 5s).
+	MaxDelay time.Duration
+	// Multiplier grows the ceiling between attempts (default 2, floor 1).
+	Multiplier float64
+	// AttemptTimeout bounds each individual attempt (0 = none).
+	AttemptTimeout time.Duration
+	// Budget bounds the whole Do call, sleeps included, measured from
+	// entry (0 = none). Do never starts a sleep that would overrun it.
+	Budget time.Duration
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	return p
+}
+
+// Decision is a Classifier's verdict on one failed attempt.
+type Decision struct {
+	// Retry allows another attempt. False returns the error as is.
+	Retry bool
+	// After is a server-directed minimum wait (a parsed Retry-After);
+	// the retrier waits max(After, jittered backoff).
+	After time.Duration
+}
+
+// Classifier decides whether an error is worth retrying. It must be
+// safe for concurrent use.
+type Classifier func(error) Decision
+
+// RetryTransient is the default classifier: everything retries except
+// context cancellation and expiry, which are the caller's own verdict.
+func RetryTransient(err error) Decision {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return Decision{}
+	}
+	return Decision{Retry: true}
+}
+
+// Sentinel errors wrapping the last attempt's error (reachable through
+// errors.Is/As) when a Do gives up for a reason other than a
+// non-retryable verdict.
+var (
+	// ErrAttemptsExhausted: MaxAttempts tries all failed.
+	ErrAttemptsExhausted = errors.New("resilience: attempts exhausted")
+	// ErrBudgetExhausted: the next backoff would overrun Budget.
+	ErrBudgetExhausted = errors.New("resilience: retry budget exhausted")
+)
+
+// Retrier runs operations under a Policy with seeded full-jitter
+// backoff. Safe for concurrent use; concurrent Do calls interleave
+// draws from one seeded stream (each individual sequence of draws is
+// still reproducible by replaying the interleaving, and a
+// single-caller Retrier is fully deterministic).
+type Retrier struct {
+	p        Policy
+	classify Classifier
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// sleep is swapped by tests to observe delays without waiting.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// NewRetrier builds a Retrier. A nil classifier means RetryTransient.
+// The seed fully determines the jitter sequence.
+func NewRetrier(p Policy, classify Classifier, seed int64) *Retrier {
+	if classify == nil {
+		classify = RetryTransient
+	}
+	return &Retrier{
+		p:        p.withDefaults(),
+		classify: classify,
+		rng:      rand.New(rand.NewSource(seed)),
+		sleep:    sleepCtx,
+	}
+}
+
+// Policy returns the retrier's effective (defaulted) policy; the
+// zero Policy on a nil retrier.
+func (r *Retrier) Policy() Policy {
+	if r == nil {
+		return Policy{}
+	}
+	return r.p
+}
+
+// Backoff draws the jittered delay after failed attempt n (1-based):
+// uniform in [0, min(MaxDelay, BaseDelay·Multiplier^(n-1))). Full
+// jitter decorrelates a thundering herd of clients sharing one policy;
+// the seeded stream keeps each client replayable.
+func (r *Retrier) Backoff(attempt int) time.Duration {
+	if r == nil {
+		return 0
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	ceil := float64(r.p.BaseDelay) * math.Pow(r.p.Multiplier, float64(attempt-1))
+	if m := float64(r.p.MaxDelay); ceil > m {
+		ceil = m
+	}
+	r.mu.Lock()
+	f := r.rng.Float64()
+	r.mu.Unlock()
+	return time.Duration(f * ceil)
+}
+
+// Do runs op until it succeeds, the classifier refuses a retry, the
+// attempts run out, or the budget would be overrun. name labels the
+// telemetry counters (resilience.<name>.attempts/retries/recovered/
+// giveup/budget_exhausted). The context passed to op carries the
+// attempt timeout and the overall budget deadline; a nil Retrier runs
+// op exactly once with the caller's context.
+func (r *Retrier) Do(ctx context.Context, name string, op func(context.Context) error) error {
+	if r == nil {
+		return op(ctx)
+	}
+	if name == "" {
+		name = "op"
+	}
+	reg := obs.Active()
+	var deadline time.Time
+	if r.p.Budget > 0 {
+		deadline = time.Now().Add(r.p.Budget)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+	for attempt := 1; ; attempt++ {
+		reg.Counter("resilience." + name + ".attempts").Inc()
+		sp := reg.Span("resilience."+name+".attempt").Set("attempt", attempt)
+		err := r.attempt(ctx, op)
+		sp.End()
+		if err == nil {
+			if attempt > 1 {
+				reg.Counter("resilience." + name + ".recovered").Inc()
+			}
+			return nil
+		}
+		d := r.classify(err)
+		if !d.Retry {
+			return err
+		}
+		if attempt >= r.p.MaxAttempts {
+			reg.Counter("resilience." + name + ".giveup").Inc()
+			return fmt.Errorf("%w (%d attempts): %w", ErrAttemptsExhausted, attempt, err)
+		}
+		delay := r.Backoff(attempt)
+		if d.After > delay {
+			delay = d.After
+		}
+		if !deadline.IsZero() && time.Now().Add(delay).After(deadline) {
+			reg.Counter("resilience." + name + ".budget_exhausted").Inc()
+			return fmt.Errorf("%w (%d attempts, next delay %v): %w",
+				ErrBudgetExhausted, attempt, delay, err)
+		}
+		reg.Counter("resilience." + name + ".retries").Inc()
+		if serr := r.sleep(ctx, delay); serr != nil {
+			return fmt.Errorf("%w while backing off: %w", serr, err)
+		}
+	}
+}
+
+// attempt runs op under the per-attempt timeout.
+func (r *Retrier) attempt(ctx context.Context, op func(context.Context) error) error {
+	if r.p.AttemptTimeout <= 0 {
+		return op(ctx)
+	}
+	actx, cancel := context.WithTimeout(ctx, r.p.AttemptTimeout)
+	defer cancel()
+	return op(actx)
+}
+
+// sleepCtx waits d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,224 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+var errFlaky = errors.New("flaky")
+
+// TestBackoffDeterministic: two retriers with the same seed draw the
+// same jitter sequence; a different seed draws a different one.
+func TestBackoffDeterministic(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second}
+	a := NewRetrier(p, nil, 42)
+	b := NewRetrier(p, nil, 42)
+	c := NewRetrier(p, nil, 43)
+	var sameAsC int
+	for i := 1; i <= 32; i++ {
+		da, db, dc := a.Backoff(i), b.Backoff(i), c.Backoff(i)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		if da == dc {
+			sameAsC++
+		}
+	}
+	if sameAsC > 4 {
+		t.Fatalf("different seeds nearly identical: %d/32 equal draws", sameAsC)
+	}
+}
+
+// TestBackoffCeilings: every draw respects the per-attempt ceiling and
+// the MaxDelay cap.
+func TestBackoffCeilings(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Multiplier: 2}
+	r := NewRetrier(p, nil, 7)
+	for attempt := 1; attempt <= 10; attempt++ {
+		ceil := 10 * time.Millisecond << (attempt - 1)
+		if ceil > 80*time.Millisecond {
+			ceil = 80 * time.Millisecond
+		}
+		for i := 0; i < 100; i++ {
+			if d := r.Backoff(attempt); d < 0 || d >= ceil {
+				t.Fatalf("attempt %d: draw %v outside [0, %v)", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+// TestDoRetriesUntilSuccess: transient failures retry, the recovery is
+// reported as success, and the sleep sequence replays from the seed.
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		r := NewRetrier(Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}, nil, seed)
+		var slept []time.Duration
+		r.sleep = func(_ context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		}
+		calls := 0
+		err := r.Do(context.Background(), "test", func(context.Context) error {
+			calls++
+			if calls < 4 {
+				return errFlaky
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Do: %v", err)
+		}
+		if calls != 4 {
+			t.Fatalf("calls = %d, want 4", calls)
+		}
+		return slept
+	}
+	if a, b := run(99), run(99); fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("sleep sequence not replayable: %v vs %v", a, b)
+	}
+}
+
+// TestDoNonRetryable: a classifier veto returns the error unwrapped,
+// after exactly one attempt.
+func TestDoNonRetryable(t *testing.T) {
+	fatal := errors.New("fatal")
+	classify := func(err error) Decision {
+		return Decision{Retry: !errors.Is(err, fatal)}
+	}
+	r := NewRetrier(Policy{MaxAttempts: 5, BaseDelay: time.Microsecond}, classify, 1)
+	calls := 0
+	err := r.Do(context.Background(), "test", func(context.Context) error {
+		calls++
+		return fatal
+	})
+	if !errors.Is(err, fatal) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want the fatal error after 1 call", err, calls)
+	}
+}
+
+// TestDoAttemptsExhausted: MaxAttempts failures wrap the last error in
+// ErrAttemptsExhausted, still reachable through errors.Is.
+func TestDoAttemptsExhausted(t *testing.T) {
+	r := NewRetrier(Policy{MaxAttempts: 3, BaseDelay: time.Microsecond}, nil, 1)
+	calls := 0
+	err := r.Do(context.Background(), "test", func(context.Context) error {
+		calls++
+		return errFlaky
+	})
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, ErrAttemptsExhausted) || !errors.Is(err, errFlaky) {
+		t.Fatalf("err = %v, want ErrAttemptsExhausted wrapping errFlaky", err)
+	}
+}
+
+// TestDoRetryAfterFloor: a server-directed After lifts the wait above
+// the jittered draw.
+func TestDoRetryAfterFloor(t *testing.T) {
+	classify := func(error) Decision { return Decision{Retry: true, After: 250 * time.Millisecond} }
+	r := NewRetrier(Policy{MaxAttempts: 2, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}, classify, 1)
+	var slept time.Duration
+	r.sleep = func(_ context.Context, d time.Duration) error {
+		slept = d
+		return nil
+	}
+	r.Do(context.Background(), "test", func(context.Context) error { return errFlaky })
+	if slept != 250*time.Millisecond {
+		t.Fatalf("slept %v, want the 250ms Retry-After floor", slept)
+	}
+}
+
+// TestDoBudgetNeverExceeded drives many concurrent Do calls against an
+// always-failing op under the race detector and asserts no call ever
+// overruns its budget (plus scheduling slack) — the wall-clock
+// contract the ninecd client depends on.
+func TestDoBudgetNeverExceeded(t *testing.T) {
+	const budget = 100 * time.Millisecond
+	r := NewRetrier(Policy{
+		MaxAttempts: 1000, // budget, not attempts, must be the binding constraint
+		BaseDelay:   5 * time.Millisecond,
+		MaxDelay:    40 * time.Millisecond,
+		Budget:      budget,
+	}, nil, 7)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			err := r.Do(context.Background(), "soak", func(ctx context.Context) error {
+				return errFlaky
+			})
+			elapsed := time.Since(start)
+			if err == nil {
+				t.Error("always-failing op reported success")
+			}
+			if !errors.Is(err, ErrBudgetExhausted) && !errors.Is(err, context.DeadlineExceeded) &&
+				!errors.Is(err, ErrAttemptsExhausted) {
+				t.Errorf("unexpected give-up reason: %v", err)
+			}
+			// Generous slack: the contract is "never starts a sleep that
+			// would overrun", so the overshoot is bounded by one attempt.
+			if elapsed > budget+80*time.Millisecond {
+				t.Errorf("Do ran %v, budget %v", elapsed, budget)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDoBudgetStopsBeforeSleep: the retrier refuses to start a sleep
+// that would overrun the budget, reporting ErrBudgetExhausted rather
+// than sleeping into the deadline.
+func TestDoBudgetStopsBeforeSleep(t *testing.T) {
+	classify := func(error) Decision { return Decision{Retry: true, After: time.Hour} }
+	r := NewRetrier(Policy{MaxAttempts: 10, Budget: 50 * time.Millisecond}, classify, 1)
+	slept := false
+	r.sleep = func(_ context.Context, d time.Duration) error {
+		slept = true
+		return nil
+	}
+	err := r.Do(context.Background(), "test", func(context.Context) error { return errFlaky })
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if slept {
+		t.Fatal("retrier slept into a budget it could not afford")
+	}
+}
+
+// TestNilRetrier: the nil retrier runs the op exactly once.
+func TestNilRetrier(t *testing.T) {
+	var r *Retrier
+	calls := 0
+	err := r.Do(context.Background(), "test", func(context.Context) error {
+		calls++
+		return errFlaky
+	})
+	if !errors.Is(err, errFlaky) || calls != 1 {
+		t.Fatalf("nil retrier: err=%v calls=%d", err, calls)
+	}
+	if d := r.Backoff(3); d != 0 {
+		t.Fatalf("nil Backoff = %v", d)
+	}
+}
+
+// TestDoCancelDuringBackoff: a context cancelled mid-backoff surfaces
+// both the cancellation and the underlying error.
+func TestDoCancelDuringBackoff(t *testing.T) {
+	r := NewRetrier(Policy{MaxAttempts: 5, BaseDelay: time.Hour, MaxDelay: time.Hour}, nil, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err := r.Do(ctx, "test", func(context.Context) error { return errFlaky })
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, errFlaky) {
+		t.Fatalf("err = %v, want Canceled wrapping errFlaky", err)
+	}
+}
