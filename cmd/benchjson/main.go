@@ -70,6 +70,7 @@ func runSnapshot(r io.Reader, dir, stamp string) error {
 	if len(snap.Results) == 0 {
 		return fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench` output in)")
 	}
+	snap.Results = foldBest(snap.Results)
 	stamp, path, err := resolveSnapshotPath(dir, stamp)
 	if err != nil {
 		return err
@@ -100,6 +101,29 @@ func runSnapshot(r io.Reader, dir, stamp string) error {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d results)\n", path, len(snap.Results))
 	return nil
+}
+
+// foldBest collapses repeated benchmark names (a `-count=N` run) into
+// one result per name, keeping the sample with the lowest ns/op and
+// preserving first-occurrence order. On a shared or single-CPU machine
+// a benchmark's true cost is its best observed run — slower repeats
+// measure scheduler interference, not the code — so the snapshot
+// records min-of-N and the regression gate compares real speed, not
+// whichever run drew the noisiest timeslice.
+func foldBest(results []obs.BenchResult) []obs.BenchResult {
+	idx := make(map[string]int, len(results))
+	out := results[:0]
+	for _, r := range results {
+		if i, ok := idx[r.Name]; ok {
+			if r.NsPerOp < out[i].NsPerOp {
+				out[i] = r
+			}
+			continue
+		}
+		idx[r.Name] = len(out)
+		out = append(out, r)
+	}
+	return out
 }
 
 // resolveSnapshotPath picks a collision-free snapshot path. The stamp

@@ -57,6 +57,52 @@ func TestRunSnapshotWritesValidFile(t *testing.T) {
 	}
 }
 
+// TestRunSnapshotFoldsRepeatedRuns pins the -count=N contract: a run
+// repeating each benchmark keeps one result per name — the fastest —
+// in first-occurrence order, so scheduler noise in slower repeats
+// never reaches the snapshot the gate diffs.
+func TestRunSnapshotFoldsRepeatedRuns(t *testing.T) {
+	const repeated = `goos: linux
+goarch: amd64
+cpu: Example CPU @ 2.00GHz
+BenchmarkEncodeSet-8   	     532	   2147193 ns/op	  30.52 MB/s
+BenchmarkEncodeCube-8  	  120000	      9521 ns/op	  26.88 MB/s
+BenchmarkEncodeSet-8   	     600	   1900000 ns/op	  34.49 MB/s
+BenchmarkEncodeCube-8  	  110000	     10400 ns/op	  24.61 MB/s
+BenchmarkEncodeSet-8   	     550	   2050000 ns/op	  31.97 MB/s
+PASS
+`
+	dir := t.TempDir()
+	stamp := "20260808T120000Z"
+	if err := runSnapshot(strings.NewReader(repeated), dir, stamp); err != nil {
+		t.Fatalf("runSnapshot: %v", err)
+	}
+	f, err := os.Open(filepath.Join(dir, "BENCH_"+stamp+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := obs.ReadBenchSnapshot(f)
+	if err != nil {
+		t.Fatalf("ReadBenchSnapshot: %v", err)
+	}
+	if len(snap.Results) != 2 {
+		t.Fatalf("results = %d, want 2 (folded)", len(snap.Results))
+	}
+	if snap.Results[0].Name != "BenchmarkEncodeSet" || snap.Results[1].Name != "BenchmarkEncodeCube" {
+		t.Fatalf("order = %q, %q; want first-occurrence order", snap.Results[0].Name, snap.Results[1].Name)
+	}
+	if snap.Results[0].NsPerOp != 1900000 {
+		t.Errorf("EncodeSet ns/op = %v, want the 1900000 minimum", snap.Results[0].NsPerOp)
+	}
+	if snap.Results[0].MBPerSec != 34.49 {
+		t.Errorf("EncodeSet MB/s = %v, want 34.49 (the whole best sample, not a field mix)", snap.Results[0].MBPerSec)
+	}
+	if snap.Results[1].NsPerOp != 9521 {
+		t.Errorf("EncodeCube ns/op = %v, want the 9521 minimum", snap.Results[1].NsPerOp)
+	}
+}
+
 func TestRunSnapshotRejectsEmptyInput(t *testing.T) {
 	if err := runSnapshot(strings.NewReader("PASS\n"), t.TempDir(), ""); err == nil {
 		t.Fatal("want error for input without benchmark lines")

@@ -15,6 +15,8 @@
 //	ninecd -slo-window 5m -slo-latency 250ms  # /readyz objectives
 //	ninecd -shed-queue 64 -shed-mem 1073741824  # adaptive load shedding
 //	ninecd -prio-bytes 65536 -prio-slots 2      # small-decode priority lane
+//	ninecd -cache=false -cache-bytes 268435456  # /encode result cache
+//	ninecd -batch-window 500us -batch-max 32    # /encode micro-batching
 //
 // Endpoints:
 //
@@ -77,7 +79,12 @@ func realMain(args []string) (code int) {
 
 	var cfg config
 	var trace, accessLog string
+	cacheOn := true
 	fs := flag.NewFlagSet("ninecd", flag.ContinueOnError)
+	fs.BoolVar(&cacheOn, "cache", true, "content-addressed /encode result cache (-cache=off via -cache=false)")
+	fs.Int64Var(&cfg.CacheBytes, "cache-bytes", 0, "result-cache resident bound in bytes (0 = 256 MiB)")
+	fs.DurationVar(&cfg.BatchWindow, "batch-window", 0, "micro-batch window for concurrent /encode requests (0 = disabled)")
+	fs.IntVar(&cfg.BatchMax, "batch-max", 0, "flush a forming batch at this many jobs (0 = 32)")
 	fs.StringVar(&cfg.Addr, "addr", "localhost:9314", "listen address")
 	fs.IntVar(&cfg.K, "k", 8, "default block size K for /encode (even, >= 2)")
 	fs.IntVar(&cfg.Workers, "workers", 0, "worker-pool size (0 = GOMAXPROCS)")
@@ -100,6 +107,7 @@ func realMain(args []string) (code int) {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	cfg.CacheOff = !cacheOn
 
 	// The daemon always runs with telemetry on: /metrics serves the
 	// registry snapshot, and library spans/counters feed it for free.

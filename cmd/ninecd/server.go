@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -14,7 +15,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/batchenc"
 	"repro/internal/bitvec"
+	"repro/internal/cachex"
 	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -26,34 +29,43 @@ import (
 // container's codec can come from the shared cache.
 var defaultAssign = core.DefaultAssignment()
 
-// codecCache reuses default-assignment codecs across requests; a Codec
+// codecTable reuses default-assignment codecs across requests; a Codec
 // is immutable after construction, so sharing is free. Keyed by K.
 // Frequency-directed codecs depend on per-request counts and are built
-// per request.
-var codecCache sync.Map // int -> *core.Codec
+// per request. The zero value is ready to use.
+type codecTable struct {
+	m sync.Map // int -> *core.Codec
+}
 
-// codecFor returns the shared default-assignment codec for block size
-// k, building it on first use. Invalid k errors without caching.
-func codecFor(k int) (*core.Codec, error) {
-	if c, ok := codecCache.Load(k); ok {
+// get returns the shared default-assignment codec for block size k,
+// building it on first use. Invalid k errors without caching. Racing
+// first-use builds may construct duplicates, but every caller —
+// including the losers — receives the single stored instance, so "the
+// codec for K" stays one pointer for the process lifetime.
+func (t *codecTable) get(k int) (*core.Codec, error) {
+	if c, ok := t.m.Load(k); ok {
 		return c.(*core.Codec), nil
 	}
 	c, err := core.New(k)
 	if err != nil {
 		return nil, err
 	}
-	actual, _ := codecCache.LoadOrStore(k, c)
+	actual, _ := t.m.LoadOrStore(k, c)
 	return actual.(*core.Codec), nil
 }
 
-// codecForAssign is codecFor when the assignment is the canonical one,
-// and a fresh build otherwise.
-func codecForAssign(k int, a core.Assignment) (*core.Codec, error) {
+// getAssign is get when the assignment is the canonical one, and a
+// fresh build otherwise.
+func (t *codecTable) getAssign(k int, a core.Assignment) (*core.Codec, error) {
 	if a == defaultAssign {
-		return codecFor(k)
+		return t.get(k)
 	}
 	return core.NewWithAssignment(k, a)
 }
+
+// codecs is the process-wide table; server instances share it because
+// a default-assignment codec depends only on K.
+var codecs codecTable
 
 // textBufPool recycles the per-row 01X emission buffers of the decode
 // handlers.
@@ -82,6 +94,19 @@ type config struct {
 	ShedMemBytes int64
 	PrioBytes    int64
 	PrioSlots    int
+
+	// Fleet-scale serving (see internal/cachex, internal/batchenc).
+	// CacheOff disables the content-addressed /encode result cache
+	// (on by default — both endpoints are pure functions of request
+	// bytes and parameters, so caching cannot change a response);
+	// CacheBytes bounds its resident size (0 = 256 MiB). BatchWindow
+	// enables the /encode micro-batcher: concurrent small encodes
+	// arriving within the window share one workspace pass (0 =
+	// disabled); BatchMax flushes a forming batch early (0 = 32).
+	CacheOff    bool
+	CacheBytes  int64
+	BatchWindow time.Duration
+	BatchMax    int
 
 	// SLO objectives backing /readyz (zero fields take the obs
 	// defaults: 5m window, 99.9% availability, 250ms at p99).
@@ -115,6 +140,12 @@ func (c config) withDefaults() config {
 	}
 	if c.ShedQueue <= 0 {
 		c.ShedQueue = c.Workers * 8
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 32
 	}
 	if c.PrioBytes <= 0 {
 		c.PrioBytes = 64 << 10
@@ -153,6 +184,8 @@ type server struct {
 	slo    *obs.SLOTracker
 	rc     *obs.RuntimeCollector
 	access *obs.AccessLog
+	cache  *cachex.Cache     // content-addressed /encode results; nil when off
+	enc    *batchenc.Encoder // the direct/batched encode kernel
 
 	draining atomic.Bool // set by StartDrain; flips /readyz to 503
 	queued   *obs.Gauge  // requests waiting for a worker slot
@@ -188,6 +221,19 @@ func newServer(cfg config, reg *obs.Registry) *server {
 	s.prio = make(chan struct{}, cfg.PrioSlots)
 	s.queued = reg.Gauge("ninecd.queued")
 	s.heap = reg.Gauge("runtime.heap_alloc_bytes")
+	s.enc = batchenc.New(batchenc.Config{
+		Window:   cfg.BatchWindow,
+		MaxBatch: cfg.BatchMax,
+		Codec:    codecs.get,
+		Registry: reg,
+	})
+	if !cfg.CacheOff {
+		s.cache = cachex.New(cachex.Config{
+			MaxBytes: cfg.CacheBytes,
+			Size:     encodeResultSize,
+			Registry: reg,
+		})
+	}
 	s.mux.HandleFunc("POST /encode", s.instrument("encode", true, s.guard("encode", s.handleEncode)))
 	s.mux.HandleFunc("POST /decode", s.instrument("decode", true, s.guard("decode", s.handleDecode)))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
@@ -289,10 +335,28 @@ func (s *server) guard(name string, h func(http.ResponseWriter, *http.Request) e
 	}
 }
 
+// encodeResultSize charges a cached encode result for its container
+// plus the struct's own fields.
+func encodeResultSize(v any) int64 {
+	return int64(len(v.(batchenc.Result).Container)) + 64
+}
+
+// bodyBufPool recycles the /encode body buffers; a request body must
+// be fully resident to be content-addressed.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // handleEncode reads 01X text from the request body and responds with
 // a chunked v4 container. Query parameters: k (block size, default the
 // daemon's -k), fd (frequency-directed assignment, two-pass), name
 // (set name stored in the container).
+//
+// The response is a pure function of (body, k, fd, name), so unless
+// -cache=off the handler first consults the content-addressed cache:
+// a resident result answers immediately (X-Cache: hit), a concurrent
+// identical request shares the in-flight encode (X-Cache: coalesced),
+// and only a genuinely new request runs the codec (X-Cache: miss).
+// A failed encode is never cached — errors propagate to this caller
+// and any coalesced followers, leaving the key clean.
 func (s *server) handleEncode(w http.ResponseWriter, r *http.Request) error {
 	q := r.URL.Query()
 	k := s.cfg.K
@@ -303,48 +367,54 @@ func (s *server) handleEncode(w http.ResponseWriter, r *http.Request) error {
 		}
 		k = n
 	}
+	fd := q.Get("fd") != ""
 	name := q.Get("name")
 	if name == "" {
 		name = "request"
 	}
 
-	set, err := tcube.Read(name, http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
-	if err != nil {
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bodyBufPool.Put(buf)
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)); err != nil {
 		return err
 	}
-	if set == nil || set.Len() == 0 {
-		return fmt.Errorf("empty test set: %w", robust.ErrCorrupt)
+	body := buf.Bytes()
+
+	encode := func() (batchenc.Result, error) {
+		set, err := tcube.Read(name, bytes.NewReader(body))
+		if err != nil {
+			return batchenc.Result{}, err
+		}
+		if set == nil || set.Len() == 0 {
+			return batchenc.Result{}, fmt.Errorf("empty test set: %w", robust.ErrCorrupt)
+		}
+		return s.enc.Encode(r.Context(), batchenc.Request{Set: set, K: k, FD: fd, Name: name})
 	}
-	cdc, err := codecFor(k)
-	if err != nil {
-		return err
-	}
-	// The pooled workspace keeps the kernel encode allocation-free per
-	// request; res aliases ws, which stays checked out until the
-	// container has been written.
-	ws := core.GetWorkspace()
-	defer ws.Release()
-	res, err := cdc.EncodeSetWSCtx(r.Context(), ws, set)
-	if err != nil {
-		return err
-	}
-	if q.Get("fd") != "" {
-		// Frequency-directed mode needs the first-pass counts, so it is
-		// inherently two-pass and buffers the set either way.
-		cdc, err = core.NewWithAssignment(k, core.FrequencyDirected(res.Counts))
+
+	var res batchenc.Result
+	if s.cache == nil {
+		var err error
+		if res, err = encode(); err != nil {
+			return err
+		}
+	} else {
+		// name is part of the key because it is stored inside the
+		// container: same body, different name, different bytes out.
+		key := cachex.KeyOf([]byte("k="+strconv.Itoa(k)+"&fd="+strconv.FormatBool(fd)+"&name="+name), body)
+		v, outcome, err := s.cache.Do(r.Context(), key, func() (any, error) { return encode() })
 		if err != nil {
 			return err
 		}
-		if res, err = cdc.EncodeSetWSCtx(r.Context(), ws, set); err != nil {
-			return err
-		}
+		res = v.(batchenc.Result)
+		w.Header().Set("X-Cache", outcome.String())
 	}
-	res.Name = name
 
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Patterns", strconv.Itoa(res.Patterns))
-	w.Header().Set("X-Compressed-Bits", strconv.Itoa(res.CompressedBits()))
-	return container.WriteVersion(w, res, container.Magic4)
+	w.Header().Set("X-Compressed-Bits", strconv.Itoa(res.CompressedBits))
+	_, err := w.Write(res.Container)
+	return err
 }
 
 // handleDecode reads a container (any version) from the request body
@@ -367,7 +437,7 @@ func (s *server) handleDecode(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	cdc, err := codecForAssign(res.K, res.Assign)
+	cdc, err := codecs.getAssign(res.K, res.Assign)
 	if err != nil {
 		return err
 	}
@@ -426,12 +496,18 @@ func writeSetText(w io.Writer, name string, flat *bitvec.Cube, patterns, width, 
 func (s *server) decodeChunked(w http.ResponseWriter, r *http.Request, body io.Reader) error {
 	sp := obs.SpanCtx(r.Context(), "ninecd.decode.stream")
 	defer sp.End()
+	// This handler keeps reading the request body after it starts
+	// writing the response; without full duplex an HTTP/1.x server
+	// closes the body at the first write, truncating any container
+	// larger than one response buffer. Best effort: where unsupported,
+	// the decode degrades to the pre-duplex behavior.
+	http.NewResponseController(w).EnableFullDuplex()
 	chr, err := container.NewChunkReader(body, s.cfg.limits())
 	if err != nil {
 		return err
 	}
 	h := chr.Header()
-	cdc, err := core.NewWithAssignment(h.K, h.Assign)
+	cdc, err := codecs.getAssign(h.K, h.Assign)
 	if err != nil {
 		return fmt.Errorf("%w: %v", robust.ErrCorrupt, err)
 	}

@@ -75,6 +75,11 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// Unwrap lets http.NewResponseController reach the underlying writer,
+// so controls like EnableFullDuplex (the streaming /decode path) work
+// through the instrumentation wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // countingReader counts request body bytes actually consumed.
 type countingReader struct {
 	rc io.ReadCloser

@@ -10,6 +10,8 @@
 //	ninecload -addr HOST -chaos -chaos-reset 0.05 \
 //	          -chaos-latency 5ms -chaos-slowloris 0.05 # through chaos
 //	ninecload -slo-p99 2s -slo-success 0.99            # SLO gates
+//	ninecload -dup-ratio 0.95 -corpus 8 -verify \
+//	          -keepalive -mix 0                        # duplicate-heavy cache replay
 //	ninecload -json                                    # machine report
 //
 // The workload is deterministic: -seed fixes the corpus, the
@@ -57,6 +59,11 @@ type options struct {
 	k        int
 	patterns int
 	width    int
+	corpus   int
+
+	dupRatio  float64
+	keepalive bool
+	verify    bool
 
 	chaos          bool
 	chaosLatency   time.Duration
@@ -89,6 +96,10 @@ func realMain(args []string, out io.Writer) int {
 	fs.IntVar(&o.k, "k", 8, "block size K for the corpus")
 	fs.IntVar(&o.patterns, "patterns", 16, "patterns per corpus test set")
 	fs.IntVar(&o.width, "width", 64, "bits per corpus pattern")
+	fs.IntVar(&o.corpus, "corpus", 8, "distinct test sets in the replay corpus")
+	fs.Float64Var(&o.dupRatio, "dup-ratio", 0, "fraction of encodes replaying a corpus set (rest are unique cold sets; 0 = round-robin corpus replay)")
+	fs.BoolVar(&o.keepalive, "keepalive", false, "reuse HTTP connections (off by default so chaos plans stay per-request)")
+	fs.BoolVar(&o.verify, "verify", false, "assert corpus encode responses are byte-identical to a local reference encode")
 	fs.BoolVar(&o.chaos, "chaos", false, "route traffic through the seeded chaos proxy")
 	fs.DurationVar(&o.chaosLatency, "chaos-latency", 0, "added latency per connection direction")
 	fs.DurationVar(&o.chaosJitter, "chaos-jitter", 0, "seeded extra latency in [0, jitter)")
@@ -110,6 +121,10 @@ func realMain(args []string, out io.Writer) int {
 	}
 	if o.n <= 0 || o.c <= 0 || o.mix < 0 || o.mix > 1 {
 		fmt.Fprintln(os.Stderr, "ninecload: -n and -c must be positive, -mix in [0,1]")
+		return 2
+	}
+	if o.dupRatio < 0 || o.dupRatio > 1 || o.corpus <= 0 {
+		fmt.Fprintln(os.Stderr, "ninecload: -dup-ratio in [0,1], -corpus positive")
 		return 2
 	}
 
@@ -140,7 +155,7 @@ func realMain(args []string, out io.Writer) int {
 // run executes the workload and builds the report. Setup failures are
 // errors; SLO failures are violations on the report.
 func run(o options, reg *obs.Registry) (*report, error) {
-	texts, conts, err := buildCorpus(o.k, o.patterns, o.width, 8, o.seed)
+	texts, conts, err := buildCorpus(o.k, o.patterns, o.width, o.corpus, o.seed)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: %w", err)
 	}
@@ -167,9 +182,12 @@ func run(o options, reg *obs.Registry) (*report, error) {
 
 	c, err := ninecdclient.New(ninecdclient.Config{
 		BaseURL: target,
-		// Keep-alives off: each request gets its own proxied connection,
-		// so per-connection chaos plans are per-request plans.
-		HTTPClient: &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+		// Keep-alives off by default: each request gets its own proxied
+		// connection, so per-connection chaos plans are per-request
+		// plans. -keepalive turns reuse back on for throughput runs,
+		// where connection setup would otherwise dominate the cache-hit
+		// path being measured.
+		HTTPClient: &http.Client{Transport: &http.Transport{DisableKeepAlives: !o.keepalive}},
 		Retry: resilience.Policy{
 			MaxAttempts:    o.retries,
 			AttemptTimeout: o.attemptTimeout,
@@ -242,6 +260,12 @@ func run(o options, reg *obs.Registry) (*report, error) {
 			rep.Daemon5xx += v
 		}
 	}
+	rep.CacheHits = snap.Counters["ninecd.cache.hit"]
+	rep.CacheMisses = snap.Counters["ninecd.cache.miss"]
+	rep.CacheCoalesced = snap.Counters["ninecd.cache.coalesced"]
+	if total := rep.CacheHits + rep.CacheMisses; total > 0 {
+		rep.CacheHitRatio = float64(rep.CacheHits) / float64(total)
+	}
 	if rep.DaemonPanics > 0 {
 		rep.Violations = append(rep.Violations,
 			fmt.Sprintf("daemon recovered %d panics under load", rep.DaemonPanics))
@@ -251,6 +275,14 @@ func run(o options, reg *obs.Registry) (*report, error) {
 
 // oneRequest issues request i (encode or decode by the seeded mix) and
 // returns its sample.
+//
+// Encode traffic models a test-floor replay: with -dup-ratio R, a
+// request re-encodes one of the finite corpus sets with probability R
+// (the duplicate-heavy stream a content-addressed cache absorbs) and
+// otherwise submits a unique cold set derived from (seed, i) that no
+// cache can have seen. Requests for corpus set j always carry the name
+// "corpus-j" — the name is stored in the container, so stable naming
+// is what makes replays byte-identical and therefore cacheable.
 func oneRequest(c *ninecdclient.Client, o options, texts, conts [][]byte, i int) sample {
 	rng := rand.New(rand.NewSource(o.seed ^ int64(i)*0x5851F42D4C957F2D))
 	s := sample{op: "encode"}
@@ -265,7 +297,16 @@ func oneRequest(c *ninecdclient.Client, o options, texts, conts [][]byte, i int)
 	case "decode":
 		_, err = c.Decode(ctx, conts[i%len(conts)])
 	default:
-		_, err = c.Encode(ctx, fmt.Sprintf("load-%d", i), o.k, texts[i%len(texts)])
+		name, text, expected := pickEncode(o, texts, conts, rng, i)
+		var res *ninecdclient.EncodeResult
+		res, err = c.Encode(ctx, name, o.k, text)
+		if err == nil && o.verify && expected != nil && !bytes.Equal(res.Container, expected) {
+			s.class = "verify_mismatch"
+			s.errMsg = fmt.Sprintf("%s: response differs from local reference encode (%d vs %d bytes)",
+				name, len(res.Container), len(expected))
+			s.dur = time.Since(start)
+			return s
+		}
 	}
 	s.dur = time.Since(start)
 	if err != nil {
@@ -273,6 +314,35 @@ func oneRequest(c *ninecdclient.Client, o options, texts, conts [][]byte, i int)
 		s.errMsg = err.Error()
 	}
 	return s
+}
+
+// pickEncode chooses request i's encode payload. expected is the local
+// reference container for corpus sets (nil for unique cold sets, which
+// have no precomputed reference).
+func pickEncode(o options, texts, conts [][]byte, rng *rand.Rand, i int) (name string, text, expected []byte) {
+	if o.dupRatio > 0 {
+		if rng.Float64() < o.dupRatio {
+			j := rng.Intn(len(texts))
+			return fmt.Sprintf("corpus-%d", j), texts[j], conts[j]
+		}
+		return fmt.Sprintf("cold-%d", i), coldText(o, i), nil
+	}
+	j := i % len(texts)
+	return fmt.Sprintf("corpus-%d", j), texts[j], conts[j]
+}
+
+// coldText generates the unique never-before-seen set for request i,
+// same shape as the corpus, deterministic under -seed.
+func coldText(o options, i int) []byte {
+	rng := rand.New(rand.NewSource(o.seed ^ 0x436F6C64 ^ int64(i)*0x2545F4914F6CDD1D))
+	var b strings.Builder
+	for p := 0; p < o.patterns; p++ {
+		for j := 0; j < o.width; j++ {
+			b.WriteByte("01X"[rng.Intn(3)])
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
 }
 
 // buildCorpus generates `count` deterministic 01X test sets and their

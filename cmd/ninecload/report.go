@@ -50,6 +50,17 @@ type report struct {
 	Daemon5xx    int64              `json:"daemon_5xx"`
 	Proxy        *inject.ProxyStats `json:"proxy,omitempty"`
 
+	// Daemon-side result-cache evidence, scraped from /metrics.json
+	// after the run (cumulative over the daemon's lifetime).
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheCoalesced int64   `json:"cache_coalesced"`
+	CacheHitRatio  float64 `json:"cache_hit_ratio"`
+
+	// VerifyMismatches counts -verify failures: corpus encode responses
+	// that were not byte-identical to the local reference encode.
+	VerifyMismatches int64 `json:"verify_mismatches"`
+
 	Violations []string `json:"violations,omitempty"`
 }
 
@@ -114,6 +125,14 @@ func buildReport(o options, samples []sample, elapsed time.Duration, reg *obs.Re
 		rep.BudgetDenied += snap.Counters["resilience."+route+".budget_exhausted"]
 	}
 
+	rep.VerifyMismatches = rep.ByClass["verify_mismatch"]
+	if rep.VerifyMismatches > 0 {
+		// A mismatch means the daemon returned different bytes for the
+		// same request — a cache or batching correctness bug, never
+		// acceptable at any rate.
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("%d encode responses differed from the local reference", rep.VerifyMismatches))
+	}
 	if rep.Unclassified > 0 {
 		rep.Violations = append(rep.Violations,
 			fmt.Sprintf("%d unclassified client errors", rep.Unclassified))
@@ -160,6 +179,10 @@ func (r *report) writeText(w io.Writer) {
 			r.Proxy.Conns, r.Proxy.Resets, r.Proxy.SlowLoris, r.Proxy.Truncates, r.Proxy.Duplicates)
 	}
 	fmt.Fprintf(w, "  daemon   panics=%d 5xx=%d\n", r.DaemonPanics, r.Daemon5xx)
+	if r.CacheHits+r.CacheMisses > 0 {
+		fmt.Fprintf(w, "  cache    hits=%d misses=%d coalesced=%d hit_ratio=%.3f\n",
+			r.CacheHits, r.CacheMisses, r.CacheCoalesced, r.CacheHitRatio)
+	}
 	if len(r.Violations) == 0 {
 		fmt.Fprintln(w, "SLO: ok")
 		return

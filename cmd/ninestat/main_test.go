@@ -119,6 +119,92 @@ func TestSummarizeRatesAndRoutes(t *testing.T) {
 	}
 }
 
+const cacheFixture = promFixture + `# TYPE ninecd_cache_hit_total counter
+ninecd_cache_hit_total 80
+ninecd_cache_miss_total 20
+ninecd_cache_coalesced_total 4
+# TYPE ninecd_cache_entries gauge
+ninecd_cache_entries 12
+ninecd_cache_bytes 4096
+`
+
+func TestSummarizeCacheStats(t *testing.T) {
+	prev, err := parsePromText(strings.NewReader(cacheFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	curText := strings.NewReplacer(
+		"ninecd_cache_hit_total 80", "ninecd_cache_hit_total 170",
+		"ninecd_cache_miss_total 20", "ninecd_cache_miss_total 30",
+		"ninecd_cache_coalesced_total 4", "ninecd_cache_coalesced_total 24",
+	).Replace(cacheFixture)
+	cur, err := parsePromText(strings.NewReader(curText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.at = prev.at.Add(10 * time.Second)
+
+	sum := summarize("test", cur, prev)
+	if !sum.Cache.Present {
+		t.Fatal("cache families in the scrape but Present = false")
+	}
+	if math.Abs(sum.Cache.HitsPerSec-9) > 1e-9 ||
+		math.Abs(sum.Cache.MissesPerSec-1) > 1e-9 ||
+		math.Abs(sum.Cache.CoalescedPerSec-2) > 1e-9 {
+		t.Errorf("rates = %.1f/%.1f/%.1f, want 9/1/2",
+			sum.Cache.HitsPerSec, sum.Cache.MissesPerSec, sum.Cache.CoalescedPerSec)
+	}
+	// Interval ratio: 90 new hits, 10 new misses.
+	if math.Abs(sum.Cache.HitRatio-0.9) > 1e-9 {
+		t.Errorf("hit ratio = %v, want 0.9 (interval delta)", sum.Cache.HitRatio)
+	}
+	if sum.Cache.Entries != 12 || sum.Cache.Bytes != 4096 {
+		t.Errorf("entries/bytes = %v/%v, want 12/4096", sum.Cache.Entries, sum.Cache.Bytes)
+	}
+
+	// An idle interval falls back to the cumulative lifetime ratio
+	// instead of reporting 0 for a warm cache.
+	idle := summarize("test", cur, cur)
+	if math.Abs(idle.Cache.HitRatio-0.85) > 1e-9 {
+		t.Errorf("idle-interval hit ratio = %v, want cumulative 170/200", idle.Cache.HitRatio)
+	}
+
+	// A counter reset (daemon restart) also falls back to cumulative.
+	reset := summarize("test", prev, cur)
+	if math.Abs(reset.Cache.HitRatio-0.8) > 1e-9 {
+		t.Errorf("post-reset hit ratio = %v, want cumulative 80/100", reset.Cache.HitRatio)
+	}
+}
+
+func TestSummarizeCacheAbsent(t *testing.T) {
+	prev, err := parsePromText(strings.NewReader(promFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := parsePromText(strings.NewReader(promFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.at = prev.at.Add(time.Second)
+	sum := summarize("test", cur, prev)
+	if sum.Cache.Present {
+		t.Fatal("no cache families in the scrape but Present = true")
+	}
+}
+
+func TestRenderCacheLine(t *testing.T) {
+	var with strings.Builder
+	render(&with, summary{Cache: cacheStat{Present: true, HitRatio: 0.9}}, false)
+	if !strings.Contains(with.String(), "hit ratio 0.900") {
+		t.Errorf("cache line missing from render:\n%s", with.String())
+	}
+	var without strings.Builder
+	render(&without, summary{}, false)
+	if strings.Contains(without.String(), "hit ratio") {
+		t.Error("cache line rendered for a daemon with the cache off")
+	}
+}
+
 func TestDiscoverRoutesSkipsStatusFamilies(t *testing.T) {
 	s, err := parsePromText(strings.NewReader(promFixture))
 	if err != nil {

@@ -24,9 +24,15 @@ func render(w io.Writer, sum summary, clear bool) {
 	fmt.Fprintf(&b, "req/s %8.1f   inflight %3.0f   slo %s (err burn %.2f, lat burn %.2f, window %d reqs)\n",
 		sum.ReqPerSec, sum.Inflight, ready,
 		sum.SLO.ErrorBurn, sum.SLO.LatencyBurn, int(sum.SLO.WindowTotal))
-	fmt.Fprintf(&b, "heap %s alloc / %s inuse   goroutines %.0f   gc/s %.2f   gc pause p50 %s p99 %s   sched p99 %s\n\n",
+	fmt.Fprintf(&b, "heap %s alloc / %s inuse   goroutines %.0f   gc/s %.2f   gc pause p50 %s p99 %s   sched p99 %s\n",
 		mem(sum.HeapAllocBytes), mem(sum.HeapInuseBytes), sum.Goroutines, sum.GCPerSec,
 		us(sum.GCPauseP50Us), us(sum.GCPauseP99Us), us(sum.SchedLatP99Us))
+	if sum.Cache.Present {
+		fmt.Fprintf(&b, "cache hit/s %.1f   miss/s %.1f   coalesced/s %.1f   hit ratio %.3f   %s in %.0f entries\n",
+			sum.Cache.HitsPerSec, sum.Cache.MissesPerSec, sum.Cache.CoalescedPerSec,
+			sum.Cache.HitRatio, mem(sum.Cache.Bytes), sum.Cache.Entries)
+	}
+	b.WriteString("\n")
 
 	fmt.Fprintf(&b, "%-14s %9s %8s %8s %8s %9s %9s %9s\n",
 		"ROUTE", "REQ/S", "2XX/S", "4XX/S", "5XX/S", "P50", "P95", "P99")

@@ -26,6 +26,21 @@ type sloStat struct {
 	WindowTotal float64 `json:"window_total"`
 }
 
+// cacheStat summarizes the daemon's content-addressed result cache
+// over the interval. Present is false when the daemon runs with
+// -cache=off — the cache metric families never appear in the
+// exposition — so the console can distinguish "cache disabled" from
+// "cache idle".
+type cacheStat struct {
+	Present         bool    `json:"present"`
+	HitsPerSec      float64 `json:"hits_per_sec"`
+	MissesPerSec    float64 `json:"misses_per_sec"`
+	CoalescedPerSec float64 `json:"coalesced_per_sec"`
+	HitRatio        float64 `json:"hit_ratio"`
+	Entries         float64 `json:"entries"`
+	Bytes           float64 `json:"bytes"`
+}
+
 // summary is one interval's condensed view — what -once emits as JSON
 // and what the live screen renders.
 type summary struct {
@@ -41,6 +56,7 @@ type summary struct {
 	GCPauseP50Us    float64     `json:"gc_pause_p50_us"`
 	GCPauseP99Us    float64     `json:"gc_pause_p99_us"`
 	SchedLatP99Us   float64     `json:"sched_lat_p99_us"`
+	Cache           cacheStat   `json:"cache"`
 	SLO             sloStat     `json:"slo"`
 }
 
@@ -146,6 +162,27 @@ func summarize(addr string, cur, prev *scrape) summary {
 			Ready:       cur.samples["ninecd_slo_ready"] > 0,
 			WindowTotal: cur.samples["ninecd_slo_window_total"],
 		},
+	}
+	if _, ok := cur.samples["ninecd_cache_hit_total"]; ok {
+		sum.Cache = cacheStat{
+			Present:         true,
+			HitsPerSec:      rate(cur, prev, "ninecd_cache_hit_total", dt),
+			MissesPerSec:    rate(cur, prev, "ninecd_cache_miss_total", dt),
+			CoalescedPerSec: rate(cur, prev, "ninecd_cache_coalesced_total", dt),
+			Entries:         cur.samples["ninecd_cache_entries"],
+			Bytes:           cur.samples["ninecd_cache_bytes"],
+		}
+		dh := cur.samples["ninecd_cache_hit_total"] - prev.samples["ninecd_cache_hit_total"]
+		dm := cur.samples["ninecd_cache_miss_total"] - prev.samples["ninecd_cache_miss_total"]
+		if dh < 0 || dm < 0 || dh+dm == 0 {
+			// Counter reset (daemon restart) or an idle interval: the
+			// cumulative lifetime ratio is the honest fallback.
+			dh = cur.samples["ninecd_cache_hit_total"]
+			dm = cur.samples["ninecd_cache_miss_total"]
+		}
+		if dh+dm > 0 {
+			sum.Cache.HitRatio = dh / (dh + dm)
+		}
 	}
 	if gc := cur.hists["runtime_gc_pause_ns"]; gc != nil {
 		sum.GCPauseP50Us = nz(quantileDelta(gc, prev.hists["runtime_gc_pause_ns"], 0.50) / 1e3)

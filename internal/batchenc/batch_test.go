@@ -1,0 +1,257 @@
+package batchenc
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/tcube"
+)
+
+func sampleSet(t *testing.T, patterns, width int, seed int64) *tcube.Set {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	for i := 0; i < patterns; i++ {
+		for j := 0; j < width; j++ {
+			b.WriteByte("01X"[rng.Intn(3)])
+		}
+		b.WriteByte('\n')
+	}
+	set, err := tcube.Read(fmt.Sprintf("set-%d", seed), strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// reference encodes a request directly — no batcher, no workspace
+// reuse — as the byte-identity oracle.
+func reference(t *testing.T, req Request) Result {
+	t.Helper()
+	cdc, err := core.New(req.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cdc.EncodeSet(req.Set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.FD {
+		cdc, err = core.NewWithAssignment(req.K, core.FrequencyDirected(res.Counts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res, err = cdc.EncodeSet(req.Set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res.Name = req.Name
+	var buf bytes.Buffer
+	if err := container.WriteVersion(&buf, res, container.Magic4); err != nil {
+		t.Fatal(err)
+	}
+	return Result{Container: buf.Bytes(), Patterns: res.Patterns, CompressedBits: res.CompressedBits()}
+}
+
+func TestDirectPathWhenAlone(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(Config{Window: 50 * time.Millisecond, Registry: reg})
+	req := Request{Set: sampleSet(t, 8, 32, 1), K: 8, Name: "solo"}
+	got, err := e.Encode(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reference(t, req)
+	if !bytes.Equal(got.Container, want.Container) {
+		t.Fatal("direct-path container differs from reference")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["ninecd.batch.direct"] != 1 || snap.Counters["ninecd.batch.batched"] != 0 {
+		t.Fatalf("direct=%d batched=%d, want 1/0",
+			snap.Counters["ninecd.batch.direct"], snap.Counters["ninecd.batch.batched"])
+	}
+}
+
+func TestWindowZeroDisablesBatching(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(Config{Window: 0, Registry: reg})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := Request{Set: sampleSet(t, 4, 16, int64(i)), K: 8, Name: fmt.Sprintf("j%d", i)}
+			if _, err := e.Encode(context.Background(), req); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := reg.Snapshot().Counters["ninecd.batch.batched"]; got != 0 {
+		t.Fatalf("window 0 still batched %d jobs", got)
+	}
+}
+
+// TestBatchedJobsByteIdentical runs a concurrent burst through a live
+// window and requires every job's container to match its individual
+// reference encode exactly — per-request framing survives batching.
+func TestBatchedJobsByteIdentical(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(Config{Window: 20 * time.Millisecond, Registry: reg})
+	const n = 12
+	reqs := make([]Request, n)
+	for i := range reqs {
+		fd := i%3 == 0
+		reqs[i] = Request{Set: sampleSet(t, 6, 24, int64(100+i)), K: 8, FD: fd, Name: fmt.Sprintf("burst-%d", i)}
+	}
+	got := make([]Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = e.Encode(context.Background(), reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range reqs {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		want := reference(t, reqs[i])
+		if !bytes.Equal(got[i].Container, want.Container) {
+			t.Fatalf("job %d container differs from reference", i)
+		}
+		if got[i].Patterns != want.Patterns || got[i].CompressedBits != want.CompressedBits {
+			t.Fatalf("job %d metadata %d/%d, want %d/%d",
+				i, got[i].Patterns, got[i].CompressedBits, want.Patterns, want.CompressedBits)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["ninecd.batch.direct"]+snap.Counters["ninecd.batch.batched"] != n {
+		t.Fatalf("direct+batched = %d, want %d",
+			snap.Counters["ninecd.batch.direct"]+snap.Counters["ninecd.batch.batched"], n)
+	}
+}
+
+// TestFullBatchFlushesEarly holds one direct encode hostage so later
+// arrivals must batch, then proves MaxBatch flushes without waiting
+// out a deliberately huge window.
+func TestFullBatchFlushesEarly(t *testing.T) {
+	reg := obs.NewRegistry()
+	gate := make(chan struct{})
+	var first atomic.Bool
+	codec := func(k int) (*core.Codec, error) {
+		if first.CompareAndSwap(false, true) {
+			<-gate // the direct leader blocks here, keeping inflight > 1
+		}
+		return core.New(k)
+	}
+	e := New(Config{Window: 10 * time.Second, MaxBatch: 4, Codec: codec, Registry: reg})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.Encode(context.Background(), Request{Set: sampleSet(t, 4, 16, 1), K: 8, Name: "hostage"})
+	}()
+	// Wait for the hostage to occupy the direct path.
+	deadline := time.Now().Add(5 * time.Second)
+	for !first.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	var batchWG sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		batchWG.Add(1)
+		go func(i int) {
+			defer batchWG.Done()
+			if _, err := e.Encode(context.Background(), Request{Set: sampleSet(t, 4, 16, int64(i+2)), K: 8, Name: fmt.Sprintf("b%d", i)}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	batchWG.Wait()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("full batch took %v — it waited out the window instead of flushing early", elapsed)
+	}
+	close(gate)
+	wg.Wait()
+	snap := reg.Snapshot()
+	if snap.Counters["ninecd.batch.flushes"] < 1 {
+		t.Fatal("no flush recorded")
+	}
+	if snap.Counters["ninecd.batch.batched"] != 4 {
+		t.Fatalf("batched = %d, want 4", snap.Counters["ninecd.batch.batched"])
+	}
+}
+
+// TestCancelledJobSkipped: a job whose context dies before the flush
+// neither blocks the batch nor produces a result.
+func TestCancelledJobSkipped(t *testing.T) {
+	gate := make(chan struct{})
+	var first atomic.Bool
+	codec := func(k int) (*core.Codec, error) {
+		if first.CompareAndSwap(false, true) {
+			<-gate
+		}
+		return core.New(k)
+	}
+	e := New(Config{Window: 50 * time.Millisecond, Codec: codec})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.Encode(context.Background(), Request{Set: sampleSet(t, 4, 16, 1), K: 8, Name: "hostage"})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for !first.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.Encode(ctx, Request{Set: sampleSet(t, 4, 16, 2), K: 8, Name: "dead"})
+	if err != context.Canceled {
+		t.Fatalf("cancelled job returned %v, want context.Canceled", err)
+	}
+	close(gate)
+	wg.Wait()
+}
+
+func TestBadBlockSizeSurfacesError(t *testing.T) {
+	e := New(Config{})
+	_, err := e.Encode(context.Background(), Request{Set: sampleSet(t, 4, 16, 1), K: 3, Name: "bad"})
+	if err == nil {
+		t.Fatal("odd block size encoded without error")
+	}
+}
+
+func BenchmarkEncodeDirect(b *testing.B) {
+	e := New(Config{})
+	set, err := tcube.Read("bench", strings.NewReader(strings.Repeat("0101XX10X1010101\n", 16)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := Request{Set: set, K: 8, Name: "bench"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Encode(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

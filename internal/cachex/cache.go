@@ -1,0 +1,329 @@
+// Package cachex is the content-addressed result cache behind the
+// fleet-scale ninecd serving path. Both 9C endpoints are pure
+// functions of (input bytes, codec parameters) — the paper's encoding
+// is deterministic, and the evolutionary code-based variants share the
+// property — so a digest of the request fully identifies its response
+// and caching is correctness-free: a hit is byte-identical to a fresh
+// encode by construction.
+//
+// The cache is three mechanisms in one type:
+//
+//   - a sharded-mutex LRU bounded by bytes: keys spread across
+//     fixed shards by their digest, each shard owning an intrusive
+//     recency list, so concurrent hits on different shards never
+//     contend on one lock;
+//   - singleflight coalescing: N concurrent requests for the same key
+//     run the encode once — the leader computes, followers park on the
+//     call's done channel and share the result (or the error; a failed
+//     call caches nothing);
+//   - telemetry: ninecd.cache.hit / .miss / .coalesced /
+//     .evicted_bytes counters and bytes/entries gauges, nil-safe so a
+//     cache built without a registry costs nothing extra.
+//
+// The hit path — KeyOf plus Get — allocates nothing (pinned by
+// AllocsPerRun in the tests), which is what lets a duplicate-heavy
+// replay ride the cache at transport speed without feeding the GC.
+//
+// Values are immutable once inserted: Get returns the stored value
+// itself, not a copy, and callers must never mutate what they are
+// handed. Entries enter the cache only as one complete value under the
+// shard lock — there is no partially written state to observe, so a
+// truncated or half-built result can never be served (the inject
+// chaos-proxy tests assert the downstream lenient readers cope even if
+// transport mangles a served entry afterwards).
+package cachex
+
+import (
+	"context"
+	"crypto/sha256"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Key is the content address: a SHA-256 digest over the codec
+// parameters and the input bytes. Comparable, so it indexes shard maps
+// directly with no per-lookup allocation.
+type Key [32]byte
+
+// KeyOf computes the content address of (params, body). The two parts
+// are digested separately and the pair of digests re-digested, so the
+// boundary between parameters and payload is unambiguous — no choice
+// of param bytes can collide with a body that merely contains them.
+// Allocation-free.
+func KeyOf(params, body []byte) Key {
+	pd := sha256.Sum256(params)
+	bd := sha256.Sum256(body)
+	var both [64]byte
+	copy(both[:32], pd[:])
+	copy(both[32:], bd[:])
+	return sha256.Sum256(both[:])
+}
+
+// numShards fixes the lock striping; a power of two so the shard index
+// is a mask over the digest's first byte.
+const numShards = 16
+
+// entryOverhead approximates the per-entry bookkeeping (map slot, list
+// links, key copy) charged against the byte budget so a cache of many
+// tiny values still respects its bound.
+const entryOverhead = 128
+
+// Outcome says how Do satisfied a request.
+type Outcome int
+
+const (
+	// Miss: this caller was the leader and ran the compute function.
+	Miss Outcome = iota
+	// Hit: the value was already resident.
+	Hit
+	// Coalesced: another caller was already computing the same key and
+	// this one shared its result.
+	Coalesced
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
+// Config assembles a Cache.
+type Config struct {
+	// MaxBytes bounds the sum of value sizes plus per-entry overhead.
+	// Required > 0.
+	MaxBytes int64
+	// Size reports a value's resident size in bytes. Required.
+	Size func(v any) int64
+	// Registry receives the cache telemetry; nil falls back to
+	// obs.Active() at construction time (nil-safe either way).
+	Registry *obs.Registry
+}
+
+// Cache is the sharded content-addressed LRU. Safe for concurrent use.
+type Cache struct {
+	size     func(any) int64
+	perShard int64
+	shards   [numShards]shard
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	coalesced *obs.Counter
+	evicted   *obs.Counter
+	rejected  *obs.Counter
+	bytesG    *obs.Gauge
+	entriesG  *obs.Gauge
+}
+
+// entry is one resident value on a shard's intrusive recency list.
+type entry struct {
+	key        Key
+	val        any
+	size       int64
+	prev, next *entry
+}
+
+// call is one in-flight singleflight computation.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+type shard struct {
+	mu    sync.Mutex
+	m     map[Key]*entry
+	calls map[Key]*call
+	root  entry // sentinel: root.next is MRU, root.prev is LRU
+	bytes int64
+}
+
+// New builds a Cache. It panics on a non-positive byte bound or a nil
+// size function — both are programming errors, not runtime conditions.
+func New(cfg Config) *Cache {
+	if cfg.MaxBytes <= 0 {
+		panic("cachex: MaxBytes must be positive")
+	}
+	if cfg.Size == nil {
+		panic("cachex: Size function required")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Active()
+	}
+	c := &Cache{
+		size:      cfg.Size,
+		perShard:  (cfg.MaxBytes + numShards - 1) / numShards,
+		hits:      reg.Counter("ninecd.cache.hit"),
+		misses:    reg.Counter("ninecd.cache.miss"),
+		coalesced: reg.Counter("ninecd.cache.coalesced"),
+		evicted:   reg.Counter("ninecd.cache.evicted_bytes"),
+		rejected:  reg.Counter("ninecd.cache.rejected_oversize"),
+		bytesG:    reg.Gauge("ninecd.cache.bytes"),
+		entriesG:  reg.Gauge("ninecd.cache.entries"),
+	}
+	reg.Describe("ninecd.cache.hit", "requests served from the content-addressed result cache")
+	reg.Describe("ninecd.cache.miss", "requests that ran the encode because no entry was resident")
+	reg.Describe("ninecd.cache.coalesced", "requests that shared another in-flight identical computation")
+	reg.Describe("ninecd.cache.evicted_bytes", "bytes evicted from the result cache to stay within its bound")
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.m = make(map[Key]*entry)
+		s.calls = make(map[Key]*call)
+		s.root.next = &s.root
+		s.root.prev = &s.root
+	}
+	return c
+}
+
+func (c *Cache) shardFor(k Key) *shard { return &c.shards[k[0]&(numShards-1)] }
+
+// moveToFront re-links e as the shard's most recently used entry.
+func (s *shard) moveToFront(e *entry) {
+	if s.root.next == e {
+		return
+	}
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev = &s.root
+	e.next = s.root.next
+	s.root.next.prev = e
+	s.root.next = e
+}
+
+// Get returns the resident value for k. The fast path is one shard
+// lock, one map probe, and a list re-link — zero allocations.
+func (c *Cache) Get(k Key) (any, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, ok := s.m[k]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Inc()
+		return nil, false
+	}
+	s.moveToFront(e)
+	v := e.val
+	s.mu.Unlock()
+	c.hits.Inc()
+	return v, true
+}
+
+// Add inserts (or replaces) the value for k and evicts LRU entries
+// until the shard respects its byte budget. A value larger than a
+// whole shard's budget is rejected rather than cycling the entire
+// shard through eviction for one uncacheable result.
+func (c *Cache) Add(k Key, v any) bool {
+	size := c.size(v) + entryOverhead
+	if size > c.perShard {
+		c.rejected.Inc()
+		return false
+	}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if e, ok := s.m[k]; ok {
+		s.bytes += size - e.size
+		c.bytesG.Add(size - e.size)
+		e.val, e.size = v, size
+		s.moveToFront(e)
+	} else {
+		e = &entry{key: k, val: v, size: size, prev: &s.root, next: s.root.next}
+		s.root.next.prev = e
+		s.root.next = e
+		s.m[k] = e
+		s.bytes += size
+		c.bytesG.Add(size)
+		c.entriesG.Add(1)
+	}
+	for s.bytes > c.perShard {
+		lru := s.root.prev
+		if lru == &s.root {
+			break
+		}
+		lru.prev.next = &s.root
+		s.root.prev = lru.prev
+		delete(s.m, lru.key)
+		s.bytes -= lru.size
+		c.bytesG.Add(-lru.size)
+		c.entriesG.Add(-1)
+		c.evicted.Add(lru.size)
+	}
+	s.mu.Unlock()
+	return true
+}
+
+// Do returns the value for k, computing it at most once across
+// concurrent callers: a resident value is a Hit, an in-flight
+// identical computation is joined (Coalesced), and otherwise this
+// caller leads the computation (Miss) and — on success — inserts the
+// result for everyone after.
+//
+// The leader runs fn under its own context; a follower whose ctx ends
+// first abandons the wait (the leader keeps computing — its result
+// still lands in the cache for future requests). A leader error is
+// shared with every parked follower and caches nothing, so a failed
+// or aborted encode can never leave a partial entry behind.
+func (c *Cache) Do(ctx context.Context, k Key, fn func() (any, error)) (any, Outcome, error) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if e, ok := s.m[k]; ok {
+		s.moveToFront(e)
+		v := e.val
+		s.mu.Unlock()
+		c.hits.Inc()
+		return v, Hit, nil
+	}
+	if cl, ok := s.calls[k]; ok {
+		s.mu.Unlock()
+		c.coalesced.Inc()
+		select {
+		case <-cl.done:
+			return cl.val, Coalesced, cl.err
+		case <-ctx.Done():
+			return nil, Coalesced, ctx.Err()
+		}
+	}
+	cl := &call{done: make(chan struct{})}
+	s.calls[k] = cl
+	s.mu.Unlock()
+	c.misses.Inc()
+
+	cl.val, cl.err = fn()
+	if cl.err == nil {
+		c.Add(k, cl.val)
+	}
+	s.mu.Lock()
+	delete(s.calls, k)
+	s.mu.Unlock()
+	close(cl.done)
+	return cl.val, Miss, cl.err
+}
+
+// Len reports the resident entry count.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Bytes reports the charged resident size (values plus overhead).
+func (c *Cache) Bytes() int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.bytes
+		s.mu.Unlock()
+	}
+	return n
+}

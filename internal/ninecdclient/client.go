@@ -29,15 +29,44 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/hashring"
 	"repro/internal/obs"
 	"repro/internal/resilience"
 )
 
+// normalizeBase canonicalizes a daemon root: trimmed, no trailing
+// slash, http scheme assumed for bare host:port.
+func normalizeBase(raw string) (string, error) {
+	base := strings.TrimSuffix(strings.TrimSpace(raw), "/")
+	if base == "" {
+		return "", errors.New("empty URL")
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if _, err := url.Parse(base); err != nil {
+		return "", err
+	}
+	return base, nil
+}
+
 // Config assembles a Client. Zero fields take the documented defaults.
 type Config struct {
 	// BaseURL is the daemon root, e.g. "http://localhost:9314" (a bare
-	// host:port gets the http scheme). Required.
+	// host:port gets the http scheme). Required unless Backends is set.
 	BaseURL string
+	// Backends enables ring-aware routing: requests shard by consistent
+	// hash of their body across these daemon roots — the same placement
+	// a ninecd-lb front computes, so pointing a client directly at the
+	// backends bypasses the lb without scattering each set's duplicates
+	// across every backend cache. Retries walk the ring's failover
+	// order (owner first, then successors). Observability calls (Ready,
+	// MetricsSnapshot) target BaseURL when set, else the first backend.
+	Backends []string
+	// VNodes is the virtual-node count per backend for ring routing
+	// (default hashring.DefaultVNodes). Must match the lb's -vnodes for
+	// placements to agree.
+	VNodes int
 	// HTTPClient overrides the transport (default: a fresh http.Client;
 	// per-attempt deadlines come from Retry.AttemptTimeout).
 	HTTPClient *http.Client
@@ -63,9 +92,11 @@ type Config struct {
 	MaxErrorBody int64
 }
 
-// Client talks to one ninecd instance. Safe for concurrent use.
+// Client talks to one ninecd instance — or, with Config.Backends, to a
+// consistent-hash ring of them. Safe for concurrent use.
 type Client struct {
 	base       string
+	ring       *hashring.Ring
 	hc         *http.Client
 	retr       *resilience.Retrier
 	breaker    *resilience.Breaker
@@ -77,15 +108,34 @@ type Client struct {
 
 // New validates cfg and builds a Client.
 func New(cfg Config) (*Client, error) {
-	base := strings.TrimSuffix(strings.TrimSpace(cfg.BaseURL), "/")
-	if base == "" {
-		return nil, errors.New("ninecdclient: BaseURL required")
+	var ring *hashring.Ring
+	backends := make([]string, 0, len(cfg.Backends))
+	for _, b := range cfg.Backends {
+		n, err := normalizeBase(b)
+		if err != nil {
+			return nil, fmt.Errorf("ninecdclient: bad backend %q: %w", b, err)
+		}
+		backends = append(backends, n)
 	}
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	if len(backends) > 0 {
+		r, err := hashring.New(backends, cfg.VNodes)
+		if err != nil {
+			return nil, fmt.Errorf("ninecdclient: %w", err)
+		}
+		ring = r
 	}
-	if _, err := url.Parse(base); err != nil {
-		return nil, fmt.Errorf("ninecdclient: bad BaseURL: %w", err)
+	var base string
+	switch {
+	case strings.TrimSpace(cfg.BaseURL) != "":
+		b, err := normalizeBase(cfg.BaseURL)
+		if err != nil {
+			return nil, fmt.Errorf("ninecdclient: bad BaseURL: %w", err)
+		}
+		base = b
+	case len(backends) > 0:
+		base = backends[0]
+	default:
+		return nil, errors.New("ninecdclient: BaseURL or Backends required")
 	}
 	hc := cfg.HTTPClient
 	if hc == nil {
@@ -109,6 +159,7 @@ func New(cfg Config) (*Client, error) {
 	}
 	return &Client{
 		base:       base,
+		ring:       ring,
 		hc:         hc,
 		retr:       resilience.NewRetrier(cfg.Retry, ClassifyRetry, cfg.Seed),
 		breaker:    breaker,
@@ -121,6 +172,24 @@ func New(cfg Config) (*Client, error) {
 
 // BreakerState reports the circuit state (Closed when disabled).
 func (c *Client) BreakerState() resilience.BreakerState { return c.breaker.State() }
+
+// baseFor resolves the daemon root for one attempt at a request whose
+// body hashes to h. Without ring routing every attempt goes to the
+// single base; with it, attempt 0 goes to the ring owner and each
+// retry advances to the next successor — the node that would inherit
+// the key if the owner dropped out — so a dead backend is routed
+// around within the normal retry budget, at the cost of one cold
+// cache miss on the stand-in.
+func (c *Client) baseFor(h uint64, attempt int) string {
+	if c.ring == nil {
+		return c.base
+	}
+	order := c.ring.PickN(h, len(c.ring.Nodes()))
+	if len(order) == 0 {
+		return c.base
+	}
+	return order[attempt%len(order)]
+}
 
 // HTTPError is a non-2xx daemon response: the status code, the
 // X-Error-Class taxonomy label, the parsed Retry-After, and a bounded
@@ -260,9 +329,13 @@ func (c *Client) Encode(ctx context.Context, name string, k int, text []byte) (*
 	if len(q) > 0 {
 		path += "?" + q.Encode()
 	}
+	h := hashring.Hash(text)
+	attempt := 0
 	var res *EncodeResult
 	err := c.retr.Do(ctx, "ninecd.encode", func(ctx context.Context) error {
-		body, hdr, err := c.roundTrip(ctx, path, "text/plain; charset=utf-8", text)
+		base := c.baseFor(h, attempt)
+		attempt++
+		body, hdr, err := c.roundTrip(ctx, base, path, "text/plain; charset=utf-8", text)
 		if err != nil {
 			return err
 		}
@@ -281,11 +354,21 @@ func (c *Client) Encode(ctx context.Context, name string, k int, text []byte) (*
 // text. Decode is idempotent, so when HedgeDelay is armed each retry
 // attempt may race a hedge against a stalled primary.
 func (c *Client) Decode(ctx context.Context, cont []byte) ([]byte, error) {
+	h := hashring.Hash(cont)
+	attempt := 0
 	var out []byte
 	err := c.retr.Do(ctx, "ninecd.decode", func(ctx context.Context) error {
+		base := c.baseFor(h, attempt)
+		attempt++
 		body, err := resilience.Hedged(ctx, "ninecd.decode", c.hedgeDelay, c.hedgeMax,
-			func(ctx context.Context, _ int) ([]byte, error) {
-				b, _, err := c.roundTrip(ctx, "/decode", "application/octet-stream", cont)
+			func(ctx context.Context, hedge int) ([]byte, error) {
+				// A hedge races the stalled primary from the next ring
+				// position — same failover order the retry path walks.
+				hb := base
+				if hedge > 0 {
+					hb = c.baseFor(h, attempt-1+hedge)
+				}
+				b, _, err := c.roundTrip(ctx, hb, "/decode", "application/octet-stream", cont)
 				return b, err
 			})
 		if err != nil {
@@ -343,7 +426,7 @@ func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
 // returning the full response body on 200 and a classified error
 // otherwise. The body is rebuilt from the byte slice per attempt, so
 // retries and hedges never share a consumed reader.
-func (c *Client) roundTrip(ctx context.Context, path, contentType string, body []byte) ([]byte, http.Header, error) {
+func (c *Client) roundTrip(ctx context.Context, base, path, contentType string, body []byte) ([]byte, http.Header, error) {
 	if err := c.limiter.Wait(ctx); err != nil {
 		return nil, nil, err
 	}
@@ -351,7 +434,7 @@ func (c *Client) roundTrip(ctx context.Context, path, contentType string, body [
 	if err != nil {
 		return nil, nil, err
 	}
-	b, hdr, err := c.post(ctx, path, contentType, body)
+	b, hdr, err := c.post(ctx, base, path, contentType, body)
 	// Only daemon-side pressure and transport loss count against the
 	// breaker; a 400/413 verdict on this request's own bytes says
 	// nothing about the server's health.
@@ -364,8 +447,8 @@ func (c *Client) roundTrip(ctx context.Context, path, contentType string, body [
 	return b, hdr, err
 }
 
-func (c *Client) post(ctx context.Context, path, contentType string, body []byte) ([]byte, http.Header, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+func (c *Client) post(ctx context.Context, base, path, contentType string, body []byte) ([]byte, http.Header, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, nil, err
 	}

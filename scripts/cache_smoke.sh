@@ -1,0 +1,120 @@
+#!/bin/sh
+# cache-smoke gate: prove the content-addressed result cache end to
+# end. A duplicate-heavy replay (97% of encodes drawn from a small
+# corpus) against a cache-enabled ninecd must (1) verify byte-identical
+# responses against a local reference encode — a hit is
+# indistinguishable from a cold encode, (2) land a cache hit ratio
+# above 0.9, and (3) deliver at least 5x the goodput of the identical
+# replay against a ninecd running -cache=off, at a p99 within the SLO.
+set -eu
+
+GO=${GO:-go}
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$tmp/ninecd" ./cmd/ninecd
+$GO build -o "$tmp/ninecload" ./cmd/ninecload
+
+# boot starts a ninecd with the given extra flags and sets $addr and
+# $pid. Globals, not command substitution: a subshell would strand the
+# daemon outside the cleanup trap's reach.
+boot() {
+	"$tmp/ninecd" -addr localhost:0 -k 8 "$@" >"$tmp/log" 2>&1 &
+	pid=$!
+	addr=
+	i=0
+	while [ $i -lt 100 ]; do
+		addr=$(sed -n 's/.*listening on //p' "$tmp/log" | head -n 1)
+		[ -n "$addr" ] && break
+		if ! kill -0 "$pid" 2>/dev/null; then
+			echo "cache-smoke: ninecd died on startup:" >&2
+			cat "$tmp/log" >&2
+			exit 1
+		fi
+		sleep 0.1
+		i=$((i + 1))
+	done
+	if [ -z "$addr" ]; then
+		echo "cache-smoke: never saw a listen address" >&2
+		cat "$tmp/log" >&2
+		exit 1
+	fi
+}
+
+# The replay: encodes only (-mix 0), 97% duplicates over an 8-set
+# corpus of CPU-heavy 512x512 sets, keepalive so transport cost does
+# not mask the codec cost, -verify so every corpus response is checked
+# byte for byte against a local reference encode. Seeded: reruns replay
+# the exact same request sequence against both daemons.
+replay() {
+	"$tmp/ninecload" \
+		-addr "$1" -n 400 -c 8 -seed 9414 \
+		-mix 0 -dup-ratio 0.97 -corpus 8 -patterns 512 -width 512 \
+		-keepalive -verify -slo-p99 30s -slo-success 0.999 \
+		-json
+}
+
+# field extracts a numeric field from the indented JSON report.
+field() {
+	sed -n 's/.*"'"$2"'": \([0-9.]*\).*/\1/p' "$1" | head -n 1
+}
+
+# Warm pass: cache on (the default).
+boot
+if ! replay "$addr" >"$tmp/warm.json"; then
+	echo "cache-smoke: warm replay reported SLO violations:" >&2
+	cat "$tmp/warm.json" >&2
+	cat "$tmp/log" >&2
+	exit 1
+fi
+kill "$pid" 2>/dev/null && wait "$pid" 2>/dev/null || true
+pid=
+
+mismatches=$(field "$tmp/warm.json" verify_mismatches)
+if [ "$mismatches" != "0" ]; then
+	echo "cache-smoke: $mismatches cached responses differed from the reference encode:" >&2
+	cat "$tmp/warm.json" >&2
+	exit 1
+fi
+ratio=$(field "$tmp/warm.json" cache_hit_ratio)
+if ! awk "BEGIN { exit !($ratio > 0.9) }"; then
+	echo "cache-smoke: cache hit ratio $ratio, want > 0.9:" >&2
+	cat "$tmp/warm.json" >&2
+	exit 1
+fi
+warm_rps=$(field "$tmp/warm.json" goodput_rps)
+
+# Baseline pass: the identical seeded replay with the cache off. Every
+# duplicate re-runs the codec, so goodput collapses to encode speed.
+boot -cache=false
+if ! replay "$addr" >"$tmp/cold.json"; then
+	echo "cache-smoke: baseline replay reported SLO violations:" >&2
+	cat "$tmp/cold.json" >&2
+	cat "$tmp/log" >&2
+	exit 1
+fi
+kill "$pid" 2>/dev/null && wait "$pid" 2>/dev/null || true
+pid=
+
+cold_ratio=$(field "$tmp/cold.json" cache_hit_ratio)
+if [ "$cold_ratio" != "0" ]; then
+	echo "cache-smoke: -cache=false still reported hit ratio $cold_ratio" >&2
+	exit 1
+fi
+cold_rps=$(field "$tmp/cold.json" goodput_rps)
+
+if ! awk "BEGIN { exit !($warm_rps >= 5 * $cold_rps) }"; then
+	echo "cache-smoke: cached goodput $warm_rps req/s is not 5x the no-cache baseline $cold_rps req/s" >&2
+	cat "$tmp/warm.json" "$tmp/cold.json" >&2
+	exit 1
+fi
+
+speedup=$(awk "BEGIN { printf \"%.1f\", $warm_rps / $cold_rps }")
+echo "cache-smoke: ok (hit ratio $ratio, ${speedup}x goodput over no-cache baseline: $warm_rps vs $cold_rps req/s)"
