@@ -300,11 +300,41 @@ func (l *lb) post(r *http.Request, url string, body []byte) (*http.Response, err
 	return l.hc.Do(req)
 }
 
-// relay copies the backend response through verbatim, adding the
-// X-Backend header so operators can see placement.
+// hopByHopHeaders is the RFC 9110 §7.6.1 set: these govern the
+// lb↔backend connection, not the client↔lb one, so relaying them
+// verbatim can break front-side keep-alive or confuse clients.
+var hopByHopHeaders = map[string]bool{
+	"Connection":          true,
+	"Keep-Alive":          true,
+	"Proxy-Authenticate":  true,
+	"Proxy-Authorization": true,
+	"Te":                  true,
+	"Trailer":             true,
+	"Transfer-Encoding":   true,
+	"Upgrade":             true,
+}
+
+// relay copies the backend response through — minus hop-by-hop
+// headers (the fixed RFC 9110 set plus anything the backend named in
+// its Connection header) — adding the X-Backend header so operators
+// can see placement.
 func relay(w http.ResponseWriter, resp *http.Response, backend string) {
 	defer resp.Body.Close()
+	var connNamed map[string]bool
+	for _, v := range resp.Header.Values("Connection") {
+		for _, f := range strings.Split(v, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				if connNamed == nil {
+					connNamed = make(map[string]bool)
+				}
+				connNamed[http.CanonicalHeaderKey(f)] = true
+			}
+		}
+	}
 	for k, vs := range resp.Header {
+		if hopByHopHeaders[k] || connNamed[k] {
+			continue
+		}
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}

@@ -93,6 +93,39 @@ func TestXBackendHeader(t *testing.T) {
 	}
 }
 
+// TestRelayStripsHopByHopHeaders: headers that govern the lb↔backend
+// connection (the RFC 9110 set plus anything the backend names in
+// Connection) must not leak to the client, while end-to-end headers
+// pass through.
+func TestRelayStripsHopByHopHeaders(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		h := w.Header()
+		h.Set("Keep-Alive", "timeout=5, max=100")
+		h.Set("Proxy-Authenticate", "Basic")
+		h.Set("Upgrade", "h2c")
+		h.Set("Connection", "Upgrade, X-Per-Hop")
+		h.Set("X-Per-Hop", "backend-only")
+		h.Set("X-End-To-End", "keep-me")
+		io.WriteString(w, "ok")
+	}))
+	t.Cleanup(backend.Close)
+	l := newTestLB(t, backend.URL)
+
+	rec := postVia(t, l, "/encode", "body")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	for _, k := range []string{"Keep-Alive", "Proxy-Authenticate", "Upgrade", "Connection", "X-Per-Hop"} {
+		if got := rec.Header().Get(k); got != "" {
+			t.Errorf("hop-by-hop header %s leaked to the client: %q", k, got)
+		}
+	}
+	if got := rec.Header().Get("X-End-To-End"); got != "keep-me" {
+		t.Errorf("end-to-end header lost: X-End-To-End = %q", got)
+	}
+}
+
 // TestTransportFailover: a dead owner is routed around within one
 // request; the survivor answers and the failover counter ticks.
 func TestTransportFailover(t *testing.T) {

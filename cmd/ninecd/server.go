@@ -342,8 +342,19 @@ func encodeResultSize(v any) int64 {
 }
 
 // bodyBufPool recycles the /encode body buffers; a request body must
-// be fully resident to be content-addressed.
+// be fully resident to be content-addressed. Buffers grown past
+// bodyBufPoolMax are dropped on return instead of pooled: MaxBody
+// defaults to tens of MiB, and pooling at the high-water mark would
+// pin one burst's worth of max-size buffers long after the burst.
 var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const bodyBufPoolMax = 1 << 20
+
+func putBodyBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= bodyBufPoolMax {
+		bodyBufPool.Put(buf)
+	}
+}
 
 // handleEncode reads 01X text from the request body and responds with
 // a chunked v4 container. Query parameters: k (block size, default the
@@ -356,7 +367,11 @@ var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // identical request shares the in-flight encode (X-Cache: coalesced),
 // and only a genuinely new request runs the codec (X-Cache: miss).
 // A failed encode is never cached — errors propagate to this caller
-// and any coalesced followers, leaving the key clean.
+// and any coalesced followers, leaving the key clean. The exception is
+// the leader's own cancellation (its client hung up, its deadline
+// fired): cachex.Do shields followers from that by re-running the
+// encode under the follower's context, so a chaos-killed leader never
+// turns an unrelated valid request into a terminal 4xx.
 func (s *server) handleEncode(w http.ResponseWriter, r *http.Request) error {
 	q := r.URL.Query()
 	k := s.cfg.K
@@ -375,7 +390,7 @@ func (s *server) handleEncode(w http.ResponseWriter, r *http.Request) error {
 
 	buf := bodyBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
-	defer bodyBufPool.Put(buf)
+	defer putBodyBuf(buf)
 	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)); err != nil {
 		return err
 	}

@@ -36,10 +36,18 @@ package cachex
 import (
 	"context"
 	"crypto/sha256"
+	"errors"
 	"sync"
 
 	"repro/internal/obs"
 )
+
+// ErrComputePanicked is the error coalesced followers receive when the
+// leader's compute function panicked. The panic itself propagates to
+// the leader's caller (the serving layer recovers and reports it); the
+// followers get this sentinel instead of hanging on a call that will
+// never complete.
+var ErrComputePanicked = errors.New("cachex: compute function panicked")
 
 // Key is the content address: a SHA-256 digest over the codec
 // parameters and the input bytes. Comparable, so it indexes shard maps
@@ -268,40 +276,68 @@ func (c *Cache) Add(k Key, v any) bool {
 // still lands in the cache for future requests). A leader error is
 // shared with every parked follower and caches nothing, so a failed
 // or aborted encode can never leave a partial entry behind.
+//
+// One class of leader error is NOT shared: context cancellation. If
+// the leader's compute dies of the leader's own context (its client
+// hung up, its deadline fired), that failure says nothing about the
+// followers' requests — surfacing it would turn valid requests into
+// terminal errors whenever a chaos-killed connection happened to lead.
+// A follower whose own ctx is still live instead retries from the top
+// and leads a fresh compute under its own fn. ctx.Err() is returned
+// only when it is the follower's own context that ended.
+//
+// A panicking fn does not wedge the key: the in-flight call is
+// unregistered and parked followers released with ErrComputePanicked
+// before the panic propagates to the leader's caller.
 func (c *Cache) Do(ctx context.Context, k Key, fn func() (any, error)) (any, Outcome, error) {
 	s := c.shardFor(k)
-	s.mu.Lock()
-	if e, ok := s.m[k]; ok {
-		s.moveToFront(e)
-		v := e.val
-		s.mu.Unlock()
-		c.hits.Inc()
-		return v, Hit, nil
-	}
-	if cl, ok := s.calls[k]; ok {
-		s.mu.Unlock()
-		c.coalesced.Inc()
-		select {
-		case <-cl.done:
-			return cl.val, Coalesced, cl.err
-		case <-ctx.Done():
-			return nil, Coalesced, ctx.Err()
+	for {
+		s.mu.Lock()
+		if e, ok := s.m[k]; ok {
+			s.moveToFront(e)
+			v := e.val
+			s.mu.Unlock()
+			c.hits.Inc()
+			return v, Hit, nil
 		}
-	}
-	cl := &call{done: make(chan struct{})}
-	s.calls[k] = cl
-	s.mu.Unlock()
-	c.misses.Inc()
+		if cl, ok := s.calls[k]; ok {
+			s.mu.Unlock()
+			c.coalesced.Inc()
+			select {
+			case <-cl.done:
+				if cl.err != nil && ctx.Err() == nil &&
+					(errors.Is(cl.err, context.Canceled) || errors.Is(cl.err, context.DeadlineExceeded)) {
+					continue // the leader's context died, not ours: lead our own compute
+				}
+				return cl.val, Coalesced, cl.err
+			case <-ctx.Done():
+				return nil, Coalesced, ctx.Err()
+			}
+		}
+		cl := &call{done: make(chan struct{})}
+		s.calls[k] = cl
+		s.mu.Unlock()
+		c.misses.Inc()
 
-	cl.val, cl.err = fn()
-	if cl.err == nil {
-		c.Add(k, cl.val)
+		completed := false
+		func() {
+			defer func() {
+				if !completed {
+					cl.err = ErrComputePanicked
+				}
+				s.mu.Lock()
+				delete(s.calls, k)
+				s.mu.Unlock()
+				close(cl.done)
+			}()
+			cl.val, cl.err = fn()
+			if cl.err == nil {
+				c.Add(k, cl.val)
+			}
+			completed = true
+		}()
+		return cl.val, Miss, cl.err
 	}
-	s.mu.Lock()
-	delete(s.calls, k)
-	s.mu.Unlock()
-	close(cl.done)
-	return cl.val, Miss, cl.err
 }
 
 // Len reports the resident entry count.

@@ -295,6 +295,142 @@ func TestFollowerContextCancellation(t *testing.T) {
 	}
 }
 
+// TestFollowerNotPoisonedByLeaderCancellation: a leader whose compute
+// dies of the leader's own context (client hung up mid-encode) must
+// not surface that cancellation to coalesced followers as a terminal
+// error — each live follower retries and leads a fresh compute under
+// its own function instead.
+func TestFollowerNotPoisonedByLeaderCancellation(t *testing.T) {
+	c := newTest(1<<20, obs.NewRegistry())
+	k := KeyOf([]byte("p"), []byte("leader-dies"))
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderStarted := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, _, err := c.Do(leaderCtx, k, func() (any, error) {
+			close(leaderStarted)
+			<-leaderCtx.Done() // the encode aborts when its request context dies
+			return nil, leaderCtx.Err()
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("leader error = %v, want context.Canceled", err)
+		}
+	}()
+	<-leaderStarted
+
+	// The follower parks behind the doomed leader, then its compute must
+	// run — proving the leader's cancellation was not shared.
+	var followerRuns atomic.Int64
+	followerDone := make(chan struct{})
+	var v any
+	var err error
+	go func() {
+		defer close(followerDone)
+		v, _, err = c.Do(context.Background(), k, func() (any, error) {
+			followerRuns.Add(1)
+			return []byte("fresh"), nil
+		})
+	}()
+	// Wait until the follower is parked before killing the leader.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.coalesced.Value() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancelLeader()
+	<-leaderDone
+	<-followerDone
+
+	if err != nil {
+		t.Fatalf("follower inherited the leader's failure: %v", err)
+	}
+	if !bytes.Equal(v.([]byte), []byte("fresh")) || followerRuns.Load() != 1 {
+		t.Fatalf("follower got %q after %d runs, want a fresh compute", v, followerRuns.Load())
+	}
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("the follower's result did not land in the cache")
+	}
+}
+
+// TestFollowerOwnCancellationStillSurfaces: the retry above must not
+// swallow the follower's own cancellation — when it is the follower's
+// context that ends, ctx.Err() comes back as before.
+func TestFollowerOwnCancellationStillSurfaces(t *testing.T) {
+	c := newTest(1<<20, obs.NewRegistry())
+	k := KeyOf([]byte("p"), []byte("own-ctx"))
+	gate := make(chan struct{})
+	defer close(gate)
+	started := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), k, func() (any, error) {
+			close(started)
+			<-gate
+			return nil, context.Canceled // leader fails with a ctx-shaped error
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, out, err := c.Do(ctx, k, func() (any, error) { t.Error("follower ran the compute"); return nil, nil })
+	if out != Coalesced || !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower got out=%v err=%v, want its own cancellation", out, err)
+	}
+}
+
+// TestPanickingComputeDoesNotWedgeKey: a panic in fn must unregister
+// the in-flight call and release parked followers with
+// ErrComputePanicked — otherwise one panic turns every future
+// identical request into a hang on a call that never completes.
+func TestPanickingComputeDoesNotWedgeKey(t *testing.T) {
+	c := newTest(1<<20, obs.NewRegistry())
+	k := KeyOf([]byte("p"), []byte("boom"))
+
+	gate := make(chan struct{})
+	followerErr := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader's panic did not propagate")
+			}
+		}()
+		c.Do(context.Background(), k, func() (any, error) {
+			close(started)
+			<-gate
+			panic("encode blew up")
+		})
+	}()
+	<-started
+	go func() {
+		_, _, err := c.Do(context.Background(), k, func() (any, error) { return nil, nil })
+		followerErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.coalesced.Value() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+
+	select {
+	case err := <-followerErr:
+		if !errors.Is(err, ErrComputePanicked) {
+			t.Fatalf("parked follower got %v, want ErrComputePanicked", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked follower hung after the leader panicked")
+	}
+
+	// The key is clean: a fresh Do leads a new compute, nothing cached.
+	if c.Len() != 0 {
+		t.Fatal("panicking compute left a resident entry")
+	}
+	v, out, err := c.Do(context.Background(), k, func() (any, error) { return []byte("ok"), nil })
+	if err != nil || out != Miss || !bytes.Equal(v.([]byte), []byte("ok")) {
+		t.Fatalf("Do after panic: v=%v out=%v err=%v, want a clean miss", v, out, err)
+	}
+}
+
 // TestConcurrentMixedWorkload hammers every path under the race
 // detector: hits, misses, coalesced waits, and eviction pressure.
 func TestConcurrentMixedWorkload(t *testing.T) {
