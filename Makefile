@@ -1,16 +1,16 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race bench bench-json bench-gate bench-campaign campaign-smoke telemetry-smoke serve-smoke chaos-smoke cache-smoke resilience-soak metriclint overhead-guard fuzz-smoke vuln
+.PHONY: check fmt vet build test race bench bench-json bench-gate bench-campaign campaign-smoke telemetry-smoke serve-smoke train-smoke chaos-smoke cache-smoke resilience-soak metriclint overhead-guard fuzz-smoke vuln
 
 ## check: the full pre-merge gate — formatting, vet, build, race tests,
 ## the campaign-equivalence smoke, telemetry smoke, the ninecd serving
-## smoke, the seeded chaos/SLO smoke, the result-cache smoke, the
-## client resilience soak, the metric-name contract lint, the
-## disabled-telemetry overhead guard, a short fuzz pass over every
-## hostile-input decoder, the bench regression gate over the two newest
-## snapshots, and (when installed) govulncheck.
-check: fmt vet build race campaign-smoke telemetry-smoke serve-smoke chaos-smoke cache-smoke resilience-soak metriclint overhead-guard fuzz-smoke bench-gate vuln
+## smoke, the seeded codec-training smoke, the seeded chaos/SLO smoke,
+## the result-cache smoke, the client resilience soak, the metric-name
+## contract lint, the disabled-telemetry overhead guard, a short fuzz
+## pass over every hostile-input decoder, the bench regression gate
+## over the two newest snapshots, and (when installed) govulncheck.
+check: fmt vet build race campaign-smoke telemetry-smoke serve-smoke train-smoke chaos-smoke cache-smoke resilience-soak metriclint overhead-guard fuzz-smoke bench-gate vuln
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -52,11 +52,13 @@ bench-json:
 	  $(GO) test -bench 'Campaign' -run XXX -benchtime 1s ./internal/faultsim/; \
 	  done; } | $(GO) run ./cmd/benchjson -dir .
 
-## bench-gate: diff the newest two BENCH_*.json snapshots and fail on
-## >10% ns/op regression in the hot-path metrics (EncodeSet*,
-## DecodeSet*, EncodeCube, DecodeCube, Classify, Campaign). Skips
-## gracefully when fewer than two snapshots exist or the snapshots
-## come from different hardware, so fresh clones still pass.
+## bench-gate: diff the newest BENCH_*.json snapshot against the
+## newest older one from the same environment (GOOS/GOARCH/CPU/procs)
+## and fail on >10% ns/op regression in the hot-path metrics
+## (EncodeSet*, DecodeSet*, EncodeCube, DecodeCube, Classify,
+## Campaign). Skips gracefully when fewer than two snapshots exist or
+## no older snapshot shares the environment, so fresh clones and
+## migrated machines still pass.
 bench-gate:
 	$(GO) run ./cmd/benchjson -gate -dir .
 
@@ -76,6 +78,14 @@ telemetry-smoke:
 ## graceful SIGTERM drain.
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
+
+## train-smoke: boot ninecd, train a tuned codec profile on the
+## example corpus with a fixed seed, and require a stable profile ID,
+## non-negative CR uplift over the fixed 9C code, byte-identical
+## profiled encodes, a full-pattern round trip, and a 404 on an
+## unknown profile.
+train-smoke:
+	GO="$(GO)" sh scripts/train_smoke.sh
 
 ## chaos-smoke: fire ninecload at a live ninecd through the seeded
 ## chaos proxy (latency + 5% resets + 5% slow-loris) and require a

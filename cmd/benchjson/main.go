@@ -157,13 +157,25 @@ func resolveSnapshotPath(dir, stamp string) (string, string, error) {
 	}
 }
 
-// runGate diffs the newest two BENCH_*.json snapshots in dir and fails
-// when any gate-matched benchmark regressed by more than threshold
-// percent in ns/op. Situations where a comparison would be
-// meaningless — fewer than two snapshots, or snapshots taken on a
-// different CPU or GOMAXPROCS — skip gracefully (exit 0 with a
-// message) so fresh clones and migrated machines don't break `make
-// check`.
+// envEpoch is a snapshot's environment fingerprint. Two snapshots are
+// comparable only within one epoch: a ns/op delta across machines,
+// architectures, or GOMAXPROCS settings measures the migration, not
+// the code.
+func envEpoch(s *obs.BenchSnapshot) string {
+	return fmt.Sprintf("%s/%s cpu %q procs %d", s.GOOS, s.GOARCH, s.CPU, s.GOMAXPROCS)
+}
+
+// runGate diffs the newest BENCH_*.json snapshot in dir against the
+// newest older snapshot from the SAME environment epoch (GOOS, GOARCH,
+// CPU, GOMAXPROCS) and fails when any gate-matched benchmark regressed
+// by more than threshold percent in ns/op. Foreign-epoch snapshots in
+// between are stepped over rather than ending the comparison — a
+// machine migration used to blind the gate forever after, because the
+// newest two snapshots would disagree on environment from then on
+// whenever history interleaved. Situations where no comparison is
+// possible — fewer than two snapshots, or no older same-epoch
+// snapshot — skip gracefully (exit 0 with a message) so fresh clones
+// and migrated machines don't break `make check`.
 func runGate(w io.Writer, dir string, threshold float64, match string) error {
 	re, err := regexp.Compile(match)
 	if err != nil {
@@ -179,19 +191,26 @@ func runGate(w io.Writer, dir string, threshold float64, match string) error {
 		fmt.Fprintf(w, "benchjson: gate skipped: %d snapshot(s) in %s, need 2\n", len(paths), dir)
 		return nil
 	}
-	prevPath, curPath := paths[len(paths)-2], paths[len(paths)-1]
-	prev, err := readSnapshotFile(prevPath)
-	if err != nil {
-		return err
-	}
+	curPath := paths[len(paths)-1]
 	cur, err := readSnapshotFile(curPath)
 	if err != nil {
 		return err
 	}
-	if prev.CPU != cur.CPU || prev.GOMAXPROCS != cur.GOMAXPROCS {
-		fmt.Fprintf(w, "benchjson: gate skipped: environment changed between %s (cpu %q, procs %d) and %s (cpu %q, procs %d)\n",
-			filepath.Base(prevPath), prev.CPU, prev.GOMAXPROCS,
-			filepath.Base(curPath), cur.CPU, cur.GOMAXPROCS)
+	var prev *obs.BenchSnapshot
+	var prevPath string
+	for i := len(paths) - 2; i >= 0; i-- {
+		s, err := readSnapshotFile(paths[i])
+		if err != nil {
+			return err
+		}
+		if envEpoch(s) == envEpoch(cur) {
+			prev, prevPath = s, paths[i]
+			break
+		}
+	}
+	if prev == nil {
+		fmt.Fprintf(w, "benchjson: gate skipped: environment changed — no snapshot older than %s matches its epoch (%s)\n",
+			filepath.Base(curPath), envEpoch(cur))
 		return nil
 	}
 

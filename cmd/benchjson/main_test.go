@@ -307,6 +307,58 @@ func TestRunGate(t *testing.T) {
 		}
 	})
 
+	t.Run("same-epoch selection steps over foreign snapshots", func(t *testing.T) {
+		dir := t.TempDir()
+		// A machine migration left a foreign-epoch snapshot in the middle
+		// of history. The gate must compare the newest snapshot against
+		// the newest OLDER one from its own epoch, not skip forever.
+		writeGateSnapshot(t, dir, "20260807T100000Z", cpu, 1, 1000, 1000)
+		writeGateSnapshot(t, dir, "20260807T100100Z", "Other CPU", 1, 9000, 1000)
+		writeGateSnapshot(t, dir, "20260807T100200Z", cpu, 1, 1040, 1000)
+		out, err := gate(dir)
+		if err != nil {
+			t.Fatalf("gate skipped or failed despite a same-epoch baseline: %v\n%s", err, out)
+		}
+		if !strings.Contains(out, "gate passed") {
+			t.Fatalf("missing pass line in %q", out)
+		}
+		// And the comparison is real: a regression against that stepped-to
+		// baseline still trips the gate.
+		writeGateSnapshot(t, dir, "20260807T100300Z", cpu, 1, 1300, 1000)
+		out, err = gate(dir)
+		if err == nil {
+			t.Fatalf("30%% regression vs the same-epoch baseline passed:\n%s", out)
+		}
+		if !strings.Contains(out, "REGRESSION BenchmarkEncodeSet") {
+			t.Fatalf("missing regression line in %q", out)
+		}
+	})
+
+	t.Run("goarch change is a new epoch", func(t *testing.T) {
+		dir := t.TempDir()
+		writeGateSnapshot(t, dir, "20260807T100000Z", cpu, 1, 1000, 1000)
+		snap := &obs.BenchSnapshot{
+			Schema: obs.BenchSchema, Stamp: "20260807T100100Z",
+			GoVersion: "go1.22", GOOS: "linux", GOARCH: "arm64",
+			CPU: cpu, GOMAXPROCS: 1,
+			Results: []obs.BenchResult{
+				{Name: "BenchmarkEncodeSet", Iterations: 100, NsPerOp: 9000},
+			},
+		}
+		f, err := os.Create(filepath.Join(dir, "BENCH_"+snap.Stamp+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		out, err := gate(dir)
+		if err != nil || !strings.Contains(out, "environment changed") {
+			t.Fatalf("goarch change: err %v, out %q", err, out)
+		}
+	})
+
 	t.Run("bad match regexp", func(t *testing.T) {
 		var buf strings.Builder
 		if err := runGate(&buf, t.TempDir(), 10, "("); err == nil {

@@ -13,7 +13,10 @@
 //
 // Endpoints:
 //
-//	POST /encode, /decode   # forwarded to the ring owner of the body
+//	POST /encode, /decode   # forwarded to the ring owner of (profile, body)
+//	POST /train             # trained on the corpus owner, profile synced fleet-wide
+//	POST /profiles          # profile installed on every healthy backend
+//	GET  /profiles/{id}     # served by the first healthy backend holding it
 //	GET  /healthz           # lb liveness
 //	GET  /readyz            # 200 while >= 1 backend is healthy
 //	GET  /ring              # topology: backends, health, vnodes
@@ -186,6 +189,9 @@ func newLB(backendsCSV string, vnodes int, maxBody int64, checkTimeout time.Dura
 	mux := http.NewServeMux()
 	mux.HandleFunc("/encode", l.forward)
 	mux.HandleFunc("/decode", l.forward)
+	mux.HandleFunc("/train", l.handleTrain)
+	mux.HandleFunc("/profiles", l.handleProfileInstall)
+	mux.HandleFunc("/profiles/", l.handleProfileGet)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
@@ -258,7 +264,12 @@ func (l *lb) forward(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	order := l.ring.PickN(hashring.Hash(body), len(l.backends))
+	// The shard key folds in the codec profile (empty for fixed-code
+	// requests, where HashTagged degenerates to Hash): a profiled
+	// encode of some body is a different response than its fixed
+	// encode, so the two must place independently or one backend's
+	// cache would interleave both families.
+	order := l.ring.PickN(hashring.HashTagged(r.Header.Get("X-Codec-Profile"), body), len(l.backends))
 	if len(order) == 0 {
 		l.noBackend.Inc()
 		w.Header().Set("Retry-After", "2")
@@ -296,6 +307,9 @@ func (l *lb) post(r *http.Request, url string, body []byte) (*http.Response, err
 	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
 	if id := r.Header.Get("X-Request-ID"); id != "" {
 		req.Header.Set("X-Request-ID", id)
+	}
+	if prof := r.Header.Get("X-Codec-Profile"); prof != "" {
+		req.Header.Set("X-Codec-Profile", prof)
 	}
 	return l.hc.Do(req)
 }

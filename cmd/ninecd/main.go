@@ -17,16 +17,26 @@
 //	ninecd -prio-bytes 65536 -prio-slots 2      # small-decode priority lane
 //	ninecd -cache=false -cache-bytes 268435456  # /encode result cache
 //	ninecd -batch-window 500us -batch-max 32    # /encode micro-batching
+//	ninecd -profile-cap 64                      # resident tuned-profile bound
 //
 // Endpoints:
 //
 //	POST /encode?k=8&fd=1&name=s          # 01X text -> v4 container
 //	POST /decode                          # container (v1-v4) -> 01X text
+//	POST /train?seed=1                    # 01X corpus -> tuned codec profile (async=1 for background)
+//	GET  /train/jobs/{id}                 # async train status
+//	POST /profiles                        # install a profile by canonical text
+//	GET  /profiles/{id}                   # fetch a resident profile's canonical text
 //	GET  /healthz                         # liveness
 //	GET  /readyz                          # SLO-backed readiness (503 on budget burn)
 //	GET  /metrics                         # Prometheus text exposition
 //	GET  /metrics.json                    # telemetry snapshot (JSON)
 //	GET  /debug/traces                    # recent + slowest request traces
+//
+// /encode honors an X-Codec-Profile header naming a resident profile
+// ID (the sha256 of its canonical encoding): the tuned block size,
+// fill, and codeword assignment replace k/fd for that request, and the
+// ID is echoed on the response. Unknown profiles are 404.
 //
 // Every response carries an X-Request-ID header (inbound value echoed
 // when printable, generated otherwise); the same ID threads through
@@ -85,6 +95,7 @@ func realMain(args []string) (code int) {
 	fs.Int64Var(&cfg.CacheBytes, "cache-bytes", 0, "result-cache resident bound in bytes (0 = 256 MiB)")
 	fs.DurationVar(&cfg.BatchWindow, "batch-window", 0, "micro-batch window for concurrent /encode requests (0 = disabled)")
 	fs.IntVar(&cfg.BatchMax, "batch-max", 0, "flush a forming batch at this many jobs (0 = 32)")
+	fs.IntVar(&cfg.ProfileCap, "profile-cap", 0, "resident tuned-codec profiles, LRU (0 = 64)")
 	fs.StringVar(&cfg.Addr, "addr", "localhost:9314", "listen address")
 	fs.IntVar(&cfg.K, "k", 8, "default block size K for /encode (even, >= 2)")
 	fs.IntVar(&cfg.Workers, "workers", 0, "worker-pool size (0 = GOMAXPROCS)")

@@ -1,0 +1,288 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/batchenc"
+	"repro/internal/codecopt"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/tcube"
+)
+
+// skewedText builds a corpus whose case distribution is far from
+// uniform, so a tuned profile has something to gain over the fixed
+// code.
+func skewedText(patterns, width int) string {
+	var b strings.Builder
+	for i := 0; i < patterns; i++ {
+		for j := 0; j < width; j++ {
+			switch {
+			case (i*width+j)%17 == 0:
+				b.WriteByte('1')
+			case (i+j)%3 == 0:
+				b.WriteByte('0')
+			default:
+				b.WriteByte('X')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// trainReport drives POST /train and decodes the report.
+func trainReport(t *testing.T, url, query, corpus string) codecopt.Report {
+	t.Helper()
+	resp, body := post(t, url+"/train"+query, []byte(corpus))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("train: %d %s", resp.StatusCode, body)
+	}
+	var rep codecopt.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("train report: %v\n%s", err, body)
+	}
+	if rep.ProfileID == "" || rep.Canonical == "" {
+		t.Fatalf("train report missing profile: %s", body)
+	}
+	if resp.Header.Get("X-Codec-Profile") != rep.ProfileID {
+		t.Fatalf("train response header %q != report id %q",
+			resp.Header.Get("X-Codec-Profile"), rep.ProfileID)
+	}
+	return rep
+}
+
+// postProfiled is post with an X-Codec-Profile header.
+func postProfiled(t *testing.T, url, id string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Codec-Profile", id)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := new(bytes.Buffer)
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+// TestTrainedProfileDifferentialRoundTrip is the daemon half of the
+// differential requirement: train a profile through POST /train, push
+// the corpus through /encode with X-Codec-Profile, and require (a) the
+// daemon's container to be byte-identical to an in-process profiled
+// encode of the same set, and (b) /decode of that container to cover
+// every specified source bit.
+func TestTrainedProfileDifferentialRoundTrip(t *testing.T) {
+	ts, _ := newTestServer(t, config{})
+	corpus := skewedText(24, 64)
+	rep := trainReport(t, ts.URL, "?seed=5", corpus)
+	if rep.UpliftPct < 0 {
+		t.Fatalf("tuned profile worse than fixed: uplift %.3f", rep.UpliftPct)
+	}
+
+	// Daemon encode under the trained profile.
+	resp, cont := postProfiled(t, ts.URL+"/encode?name=diff", rep.ProfileID, []byte(corpus))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profiled encode: %d %s", resp.StatusCode, cont)
+	}
+	if got := resp.Header.Get("X-Codec-Profile"); got != rep.ProfileID {
+		t.Fatalf("encode echoed profile %q, want %q", got, rep.ProfileID)
+	}
+	if string(cont[:4]) != container.Magic4 {
+		t.Fatalf("profiled encode returned %q, want a v4 container", cont[:4])
+	}
+
+	// Reference: the same set through the in-process profiled kernel.
+	prof, err := codecopt.ParseProfile([]byte(rep.Canonical))
+	if err != nil {
+		t.Fatalf("report profile does not parse: %v", err)
+	}
+	set, err := tcube.Read("diff", strings.NewReader(corpus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := batchenc.New(batchenc.Config{}).Encode(context.Background(),
+		batchenc.Request{Set: set, Name: "diff", Profile: &prof})
+	if err != nil {
+		t.Fatalf("reference profiled encode: %v", err)
+	}
+	if !bytes.Equal(cont, ref.Container) {
+		t.Fatalf("daemon container (%d bytes) differs from in-process profiled encode (%d bytes)",
+			len(cont), len(ref.Container))
+	}
+
+	// Daemon decode of the daemon's container must cover the source.
+	resp, text := post(t, ts.URL+"/decode", cont)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decode: %d %s", resp.StatusCode, text)
+	}
+	dec, err := tcube.Read("dec", bytes.NewReader(text))
+	if err != nil {
+		t.Fatalf("decode output does not parse: %v", err)
+	}
+	filled, err := prof.Fill.Apply(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !filled.Covers(dec) {
+		t.Fatal("daemon decode contradicts the source set")
+	}
+}
+
+// TestEncodeUnknownProfile pins the 404 + profile_unknown contract.
+func TestEncodeUnknownProfile(t *testing.T) {
+	ts, _ := newTestServer(t, config{})
+	resp, body := postProfiled(t, ts.URL+"/encode", strings.Repeat("ab", 32), []byte("0X1X\n"))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown profile: %d %s, want 404", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Error-Class"); got != "profile_unknown" {
+		t.Fatalf("error class %q, want profile_unknown", got)
+	}
+}
+
+// TestProfileInstallAndGet: install by canonical text, fetch it back
+// byte-identically, and miss on an unknown ID.
+func TestProfileInstallAndGet(t *testing.T) {
+	ts, _ := newTestServer(t, config{})
+	p := codecopt.Profile{K: 8, Lengths: core.DefaultAssignment().Lengths(), Fill: codecopt.FillNone}
+	canon := p.Canonical()
+
+	resp, body := post(t, ts.URL+"/profiles", canon)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("install: %d %s", resp.StatusCode, body)
+	}
+	var out map[string]string
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["id"] != p.ID() {
+		t.Fatalf("install returned id %q, want %q", out["id"], p.ID())
+	}
+
+	got, err := http.Get(ts.URL + "/profiles/" + p.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(got.Body)
+	if got.StatusCode != http.StatusOK || !bytes.Equal(buf.Bytes(), canon) {
+		t.Fatalf("get: %d %q, want 200 %q", got.StatusCode, buf.String(), canon)
+	}
+
+	miss, err := http.Get(ts.URL + "/profiles/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss.Body.Close()
+	if miss.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown profile get: %d, want 404", miss.StatusCode)
+	}
+
+	// A corrupt install must be rejected as a 4xx, not stored.
+	bad, body := post(t, ts.URL+"/profiles", []byte("9cprof/1 k=8 broken\n"))
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt install: %d %s, want 400", bad.StatusCode, body)
+	}
+}
+
+// TestEncodeCacheProfileCoherence is the end-to-end face of the
+// cache-key bugfix: the same body encoded fixed, then under a profile,
+// must never share a cache entry. Before EncodeParams the second
+// request would have been a hit serving fixed-9C bytes as "tuned".
+func TestEncodeCacheProfileCoherence(t *testing.T) {
+	ts, _ := newTestServer(t, config{})
+	corpus := skewedText(8, 32)
+	rep := trainReport(t, ts.URL, "?seed=2&k=8&fill=none&dict=0", corpus)
+
+	body := []byte(corpus)
+	r1, _ := post(t, ts.URL+"/encode?name=c", body)
+	if got := r1.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first fixed encode: X-Cache %q, want miss", got)
+	}
+	r2, _ := post(t, ts.URL+"/encode?name=c", body)
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("second fixed encode: X-Cache %q, want hit", got)
+	}
+	r3, cont := postProfiled(t, ts.URL+"/encode?name=c", rep.ProfileID, body)
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("profiled encode: %d %s", r3.StatusCode, cont)
+	}
+	if got := r3.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("profiled encode of a fixed-cached body: X-Cache %q, want miss (key collision)", got)
+	}
+}
+
+// TestTrainAsync drives the background job path: 202 with a job ID,
+// polled to completion, winning profile resident.
+func TestTrainAsync(t *testing.T) {
+	ts, _ := newTestServer(t, config{})
+	resp, body := post(t, ts.URL+"/train?seed=3&k=8&fill=none&dict=0&async=1", []byte(skewedText(8, 32)))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async train: %d %s, want 202", resp.StatusCode, body)
+	}
+	var ack map[string]string
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	loc := resp.Header.Get("Location")
+	if ack["job"] == "" || loc != "/train/jobs/"+ack["job"] {
+		t.Fatalf("async ack %s location %q", body, loc)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job struct {
+			Status string           `json:"status"`
+			Error  string           `json:"error"`
+			Report *codecopt.Report `json:"report"`
+		}
+		dec := json.NewDecoder(r.Body)
+		if err := dec.Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		switch job.Status {
+		case "running":
+			if time.Now().After(deadline) {
+				t.Fatal("async train did not finish")
+			}
+			time.Sleep(20 * time.Millisecond)
+			continue
+		case "failed":
+			t.Fatalf("async train failed: %s", job.Error)
+		case "done":
+			if job.Report == nil || job.Report.ProfileID == "" {
+				t.Fatalf("done job missing report")
+			}
+			pr, err := http.Get(ts.URL + "/profiles/" + job.Report.ProfileID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pr.Body.Close()
+			if pr.StatusCode != http.StatusOK {
+				t.Fatalf("trained profile not resident: %d", pr.StatusCode)
+			}
+			return
+		default:
+			t.Fatalf("job status %q", job.Status)
+		}
+	}
+}

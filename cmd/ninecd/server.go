@@ -18,6 +18,7 @@ import (
 	"repro/internal/batchenc"
 	"repro/internal/bitvec"
 	"repro/internal/cachex"
+	"repro/internal/codecopt"
 	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -108,6 +109,13 @@ type config struct {
 	BatchWindow time.Duration
 	BatchMax    int
 
+	// ProfileCap bounds the resident tuned-codec profiles (LRU;
+	// 0 = codecopt.DefaultStoreCap). Profiles arrive via POST /train
+	// (searched in place) or POST /profiles (installed from another
+	// instance's train) and are selected per request with the
+	// X-Codec-Profile header on /encode.
+	ProfileCap int
+
 	// SLO objectives backing /readyz (zero fields take the obs
 	// defaults: 5m window, 99.9% availability, 250ms at p99).
 	SLOWindow        time.Duration
@@ -187,6 +195,9 @@ type server struct {
 	cache  *cachex.Cache     // content-addressed /encode results; nil when off
 	enc    *batchenc.Encoder // the direct/batched encode kernel
 
+	profiles *codecopt.Store // resident tuned-codec profiles (profiles.go)
+	trains   trainJobs       // async /train job registry
+
 	draining atomic.Bool // set by StartDrain; flips /readyz to 503
 	queued   *obs.Gauge  // requests waiting for a worker slot
 	heap     *obs.Gauge  // runtime.heap_alloc_bytes, for memory shedding
@@ -234,8 +245,15 @@ func newServer(cfg config, reg *obs.Registry) *server {
 			Registry: reg,
 		})
 	}
+	s.profiles = codecopt.NewStore(cfg.ProfileCap, reg)
 	s.mux.HandleFunc("POST /encode", s.instrument("encode", true, s.guard("encode", s.handleEncode)))
 	s.mux.HandleFunc("POST /decode", s.instrument("decode", true, s.guard("decode", s.handleDecode)))
+	// Control plane: training is heavy but rare, so it rides the worker
+	// pool (guard) without charging the serving SLO (instrument's false).
+	s.mux.HandleFunc("POST /train", s.instrument("train", false, s.guard("train", s.handleTrain)))
+	s.mux.HandleFunc("GET /train/jobs/{id}", s.instrument("train_job", false, s.guard("train_job", s.handleTrainJob)))
+	s.mux.HandleFunc("POST /profiles", s.instrument("profile_install", false, s.guard("profile_install", s.handleProfileInstall)))
+	s.mux.HandleFunc("GET /profiles/{id}", s.instrument("profile_get", false, s.guard("profile_get", s.handleProfileGet)))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
 	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", false, s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", false, s.handleMetricsProm))
@@ -268,6 +286,8 @@ func statusFor(err error) int {
 		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, errProfileUnknown):
+		return http.StatusNotFound
 	default:
 		return http.StatusBadRequest
 	}
@@ -281,6 +301,9 @@ func errClass(err error) string {
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
 		return "deadline"
+	}
+	if errors.Is(err, errProfileUnknown) {
+		return "profile_unknown"
 	}
 	if c := robust.Classify(err); c != "" {
 		return c
@@ -359,9 +382,13 @@ func putBodyBuf(buf *bytes.Buffer) {
 // handleEncode reads 01X text from the request body and responds with
 // a chunked v4 container. Query parameters: k (block size, default the
 // daemon's -k), fd (frequency-directed assignment, two-pass), name
-// (set name stored in the container).
+// (set name stored in the container). An X-Codec-Profile header
+// selects a resident tuned profile instead — the profile's block size,
+// fill, and codeword assignment override k and fd entirely, and the
+// resolved ID is echoed back on the response. An unknown profile is a
+// 404 (class profile_unknown): install it via POST /profiles first.
 //
-// The response is a pure function of (body, k, fd, name), so unless
+// The response is a pure function of (body, k, fd, name, profile), so unless
 // -cache=off the handler first consults the content-addressed cache:
 // a resident result answers immediately (X-Cache: hit), a concurrent
 // identical request shares the in-flight encode (X-Cache: coalesced),
@@ -387,6 +414,16 @@ func (s *server) handleEncode(w http.ResponseWriter, r *http.Request) error {
 	if name == "" {
 		name = "request"
 	}
+	prof, profID, err := s.resolveProfile(r)
+	if err != nil {
+		return err
+	}
+	if prof != nil {
+		// The profile owns the codec axes; normalize the overridden
+		// query parameters so equivalent requests share a cache key.
+		k, fd = prof.K, false
+		w.Header().Set("X-Codec-Profile", profID)
+	}
 
 	buf := bodyBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
@@ -404,7 +441,7 @@ func (s *server) handleEncode(w http.ResponseWriter, r *http.Request) error {
 		if set == nil || set.Len() == 0 {
 			return batchenc.Result{}, fmt.Errorf("empty test set: %w", robust.ErrCorrupt)
 		}
-		return s.enc.Encode(r.Context(), batchenc.Request{Set: set, K: k, FD: fd, Name: name})
+		return s.enc.Encode(r.Context(), batchenc.Request{Set: set, K: k, FD: fd, Name: name, Profile: prof})
 	}
 
 	var res batchenc.Result
@@ -414,9 +451,11 @@ func (s *server) handleEncode(w http.ResponseWriter, r *http.Request) error {
 			return err
 		}
 	} else {
-		// name is part of the key because it is stored inside the
-		// container: same body, different name, different bytes out.
-		key := cachex.KeyOf([]byte("k="+strconv.Itoa(k)+"&fd="+strconv.FormatBool(fd)+"&name="+name), body)
+		// Every parameter that shapes the response bytes is keyed —
+		// name because it is stored inside the container, the profile ID
+		// because a tuned encode of the same body is different bytes out
+		// (see cachex.EncodeParams for the collision this prevents).
+		key := cachex.EncodeParams{K: k, FD: fd, Name: name, Profile: profID}.Key(body)
 		v, outcome, err := s.cache.Do(r.Context(), key, func() (any, error) { return encode() })
 		if err != nil {
 			return err
@@ -428,7 +467,7 @@ func (s *server) handleEncode(w http.ResponseWriter, r *http.Request) error {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Patterns", strconv.Itoa(res.Patterns))
 	w.Header().Set("X-Compressed-Bits", strconv.Itoa(res.CompressedBits))
-	_, err := w.Write(res.Container)
+	_, err = w.Write(res.Container)
 	return err
 }
 

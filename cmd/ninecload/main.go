@@ -12,6 +12,8 @@
 //	ninecload -slo-p99 2s -slo-success 0.99            # SLO gates
 //	ninecload -dup-ratio 0.95 -corpus 8 -verify \
 //	          -keepalive -mix 0                        # duplicate-heavy cache replay
+//	ninecload -profile -verify                         # tuned-codec replay: train
+//	                                                   # first, encode under the profile
 //	ninecload -json                                    # machine report
 //
 // The workload is deterministic: -seed fixes the corpus, the
@@ -38,6 +40,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/batchenc"
+	"repro/internal/codecopt"
 	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/inject"
@@ -64,6 +68,11 @@ type options struct {
 	dupRatio  float64
 	keepalive bool
 	verify    bool
+	profile   bool
+
+	// profileID is the trained profile's content address, set by run()
+	// when -profile is on; every encode then carries it.
+	profileID string
 
 	chaos          bool
 	chaosLatency   time.Duration
@@ -100,6 +109,7 @@ func realMain(args []string, out io.Writer) int {
 	fs.Float64Var(&o.dupRatio, "dup-ratio", 0, "fraction of encodes replaying a corpus set (rest are unique cold sets; 0 = round-robin corpus replay)")
 	fs.BoolVar(&o.keepalive, "keepalive", false, "reuse HTTP connections (off by default so chaos plans stay per-request)")
 	fs.BoolVar(&o.verify, "verify", false, "assert corpus encode responses are byte-identical to a local reference encode")
+	fs.BoolVar(&o.profile, "profile", false, "train a tuned codec profile on the replay corpus first, then issue every encode under it (X-Codec-Profile replay; composes with -verify)")
 	fs.BoolVar(&o.chaos, "chaos", false, "route traffic through the seeded chaos proxy")
 	fs.DurationVar(&o.chaosLatency, "chaos-latency", 0, "added latency per connection direction")
 	fs.DurationVar(&o.chaosJitter, "chaos-jitter", 0, "seeded extra latency in [0, jitter)")
@@ -214,6 +224,29 @@ func run(o options, reg *obs.Registry) (*report, error) {
 		return nil, fmt.Errorf("daemon not ready at %s: %w", o.addr, err)
 	}
 
+	// Profile replay: train on the whole corpus before the clock
+	// starts (setup, not workload — and never through chaos, so a
+	// dropped connection cannot fail the run before it begins), then
+	// re-reference the corpus under the tuned profile so -verify and
+	// decode traffic exercise the tuned path end to end.
+	var trained *ninecdclient.TrainReport
+	if o.profile {
+		trainCtx, cancelTrain := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancelTrain()
+		trained, err = direct.Train(trainCtx, bytes.Join(texts, nil), o.seed)
+		if err != nil {
+			return nil, fmt.Errorf("training profile: %w", err)
+		}
+		o.profileID = trained.ProfileID
+		prof, err := codecopt.ParseProfile([]byte(trained.Canonical))
+		if err != nil {
+			return nil, fmt.Errorf("train report profile: %w", err)
+		}
+		if conts, err = profiledCorpus(texts, &prof); err != nil {
+			return nil, fmt.Errorf("profiled corpus: %w", err)
+		}
+	}
+
 	// The workload: worker g serves request indices g, g+c, g+2c, ...
 	// Every per-request decision derives from (seed, index), so the run
 	// replays under the same flags.
@@ -238,6 +271,10 @@ func run(o options, reg *obs.Registry) (*report, error) {
 	elapsed := time.Since(start)
 
 	rep := buildReport(o, samples, elapsed, reg)
+	if trained != nil {
+		rep.TrainedProfile = trained.ProfileID
+		rep.TrainUpliftPct = trained.UpliftPct
+	}
 	if proxy != nil {
 		st := proxy.Stats()
 		rep.Proxy = &st
@@ -299,7 +336,8 @@ func oneRequest(c *ninecdclient.Client, o options, texts, conts [][]byte, i int)
 	default:
 		name, text, expected := pickEncode(o, texts, conts, rng, i)
 		var res *ninecdclient.EncodeResult
-		res, err = c.Encode(ctx, name, o.k, text)
+		res, err = c.EncodeWith(ctx,
+			ninecdclient.EncodeOpts{Name: name, K: o.k, Profile: o.profileID}, text)
 		if err == nil && o.verify && expected != nil && !bytes.Equal(res.Container, expected) {
 			s.class = "verify_mismatch"
 			s.errMsg = fmt.Sprintf("%s: response differs from local reference encode (%d vs %d bytes)",
@@ -380,4 +418,26 @@ func buildCorpus(k, patterns, width, count int, seed int64) (texts, conts [][]by
 		conts = append(conts, buf.Bytes())
 	}
 	return texts, conts, nil
+}
+
+// profiledCorpus re-encodes the corpus texts under a tuned profile
+// through the same kernel the daemon uses, so -profile -verify holds
+// daemon responses to a byte-identical local reference.
+func profiledCorpus(texts [][]byte, prof *codecopt.Profile) ([][]byte, error) {
+	enc := batchenc.New(batchenc.Config{})
+	conts := make([][]byte, 0, len(texts))
+	for v, text := range texts {
+		name := fmt.Sprintf("corpus-%d", v)
+		set, err := tcube.Read(name, bytes.NewReader(text))
+		if err != nil {
+			return nil, err
+		}
+		res, err := enc.Encode(context.Background(),
+			batchenc.Request{Set: set, Name: name, Profile: prof})
+		if err != nil {
+			return nil, err
+		}
+		conts = append(conts, res.Container)
+	}
+	return conts, nil
 }

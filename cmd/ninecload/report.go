@@ -61,6 +61,12 @@ type report struct {
 	// that were not byte-identical to the local reference encode.
 	VerifyMismatches int64 `json:"verify_mismatches"`
 
+	// TrainedProfile/TrainUpliftPct record the -profile setup step: the
+	// profile every encode replayed under and its trained CR uplift
+	// over the fixed 9C code in percentage points.
+	TrainedProfile string  `json:"trained_profile,omitempty"`
+	TrainUpliftPct float64 `json:"train_uplift_pct,omitempty"`
+
 	Violations []string `json:"violations,omitempty"`
 }
 
@@ -179,6 +185,9 @@ func (r *report) writeText(w io.Writer) {
 			r.Proxy.Conns, r.Proxy.Resets, r.Proxy.SlowLoris, r.Proxy.Truncates, r.Proxy.Duplicates)
 	}
 	fmt.Fprintf(w, "  daemon   panics=%d 5xx=%d\n", r.DaemonPanics, r.Daemon5xx)
+	if r.TrainedProfile != "" {
+		fmt.Fprintf(w, "  profile  %s uplift=%.2fpp\n", r.TrainedProfile[:12], r.TrainUpliftPct)
+	}
 	if r.CacheHits+r.CacheMisses > 0 {
 		fmt.Fprintf(w, "  cache    hits=%d misses=%d coalesced=%d hit_ratio=%.3f\n",
 			r.CacheHits, r.CacheMisses, r.CacheCoalesced, r.CacheHitRatio)

@@ -32,6 +32,11 @@ func render(w io.Writer, sum summary, clear bool) {
 			sum.Cache.HitsPerSec, sum.Cache.MissesPerSec, sum.Cache.CoalescedPerSec,
 			sum.Cache.HitRatio, mem(sum.Cache.Bytes), sum.Cache.Entries)
 	}
+	if sum.Profiles.Present {
+		fmt.Fprintf(&b, "codec  profiles %.0f resident   installs/s %.1f   trains %.0f   tuned vs fixed %+.2fpp\n",
+			sum.Profiles.Resident, sum.Profiles.InstallsPerSec,
+			sum.Profiles.Trains, sum.Profiles.LastUpliftPct)
+	}
 	b.WriteString("\n")
 
 	fmt.Fprintf(&b, "%-14s %9s %8s %8s %8s %9s %9s %9s\n",

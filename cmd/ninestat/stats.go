@@ -41,6 +41,19 @@ type cacheStat struct {
 	Bytes           float64 `json:"bytes"`
 }
 
+// profileStat summarizes the daemon's tuned-codec profile store and
+// training activity. Present is false against a pre-profile daemon
+// whose exposition lacks the profile families entirely.
+type profileStat struct {
+	Present        bool    `json:"present"`
+	Resident       float64 `json:"resident"`
+	InstallsPerSec float64 `json:"installs_per_sec"`
+	Trains         float64 `json:"trains"`
+	// LastUpliftPct is the most recent train's tuned-vs-fixed CR
+	// uplift in percentage points (the daemon exports basis points).
+	LastUpliftPct float64 `json:"last_uplift_pct"`
+}
+
 // summary is one interval's condensed view — what -once emits as JSON
 // and what the live screen renders.
 type summary struct {
@@ -57,6 +70,7 @@ type summary struct {
 	GCPauseP99Us    float64     `json:"gc_pause_p99_us"`
 	SchedLatP99Us   float64     `json:"sched_lat_p99_us"`
 	Cache           cacheStat   `json:"cache"`
+	Profiles        profileStat `json:"profiles"`
 	SLO             sloStat     `json:"slo"`
 }
 
@@ -182,6 +196,15 @@ func summarize(addr string, cur, prev *scrape) summary {
 		}
 		if dh+dm > 0 {
 			sum.Cache.HitRatio = dh / (dh + dm)
+		}
+	}
+	if _, ok := cur.samples["ninecd_profiles_resident"]; ok {
+		sum.Profiles = profileStat{
+			Present:        true,
+			Resident:       cur.samples["ninecd_profiles_resident"],
+			InstallsPerSec: rate(cur, prev, "ninecd_profiles_installs_total", dt),
+			Trains:         cur.samples["ninecd_train_requests_total"],
+			LastUpliftPct:  cur.samples["ninecd_train_last_uplift_bp"] / 100,
 		}
 	}
 	if gc := cur.hists["runtime_gc_pause_ns"]; gc != nil {

@@ -6,7 +6,7 @@
 //	tabgen                  # everything
 //	tabgen -table 2         # one table (1..8)
 //	tabgen -figure 4        # one figure (1..4)
-//	tabgen -extra power     # extension experiment: fill | power | ablation
+//	tabgen -extra power     # extension experiment: fill | power | ... | codecopt
 //	tabgen -scale 10        # shrink the heavy workloads (Table VIII, fill)
 //	tabgen -metrics -       # per-table wall time and verify spans on exit
 package main
@@ -71,6 +71,7 @@ func run(table, figure int, extra string, scale int) error {
 		"reorder":  func() (*experiments.Table, error) { return experiments.ExtraReorder(scale) },
 		"cost":     experiments.ExtraCost,
 		"soc":      experiments.ExtraSoC,
+		"codecopt": func() (*experiments.Table, error) { return experiments.ExtraCodecopt(1) },
 	}
 
 	selected := table != 0 || figure != 0 || extra != ""
@@ -100,7 +101,7 @@ func run(table, figure int, extra string, scale int) error {
 	if extra != "" {
 		g, ok := extras[extra]
 		if !ok {
-			return fmt.Errorf("no extra experiment %q (fill | power | ablation | bist | reseed | reorder | cost | soc)", extra)
+			return fmt.Errorf("no extra experiment %q (fill | power | ablation | bist | reseed | reorder | cost | soc | codecopt)", extra)
 		}
 		return emit(g)
 	}
@@ -118,7 +119,7 @@ func run(table, figure int, extra string, scale int) error {
 				return err
 			}
 		}
-		for _, name := range []string{"fill", "power", "ablation", "bist", "reseed", "reorder", "cost", "soc"} {
+		for _, name := range []string{"fill", "power", "ablation", "bist", "reseed", "reorder", "cost", "soc", "codecopt"} {
 			if err := emit(extras[name]); err != nil {
 				return err
 			}

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/codecopt"
 	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -34,6 +35,10 @@ type Request struct {
 	K    int
 	FD   bool // frequency-directed two-pass assignment
 	Name string
+	// Profile, when non-nil, overrides K/FD entirely: the job encodes
+	// with the tuned assignment, block size, and fill the profile
+	// carries (the X-Codec-Profile path).
+	Profile *codecopt.Profile
 }
 
 // Result is the finished container plus the response-header facts.
@@ -178,6 +183,9 @@ func (e *Encoder) flush() {
 // chunked v4 container. The returned Container is freshly allocated —
 // it does not alias ws, so it outlives the workspace's next use.
 func (e *Encoder) encodeJob(ctx context.Context, ws *core.Workspace, req Request) (Result, error) {
+	if req.Profile != nil {
+		return e.encodeProfiled(ctx, ws, req)
+	}
 	cdc, err := e.cfg.Codec(req.K)
 	if err != nil {
 		return Result{}, err
@@ -196,6 +204,35 @@ func (e *Encoder) encodeJob(ctx context.Context, ws *core.Workspace, req Request
 		if res, err = cdc.EncodeSetWSCtx(ctx, ws, req.Set); err != nil {
 			return Result{}, err
 		}
+	}
+	res.Name = req.Name
+	var buf bytes.Buffer
+	if err := container.WriteVersion(&buf, res, container.Magic4); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Container:      buf.Bytes(),
+		Patterns:       res.Patterns,
+		CompressedBits: res.CompressedBits(),
+	}, nil
+}
+
+// encodeProfiled is the tuned-codec leg of encodeJob: the profile's
+// fill is applied first, then the set encodes under the profile's
+// block size and canonical assignment. The container serializes the
+// assignment's codewords, so decoding the result needs no profile.
+func (e *Encoder) encodeProfiled(ctx context.Context, ws *core.Workspace, req Request) (Result, error) {
+	cdc, err := req.Profile.Codec()
+	if err != nil {
+		return Result{}, err
+	}
+	set, err := req.Profile.Fill.Apply(req.Set)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := cdc.EncodeSetWSCtx(ctx, ws, set)
+	if err != nil {
+		return Result{}, err
 	}
 	res.Name = req.Name
 	var buf bytes.Buffer

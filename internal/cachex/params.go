@@ -1,0 +1,47 @@
+package cachex
+
+import "strconv"
+
+// EncodeParams is the complete set of request parameters that shape an
+// /encode response beyond the body bytes. The cache key MUST cover
+// every one of them: before Profile existed here, the daemon keyed on
+// an ad-hoc "k=..&fd=..&name=.." string, so once tuned codec profiles
+// landed, two encodes of the same body under different profiles would
+// have collided — a silent wrong-bytes cache hit. Keying through this
+// struct makes the parameter set explicit and the regression tests
+// enforce that distinct profiles yield distinct keys.
+type EncodeParams struct {
+	K  int
+	FD bool
+	// Name is the set name stored inside the container (same body,
+	// different name ⇒ different bytes out).
+	Name string
+	// Profile is the codec-profile content address from the
+	// X-Codec-Profile header; empty for fixed-code encodes.
+	Profile string
+}
+
+// Bytes renders the parameters injectively: every variable-length
+// field is length-prefixed, so no choice of Name can impersonate a
+// Profile (or any other field boundary). The exact byte layout is an
+// internal detail — only injectivity is contracted.
+func (p EncodeParams) Bytes() []byte {
+	b := make([]byte, 0, 32+len(p.Name)+len(p.Profile))
+	b = strconv.AppendInt(b, int64(p.K), 10)
+	b = append(b, '|')
+	b = strconv.AppendBool(b, p.FD)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(len(p.Name)), 10)
+	b = append(b, ':')
+	b = append(b, p.Name...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(len(p.Profile)), 10)
+	b = append(b, ':')
+	b = append(b, p.Profile...)
+	return b
+}
+
+// Key computes the content address of (params, body).
+func (p EncodeParams) Key(body []byte) Key {
+	return KeyOf(p.Bytes(), body)
+}

@@ -1,0 +1,429 @@
+package codecopt
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/codecs"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/tcube"
+)
+
+// Options tunes Search. The zero value takes the documented defaults;
+// every default is deterministic, so (Seed, corpus) fully determine
+// the result.
+type Options struct {
+	// Seed fixes the evolutionary loop's random stream.
+	Seed int64
+	// Ks is the block-size axis (default SearchKs).
+	Ks []int
+	// Fills is the fill axis (default Fills).
+	Fills []Fill
+	// Population and Generations size the evolutionary loop per
+	// (K, fill) cell (defaults 24 and 40).
+	Population  int
+	Generations int
+	// SkipDictionary drops the codecs.BestDictionary baseline run —
+	// useful for tight training loops where only the tuned-9C side
+	// matters.
+	SkipDictionary bool
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Ks) == 0 {
+		o.Ks = SearchKs
+	}
+	if len(o.Fills) == 0 {
+		o.Fills = Fills
+	}
+	if o.Population <= 0 {
+		o.Population = 24
+	}
+	if o.Generations <= 0 {
+		o.Generations = 40
+	}
+	return o
+}
+
+// Report is the outcome of one Search: the winning profile, the exact
+// encoded-bits ledger it was scored on, and the baselines it beat (or
+// lost to — the dictionary baseline can win, and the report says so
+// rather than hiding it).
+type Report struct {
+	// Profile is the best tuned-9C configuration found; ProfileID its
+	// content address.
+	Profile   Profile `json:"-"`
+	ProfileID string  `json:"id"`
+	// Canonical is the profile's wire encoding (what POST /profiles
+	// accepts).
+	Canonical string `json:"profile"`
+
+	OrigBits int `json:"orig_bits"`
+	// TunedBits is the exact encoded size of the corpus under Profile.
+	TunedBits int `json:"tuned_bits"`
+	// FixedBits is the best the *fixed* paper code (default assignment,
+	// no fill) achieves over the same K sweep, and FixedK that K — the
+	// uplift baseline.
+	FixedBits int `json:"fixed_bits"`
+	FixedK    int `json:"fixed_k"`
+	// DictBits/DictCodec are the codecs.BestDictionary competitor
+	// (0/"" when skipped).
+	DictBits  int    `json:"dict_bits,omitempty"`
+	DictCodec string `json:"dict_codec,omitempty"`
+	// Winner is "tuned9c" or "dictionary" — the smaller of the two.
+	Winner string `json:"winner"`
+
+	// TunedCR/FixedCR are compression ratios in percent; UpliftPct is
+	// their difference in percentage points (>= 0 by construction: the
+	// fixed code is in the search space).
+	TunedCR   float64 `json:"tuned_cr"`
+	FixedCR   float64 `json:"fixed_cr"`
+	UpliftPct float64 `json:"uplift_pct"`
+
+	// Evals counts scored candidate length vectors across all cells.
+	Evals int   `json:"evals"`
+	Seed  int64 `json:"seed"`
+}
+
+// cell is the per-(K, fill) precomputation: case statistics are a
+// function of (K, fill) only — never of the assignment — so one encode
+// pass per corpus set yields counts against which any length vector is
+// scored in O(9).
+type cell struct {
+	k      int
+	fill   Fill
+	counts core.Counts
+}
+
+// score is the exact encoded size of the cell's corpus under the
+// length vector: Σ_i N_i·(len_i + DataBits_i), the same closed form
+// core.CompressedSize computes (and Result.CR is tested against).
+func (c *cell) score(lengths [core.NumCases]int) int {
+	total := 0
+	for cs := core.CaseAll0; cs <= core.CaseMisMis; cs++ {
+		total += c.counts.N(cs) * (lengths[cs-1] + cs.DataBits(c.k))
+	}
+	return total
+}
+
+// Search finds the best tuned-9C profile for the corpus. Per (K, fill)
+// cell it runs a seeded evolutionary loop (tournament selection,
+// length-transfer and swap mutations, uniform crossover with Kraft
+// repair) seeded with the strong analytic candidates — the paper's
+// default vector, the frequency-directed permutation, and the Huffman
+// code over the observed case counts — then polishes the winner with
+// steepest-ascent hill climbing. The global best across cells becomes
+// the Profile; codecs.BestDictionary competes on the same corpus so
+// the report is "best of tuned-9C vs dictionary".
+//
+// Search is deterministic: same seed, same corpus, same Options ⇒ the
+// same profile (and therefore the same profile ID), byte for byte.
+func Search(corpus []*tcube.Set, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("codecopt: empty training corpus")
+	}
+	sp := obs.Active().Span("codecopt.search")
+	defer sp.End()
+
+	origBits := 0
+	for _, s := range corpus {
+		origBits += s.Bits()
+	}
+	sp.Set("sets", len(corpus)).Set("orig_bits", origBits).Set("seed", opts.Seed)
+
+	rep := &Report{OrigBits: origBits, Seed: opts.Seed, FixedBits: -1, TunedBits: -1}
+	defaultLens := core.DefaultAssignment().Lengths()
+	for ci, k := range opts.Ks {
+		for fi, fill := range opts.Fills {
+			c, err := buildCell(corpus, k, fill)
+			if err != nil {
+				return nil, err
+			}
+			// The fixed-9C baseline: paper lengths, X preserved.
+			if fill == FillNone {
+				if fb := c.score(defaultLens); rep.FixedBits < 0 || fb < rep.FixedBits {
+					rep.FixedBits, rep.FixedK = fb, k
+				}
+			}
+			// Each cell draws from its own derived seed so adding a K or
+			// fill to the sweep never perturbs the other cells' streams.
+			rng := rand.New(rand.NewSource(opts.Seed + int64(ci)*257 + int64(fi)*8209))
+			lens, bits, evals := optimizeCell(c, rng, opts)
+			rep.Evals += evals
+			if rep.TunedBits < 0 || bits < rep.TunedBits {
+				rep.TunedBits = bits
+				rep.Profile = Profile{K: k, Lengths: lens, Fill: fill}
+			}
+			obs.Active().Span("codecopt.cell").
+				Set("k", k).Set("fill", string(fill)).
+				Set("bits", bits).Set("evals", evals).End()
+		}
+	}
+
+	rep.ProfileID = rep.Profile.ID()
+	rep.Canonical = string(rep.Profile.Canonical())
+	rep.TunedCR = crPct(origBits, rep.TunedBits)
+	rep.FixedCR = crPct(origBits, rep.FixedBits)
+	rep.UpliftPct = rep.TunedCR - rep.FixedCR
+	rep.Winner = "tuned9c"
+	if !opts.SkipDictionary {
+		if err := addDictionaryBaseline(rep, corpus); err != nil {
+			return nil, err
+		}
+	}
+	sp.Set("id", rep.ProfileID).Set("tuned_bits", rep.TunedBits).
+		Set("uplift_pct", rep.UpliftPct).Set("evals", rep.Evals)
+	return rep, nil
+}
+
+// buildCell encodes the corpus once at (k, fill) with the default
+// assignment and accumulates the case statistics. Counts are additive
+// across sets, and CompressedSize is linear in them, so the summed
+// counts score the whole corpus at once.
+func buildCell(corpus []*tcube.Set, k int, fill Fill) (*cell, error) {
+	cdc, err := core.New(k)
+	if err != nil {
+		return nil, err
+	}
+	c := &cell{k: k, fill: fill}
+	for _, s := range corpus {
+		filled, err := fill.Apply(s)
+		if err != nil {
+			return nil, err
+		}
+		res, err := cdc.EncodeSet(filled)
+		if err != nil {
+			return nil, err
+		}
+		for cs := core.CaseAll0; cs <= core.CaseMisMis; cs++ {
+			c.counts[cs-1] += res.Counts.N(cs)
+		}
+	}
+	return c, nil
+}
+
+// addDictionaryBaseline runs codecs.BestDictionary over the corpus and
+// lets it compete with the tuned profile.
+func addDictionaryBaseline(rep *Report, corpus []*tcube.Set) error {
+	total, name := 0, ""
+	for _, s := range corpus {
+		r, err := codecs.BestDictionary(s)
+		if err != nil {
+			return err
+		}
+		total += r.CompressedBits
+		name = r.Codec
+	}
+	rep.DictBits, rep.DictCodec = total, name
+	if total < rep.TunedBits {
+		rep.Winner = "dictionary"
+	}
+	return nil
+}
+
+// optimizeCell searches one (K, fill) cell's length-vector space and
+// returns the best vector, its exact bit cost, and the evaluation
+// count.
+func optimizeCell(c *cell, rng *rand.Rand, opts Options) ([core.NumCases]int, int, int) {
+	evals := 0
+	eval := func(l [core.NumCases]int) int { evals++; return c.score(l) }
+
+	// Analytic seeds: the paper's fixed vector, its frequency-directed
+	// permutation, and the Huffman optimum over the observed counts
+	// (exact for this cell up to the MaxCodeLen cap).
+	pop := [][core.NumCases]int{
+		core.DefaultAssignment().Lengths(),
+		core.FrequencyDirected(c.counts).Lengths(),
+		huffmanLengths(c.counts),
+	}
+	for len(pop) < opts.Population {
+		pop = append(pop, mutate(pop[rng.Intn(3)], rng))
+	}
+
+	type scored struct {
+		lens [core.NumCases]int
+		bits int
+	}
+	cur := make([]scored, len(pop))
+	for i, l := range pop {
+		cur[i] = scored{l, eval(l)}
+	}
+	best := cur[0]
+	for _, s := range cur[1:] {
+		if s.bits < best.bits {
+			best = s
+		}
+	}
+
+	tournament := func() scored {
+		w := cur[rng.Intn(len(cur))]
+		for t := 0; t < 2; t++ {
+			if ch := cur[rng.Intn(len(cur))]; ch.bits < w.bits {
+				w = ch
+			}
+		}
+		return w
+	}
+	for g := 0; g < opts.Generations; g++ {
+		next := make([]scored, 0, len(cur))
+		next = append(next, best) // elitism
+		for len(next) < len(cur) {
+			child := crossover(tournament().lens, tournament().lens, rng)
+			if rng.Intn(2) == 0 {
+				child = mutate(child, rng)
+			}
+			sc := scored{child, eval(child)}
+			if sc.bits < best.bits {
+				best = sc
+			}
+			next = append(next, sc)
+		}
+		cur = next
+	}
+
+	lens, bits, hcEvals := hillClimb(c, best.lens, best.bits)
+	return lens, bits, evals + hcEvals
+}
+
+// hillClimb polishes a vector with steepest-ascent moves: all pairwise
+// swaps and all single-bit length transfers (shorten one case, no
+// repair needed — dropping a length only loosens Kraft — or lengthen
+// one, which always stays valid). Terminates at a local optimum.
+func hillClimb(c *cell, lens [core.NumCases]int, bits int) ([core.NumCases]int, int, int) {
+	evals := 0
+	for {
+		bestMove, bestBits := lens, bits
+		try := func(l [core.NumCases]int) {
+			if !validLengths(l) {
+				return
+			}
+			evals++
+			if b := c.score(l); b < bestBits {
+				bestMove, bestBits = l, b
+			}
+		}
+		for i := 0; i < core.NumCases; i++ {
+			for j := i + 1; j < core.NumCases; j++ {
+				l := lens
+				l[i], l[j] = l[j], l[i]
+				try(l)
+			}
+			for d := -1; d <= 1; d += 2 {
+				l := lens
+				l[i] += d
+				try(l)
+			}
+		}
+		if bestBits >= bits {
+			return lens, bits, evals
+		}
+		lens, bits = bestMove, bestBits
+	}
+}
+
+// crossover mixes two parents gene-wise and Kraft-repairs the child.
+func crossover(a, b [core.NumCases]int, rng *rand.Rand) [core.NumCases]int {
+	child := a
+	for i := range child {
+		if rng.Intn(2) == 1 {
+			child[i] = b[i]
+		}
+	}
+	return repair(child)
+}
+
+// mutate applies one random move: swap two genes or transfer one bit
+// of length, then Kraft-repair.
+func mutate(l [core.NumCases]int, rng *rand.Rand) [core.NumCases]int {
+	i, j := rng.Intn(core.NumCases), rng.Intn(core.NumCases)
+	if rng.Intn(2) == 0 {
+		l[i], l[j] = l[j], l[i]
+	} else {
+		l[i]--
+		l[j]++
+	}
+	return repair(l)
+}
+
+// repair clamps lengths into [1, MaxCodeLen] and restores Kraft ≤ 1 by
+// lengthening the currently-shortest codewords — the move that costs
+// the fewest bits when the short codes belong to frequent cases, and
+// the only move guaranteed to converge (every step halves one term).
+func repair(l [core.NumCases]int) [core.NumCases]int {
+	for i := range l {
+		if l[i] < 1 {
+			l[i] = 1
+		}
+		if l[i] > MaxCodeLen {
+			l[i] = MaxCodeLen
+		}
+	}
+	for !kraftOK(l) {
+		short := 0
+		for i := 1; i < core.NumCases; i++ {
+			if l[i] < l[short] {
+				short = i
+			}
+		}
+		l[short]++
+	}
+	return l
+}
+
+func validLengths(l [core.NumCases]int) bool {
+	for _, v := range l {
+		if v < 1 || v > MaxCodeLen {
+			return false
+		}
+	}
+	return kraftOK(l)
+}
+
+// huffmanLengths builds the optimal prefix-code length vector for the
+// observed case counts (zero counts weighted 1 so every case keeps a
+// codeword — the encoder must be total even if the corpus never hit a
+// case), capped at MaxCodeLen via repair. Ties break by case index,
+// so the result is deterministic.
+func huffmanLengths(counts core.Counts) [core.NumCases]int {
+	type node struct {
+		weight int
+		order  int // tie-break: stable across runs
+		syms   []int
+	}
+	nodes := make([]*node, core.NumCases)
+	for i := range nodes {
+		w := counts[i]
+		if w < 1 {
+			w = 1
+		}
+		nodes[i] = &node{weight: w, order: i, syms: []int{i}}
+	}
+	var lens [core.NumCases]int
+	next := core.NumCases
+	for len(nodes) > 1 {
+		sort.Slice(nodes, func(a, b int) bool {
+			if nodes[a].weight != nodes[b].weight {
+				return nodes[a].weight < nodes[b].weight
+			}
+			return nodes[a].order < nodes[b].order
+		})
+		a, b := nodes[0], nodes[1]
+		merged := &node{weight: a.weight + b.weight, order: next, syms: append(a.syms, b.syms...)}
+		next++
+		for _, s := range merged.syms {
+			lens[s]++
+		}
+		nodes = append([]*node{merged}, nodes[2:]...)
+	}
+	return repair(lens)
+}
+
+func crPct(orig, compressed int) float64 {
+	if orig == 0 {
+		return 0
+	}
+	return 100 * float64(orig-compressed) / float64(orig)
+}

@@ -1,0 +1,195 @@
+package codecopt
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tcube"
+)
+
+// trainingCorpus builds a deterministic skewed corpus: long 0-runs
+// with sparse care bits, so the case distribution is far from uniform
+// and a tuned code has something to gain.
+func trainingCorpus(t *testing.T) []*tcube.Set {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	var b strings.Builder
+	for p := 0; p < 32; p++ {
+		for j := 0; j < 96; j++ {
+			switch {
+			case rng.Intn(10) == 0:
+				b.WriteByte('1')
+			case rng.Intn(3) == 0:
+				b.WriteByte('0')
+			default:
+				b.WriteByte('X')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return []*tcube.Set{mustSet(t, "train", b.String())}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	corpus := trainingCorpus(t)
+	a, err := Search(corpus, Options{Seed: 7})
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	b, err := Search(corpus, Options{Seed: 7})
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if a.ProfileID != b.ProfileID {
+		t.Fatalf("same seed, different profiles: %s vs %s", a.ProfileID, b.ProfileID)
+	}
+	if a.TunedBits != b.TunedBits || a.Evals != b.Evals {
+		t.Fatalf("same seed, different trajectories: %+v vs %+v", a, b)
+	}
+	if !bytes.Equal(a.Profile.Canonical(), []byte(a.Canonical)) {
+		t.Fatalf("report canonical mismatch")
+	}
+}
+
+func TestSearchUpliftNonNegative(t *testing.T) {
+	rep, err := Search(trainingCorpus(t), Options{Seed: 7})
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if rep.UpliftPct < 0 {
+		t.Fatalf("tuned code worse than fixed 9C: uplift %.3f (tuned %d bits vs fixed %d)",
+			rep.UpliftPct, rep.TunedBits, rep.FixedBits)
+	}
+	if rep.TunedBits > rep.FixedBits {
+		t.Fatalf("tuned %d bits > fixed %d bits despite fixed being in the search space",
+			rep.TunedBits, rep.FixedBits)
+	}
+	if rep.DictBits <= 0 || rep.DictCodec == "" {
+		t.Fatalf("dictionary baseline missing from report: %+v", rep)
+	}
+	if rep.Winner != "tuned9c" && rep.Winner != "dictionary" {
+		t.Fatalf("winner %q", rep.Winner)
+	}
+	if err := rep.Profile.Validate(); err != nil {
+		t.Fatalf("winning profile invalid: %v", err)
+	}
+}
+
+// TestSearchScoreIsExact pins the scorer to reality: the report's
+// TunedBits must equal the actual encoded stream length of the corpus
+// under the winning profile's codec.
+func TestSearchScoreIsExact(t *testing.T) {
+	corpus := trainingCorpus(t)
+	rep, err := Search(corpus, Options{Seed: 3, SkipDictionary: true})
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	cdc, err := rep.Profile.Codec()
+	if err != nil {
+		t.Fatalf("Codec: %v", err)
+	}
+	total := 0
+	for _, s := range corpus {
+		filled, err := rep.Profile.Fill.Apply(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cdc.EncodeSet(filled)
+		if err != nil {
+			t.Fatalf("EncodeSet: %v", err)
+		}
+		total += res.CompressedBits()
+	}
+	if total != rep.TunedBits {
+		t.Fatalf("scored %d bits, actual encode is %d", rep.TunedBits, total)
+	}
+}
+
+// TestTunedProfileRoundTripsCore is the core half of the differential
+// round-trip requirement: encode the corpus under the tuned profile
+// and decode it back — every specified source bit must survive.
+func TestTunedProfileRoundTripsCore(t *testing.T) {
+	corpus := trainingCorpus(t)
+	rep, err := Search(corpus, Options{Seed: 11, SkipDictionary: true})
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	cdc, err := rep.Profile.Codec()
+	if err != nil {
+		t.Fatalf("Codec: %v", err)
+	}
+	for _, s := range corpus {
+		filled, err := rep.Profile.Fill.Apply(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cdc.EncodeSet(filled)
+		if err != nil {
+			t.Fatalf("EncodeSet: %v", err)
+		}
+		dec, err := cdc.DecodeSet(res.Stream, filled.Width(), filled.Len())
+		if err != nil {
+			t.Fatalf("DecodeSet: %v", err)
+		}
+		if !filled.Covers(dec) {
+			t.Fatalf("decode contradicts source set %s", s.Name)
+		}
+	}
+}
+
+// TestSearchHonorsRestrictedAxes pins Options.Ks/Fills filtering.
+func TestSearchHonorsRestrictedAxes(t *testing.T) {
+	rep, err := Search(trainingCorpus(t), Options{
+		Seed: 1, Ks: []int{8}, Fills: []Fill{FillNone}, SkipDictionary: true,
+	})
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if rep.Profile.K != 8 || rep.Profile.Fill != FillNone {
+		t.Fatalf("search escaped its axes: %+v", rep.Profile)
+	}
+	if rep.FixedK != 8 {
+		t.Fatalf("fixed baseline K = %d, want 8", rep.FixedK)
+	}
+}
+
+func TestSearchEmptyCorpus(t *testing.T) {
+	if _, err := Search(nil, Options{}); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+}
+
+// TestHuffmanLengthsOptimal sanity-checks the analytic seed: on a
+// degenerate distribution the Huffman vector must cost no more than
+// the paper's fixed vector.
+func TestHuffmanLengthsOptimal(t *testing.T) {
+	counts := core.Counts{1000, 500, 1, 1, 1, 1, 1, 1, 250}
+	h := huffmanLengths(counts)
+	if !validLengths(h) {
+		t.Fatalf("huffman vector invalid: %v", h)
+	}
+	c := &cell{k: 8, counts: counts}
+	if c.score(h) > c.score(core.DefaultAssignment().Lengths()) {
+		t.Fatalf("huffman vector worse than the fixed code")
+	}
+}
+
+func TestRepairRestoresKraft(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		var l [core.NumCases]int
+		for j := range l {
+			l[j] = rng.Intn(MaxCodeLen+4) - 2
+		}
+		r := repair(l)
+		if !validLengths(r) {
+			t.Fatalf("repair(%v) = %v still invalid", l, r)
+		}
+		if _, err := core.AssignmentFromLengths(r); err != nil {
+			t.Fatalf("repaired vector unrealizable: %v", err)
+		}
+	}
+}

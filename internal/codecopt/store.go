@@ -1,0 +1,99 @@
+package codecopt
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Store is the daemon's resident profile table: an LRU of Profile
+// values keyed by their content address. Profiles are tiny (a K, nine
+// lengths, a fill), so the bound is a count, not bytes; its purpose is
+// to keep a hostile train/install stream from growing the table
+// without limit, not to save memory. Safe for concurrent use.
+type Store struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	lru *list.List // front = most recently used
+
+	resident *obs.Gauge
+	installs *obs.Counter
+	evicted  *obs.Counter
+}
+
+type storeEntry struct {
+	id string
+	p  Profile
+}
+
+// DefaultStoreCap bounds a zero-cap NewStore.
+const DefaultStoreCap = 64
+
+// NewStore builds a Store holding at most cap profiles (cap <= 0 takes
+// DefaultStoreCap). reg receives the telemetry; nil falls back to
+// obs.Active().
+func NewStore(cap int, reg *obs.Registry) *Store {
+	if cap <= 0 {
+		cap = DefaultStoreCap
+	}
+	if reg == nil {
+		reg = obs.Active()
+	}
+	s := &Store{
+		cap:      cap,
+		m:        make(map[string]*list.Element),
+		lru:      list.New(),
+		resident: reg.Gauge("ninecd.profiles.resident"),
+		installs: reg.Counter("ninecd.profiles.installs"),
+		evicted:  reg.Counter("ninecd.profiles.evicted"),
+	}
+	reg.Describe("ninecd.profiles.resident", "tuned codec profiles resident in the LRU store")
+	reg.Describe("ninecd.profiles.installs", "profiles installed via /train or POST /profiles")
+	reg.Describe("ninecd.profiles.evicted", "profiles evicted from the store to respect its bound")
+	return s
+}
+
+// Put installs the profile under its content address and returns the
+// ID. Re-installing a resident profile just refreshes its recency.
+func (s *Store) Put(p Profile) string {
+	id := p.ID()
+	s.mu.Lock()
+	if e, ok := s.m[id]; ok {
+		s.lru.MoveToFront(e)
+		s.mu.Unlock()
+		return id
+	}
+	s.m[id] = s.lru.PushFront(storeEntry{id: id, p: p})
+	for s.lru.Len() > s.cap {
+		old := s.lru.Back()
+		s.lru.Remove(old)
+		delete(s.m, old.Value.(storeEntry).id)
+		s.evicted.Inc()
+	}
+	n := int64(s.lru.Len())
+	s.mu.Unlock()
+	s.installs.Inc()
+	s.resident.Set(n)
+	return id
+}
+
+// Get returns the profile for id, refreshing its recency.
+func (s *Store) Get(id string) (Profile, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[id]
+	if !ok {
+		return Profile{}, false
+	}
+	s.lru.MoveToFront(e)
+	return e.Value.(storeEntry).p, true
+}
+
+// Len reports the resident profile count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}

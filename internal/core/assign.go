@@ -111,6 +111,30 @@ func FrequencyDirected(counts Counts) Assignment {
 	return Assignment{codes: codes}
 }
 
+// AssignmentFromLengths builds the canonical prefix code whose case
+// C_i receives a codeword of lengths[i-1] bits. Unlike the paper's
+// fixed multiset (DefaultAssignment) or its permutations
+// (FrequencyDirected), the lengths here are free: any vector in
+// [1,32]^9 that satisfies the Kraft inequality yields a valid,
+// decodable assignment. This is the degree of freedom the codecopt
+// search engine optimizes over.
+func AssignmentFromLengths(lengths [NumCases]int) (Assignment, error) {
+	codes, err := canonicalCodes(lengths)
+	if err != nil {
+		return Assignment{}, err
+	}
+	return Assignment{codes: codes}, nil
+}
+
+// Lengths returns the per-case codeword lengths of the assignment.
+func (a Assignment) Lengths() [NumCases]int {
+	var out [NumCases]int
+	for i, c := range a.codes {
+		out[i] = len(c)
+	}
+	return out
+}
+
 // Validate checks that the assignment is a prefix-free code over the
 // nine cases with no empty codeword.
 func (a Assignment) Validate() error {

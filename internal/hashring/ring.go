@@ -45,6 +45,41 @@ func Hash(b []byte) uint64 {
 	return h
 }
 
+// HashTagged is Hash with a routing tag folded in ahead of the body:
+// the same test-set bytes encoded under different codec profiles are
+// different responses, so they must be distinct ring keys or one
+// backend's cache would hold both families while its peers hold
+// neither. An empty tag is the untagged fast path — HashTagged("", b)
+// equals Hash(b) exactly, so existing placements never move.
+func HashTagged(tag string, b []byte) uint64 {
+	if tag == "" {
+		return Hash(b)
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(tag); i++ {
+		h ^= uint64(tag[i])
+		h *= prime64
+	}
+	// Separator outside the tag's alphabet (profile IDs are hex), so a
+	// tag cannot bleed into the body bytes.
+	h ^= 0xFF
+	h *= prime64
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
 // DefaultVNodes is the virtual-node count per backend: enough that a
 // three-node ring splits the keyspace within a few percent of evenly.
 const DefaultVNodes = 64

@@ -312,42 +312,143 @@ type EncodeResult struct {
 	// X-Compressed-Bits response headers.
 	Patterns       int
 	CompressedBits int
+	// Profile echoes the daemon's X-Codec-Profile header: the tuned
+	// profile the container was actually encoded under, empty for the
+	// fixed code.
+	Profile string
+}
+
+// EncodeOpts parameterizes EncodeWith beyond the body bytes.
+type EncodeOpts struct {
+	// Name labels the set inside the container.
+	Name string
+	// K is the block size; <= 0 uses the daemon default. Ignored when
+	// Profile is set — the profile owns the codec axes.
+	K int
+	// Profile selects a tuned codec profile by content address (sent
+	// as X-Codec-Profile). The daemon answers 404 class
+	// profile_unknown when the profile is not resident — install it
+	// with InstallProfile first.
+	Profile string
 }
 
 // Encode posts 01X text and returns the v4 container, retrying under
 // the client's policy. name labels the set inside the container; k <=
 // 0 uses the daemon default.
 func (c *Client) Encode(ctx context.Context, name string, k int, text []byte) (*EncodeResult, error) {
+	return c.EncodeWith(ctx, EncodeOpts{Name: name, K: k}, text)
+}
+
+// EncodeWith is Encode with the full option set. Ring routing shards
+// on HashTagged(profile, body): profiled and fixed encodes of the same
+// bytes are different responses, so they place independently and each
+// backend's cache sees one coherent family.
+func (c *Client) EncodeWith(ctx context.Context, opts EncodeOpts, text []byte) (*EncodeResult, error) {
 	q := url.Values{}
-	if name != "" {
-		q.Set("name", name)
+	if opts.Name != "" {
+		q.Set("name", opts.Name)
 	}
-	if k > 0 {
-		q.Set("k", strconv.Itoa(k))
+	if opts.K > 0 && opts.Profile == "" {
+		q.Set("k", strconv.Itoa(opts.K))
 	}
 	path := "/encode"
 	if len(q) > 0 {
 		path += "?" + q.Encode()
 	}
-	h := hashring.Hash(text)
+	var hdr http.Header
+	if opts.Profile != "" {
+		hdr = http.Header{"X-Codec-Profile": []string{opts.Profile}}
+	}
+	h := hashring.HashTagged(opts.Profile, text)
 	attempt := 0
 	var res *EncodeResult
 	err := c.retr.Do(ctx, "ninecd.encode", func(ctx context.Context) error {
 		base := c.baseFor(h, attempt)
 		attempt++
-		body, hdr, err := c.roundTrip(ctx, base, path, "text/plain; charset=utf-8", text)
+		body, rh, err := c.roundTrip(ctx, base, path, "text/plain; charset=utf-8", hdr, text)
 		if err != nil {
 			return err
 		}
-		patterns, _ := strconv.Atoi(hdr.Get("X-Patterns"))
-		bits, _ := strconv.Atoi(hdr.Get("X-Compressed-Bits"))
-		res = &EncodeResult{Container: body, Patterns: patterns, CompressedBits: bits}
+		patterns, _ := strconv.Atoi(rh.Get("X-Patterns"))
+		bits, _ := strconv.Atoi(rh.Get("X-Compressed-Bits"))
+		res = &EncodeResult{
+			Container:      body,
+			Patterns:       patterns,
+			CompressedBits: bits,
+			Profile:        rh.Get("X-Codec-Profile"),
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// TrainReport is the daemon's POST /train response: the winning
+// profile's content address and canonical encoding plus the exact
+// bits ledger it was scored on.
+type TrainReport struct {
+	ProfileID string  `json:"id"`
+	Canonical string  `json:"profile"`
+	OrigBits  int     `json:"orig_bits"`
+	TunedBits int     `json:"tuned_bits"`
+	FixedBits int     `json:"fixed_bits"`
+	FixedK    int     `json:"fixed_k"`
+	DictBits  int     `json:"dict_bits"`
+	DictCodec string  `json:"dict_codec"`
+	Winner    string  `json:"winner"`
+	TunedCR   float64 `json:"tuned_cr"`
+	FixedCR   float64 `json:"fixed_cr"`
+	UpliftPct float64 `json:"uplift_pct"`
+	Evals     int     `json:"evals"`
+	Seed      int64   `json:"seed"`
+}
+
+// Train posts a 01X training corpus and returns the search report; the
+// winning profile is resident on the trained daemon afterwards (behind
+// a ninecd-lb, on every healthy backend). A single attempt, no retry:
+// the search is deterministic but expensive, and a timeout here should
+// surface rather than silently triple the bill.
+func (c *Client) Train(ctx context.Context, corpus []byte, seed int64) (*TrainReport, error) {
+	path := "/train"
+	if seed != 0 {
+		path += "?seed=" + strconv.FormatInt(seed, 10)
+	}
+	body, _, err := c.roundTrip(ctx, c.base, path, "text/plain; charset=utf-8", nil, corpus)
+	if err != nil {
+		return nil, err
+	}
+	var rep TrainReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return nil, fmt.Errorf("ninecdclient: train report: %w", err)
+	}
+	return &rep, nil
+}
+
+// InstallProfile installs a profile (its canonical text, as carried by
+// TrainReport.Canonical or served by ProfileText) and returns its ID.
+// With ring routing the install fans out to every registered backend —
+// a profiled encode may land anywhere, so residency must be global.
+func (c *Client) InstallProfile(ctx context.Context, canonical []byte) (string, error) {
+	targets := []string{c.base}
+	if c.ring != nil {
+		targets = c.ring.Nodes()
+	}
+	var id string
+	for _, t := range targets {
+		_, hdr, err := c.roundTrip(ctx, t, "/profiles", "text/plain; charset=utf-8", nil, canonical)
+		if err != nil {
+			return "", fmt.Errorf("ninecdclient: install on %s: %w", t, err)
+		}
+		id = hdr.Get("X-Codec-Profile")
+	}
+	return id, nil
+}
+
+// ProfileText fetches a resident profile's canonical encoding.
+func (c *Client) ProfileText(ctx context.Context, id string) ([]byte, error) {
+	return c.get(ctx, "/profiles/"+url.PathEscape(id))
 }
 
 // Decode posts a container (any version) and returns the decoded 01X
@@ -368,7 +469,7 @@ func (c *Client) Decode(ctx context.Context, cont []byte) ([]byte, error) {
 				if hedge > 0 {
 					hb = c.baseFor(h, attempt-1+hedge)
 				}
-				b, _, err := c.roundTrip(ctx, hb, "/decode", "application/octet-stream", cont)
+				b, _, err := c.roundTrip(ctx, hb, "/decode", "application/octet-stream", nil, cont)
 				return b, err
 			})
 		if err != nil {
@@ -425,8 +526,9 @@ func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
 // roundTrip performs one POST attempt under the limiter and breaker,
 // returning the full response body on 200 and a classified error
 // otherwise. The body is rebuilt from the byte slice per attempt, so
-// retries and hedges never share a consumed reader.
-func (c *Client) roundTrip(ctx context.Context, base, path, contentType string, body []byte) ([]byte, http.Header, error) {
+// retries and hedges never share a consumed reader. extra carries
+// request headers beyond Content-Type (nil for none).
+func (c *Client) roundTrip(ctx context.Context, base, path, contentType string, extra http.Header, body []byte) ([]byte, http.Header, error) {
 	if err := c.limiter.Wait(ctx); err != nil {
 		return nil, nil, err
 	}
@@ -434,7 +536,7 @@ func (c *Client) roundTrip(ctx context.Context, base, path, contentType string, 
 	if err != nil {
 		return nil, nil, err
 	}
-	b, hdr, err := c.post(ctx, base, path, contentType, body)
+	b, hdr, err := c.post(ctx, base, path, contentType, extra, body)
 	// Only daemon-side pressure and transport loss count against the
 	// breaker; a 400/413 verdict on this request's own bytes says
 	// nothing about the server's health.
@@ -447,12 +549,15 @@ func (c *Client) roundTrip(ctx context.Context, base, path, contentType string, 
 	return b, hdr, err
 }
 
-func (c *Client) post(ctx context.Context, base, path, contentType string, body []byte) ([]byte, http.Header, error) {
+func (c *Client) post(ctx context.Context, base, path, contentType string, extra http.Header, body []byte) ([]byte, http.Header, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, nil, err
 	}
 	req.Header.Set("Content-Type", contentType)
+	for k, vs := range extra {
+		req.Header[k] = vs
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, nil, err
@@ -481,10 +586,37 @@ func (c *Client) httpError(resp *http.Response) error {
 		Class:  resp.Header.Get("X-Error-Class"),
 		Body:   string(body),
 	}
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
-			he.RetryAfter = time.Duration(secs) * time.Second
-		}
+	if d, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+		he.RetryAfter = d
 	}
 	return he
+}
+
+// parseRetryAfter interprets a Retry-After value per RFC 9110: either
+// a delay in integer seconds or an HTTP-date. Historically only the
+// integer form was parsed, so a proxy or daemon answering with a date
+// (equally valid on the wire) had its advice silently dropped and the
+// retrier fell back to blind backoff — often hammering a server that
+// had named an exact reopening time. A negative delay or a date in the
+// past clamps to zero (retry immediately); a value in neither form
+// reports false and the caller keeps its own schedule.
+func parseRetryAfter(raw string, now time.Time) (time.Duration, bool) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(raw); err == nil {
+		if secs < 0 {
+			return 0, true
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(raw); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
 }

@@ -276,14 +276,22 @@ func TestErrorClassTable(t *testing.T) {
 }
 
 // TestRetryAfterParsing: integer Retry-After seconds land on the
-// HTTPError; garbage parses to zero.
+// HTTPError; garbage parses to zero. RFC 9110 allows an HTTP-date as
+// well — a future date yields (roughly) the remaining delay, a past
+// date clamps to zero.
 func TestRetryAfterParsing(t *testing.T) {
+	future := time.Now().Add(time.Hour).UTC().Format(http.TimeFormat)
+	past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
 	for raw, want := range map[string]time.Duration{
 		"7":       7 * time.Second,
 		"0":       0,
 		"":        0,
 		"garbage": 0,
 		"-3":      0,
+		past:      0,
+		// "Mon, 32 Jan 2026 00:00:00 GMT" style garbage that is
+		// date-shaped but invalid must also parse to zero.
+		"Mon, 32 Jan 2026 00:00:00 GMT": 0,
 	} {
 		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			if raw != "" {
@@ -300,6 +308,54 @@ func TestRetryAfterParsing(t *testing.T) {
 		}
 		if he.RetryAfter != want {
 			t.Errorf("Retry-After %q parsed to %v, want %v", raw, he.RetryAfter, want)
+		}
+	}
+	// The future-date case needs a tolerance band (the server stamps
+	// the header before the client reads the clock), so it asserts a
+	// range instead of riding the exact-match table.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", future)
+		http.Error(w, "no", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	c := newTestClient(t, ts.URL, nil)
+	_, err := c.Encode(context.Background(), "s", 8, []byte("x"))
+	var he *HTTPError
+	if !errors.As(err, &he) {
+		t.Fatalf("future date: %v", err)
+	}
+	if he.RetryAfter < 58*time.Minute || he.RetryAfter > time.Hour {
+		t.Errorf("future HTTP-date parsed to %v, want ~1h", he.RetryAfter)
+	}
+}
+
+// TestParseRetryAfter unit-tests the parser against a pinned clock,
+// covering the forms the end-to-end table cannot make exact.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		raw  string
+		want time.Duration
+		ok   bool
+	}{
+		{"30", 30 * time.Second, true},
+		{" 30 ", 30 * time.Second, true},
+		{"0", 0, true},
+		{"-5", 0, true}, // negative clamps, still a parsed verdict
+		{"", 0, false},
+		{"soon", 0, false},
+		{"1.5", 0, false}, // fractional seconds are not in the grammar
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second, true},
+		{now.Format(http.TimeFormat), 0, true},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0, true}, // past clamps
+		// The two obsolete RFC 9110 date forms are valid on the wire.
+		{now.Add(2 * time.Minute).Format(time.RFC850), 2 * time.Minute, true},
+		{now.Add(2 * time.Minute).Format(time.ANSIC), 2 * time.Minute, true},
+	}
+	for _, tc := range cases {
+		got, ok := parseRetryAfter(tc.raw, now)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.raw, got, ok, tc.want, tc.ok)
 		}
 	}
 }

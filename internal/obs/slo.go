@@ -61,6 +61,14 @@ type sloBucket struct {
 type SLOTracker struct {
 	cfg SLOConfig
 
+	// epoch anchors the bucket index. Elapsed seconds are measured
+	// against it via time.Time.Sub, which uses the monotonic clock for
+	// readings taken from time.Now — a wall-clock step (NTP correction,
+	// manual reset) can therefore never stamp new observations into the
+	// past or resurrect buckets that aged out of the window.
+	epoch time.Time
+	now   func() time.Time // swapped by tests for deterministic clocks
+
 	mu      sync.Mutex
 	buckets []sloBucket
 
@@ -75,8 +83,17 @@ func NewSLOTracker(cfg SLOConfig) *SLOTracker {
 	cfg = cfg.withDefaults()
 	return &SLOTracker{
 		cfg:     cfg,
+		epoch:   time.Now(),
+		now:     time.Now,
 		buckets: make([]sloBucket, int(cfg.Window/time.Second)),
 	}
+}
+
+// sec returns the current bucket timestamp: whole seconds since the
+// tracker's epoch, offset by 1 so a live bucket's stamp is never the
+// zero value that unused ring slots carry.
+func (t *SLOTracker) sec() int64 {
+	return int64(t.now().Sub(t.epoch)/time.Second) + 1
 }
 
 // Config returns the tracker's effective (defaulted) config.
@@ -92,7 +109,7 @@ func (t *SLOTracker) Observe(d time.Duration, isError bool) {
 	if t == nil {
 		return
 	}
-	sec := time.Now().Unix()
+	sec := t.sec()
 	t.mu.Lock()
 	b := &t.buckets[sec%int64(len(t.buckets))]
 	if b.sec != sec {
@@ -128,7 +145,7 @@ func (t *SLOTracker) Status() SLOStatus {
 	if t == nil {
 		return SLOStatus{Ready: true}
 	}
-	now := time.Now().Unix()
+	now := t.sec()
 	t.mu.Lock()
 	var total, errors, slow int64
 	for i := range t.buckets {

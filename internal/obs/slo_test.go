@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSLOWindowExpiresStaleBuckets drives the tracker with a fake
+// clock: a burst of errors degrades readiness, and once the clock
+// moves past the window the stale buckets must age out — readiness
+// recovers and the window drains to zero without any new traffic.
+func TestSLOWindowExpiresStaleBuckets(t *testing.T) {
+	tr := NewSLOTracker(SLOConfig{
+		Window:       10 * time.Second,
+		Availability: 0.9,
+	})
+	clock := tr.epoch
+	tr.now = func() time.Time { return clock }
+
+	for i := 0; i < 20; i++ {
+		tr.Observe(time.Millisecond, true)
+	}
+	if st := tr.Status(); st.Ready || st.Total != 20 {
+		t.Fatalf("all-error window should degrade: %+v", st)
+	}
+
+	// One second shy of expiry the errors still count.
+	clock = clock.Add(9 * time.Second)
+	if st := tr.Status(); st.Ready || st.Total != 20 {
+		t.Fatalf("errors aged out one second early: %+v", st)
+	}
+
+	// Past the window the burst is gone and readiness recovers.
+	clock = clock.Add(2 * time.Second)
+	st := tr.Status()
+	if !st.Ready {
+		t.Fatalf("stale errors still degrade readiness: %+v", st)
+	}
+	if st.Total != 0 || st.Errors != 0 {
+		t.Fatalf("window not drained after expiry: %+v", st)
+	}
+
+	// The cumulative burn counters survive window expiry.
+	reg := NewRegistry()
+	tr.Publish(reg)
+	if got := reg.Counter("ninecd.slo.errors").Value(); got != 20 {
+		t.Errorf("cumulative errors = %d, want 20", got)
+	}
+	if reg.Gauge("ninecd.slo.ready").Value() != 1 {
+		t.Error("ready gauge should be 1 after the window drained")
+	}
+}
+
+// TestSLOBucketReuseResets pins the ring-slot aliasing case: an
+// observation landing exactly one window after an old one maps to the
+// same slot and must replace the stale counts, never merge with them.
+func TestSLOBucketReuseResets(t *testing.T) {
+	tr := NewSLOTracker(SLOConfig{Window: 10 * time.Second, Availability: 0.9})
+	clock := tr.epoch
+	tr.now = func() time.Time { return clock }
+
+	for i := 0; i < 5; i++ {
+		tr.Observe(time.Millisecond, true)
+	}
+	clock = clock.Add(10 * time.Second) // same slot index, one window later
+	tr.Observe(time.Millisecond, false)
+
+	st := tr.Status()
+	if st.Total != 1 || st.Errors != 0 {
+		t.Fatalf("reused slot merged stale counts: %+v", st)
+	}
+	if !st.Ready {
+		t.Fatalf("fresh healthy traffic should be ready: %+v", st)
+	}
+}
